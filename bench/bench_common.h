@@ -1,0 +1,31 @@
+// Shared helpers for the benchmark binaries: build the seven Table-1
+// domains once and expose per-domain evaluation runs.
+#ifndef SEMAP_BENCH_BENCH_COMMON_H_
+#define SEMAP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "datasets/domains.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace semap::bench {
+
+inline const std::vector<eval::Domain>& AllDomains() {
+  static const std::vector<eval::Domain>* domains = [] {
+    auto result = data::BuildAllDomains();
+    if (!result.ok()) {
+      std::fprintf(stderr, "failed to build domains: %s\n",
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+    return new std::vector<eval::Domain>(std::move(*result));
+  }();
+  return *domains;
+}
+
+}  // namespace semap::bench
+
+#endif  // SEMAP_BENCH_BENCH_COMMON_H_

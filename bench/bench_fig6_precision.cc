@@ -1,0 +1,73 @@
+// Reproduces Figure 6 ("Average Precision"): per domain, the average
+// precision of the semantic technique vs the RIC-based (Clio-style)
+// baseline. The paper's shape: semantic ≥ RIC everywhere, with the
+// largest gaps where extra logical-relation pairs flood the baseline
+// (Amalgam especially). Both methods' full evaluation runs are registered
+// as google-benchmark timings.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace semap::bench {
+namespace {
+
+void RunSemantic(benchmark::State& state, const eval::Domain& domain) {
+  for (auto _ : state) {
+    eval::MethodResult r = eval::EvaluateSemantic(domain);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void RunRic(benchmark::State& state, const eval::Domain& domain) {
+  for (auto _ : state) {
+    eval::MethodResult r = eval::EvaluateRic(domain);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void PrintFigure6() {
+  std::printf("\n==== Figure 6: Average Precision ====\n");
+  std::vector<std::string> names;
+  std::vector<eval::MethodResult> semantic;
+  std::vector<eval::MethodResult> ric;
+  for (const eval::Domain& domain : AllDomains()) {
+    names.push_back(domain.name);
+    semantic.push_back(eval::EvaluateSemantic(domain));
+    ric.push_back(eval::EvaluateRic(domain));
+  }
+  std::printf("%s", eval::FormatComparisonTable(names, semantic, ric,
+                                                /*precision=*/true)
+                        .c_str());
+  double sem_avg = 0;
+  double ric_avg = 0;
+  for (size_t i = 0; i < names.size(); ++i) {
+    sem_avg += semantic[i].avg_precision;
+    ric_avg += ric[i].avg_precision;
+  }
+  std::printf("%-12s %10.3f %10.3f\n", "(overall)",
+              sem_avg / static_cast<double>(names.size()),
+              ric_avg / static_cast<double>(names.size()));
+}
+
+}  // namespace
+}  // namespace semap::bench
+
+int main(int argc, char** argv) {
+  for (const semap::eval::Domain& domain : semap::bench::AllDomains()) {
+    benchmark::RegisterBenchmark(
+        ("fig6/semantic/" + domain.name).c_str(),
+        [&domain](benchmark::State& state) {
+          semap::bench::RunSemantic(state, domain);
+        });
+    benchmark::RegisterBenchmark(
+        ("fig6/ric/" + domain.name).c_str(),
+        [&domain](benchmark::State& state) {
+          semap::bench::RunRic(state, domain);
+        });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  semap::bench::PrintFigure6();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation B (DESIGN.md): discovery cost as the CM grows — the trend
+// behind Table 1's time column (bigger CMs like the 105-concept KA
+// ontology cost more than the 7-concept hotel ontologies). Synthesizes
+// chains of entity clusters with peripheral padding and times the
+// end-to-end semantic pipeline.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "cm/model.h"
+#include "datasets/padding.h"
+#include "rewriting/semantic_mapper.h"
+#include "semantics/er2rel.h"
+
+namespace semap::bench {
+namespace {
+
+/// A chain CM: C0 -f-> C1 -f-> ... -f-> C{n-1}, plus `pad` peripheral
+/// concepts hanging off the chain.
+Result<sem::AnnotatedSchema> ChainSchema(const std::string& name, int chain,
+                                         int pad) {
+  cm::ConceptualModel model;
+  for (int i = 0; i < chain; ++i) {
+    cm::CmClass cls;
+    cls.name = "C" + std::to_string(i);
+    cls.attributes = {{"k" + std::to_string(i), true},
+                      {"v" + std::to_string(i), false}};
+    SEMAP_RETURN_NOT_OK(model.AddClass(std::move(cls)));
+  }
+  for (int i = 0; i + 1 < chain; ++i) {
+    cm::CmRelationship rel;
+    rel.name = "f" + std::to_string(i);
+    rel.from_class = "C" + std::to_string(i);
+    rel.to_class = "C" + std::to_string(i + 1);
+    rel.forward = cm::Cardinality::ExactlyOne();
+    SEMAP_RETURN_NOT_OK(model.AddRelationship(std::move(rel)));
+  }
+  std::set<std::string> core;
+  for (const cm::CmClass& cls : model.classes()) core.insert(cls.name);
+  SEMAP_RETURN_NOT_OK(
+      data::PadCm(model, name + "Aux", pad, {"C0", "C1"}));
+  sem::Er2RelOptions options;
+  options.only_classes = core;
+  return sem::Er2Rel(model, name, options);
+}
+
+void BenchDiscovery(benchmark::State& state) {
+  int chain = static_cast<int>(state.range(0));
+  int pad = static_cast<int>(state.range(1));
+  auto source = ChainSchema("src", chain, pad);
+  auto target = ChainSchema("tgt", chain, pad);
+  if (!source.ok() || !target.ok()) {
+    state.SkipWithError("failed to build chain schema");
+    return;
+  }
+  // Correspond the two chain ends: discovery must find the full chain.
+  std::vector<disc::Correspondence> corrs = {
+      {{"C0", "v0"}, {"C0", "v0"}},
+      {{"C" + std::to_string(chain - 1), "v" + std::to_string(chain - 1)},
+       {"C" + std::to_string(chain - 1), "v" + std::to_string(chain - 1)}},
+  };
+  for (auto _ : state) {
+    auto mappings =
+        rew::GenerateSemanticMappings(*source, *target, corrs);
+    benchmark::DoNotOptimize(mappings);
+    if (!mappings.ok() || mappings->empty()) {
+      state.SkipWithError("no mapping found");
+      return;
+    }
+  }
+  state.counters["cm_nodes"] =
+      static_cast<double>(source->graph().ClassNodes().size());
+}
+
+BENCHMARK(BenchDiscovery)
+    ->ArgsProduct({{2, 4, 8, 12}, {0, 25, 50, 100}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semap::bench
+
+BENCHMARK_MAIN();

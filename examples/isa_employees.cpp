@@ -1,0 +1,57 @@
+// Example 1.2: two databases encode the same ISA hierarchy differently —
+// the source as programmer/engineer leaf tables (no employee table, no
+// RICs), the target as a single employee table with a different key. Only
+// the semantic technique, which sees the Employee superclass in the CM,
+// can produce the merging mapping.
+//
+//   $ ./examples/isa_employees
+#include <cstdio>
+
+#include "baseline/ric_mapper.h"
+#include "datasets/examples.h"
+#include "eval/experiment.h"
+#include "rewriting/semantic_mapper.h"
+
+using namespace semap;
+
+int main() {
+  auto domain = data::BuildEmployeeIsaExample();
+  if (!domain.ok()) {
+    std::printf("error: %s\n", domain.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Source schema:\n%s\n", domain->source.schema().ToString().c_str());
+  std::printf("Target schema:\n%s\n", domain->target.schema().ToString().c_str());
+  std::printf("Source table semantics:\n");
+  for (const auto& [table, stree] : domain->source.semantics()) {
+    std::printf("  %s\n", stree.ToString(domain->source.graph()).c_str());
+  }
+
+  const eval::TestCase& test_case = domain->cases[0];
+  std::printf("\nCorrespondences:\n");
+  for (const auto& c : test_case.correspondences) {
+    std::printf("  %s\n", c.ToString().c_str());
+  }
+
+  auto mappings = rew::GenerateSemanticMappings(domain->source, domain->target,
+                                                test_case.correspondences);
+  std::printf("\nSemantic technique:\n");
+  for (const auto& m : *mappings) {
+    std::printf("  %s\n", m.tgd.ToString().c_str());
+  }
+  std::printf(
+      "\nThe engineer and programmer rows merge on ssn through the Employee\n"
+      "superclass — an ISA link invisible at the relational level.\n");
+
+  auto ric = baseline::GenerateRicMappings(domain->source.schema(),
+                                           domain->target.schema(),
+                                           test_case.correspondences);
+  std::printf("\nRIC-based baseline:\n");
+  for (const auto& m : *ric) {
+    std::printf("  %s\n", m.tgd.ToString().c_str());
+  }
+  std::printf(
+      "\nWithout any RIC between programmer and engineer, the baseline maps\n"
+      "each table separately and never merges the engineer-programmers.\n");
+  return 0;
+}

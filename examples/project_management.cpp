@@ -1,0 +1,60 @@
+// Example 3.1: anchored functional trees. Case A.1 — the target table's
+// anchor (Proj) has a corresponding source node, so the source tree grows
+// from that root along minimal-cost functional paths. Case A.2 — drop the
+// anchor correspondence and the algorithm still recovers the same tree,
+// because the pre-selected s-tree edges are free and the tie-break prefers
+// trees using more of them.
+//
+//   $ ./examples/project_management
+#include <cstdio>
+
+#include "datasets/examples.h"
+#include "discovery/discoverer.h"
+#include "rewriting/semantic_mapper.h"
+
+using namespace semap;
+
+namespace {
+
+void RunCase(const eval::Domain& domain, const eval::TestCase& test_case) {
+  std::printf("== %s\n", test_case.name.c_str());
+  for (const auto& c : test_case.correspondences) {
+    std::printf("  corr: %s\n", c.ToString().c_str());
+  }
+  disc::Discoverer discoverer(domain.source, domain.target,
+                              test_case.correspondences);
+  auto candidates = discoverer.Run();
+  for (const auto& cand : *candidates) {
+    std::printf("  %s\n",
+                cand.ToString(domain.source.graph(), domain.target.graph())
+                    .c_str());
+  }
+  auto mappings = rew::GenerateSemanticMappings(domain.source, domain.target,
+                                                test_case.correspondences);
+  for (const auto& m : *mappings) {
+    std::printf("  mapping: %s\n", m.tgd.ToString().c_str());
+    std::printf("  algebra: %s\n", m.source_algebra.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  auto domain = data::BuildProjectExample();
+  if (!domain.ok()) {
+    std::printf("error: %s\n", domain.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Source: control(proj, dept), manage(dept, mgr)\n");
+  std::printf("Target: proj(pnum, dept, emp) — anchored at Proj\n\n");
+  for (const eval::TestCase& test_case : domain->cases) {
+    RunCase(*domain, test_case);
+  }
+  std::printf(
+      "Both cases return the tree rooted at Project: with v1 present the\n"
+      "root is found by anchor correspondence (Case A.1); without it the\n"
+      "minimal functional tree over the pre-selected s-trees still spans\n"
+      "Project -> Department -> Employee (Case A.2).\n");
+  return 0;
+}

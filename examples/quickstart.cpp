@@ -1,0 +1,116 @@
+// Quickstart: the paper's running bookstore example (Example 1.1) end to
+// end — define two annotated schemas from the text formats, give two
+// column correspondences, and let the semantic technique discover the
+// author-bookstore mapping that RIC-based techniques cannot compose.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "baseline/ric_mapper.h"
+#include "datasets/builder_util.h"
+#include "rewriting/semantic_mapper.h"
+
+using namespace semap;
+
+int main() {
+  // 1. The source side: schema DDL, conceptual model, and per-table
+  //    semantics (s-trees), all in the library's text formats.
+  auto source = data::AnnotatedFromText(
+      R"(schema bookstore_src;
+         table person(pname) key(pname);
+         table book(bid) key(bid);
+         table bookstore(sid) key(sid);
+         table writes(pname, bid) key(pname, bid)
+           fk r1 (pname) -> person(pname)
+           fk r2 (bid) -> book(bid);
+         table soldAt(bid, sid) key(bid, sid)
+           fk r3 (bid) -> book(bid)
+           fk r4 (sid) -> bookstore(sid);)",
+      R"(cm bookstore_src_cm;
+         class Person { pname key; }
+         class Book { bid key; }
+         class Bookstore { sid key; }
+         rel writes Person -- Book fwd 0..* inv 1..*;
+         rel soldAt Book -- Bookstore fwd 0..* inv 0..*;)",
+      R"(semantics person { node p: Person; anchor p; col pname -> p.pname; }
+         semantics book { node b: Book; anchor b; col bid -> b.bid; }
+         semantics bookstore { node s: Bookstore; anchor s; col sid -> s.sid; }
+         semantics writes {
+           node p: Person; node b: Book;
+           edge writes p b; anchor writes$0;
+           col pname -> p.pname; col bid -> b.bid;
+         }
+         semantics soldAt {
+           node b: Book; node s: Bookstore;
+           edge soldAt b s; anchor soldAt$0;
+           col bid -> b.bid; col sid -> s.sid;
+         })");
+  if (!source.ok()) {
+    std::printf("source error: %s\n", source.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. The target side: one table pairing authors with the bookstores
+  //    stocking their books.
+  auto target = data::AnnotatedFromText(
+      R"(schema bookstore_tgt;
+         table author(aname) key(aname);
+         table store(sid) key(sid);
+         table hasBookSoldAt(aname, sid) key(aname, sid)
+           fk (aname) -> author(aname)
+           fk (sid) -> store(sid);)",
+      R"(cm bookstore_tgt_cm;
+         class Author { aname key; }
+         class Bookstore { sid key; }
+         rel hasBookSoldAt Author -- Bookstore fwd 0..* inv 0..*;)",
+      R"(semantics author { node a: Author; anchor a; col aname -> a.aname; }
+         semantics store { node s: Bookstore; anchor s; col sid -> s.sid; }
+         semantics hasBookSoldAt {
+           node a: Author; node s: Bookstore;
+           edge hasBookSoldAt a s; anchor hasBookSoldAt$0;
+           col aname -> a.aname; col sid -> s.sid;
+         })");
+  if (!target.ok()) {
+    std::printf("target error: %s\n", target.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. The element correspondences v1 and v2 of Figure 1.
+  std::vector<disc::Correspondence> correspondences = {
+      data::Corr("person.pname", "hasBookSoldAt.aname"),
+      data::Corr("bookstore.sid", "hasBookSoldAt.sid"),
+  };
+  std::printf("Correspondences:\n");
+  for (const auto& c : correspondences) {
+    std::printf("  %s\n", c.ToString().c_str());
+  }
+
+  // 4. The semantic technique: discovers the minimally-lossy composition
+  //    writes ∘ soldAt and emits the paper's M5 mapping.
+  auto mappings = rew::GenerateSemanticMappings(*source, *target,
+                                                correspondences);
+  if (!mappings.ok()) {
+    std::printf("error: %s\n", mappings.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nSemantic technique (%zu mapping%s):\n", mappings->size(),
+              mappings->size() == 1 ? "" : "s");
+  for (const auto& m : *mappings) {
+    std::printf("  tgd:    %s\n", m.tgd.ToString().c_str());
+    std::printf("  source: %s\n", m.source_algebra.c_str());
+    std::printf("  target: %s\n", m.target_algebra.c_str());
+  }
+
+  // 5. For contrast: the RIC-based (Clio-style) baseline, which cannot
+  //    compose the two many-to-many relationship tables.
+  auto ric = baseline::GenerateRicMappings(source->schema(), target->schema(),
+                                           correspondences);
+  std::printf("\nRIC-based baseline (%zu mappings):\n", ric->size());
+  for (const auto& m : *ric) {
+    std::printf("  %s\n", m.tgd.ToString().c_str());
+  }
+  std::printf(
+      "\nNote how no baseline mapping joins writes with soldAt — that\n"
+      "composition only exists at the conceptual level (Example 1.1).\n");
+  return 0;
+}

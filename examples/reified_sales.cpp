@@ -1,0 +1,58 @@
+// Section 3.3 / Figure 4: reified n-ary relationships. The ternary Sell
+// relationship (store sells product to person, with a purchase date)
+// matches the target's equally reified Purchase: the date correspondence
+// marks the reified node itself, so Case A.1 roots the source tree right
+// at Sell and walks its functional role edges.
+//
+//   $ ./examples/reified_sales
+#include <cstdio>
+
+#include "datasets/examples.h"
+#include "discovery/discoverer.h"
+#include "rewriting/semantic_mapper.h"
+
+using namespace semap;
+
+int main() {
+  auto domain = data::BuildSalesReifiedExample();
+  if (!domain.ok()) {
+    std::printf("error: %s\n", domain.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Source schema:\n%s\n",
+              domain->source.schema().ToString().c_str());
+  std::printf("Semantics of the reified sale:\n  %s\n\n",
+              domain->source.FindSemantics("sells")
+                  ->ToString(domain->source.graph())
+                  .c_str());
+
+  const eval::TestCase& test_case = domain->cases[0];
+  std::printf("Correspondences:\n");
+  for (const auto& c : test_case.correspondences) {
+    std::printf("  %s\n", c.ToString().c_str());
+  }
+
+  disc::Discoverer discoverer(domain->source, domain->target,
+                              test_case.correspondences);
+  auto candidates = discoverer.Run();
+  std::printf("\nDiscovered conceptual candidates:\n");
+  for (const auto& cand : *candidates) {
+    std::printf("  %s\n",
+                cand.ToString(domain->source.graph(), domain->target.graph())
+                    .c_str());
+  }
+
+  auto mappings = rew::GenerateSemanticMappings(domain->source, domain->target,
+                                                test_case.correspondences);
+  std::printf("\nGenerated mappings:\n");
+  for (const auto& m : *mappings) {
+    std::printf("  tgd:    %s\n", m.tgd.ToString().c_str());
+    std::printf("  source: %s\n", m.source_algebra.c_str());
+    std::printf("  target: %s\n", m.target_algebra.c_str());
+  }
+  std::printf(
+      "\nThe distractor rents(pid, prodid) table never appears: the\n"
+      "reified-anchor preference pairs Sell (ternary, with dateOfPurchase)\n"
+      "with Purchase, matching category and arity (Section 3.3).\n");
+  return 0;
+}

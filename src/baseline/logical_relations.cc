@@ -1,0 +1,299 @@
+#include "baseline/logical_relations.h"
+
+#include <algorithm>
+#include <set>
+
+#include "logic/containment.h"
+#include "util/string_util.h"
+
+namespace semap::baseline {
+
+using logic::Atom;
+using logic::Term;
+
+std::string LogicalRelation::VariableFor(const rel::RelationalSchema& schema,
+                                         const rel::ColumnRef& ref) const {
+  const rel::Table* table = schema.FindTable(ref.table);
+  if (table == nullptr) return "";
+  int pos = table->ColumnIndex(ref.column);
+  if (pos < 0) return "";
+  for (const Atom& atom : atoms) {
+    if (atom.predicate == ref.table &&
+        pos < static_cast<int>(atom.terms.size())) {
+      return atom.terms[static_cast<size_t>(pos)].name;
+    }
+  }
+  return "";
+}
+
+bool LogicalRelation::MentionsTable(const std::string& table) const {
+  for (const Atom& atom : atoms) {
+    if (atom.predicate == table) return true;
+  }
+  return false;
+}
+
+std::string LogicalRelation::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(atoms.size());
+  for (const Atom& a : atoms) parts.push_back(a.ToString());
+  return Join(parts, " join ");
+}
+
+std::vector<Atom> ChaseAtoms(const rel::RelationalSchema& schema,
+                             std::vector<Atom> atoms,
+                             const ChaseOptions& options) {
+  // Fresh variables must avoid everything already used.
+  std::set<std::string> used;
+  for (const Atom& a : atoms) {
+    for (const Term& t : a.terms) {
+      if (t.kind == logic::TermKind::kVariable) used.insert(t.name);
+    }
+  }
+  int fresh = 0;
+  auto fresh_var = [&fresh, &used]() {
+    std::string name;
+    do {
+      name = "ch_x" + std::to_string(fresh++);
+    } while (used.count(name) > 0);
+    used.insert(name);
+    return Term::Var(name);
+  };
+
+  // Standard chase: for each atom and applicable RIC, add the referenced
+  // atom unless one agreeing on the referenced key columns already exists.
+  bool changed = true;
+  while (changed && atoms.size() < options.max_atoms) {
+    changed = false;
+    for (size_t ai = 0; ai < atoms.size() && !changed; ++ai) {
+      const Atom atom = atoms[ai];  // copy: the vector may grow
+      const rel::Table* atom_table = schema.FindTable(atom.predicate);
+      if (atom_table == nullptr) continue;
+      for (const rel::Ric* ric : schema.RicsFrom(atom.predicate)) {
+        const rel::Table* to_table = schema.FindTable(ric->to_table);
+        if (to_table == nullptr) continue;
+        // Variables on the referencing side.
+        std::vector<Term> ref_vars;
+        bool ok = true;
+        for (const std::string& col : ric->from_columns) {
+          int pos = atom_table->ColumnIndex(col);
+          if (pos < 0) {
+            ok = false;
+            break;
+          }
+          ref_vars.push_back(atom.terms[static_cast<size_t>(pos)]);
+        }
+        if (!ok) continue;
+        // Does an atom of to_table already agree on the referenced columns?
+        bool satisfied = false;
+        for (const Atom& other : atoms) {
+          if (other.predicate != ric->to_table) continue;
+          bool agrees = true;
+          for (size_t k = 0; k < ric->to_columns.size(); ++k) {
+            int pos = to_table->ColumnIndex(ric->to_columns[k]);
+            if (pos < 0 ||
+                !(other.terms[static_cast<size_t>(pos)] == ref_vars[k])) {
+              agrees = false;
+              break;
+            }
+          }
+          if (agrees) {
+            satisfied = true;
+            break;
+          }
+        }
+        if (satisfied) continue;
+        Atom added;
+        added.predicate = ric->to_table;
+        added.terms.resize(to_table->columns().size());
+        for (size_t p = 0; p < added.terms.size(); ++p) {
+          added.terms[p] = fresh_var();
+        }
+        for (size_t k = 0; k < ric->to_columns.size(); ++k) {
+          int pos = to_table->ColumnIndex(ric->to_columns[k]);
+          added.terms[static_cast<size_t>(pos)] = ref_vars[k];
+        }
+        atoms.push_back(std::move(added));
+        changed = true;
+        break;
+      }
+    }
+  }
+  return atoms;
+}
+
+logic::ConjunctiveQuery ChaseQueryWithConstraints(
+    const rel::RelationalSchema& schema, logic::ConjunctiveQuery query,
+    const std::vector<ColumnFd>& extra_fds, const ChaseOptions& options) {
+  return ChaseQueryWithConstraints(schema, std::move(query), extra_fds, {},
+                                   options);
+}
+
+logic::ConjunctiveQuery ChaseQueryWithConstraints(
+    const rel::RelationalSchema& schema, logic::ConjunctiveQuery query,
+    const std::vector<ColumnFd>& extra_fds,
+    const std::vector<sem::CrossTableFd>& cross_fds,
+    const ChaseOptions& options) {
+  if (options.apply_rics) {
+    query.body = ChaseAtoms(schema, std::move(query.body), options);
+  }
+
+  // Assemble the EGDs: the primary key of each table plus the extras.
+  std::vector<ColumnFd> fds = extra_fds;
+  for (const rel::Table& table : schema.tables()) {
+    if (table.primary_key().empty()) continue;
+    fds.push_back(
+        ColumnFd{table.name(), table.primary_key(), table.columns()});
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < query.body.size() && !changed; ++i) {
+      for (size_t j = i + 1; j < query.body.size() && !changed; ++j) {
+        const Atom& a = query.body[i];
+        const Atom& b = query.body[j];
+        // Cross-table EGDs apply to pairs over (possibly) different tables.
+        for (const sem::CrossTableFd& cfd : cross_fds) {
+          const Atom* pa = nullptr;
+          const Atom* pb = nullptr;
+          if (a.predicate == cfd.table_a && b.predicate == cfd.table_b) {
+            pa = &a;
+            pb = &b;
+          } else if (b.predicate == cfd.table_a && a.predicate == cfd.table_b) {
+            pa = &b;
+            pb = &a;
+          } else {
+            continue;
+          }
+          const rel::Table* ta = schema.FindTable(cfd.table_a);
+          const rel::Table* tb = schema.FindTable(cfd.table_b);
+          if (ta == nullptr || tb == nullptr ||
+              cfd.key_a.size() != cfd.key_b.size()) {
+            continue;
+          }
+          bool keys_agree = !cfd.key_a.empty();
+          for (size_t k = 0; k < cfd.key_a.size(); ++k) {
+            int pos_a = ta->ColumnIndex(cfd.key_a[k]);
+            int pos_b = tb->ColumnIndex(cfd.key_b[k]);
+            if (pos_a < 0 || pos_b < 0 ||
+                !(pa->terms[static_cast<size_t>(pos_a)] ==
+                  pb->terms[static_cast<size_t>(pos_b)])) {
+              keys_agree = false;
+              break;
+            }
+          }
+          if (!keys_agree) continue;
+          int pos_a = ta->ColumnIndex(cfd.col_a);
+          int pos_b = tb->ColumnIndex(cfd.col_b);
+          if (pos_a < 0 || pos_b < 0) continue;
+          const Term& va = pa->terms[static_cast<size_t>(pos_a)];
+          const Term& vb = pb->terms[static_cast<size_t>(pos_b)];
+          if (va == vb) continue;
+          logic::Substitution sub;
+          if (va.IsVar()) {
+            sub[va.name] = vb;
+          } else if (vb.IsVar()) {
+            sub[vb.name] = va;
+          } else {
+            continue;
+          }
+          query = logic::ApplySubstitution(query, sub);
+          changed = true;
+          break;
+        }
+        if (changed) break;
+        if (a.predicate != b.predicate) continue;
+        if (a == b) {
+          query.body.erase(query.body.begin() + static_cast<long>(j));
+          changed = true;
+          break;
+        }
+        const rel::Table* table = schema.FindTable(a.predicate);
+        if (table == nullptr) continue;
+        for (const ColumnFd& fd : fds) {
+          if (fd.table != a.predicate) continue;
+          bool lhs_agree = !fd.lhs.empty();
+          for (const std::string& col : fd.lhs) {
+            int pos = table->ColumnIndex(col);
+            if (pos < 0 || !(a.terms[static_cast<size_t>(pos)] ==
+                             b.terms[static_cast<size_t>(pos)])) {
+              lhs_agree = false;
+              break;
+            }
+          }
+          if (!lhs_agree) continue;
+          logic::Substitution sub;
+          for (const std::string& col : fd.rhs) {
+            int posi = table->ColumnIndex(col);
+            if (posi < 0) continue;
+            size_t p = static_cast<size_t>(posi);
+            Term ta = logic::ApplySubstitution(a.terms[p], sub);
+            Term tb = logic::ApplySubstitution(b.terms[p], sub);
+            if (ta == tb) continue;
+            if (ta.IsVar()) {
+              sub[ta.name] = tb;
+            } else if (tb.IsVar()) {
+              sub[tb.name] = ta;
+            }
+          }
+          if (!sub.empty()) {
+            query = logic::ApplySubstitution(query, sub);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  std::sort(query.body.begin(), query.body.end());
+  query.body.erase(std::unique(query.body.begin(), query.body.end()),
+                   query.body.end());
+  return query;
+}
+
+LogicalRelation ChaseTable(const rel::RelationalSchema& schema,
+                           const std::string& seed_table,
+                           const ChaseOptions& options) {
+  LogicalRelation lr;
+  lr.seed_table = seed_table;
+  const rel::Table* seed = schema.FindTable(seed_table);
+  if (seed == nullptr) return lr;
+
+  Atom seed_atom;
+  seed_atom.predicate = seed_table;
+  for (size_t i = 0; i < seed->columns().size(); ++i) {
+    seed_atom.terms.push_back(
+        Term::Var(seed_table + "_x" + std::to_string(i)));
+  }
+  lr.atoms = ChaseAtoms(schema, {std::move(seed_atom)}, options);
+  return lr;
+}
+
+std::vector<LogicalRelation> LogicalRelationsOf(
+    const rel::RelationalSchema& schema, const ChaseOptions& options) {
+  std::vector<LogicalRelation> out;
+  for (const rel::Table& table : schema.tables()) {
+    LogicalRelation lr = ChaseTable(schema, table.name(), options);
+    // Skip exact duplicates (same query up to renaming): a table fully
+    // subsumed by another's chase still yields its own logical relation in
+    // Clio, so only *identical* ones (same atom count and mutual
+    // containment over full heads) are merged.
+    bool duplicate = false;
+    logic::ConjunctiveQuery q1;
+    q1.body = lr.atoms;
+    for (const LogicalRelation& existing : out) {
+      if (existing.atoms.size() != lr.atoms.size()) continue;
+      logic::ConjunctiveQuery q2;
+      q2.body = existing.atoms;
+      if (logic::Equivalent(q1, q2)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out.push_back(std::move(lr));
+  }
+  return out;
+}
+
+}  // namespace semap::baseline

@@ -1,0 +1,122 @@
+#include "baseline/ric_mapper.h"
+
+#include <algorithm>
+#include <set>
+
+namespace semap::baseline {
+
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::Term;
+
+namespace {
+
+/// Prune unnecessary joins ("ones that did not introduce new attributes
+/// not covered by correspondences"): repeatedly strip atoms of
+/// non-corresponded tables that sit at the edge of the var-sharing graph,
+/// leaving the minimal connected subquery around the corresponded tables.
+std::vector<Atom> PruneJoins(const std::vector<Atom>& atoms,
+                             const std::set<std::string>& protected_tables) {
+  std::vector<Atom> current = atoms;
+  bool changed = true;
+  while (changed && current.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < current.size(); ++i) {
+      if (protected_tables.count(current[i].predicate) > 0) continue;
+      // Count how many other atoms this one shares variables with.
+      std::set<std::string> my_vars;
+      for (const Term& t : current[i].terms) my_vars.insert(t.name);
+      int neighbors = 0;
+      for (size_t j = 0; j < current.size(); ++j) {
+        if (i == j) continue;
+        for (const Term& t : current[j].terms) {
+          if (my_vars.count(t.name) > 0) {
+            ++neighbors;
+            break;
+          }
+        }
+      }
+      if (neighbors <= 1) {
+        current.erase(current.begin() + static_cast<long>(i));
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+Result<std::vector<RicMapping>> GenerateRicMappings(
+    const rel::RelationalSchema& source, const rel::RelationalSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const RicMapperOptions& options) {
+  for (const disc::Correspondence& corr : correspondences) {
+    if (!source.HasColumn(corr.source)) {
+      return Status::NotFound("unknown source column " +
+                              corr.source.ToString());
+    }
+    if (!target.HasColumn(corr.target)) {
+      return Status::NotFound("unknown target column " +
+                              corr.target.ToString());
+    }
+  }
+  std::vector<LogicalRelation> source_lrs =
+      LogicalRelationsOf(source, options.chase);
+  std::vector<LogicalRelation> target_lrs =
+      LogicalRelationsOf(target, options.chase);
+
+  std::vector<RicMapping> mappings;
+  for (const LogicalRelation& slr : source_lrs) {
+    for (const LogicalRelation& tlr : target_lrs) {
+      // Covered correspondences: both ends present in the pair.
+      std::vector<size_t> covered;
+      for (size_t i = 0; i < correspondences.size(); ++i) {
+        if (slr.MentionsTable(correspondences[i].source.table) &&
+            tlr.MentionsTable(correspondences[i].target.table)) {
+          covered.push_back(i);
+        }
+      }
+      if (covered.empty()) continue;
+
+      // Heads: one frontier position per covered correspondence.
+      ConjunctiveQuery src_q;
+      ConjunctiveQuery tgt_q;
+      std::set<std::string> src_tables;
+      std::set<std::string> tgt_tables;
+      for (size_t i : covered) {
+        std::string sv = slr.VariableFor(source, correspondences[i].source);
+        std::string tv = tlr.VariableFor(target, correspondences[i].target);
+        src_q.head.push_back(Term::Var(sv));
+        tgt_q.head.push_back(Term::Var(tv));
+        src_tables.insert(correspondences[i].source.table);
+        tgt_tables.insert(correspondences[i].target.table);
+      }
+      src_q.body = options.prune_unnecessary_joins
+                       ? PruneJoins(slr.atoms, src_tables)
+                       : slr.atoms;
+      tgt_q.body = options.prune_unnecessary_joins
+                       ? PruneJoins(tlr.atoms, tgt_tables)
+                       : tlr.atoms;
+
+      RicMapping mapping;
+      mapping.tgd = logic::AlignTgd(src_q, tgt_q);
+      for (size_t i : covered) mapping.covered.push_back(correspondences[i]);
+      bool duplicate = false;
+      for (const RicMapping& existing : mappings) {
+        if (logic::EquivalentTgds(existing.tgd, mapping.tgd)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        mappings.push_back(std::move(mapping));
+        if (mappings.size() >= options.max_mappings) return mappings;
+      }
+    }
+  }
+  return mappings;
+}
+
+}  // namespace semap::baseline

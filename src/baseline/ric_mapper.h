@@ -1,0 +1,42 @@
+// The RIC-based mapping technique the paper compares against (Clio):
+// pair source and target logical relations, keep pairs covering at least
+// one correspondence, prune unnecessary joins (joins that introduce no
+// corresponded attributes — the optimization of Fuxman et al. the paper's
+// methodology applies), and emit s-t tgds.
+#ifndef SEMAP_BASELINE_RIC_MAPPER_H_
+#define SEMAP_BASELINE_RIC_MAPPER_H_
+
+#include <vector>
+
+#include "baseline/logical_relations.h"
+#include "discovery/correspondence.h"
+#include "logic/tgd.h"
+#include "util/result.h"
+
+namespace semap::baseline {
+
+struct RicMapperOptions {
+  ChaseOptions chase;
+  /// Apply the unnecessary-join pruning heuristic.
+  bool prune_unnecessary_joins = true;
+  /// Cap on emitted mappings.
+  size_t max_mappings = 64;
+};
+
+/// \brief One RIC-based mapping: the tgd plus the correspondences the
+/// logical-relation pair covers.
+struct RicMapping {
+  logic::Tgd tgd;
+  std::vector<disc::Correspondence> covered;
+};
+
+/// \brief Generate all RIC-based candidate mappings for the given schemas
+/// and correspondences.
+Result<std::vector<RicMapping>> GenerateRicMappings(
+    const rel::RelationalSchema& source, const rel::RelationalSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const RicMapperOptions& options = {});
+
+}  // namespace semap::baseline
+
+#endif  // SEMAP_BASELINE_RIC_MAPPER_H_

@@ -1,0 +1,243 @@
+#include "cm/graph.h"
+
+#include <algorithm>
+
+namespace semap::cm {
+
+int CmGraph::AddNode(GraphNode node) {
+  node.id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  out_edges_.emplace_back();
+  return node.id;
+}
+
+int CmGraph::AddEdgePair(GraphEdge forward, GraphEdge inverse) {
+  forward.id = static_cast<int>(edges_.size());
+  inverse.id = forward.id + 1;
+  forward.partner = inverse.id;
+  inverse.partner = forward.id;
+  out_edges_[static_cast<size_t>(forward.from)].push_back(forward.id);
+  out_edges_[static_cast<size_t>(inverse.from)].push_back(inverse.id);
+  edges_.push_back(std::move(forward));
+  edges_.push_back(std::move(inverse));
+  return static_cast<int>(edges_.size()) - 2;
+}
+
+Result<CmGraph> CmGraph::Build(const ConceptualModel& model) {
+  SEMAP_RETURN_NOT_OK(model.Validate());
+  CmGraph g;
+  g.model_ = model;
+
+  auto add_attribute_nodes = [&](const std::string& owner,
+                                 const std::vector<CmAttribute>& attrs) {
+    int owner_id = g.class_node_index_.at(owner);
+    for (const CmAttribute& attr : attrs) {
+      GraphNode an;
+      an.kind = NodeKind::kAttribute;
+      an.name = attr.name;
+      an.owner_class = owner;
+      an.is_key_attribute = attr.is_key;
+      int attr_id = g.AddNode(an);
+      g.attribute_node_index_[{owner, attr.name}] = attr_id;
+      GraphEdge e;
+      e.id = static_cast<int>(g.edges_.size());
+      e.from = owner_id;
+      e.to = attr_id;
+      e.name = attr.name;
+      e.kind = EdgeKind::kAttribute;
+      e.card = Cardinality::ExactlyOne();  // simple single-valued attributes
+      g.out_edges_[static_cast<size_t>(owner_id)].push_back(e.id);
+      g.edges_.push_back(std::move(e));
+    }
+  };
+
+  // Class nodes (plain classes first, then reified-relationship classes).
+  for (const CmClass& cls : model.classes()) {
+    GraphNode n;
+    n.kind = NodeKind::kClass;
+    n.name = cls.name;
+    g.class_node_index_[cls.name] = g.AddNode(n);
+  }
+  for (const ReifiedRelationship& r : model.reified()) {
+    GraphNode n;
+    n.kind = NodeKind::kClass;
+    n.name = r.class_name;
+    n.reified = true;
+    n.arity = static_cast<int>(r.roles.size());
+    n.semantic_type = r.semantic_type;
+    g.class_node_index_[r.class_name] = g.AddNode(n);
+  }
+
+  // Attribute nodes.
+  for (const CmClass& cls : model.classes()) {
+    add_attribute_nodes(cls.name, cls.attributes);
+  }
+  for (const ReifiedRelationship& r : model.reified()) {
+    add_attribute_nodes(r.class_name, r.attributes);
+  }
+
+  auto add_role_pair = [&](int reified_node, int filler_node,
+                           const std::string& role_name,
+                           Cardinality participation,
+                           SemanticType semantic_type) {
+    GraphEdge fwd;
+    fwd.from = reified_node;
+    fwd.to = filler_node;
+    fwd.name = role_name;
+    fwd.kind = EdgeKind::kRole;
+    fwd.card = Cardinality::ExactlyOne();  // each instance has one filler
+    fwd.semantic_type = semantic_type;
+    GraphEdge inv = fwd;
+    inv.from = filler_node;
+    inv.to = reified_node;
+    inv.inverted = true;
+    inv.card = participation;
+    g.AddEdgePair(std::move(fwd), std::move(inv));
+  };
+
+  // Binary relationships; many-to-many ones are reified here (§3.3).
+  for (const CmRelationship& rel : model.relationships()) {
+    int from = g.class_node_index_.at(rel.from_class);
+    int to = g.class_node_index_.at(rel.to_class);
+    if (rel.IsManyToMany()) {
+      GraphNode n;
+      n.kind = NodeKind::kClass;
+      n.name = rel.name;
+      n.reified = true;
+      n.auto_reified = true;
+      n.arity = 2;
+      n.semantic_type = rel.semantic_type;
+      int rnode = g.AddNode(n);
+      g.class_node_index_[rel.name + "$reified"] = rnode;
+      g.auto_reified_index_[rel.name] = rnode;
+      // A from-object appears in as many instances as the to-objects it
+      // relates to, and vice versa.
+      add_role_pair(rnode, from, "src", rel.forward, rel.semantic_type);
+      add_role_pair(rnode, to, "tgt", rel.inverse, rel.semantic_type);
+    } else {
+      GraphEdge fwd;
+      fwd.from = from;
+      fwd.to = to;
+      fwd.name = rel.name;
+      fwd.kind = EdgeKind::kRelationship;
+      fwd.card = rel.forward;
+      fwd.semantic_type = rel.semantic_type;
+      GraphEdge inv = fwd;
+      inv.from = to;
+      inv.to = from;
+      inv.inverted = true;
+      inv.card = rel.inverse;
+      g.AddEdgePair(std::move(fwd), std::move(inv));
+    }
+  }
+
+  // ISA edges: sub -> super 1..1, inverse 0..1 (§2).
+  for (const IsaLink& link : model.isa_links()) {
+    int sub = g.class_node_index_.at(link.sub);
+    int super = g.class_node_index_.at(link.super);
+    GraphEdge fwd;
+    fwd.from = sub;
+    fwd.to = super;
+    fwd.name = "isa";
+    fwd.kind = EdgeKind::kIsa;
+    fwd.card = Cardinality::ExactlyOne();
+    GraphEdge inv = fwd;
+    inv.from = super;
+    inv.to = sub;
+    inv.inverted = true;
+    inv.card = Cardinality::AtMostOne();
+    g.AddEdgePair(std::move(fwd), std::move(inv));
+  }
+
+  // Explicit reified relationships.
+  for (const ReifiedRelationship& r : model.reified()) {
+    int rnode = g.class_node_index_.at(r.class_name);
+    for (const Role& role : r.roles) {
+      int filler = g.class_node_index_.at(role.filler_class);
+      add_role_pair(rnode, filler, role.name, role.participation,
+                    r.semantic_type);
+    }
+  }
+
+  return g;
+}
+
+int CmGraph::FindClassNode(const std::string& name) const {
+  auto it = class_node_index_.find(name);
+  if (it == class_node_index_.end()) return -1;
+  return it->second;
+}
+
+int CmGraph::FindAttributeNode(const std::string& cls,
+                               const std::string& attr) const {
+  auto it = attribute_node_index_.find({cls, attr});
+  if (it == attribute_node_index_.end()) return -1;
+  return it->second;
+}
+
+std::vector<int> CmGraph::ClassNodes() const {
+  std::vector<int> out;
+  for (const GraphNode& n : nodes_) {
+    if (n.IsClass()) out.push_back(n.id);
+  }
+  return out;
+}
+
+int CmGraph::FindEdge(int from_node, const std::string& name,
+                      bool inverted) const {
+  for (int eid : OutEdges(from_node)) {
+    const GraphEdge& e = edge(eid);
+    if (e.kind == EdgeKind::kAttribute) continue;
+    if (e.name == name && e.inverted == inverted) return eid;
+  }
+  return -1;
+}
+
+int CmGraph::FindAutoReifiedNode(const std::string& rel_name) const {
+  auto it = auto_reified_index_.find(rel_name);
+  if (it == auto_reified_index_.end()) return -1;
+  return it->second;
+}
+
+bool CmGraph::AreDisjoint(int class_node_a, int class_node_b) const {
+  const GraphNode& a = node(class_node_a);
+  const GraphNode& b = node(class_node_b);
+  if (!a.IsClass() || !b.IsClass()) return false;
+  return model_.AreDisjoint(a.name, b.name);
+}
+
+Cardinality CmGraph::ComposePath(const std::vector<const GraphEdge*>& path) {
+  Cardinality out = Cardinality::ExactlyOne();
+  for (const GraphEdge* e : path) {
+    // max: functional ∘ functional stays functional; otherwise many.
+    if (out.max == 1 && e->card.max == 1) {
+      out.max = 1;
+    } else {
+      out.max = kMany;
+    }
+    // min: total ∘ total stays total; any optional step makes it optional.
+    out.min = (out.min >= 1 && e->card.min >= 1) ? 1 : 0;
+  }
+  return out;
+}
+
+std::string CmGraph::ToString() const {
+  std::string out = "graph over cm " + model_.name() + "\n";
+  for (const GraphNode& n : nodes_) {
+    if (!n.IsClass()) continue;
+    out += "  [" + std::to_string(n.id) + "] " + n.name +
+           (n.reified ? "*" : "") + "\n";
+    for (int eid : OutEdges(n.id)) {
+      const GraphEdge& e = edge(eid);
+      if (e.kind == EdgeKind::kAttribute) {
+        out += "    ." + e.name + "\n";
+      } else {
+        out += "    --" + e.Label() + " (" + e.card.ToString() + ")--> " +
+               node(e.to).name + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace semap::cm

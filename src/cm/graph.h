@@ -1,0 +1,135 @@
+// CM graph: the labeled directed graph compiled from a ConceptualModel
+// (Section 2 of the paper).
+//
+// Nodes are class nodes (one per class, including reified-relationship
+// classes) and attribute nodes (one per class attribute). Edges come in
+// inverse pairs for relationships, roles and ISA; each direction carries
+// its own cardinality, so "edge e is functional" is simply
+// e.card.IsFunctional() regardless of which member of the pair it is.
+//
+// Per Section 3.3, many-to-many *binary* relationships are reified during
+// graph construction: a class node tagged auto_reified is inserted with two
+// roles ("src", "tgt"). The logic encoder un-reifies such nodes when
+// emitting formulas so that, as in the paper, binary relationships appear
+// as binary predicates.
+#ifndef SEMAP_CM_GRAPH_H_
+#define SEMAP_CM_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cm/model.h"
+#include "util/result.h"
+
+namespace semap::cm {
+
+enum class NodeKind {
+  kClass,
+  kAttribute,
+};
+
+struct GraphNode {
+  int id = -1;
+  NodeKind kind = NodeKind::kClass;
+  std::string name;         // class name, or attribute name
+  std::string owner_class;  // attribute nodes only: the owning class
+  bool reified = false;
+  bool auto_reified = false;  // reified by graph construction from a binary
+  int arity = 0;              // number of roles when reified
+  SemanticType semantic_type = SemanticType::kNone;
+  bool is_key_attribute = false;  // attribute nodes only
+
+  bool IsClass() const { return kind == NodeKind::kClass; }
+};
+
+enum class EdgeKind {
+  kRelationship,  // a (functional) binary relationship direction
+  kAttribute,     // class node -> attribute node
+  kIsa,           // subclass -> superclass (and its inverse)
+  kRole,          // reified node -> filler (and its inverse)
+};
+
+struct GraphEdge {
+  int id = -1;
+  int from = -1;
+  int to = -1;
+  std::string name;       // relationship / role / attribute name
+  bool inverted = false;  // true for the p⁻ member of an inverse pair
+  EdgeKind kind = EdgeKind::kRelationship;
+  Cardinality card;       // in this direction: #to-objects per from-object
+  SemanticType semantic_type = SemanticType::kNone;
+  int partner = -1;       // id of the inverse edge; -1 for attribute edges
+
+  bool IsFunctional() const { return card.IsFunctional(); }
+  /// Display label: "p" or "p-" for the inverse direction.
+  std::string Label() const { return inverted ? name + "-" : name; }
+};
+
+/// \brief Immutable compiled graph over a ConceptualModel.
+class CmGraph {
+ public:
+  /// Compile `model` (must Validate()) into a graph.
+  static Result<CmGraph> Build(const ConceptualModel& model);
+
+  const ConceptualModel& model() const { return model_; }
+
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const std::vector<GraphEdge>& edges() const { return edges_; }
+  const GraphNode& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+  const GraphEdge& edge(int id) const { return edges_[static_cast<size_t>(id)]; }
+
+  /// Outgoing edge ids of `node` (all kinds).
+  const std::vector<int>& OutEdges(int node) const {
+    return out_edges_[static_cast<size_t>(node)];
+  }
+
+  /// Class-node id for `name`, or -1.
+  int FindClassNode(const std::string& name) const;
+  /// Attribute-node id for `cls`.`attr`, or -1.
+  int FindAttributeNode(const std::string& cls, const std::string& attr) const;
+
+  /// All class-node ids (skips attribute nodes).
+  std::vector<int> ClassNodes() const;
+
+  /// The edge from `from_node` with the given relationship/role name, in
+  /// the requested direction (`inverted`); -1 if absent. For a binary
+  /// relationship that was auto-reified this finds nothing — use
+  /// FindAutoReifiedNode instead.
+  int FindEdge(int from_node, const std::string& name, bool inverted) const;
+
+  /// Node id of the auto-reified class for binary relationship `rel_name`,
+  /// or -1 when that relationship was not reified.
+  int FindAutoReifiedNode(const std::string& rel_name) const;
+
+  /// Disjointness at the graph level (delegates to the model).
+  bool AreDisjoint(int class_node_a, int class_node_b) const;
+
+  /// Number of class nodes whose edges are all functional in one direction:
+  /// cardinality composition along a directed path. Composing any
+  /// non-functional step yields a non-functional result; minimums compose
+  /// multiplicatively on the 0/1 lattice (any optional step makes the whole
+  /// path optional).
+  static Cardinality ComposePath(const std::vector<const GraphEdge*>& path);
+
+  std::string ToString() const;
+
+ private:
+  CmGraph() = default;
+
+  int AddNode(GraphNode node);
+  /// Adds the pair (forward, inverse) and returns the forward edge id.
+  int AddEdgePair(GraphEdge forward, GraphEdge inverse);
+
+  ConceptualModel model_;
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+  std::vector<std::vector<int>> out_edges_;
+  std::map<std::string, int> class_node_index_;
+  std::map<std::pair<std::string, std::string>, int> attribute_node_index_;
+  std::map<std::string, int> auto_reified_index_;
+};
+
+}  // namespace semap::cm
+
+#endif  // SEMAP_CM_GRAPH_H_

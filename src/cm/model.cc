@@ -1,0 +1,279 @@
+#include "cm/model.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace semap::cm {
+
+std::string Cardinality::ToString() const {
+  std::string out = std::to_string(min);
+  out += "..";
+  out += max == kMany ? "*" : std::to_string(max);
+  return out;
+}
+
+std::string ToString(SemanticType type) {
+  switch (type) {
+    case SemanticType::kNone:
+      return "none";
+    case SemanticType::kPartOf:
+      return "partOf";
+  }
+  return "unknown";
+}
+
+const CmAttribute* CmClass::FindAttribute(const std::string& attr) const {
+  for (const CmAttribute& a : attributes) {
+    if (a.name == attr) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> CmClass::KeyAttributes() const {
+  std::vector<std::string> out;
+  for (const CmAttribute& a : attributes) {
+    if (a.is_key) out.push_back(a.name);
+  }
+  return out;
+}
+
+std::string CmRelationship::ToString() const {
+  std::string out = "rel ";
+  if (semantic_type != SemanticType::kNone) {
+    out += cm::ToString(semantic_type) + " ";
+  }
+  out += name + " " + from_class + " -- " + to_class + " fwd " +
+         forward.ToString() + " inv " + inverse.ToString();
+  return out;
+}
+
+Status ConceptualModel::AddClass(CmClass cls) {
+  if (cls.name.empty()) {
+    return Status::InvalidArgument("class name must be non-empty");
+  }
+  if (class_index_.count(cls.name) > 0 || reified_index_.count(cls.name) > 0) {
+    return Status::AlreadyExists("duplicate class '" + cls.name + "'");
+  }
+  std::set<std::string> seen;
+  for (const CmAttribute& a : cls.attributes) {
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute '" + a.name +
+                                     "' in class '" + cls.name + "'");
+    }
+  }
+  class_index_[cls.name] = classes_.size();
+  classes_.push_back(std::move(cls));
+  return Status::OK();
+}
+
+Status ConceptualModel::AddRelationship(CmRelationship rel) {
+  if (rel.name.empty()) {
+    return Status::InvalidArgument("relationship name must be non-empty");
+  }
+  for (const CmRelationship& existing : relationships_) {
+    if (existing.name == rel.name) {
+      return Status::AlreadyExists("duplicate relationship '" + rel.name + "'");
+    }
+  }
+  relationships_.push_back(std::move(rel));
+  return Status::OK();
+}
+
+Status ConceptualModel::AddIsa(IsaLink link) {
+  for (const IsaLink& existing : isa_links_) {
+    if (existing == link) {
+      return Status::AlreadyExists("duplicate ISA " + link.sub + " -> " +
+                                   link.super);
+    }
+  }
+  isa_links_.push_back(std::move(link));
+  return Status::OK();
+}
+
+Status ConceptualModel::AddDisjointness(DisjointnessConstraint constraint) {
+  if (constraint.classes.size() < 2) {
+    return Status::InvalidArgument(
+        "disjointness constraint needs at least two classes");
+  }
+  disjointness_.push_back(std::move(constraint));
+  return Status::OK();
+}
+
+Status ConceptualModel::AddCovering(CoveringConstraint constraint) {
+  if (constraint.subs.empty()) {
+    return Status::InvalidArgument("covering constraint needs subclasses");
+  }
+  coverings_.push_back(std::move(constraint));
+  return Status::OK();
+}
+
+Status ConceptualModel::AddReified(ReifiedRelationship reified) {
+  if (reified.class_name.empty()) {
+    return Status::InvalidArgument("reified relationship needs a class name");
+  }
+  if (class_index_.count(reified.class_name) > 0 ||
+      reified_index_.count(reified.class_name) > 0) {
+    return Status::AlreadyExists("duplicate class '" + reified.class_name +
+                                 "'");
+  }
+  if (reified.roles.size() < 2) {
+    return Status::InvalidArgument("reified relationship '" +
+                                   reified.class_name +
+                                   "' needs at least two roles");
+  }
+  reified_index_[reified.class_name] = reified_.size();
+  reified_.push_back(std::move(reified));
+  return Status::OK();
+}
+
+const CmClass* ConceptualModel::FindClass(const std::string& name) const {
+  auto it = class_index_.find(name);
+  if (it == class_index_.end()) return nullptr;
+  return &classes_[it->second];
+}
+
+const CmRelationship* ConceptualModel::FindRelationship(
+    const std::string& name) const {
+  for (const CmRelationship& rel : relationships_) {
+    if (rel.name == name) return &rel;
+  }
+  return nullptr;
+}
+
+const ReifiedRelationship* ConceptualModel::FindReified(
+    const std::string& class_name) const {
+  auto it = reified_index_.find(class_name);
+  if (it == reified_index_.end()) return nullptr;
+  return &reified_[it->second];
+}
+
+std::vector<std::string> ConceptualModel::SuperclassesOf(
+    const std::string& cls) const {
+  std::vector<std::string> out;
+  for (const IsaLink& link : isa_links_) {
+    if (link.sub == cls) out.push_back(link.super);
+  }
+  return out;
+}
+
+bool ConceptualModel::IsSubclassOf(const std::string& sub,
+                                   const std::string& super) const {
+  if (sub == super) return true;
+  // BFS up the ISA hierarchy; cycles are guarded by the visited set.
+  std::vector<std::string> frontier = {sub};
+  std::set<std::string> visited = {sub};
+  while (!frontier.empty()) {
+    std::string cur = frontier.back();
+    frontier.pop_back();
+    for (const std::string& parent : SuperclassesOf(cur)) {
+      if (parent == super) return true;
+      if (visited.insert(parent).second) frontier.push_back(parent);
+    }
+  }
+  return false;
+}
+
+bool ConceptualModel::AreDisjoint(const std::string& a,
+                                  const std::string& b) const {
+  // Two classes are disjoint if some declared disjointness set contains an
+  // ancestor (or self) of each of them, distinct from one another.
+  for (const DisjointnessConstraint& d : disjointness_) {
+    for (size_t i = 0; i < d.classes.size(); ++i) {
+      for (size_t j = 0; j < d.classes.size(); ++j) {
+        if (i == j) continue;
+        if (IsSubclassOf(a, d.classes[i]) && IsSubclassOf(b, d.classes[j])) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+Status ConceptualModel::Validate() const {
+  auto known = [&](const std::string& name) {
+    return class_index_.count(name) > 0 || reified_index_.count(name) > 0;
+  };
+  for (const CmRelationship& rel : relationships_) {
+    if (!known(rel.from_class)) {
+      return Status::NotFound("relationship '" + rel.name +
+                              "' references unknown class '" + rel.from_class +
+                              "'");
+    }
+    if (!known(rel.to_class)) {
+      return Status::NotFound("relationship '" + rel.name +
+                              "' references unknown class '" + rel.to_class +
+                              "'");
+    }
+  }
+  for (const IsaLink& link : isa_links_) {
+    if (!known(link.sub) || !known(link.super)) {
+      return Status::NotFound("ISA references unknown class: " + link.sub +
+                              " -> " + link.super);
+    }
+  }
+  for (const DisjointnessConstraint& d : disjointness_) {
+    for (const std::string& c : d.classes) {
+      if (!known(c)) {
+        return Status::NotFound("disjointness references unknown class '" + c +
+                                "'");
+      }
+    }
+  }
+  for (const CoveringConstraint& cov : coverings_) {
+    if (!known(cov.super)) {
+      return Status::NotFound("covering references unknown class '" +
+                              cov.super + "'");
+    }
+    for (const std::string& c : cov.subs) {
+      if (!known(c)) {
+        return Status::NotFound("covering references unknown class '" + c +
+                                "'");
+      }
+    }
+  }
+  for (const ReifiedRelationship& r : reified_) {
+    std::set<std::string> role_names;
+    for (const Role& role : r.roles) {
+      if (!known(role.filler_class)) {
+        return Status::NotFound("reified '" + r.class_name +
+                                "' role '" + role.name +
+                                "' references unknown class '" +
+                                role.filler_class + "'");
+      }
+      if (!role_names.insert(role.name).second) {
+        return Status::InvalidArgument("reified '" + r.class_name +
+                                       "' has duplicate role '" + role.name +
+                                       "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string ConceptualModel::ToString() const {
+  std::string out = "cm " + name_ + ";\n";
+  for (const CmClass& c : classes_) {
+    out += "  class " + c.name + " {";
+    std::vector<std::string> attrs;
+    for (const CmAttribute& a : c.attributes) {
+      attrs.push_back(a.is_key ? a.name + " key" : a.name);
+    }
+    out += Join(attrs, "; ") + "}\n";
+  }
+  for (const CmRelationship& r : relationships_) {
+    out += "  " + r.ToString() + ";\n";
+  }
+  for (const IsaLink& link : isa_links_) {
+    out += "  isa " + link.sub + " -> " + link.super + ";\n";
+  }
+  for (const ReifiedRelationship& r : reified_) {
+    out += "  reified " + r.class_name + " (" +
+           std::to_string(r.roles.size()) + " roles);\n";
+  }
+  return out;
+}
+
+}  // namespace semap::cm

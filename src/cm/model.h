@@ -1,0 +1,193 @@
+// Conceptual modeling language (CML) model, per Section 2 of the paper.
+//
+// CML captures the common features of EER and UML: classes with simple
+// single-valued attributes (some marked as identifying keys), binary
+// relationships with min..max cardinality constraints in both directions,
+// ISA hierarchies with disjointness and covering constraints, and reified
+// relationships (used for n-ary relationships, relationships with
+// attributes, and — during graph construction — many-to-many binaries).
+// Relationships may carry a semantic type tag such as partOf, which the
+// discovery algorithm uses to discriminate candidates (Example 1.3).
+#ifndef SEMAP_CM_MODEL_H_
+#define SEMAP_CM_MODEL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace semap::cm {
+
+/// \brief Upper bound sentinel for unbounded ("*") cardinalities.
+inline constexpr int kMany = -1;
+
+/// \brief A min..max participation constraint. max == kMany means '*'.
+struct Cardinality {
+  int min = 0;
+  int max = kMany;
+
+  static Cardinality Any() { return {0, kMany}; }          // 0..*
+  static Cardinality AtLeastOne() { return {1, kMany}; }   // 1..*
+  static Cardinality ExactlyOne() { return {1, 1}; }       // 1..1
+  static Cardinality AtMostOne() { return {0, 1}; }        // 0..1
+
+  /// A direction of a relationship is functional when each domain object
+  /// relates to at most one range object.
+  bool IsFunctional() const { return max == 1; }
+  /// Total participation: every domain object takes part.
+  bool IsTotal() const { return min >= 1; }
+
+  std::string ToString() const;
+  bool operator==(const Cardinality&) const = default;
+};
+
+/// \brief Semantic category of a relationship, used for compatibility
+/// filtering (Example 1.3 distinguishes partOf from plain relationships).
+enum class SemanticType {
+  kNone,
+  kPartOf,
+};
+
+std::string ToString(SemanticType type);
+
+struct CmAttribute {
+  std::string name;
+  bool is_key = false;
+
+  bool operator==(const CmAttribute&) const = default;
+};
+
+/// \brief An entity class ("concept") with its attributes.
+struct CmClass {
+  std::string name;
+  std::vector<CmAttribute> attributes;
+
+  const CmAttribute* FindAttribute(const std::string& attr) const;
+  /// Names of key attributes, in declaration order.
+  std::vector<std::string> KeyAttributes() const;
+};
+
+/// \brief A binary relationship `name` from `from_class` to `to_class`.
+///
+/// `forward` constrains how many `to` objects relate to one `from` object;
+/// `inverse` constrains the opposite direction.
+struct CmRelationship {
+  std::string name;
+  std::string from_class;
+  std::string to_class;
+  Cardinality forward = Cardinality::Any();
+  Cardinality inverse = Cardinality::Any();
+  SemanticType semantic_type = SemanticType::kNone;
+
+  bool IsManyToMany() const {
+    return !forward.IsFunctional() && !inverse.IsFunctional();
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief sub ISA super.
+struct IsaLink {
+  std::string sub;
+  std::string super;
+  bool operator==(const IsaLink&) const = default;
+};
+
+/// \brief The listed classes are pairwise disjoint.
+struct DisjointnessConstraint {
+  std::vector<std::string> classes;
+};
+
+/// \brief The subclasses jointly cover the superclass.
+struct CoveringConstraint {
+  std::string super;
+  std::vector<std::string> subs;
+};
+
+/// \brief A role of a reified relationship: a functional link from the
+/// reified class to the filler. `participation` constrains how many
+/// instances of the reified relationship one filler object may appear in
+/// (0/1..1 means "participates at most/exactly once").
+struct Role {
+  std::string name;
+  std::string filler_class;
+  Cardinality participation = Cardinality::Any();
+};
+
+/// \brief An explicitly reified relationship: n-ary relationships,
+/// relationships with attributes, or higher-order relationships.
+struct ReifiedRelationship {
+  std::string class_name;
+  std::vector<Role> roles;
+  std::vector<CmAttribute> attributes;
+  SemanticType semantic_type = SemanticType::kNone;
+};
+
+/// \brief A complete conceptual model.
+class ConceptualModel {
+ public:
+  ConceptualModel() = default;
+  explicit ConceptualModel(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Status AddClass(CmClass cls);
+  Status AddRelationship(CmRelationship rel);
+  Status AddIsa(IsaLink link);
+  Status AddDisjointness(DisjointnessConstraint constraint);
+  Status AddCovering(CoveringConstraint constraint);
+  Status AddReified(ReifiedRelationship reified);
+
+  const CmClass* FindClass(const std::string& name) const;
+  const CmRelationship* FindRelationship(const std::string& name) const;
+  const ReifiedRelationship* FindReified(const std::string& class_name) const;
+
+  const std::vector<CmClass>& classes() const { return classes_; }
+  const std::vector<CmRelationship>& relationships() const {
+    return relationships_;
+  }
+  const std::vector<IsaLink>& isa_links() const { return isa_links_; }
+  const std::vector<DisjointnessConstraint>& disjointness() const {
+    return disjointness_;
+  }
+  const std::vector<CoveringConstraint>& coverings() const {
+    return coverings_;
+  }
+  const std::vector<ReifiedRelationship>& reified() const { return reified_; }
+
+  /// Direct superclasses of `cls`.
+  std::vector<std::string> SuperclassesOf(const std::string& cls) const;
+  /// True if `sub` ISA* `super` (reflexive-transitive).
+  bool IsSubclassOf(const std::string& sub, const std::string& super) const;
+  /// True if the two classes are declared (or inherited-to-be) disjoint.
+  bool AreDisjoint(const std::string& a, const std::string& b) const;
+
+  /// Count of class nodes + reified nodes: the paper's "#nodes in CM"
+  /// metric counts concepts.
+  size_t ConceptCount() const { return classes_.size() + reified_.size(); }
+
+  /// Check referential consistency: every relationship/ISA/constraint
+  /// mentions declared classes; reified roles point at declared classes.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<CmClass> classes_;
+  std::vector<CmRelationship> relationships_;
+  std::vector<IsaLink> isa_links_;
+  std::vector<DisjointnessConstraint> disjointness_;
+  std::vector<CoveringConstraint> coverings_;
+  std::vector<ReifiedRelationship> reified_;
+  std::map<std::string, size_t> class_index_;
+  std::map<std::string, size_t> reified_index_;
+};
+
+}  // namespace semap::cm
+
+#endif  // SEMAP_CM_MODEL_H_

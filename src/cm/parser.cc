@@ -1,0 +1,166 @@
+#include "cm/parser.h"
+
+#include "util/lexer.h"
+
+namespace semap::cm {
+
+namespace {
+
+// cardinality := INT '..' (INT | '*')
+Result<Cardinality> ParseCardinality(TokenCursor& cur) {
+  Cardinality card;
+  SEMAP_ASSIGN_OR_RETURN(long min, cur.ExpectInteger());
+  card.min = static_cast<int>(min);
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct(".."));
+  if (cur.TryConsumePunct("*")) {
+    card.max = kMany;
+  } else {
+    SEMAP_ASSIGN_OR_RETURN(long max, cur.ExpectInteger());
+    card.max = static_cast<int>(max);
+  }
+  if (card.max != kMany && card.max < card.min) {
+    return cur.ErrorHere("cardinality max must be >= min");
+  }
+  return card;
+}
+
+// attribute entries inside '{ ... }': name ['key'] ';'
+Result<std::vector<CmAttribute>> ParseAttributeBlock(TokenCursor& cur) {
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("{"));
+  std::vector<CmAttribute> attrs;
+  while (!cur.TryConsumePunct("}")) {
+    CmAttribute attr;
+    SEMAP_ASSIGN_OR_RETURN(attr.name, cur.ExpectIdentifier());
+    if (cur.TryConsumeIdent("key")) attr.is_key = true;
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+    attrs.push_back(std::move(attr));
+  }
+  return attrs;
+}
+
+Status ParseClass(TokenCursor& cur, ConceptualModel& model) {
+  CmClass cls;
+  SEMAP_ASSIGN_OR_RETURN(cls.name, cur.ExpectIdentifier());
+  if (cur.Peek().IsPunct("{")) {
+    SEMAP_ASSIGN_OR_RETURN(cls.attributes, ParseAttributeBlock(cur));
+  } else {
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  }
+  return model.AddClass(std::move(cls));
+}
+
+Status ParseRelationship(TokenCursor& cur, ConceptualModel& model) {
+  CmRelationship rel;
+  if (cur.TryConsumeIdent("partof")) {
+    rel.semantic_type = SemanticType::kPartOf;
+  }
+  SEMAP_ASSIGN_OR_RETURN(rel.name, cur.ExpectIdentifier());
+  SEMAP_ASSIGN_OR_RETURN(rel.from_class, cur.ExpectIdentifier());
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("--"));
+  SEMAP_ASSIGN_OR_RETURN(rel.to_class, cur.ExpectIdentifier());
+  if (cur.TryConsumeIdent("fwd")) {
+    SEMAP_ASSIGN_OR_RETURN(rel.forward, ParseCardinality(cur));
+  }
+  if (cur.TryConsumeIdent("inv")) {
+    SEMAP_ASSIGN_OR_RETURN(rel.inverse, ParseCardinality(cur));
+  }
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  return model.AddRelationship(std::move(rel));
+}
+
+Status ParseIsa(TokenCursor& cur, ConceptualModel& model) {
+  IsaLink link;
+  SEMAP_ASSIGN_OR_RETURN(link.sub, cur.ExpectIdentifier());
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("->"));
+  SEMAP_ASSIGN_OR_RETURN(link.super, cur.ExpectIdentifier());
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  return model.AddIsa(std::move(link));
+}
+
+Status ParseDisjoint(TokenCursor& cur, ConceptualModel& model) {
+  DisjointnessConstraint constraint;
+  do {
+    SEMAP_ASSIGN_OR_RETURN(std::string cls, cur.ExpectIdentifier());
+    constraint.classes.push_back(std::move(cls));
+  } while (cur.TryConsumePunct(","));
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  return model.AddDisjointness(std::move(constraint));
+}
+
+Status ParseCovers(TokenCursor& cur, ConceptualModel& model) {
+  CoveringConstraint constraint;
+  SEMAP_ASSIGN_OR_RETURN(constraint.super, cur.ExpectIdentifier());
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("="));
+  do {
+    SEMAP_ASSIGN_OR_RETURN(std::string cls, cur.ExpectIdentifier());
+    constraint.subs.push_back(std::move(cls));
+  } while (cur.TryConsumePunct(","));
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  return model.AddCovering(std::move(constraint));
+}
+
+Status ParseReified(TokenCursor& cur, ConceptualModel& model) {
+  ReifiedRelationship reified;
+  if (cur.TryConsumeIdent("partof")) {
+    reified.semantic_type = SemanticType::kPartOf;
+  }
+  SEMAP_ASSIGN_OR_RETURN(reified.class_name, cur.ExpectIdentifier());
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("{"));
+  while (!cur.TryConsumePunct("}")) {
+    if (cur.TryConsumeIdent("role")) {
+      Role role;
+      SEMAP_ASSIGN_OR_RETURN(role.name, cur.ExpectIdentifier());
+      SEMAP_RETURN_NOT_OK(cur.ExpectPunct("->"));
+      SEMAP_ASSIGN_OR_RETURN(role.filler_class, cur.ExpectIdentifier());
+      if (cur.TryConsumeIdent("part")) {
+        SEMAP_ASSIGN_OR_RETURN(role.participation, ParseCardinality(cur));
+      }
+      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+      reified.roles.push_back(std::move(role));
+    } else if (cur.TryConsumeIdent("attr")) {
+      CmAttribute attr;
+      SEMAP_ASSIGN_OR_RETURN(attr.name, cur.ExpectIdentifier());
+      if (cur.TryConsumeIdent("key")) attr.is_key = true;
+      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+      reified.attributes.push_back(std::move(attr));
+    } else {
+      return cur.ErrorHere("expected 'role' or 'attr' in reified block");
+    }
+  }
+  return model.AddReified(std::move(reified));
+}
+
+}  // namespace
+
+Result<ConceptualModel> ParseCm(std::string_view input) {
+  SEMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  TokenCursor cur(std::move(tokens));
+  ConceptualModel model;
+  if (cur.TryConsumeIdent("cm")) {
+    SEMAP_ASSIGN_OR_RETURN(std::string name, cur.ExpectIdentifier());
+    model.set_name(std::move(name));
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  }
+  while (!cur.AtEnd()) {
+    if (cur.TryConsumeIdent("class")) {
+      SEMAP_RETURN_NOT_OK(ParseClass(cur, model));
+    } else if (cur.TryConsumeIdent("rel")) {
+      SEMAP_RETURN_NOT_OK(ParseRelationship(cur, model));
+    } else if (cur.TryConsumeIdent("isa")) {
+      SEMAP_RETURN_NOT_OK(ParseIsa(cur, model));
+    } else if (cur.TryConsumeIdent("disjoint")) {
+      SEMAP_RETURN_NOT_OK(ParseDisjoint(cur, model));
+    } else if (cur.TryConsumeIdent("covers")) {
+      SEMAP_RETURN_NOT_OK(ParseCovers(cur, model));
+    } else if (cur.TryConsumeIdent("reified")) {
+      SEMAP_RETURN_NOT_OK(ParseReified(cur, model));
+    } else {
+      return cur.ErrorHere(
+          "expected 'class', 'rel', 'isa', 'disjoint', 'covers' or 'reified'");
+    }
+  }
+  SEMAP_RETURN_NOT_OK(model.Validate());
+  return model;
+}
+
+}  // namespace semap::cm

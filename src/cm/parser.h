@@ -1,0 +1,40 @@
+// Text format for conceptual models.
+//
+//   cm BookstoreSource;
+//   class Person { pname key; }
+//   class Book { bid key; }
+//   rel writes Person -- Book fwd 0..* inv 1..*;
+//   rel partof chairOf Department -- Faculty fwd 0..1 inv 0..1;
+//   isa Engineer -> Employee;
+//   disjoint Engineer, Secretary;
+//   covers Employee = Engineer, Programmer;
+//   reified Sell {
+//     role seller -> Store part 0..*;
+//     role buyer -> Person part 0..*;
+//     role sold -> Product part 0..*;
+//     attr date;
+//   }
+//
+// Cardinalities read `min..max` with `*` for unbounded; `fwd` constrains
+// how many right-hand objects relate to one left-hand object, `inv` the
+// converse; both default to 0..*. A `partof` keyword after `rel`/`reified`
+// tags the relationship's semantic type. A role's `part` clause constrains
+// how many relationship instances one filler participates in (0..1 / 1..1
+// make the role inverse functional).
+#ifndef SEMAP_CM_PARSER_H_
+#define SEMAP_CM_PARSER_H_
+
+#include <string_view>
+
+#include "cm/model.h"
+#include "util/result.h"
+
+namespace semap::cm {
+
+/// \brief Parse the CM text format described above. The returned model has
+/// been Validate()d.
+Result<ConceptualModel> ParseCm(std::string_view input);
+
+}  // namespace semap::cm
+
+#endif  // SEMAP_CM_PARSER_H_

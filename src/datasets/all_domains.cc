@@ -1,0 +1,38 @@
+#include "datasets/domains.h"
+
+namespace semap::data {
+
+Result<std::vector<eval::Domain>> BuildAllDomains() {
+  std::vector<eval::Domain> out;
+  {
+    SEMAP_ASSIGN_OR_RETURN(eval::Domain d, BuildDblp());
+    out.push_back(std::move(d));
+  }
+  {
+    SEMAP_ASSIGN_OR_RETURN(eval::Domain d, BuildMondial());
+    out.push_back(std::move(d));
+  }
+  {
+    SEMAP_ASSIGN_OR_RETURN(eval::Domain d, BuildAmalgam());
+    out.push_back(std::move(d));
+  }
+  {
+    SEMAP_ASSIGN_OR_RETURN(eval::Domain d, Build3Sdb());
+    out.push_back(std::move(d));
+  }
+  {
+    SEMAP_ASSIGN_OR_RETURN(eval::Domain d, BuildUniversity());
+    out.push_back(std::move(d));
+  }
+  {
+    SEMAP_ASSIGN_OR_RETURN(eval::Domain d, BuildHotel());
+    out.push_back(std::move(d));
+  }
+  {
+    SEMAP_ASSIGN_OR_RETURN(eval::Domain d, BuildNetwork());
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace semap::data

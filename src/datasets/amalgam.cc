@@ -1,0 +1,211 @@
+// Amalgam1 / Amalgam2 (Table 1 row 3): bibliography schemas designed by
+// database students — the domain where the paper reports the semantic
+// technique fared best. Amalgam1 is a small, quirky design (8 concepts,
+// 15 tables: every functional relationship in its own two-column link
+// table, authorship modeled only as firstAu/lastAu). Amalgam2 is a large,
+// over-normalized design (26 concepts, 27 tables) with ISA hierarchies
+// and reified relationships.
+#include "cm/parser.h"
+#include "datasets/builder_util.h"
+#include "datasets/domains.h"
+#include "semantics/er2rel.h"
+
+namespace semap::data {
+
+namespace {
+
+constexpr const char* kSourceCm = R"(
+cm amalgam1_er;
+class Auth { aid key; aname; }
+class Pub { pid key; ptitle; pyear; }
+class Venue { vid key; vname; }
+class Inst { iid key; iname; }
+class Kword { kid key; kname; }
+class Area { arid key; arname; }
+rel pubVenue Pub -- Venue fwd 1..1 inv 0..*;
+rel authInst Auth -- Inst fwd 0..1 inv 0..*;
+rel firstAu Pub -- Auth fwd 0..1 inv 0..*;
+rel lastAu Pub -- Auth fwd 0..1 inv 0..*;
+rel venueArea Venue -- Area fwd 0..1 inv 0..*;
+rel kwArea Kword -- Area fwd 0..1 inv 0..*;
+rel advisor Auth -- Auth fwd 0..1 inv 0..*;
+rel hasKw Pub -- Kword fwd 0..* inv 0..*;
+rel cowrote Auth -- Auth fwd 0..* inv 0..*;
+)";
+
+constexpr const char* kTargetCm = R"(
+cm amalgam2_er;
+class Person { pkey key; pname; }
+class Writer { wstyle; }
+class Student { syear; }
+class Editor2 { estart; }
+class Work { wkey key; wtitle; wyear; }
+class Article { apages; }
+class Thesis { school2; }
+class Forum { fkey key; fname; }
+class Org2 { okey key; oname; }
+class Keyword2 { kkey key; kname; }
+class Domain2 { dkey key; dname; }
+class Publisher2 { pbkey key; pbname; }
+class Series2 { srkey key; srname; }
+class Volume { vlkey key; vlno; }
+class Issue { iskey key; isno; }
+class Award2 { awkey key; awname; }
+class Committee { cmkey key; cmname; }
+class Country2 { ctkey key; ctname; }
+isa Writer -> Person;
+isa Student -> Person;
+isa Editor2 -> Person;
+isa Article -> Work;
+isa Thesis -> Work;
+disjoint Article, Thesis;
+rel issueOf Issue -- Volume fwd 1..1 inv 0..*;
+rel wwrote Writer -- Work fwd 0..* inv 1..*;
+rel wkeyword Work -- Keyword2 fwd 0..* inv 0..*;
+rel wdomain Work -- Domain2 fwd 0..* inv 0..*;
+rel kwdomain Keyword2 -- Domain2 fwd 0..* inv 0..*;
+rel collab Person -- Person fwd 0..* inv 0..*;
+rel memberOf2 Person -- Org2 fwd 0..* inv 0..*;
+reified Supervision {
+  role supervisor -> Person part 0..*;
+  role student -> Student part 0..*;
+  attr yearStart;
+}
+reified Presentation {
+  role pwork -> Work part 0..*;
+  role pforum -> Forum part 0..*;
+  attr slot;
+}
+)";
+
+}  // namespace
+
+Result<eval::Domain> BuildAmalgam() {
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel source_model,
+                         cm::ParseCm(kSourceCm));
+  sem::Er2RelOptions source_opts;
+  source_opts.merge_functional_relationships = false;
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema source,
+                         sem::Er2Rel(source_model, "Amalgam1", source_opts));
+
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel target_model,
+                         cm::ParseCm(kTargetCm));
+  sem::Er2RelOptions target_opts;
+  target_opts.merge_functional_relationships = false;
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema target,
+                         sem::Er2Rel(target_model, "Amalgam2", target_opts));
+
+  eval::Domain domain;
+  domain.name = "Amalgam";
+  domain.source_label = "Amalgam1";
+  domain.target_label = "Amalgam2";
+  domain.source_cm_label = "amalgam1 ER";
+  domain.target_cm_label = "amalgam2 ER";
+  domain.source = std::move(source);
+  domain.target = std::move(target);
+
+  // Case 1 (both): author's institution against person's organization.
+  {
+    eval::TestCase c;
+    c.name = "author-institution";
+    c.correspondences = {
+        Corr("Auth.aname", "Person.pname"),
+        Corr("Inst.iname", "Org2.oname"),
+    };
+    c.benchmark = {Bench(
+        "Auth(a, w0), authInst(a, i), Inst(i, w1) -> "
+        "Person(p, w0), memberOf2(p, o), Org2(o, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 2 (both): publication venue against work presentation forum.
+  {
+    eval::TestCase c;
+    c.name = "pub-venue";
+    c.correspondences = {
+        Corr("Pub.ptitle", "Work.wtitle"),
+        Corr("Venue.vname", "Forum.fname"),
+    };
+    c.benchmark = {Bench(
+        "Pub(p, w0, y), pubVenue(p, v), Venue(v, w1) -> "
+        "Presentation(wk, fk, sl), Work(wk, w0, y2), Forum(fk, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 3 (semantic only): a publication's research area exists in the
+  // source only as the composition hasKw ∘ kwArea.
+  {
+    eval::TestCase c;
+    c.name = "pub-area";
+    c.correspondences = {
+        Corr("Pub.ptitle", "Work.wtitle"),
+        Corr("Area.arname", "Domain2.dname"),
+    };
+    c.benchmark = {Bench(
+        "Pub(p, w0, y), hasKw(p, k), kwArea(k, ar), Area(ar, w1) -> "
+        "Work(wk, w0, y2), wdomain(wk, d), Domain2(d, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 4 (semantic only): author's research area — a composition on the
+  // source paired with a two-hop many-to-many connection on the target.
+  {
+    eval::TestCase c;
+    c.name = "author-area";
+    c.correspondences = {
+        Corr("Auth.aname", "Person.pname"),
+        Corr("Area.arname", "Domain2.dname"),
+    };
+    c.benchmark = {Bench(
+        "firstAu(p, a), Auth(a, w0), hasKw(p, k), kwArea(k, ar), "
+        "Area(ar, w1) -> "
+        "Person(pp, w0), wwrote(pp, wk), wdomain(wk, d), Domain2(d, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 5 (semantic only): venue's research area against the forum's
+  // works' domains — the target side needs two relationship tables the
+  // chase never joins.
+  {
+    eval::TestCase c;
+    c.name = "venue-area";
+    c.correspondences = {
+        Corr("Venue.vname", "Forum.fname"),
+        Corr("Area.arname", "Domain2.dname"),
+    };
+    c.benchmark = {Bench(
+        "Venue(v, w0), venueArea(v, ar), Area(ar, w1) -> "
+        "Presentation(wk, fk, sl), Forum(fk, w0), wdomain(wk, d), "
+        "Domain2(d, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 6 (both, two benchmarks): authorship is modeled as firstAu and
+  // lastAu in the source; both pair with the target's wwrote.
+  {
+    eval::TestCase c;
+    c.name = "authorship";
+    c.correspondences = {
+        Corr("Pub.ptitle", "Work.wtitle"),
+        Corr("Auth.aname", "Person.pname"),
+    };
+    c.benchmark = {
+        Bench("firstAu(p, a), Auth(a, w0), Pub(p, w1, y) -> "
+              "Person(pp, w0), wwrote(pp, wk), Work(wk, w1, y2)"),
+        Bench("lastAu(p, a), Auth(a, w0), Pub(p, w1, y) -> "
+              "Person(pp, w0), wwrote(pp, wk), Work(wk, w1, y2)"),
+    };
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 7 (both): keywords of a publication.
+  {
+    eval::TestCase c;
+    c.name = "pub-keyword";
+    c.correspondences = {
+        Corr("Pub.ptitle", "Work.wtitle"),
+        Corr("Kword.kname", "Keyword2.kname"),
+    };
+    c.benchmark = {Bench(
+        "Pub(p, w0, y), hasKw(p, k), Kword(k, w1) -> "
+        "Work(wk, w0, y2), wkeyword(wk, kk), Keyword2(kk, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  return domain;
+}
+
+}  // namespace semap::data

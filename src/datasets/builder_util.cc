@@ -1,0 +1,64 @@
+#include "datasets/builder_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cm/parser.h"
+#include "logic/parser.h"
+#include "relational/schema_parser.h"
+#include "semantics/semantics_parser.h"
+
+namespace semap::data {
+
+Result<sem::AnnotatedSchema> AnnotatedFromText(
+    std::string_view schema_text, std::string_view cm_text,
+    std::string_view semantics_text) {
+  SEMAP_ASSIGN_OR_RETURN(rel::RelationalSchema schema,
+                         rel::ParseSchema(schema_text));
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel model, cm::ParseCm(cm_text));
+  SEMAP_ASSIGN_OR_RETURN(cm::CmGraph graph, cm::CmGraph::Build(model));
+  SEMAP_ASSIGN_OR_RETURN(std::vector<sem::STree> strees,
+                         sem::ParseSemantics(graph, semantics_text));
+  sem::AnnotatedSchema annotated(std::move(schema), std::move(graph));
+  for (sem::STree& stree : strees) {
+    SEMAP_RETURN_NOT_OK(annotated.AddSemantics(std::move(stree)));
+  }
+  return annotated;
+}
+
+Result<rel::ColumnRef> ParseColumnRef(std::string_view text) {
+  size_t dot = text.find('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 == text.size()) {
+    return Status::ParseError("expected 'table.column', got '" +
+                              std::string(text) + "'");
+  }
+  rel::ColumnRef ref;
+  ref.table = std::string(text.substr(0, dot));
+  ref.column = std::string(text.substr(dot + 1));
+  return ref;
+}
+
+disc::Correspondence Corr(std::string_view source, std::string_view target) {
+  auto src = ParseColumnRef(source);
+  auto tgt = ParseColumnRef(target);
+  if (!src.ok() || !tgt.ok()) {
+    std::fprintf(stderr, "bad correspondence literal: %.*s <-> %.*s\n",
+                 static_cast<int>(source.size()), source.data(),
+                 static_cast<int>(target.size()), target.data());
+    std::abort();
+  }
+  return disc::Correspondence{*src, *tgt};
+}
+
+logic::Tgd Bench(std::string_view tgd_text) {
+  auto tgd = logic::ParseTgd(tgd_text);
+  if (!tgd.ok()) {
+    std::fprintf(stderr, "bad benchmark tgd: %s\n  %s\n",
+                 std::string(tgd_text).c_str(),
+                 tgd.status().ToString().c_str());
+    std::abort();
+  }
+  return *tgd;
+}
+
+}  // namespace semap::data

@@ -1,0 +1,30 @@
+// Helpers for assembling evaluation domains from the text formats.
+#ifndef SEMAP_DATASETS_BUILDER_UTIL_H_
+#define SEMAP_DATASETS_BUILDER_UTIL_H_
+
+#include <string_view>
+
+#include "eval/experiment.h"
+#include "util/result.h"
+
+namespace semap::data {
+
+/// \brief Parse and assemble one annotated side from the three text
+/// formats (schema DDL, CM, semantics).
+Result<sem::AnnotatedSchema> AnnotatedFromText(std::string_view schema_text,
+                                               std::string_view cm_text,
+                                               std::string_view semantics_text);
+
+/// \brief Parse "table.column" into a ColumnRef.
+Result<rel::ColumnRef> ParseColumnRef(std::string_view text);
+
+/// \brief Correspondence from "src_table.col" / "tgt_table.col" literals
+/// (aborts on malformed literals — dataset definitions are compiled-in).
+disc::Correspondence Corr(std::string_view source, std::string_view target);
+
+/// \brief Benchmark tgd from its text form (aborts on malformed input).
+logic::Tgd Bench(std::string_view tgd_text);
+
+}  // namespace semap::data
+
+#endif  // SEMAP_DATASETS_BUILDER_UTIL_H_

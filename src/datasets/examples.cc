@@ -1,0 +1,369 @@
+#include "datasets/examples.h"
+
+#include "datasets/builder_util.h"
+
+namespace semap::data {
+
+Result<eval::Domain> BuildBookstoreExample() {
+  // Example 1.1: person writes book, book sold at bookstore; the target
+  // pairs authors directly with the bookstores stocking their books.
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema source, AnnotatedFromText(
+      R"(schema bookstore_src;
+         table person(pname) key(pname);
+         table book(bid) key(bid);
+         table bookstore(sid) key(sid);
+         table writes(pname, bid) key(pname, bid)
+           fk r1 (pname) -> person(pname)
+           fk r2 (bid) -> book(bid);
+         table soldAt(bid, sid) key(bid, sid)
+           fk r3 (bid) -> book(bid)
+           fk r4 (sid) -> bookstore(sid);)",
+      R"(cm bookstore_src_cm;
+         class Person { pname key; }
+         class Book { bid key; }
+         class Bookstore { sid key; }
+         rel writes Person -- Book fwd 0..* inv 1..*;
+         rel soldAt Book -- Bookstore fwd 0..* inv 0..*;)",
+      R"(semantics person { node p: Person; anchor p; col pname -> p.pname; }
+         semantics book { node b: Book; anchor b; col bid -> b.bid; }
+         semantics bookstore { node s: Bookstore; anchor s; col sid -> s.sid; }
+         semantics writes {
+           node p: Person; node b: Book;
+           edge writes p b;
+           anchor writes$0;
+           col pname -> p.pname; col bid -> b.bid;
+         }
+         semantics soldAt {
+           node b: Book; node s: Bookstore;
+           edge soldAt b s;
+           anchor soldAt$0;
+           col bid -> b.bid; col sid -> s.sid;
+         })"));
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema target, AnnotatedFromText(
+      R"(schema bookstore_tgt;
+         table author(aname) key(aname);
+         table store(sid) key(sid);
+         table hasBookSoldAt(aname, sid) key(aname, sid)
+           fk (aname) -> author(aname)
+           fk (sid) -> store(sid);)",
+      R"(cm bookstore_tgt_cm;
+         class Author { aname key; }
+         class Bookstore { sid key; }
+         rel hasBookSoldAt Author -- Bookstore fwd 0..* inv 0..*;)",
+      R"(semantics author { node a: Author; anchor a; col aname -> a.aname; }
+         semantics store { node s: Bookstore; anchor s; col sid -> s.sid; }
+         semantics hasBookSoldAt {
+           node a: Author; node s: Bookstore;
+           edge hasBookSoldAt a s;
+           anchor hasBookSoldAt$0;
+           col aname -> a.aname; col sid -> s.sid;
+         })"));
+
+  eval::Domain domain;
+  domain.name = "bookstore-example";
+  domain.source_label = "bookstore_src";
+  domain.target_label = "bookstore_tgt";
+  domain.source_cm_label = "bookstore ER";
+  domain.target_cm_label = "bookstore ontology";
+  domain.source = std::move(source);
+  domain.target = std::move(target);
+
+  eval::TestCase m5;
+  m5.name = "author-bookstore-composition";  // the paper's M5
+  m5.correspondences = {Corr("person.pname", "hasBookSoldAt.aname"),
+                        Corr("bookstore.sid", "hasBookSoldAt.sid")};
+  m5.benchmark = {Bench("person(w0), writes(w0, b), soldAt(b, w1), "
+                        "bookstore(w1) -> hasBookSoldAt(w0, w1)")};
+  domain.cases.push_back(std::move(m5));
+  return domain;
+}
+
+Result<eval::Domain> BuildEmployeeIsaExample() {
+  // Example 1.2: source encodes the ISA hierarchy as leaf tables (no
+  // employee table, no RICs); the target packs everything in one table
+  // keyed by a different identifier.
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema source, AnnotatedFromText(
+      R"(schema employees_src;
+         table programmer(ssn, name, acnt) key(ssn);
+         table engineer(ssn, name, site) key(ssn);)",
+      R"(cm employees_src_cm;
+         class Employee { ssn key; name; }
+         class Engineer { site; }
+         class Programmer { acnt; }
+         isa Engineer -> Employee;
+         isa Programmer -> Employee;
+         covers Employee = Engineer, Programmer;)",
+      R"(semantics programmer {
+           node p: Programmer; node e: Employee;
+           edge isa p e;
+           anchor p;
+           col ssn -> e.ssn; col name -> e.name; col acnt -> p.acnt;
+         }
+         semantics engineer {
+           node g: Engineer; node e: Employee;
+           edge isa g e;
+           anchor g;
+           col ssn -> e.ssn; col name -> e.name; col site -> g.site;
+         })"));
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema target, AnnotatedFromText(
+      R"(schema employees_tgt;
+         table employee(eid, name, site, acnt) key(eid);)",
+      R"(cm employees_tgt_cm;
+         class Employee { eid key; name; }
+         class Engineer { site; }
+         class Programmer { acnt; }
+         isa Engineer -> Employee;
+         isa Programmer -> Employee;
+         covers Employee = Engineer, Programmer;)",
+      R"(semantics employee {
+           node e: Employee; node g: Engineer; node p: Programmer;
+           edge isa g e;
+           edge isa p e;
+           anchor e;
+           col eid -> e.eid; col name -> e.name;
+           col site -> g.site; col acnt -> p.acnt;
+         })"));
+
+  eval::Domain domain;
+  domain.name = "employee-isa-example";
+  domain.source_label = "employees_src";
+  domain.target_label = "employees_tgt";
+  domain.source_cm_label = "employee ER (leaf tables)";
+  domain.target_cm_label = "employee ER (single table)";
+  domain.source = std::move(source);
+  domain.target = std::move(target);
+
+  eval::TestCase merge;
+  merge.name = "engineer-programmer-merge";
+  merge.correspondences = {Corr("engineer.name", "employee.name"),
+                           Corr("engineer.site", "employee.site"),
+                           Corr("programmer.acnt", "employee.acnt")};
+  merge.benchmark = {Bench("engineer(s, w0, w1), programmer(s, n, w2) -> "
+                           "employee(e, w0, w1, w2)")};
+  domain.cases.push_back(std::move(merge));
+  return domain;
+}
+
+Result<eval::Domain> BuildPartOfExample() {
+  // Example 1.3: chairOf is a partOf relationship like the target's foo;
+  // deanOf is not, so the (deanOf, foo) pairing must be eliminated.
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema source, AnnotatedFromText(
+      R"(schema org_src;
+         table department(did, dname) key(did);
+         table faculty(fid, fname) key(fid);
+         table chairOf(did, fid) key(did)
+           fk (did) -> department(did)
+           fk (fid) -> faculty(fid);
+         table deanOf(did, fid) key(did)
+           fk (did) -> department(did)
+           fk (fid) -> faculty(fid);)",
+      R"(cm org_src_cm;
+         class Department { did key; dname; }
+         class Faculty { fid key; fname; }
+         rel partof chairOf Department -- Faculty fwd 1..1 inv 0..1;
+         rel deanOf Department -- Faculty fwd 1..1 inv 0..1;)",
+      R"(semantics department { node d: Department; anchor d;
+           col did -> d.did; col dname -> d.dname; }
+         semantics faculty { node f: Faculty; anchor f;
+           col fid -> f.fid; col fname -> f.fname; }
+         semantics chairOf { node d: Department; node f: Faculty;
+           edge chairOf d f; anchor d;
+           col did -> d.did; col fid -> f.fid; }
+         semantics deanOf { node d: Department; node f: Faculty;
+           edge deanOf d f; anchor d;
+           col did -> d.did; col fid -> f.fid; })"));
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema target, AnnotatedFromText(
+      R"(schema org_tgt;
+         table dept(dcode, dname) key(dcode);
+         table fac(fcode, fname) key(fcode);
+         table foo(dcode, fcode) key(dcode)
+           fk (dcode) -> dept(dcode)
+           fk (fcode) -> fac(fcode);)",
+      R"(cm org_tgt_cm;
+         class Dept { dcode key; dname; }
+         class Fac { fcode key; fname; }
+         rel partof foo Dept -- Fac fwd 1..1 inv 0..1;)",
+      R"(semantics dept { node d: Dept; anchor d;
+           col dcode -> d.dcode; col dname -> d.dname; }
+         semantics fac { node f: Fac; anchor f;
+           col fcode -> f.fcode; col fname -> f.fname; }
+         semantics foo { node d: Dept; node f: Fac;
+           edge foo d f; anchor d;
+           col dcode -> d.dcode; col fcode -> f.fcode; })"));
+
+  eval::Domain domain;
+  domain.name = "partof-example";
+  domain.source_label = "org_src";
+  domain.target_label = "org_tgt";
+  domain.source_cm_label = "org ER (chairOf/deanOf)";
+  domain.target_cm_label = "org ER (foo)";
+  domain.source = std::move(source);
+  domain.target = std::move(target);
+
+  eval::TestCase partof;
+  partof.name = "chairOf-vs-deanOf";
+  partof.correspondences = {Corr("department.dname", "dept.dname"),
+                            Corr("faculty.fname", "fac.fname")};
+  partof.benchmark = {
+      Bench("department(d, w0), chairOf(d, f), faculty(f, w1) -> "
+            "dept(d2, w0), foo(d2, f2), fac(f2, w1)")};
+  domain.cases.push_back(std::move(partof));
+  return domain;
+}
+
+Result<eval::Domain> BuildProjectExample() {
+  // Example 3.1: anchored functional trees (Cases A.1 and A.2).
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema source, AnnotatedFromText(
+      R"(schema proj_src;
+         table control(proj, dept) key(proj)
+           fk (dept) -> manage(dept);
+         table manage(dept, mgr) key(dept);)",
+      R"(cm proj_src_cm;
+         class Project { pid key; }
+         class Department { did key; }
+         class Employee { eid key; }
+         class Intern { iid key; }
+         rel controlledBy Project -- Department fwd 1..1 inv 0..*;
+         rel hasManager Department -- Employee fwd 0..1 inv 0..*;
+         rel works_on Intern -- Project fwd 1..1 inv 0..*;)",
+      R"(semantics control { node p: Project; node d: Department;
+           edge controlledBy p d; anchor p;
+           col proj -> p.pid; col dept -> d.did; }
+         semantics manage { node d: Department; node e: Employee;
+           edge hasManager d e; anchor d;
+           col dept -> d.did; col mgr -> e.eid; })"));
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema target, AnnotatedFromText(
+      R"(schema proj_tgt;
+         table proj(pnum, dept, emp) key(pnum);)",
+      R"(cm proj_tgt_cm;
+         class Proj { pnum key; }
+         class Dept { dno key; }
+         class Emp { eno key; }
+         rel inDept Proj -- Dept fwd 1..1 inv 0..*;
+         rel managedBy Dept -- Emp fwd 0..1 inv 0..*;)",
+      R"(semantics proj { node p: Proj; node d: Dept; node e: Emp;
+           edge inDept p d; edge managedBy d e; anchor p;
+           col pnum -> p.pnum; col dept -> d.dno; col emp -> e.eno; })"));
+
+  eval::Domain domain;
+  domain.name = "project-example";
+  domain.source_label = "proj_src";
+  domain.target_label = "proj_tgt";
+  domain.source_cm_label = "project ER";
+  domain.target_cm_label = "project ER (denormalized)";
+  domain.source = std::move(source);
+  domain.target = std::move(target);
+
+  eval::TestCase case_a1;
+  case_a1.name = "anchored-root-known";  // Case A.1
+  case_a1.correspondences = {Corr("control.proj", "proj.pnum"),
+                             Corr("control.dept", "proj.dept"),
+                             Corr("manage.mgr", "proj.emp")};
+  case_a1.benchmark = {
+      Bench("control(w0, w1), manage(w1, w2) -> proj(w0, w1, w2)")};
+  domain.cases.push_back(std::move(case_a1));
+
+  eval::TestCase case_a2;
+  case_a2.name = "anchored-root-unknown";  // Case A.2 (v1 missing)
+  case_a2.correspondences = {Corr("control.dept", "proj.dept"),
+                             Corr("manage.mgr", "proj.emp")};
+  case_a2.benchmark = {
+      Bench("control(p, w0), manage(w0, w1) -> proj(p2, w0, w1)")};
+  domain.cases.push_back(std::move(case_a2));
+  return domain;
+}
+
+Result<eval::Domain> BuildSalesReifiedExample() {
+  // Figure 4 / Section 3.3: a reified ternary Sell relationship with a
+  // descriptive attribute, mapped onto an equally reified Purchase.
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema source, AnnotatedFromText(
+      R"(schema sales_src;
+         table store(sid) key(sid);
+         table product(prodid) key(prodid);
+         table person(pid) key(pid);
+         table sells(sid, prodid, pid, date) key(sid, prodid, pid)
+           fk (sid) -> store(sid)
+           fk (prodid) -> product(prodid)
+           fk (pid) -> person(pid);
+         table rents(pid, prodid) key(pid, prodid)
+           fk (pid) -> person(pid)
+           fk (prodid) -> product(prodid);)",
+      R"(cm sales_src_cm;
+         class Store { sid key; }
+         class Product { prodid key; }
+         class Person { pid key; }
+         reified Sell {
+           role seller -> Store part 0..*;
+           role sold -> Product part 0..*;
+           role buyer -> Person part 0..*;
+           attr dateOfPurchase;
+         }
+         rel rents Person -- Product fwd 0..* inv 0..*;)",
+      R"(semantics store { node s: Store; anchor s; col sid -> s.sid; }
+         semantics product { node p: Product; anchor p; col prodid -> p.prodid; }
+         semantics person { node p: Person; anchor p; col pid -> p.pid; }
+         semantics sells {
+           node r: Sell; node s: Store; node p: Product; node b: Person;
+           edge seller r s; edge sold r p; edge buyer r b;
+           anchor r;
+           col sid -> s.sid; col prodid -> p.prodid; col pid -> b.pid;
+           col date -> r.dateOfPurchase;
+         }
+         semantics rents {
+           node p: Person; node q: Product;
+           edge rents p q;
+           anchor rents$0;
+           col pid -> p.pid; col prodid -> q.prodid;
+         })"));
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema target, AnnotatedFromText(
+      R"(schema sales_tgt;
+         table shop(shopid) key(shopid);
+         table item(itemid) key(itemid);
+         table customer(custid) key(custid);
+         table purchases(shopid, itemid, custid, pdate) key(shopid, itemid, custid)
+           fk (shopid) -> shop(shopid)
+           fk (itemid) -> item(itemid)
+           fk (custid) -> customer(custid);)",
+      R"(cm sales_tgt_cm;
+         class Shop { shopid key; }
+         class Item { itemid key; }
+         class Customer { custid key; }
+         reified Purchase {
+           role shop -> Shop part 0..*;
+           role item -> Item part 0..*;
+           role customer -> Customer part 0..*;
+           attr pdate;
+         })",
+      R"(semantics shop { node s: Shop; anchor s; col shopid -> s.shopid; }
+         semantics item { node i: Item; anchor i; col itemid -> i.itemid; }
+         semantics customer { node c: Customer; anchor c; col custid -> c.custid; }
+         semantics purchases {
+           node r: Purchase; node s: Shop; node i: Item; node c: Customer;
+           edge shop r s; edge item r i; edge customer r c;
+           anchor r;
+           col shopid -> s.shopid; col itemid -> i.itemid;
+           col custid -> c.custid; col pdate -> r.pdate;
+         })"));
+
+  eval::Domain domain;
+  domain.name = "sales-reified-example";
+  domain.source_label = "sales_src";
+  domain.target_label = "sales_tgt";
+  domain.source_cm_label = "sales ER (reified Sell)";
+  domain.target_cm_label = "sales ER (reified Purchase)";
+  domain.source = std::move(source);
+  domain.target = std::move(target);
+
+  eval::TestCase ternary;
+  ternary.name = "ternary-sale-to-purchase";
+  ternary.correspondences = {Corr("sells.sid", "purchases.shopid"),
+                             Corr("sells.prodid", "purchases.itemid"),
+                             Corr("sells.pid", "purchases.custid"),
+                             Corr("sells.date", "purchases.pdate")};
+  ternary.benchmark = {Bench(
+      "sells(w0, w1, w2, w3) -> purchases(w0, w1, w2, w3)")};
+  domain.cases.push_back(std::move(ternary));
+  return domain;
+}
+
+}  // namespace semap::data

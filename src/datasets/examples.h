@@ -1,0 +1,23 @@
+// The paper's motivating examples, as ready-made evaluation domains:
+//   Example 1.1 / 3.2 / 3.3 / 3.4 — bookstore (minimally lossy join)
+//   Example 1.2 — employee ISA hierarchies encoded differently
+//   Example 1.3 — partOf discrimination (chairOf vs deanOf)
+//   Example 3.1 — project management (anchored functional trees)
+//   Figure 4    — reified n-ary Sell relationship
+#ifndef SEMAP_DATASETS_EXAMPLES_H_
+#define SEMAP_DATASETS_EXAMPLES_H_
+
+#include "eval/experiment.h"
+#include "util/result.h"
+
+namespace semap::data {
+
+Result<eval::Domain> BuildBookstoreExample();
+Result<eval::Domain> BuildEmployeeIsaExample();
+Result<eval::Domain> BuildPartOfExample();
+Result<eval::Domain> BuildProjectExample();
+Result<eval::Domain> BuildSalesReifiedExample();
+
+}  // namespace semap::data
+
+#endif  // SEMAP_DATASETS_EXAMPLES_H_

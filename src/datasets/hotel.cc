@@ -1,0 +1,160 @@
+// HotelA / HotelB (Table 1 row 6): the I3CON hotel ontologies,
+// forward-engineered into relational schemas as the paper did. Small CMs
+// of equal size (7 concepts each) with different modeling choices: the
+// source splits rooms into disjoint suite/standard subclasses and reifies
+// bookings; the target keeps one Unit class carrying both fee and bed
+// attributes and adds a direct customer-property many-to-many. The
+// disjointness of Suite and Standard is what forces the unit-attributes
+// case to split into two mappings.
+#include "cm/parser.h"
+#include "datasets/builder_util.h"
+#include "datasets/domains.h"
+#include "semantics/er2rel.h"
+
+namespace semap::data {
+
+namespace {
+
+constexpr const char* kSourceCm = R"(
+cm hotelA_onto;
+class Hotel { hid key; hname; }
+class Room { rid key; rno; }
+class Suite { sfee; }
+class Standard { beds; }
+class Guest { gid key; gname; }
+class RatePlan { rpid key; rpname; }
+isa Suite -> Room;
+isa Standard -> Room;
+disjoint Suite, Standard;
+covers Room = Suite, Standard;
+rel inHotel Room -- Hotel fwd 1..1 inv 0..*;
+rel ratedAs Room -- RatePlan fwd 0..1 inv 0..*;
+reified Booking {
+  role bguest -> Guest part 0..*;
+  role broom -> Room part 0..*;
+  attr checkin;
+}
+)";
+
+constexpr const char* kTargetCm = R"(
+cm hotelB_onto;
+class Property { pid key; pname; }
+class Unit { uid key; uname; fee2; beds2; }
+class Customer { cid key; cname; }
+class Feature { fid key; fname; }
+rel unitOf Unit -- Property fwd 1..1 inv 0..*;
+rel stayedAt Customer -- Property fwd 0..* inv 0..*;
+rel hasFeature Property -- Feature fwd 0..* inv 0..*;
+reified Stay {
+  role sguest -> Customer part 0..*;
+  role sunit -> Unit part 0..*;
+  attr checkin;
+}
+)";
+
+}  // namespace
+
+Result<eval::Domain> BuildHotel() {
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel source_model,
+                         cm::ParseCm(kSourceCm));
+  sem::Er2RelOptions source_opts;
+  source_opts.merge_functional_relationships = true;
+  // HotelA's RatePlan concept has no table (6 tables, 7 CM concepts).
+  source_opts.only_classes = {"Hotel", "Room",  "Suite",  "Standard",
+                              "Guest", "Booking"};
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema source,
+                         sem::Er2Rel(source_model, "HotelA", source_opts));
+
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel target_model,
+                         cm::ParseCm(kTargetCm));
+  sem::Er2RelOptions target_opts;
+  target_opts.merge_functional_relationships = true;
+  // HotelB's Feature concept has no table (5 tables, 7 CM concepts).
+  target_opts.only_classes = {"Property", "Unit", "Customer", "Stay"};
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema target,
+                         sem::Er2Rel(target_model, "HotelB", target_opts));
+
+  eval::Domain domain;
+  domain.name = "Hotel";
+  domain.source_label = "HotelA";
+  domain.target_label = "HotelB";
+  domain.source_cm_label = "hotelA onto.";
+  domain.target_cm_label = "hotelB onto.";
+  domain.source = std::move(source);
+  domain.target = std::move(target);
+
+  // Case 1 (both): room-in-hotel against unit-of-property.
+  {
+    eval::TestCase c;
+    c.name = "room-property";
+    c.correspondences = {
+        Corr("Room.rno", "Unit.uname"),
+        Corr("Hotel.hname", "Property.pname"),
+    };
+    c.benchmark = {Bench(
+        "Room(r, w0, h), Hotel(h, w1) -> "
+        "Unit(u, w0, f2, b2, p), Property(p, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 2 (both): bookings against stays (reified to reified).
+  {
+    eval::TestCase c;
+    c.name = "booking-stay";
+    c.correspondences = {
+        Corr("Guest.gname", "Customer.cname"),
+        Corr("Room.rno", "Unit.uname"),
+        Corr("Booking.checkin", "Stay.checkin"),
+    };
+    c.benchmark = {Bench(
+        "Booking(g, r, w2), Guest(g, w0), Room(r, w1, h) -> "
+        "Stay(cu, un, w2), Customer(cu, w0), Unit(un, w1, f2, b2, p)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 3 (both): which guests stayed at which hotels.
+  {
+    eval::TestCase c;
+    c.name = "guest-hotel";
+    c.correspondences = {
+        Corr("Guest.gname", "Customer.cname"),
+        Corr("Hotel.hname", "Property.pname"),
+    };
+    c.benchmark = {Bench(
+        "Guest(g, w0), Booking(g, r, ck), Room(r, rn, h), Hotel(h, w1) -> "
+        "Customer(cu, w0), stayedAt(cu, p), Property(p, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 4 (two benchmarks): suite fees and standard-room beds both map
+  // into Unit — but Suite and Standard are disjoint, so the single
+  // three-node source tree is inconsistent and must split in two.
+  {
+    eval::TestCase c;
+    c.name = "unit-attributes";
+    c.correspondences = {
+        Corr("Room.rno", "Unit.uname"),
+        Corr("Suite.sfee", "Unit.fee2"),
+        Corr("Standard.beds", "Unit.beds2"),
+    };
+    c.benchmark = {
+        Bench("Suite(r, w1), Room(r, w0, h) -> Unit(u, w0, w1, b2, p)"),
+        Bench("Standard(r, w1), Room(r, w0, h) -> Unit(u, w0, f2, w1, p)"),
+    };
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 5 (semantic only): guests' suite stays — the chase cannot reach
+  // Suite from a Room atom (the RIC points the other way).
+  {
+    eval::TestCase c;
+    c.name = "suite-stay";
+    c.correspondences = {
+        Corr("Guest.gname", "Customer.cname"),
+        Corr("Suite.sfee", "Unit.fee2"),
+    };
+    c.benchmark = {Bench(
+        "Guest(g, w0), Booking(g, r, ck), Suite(r, w1) -> "
+        "Customer(cu, w0), Stay(cu, un, ck2), Unit(un, u2, w1, b2, p)")};
+    domain.cases.push_back(std::move(c));
+  }
+  return domain;
+}
+
+}  // namespace semap::data

@@ -1,0 +1,229 @@
+// Mondial1 / Mondial2 (Table 1 row 2): geography databases. The source
+// follows the CIA factbook ontology (52 concepts, functional relationships
+// merged into entity tables); the target is a reverse-engineered ER model
+// whose 26 concepts all materialize as tables. Modeling heterogeneity:
+// the source reifies country-continent and country-organization
+// relationships and represents capitals as a functional relationship to
+// City, while the target uses plain many-to-many tables and a capital
+// *attribute* on Nation; the source splits lakes into salt/fresh leaf
+// subclasses that the target folds into one Basin table (Example 1.2).
+#include "cm/parser.h"
+#include "datasets/builder_util.h"
+#include "datasets/domains.h"
+#include "datasets/padding.h"
+#include "semantics/er2rel.h"
+
+namespace semap::data {
+
+namespace {
+
+constexpr const char* kSourceCm = R"(
+cm factbook;
+class Country { code key; cname; area; }
+class Province { pcode key; pname; }
+class City { citycode key; cityname; population; }
+class Continent { conid key; conname; }
+class Organization { oid key; oname; }
+class Sea { seaid key; seaname; }
+class River { riverid key; rivername; }
+class Lake { lakeid key; lakename; }
+class SaltLake { salinity; }
+class FreshLake { volume; }
+class Mountain { mid key; mname; height; }
+class Desert { did key; dname; }
+class Island { isid key; isname; }
+class Language { langid key; langname; }
+class Religion { relid key; relname; }
+class EthnicGroup { egid key; egname; }
+class Government { gid key; gtype; }
+class Currency { curid key; curname; }
+class Airport { apid key; apname; }
+class Port { portid key; portname; }
+class Glacier { glid key; glname; }
+isa SaltLake -> Lake;
+isa FreshLake -> Lake;
+rel inCountry Province -- Country fwd 1..1 inv 0..*;
+rel inProvince City -- Province fwd 1..1 inv 0..*;
+rel capitalOf Country -- City fwd 0..1 inv 0..*;
+rel flowsInto River -- Sea fwd 0..1 inv 0..*;
+rel currencyOf Country -- Currency fwd 1..1 inv 0..*;
+rel governedBy Country -- Government fwd 1..1 inv 0..*;
+rel speaks Country -- Language fwd 0..* inv 0..*;
+rel practices Country -- Religion fwd 0..* inv 0..*;
+rel hasEthnic Country -- EthnicGroup fwd 0..* inv 0..*;
+rel borders Country -- Country fwd 0..* inv 0..*;
+rel flowsThrough River -- Country fwd 0..* inv 0..*;
+rel inDesert Island -- Desert fwd 0..* inv 0..*;
+rel servesCity Airport -- City fwd 0..1 inv 0..*;
+rel portOf Port -- City fwd 1..1 inv 0..*;
+rel glacierOn Glacier -- Mountain fwd 0..1 inv 0..*;
+reified Encompasses {
+  role containedCountry -> Country part 0..*;
+  role continent -> Continent part 0..*;
+  attr percentage;
+}
+reified Membership {
+  role member -> Country part 0..*;
+  role org -> Organization part 0..*;
+  attr since;
+}
+)";
+
+constexpr const char* kTargetCm = R"(
+cm mondial2_er;
+class Nation { nid key; nname; narea; capitalName; }
+class State { sid key; sname; }
+class Town { tid key; tname; tpop; }
+class Cont { contid key; contname; }
+class Org { orgid key; orgname; }
+class Tongue { tonid key; tonname; }
+class Faith { fid key; fname; }
+class Ethnic { ethid key; ethname; }
+class Peak { peakid key; peakname; }
+class Stream { strid key; strname; }
+class Basin { basid key; basname; salinity; volume; }
+class Isle { isleid key; islename; }
+class Wasteland { wid key; wname; }
+class Regime { regid key; regname; }
+class Money { monid key; monname; }
+class Census { cenid key; cenyear; }
+class Airfield { afid key; afname; }
+class Haven { havid key; havname; }
+rel stateOf State -- Nation fwd 1..1 inv 0..*;
+rel townIn Town -- State fwd 1..1 inv 0..*;
+rel regimeOf Nation -- Regime fwd 1..1 inv 0..*;
+rel moneyOf Nation -- Money fwd 1..1 inv 0..*;
+rel censusOf Census -- Nation fwd 1..1 inv 0..*;
+rel nspeaks Nation -- Tongue fwd 0..* inv 0..*;
+rel nfaith Nation -- Faith fwd 0..* inv 0..*;
+rel nborders Nation -- Nation fwd 0..* inv 0..*;
+rel onCont Nation -- Cont fwd 0..* inv 0..*;
+rel flowsAcross Stream -- Nation fwd 0..* inv 0..*;
+rel spokenOn Tongue -- Cont fwd 0..* inv 0..*;
+reified Affiliation {
+  role amember -> Nation part 0..*;
+  role agroup -> Org part 0..*;
+  attr joined;
+}
+reified IsleIn {
+  role theIsle -> Isle part 0..*;
+  role theBasin -> Basin part 0..*;
+  attr isledist;
+}
+)";
+
+}  // namespace
+
+Result<eval::Domain> BuildMondial() {
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel source_model,
+                         cm::ParseCm(kSourceCm));
+  std::set<std::string> source_core;
+  for (const cm::CmClass& cls : source_model.classes()) {
+    source_core.insert(cls.name);
+  }
+  for (const cm::ReifiedRelationship& r : source_model.reified()) {
+    source_core.insert(r.class_name);
+  }
+  // Core graph: 21 classes + 6 auto-reified m:n + 2 reified = 29 nodes;
+  // 23 peripheral factbook concepts complete the published 52.
+  SEMAP_RETURN_NOT_OK(PadCm(source_model, "FactAux", 23,
+                            {"Country", "City", "River", "Mountain"}));
+  sem::Er2RelOptions source_opts;
+  source_opts.merge_functional_relationships = true;
+  source_opts.merge_isa_into_leaves = true;  // SaltLake / FreshLake leaves
+  source_opts.only_classes = source_core;
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema source,
+                         sem::Er2Rel(source_model, "Mondial1", source_opts));
+
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel target_model,
+                         cm::ParseCm(kTargetCm));
+  sem::Er2RelOptions target_opts;
+  target_opts.merge_functional_relationships = true;
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema target,
+                         sem::Er2Rel(target_model, "Mondial2", target_opts));
+
+  eval::Domain domain;
+  domain.name = "Mondial";
+  domain.source_label = "Mondial1";
+  domain.target_label = "Mondial2";
+  domain.source_cm_label = "factbook";
+  domain.target_cm_label = "mondial2 ER";
+  domain.source = std::move(source);
+  domain.target = std::move(target);
+
+  // Case 1 (both): province-in-country against state-of-nation.
+  {
+    eval::TestCase c;
+    c.name = "province-state";
+    c.correspondences = {
+        Corr("Province.pname", "State.sname"),
+        Corr("Country.cname", "Nation.nname"),
+    };
+    c.benchmark = {Bench(
+        "Province(p, w0, c), Country(c, w1, a, cap, cur, gov) -> "
+        "State(s, w0, n), Nation(n, w1, na, capn, reg, mon)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 2 (both): the two-hop functional chain city-province-country.
+  {
+    eval::TestCase c;
+    c.name = "city-chain";
+    c.correspondences = {
+        Corr("City.cityname", "Town.tname"),
+        Corr("Country.cname", "Nation.nname"),
+    };
+    c.benchmark = {Bench(
+        "City(ct, w0, pop, p), Province(p, pn, c), "
+        "Country(c, w1, a, cap, cur, gov) -> "
+        "Town(t, w0, tp, s), State(s, sn, n), Nation(n, w1, na, capn, reg, "
+        "mon)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 3 (both): capital as functional relationship vs capital as
+  // attribute.
+  {
+    eval::TestCase c;
+    c.name = "capital";
+    c.correspondences = {
+        Corr("City.cityname", "Nation.capitalName"),
+        Corr("Country.cname", "Nation.nname"),
+    };
+    c.benchmark = {Bench(
+        "Country(c, w1, a, cap, cur, gov), City(cap, w0, pop, p) -> "
+        "Nation(n, w1, na, w0, reg, mon)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 4 (semantic only): languages spoken on a continent — the
+  // composition speaks ∘ encompasses the chase cannot assemble
+  // (Example 1.1 situation).
+  {
+    eval::TestCase c;
+    c.name = "language-continent";
+    c.correspondences = {
+        Corr("Language.langname", "Tongue.tonname"),
+        Corr("Continent.conname", "Cont.contname"),
+    };
+    c.benchmark = {Bench(
+        "Language(l, w0), speaks(c, l), Encompasses(c, k, pct), "
+        "Continent(k, w1) -> "
+        "Tongue(t, w0), spokenOn(t, k2), Cont(k2, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 5 (semantic only): salt/fresh lake leaf tables merged into the
+  // target's single Basin table via the Lake superclass (Example 1.2).
+  {
+    eval::TestCase c;
+    c.name = "lake-merge";
+    c.correspondences = {
+        Corr("SaltLake.lakename", "Basin.basname"),
+        Corr("SaltLake.salinity", "Basin.salinity"),
+        Corr("FreshLake.volume", "Basin.volume"),
+    };
+    c.benchmark = {Bench(
+        "SaltLake(l, w0, w1), FreshLake(l, n, w2) -> Basin(b, w0, w1, w2)")};
+    domain.cases.push_back(std::move(c));
+  }
+  return domain;
+}
+
+}  // namespace semap::data

@@ -1,0 +1,243 @@
+// NetworkA / NetworkB (Table 1 row 7): the I3CON network ontologies,
+// forward-engineered into relational schemas. Both sides collapse an ISA
+// hierarchy into leaf tables (device types on A, ticket types on B), both
+// mark containment relationships as partOf, and A models the
+// interface-subnet association only through VLANs — a two-hop
+// many-to-many composition the chase cannot assemble.
+#include "cm/parser.h"
+#include "datasets/builder_util.h"
+#include "datasets/domains.h"
+#include "datasets/padding.h"
+#include "semantics/er2rel.h"
+
+namespace semap::data {
+
+namespace {
+
+constexpr const char* kSourceCm = R"(
+cm networkA_onto;
+class Device { devid key; devname; }
+class Router { firmware; }
+class Switch { ports; }
+class Host { osname; }
+class Admin { admid key; aname; }
+class NetAdmin { certlevel; }
+class SysAdmin { shift; }
+class Interface { ifid key; ifname; speed; }
+class Subnet { snid key; cidr; }
+class Vlan { vlanid key; vname; }
+class Site { siteid key; sitename; }
+class Rack { rackid key; rackno; }
+class Vendor { vendid key; vendname; }
+class Circuit { cirid key; cirname; }
+isa Router -> Device;
+isa Switch -> Device;
+isa Host -> Device;
+disjoint Router, Switch, Host;
+isa NetAdmin -> Admin;
+isa SysAdmin -> Admin;
+rel partof ifOf Interface -- Device fwd 1..1 inv 0..*;
+rel mirrorsTo Interface -- Device fwd 0..1 inv 0..*;
+rel partof rackAt Rack -- Site fwd 1..1 inv 0..*;
+rel madeBy Router -- Vendor fwd 0..1 inv 0..*;
+rel provisionedOn Circuit -- Site fwd 0..1 inv 0..*;
+rel onVlan Interface -- Vlan fwd 0..* inv 0..*;
+rel snVlan Subnet -- Vlan fwd 0..* inv 0..*;
+rel peersWith Router -- Router fwd 0..* inv 0..*;
+rel adminSite Admin -- Site fwd 0..* inv 0..*;
+reified Link {
+  role endA -> Interface part 0..*;
+  role endB -> Interface part 0..*;
+  attr bandwidth;
+}
+reified Assignment {
+  role aadmin -> Admin part 0..*;
+  role adevice -> Device part 0..*;
+  attr role2;
+}
+)";
+
+constexpr const char* kTargetCm = R"(
+cm networkB_onto;
+class Node2 { ndid key; nname2; }
+class Port2 { ptid key; pname2; pspeed; }
+class Net2 { netid key; prefix2; }
+class Lan2 { lanid key; lname2; }
+class Campus { cpid key; cpname; }
+class Cabinet { cbid key; cbname; }
+class Operator { opid key; opname; opcert; opshift; }
+class Maker { mkid2 key; mkname2; }
+class Line2 { lnid key; lnname2; }
+class Ticket { tkid key; tktitle; }
+class Incident { sev; }
+class Change { risk; }
+class Ruleset { rsid key; rsname; }
+class Window2 { wnid key; wname2; }
+class Zone2 { znid key; znname; }
+isa Incident -> Ticket;
+isa Change -> Ticket;
+disjoint Incident, Change;
+rel partof portOf Port2 -- Node2 fwd 1..1 inv 0..*;
+rel portNet Port2 -- Net2 fwd 0..1 inv 0..*;
+rel partof cabinetAt Cabinet -- Campus fwd 1..1 inv 0..*;
+rel nodeCab Node2 -- Cabinet fwd 0..1 inv 0..*;
+rel madeBy2 Node2 -- Maker fwd 0..1 inv 0..*;
+rel lineAt Line2 -- Campus fwd 0..1 inv 0..*;
+rel incNode Incident -- Node2 fwd 0..1 inv 0..*;
+rel chgNode Change -- Node2 fwd 0..1 inv 0..*;
+rel zoneOf Zone2 -- Campus fwd 1..1 inv 0..*;
+rel rsFor Ruleset -- Node2 fwd 0..1 inv 0..*;
+rel winFor Window2 -- Change fwd 0..1 inv 0..*;
+rel portLan Port2 -- Lan2 fwd 0..* inv 0..*;
+rel opCampus Operator -- Campus fwd 0..* inv 0..*;
+rel nodePeers Node2 -- Node2 fwd 0..* inv 0..*;
+reified Connection {
+  role cendA -> Port2 part 0..*;
+  role cendB -> Port2 part 0..*;
+  attr cbw;
+}
+reified Assignment2 {
+  role aop -> Operator part 0..*;
+  role anode -> Node2 part 0..*;
+  attr arole;
+}
+)";
+
+}  // namespace
+
+Result<eval::Domain> BuildNetwork() {
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel source_model,
+                         cm::ParseCm(kSourceCm));
+  std::set<std::string> source_core;
+  for (const cm::CmClass& cls : source_model.classes()) {
+    source_core.insert(cls.name);
+  }
+  source_core.insert("Link");
+  source_core.insert("Assignment");
+  // Core graph: 14 classes + 4 auto-reified m:n + 2 reified = 20 nodes;
+  // 8 peripheral concepts complete the published 28.
+  SEMAP_RETURN_NOT_OK(PadCm(source_model, "NetAux", 8,
+                            {"Device", "Interface", "Site"}));
+  sem::Er2RelOptions source_opts;
+  source_opts.merge_functional_relationships = true;
+  source_opts.merge_isa_into_leaves = true;
+  source_opts.only_classes = source_core;
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema source,
+                         sem::Er2Rel(source_model, "NetworkA", source_opts));
+
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel target_model,
+                         cm::ParseCm(kTargetCm));
+  std::set<std::string> target_core;
+  for (const cm::CmClass& cls : target_model.classes()) {
+    target_core.insert(cls.name);
+  }
+  target_core.insert("Connection");
+  target_core.insert("Assignment2");
+  // Core graph: 15 classes + 3 auto-reified m:n + 2 reified = 20 nodes; 7
+  // peripheral concepts complete the published 27.
+  SEMAP_RETURN_NOT_OK(PadCm(target_model, "NetBAux", 7,
+                            {"Node2", "Port2", "Campus"}));
+  sem::Er2RelOptions target_opts;
+  target_opts.merge_functional_relationships = true;
+  target_opts.merge_isa_into_leaves = true;
+  target_opts.only_classes = target_core;
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema target,
+                         sem::Er2Rel(target_model, "NetworkB", target_opts));
+
+  eval::Domain domain;
+  domain.name = "Network";
+  domain.source_label = "NetworkA";
+  domain.target_label = "NetworkB";
+  domain.source_cm_label = "networkA onto.";
+  domain.target_cm_label = "networkB onto.";
+  domain.source = std::move(source);
+  domain.target = std::move(target);
+
+  // Case 1 (semantic only; exercises the partOf preference): interfaces
+  // of a device — ifOf is partOf like the target's portOf; the parallel
+  // mirrorsTo relationship must lose.
+  {
+    eval::TestCase c;
+    c.name = "interface-device";
+    c.correspondences = {
+        Corr("Interface.ifname", "Port2.pname2"),
+        Corr("Router.devname", "Node2.nname2"),
+    };
+    c.benchmark = {Bench(
+        "Interface(i, w0, sp, d, m), Router(d, w1, fw, vn) -> "
+        "Port2(p, w0, ps, nd, nt), Node2(nd, w1, cb, mk)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 2 (both): interface VLANs against port LANs.
+  {
+    eval::TestCase c;
+    c.name = "port-lan";
+    c.correspondences = {
+        Corr("Interface.ifname", "Port2.pname2"),
+        Corr("Vlan.vname", "Lan2.lname2"),
+    };
+    c.benchmark = {Bench(
+        "Interface(i, w0, sp, d, m), onVlan(i, v), Vlan(v, w1) -> "
+        "Port2(p, w0, ps, nd, nt), portLan(p, l), Lan2(l, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 3 (both): links against connections (reified to reified).
+  {
+    eval::TestCase c;
+    c.name = "link-connection";
+    c.correspondences = {
+        Corr("Interface.ifname", "Port2.pname2"),
+        Corr("Link.bandwidth", "Connection.cbw"),
+    };
+    c.benchmark = {Bench(
+        "Link(i, j, w1), Interface(i, w0, sp, d, m) -> "
+        "Connection(p, q, w1), Port2(p, w0, ps, nd, nt)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 4 (both): racks at sites against cabinets at campuses (partOf on
+  // both sides).
+  {
+    eval::TestCase c;
+    c.name = "rack-campus";
+    c.correspondences = {
+        Corr("Rack.rackno", "Cabinet.cbname"),
+        Corr("Site.sitename", "Campus.cpname"),
+    };
+    c.benchmark = {Bench(
+        "Rack(r, w0, s), Site(s, w1) -> Cabinet(cb, w0, cp), Campus(cp, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 5 (semantic only): merging the netadmin / sysadmin leaf tables
+  // into Operator through the Admin superclass (Example 1.2).
+  {
+    eval::TestCase c;
+    c.name = "operator-merge";
+    c.correspondences = {
+        Corr("NetAdmin.aname", "Operator.opname"),
+        Corr("NetAdmin.certlevel", "Operator.opcert"),
+        Corr("SysAdmin.shift", "Operator.opshift"),
+    };
+    c.benchmark = {Bench(
+        "NetAdmin(a, w0, w1), SysAdmin(a, n2, w2) -> "
+        "Operator(o, w0, w1, w2)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 6 (semantic only): interface-subnet exists in A only as the
+  // onVlan ∘ snVlan composition; B has the direct functional portNet.
+  {
+    eval::TestCase c;
+    c.name = "interface-subnet";
+    c.correspondences = {
+        Corr("Interface.ifname", "Port2.pname2"),
+        Corr("Subnet.cidr", "Net2.prefix2"),
+    };
+    c.benchmark = {Bench(
+        "Interface(i, w0, sp, d, m), onVlan(i, v), snVlan(sn, v), "
+        "Subnet(sn, w1) -> "
+        "Port2(p, w0, ps, nd, w1x), Net2(w1x, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  return domain;
+}
+
+}  // namespace semap::data

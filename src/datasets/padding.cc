@@ -1,0 +1,31 @@
+#include "datasets/padding.h"
+
+namespace semap::data {
+
+Status PadCm(cm::ConceptualModel& model, const std::string& prefix, int count,
+             const std::vector<std::string>& anchors) {
+  if (anchors.empty()) {
+    return Status::InvalidArgument("PadCm needs at least one anchor class");
+  }
+  for (int i = 0; i < count; ++i) {
+    cm::CmClass aux;
+    aux.name = prefix + std::to_string(i);
+    aux.attributes = {{aux.name + "_id", /*is_key=*/true},
+                      {aux.name + "_info", /*is_key=*/false}};
+    SEMAP_RETURN_NOT_OK(model.AddClass(std::move(aux)));
+    cm::CmRelationship rel;
+    rel.name = "of_" + prefix + std::to_string(i);
+    rel.from_class = prefix + std::to_string(i);
+    rel.to_class = anchors[static_cast<size_t>(i) % anchors.size()];
+    rel.forward = cm::Cardinality::ExactlyOne();
+    rel.inverse = cm::Cardinality::Any();
+    SEMAP_RETURN_NOT_OK(model.AddRelationship(std::move(rel)));
+  }
+  return Status::OK();
+}
+
+size_t CmNodeCount(const sem::AnnotatedSchema& side) {
+  return side.graph().ClassNodes().size();
+}
+
+}  // namespace semap::data

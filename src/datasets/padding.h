@@ -1,0 +1,33 @@
+// CM padding: grow a conceptual model with peripheral concepts so its
+// size matches a published ontology (e.g. the 75-concept Bibliographic
+// ontology behind DBLP1) without changing the connections among the core
+// concepts — each auxiliary class hangs off a single anchor class through
+// one functional relationship (aux -> anchor), so no new path between
+// existing classes arises and the discovery search space grows
+// realistically.
+#ifndef SEMAP_DATASETS_PADDING_H_
+#define SEMAP_DATASETS_PADDING_H_
+
+#include <string>
+#include <vector>
+
+#include "cm/model.h"
+#include "semantics/stree.h"
+#include "util/status.h"
+
+namespace semap::data {
+
+/// \brief Add `count` auxiliary classes named "<prefix>0".."<prefix>N",
+/// each with a key attribute and one functional relationship to an anchor
+/// class (rotating through `anchors`).
+Status PadCm(cm::ConceptualModel& model, const std::string& prefix, int count,
+             const std::vector<std::string>& anchors);
+
+/// \brief The paper's "#nodes in CM" metric: class nodes of the compiled
+/// CM graph (classes + reified relationships, including the auto-reified
+/// many-to-many binaries).
+size_t CmNodeCount(const sem::AnnotatedSchema& side);
+
+}  // namespace semap::data
+
+#endif  // SEMAP_DATASETS_PADDING_H_

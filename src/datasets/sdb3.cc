@@ -1,0 +1,141 @@
+// 3Sdb1 / 3Sdb2 (Table 1 row 4): two versions of a repository of data on
+// biological samples explored during gene expression analysis (Jiang et
+// al., RE'06). Version 1 models samples, donors, assays and genes with
+// functional relationships merged into entity tables plus a reified
+// sample-derivation relationship; version 2 refactors specimens and
+// studies into ISA hierarchies whose superclasses (Specimen, Study) have
+// no tables — their ISA links are invisible to RICs, which is what makes
+// the specimen-marker case semantic-only.
+#include "cm/parser.h"
+#include "datasets/builder_util.h"
+#include "datasets/domains.h"
+#include "semantics/er2rel.h"
+
+namespace semap::data {
+
+namespace {
+
+constexpr const char* kSourceCm = R"(
+cm sdb1_er;
+class Sample { sampid key; sname; }
+class Donor { donid key; dname; dage; }
+class Tissue { tisid key; tname; }
+class Assay { assid key; adate; }
+class Gene { genid key; gname; }
+class Lab { labid key; labname; }
+class Protocol { protid key; pver; }
+rel fromDonor Sample -- Donor fwd 1..1 inv 0..*;
+rel ofTissue Sample -- Tissue fwd 1..1 inv 0..*;
+rel onSample Assay -- Sample fwd 1..1 inv 0..*;
+rel runBy Assay -- Lab fwd 1..1 inv 0..*;
+rel usesProtocol Assay -- Protocol fwd 0..1 inv 0..*;
+rel measures Assay -- Gene fwd 0..* inv 0..*;
+reified Derivation {
+  role dparent -> Sample part 0..*;
+  role dchild -> Sample part 0..*;
+  attr dmethod;
+}
+)";
+
+constexpr const char* kTargetCm = R"(
+cm sdb2_er;
+class Specimen { spid key; spname; }
+class TissueSpecimen { ttype; }
+class CellSpecimen { cline; }
+class Study { stid key; sdate; }
+class InVitro { ivtemp; }
+class InVivo { dose; }
+class Subject { subid key; subname; subage; }
+class Marker { mkid key; mkname; }
+class Facility { fcid key; fcname; }
+class Method { mtid key; mtname; }
+isa TissueSpecimen -> Specimen;
+isa CellSpecimen -> Specimen;
+isa InVitro -> Study;
+isa InVivo -> Study;
+disjoint InVitro, InVivo;
+rel tFrom TissueSpecimen -- Subject fwd 1..1 inv 0..*;
+rel cFrom CellSpecimen -- Subject fwd 1..1 inv 0..*;
+rel ivOn InVitro -- TissueSpecimen fwd 1..1 inv 0..*;
+rel ivvOn InVivo -- Subject fwd 1..1 inv 0..*;
+rel ivFac InVitro -- Facility fwd 1..1 inv 0..*;
+rel ivvFac InVivo -- Facility fwd 1..1 inv 0..*;
+rel ivMeth InVitro -- Method fwd 0..1 inv 0..*;
+rel ivvMeth InVivo -- Method fwd 0..1 inv 0..*;
+rel detects Study -- Marker fwd 0..* inv 0..*;
+)";
+
+}  // namespace
+
+Result<eval::Domain> Build3Sdb() {
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel source_model,
+                         cm::ParseCm(kSourceCm));
+  sem::Er2RelOptions source_opts;
+  source_opts.merge_functional_relationships = true;
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema source,
+                         sem::Er2Rel(source_model, "3Sdb1", source_opts));
+
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel target_model,
+                         cm::ParseCm(kTargetCm));
+  sem::Er2RelOptions target_opts;
+  target_opts.merge_functional_relationships = true;
+  target_opts.merge_isa_into_leaves = true;
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema target,
+                         sem::Er2Rel(target_model, "3Sdb2", target_opts));
+
+  eval::Domain domain;
+  domain.name = "3Sdb";
+  domain.source_label = "3Sdb1";
+  domain.target_label = "3Sdb2";
+  domain.source_cm_label = "3Sdb1 ER";
+  domain.target_cm_label = "3Sdb2 ER";
+  domain.source = std::move(source);
+  domain.target = std::move(target);
+
+  // Case 1 (both): sample-with-donor against tissue-specimen-with-subject.
+  {
+    eval::TestCase c;
+    c.name = "sample-donor";
+    c.correspondences = {
+        Corr("Sample.sname", "TissueSpecimen.spname"),
+        Corr("Donor.dname", "Subject.subname"),
+    };
+    c.benchmark = {Bench(
+        "Sample(s, w0, don, tis), Donor(don, w1, age) -> "
+        "TissueSpecimen(ts, w0, tt, sub), Subject(sub, w1, sa)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 2 (semantic only): which genes/markers were measured on a
+  // specimen — on the target this runs through the Study superclass that
+  // has no table, so the ISA link is invisible to the chase.
+  {
+    eval::TestCase c;
+    c.name = "specimen-marker";
+    c.correspondences = {
+        Corr("Sample.sname", "TissueSpecimen.spname"),
+        Corr("Gene.gname", "Marker.mkname"),
+    };
+    c.benchmark = {Bench(
+        "Sample(s, w0, don, tis), Assay(a, ad, s, lab, prot), "
+        "measures(a, g), Gene(g, w1) -> "
+        "TissueSpecimen(ts, w0, tt, sub), InVitro(st, sd, temp, ts, fc, mt), "
+        "detects(st, mk), Marker(mk, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 3 (both): assay facility against in-vitro study facility.
+  {
+    eval::TestCase c;
+    c.name = "assay-facility";
+    c.correspondences = {
+        Corr("Assay.adate", "InVitro.sdate"),
+        Corr("Lab.labname", "Facility.fcname"),
+    };
+    c.benchmark = {Bench(
+        "Assay(a, w0, s, lab, prot), Lab(lab, w1) -> "
+        "InVitro(st, w0, temp, ts, fc, mt), Facility(fc, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  return domain;
+}
+
+}  // namespace semap::data

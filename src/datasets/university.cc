@@ -1,0 +1,139 @@
+// UTCS / UTDB (Table 1 row 5): the University of Toronto CS department
+// and DB group databases, whose semantics the authors had recovered
+// against the large KA ontology (105 concepts) and a CS-department
+// ontology (62 concepts) in their earlier semantics-discovery work. Both
+// CMs dwarf their schemas: only a handful of concepts carry tables. The
+// source's Person hierarchy lives entirely above the prof/grad leaf
+// tables (no superclass table, no RICs) — the classic Example 1.2 setup.
+#include "cm/parser.h"
+#include "datasets/builder_util.h"
+#include "datasets/domains.h"
+#include "datasets/padding.h"
+#include "semantics/er2rel.h"
+
+namespace semap::data {
+
+namespace {
+
+constexpr const char* kSourceCm = R"(
+cm ka_ontology;
+class Person3 { perid key; pername; }
+class FacultyMember;
+class Student3;
+class Prof { pftitle; }
+class Grad { gryear; }
+class Course { crsid key; crsname; }
+class Paper { papid key; paptitle; }
+class Proj { prjid key; prjname; }
+class Dept { dpid key; dpname; }
+isa FacultyMember -> Person3;
+isa Student3 -> Person3;
+isa Prof -> FacultyMember;
+isa Grad -> Student3;
+rel inDept Prof -- Dept fwd 1..1 inv 0..*;
+rel leads Prof -- Proj fwd 0..1 inv 0..*;
+rel worksOn Grad -- Proj fwd 0..* inv 0..*;
+rel writesPaper Prof -- Paper fwd 0..* inv 1..*;
+)";
+
+constexpr const char* kTargetCm = R"(
+cm csdept_ontology;
+class Member { mid key; mname; mtitle; myear; }
+class Publication2 { pbid key; pbtitle; }
+class Project2 { pjid key; pjname; }
+class Seminar { smid key; smtopic; }
+class Sponsor { spnid key; spnname; }
+class Area2 { aid2 key; aname2; }
+class Visitor { vid2 key; vname2; }
+class Machine { mcid key; mcname; }
+class Grant { gid2 key; gname2; }
+rel memberProj Member -- Project2 fwd 0..* inv 0..*;
+rel pubProj Publication2 -- Project2 fwd 0..* inv 0..*;
+rel attendsSem Member -- Seminar fwd 0..* inv 0..*;
+reified Authorship {
+  role author -> Member part 0..*;
+  role pub -> Publication2 part 0..*;
+  attr authorOrder;
+}
+)";
+
+}  // namespace
+
+Result<eval::Domain> BuildUniversity() {
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel source_model,
+                         cm::ParseCm(kSourceCm));
+  // Only the leaf/plain concepts carry tables: prof, grad, course, paper,
+  // proj, dept, plus the two many-to-many link tables = 8 (the KA
+  // hierarchy above prof/grad stays conceptual).
+  std::set<std::string> source_core = {"Person3", "FacultyMember", "Student3",
+                                       "Prof",    "Grad",          "Course",
+                                       "Paper",   "Proj",          "Dept"};
+  // Core graph: 9 classes + 2 auto-reified m:n = 11 nodes; 94 peripheral
+  // KA concepts complete the published 105.
+  SEMAP_RETURN_NOT_OK(PadCm(source_model, "KaAux", 94,
+                            {"Person3", "Paper", "Proj", "Course", "Dept"}));
+  sem::Er2RelOptions source_opts;
+  source_opts.merge_functional_relationships = true;
+  source_opts.merge_isa_into_leaves = true;
+  source_opts.only_classes = source_core;
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema source,
+                         sem::Er2Rel(source_model, "UTCS", source_opts));
+
+  SEMAP_ASSIGN_OR_RETURN(cm::ConceptualModel target_model,
+                         cm::ParseCm(kTargetCm));
+  std::set<std::string> target_core;
+  for (const cm::CmClass& cls : target_model.classes()) {
+    target_core.insert(cls.name);
+  }
+  target_core.insert("Authorship");
+  // Core graph: 9 classes + 3 auto-reified m:n + 1 reified = 13 nodes; 49
+  // peripheral CS-department concepts complete the published 62.
+  SEMAP_RETURN_NOT_OK(PadCm(target_model, "CsAux", 49,
+                            {"Member", "Publication2", "Project2"}));
+  sem::Er2RelOptions target_opts;
+  target_opts.merge_functional_relationships = true;
+  target_opts.only_classes = target_core;
+  SEMAP_ASSIGN_OR_RETURN(sem::AnnotatedSchema target,
+                         sem::Er2Rel(target_model, "UTDB", target_opts));
+
+  eval::Domain domain;
+  domain.name = "University";
+  domain.source_label = "UTCS";
+  domain.target_label = "UTDB";
+  domain.source_cm_label = "KA onto.";
+  domain.target_cm_label = "CS dept. onto.";
+  domain.source = std::move(source);
+  domain.target = std::move(target);
+
+  // Case 1 (both): grad students on projects against members of projects.
+  {
+    eval::TestCase c;
+    c.name = "member-project";
+    c.correspondences = {
+        Corr("Grad.pername", "Member.mname"),
+        Corr("Proj.prjname", "Project2.pjname"),
+    };
+    c.benchmark = {Bench(
+        "Grad(g, w0, yr), worksOn(g, pj), Proj(pj, w1) -> "
+        "Member(m, w0, t2, y2), memberProj(m, p2), Project2(p2, w1)")};
+    domain.cases.push_back(std::move(c));
+  }
+  // Case 2 (semantic only): merging prof and grad leaf tables into the
+  // target's single Member table through the KA Person hierarchy —
+  // invisible to RICs (Example 1.2).
+  {
+    eval::TestCase c;
+    c.name = "member-merge";
+    c.correspondences = {
+        Corr("Prof.pername", "Member.mname"),
+        Corr("Prof.pftitle", "Member.mtitle"),
+        Corr("Grad.gryear", "Member.myear"),
+    };
+    c.benchmark = {Bench(
+        "Prof(p, w0, w1, d, pj), Grad(p, n2, w2) -> Member(m, w0, w1, w2)")};
+    domain.cases.push_back(std::move(c));
+  }
+  return domain;
+}
+
+}  // namespace semap::data

@@ -1,0 +1,225 @@
+#include "discovery/cm_mapper.h"
+
+#include <algorithm>
+#include <map>
+
+#include "discovery/cost_model.h"
+#include "discovery/tree_search.h"
+#include "semantics/encoder.h"
+
+namespace semap::disc {
+
+namespace {
+
+struct LiftedCmCorrespondence {
+  int source_node = -1;
+  int target_node = -1;
+  std::string source_attribute;
+  std::string target_attribute;
+};
+
+Result<std::vector<LiftedCmCorrespondence>> Lift(
+    const cm::CmGraph& source, const cm::CmGraph& target,
+    const std::vector<CmCorrespondence>& correspondences) {
+  std::vector<LiftedCmCorrespondence> out;
+  for (const CmCorrespondence& corr : correspondences) {
+    LiftedCmCorrespondence lifted;
+    lifted.source_node = source.FindClassNode(corr.source_class);
+    lifted.target_node = target.FindClassNode(corr.target_class);
+    if (lifted.source_node < 0) {
+      return Status::NotFound("unknown source class '" + corr.source_class +
+                              "'");
+    }
+    if (lifted.target_node < 0) {
+      return Status::NotFound("unknown target class '" + corr.target_class +
+                              "'");
+    }
+    if (source.FindAttributeNode(corr.source_class, corr.source_attribute) <
+        0) {
+      return Status::NotFound("unknown attribute " + corr.source_class + "." +
+                              corr.source_attribute);
+    }
+    if (target.FindAttributeNode(corr.target_class, corr.target_attribute) <
+        0) {
+      return Status::NotFound("unknown attribute " + corr.target_class + "." +
+                              corr.target_attribute);
+    }
+    lifted.source_attribute = corr.source_attribute;
+    lifted.target_attribute = corr.target_attribute;
+    out.push_back(std::move(lifted));
+  }
+  return out;
+}
+
+std::vector<Csg> FindTrees(const cm::CmGraph& graph, const CostModel& costs,
+                           const std::vector<int>& marked,
+                           const DiscoveryOptions& options) {
+  TreeSearchOptions opts;
+  opts.use_isa = options.use_isa;
+  opts.max_results = options.max_trees_per_side;
+  opts.functional_only = true;
+  std::vector<Csg> trees = MinimalTrees(graph, costs, marked, opts);
+  if (trees.empty() && options.allow_lossy) {
+    opts.functional_only = false;
+    trees = MinimalTrees(graph, costs, marked, opts);
+  }
+  if (options.use_disjointness_filter) {
+    std::erase_if(trees, [&](const Csg& c) {
+      return HasDisjointnessViolation(graph, c);
+    });
+  }
+  return trees;
+}
+
+Result<logic::ConjunctiveQuery> EncodeSide(
+    const cm::CmGraph& graph, const Csg& csg,
+    const std::vector<LiftedCmCorrespondence>& lifted,
+    const std::vector<size_t>& covered, bool source_side) {
+  sem::Fragment fragment = csg.fragment;
+  std::vector<std::string> head_vars;
+  for (size_t k = 0; k < covered.size(); ++k) {
+    const LiftedCmCorrespondence& lc = lifted[covered[k]];
+    int node_idx = csg.FindNodeIndex(source_side ? lc.source_node
+                                                 : lc.target_node);
+    if (node_idx < 0) {
+      return Status::Internal("covered node missing from CSG");
+    }
+    std::string var = "v" + std::to_string(k);
+    fragment.attrs.push_back(
+        {node_idx,
+         source_side ? lc.source_attribute : lc.target_attribute, var});
+    head_vars.push_back(std::move(var));
+  }
+  return sem::EncodeFragment(graph, fragment, head_vars);
+}
+
+}  // namespace
+
+Result<std::vector<CmMappingCandidate>> DiscoverCmMappings(
+    const cm::CmGraph& source, const cm::CmGraph& target,
+    const std::vector<CmCorrespondence>& correspondences,
+    const DiscoveryOptions& options) {
+  if (correspondences.empty()) {
+    return Status::InvalidArgument("no correspondences given");
+  }
+  SEMAP_ASSIGN_OR_RETURN(std::vector<LiftedCmCorrespondence> lifted,
+                         Lift(source, target, correspondences));
+
+  // No tables -> no pre-selected s-tree edges on either side.
+  CostModel source_costs(source, {});
+  CostModel target_costs(target, {});
+
+  std::set<int> target_marked_set;
+  for (const auto& lc : lifted) target_marked_set.insert(lc.target_node);
+  std::vector<int> target_marked(target_marked_set.begin(),
+                                 target_marked_set.end());
+  std::vector<Csg> target_trees =
+      FindTrees(target, target_costs, target_marked, options);
+
+  std::vector<CmMappingCandidate> candidates;
+  for (Csg& target_csg : target_trees) {
+    std::set<int> tgt_nodes = target_csg.GraphNodeSet();
+    std::set<int> source_marked_set;
+    for (const auto& lc : lifted) {
+      if (tgt_nodes.count(lc.target_node) > 0) {
+        source_marked_set.insert(lc.source_node);
+      }
+    }
+    if (source_marked_set.empty()) continue;
+    std::vector<int> source_marked(source_marked_set.begin(),
+                                   source_marked_set.end());
+    std::vector<Csg> source_trees =
+        FindTrees(source, source_costs, source_marked, options);
+
+    for (Csg& source_csg : source_trees) {
+      CmMappingCandidate cand;
+      cand.source_csg = source_csg;
+      cand.target_csg = target_csg;
+      std::set<int> src_nodes = cand.source_csg.GraphNodeSet();
+      for (size_t i = 0; i < lifted.size(); ++i) {
+        if (src_nodes.count(lifted[i].source_node) > 0 &&
+            tgt_nodes.count(lifted[i].target_node) > 0) {
+          cand.covered.push_back(i);
+        }
+      }
+      if (cand.covered.empty()) continue;
+      if (options.use_semantic_type_filter) {
+        bool incompatible = false;
+        for (size_t a = 0; a < cand.covered.size() && !incompatible; ++a) {
+          for (size_t b = a + 1; b < cand.covered.size(); ++b) {
+            const auto& la = lifted[cand.covered[a]];
+            const auto& lb = lifted[cand.covered[b]];
+            Connection src_conn = TreeConnection(
+                source, cand.source_csg,
+                cand.source_csg.FindNodeIndex(la.source_node),
+                cand.source_csg.FindNodeIndex(lb.source_node));
+            Connection tgt_conn = TreeConnection(
+                target, cand.target_csg,
+                cand.target_csg.FindNodeIndex(la.target_node),
+                cand.target_csg.FindNodeIndex(lb.target_node));
+            auto identified = [&](const LiftedCmCorrespondence& lc) {
+              int attr = target.FindAttributeNode(
+                  target.node(lc.target_node).name, lc.target_attribute);
+              return attr >= 0 && target.node(attr).is_key_attribute;
+            };
+            switch (JudgeConnections(src_conn, tgt_conn, identified(la),
+                                     identified(lb))) {
+              case Compat::kIncompatible:
+                incompatible = true;
+                break;
+              case Compat::kDowngrade:
+                ++cand.penalty;
+                break;
+              case Compat::kCompatible:
+                break;
+            }
+            if (incompatible) break;
+          }
+        }
+        if (incompatible) continue;
+      }
+      SEMAP_ASSIGN_OR_RETURN(
+          cand.source_query,
+          EncodeSide(source, cand.source_csg, lifted, cand.covered,
+                     /*source_side=*/true));
+      SEMAP_ASSIGN_OR_RETURN(
+          cand.target_query,
+          EncodeSide(target, cand.target_csg, lifted, cand.covered,
+                     /*source_side=*/false));
+      candidates.push_back(std::move(cand));
+    }
+  }
+
+  // Keep, per covered set, the least-penalized candidates; sort best first.
+  std::map<std::string, int> best_penalty;
+  auto key_of = [](const CmMappingCandidate& c) {
+    std::string key;
+    for (size_t i : c.covered) key += std::to_string(i) + ",";
+    return key;
+  };
+  for (const CmMappingCandidate& c : candidates) {
+    auto it = best_penalty.find(key_of(c));
+    if (it == best_penalty.end() || c.penalty < it->second) {
+      best_penalty[key_of(c)] = c.penalty;
+    }
+  }
+  std::erase_if(candidates, [&](const CmMappingCandidate& c) {
+    return c.penalty > best_penalty[key_of(c)];
+  });
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const CmMappingCandidate& a,
+                      const CmMappingCandidate& b) {
+                     if (a.covered.size() != b.covered.size()) {
+                       return a.covered.size() > b.covered.size();
+                     }
+                     if (a.penalty != b.penalty) return a.penalty < b.penalty;
+                     return a.source_csg.cost + a.target_csg.cost <
+                            b.source_csg.cost + b.target_csg.cost;
+                   });
+  if (candidates.size() > options.max_candidates) {
+    candidates.resize(options.max_candidates);
+  }
+  return candidates;
+}
+
+}  // namespace semap::disc

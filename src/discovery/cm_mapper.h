@@ -1,0 +1,58 @@
+// CM-to-CM mapping discovery — the paper's closing direction: "we also
+// plan to investigate the related problem of finding complex semantic
+// mappings between two CMs/ontologies, given a set of element
+// correspondences."
+//
+// Given two conceptual models (no relational schemas, no s-trees) and
+// attribute-level correspondences, discover pairs of semantically similar
+// conceptual subgraphs and return them together with their CM-level
+// conjunctive queries. This reuses the Steiner search and compatibility
+// machinery of the schema-mapping discoverer; without tables there are no
+// pre-selected s-trees, so both sides run the Case-B construction.
+#ifndef SEMAP_DISCOVERY_CM_MAPPER_H_
+#define SEMAP_DISCOVERY_CM_MAPPER_H_
+
+#include <string>
+#include <vector>
+
+#include "discovery/compat.h"
+#include "discovery/discoverer.h"
+#include "logic/cq.h"
+#include "util/result.h"
+
+namespace semap::disc {
+
+/// \brief An attribute-level correspondence between two CMs.
+struct CmCorrespondence {
+  std::string source_class;
+  std::string source_attribute;
+  std::string target_class;
+  std::string target_attribute;
+
+  std::string ToString() const {
+    return source_class + "." + source_attribute + " <-> " + target_class +
+           "." + target_attribute;
+  }
+};
+
+/// \brief A discovered CM-level mapping: two similar CSGs plus their
+/// conjunctive-query encodings (head variables v0.. follow the covered
+/// correspondence order).
+struct CmMappingCandidate {
+  Csg source_csg;
+  Csg target_csg;
+  std::vector<size_t> covered;  // indices into the input correspondences
+  int penalty = 0;
+  logic::ConjunctiveQuery source_query;
+  logic::ConjunctiveQuery target_query;
+};
+
+/// \brief Discover CM-to-CM mapping candidates, best first.
+Result<std::vector<CmMappingCandidate>> DiscoverCmMappings(
+    const cm::CmGraph& source, const cm::CmGraph& target,
+    const std::vector<CmCorrespondence>& correspondences,
+    const DiscoveryOptions& options = {});
+
+}  // namespace semap::disc
+
+#endif  // SEMAP_DISCOVERY_CM_MAPPER_H_

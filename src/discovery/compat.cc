@@ -1,0 +1,185 @@
+#include "discovery/compat.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace semap::disc {
+
+namespace {
+
+/// Undirected adjacency over fragment nodes; each entry is (neighbor,
+/// graph-edge id traversed in that direction).
+std::vector<std::vector<std::pair<int, int>>> FragmentAdjacency(
+    const cm::CmGraph& graph, const Csg& csg) {
+  std::vector<std::vector<std::pair<int, int>>> adj(csg.fragment.nodes.size());
+  for (const sem::Fragment::Edge& e : csg.fragment.edges) {
+    adj[static_cast<size_t>(e.from)].push_back({e.to, e.graph_edge});
+    int partner = graph.edge(e.graph_edge).partner;
+    if (partner >= 0) {
+      adj[static_cast<size_t>(e.to)].push_back({e.from, partner});
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+Connection TreeConnection(const cm::CmGraph& graph, const Csg& csg, int a_idx,
+                          int b_idx) {
+  Connection out;
+  if (a_idx < 0 || b_idx < 0) return out;
+  if (a_idx == b_idx) {
+    out.exists = true;
+    out.forward = cm::Cardinality::ExactlyOne();
+    out.backward = cm::Cardinality::ExactlyOne();
+    out.all_partof = false;
+    return out;
+  }
+  auto adj = FragmentAdjacency(graph, csg);
+  // BFS for the unique path a -> b.
+  std::vector<int> prev_node(csg.fragment.nodes.size(), -1);
+  std::vector<int> prev_edge(csg.fragment.nodes.size(), -1);
+  std::vector<bool> visited(csg.fragment.nodes.size(), false);
+  std::queue<int> queue;
+  queue.push(a_idx);
+  visited[static_cast<size_t>(a_idx)] = true;
+  while (!queue.empty()) {
+    int cur = queue.front();
+    queue.pop();
+    if (cur == b_idx) break;
+    for (auto [next, eid] : adj[static_cast<size_t>(cur)]) {
+      if (visited[static_cast<size_t>(next)]) continue;
+      visited[static_cast<size_t>(next)] = true;
+      prev_node[static_cast<size_t>(next)] = cur;
+      prev_edge[static_cast<size_t>(next)] = eid;
+      queue.push(next);
+    }
+  }
+  if (!visited[static_cast<size_t>(b_idx)]) return out;
+
+  // Reconstruct the path b <- a and compose cardinalities both ways.
+  std::vector<const cm::GraphEdge*> forward_path;
+  int cur = b_idx;
+  while (cur != a_idx) {
+    forward_path.push_back(&graph.edge(prev_edge[static_cast<size_t>(cur)]));
+    cur = prev_node[static_cast<size_t>(cur)];
+  }
+  std::reverse(forward_path.begin(), forward_path.end());
+  std::vector<const cm::GraphEdge*> backward_path;
+  for (auto it = forward_path.rbegin(); it != forward_path.rend(); ++it) {
+    const cm::GraphEdge* e = *it;
+    backward_path.push_back(e->partner >= 0 ? &graph.edge(e->partner) : e);
+  }
+
+  out.exists = true;
+  out.forward = cm::CmGraph::ComposePath(forward_path);
+  out.backward = cm::CmGraph::ComposePath(backward_path);
+  out.all_partof = true;
+  out.steps = 0;
+  for (const cm::GraphEdge* e : forward_path) {
+    if (e->kind != cm::EdgeKind::kIsa) {
+      out.has_non_isa = true;
+      if (e->semantic_type != cm::SemanticType::kPartOf) {
+        out.all_partof = false;
+      }
+    }
+    out.steps += (e->kind == cm::EdgeKind::kRole) ? 1 : 2;
+  }
+  if (!out.has_non_isa) out.all_partof = false;
+  return out;
+}
+
+bool HasDisjointnessViolation(const cm::CmGraph& graph, const Csg& csg) {
+  // For every fragment node acting as a superclass, collect the subclass
+  // fragment nodes attached to it by ISA edges; any disjoint pair means the
+  // tree asserts membership in two disjoint classes for one instance.
+  const size_t n = csg.fragment.nodes.size();
+  std::vector<std::vector<int>> subs_of(n);
+  for (const sem::Fragment::Edge& e : csg.fragment.edges) {
+    const cm::GraphEdge& ge = graph.edge(e.graph_edge);
+    if (ge.kind != cm::EdgeKind::kIsa) continue;
+    // The ISA relation runs sub -> super on the non-inverted edge.
+    int sub_idx = ge.inverted ? e.to : e.from;
+    int super_idx = ge.inverted ? e.from : e.to;
+    subs_of[static_cast<size_t>(super_idx)].push_back(sub_idx);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<int>& subs = subs_of[i];
+    for (size_t a = 0; a < subs.size(); ++a) {
+      for (size_t b = a + 1; b < subs.size(); ++b) {
+        int na = csg.fragment.nodes[static_cast<size_t>(subs[a])].graph_node;
+        int nb = csg.fragment.nodes[static_cast<size_t>(subs[b])].graph_node;
+        if (graph.AreDisjoint(na, nb)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+Compat JudgeConnections(const Connection& source, const Connection& target,
+                        bool a_identified, bool b_identified) {
+  if (!source.exists || !target.exists) return Compat::kCompatible;
+  // A non-functional source connection out of an *identified* endpoint
+  // would attach several distinct instances to one target instance,
+  // violating the target's functional constraint (Example 1.1's
+  // hypothetical upper bound of 1 on hasBookSoldAt).
+  if (a_identified && target.forward.IsFunctional() &&
+      !source.forward.IsFunctional()) {
+    return Compat::kIncompatible;
+  }
+  if (b_identified && target.backward.IsFunctional() &&
+      !source.backward.IsFunctional()) {
+    return Compat::kIncompatible;
+  }
+  // partOf vs non-partOf pairings are suspicious (Example 1.3). Pure-ISA
+  // connections carry no relationship semantics to compare.
+  if (source.has_non_isa && target.has_non_isa &&
+      source.all_partof != target.all_partof) {
+    return Compat::kDowngrade;
+  }
+  return Compat::kCompatible;
+}
+
+Csg CsgFromSTree(const cm::CmGraph& graph, const sem::STree& stree) {
+  Csg csg;
+  for (const sem::STreeNode& n : stree.nodes) {
+    csg.fragment.nodes.push_back({n.graph_node});
+  }
+  for (const sem::STreeEdge& e : stree.edges) {
+    csg.fragment.edges.push_back({e.from, e.to, e.graph_edge});
+    if (!graph.edge(e.graph_edge).IsFunctional()) ++csg.lossy_edges;
+  }
+  if (stree.anchor.has_value()) {
+    csg.root = *stree.anchor;
+    return csg;
+  }
+  // Derive a root: a node from which every tree path runs functionally.
+  auto adj = FragmentAdjacency(graph, csg);
+  for (size_t r = 0; r < csg.fragment.nodes.size(); ++r) {
+    bool ok = true;
+    std::vector<bool> visited(csg.fragment.nodes.size(), false);
+    std::vector<int> stack = {static_cast<int>(r)};
+    visited[r] = true;
+    while (!stack.empty() && ok) {
+      int cur = stack.back();
+      stack.pop_back();
+      for (auto [next, eid] : adj[static_cast<size_t>(cur)]) {
+        if (visited[static_cast<size_t>(next)]) continue;
+        if (!graph.edge(eid).IsFunctional()) {
+          ok = false;
+          break;
+        }
+        visited[static_cast<size_t>(next)] = true;
+        stack.push_back(next);
+      }
+    }
+    if (ok && std::all_of(visited.begin(), visited.end(),
+                          [](bool v) { return v; })) {
+      csg.root = static_cast<int>(r);
+      break;
+    }
+  }
+  return csg;
+}
+
+}  // namespace semap::disc

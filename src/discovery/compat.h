@@ -1,0 +1,62 @@
+// Semantic-similarity judgements between connections, plus the
+// consistency filters of Section 3.2/3.3:
+//  * composed cardinality of the unique tree path between two nodes;
+//  * disjointness filter (a tree implying membership in two disjoint
+//    classes is unsatisfiable);
+//  * compatibility of a source connection with a target connection by
+//    cardinality and by semantic type (partOf vs non-partOf).
+#ifndef SEMAP_DISCOVERY_COMPAT_H_
+#define SEMAP_DISCOVERY_COMPAT_H_
+
+#include <optional>
+
+#include "discovery/csg.h"
+#include "semantics/stree.h"
+
+namespace semap::disc {
+
+/// \brief The semantics of the unique path between two nodes of a tree CSG.
+struct Connection {
+  bool exists = false;
+  cm::Cardinality forward;   // composed a -> b
+  cm::Cardinality backward;  // composed b -> a
+  bool all_partof = false;   // every non-ISA step carries the partOf tag
+  bool has_non_isa = false;  // the path has at least one non-ISA step
+  int steps = 0;             // edges on the path (roles count as halves, x2)
+};
+
+/// \brief Path semantics between fragment nodes `a_idx` and `b_idx` of a
+/// tree-shaped CSG (edges usable in both directions; inverse cardinalities
+/// come from partner edges).
+Connection TreeConnection(const cm::CmGraph& graph, const Csg& csg, int a_idx,
+                          int b_idx);
+
+/// \brief True when the CSG contains C -isa-> P -isa⁻-> D with C and D
+/// disjoint: such a query is equivalent to false and must be eliminated.
+bool HasDisjointnessViolation(const cm::CmGraph& graph, const Csg& csg);
+
+enum class Compat {
+  kCompatible,
+  kDowngrade,     // suspicious (e.g. partOf paired with non-partOf)
+  kIncompatible,  // e.g. many-to-many source into a functional target
+};
+
+/// \brief Judge whether a source connection may realize a target
+/// connection. Source data flows into the target, so a source connection
+/// that is many-to-many cannot populate a target connection constrained to
+/// be functional — but only when the endpoint being multiplied is
+/// *identified* by its corresponded attribute (`a_identified` /
+/// `b_identified`: the exported attribute is a key of the target class):
+/// unidentified endpoints are fresh existentials and can never collide.
+/// Differing partOf semantics merely downgrades (Example 1.3).
+Compat JudgeConnections(const Connection& source, const Connection& target,
+                        bool a_identified = true, bool b_identified = true);
+
+/// \brief Convert a table's s-tree into a CSG. The root is the declared
+/// anchor; absent one, a node from which every tree path runs functionally
+/// (if any).
+Csg CsgFromSTree(const cm::CmGraph& graph, const sem::STree& stree);
+
+}  // namespace semap::disc
+
+#endif  // SEMAP_DISCOVERY_COMPAT_H_

@@ -1,0 +1,83 @@
+#include "discovery/correspondence.h"
+
+#include "util/lexer.h"
+
+namespace semap::disc {
+
+Result<std::vector<LiftedCorrespondence>> LiftCorrespondences(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<Correspondence>& correspondences) {
+  std::vector<LiftedCorrespondence> out;
+  out.reserve(correspondences.size());
+  for (const Correspondence& corr : correspondences) {
+    auto src = source.AttributeForColumn(corr.source);
+    if (!src.has_value()) {
+      return Status::NotFound("no semantics for source column " +
+                              corr.source.ToString());
+    }
+    auto tgt = target.AttributeForColumn(corr.target);
+    if (!tgt.has_value()) {
+      return Status::NotFound("no semantics for target column " +
+                              corr.target.ToString());
+    }
+    LiftedCorrespondence lifted;
+    lifted.corr = corr;
+    lifted.source_node = src->first;
+    lifted.source_attribute = src->second;
+    lifted.target_node = tgt->first;
+    lifted.target_attribute = tgt->second;
+    out.push_back(std::move(lifted));
+  }
+  return out;
+}
+
+std::map<int, std::vector<size_t>> MarkedNodes(
+    const std::vector<LiftedCorrespondence>& lifted, bool source_side) {
+  std::map<int, std::vector<size_t>> out;
+  for (size_t i = 0; i < lifted.size(); ++i) {
+    int node = source_side ? lifted[i].source_node : lifted[i].target_node;
+    out[node].push_back(i);
+  }
+  return out;
+}
+
+bool NodesCorrespond(const std::vector<LiftedCorrespondence>& lifted,
+                     int source_node, int target_node) {
+  for (const LiftedCorrespondence& lc : lifted) {
+    if (lc.source_node == source_node && lc.target_node == target_node) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::set<std::string> PreSelectedTables(
+    const std::vector<Correspondence>& correspondences, bool source_side) {
+  std::set<std::string> out;
+  for (const Correspondence& corr : correspondences) {
+    out.insert(source_side ? corr.source.table : corr.target.table);
+  }
+  return out;
+}
+
+Result<std::vector<Correspondence>> ParseCorrespondences(
+    std::string_view input) {
+  SEMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  TokenCursor cur(std::move(tokens));
+  std::vector<Correspondence> out;
+  while (!cur.AtEnd()) {
+    Correspondence corr;
+    SEMAP_ASSIGN_OR_RETURN(corr.source.table, cur.ExpectIdentifier());
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct("."));
+    SEMAP_ASSIGN_OR_RETURN(corr.source.column, cur.ExpectIdentifier());
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct("<->"));
+    SEMAP_ASSIGN_OR_RETURN(corr.target.table, cur.ExpectIdentifier());
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct("."));
+    SEMAP_ASSIGN_OR_RETURN(corr.target.column, cur.ExpectIdentifier());
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+    out.push_back(std::move(corr));
+  }
+  return out;
+}
+
+}  // namespace semap::disc

@@ -1,0 +1,66 @@
+// Element correspondences: the simple column-to-column matches the whole
+// pipeline starts from, and their lifting onto CM-graph class nodes.
+#ifndef SEMAP_DISCOVERY_CORRESPONDENCE_H_
+#define SEMAP_DISCOVERY_CORRESPONDENCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "semantics/stree.h"
+#include "util/result.h"
+
+namespace semap::disc {
+
+/// \brief v: source.table.column <-> target.table.column.
+struct Correspondence {
+  rel::ColumnRef source;
+  rel::ColumnRef target;
+
+  std::string ToString() const {
+    return source.ToString() + " <-> " + target.ToString();
+  }
+  bool operator==(const Correspondence&) const = default;
+};
+
+/// \brief A correspondence lifted to the conceptual level: the class nodes
+/// (and attributes) its two columns are bound to by the table semantics.
+struct LiftedCorrespondence {
+  Correspondence corr;
+  int source_node = -1;  // class node in the source CM graph
+  std::string source_attribute;
+  int target_node = -1;  // class node in the target CM graph
+  std::string target_attribute;
+};
+
+/// \brief Lift all correspondences via the table semantics. Fails when a
+/// corresponded column has no semantics (unknown table / unbound column).
+Result<std::vector<LiftedCorrespondence>> LiftCorrespondences(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<Correspondence>& correspondences);
+
+/// \brief Marked class nodes on one side: node -> indices of lifted
+/// correspondences touching it.
+std::map<int, std::vector<size_t>> MarkedNodes(
+    const std::vector<LiftedCorrespondence>& lifted, bool source_side);
+
+/// \brief Node-level correspondence: true when some lifted correspondence
+/// pairs `source_node` with `target_node`.
+bool NodesCorrespond(const std::vector<LiftedCorrespondence>& lifted,
+                     int source_node, int target_node);
+
+/// \brief Tables mentioned by the correspondences on one side; their
+/// s-trees are the paper's "pre-selected s-trees".
+std::set<std::string> PreSelectedTables(
+    const std::vector<Correspondence>& correspondences, bool source_side);
+
+/// \brief Parse a correspondence file: one `src_table.col <-> tgt_table.col;`
+/// per statement, '#'//'//' comments allowed.
+Result<std::vector<Correspondence>> ParseCorrespondences(
+    std::string_view input);
+
+}  // namespace semap::disc
+
+#endif  // SEMAP_DISCOVERY_CORRESPONDENCE_H_

@@ -1,0 +1,34 @@
+#include "discovery/cost_model.h"
+
+namespace semap::disc {
+
+CostModel::CostModel(const cm::CmGraph& graph, std::set<int> pre_selected_edges)
+    : graph_(graph), pre_selected_edges_(std::move(pre_selected_edges)) {
+  // Sum of all functional-direction edge costs, + 1 so a single lossy edge
+  // always loses to any all-functional alternative.
+  int64_t total = 0;
+  for (const cm::GraphEdge& e : graph.edges()) {
+    if (e.kind == cm::EdgeKind::kAttribute) continue;
+    if (e.IsFunctional()) {
+      total += (e.kind == cm::EdgeKind::kRole) ? kUnitEdgeCost / 2
+                                               : kUnitEdgeCost;
+    }
+  }
+  lossy_penalty_ = total + 1;
+}
+
+int64_t CostModel::EdgeCost(int edge_id) const {
+  const cm::GraphEdge& e = graph_.edge(edge_id);
+  int64_t base;
+  if (pre_selected_edges_.count(edge_id) > 0) {
+    base = 0;
+  } else if (e.kind == cm::EdgeKind::kRole) {
+    base = kUnitEdgeCost / 2;
+  } else {
+    base = kUnitEdgeCost;
+  }
+  if (!e.IsFunctional()) base += lossy_penalty_;
+  return base;
+}
+
+}  // namespace semap::disc

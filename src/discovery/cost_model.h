@@ -1,0 +1,49 @@
+// Edge-cost model for CSG search, per Sections 3.2 and 3.3:
+//
+//  * edges belonging to pre-selected s-trees cost nothing — columns in the
+//    same table represent particularly relevant connections;
+//  * a role edge costs half a normal edge, so a two-role passage through a
+//    reified relationship counts as a path of length one;
+//  * ISA edges count like functional relationship edges;
+//  * a non-functional traversal direction costs more than the sum of all
+//    functional edges in the graph (Wald–Sorenson), so lossy joins are
+//    taken only when nothing functional exists.
+#ifndef SEMAP_DISCOVERY_COST_MODEL_H_
+#define SEMAP_DISCOVERY_COST_MODEL_H_
+
+#include <cstdint>
+#include <set>
+
+#include "cm/graph.h"
+
+namespace semap::disc {
+
+/// Cost of one normal functional edge (role edges cost half of this).
+inline constexpr int64_t kUnitEdgeCost = 2;
+
+class CostModel {
+ public:
+  /// `pre_selected_edges`: graph edge ids (including inverse partners)
+  /// belonging to the pre-selected s-trees.
+  CostModel(const cm::CmGraph& graph, std::set<int> pre_selected_edges);
+
+  /// Traversal cost of edge `edge_id` in its own direction.
+  int64_t EdgeCost(int edge_id) const;
+
+  /// The penalty added to every non-functional traversal; strictly larger
+  /// than the sum of all functional edge costs in the graph.
+  int64_t LossyPenalty() const { return lossy_penalty_; }
+
+  bool IsPreSelected(int edge_id) const {
+    return pre_selected_edges_.count(edge_id) > 0;
+  }
+
+ private:
+  const cm::CmGraph& graph_;
+  std::set<int> pre_selected_edges_;
+  int64_t lossy_penalty_ = 0;
+};
+
+}  // namespace semap::disc
+
+#endif  // SEMAP_DISCOVERY_COST_MODEL_H_

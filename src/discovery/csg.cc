@@ -1,0 +1,57 @@
+#include "discovery/csg.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace semap::disc {
+
+std::set<int> Csg::GraphNodeSet() const {
+  std::set<int> out;
+  for (const sem::Fragment::Node& n : fragment.nodes) out.insert(n.graph_node);
+  return out;
+}
+
+int Csg::FindNodeIndex(int graph_node) const {
+  for (size_t i = 0; i < fragment.nodes.size(); ++i) {
+    if (fragment.nodes[i].graph_node == graph_node) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::set<int> Csg::UndirectedEdgeSet(const cm::CmGraph& graph) const {
+  std::set<int> out;
+  for (const sem::Fragment::Edge& e : fragment.edges) {
+    const cm::GraphEdge& ge = graph.edge(e.graph_edge);
+    out.insert(ge.partner >= 0 ? std::min(ge.id, ge.partner) : ge.id);
+  }
+  return out;
+}
+
+std::string Csg::ToString(const cm::CmGraph& graph) const {
+  std::vector<std::string> node_strs;
+  for (size_t i = 0; i < fragment.nodes.size(); ++i) {
+    std::string s = graph.node(fragment.nodes[i].graph_node).name;
+    if (root.has_value() && static_cast<size_t>(*root) == i) s += "(root)";
+    node_strs.push_back(std::move(s));
+  }
+  std::string out = "CSG{" + Join(node_strs, ", ");
+  if (!fragment.edges.empty()) {
+    std::vector<std::string> edge_strs;
+    for (const sem::Fragment::Edge& e : fragment.edges) {
+      edge_strs.push_back(
+          graph.node(fragment.nodes[static_cast<size_t>(e.from)].graph_node)
+              .name +
+          " -" + graph.edge(e.graph_edge).Label() + "-> " +
+          graph.node(fragment.nodes[static_cast<size_t>(e.to)].graph_node)
+              .name);
+    }
+    out += "; " + Join(edge_strs, ", ");
+  }
+  out += "; cost=" + std::to_string(cost) + "}";
+  return out;
+}
+
+}  // namespace semap::disc

@@ -1,0 +1,40 @@
+// Conceptual subgraphs (CSGs): the trees/paths the discovery algorithm
+// finds in a CM graph to connect marked class nodes.
+#ifndef SEMAP_DISCOVERY_CSG_H_
+#define SEMAP_DISCOVERY_CSG_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "cm/graph.h"
+#include "semantics/encoder.h"
+
+namespace semap::disc {
+
+/// \brief A discovered conceptual subgraph. The fragment holds class nodes
+/// and connecting edges; attribute selections are added later, when the
+/// CSG is turned into a query.
+struct Csg {
+  sem::Fragment fragment;
+  std::optional<int> root;  // index into fragment.nodes
+  int64_t cost = 0;
+  int lossy_edges = 0;        // edges traversed in a non-functional direction
+  int pre_selected_used = 0;  // edges borrowed from pre-selected s-trees
+
+  /// Graph class-node ids present in the fragment.
+  std::set<int> GraphNodeSet() const;
+  /// Index of the first fragment node referencing `graph_node`, or -1.
+  int FindNodeIndex(int graph_node) const;
+  /// Undirected identity: the set of edge-pair ids, for deduplication.
+  std::set<int> UndirectedEdgeSet(const cm::CmGraph& graph) const;
+  /// True when every edge is traversed in a functional direction.
+  bool IsFunctionalTree() const { return lossy_edges == 0; }
+
+  std::string ToString(const cm::CmGraph& graph) const;
+};
+
+}  // namespace semap::disc
+
+#endif  // SEMAP_DISCOVERY_CSG_H_

@@ -1,0 +1,490 @@
+#include "discovery/discoverer.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace semap::disc {
+
+int MappingCandidate::AttachNode(size_t lifted_index, int graph_node,
+                                 bool source_side) const {
+  const std::map<size_t, int>& attachments =
+      source_side ? source_attachments : target_attachments;
+  auto it = attachments.find(lifted_index);
+  if (it != attachments.end()) return it->second;
+  return (source_side ? source_csg : target_csg).FindNodeIndex(graph_node);
+}
+
+std::string MappingCandidate::ToString(const cm::CmGraph& source_graph,
+                                       const cm::CmGraph& target_graph) const {
+  return "candidate{source=" + source_csg.ToString(source_graph) +
+         ", target=" + target_csg.ToString(target_graph) +
+         ", covered=" + std::to_string(covered.size()) +
+         ", penalty=" + std::to_string(penalty) + "}";
+}
+
+ReifiedCategory CategoryOfReified(const cm::CmGraph& graph, int node) {
+  int non_functional_roles = 0;
+  for (int eid : graph.OutEdges(node)) {
+    const cm::GraphEdge& e = graph.edge(eid);
+    if (e.kind != cm::EdgeKind::kRole || e.inverted) continue;
+    // The participation constraint lives on the inverse role edge.
+    const cm::GraphEdge& inv = graph.edge(e.partner);
+    if (!inv.IsFunctional()) ++non_functional_roles;
+  }
+  if (non_functional_roles >= 2) return ReifiedCategory::kManyToMany;
+  if (non_functional_roles == 1) return ReifiedCategory::kManyToOne;
+  return ReifiedCategory::kOneToOne;
+}
+
+Discoverer::Discoverer(const sem::AnnotatedSchema& source,
+                       const sem::AnnotatedSchema& target,
+                       std::vector<Correspondence> correspondences,
+                       DiscoveryOptions options)
+    : source_(source),
+      target_(target),
+      correspondences_(std::move(correspondences)),
+      options_(options) {}
+
+namespace {
+
+/// Graph edges (including partners) of the pre-selected s-trees on one
+/// side.
+std::set<int> PreSelectedEdges(const sem::AnnotatedSchema& side,
+                               const std::set<std::string>& tables) {
+  std::set<int> out;
+  for (const std::string& table : tables) {
+    const sem::STree* stree = side.FindSemantics(table);
+    if (stree == nullptr) continue;
+    std::set<int> edges = stree->GraphEdges(side.graph());
+    out.insert(edges.begin(), edges.end());
+  }
+  return out;
+}
+
+/// Best-coverage partial trees: used when no single tree covers all marked
+/// nodes. Keeps trees maximizing covered terminals, then minimal cost.
+std::vector<Csg> BestPartialTrees(const cm::CmGraph& graph,
+                                  const CostModel& costs,
+                                  const std::vector<int>& terminals,
+                                  const TreeSearchOptions& opts) {
+  std::vector<std::pair<size_t, Csg>> scored;  // (covered count, tree)
+  for (int root : graph.ClassNodes()) {
+    std::vector<int> uncovered;
+    std::optional<Csg> tree =
+        GrowTree(graph, costs, root, terminals, opts, &uncovered);
+    if (!tree.has_value()) continue;
+    scored.push_back({terminals.size() - uncovered.size(), std::move(*tree)});
+  }
+  if (scored.empty()) return {};
+  size_t best_cov = 0;
+  for (const auto& [cov, tree] : scored) best_cov = std::max(best_cov, cov);
+  int64_t best_cost = std::numeric_limits<int64_t>::max();
+  for (const auto& [cov, tree] : scored) {
+    if (cov == best_cov) best_cost = std::min(best_cost, tree.cost);
+  }
+  std::vector<Csg> out;
+  std::vector<std::set<int>> seen;
+  for (auto& [cov, tree] : scored) {
+    if (cov != best_cov || tree.cost != best_cost) continue;
+    std::set<int> key = tree.UndirectedEdgeSet(graph);
+    bool dup = false;
+    for (const std::set<int>& s : seen) {
+      if (s == key) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      seen.push_back(std::move(key));
+      out.push_back(std::move(tree));
+      if (out.size() >= opts.max_results) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Csg> Discoverer::FindTargetCsgs(
+    const CostModel& target_costs) const {
+  std::set<std::string> tables = PreSelectedTables(correspondences_, false);
+  // Case A: a single pre-selected target table -> its s-tree is the CSG.
+  if (tables.size() == 1) {
+    const sem::STree* stree = target_.FindSemantics(*tables.begin());
+    if (stree != nullptr) {
+      return {CsgFromSTree(target_.graph(), *stree)};
+    }
+  }
+  // Case B: connect the marked target nodes by minimal functional trees.
+  std::vector<int> marked;
+  for (const auto& [node, idx] : MarkedNodes(lifted_, /*source_side=*/false)) {
+    marked.push_back(node);
+  }
+  TreeSearchOptions opts;
+  opts.functional_only = true;
+  opts.use_isa = options_.use_isa;
+  opts.max_results = options_.max_trees_per_side;
+  std::vector<Csg> trees =
+      MinimalTrees(target_.graph(), target_costs, marked, opts);
+  if (trees.empty() && options_.allow_lossy) {
+    opts.functional_only = false;
+    trees = MinimalTrees(target_.graph(), target_costs, marked, opts);
+  }
+  if (trees.empty()) {
+    // Fall back to the pre-selected s-trees individually; each covers a
+    // subset of the correspondences.
+    for (const std::string& table : tables) {
+      const sem::STree* stree = target_.FindSemantics(table);
+      if (stree != nullptr) {
+        trees.push_back(CsgFromSTree(target_.graph(), *stree));
+      }
+    }
+  }
+  return trees;
+}
+
+std::vector<Csg> Discoverer::FindSourceCsgs(
+    const Csg& target_csg, const std::vector<int>& marked_source,
+    bool target_many_to_many, const CostModel& source_costs) const {
+  const cm::CmGraph& graph = source_.graph();
+  TreeSearchOptions opts;
+  opts.use_isa = options_.use_isa;
+  opts.max_results = options_.max_trees_per_side;
+  // Functional trees suffice for functional targets; many-to-many targets
+  // may require minimally-lossy connections (Example 3.2).
+  opts.functional_only = !(target_many_to_many && options_.allow_lossy);
+
+  std::vector<Csg> out;
+  // Case A.1: roots corresponding to the target anchor.
+  if (target_csg.root.has_value()) {
+    int anchor_graph_node =
+        target_csg.fragment.nodes[static_cast<size_t>(*target_csg.root)]
+            .graph_node;
+    std::vector<Csg> anchored;
+    for (int s : graph.ClassNodes()) {
+      if (!NodesCorrespond(lifted_, s, anchor_graph_node)) continue;
+      std::vector<int> uncovered;
+      std::vector<Csg> trees = GrowAllTrees(graph, source_costs, s,
+                                            marked_source, opts, &uncovered);
+      if (!uncovered.empty()) continue;
+      for (Csg& tree : trees) anchored.push_back(std::move(tree));
+    }
+    if (options_.use_disjointness_filter) {
+      std::erase_if(anchored, [&](const Csg& c) {
+        return HasDisjointnessViolation(graph, c);
+      });
+    }
+    if (!anchored.empty()) {
+      int64_t best = std::numeric_limits<int64_t>::max();
+      for (const Csg& c : anchored) best = std::min(best, c.cost);
+      for (Csg& c : anchored) {
+        if (c.cost == best) out.push_back(std::move(c));
+      }
+      return out;
+    }
+  }
+  // Case A.2: minimal functional trees over all roots.
+  auto consistent_trees = [&](const std::vector<int>& terminals,
+                              const std::set<int>& excluded) {
+    TreeSearchOptions local = opts;
+    local.excluded_nodes = excluded;
+    std::vector<Csg> trees =
+        MinimalTrees(graph, source_costs, terminals, local);
+    if (trees.empty() && local.functional_only && options_.allow_lossy) {
+      // "passing, if necessary, through non-functional edges".
+      TreeSearchOptions lossy = local;
+      lossy.functional_only = false;
+      trees = MinimalTrees(graph, source_costs, terminals, lossy);
+    }
+    if (options_.use_disjointness_filter) {
+      std::erase_if(trees, [&](const Csg& c) {
+        return HasDisjointnessViolation(graph, c);
+      });
+    }
+    return trees;
+  };
+  out = consistent_trees(marked_source, {});
+  if (!out.empty()) return out;
+
+  // No consistent tree covers every marked node (e.g. the only full
+  // connection asserts membership in two disjoint classes). Per Case A,
+  // "the correspondences will be split among the tree and the remaining
+  // unconnected nodes": return consistent trees over maximal proper
+  // subsets of the marked nodes instead.
+  if (marked_source.size() > 2) {
+    for (size_t skip = 0; skip < marked_source.size(); ++skip) {
+      std::vector<int> subset;
+      for (size_t i = 0; i < marked_source.size(); ++i) {
+        if (i != skip) subset.push_back(marked_source[i]);
+      }
+      // The split-away node must stay out, or the tree degenerates back to
+      // the full (inconsistent) connection.
+      std::vector<Csg> trees =
+          consistent_trees(subset, {marked_source[skip]});
+      for (Csg& tree : trees) {
+        out.push_back(std::move(tree));
+        if (out.size() >= options_.max_trees_per_side) return out;
+      }
+    }
+    if (!out.empty()) return out;
+  }
+  out = BestPartialTrees(graph, source_costs, marked_source, opts);
+  if (options_.use_disjointness_filter) {
+    std::erase_if(out, [&](const Csg& c) {
+      return HasDisjointnessViolation(graph, c);
+    });
+  }
+  return out;
+}
+
+bool Discoverer::AssembleCandidate(Csg source_csg, const Csg& target_csg,
+                                   MappingCandidate* out) const {
+  const cm::CmGraph& src_graph = source_.graph();
+  const cm::CmGraph& tgt_graph = target_.graph();
+  MappingCandidate cand;
+  cand.source_csg = std::move(source_csg);
+  cand.target_csg = target_csg;
+  if (out != nullptr) {
+    cand.source_attachments = out->source_attachments;
+    cand.target_attachments = out->target_attachments;
+  }
+
+  std::set<int> src_nodes = cand.source_csg.GraphNodeSet();
+  std::set<int> tgt_nodes = cand.target_csg.GraphNodeSet();
+  for (size_t i = 0; i < lifted_.size(); ++i) {
+    if (src_nodes.count(lifted_[i].source_node) > 0 &&
+        tgt_nodes.count(lifted_[i].target_node) > 0) {
+      cand.covered.push_back(i);
+    }
+  }
+  if (cand.covered.empty()) return false;
+
+  if (options_.use_disjointness_filter &&
+      (HasDisjointnessViolation(src_graph, cand.source_csg) ||
+       HasDisjointnessViolation(tgt_graph, cand.target_csg))) {
+    return false;
+  }
+
+  if (options_.use_semantic_type_filter) {
+    // Pairwise connection compatibility between covered correspondences.
+    for (size_t a = 0; a < cand.covered.size(); ++a) {
+      for (size_t b = a + 1; b < cand.covered.size(); ++b) {
+        const LiftedCorrespondence& la = lifted_[cand.covered[a]];
+        const LiftedCorrespondence& lb = lifted_[cand.covered[b]];
+        Connection src_conn = TreeConnection(
+            src_graph, cand.source_csg,
+            cand.AttachNode(cand.covered[a], la.source_node, true),
+            cand.AttachNode(cand.covered[b], lb.source_node, true));
+        Connection tgt_conn = TreeConnection(
+            tgt_graph, cand.target_csg,
+            cand.AttachNode(cand.covered[a], la.target_node, false),
+            cand.AttachNode(cand.covered[b], lb.target_node, false));
+        auto identified = [&](const LiftedCorrespondence& lc) {
+          int attr = tgt_graph.FindAttributeNode(
+              tgt_graph.node(lc.target_node).name, lc.target_attribute);
+          return attr >= 0 && tgt_graph.node(attr).is_key_attribute;
+        };
+        switch (JudgeConnections(src_conn, tgt_conn, identified(la),
+                                 identified(lb))) {
+          case Compat::kIncompatible:
+            return false;
+          case Compat::kDowngrade:
+            ++cand.penalty;
+            break;
+          case Compat::kCompatible:
+            break;
+        }
+      }
+    }
+    // Reified-anchor preferences: a reified target anchor prefers a
+    // similarly rooted source tree with the same category / arity /
+    // semantic type.
+    if (cand.target_csg.root.has_value() && cand.source_csg.root.has_value()) {
+      const cm::GraphNode& t_root = tgt_graph.node(
+          cand.target_csg.fragment
+              .nodes[static_cast<size_t>(*cand.target_csg.root)]
+              .graph_node);
+      const cm::GraphNode& s_root = src_graph.node(
+          cand.source_csg.fragment
+              .nodes[static_cast<size_t>(*cand.source_csg.root)]
+              .graph_node);
+      if (t_root.reified) {
+        if (!s_root.reified) {
+          ++cand.penalty;
+        } else {
+          if (CategoryOfReified(tgt_graph, t_root.id) !=
+              CategoryOfReified(src_graph, s_root.id)) {
+            ++cand.penalty;
+          }
+          if (t_root.arity != s_root.arity) ++cand.penalty;
+          if (t_root.semantic_type != s_root.semantic_type) ++cand.penalty;
+        }
+      }
+    }
+  }
+
+  *out = std::move(cand);
+  return true;
+}
+
+Result<std::vector<MappingCandidate>> Discoverer::Run() {
+  SEMAP_ASSIGN_OR_RETURN(lifted_,
+                         LiftCorrespondences(source_, target_,
+                                             correspondences_));
+  if (lifted_.empty()) {
+    return Status::InvalidArgument("no correspondences given");
+  }
+
+  CostModel source_costs(
+      source_.graph(),
+      PreSelectedEdges(source_, PreSelectedTables(correspondences_, true)));
+  CostModel target_costs(
+      target_.graph(),
+      PreSelectedEdges(target_, PreSelectedTables(correspondences_, false)));
+
+  std::vector<MappingCandidate> candidates;
+  std::set<std::string> seen_keys;
+  auto push_candidate = [&](MappingCandidate cand) {
+    // Dedup by (source edges+nodes, target edges+nodes, covered set).
+    std::string key;
+    for (int n : cand.source_csg.GraphNodeSet()) key += std::to_string(n) + ",";
+    key += "|";
+    for (int e : cand.source_csg.UndirectedEdgeSet(source_.graph())) {
+      key += std::to_string(e) + ",";
+    }
+    key += "||";
+    for (int n : cand.target_csg.GraphNodeSet()) key += std::to_string(n) + ",";
+    key += "|";
+    for (int e : cand.target_csg.UndirectedEdgeSet(target_.graph())) {
+      key += std::to_string(e) + ",";
+    }
+    key += "||";
+    for (size_t i : cand.covered) key += std::to_string(i) + ",";
+    if (seen_keys.insert(key).second) candidates.push_back(std::move(cand));
+  };
+
+  // Attachments pin a correspondence to the s-tree *copy* its column is
+  // bound to (e.g. pers.pid vs pers.spousePid both reach Person but bind
+  // different copies).
+  auto stree_attachments = [&](const sem::AnnotatedSchema& side,
+                               const std::string& table, bool source_side) {
+    std::map<size_t, int> out;
+    const sem::STree* stree = side.FindSemantics(table);
+    if (stree == nullptr) return out;
+    for (size_t i = 0; i < lifted_.size(); ++i) {
+      const rel::ColumnRef& ref =
+          source_side ? lifted_[i].corr.source : lifted_[i].corr.target;
+      if (ref.table != table) continue;
+      const sem::ColumnBinding* binding = stree->FindBinding(ref.column);
+      if (binding != nullptr) out[i] = binding->node;
+    }
+    return out;
+  };
+
+  // Target Case A attachments (the target CSG is a single table's s-tree).
+  std::map<size_t, int> target_attachments;
+  {
+    std::set<std::string> target_tables =
+        PreSelectedTables(correspondences_, false);
+    if (target_tables.size() == 1) {
+      target_attachments =
+          stree_attachments(target_, *target_tables.begin(), false);
+    }
+  }
+
+  std::vector<Csg> target_csgs = FindTargetCsgs(target_costs);
+  for (const Csg& target_csg : target_csgs) {
+    // Marked source nodes restricted to correspondences this target CSG
+    // covers.
+    std::set<int> tgt_nodes = target_csg.GraphNodeSet();
+    std::set<int> marked_set;
+    std::set<std::string> covered_source_tables;
+    for (const LiftedCorrespondence& lc : lifted_) {
+      if (tgt_nodes.count(lc.target_node) > 0) {
+        marked_set.insert(lc.source_node);
+        covered_source_tables.insert(lc.corr.source.table);
+      }
+    }
+    if (marked_set.empty()) continue;
+    std::vector<int> marked_source(marked_set.begin(), marked_set.end());
+
+    bool target_mn = target_csg.lossy_edges > 0 || !target_csg.root.has_value();
+    if (target_csg.root.has_value()) {
+      const cm::GraphNode& root_node = target_.graph().node(
+          target_csg.fragment.nodes[static_cast<size_t>(*target_csg.root)]
+              .graph_node);
+      if (root_node.reified &&
+          CategoryOfReified(target_.graph(), root_node.id) !=
+              ReifiedCategory::kOneToOne) {
+        target_mn = true;
+      }
+    }
+
+    // Symmetric Case A on the source: when every covered source column
+    // comes from one table with semantics, that table's s-tree *is* the
+    // source CSG (it carries the concept copies no graph search can
+    // reconstruct).
+    std::vector<Csg> source_csgs;
+    std::map<size_t, int> source_attachments;
+    if (covered_source_tables.size() == 1) {
+      const sem::STree* stree =
+          source_.FindSemantics(*covered_source_tables.begin());
+      if (stree != nullptr) {
+        source_csgs.push_back(CsgFromSTree(source_.graph(), *stree));
+        source_attachments = stree_attachments(
+            source_, *covered_source_tables.begin(), true);
+      }
+    }
+    if (source_csgs.empty()) {
+      source_csgs =
+          FindSourceCsgs(target_csg, marked_source, target_mn, source_costs);
+    }
+    for (Csg& source_csg : source_csgs) {
+      MappingCandidate cand;
+      cand.source_attachments = source_attachments;
+      cand.target_attachments = target_attachments;
+      if (AssembleCandidate(std::move(source_csg), target_csg, &cand)) {
+        push_candidate(std::move(cand));
+      }
+    }
+  }
+
+  // Keep, per covered-correspondence set, only the least-penalized
+  // candidates ("eliminated or downgraded", Example 1.3).
+  std::map<std::string, int> best_penalty;
+  auto covered_key = [](const MappingCandidate& c) {
+    std::string key;
+    for (size_t i : c.covered) key += std::to_string(i) + ",";
+    return key;
+  };
+  for (const MappingCandidate& c : candidates) {
+    std::string key = covered_key(c);
+    auto it = best_penalty.find(key);
+    if (it == best_penalty.end() || c.penalty < it->second) {
+      best_penalty[key] = c.penalty;
+    }
+  }
+  std::erase_if(candidates, [&](const MappingCandidate& c) {
+    return c.penalty > best_penalty[covered_key(c)];
+  });
+
+  // Best first: more coverage, lower penalty, lower combined cost.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const MappingCandidate& a, const MappingCandidate& b) {
+                     if (a.covered.size() != b.covered.size()) {
+                       return a.covered.size() > b.covered.size();
+                     }
+                     if (a.penalty != b.penalty) return a.penalty < b.penalty;
+                     return a.source_csg.cost + a.target_csg.cost <
+                            b.source_csg.cost + b.target_csg.cost;
+                   });
+  if (candidates.size() > options_.max_candidates) {
+    candidates.resize(options_.max_candidates);
+  }
+  return candidates;
+}
+
+}  // namespace semap::disc

@@ -1,0 +1,113 @@
+// The paper's core algorithm (Section 3): from lifted correspondences,
+// discover pairs of semantically similar conceptual subgraphs.
+//
+// Case A: when all corresponded target columns fall in one table, the
+// target CSG is that table's s-tree; source CSGs are grown from roots
+// corresponding to the target anchor (A.1) or, failing that, as minimal
+// functional trees over the marked source nodes (A.2).
+// Case B: corresponded target columns spanning several tables first get
+// their own minimal functional trees in the target.
+// Reified targets (e.g. many-to-many relationship tables) prefer similarly
+// rooted source trees (same category / arity / semantic type) and fall
+// back to minimally-lossy connections (Example 3.2).
+#ifndef SEMAP_DISCOVERY_DISCOVERER_H_
+#define SEMAP_DISCOVERY_DISCOVERER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "discovery/compat.h"
+#include "discovery/correspondence.h"
+#include "discovery/cost_model.h"
+#include "discovery/csg.h"
+#include "discovery/tree_search.h"
+#include "semantics/stree.h"
+#include "util/result.h"
+
+namespace semap::disc {
+
+struct DiscoveryOptions {
+  /// Ablation: traverse ISA edges (the paper's main recall advantage).
+  bool use_isa = true;
+  /// Ablation: eliminate CSGs made unsatisfiable by disjointness.
+  bool use_disjointness_filter = true;
+  /// Ablation: cardinality/partOf compatibility filtering between paired
+  /// connections (the paper's main precision advantage).
+  bool use_semantic_type_filter = true;
+  /// Permit minimally-lossy (non-functional) connections when functional
+  /// trees cannot cover the marked nodes or the target is many-to-many.
+  bool allow_lossy = true;
+  /// Cap on returned candidates.
+  size_t max_candidates = 8;
+  /// Cap on trees enumerated per side.
+  size_t max_trees_per_side = 8;
+};
+
+/// \brief A conceptual mapping candidate: a pair of semantically similar
+/// CSGs plus the correspondences the pair covers.
+struct MappingCandidate {
+  Csg source_csg;
+  Csg target_csg;
+  std::vector<size_t> covered;  // indices into the lifted correspondences
+  int penalty = 0;              // semantic-similarity downgrades
+  /// When a CSG comes from a table's s-tree, correspondences attach to the
+  /// *copy* their column is bound to (lifted index -> fragment node
+  /// index); without an entry the first fragment node of the class is
+  /// used. This is what keeps pers(pid, spousePid)-style recursive tables
+  /// from collapsing both columns onto one instance.
+  std::map<size_t, int> source_attachments;
+  std::map<size_t, int> target_attachments;
+
+  /// Fragment node realizing lifted correspondence `lifted_index` on the
+  /// chosen side, honoring attachments.
+  int AttachNode(size_t lifted_index, int graph_node, bool source_side) const;
+
+  std::string ToString(const cm::CmGraph& source_graph,
+                       const cm::CmGraph& target_graph) const;
+};
+
+class Discoverer {
+ public:
+  Discoverer(const sem::AnnotatedSchema& source,
+             const sem::AnnotatedSchema& target,
+             std::vector<Correspondence> correspondences,
+             DiscoveryOptions options = {});
+
+  /// Run discovery; candidates come back sorted best-first (more coverage,
+  /// lower penalty, lower cost).
+  Result<std::vector<MappingCandidate>> Run();
+
+  /// Lifted correspondences (valid after Run()).
+  const std::vector<LiftedCorrespondence>& lifted() const { return lifted_; }
+
+ private:
+  /// Source CSG candidates for one target CSG.
+  std::vector<Csg> FindSourceCsgs(const Csg& target_csg,
+                                  const std::vector<int>& marked_source,
+                                  bool target_many_to_many,
+                                  const CostModel& source_costs) const;
+
+  /// Target CSGs per Case A / Case B.
+  std::vector<Csg> FindTargetCsgs(const CostModel& target_costs) const;
+
+  /// Assemble, filter and score a candidate; false to drop it.
+  bool AssembleCandidate(Csg source_csg, const Csg& target_csg,
+                         MappingCandidate* out) const;
+
+  const sem::AnnotatedSchema& source_;
+  const sem::AnnotatedSchema& target_;
+  std::vector<Correspondence> correspondences_;
+  DiscoveryOptions options_;
+  std::vector<LiftedCorrespondence> lifted_;
+};
+
+/// \brief Category of a reified relationship node, read off the
+/// participation constraints on its role inverses.
+enum class ReifiedCategory { kManyToMany, kManyToOne, kOneToOne };
+
+ReifiedCategory CategoryOfReified(const cm::CmGraph& graph, int node);
+
+}  // namespace semap::disc
+
+#endif  // SEMAP_DISCOVERY_DISCOVERER_H_

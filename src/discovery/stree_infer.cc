@@ -1,0 +1,78 @@
+#include "discovery/stree_infer.h"
+
+#include <set>
+
+#include "discovery/cost_model.h"
+#include "discovery/tree_search.h"
+
+namespace semap::disc {
+
+Result<sem::STree> InferSTree(
+    const cm::CmGraph& graph, const rel::Table& table_def,
+    const std::map<std::string, AttributeHint>& hints,
+    const DiscoveryOptions& options) {
+  // Validate hints: every column hinted, every hint resolvable, no
+  // attribute hinted twice (that would need concept copies).
+  std::set<int> marked_set;
+  std::set<std::pair<std::string, std::string>> used_attributes;
+  for (const std::string& column : table_def.columns()) {
+    auto it = hints.find(column);
+    if (it == hints.end()) {
+      return Status::InvalidArgument("no hint for column '" + column + "'");
+    }
+    const AttributeHint& hint = it->second;
+    int node = graph.FindClassNode(hint.class_name);
+    if (node < 0) {
+      return Status::NotFound("unknown class '" + hint.class_name + "'");
+    }
+    if (graph.FindAttributeNode(hint.class_name, hint.attribute) < 0) {
+      return Status::NotFound("class '" + hint.class_name +
+                              "' has no attribute '" + hint.attribute + "'");
+    }
+    if (!used_attributes.insert({hint.class_name, hint.attribute}).second) {
+      return Status::Unsupported(
+          "attribute " + hint.class_name + "." + hint.attribute +
+          " hinted by two columns: concept copies require a hand-written "
+          "s-tree");
+    }
+    marked_set.insert(node);
+  }
+  std::vector<int> marked(marked_set.begin(), marked_set.end());
+
+  // Minimal functional tree over the hinted classes; minimally-lossy
+  // fallback mirrors the discoverer.
+  CostModel costs(graph, {});
+  TreeSearchOptions opts;
+  opts.use_isa = options.use_isa;
+  opts.max_results = 1;
+  std::vector<Csg> trees = MinimalTrees(graph, costs, marked, opts);
+  if (trees.empty() && options.allow_lossy) {
+    opts.functional_only = false;
+    trees = MinimalTrees(graph, costs, marked, opts);
+  }
+  if (trees.empty()) {
+    return Status::NotFound(
+        "the hinted classes are not connected in the CM graph");
+  }
+  const Csg& tree = trees[0];
+
+  sem::STree stree;
+  stree.table = table_def.name();
+  for (size_t i = 0; i < tree.fragment.nodes.size(); ++i) {
+    stree.nodes.push_back(
+        {"n" + std::to_string(i), tree.fragment.nodes[i].graph_node});
+  }
+  for (const sem::Fragment::Edge& e : tree.fragment.edges) {
+    stree.edges.push_back({e.from, e.to, e.graph_edge});
+  }
+  if (tree.root.has_value()) stree.anchor = tree.root;
+  for (const std::string& column : table_def.columns()) {
+    const AttributeHint& hint = hints.at(column);
+    int node_idx = tree.FindNodeIndex(graph.FindClassNode(hint.class_name));
+    stree.bindings.push_back({column, node_idx, hint.attribute});
+  }
+  SEMAP_RETURN_NOT_OK(stree.Validate(graph, table_def));
+  return stree;
+}
+
+}  // namespace semap::disc

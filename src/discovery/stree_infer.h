@@ -1,0 +1,42 @@
+// S-tree inference: bootstrap a table's semantics from simple
+// column-to-attribute hints against a CM — a lightweight take on the
+// authors' companion semantics-discovery tool ([2,3] in the paper;
+// "we have recently developed a tool to recover the semantics of a legacy
+// database schema in terms of an existing CM"), built on the same minimal
+// functional tree search the mapping discoverer uses.
+//
+// Given hints {column -> Class.attribute}, the inferred s-tree is the
+// minimal functional tree connecting the hinted classes (lossy fallback if
+// none), rooted per the search, with every hinted column bound. Users can
+// then review/adjust the tree before attaching it to an AnnotatedSchema.
+#ifndef SEMAP_DISCOVERY_STREE_INFER_H_
+#define SEMAP_DISCOVERY_STREE_INFER_H_
+
+#include <map>
+#include <string>
+
+#include "discovery/discoverer.h"
+#include "semantics/stree.h"
+#include "util/result.h"
+
+namespace semap::disc {
+
+/// \brief A column's hinted attribute.
+struct AttributeHint {
+  std::string class_name;
+  std::string attribute;
+};
+
+/// \brief Infer the s-tree of `table_def` from per-column hints. Every
+/// column of the table must be hinted; hints must reference existing
+/// class attributes. Two columns may hint the same class (different
+/// attributes) and share its node; hinting the *same attribute* from two
+/// columns (which would require concept copies) is unsupported.
+Result<sem::STree> InferSTree(
+    const cm::CmGraph& graph, const rel::Table& table_def,
+    const std::map<std::string, AttributeHint>& hints,
+    const DiscoveryOptions& options = {});
+
+}  // namespace semap::disc
+
+#endif  // SEMAP_DISCOVERY_STREE_INFER_H_

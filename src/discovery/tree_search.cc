@@ -1,0 +1,338 @@
+#include "discovery/tree_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+
+namespace semap::disc {
+
+namespace {
+
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max();
+
+bool EdgeAllowed(const cm::GraphEdge& e, const TreeSearchOptions& options) {
+  if (e.kind == cm::EdgeKind::kAttribute) return false;
+  if (!options.use_isa && e.kind == cm::EdgeKind::kIsa) return false;
+  if (options.functional_only && !e.IsFunctional()) return false;
+  if (options.excluded_nodes.count(e.to) > 0) return false;
+  return true;
+}
+
+}  // namespace
+
+ShortestPaths ComputeShortestPaths(const cm::CmGraph& graph,
+                                   const CostModel& costs, int root,
+                                   const TreeSearchOptions& options) {
+  const size_t n = graph.nodes().size();
+  ShortestPaths sp;
+  sp.dist.assign(n, kInf);
+  sp.parent_edge.assign(n, -1);
+  sp.parent_edges.assign(n, {});
+  sp.dist[static_cast<size_t>(root)] = 0;
+
+  using Entry = std::pair<int64_t, int>;  // (dist, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  queue.push({0, root});
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > sp.dist[static_cast<size_t>(u)]) continue;
+    for (int eid : graph.OutEdges(u)) {
+      const cm::GraphEdge& e = graph.edge(eid);
+      if (!EdgeAllowed(e, options)) continue;
+      int64_t nd = d + costs.EdgeCost(eid);
+      if (nd < sp.dist[static_cast<size_t>(e.to)]) {
+        sp.dist[static_cast<size_t>(e.to)] = nd;
+        sp.parent_edge[static_cast<size_t>(e.to)] = eid;
+        queue.push({nd, e.to});
+      }
+    }
+  }
+  // Collect every tie-optimal parent edge.
+  for (const cm::GraphEdge& e : graph.edges()) {
+    if (!EdgeAllowed(e, options)) continue;
+    size_t to = static_cast<size_t>(e.to);
+    size_t from = static_cast<size_t>(e.from);
+    if (sp.dist[from] != kInf && sp.dist[to] != kInf &&
+        sp.dist[from] + costs.EdgeCost(e.id) == sp.dist[to]) {
+      sp.parent_edges[to].push_back(e.id);
+    }
+  }
+  return sp;
+}
+
+std::optional<Csg> GrowTree(const cm::CmGraph& graph, const CostModel& costs,
+                            int root, const std::vector<int>& terminals,
+                            const TreeSearchOptions& options,
+                            std::vector<int>* uncovered) {
+  ShortestPaths sp = ComputeShortestPaths(graph, costs, root, options);
+  if (uncovered != nullptr) uncovered->clear();
+
+  // Union of root->terminal paths: the set of edges on any used path.
+  std::map<int, int> node_index;   // graph node -> fragment index
+  std::vector<int> tree_edges;     // graph edge ids, parent -> child
+  std::set<int> edge_set;
+  bool any_covered = false;
+  for (int t : terminals) {
+    if (sp.dist[static_cast<size_t>(t)] == kInf) {
+      if (uncovered != nullptr) uncovered->push_back(t);
+      continue;
+    }
+    any_covered = true;
+    int cur = t;
+    while (cur != root) {
+      int eid = sp.parent_edge[static_cast<size_t>(cur)];
+      if (eid < 0 || edge_set.count(eid) > 0) break;  // reached shared prefix
+      edge_set.insert(eid);
+      tree_edges.push_back(eid);
+      cur = graph.edge(eid).from;
+    }
+  }
+  if (!any_covered) return std::nullopt;
+
+  Csg csg;
+  auto ensure_node = [&](int graph_node) {
+    auto it = node_index.find(graph_node);
+    if (it != node_index.end()) return it->second;
+    int idx = static_cast<int>(csg.fragment.nodes.size());
+    csg.fragment.nodes.push_back({graph_node});
+    node_index.emplace(graph_node, idx);
+    return idx;
+  };
+  ensure_node(root);
+  csg.root = 0;
+  // Emit edges parent -> child; order them root-outward for readability.
+  std::reverse(tree_edges.begin(), tree_edges.end());
+  for (int eid : tree_edges) {
+    const cm::GraphEdge& e = graph.edge(eid);
+    int from_idx = ensure_node(e.from);
+    int to_idx = ensure_node(e.to);
+    csg.fragment.edges.push_back({from_idx, to_idx, eid});
+    csg.cost += costs.EdgeCost(eid);
+    if (!e.IsFunctional()) ++csg.lossy_edges;
+    if (costs.IsPreSelected(eid)) ++csg.pre_selected_used;
+  }
+  return csg;
+}
+
+namespace {
+
+/// Recursive enumeration of optimal parent choices (see GrowAllTrees).
+class TreeEnumerator {
+ public:
+  TreeEnumerator(const cm::CmGraph& graph, const CostModel& costs,
+                 const ShortestPaths& sp, int root,
+                 const std::vector<int>& terminals, size_t cap)
+      : graph_(graph), costs_(costs), sp_(sp), root_(root),
+        terminals_(terminals), cap_(cap) {}
+
+  std::vector<Csg> Run() {
+    std::vector<int> pending;
+    for (int t : terminals_) {
+      if (t != root_) pending.push_back(t);
+    }
+    Enumerate(pending);
+    return std::move(results_);
+  }
+
+ private:
+  void Enumerate(std::vector<int> pending) {
+    if (results_.size() >= cap_) return;
+    while (!pending.empty() &&
+           (pending.back() == root_ || choice_.count(pending.back()) > 0)) {
+      pending.pop_back();
+    }
+    if (pending.empty()) {
+      Materialize();
+      return;
+    }
+    int n = pending.back();
+    pending.pop_back();
+    for (int eid : sp_.parent_edges[static_cast<size_t>(n)]) {
+      const cm::GraphEdge& e = graph_.edge(eid);
+      // Reject choices whose parent chain loops back to n.
+      bool cyclic = false;
+      std::set<int> visited = {n};
+      int cur = e.from;
+      while (cur != root_) {
+        if (!visited.insert(cur).second) {
+          cyclic = true;
+          break;
+        }
+        auto it = choice_.find(cur);
+        if (it == choice_.end()) break;  // unresolved: checked later
+        cur = graph_.edge(it->second).from;
+      }
+      if (cyclic) continue;
+      choice_[n] = eid;
+      std::vector<int> next = pending;
+      if (e.from != root_ && choice_.count(e.from) == 0) {
+        next.push_back(e.from);
+      }
+      Enumerate(std::move(next));
+      choice_.erase(n);
+      if (results_.size() >= cap_) return;
+    }
+  }
+
+  void Materialize() {
+    // Walk each terminal's chain; collect edges; reject broken chains.
+    std::set<int> edge_set;
+    std::vector<int> ordered_edges;
+    for (int t : terminals_) {
+      int cur = t;
+      std::set<int> walk_guard;
+      while (cur != root_) {
+        if (!walk_guard.insert(cur).second) return;  // loop: malformed
+        auto it = choice_.find(cur);
+        if (it == choice_.end()) return;
+        if (edge_set.insert(it->second).second) {
+          ordered_edges.push_back(it->second);
+        }
+        cur = graph_.edge(it->second).from;
+      }
+    }
+    Csg csg;
+    std::map<int, int> node_index;
+    auto ensure_node = [&](int graph_node) {
+      auto it = node_index.find(graph_node);
+      if (it != node_index.end()) return it->second;
+      int idx = static_cast<int>(csg.fragment.nodes.size());
+      csg.fragment.nodes.push_back({graph_node});
+      node_index.emplace(graph_node, idx);
+      return idx;
+    };
+    ensure_node(root_);
+    csg.root = 0;
+    std::reverse(ordered_edges.begin(), ordered_edges.end());
+    for (int eid : ordered_edges) {
+      const cm::GraphEdge& e = graph_.edge(eid);
+      int from_idx = ensure_node(e.from);
+      int to_idx = ensure_node(e.to);
+      csg.fragment.edges.push_back({from_idx, to_idx, eid});
+      csg.cost += costs_.EdgeCost(eid);
+      if (!e.IsFunctional()) ++csg.lossy_edges;
+      if (costs_.IsPreSelected(eid)) ++csg.pre_selected_used;
+    }
+    // Dedup by undirected edge set.
+    std::set<int> key = csg.UndirectedEdgeSet(graph_);
+    for (const std::set<int>& s : seen_) {
+      if (s == key) return;
+    }
+    seen_.push_back(std::move(key));
+    results_.push_back(std::move(csg));
+  }
+
+  const cm::CmGraph& graph_;
+  const CostModel& costs_;
+  const ShortestPaths& sp_;
+  int root_;
+  const std::vector<int>& terminals_;
+  size_t cap_;
+  std::map<int, int> choice_;  // node -> chosen parent edge
+  std::vector<Csg> results_;
+  std::vector<std::set<int>> seen_;
+};
+
+}  // namespace
+
+std::vector<Csg> GrowAllTrees(const cm::CmGraph& graph, const CostModel& costs,
+                              int root, const std::vector<int>& terminals,
+                              const TreeSearchOptions& options,
+                              std::vector<int>* uncovered) {
+  ShortestPaths sp = ComputeShortestPaths(graph, costs, root, options);
+  if (uncovered != nullptr) uncovered->clear();
+  std::vector<int> reachable;
+  for (int t : terminals) {
+    if (sp.dist[static_cast<size_t>(t)] == kInf) {
+      if (uncovered != nullptr) uncovered->push_back(t);
+    } else {
+      reachable.push_back(t);
+    }
+  }
+  if (reachable.empty()) return {};
+  TreeEnumerator enumerator(graph, costs, sp, root, reachable,
+                            options.max_results);
+  return enumerator.Run();
+}
+
+std::vector<Csg> MinimalTrees(const cm::CmGraph& graph, const CostModel& costs,
+                              const std::vector<int>& terminals,
+                              const TreeSearchOptions& options) {
+  std::vector<Csg> candidates;
+  for (int root : graph.ClassNodes()) {
+    if (options.excluded_nodes.count(root) > 0) continue;
+    std::vector<int> uncovered;
+    std::vector<Csg> trees =
+        GrowAllTrees(graph, costs, root, terminals, options, &uncovered);
+    if (!uncovered.empty()) continue;
+    for (Csg& tree : trees) candidates.push_back(std::move(tree));
+  }
+  if (candidates.empty()) return candidates;
+
+  // Keep minimal cost; prefer more pre-selected edges, then fewer nodes.
+  int64_t best_cost = kInf;
+  for (const Csg& c : candidates) best_cost = std::min(best_cost, c.cost);
+  std::vector<Csg> kept;
+  for (Csg& c : candidates) {
+    if (c.cost == best_cost) kept.push_back(std::move(c));
+  }
+  int best_pre = 0;
+  for (const Csg& c : kept) best_pre = std::max(best_pre, c.pre_selected_used);
+  std::erase_if(kept, [&](const Csg& c) {
+    return c.pre_selected_used < best_pre;
+  });
+
+  // Node-set minimality (Case A.2): drop trees strictly containing another
+  // kept tree's node set. Reified pass-through nodes are ignored — a path
+  // through a reified relationship counts as a single edge (§3.3), so the
+  // reified node is not an "extra" concept.
+  std::vector<std::set<int>> node_sets;
+  node_sets.reserve(kept.size());
+  for (const Csg& c : kept) {
+    std::set<int> nodes;
+    for (int n : c.GraphNodeSet()) {
+      if (!graph.node(n).reified) nodes.insert(n);
+    }
+    node_sets.push_back(std::move(nodes));
+  }
+  std::vector<bool> dominated(kept.size(), false);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    for (size_t j = 0; j < kept.size(); ++j) {
+      if (i == j || dominated[j]) continue;
+      if (node_sets[j].size() < node_sets[i].size() &&
+          std::includes(node_sets[i].begin(), node_sets[i].end(),
+                        node_sets[j].begin(), node_sets[j].end())) {
+        dominated[i] = true;
+        break;
+      }
+    }
+  }
+  std::vector<Csg> minimal;
+  for (size_t i = 0; i < kept.size(); ++i) {
+    if (!dominated[i]) minimal.push_back(std::move(kept[i]));
+  }
+
+  // Deduplicate by undirected edge set.
+  std::vector<Csg> unique;
+  std::vector<std::set<int>> seen;
+  for (Csg& c : minimal) {
+    std::set<int> key = c.UndirectedEdgeSet(graph);
+    bool duplicate = false;
+    for (const std::set<int>& s : seen) {
+      if (s == key) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      seen.push_back(std::move(key));
+      unique.push_back(std::move(c));
+      if (unique.size() >= options.max_results) break;
+    }
+  }
+  return unique;
+}
+
+}  // namespace semap::disc

@@ -1,0 +1,76 @@
+// Minimal (functional) tree search over the CM graph.
+//
+// Trees are grown as unions of minimal-cost paths out of a candidate root
+// (a shortest-path subtree), which is exact for the paper's "minimal
+// functional trees": with the Wald–Sorenson cost model, any anchored
+// functional tree is a union of functional root-to-terminal paths. A
+// brute-force reference implementation backs the property tests.
+#ifndef SEMAP_DISCOVERY_TREE_SEARCH_H_
+#define SEMAP_DISCOVERY_TREE_SEARCH_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "discovery/cost_model.h"
+#include "discovery/csg.h"
+
+namespace semap::disc {
+
+struct TreeSearchOptions {
+  /// Restrict traversal to functional-direction edges (strict Case A/B
+  /// trees). When false, non-functional edges are allowed at the
+  /// Wald–Sorenson penalty ("minimally lossy joins").
+  bool functional_only = true;
+  /// Ablation flag: when false, ISA edges are never traversed.
+  bool use_isa = true;
+  /// Maximum number of trees MinimalTrees returns.
+  size_t max_results = 8;
+  /// Class nodes the search must not touch (used when splitting an
+  /// inconsistent connection: the split-away node stays out).
+  std::set<int> excluded_nodes;
+};
+
+/// \brief Single-source minimal-cost paths from `root` over class nodes.
+struct ShortestPaths {
+  std::vector<int64_t> dist;      // indexed by graph node id; INT64_MAX = ∞
+  std::vector<int> parent_edge;   // one optimal edge per node; -1 at root/∞
+  /// All optimal parent edges per node (ties included): every edge e with
+  /// dist[e.from] + cost(e) == dist[e.to].
+  std::vector<std::vector<int>> parent_edges;
+};
+
+ShortestPaths ComputeShortestPaths(const cm::CmGraph& graph,
+                                   const CostModel& costs, int root,
+                                   const TreeSearchOptions& options);
+
+/// \brief Grow the minimal-cost tree rooted at `root` covering every
+/// reachable terminal. `uncovered` (optional out) receives terminals that
+/// were unreachable. Returns nullopt when no terminal is reachable or the
+/// tree would be a single node with no terminals.
+std::optional<Csg> GrowTree(const cm::CmGraph& graph, const CostModel& costs,
+                            int root, const std::vector<int>& terminals,
+                            const TreeSearchOptions& options,
+                            std::vector<int>* uncovered = nullptr);
+
+/// \brief All minimal-cost trees rooted at `root` covering every reachable
+/// terminal: enumerates the alternative optimal parent choices (e.g. two
+/// parallel functional relationships of equal cost), up to
+/// options.max_results trees, deduplicated by undirected edge set.
+std::vector<Csg> GrowAllTrees(const cm::CmGraph& graph, const CostModel& costs,
+                              int root, const std::vector<int>& terminals,
+                              const TreeSearchOptions& options,
+                              std::vector<int>* uncovered = nullptr);
+
+/// \brief Enumerate minimal trees covering all `terminals`, over every
+/// candidate root: keeps full-coverage trees of minimal cost, prunes trees
+/// whose node set strictly contains another's (Case A.2 minimality), and
+/// deduplicates by undirected edge set. Tie-breaks prefer trees using more
+/// pre-selected s-tree edges, then fewer nodes.
+std::vector<Csg> MinimalTrees(const cm::CmGraph& graph, const CostModel& costs,
+                              const std::vector<int>& terminals,
+                              const TreeSearchOptions& options);
+
+}  // namespace semap::disc
+
+#endif  // SEMAP_DISCOVERY_TREE_SEARCH_H_

@@ -1,0 +1,89 @@
+#include "eval/diagnostics.h"
+
+#include "util/string_util.h"
+
+namespace semap::eval {
+
+std::string MappingDiagnostics::ToString() const {
+  std::string out =
+      "source matches: " + std::to_string(source_matches) + "\n";
+  for (const TableDiagnostics& t : tables) {
+    out += t.table + ": " + std::to_string(t.tuples) + " tuple(s)";
+    std::vector<std::string> null_cols;
+    for (const auto& [col, n] : t.nulls_per_column) {
+      if (n > 0) null_cols.push_back(col + "=" + std::to_string(n));
+    }
+    if (!null_cols.empty()) {
+      out += ", invented values: " + Join(null_cols, ", ");
+    }
+    if (t.key_violations > 0) {
+      out += ", PRIMARY KEY VIOLATIONS: " + std::to_string(t.key_violations);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<MappingDiagnostics> DiagnoseMapping(
+    const logic::Tgd& tgd, const exec::Instance& source_data,
+    const rel::RelationalSchema& target_schema) {
+  MappingDiagnostics out;
+
+  // Count source matches.
+  logic::ConjunctiveQuery body_query = tgd.source;
+  body_query.head.clear();
+  for (const std::string& v : tgd.source.Variables()) {
+    body_query.head.push_back(logic::Term::Var(v));
+  }
+  SEMAP_ASSIGN_OR_RETURN(std::vector<exec::Tuple> matches,
+                         exec::EvaluateQuery(body_query, source_data));
+  out.source_matches = matches.size();
+
+  exec::Instance target_data;
+  SEMAP_RETURN_NOT_OK(
+      exec::ApplyTgd(tgd, source_data, &target_data).status());
+
+  for (const auto& [table, rows] : target_data.relations()) {
+    TableDiagnostics diag;
+    diag.table = table;
+    diag.tuples = rows.size();
+    const rel::Table* def = target_schema.FindTable(table);
+    std::vector<std::string> columns;
+    if (def != nullptr) {
+      columns = def->columns();
+    }
+    for (const exec::Tuple& row : rows) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (!row[i].is_null) continue;
+        std::string col =
+            i < columns.size() ? columns[i] : "$" + std::to_string(i);
+        ++diag.nulls_per_column[col];
+      }
+    }
+    // Primary-key violations: same key values, different rows.
+    if (def != nullptr && !def->primary_key().empty()) {
+      std::vector<int> key_positions;
+      for (const std::string& k : def->primary_key()) {
+        key_positions.push_back(def->ColumnIndex(k));
+      }
+      for (size_t i = 0; i < rows.size(); ++i) {
+        for (size_t j = i + 1; j < rows.size(); ++j) {
+          bool keys_equal = true;
+          for (int pos : key_positions) {
+            if (pos < 0 || static_cast<size_t>(pos) >= rows[i].size() ||
+                !(rows[i][static_cast<size_t>(pos)] ==
+                  rows[j][static_cast<size_t>(pos)])) {
+              keys_equal = false;
+              break;
+            }
+          }
+          if (keys_equal) ++diag.key_violations;
+        }
+      }
+    }
+    out.tables.push_back(std::move(diag));
+  }
+  return out;
+}
+
+}  // namespace semap::eval

@@ -1,0 +1,45 @@
+// Mapping diagnostics: execute a generated mapping over a sample source
+// instance and report what a user debugging the mapping would want —
+// how many target tuples it produces, how many invented (null) values per
+// column, and whether the materialized data violates the target's primary
+// keys. Clio couples mapping generation with debugging; the paper
+// positions the semantic technique as embeddable in exactly that loop
+// (§6), so the library ships the corresponding instrumentation.
+#ifndef SEMAP_EVAL_DIAGNOSTICS_H_
+#define SEMAP_EVAL_DIAGNOSTICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/instance.h"
+#include "relational/schema.h"
+#include "util/result.h"
+
+namespace semap::eval {
+
+struct TableDiagnostics {
+  std::string table;
+  size_t tuples = 0;
+  /// Invented (labeled-null) values per column name.
+  std::map<std::string, size_t> nulls_per_column;
+  /// Pairs of tuples agreeing on the primary key but differing elsewhere.
+  size_t key_violations = 0;
+};
+
+struct MappingDiagnostics {
+  size_t source_matches = 0;  // satisfying assignments of the source side
+  std::vector<TableDiagnostics> tables;
+
+  std::string ToString() const;
+};
+
+/// \brief Apply `tgd` to `source_data` and analyze the produced target
+/// tuples against `target_schema`.
+Result<MappingDiagnostics> DiagnoseMapping(
+    const logic::Tgd& tgd, const exec::Instance& source_data,
+    const rel::RelationalSchema& target_schema);
+
+}  // namespace semap::eval
+
+#endif  // SEMAP_EVAL_DIAGNOSTICS_H_

@@ -1,0 +1,214 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "logic/containment.h"
+#include "semantics/fd.h"
+
+namespace semap::eval {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+namespace {
+
+std::vector<baseline::ColumnFd> SemanticFds(const sem::AnnotatedSchema& side) {
+  std::vector<baseline::ColumnFd> out;
+  for (const sem::TableFd& fd : sem::DeriveSchemaFds(side)) {
+    out.push_back(baseline::ColumnFd{fd.table, fd.lhs, fd.rhs});
+  }
+  return out;
+}
+
+// Both normal forms of one query under a side's constraints: the EGD-only
+// form (same size; used as the homomorphism *pattern*) and the full chase
+// (the canonical instance; used as the homomorphism *target*). Equivalence
+// under dependencies Σ is q1 ≡_Σ q2 iff hom(q2 → chase_Σ(q1)) and
+// hom(q1 → chase_Σ(q2)); keeping the patterns unchased keeps the check
+// tractable even when cyclic RICs force the chase to its atom cap.
+struct NormalForms {
+  logic::ConjunctiveQuery egd;
+  logic::ConjunctiveQuery full;
+};
+
+NormalForms Normalize(const logic::ConjunctiveQuery& q,
+                      const rel::RelationalSchema& schema,
+                      const std::vector<baseline::ColumnFd>& fds,
+                      const std::vector<sem::CrossTableFd>& cross) {
+  NormalForms out;
+  baseline::ChaseOptions egd_only;
+  egd_only.apply_rics = false;
+  out.egd =
+      baseline::ChaseQueryWithConstraints(schema, q, fds, cross, egd_only);
+  out.full = baseline::ChaseQueryWithConstraints(schema, out.egd, fds, cross);
+  return out;
+}
+
+bool EquivalentUnderConstraints(const NormalForms& a, const NormalForms& b) {
+  return logic::Contains(b.egd, a.full) && logic::Contains(a.egd, b.full);
+}
+
+bool MatchesWithFds(const logic::Tgd& generated, const logic::Tgd& benchmark,
+                    const sem::AnnotatedSchema& source,
+                    const sem::AnnotatedSchema& target,
+                    const std::vector<baseline::ColumnFd>& source_fds,
+                    const std::vector<baseline::ColumnFd>& target_fds,
+                    const std::vector<sem::CrossTableFd>& source_cross,
+                    const std::vector<sem::CrossTableFd>& target_cross) {
+  if (generated.source.head.size() != benchmark.source.head.size() ||
+      generated.target.head.size() != benchmark.target.head.size()) {
+    return false;
+  }
+  NormalForms g_src = Normalize(generated.source, source.schema(), source_fds,
+                                source_cross);
+  NormalForms g_tgt = Normalize(generated.target, target.schema(), target_fds,
+                                target_cross);
+  // The frontier orders of independently produced mappings may differ; try
+  // every alignment of the benchmark's frontier (frontiers are tiny).
+  const size_t n = benchmark.source.head.size();
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    logic::Tgd permuted = benchmark;
+    for (size_t i = 0; i < n; ++i) {
+      permuted.source.head[i] = benchmark.source.head[perm[i]];
+      permuted.target.head[i] = benchmark.target.head[perm[i]];
+    }
+    NormalForms b_src = Normalize(permuted.source, source.schema(),
+                                  source_fds, source_cross);
+    NormalForms b_tgt = Normalize(permuted.target, target.schema(),
+                                  target_fds, target_cross);
+    if (EquivalentUnderConstraints(g_src, b_src) &&
+        EquivalentUnderConstraints(g_tgt, b_tgt)) {
+      return true;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+}  // namespace
+
+bool MatchesBenchmark(const logic::Tgd& generated, const logic::Tgd& benchmark,
+                      const sem::AnnotatedSchema& source,
+                      const sem::AnnotatedSchema& target) {
+  return MatchesWithFds(generated, benchmark, source, target,
+                        SemanticFds(source), SemanticFds(target),
+                        sem::DeriveCrossTableFds(source),
+                        sem::DeriveCrossTableFds(target));
+}
+
+CaseResult ScoreCase(const std::string& name,
+                     const std::vector<std::vector<logic::Tgd>>& generated,
+                     const std::vector<logic::Tgd>& benchmark,
+                     const sem::AnnotatedSchema& source,
+                     const sem::AnnotatedSchema& target) {
+  CaseResult result;
+  result.name = name;
+  result.generated = generated.size();
+  result.expected = benchmark.size();
+  std::vector<baseline::ColumnFd> source_fds = SemanticFds(source);
+  std::vector<baseline::ColumnFd> target_fds = SemanticFds(target);
+  std::vector<sem::CrossTableFd> source_cross = sem::DeriveCrossTableFds(source);
+  std::vector<sem::CrossTableFd> target_cross = sem::DeriveCrossTableFds(target);
+  std::vector<bool> benchmark_used(benchmark.size(), false);
+  for (const std::vector<logic::Tgd>& variants : generated) {
+    bool mapping_matched = false;
+    for (size_t i = 0; i < benchmark.size() && !mapping_matched; ++i) {
+      if (benchmark_used[i]) continue;
+      for (const logic::Tgd& variant : variants) {
+        if (MatchesWithFds(variant, benchmark[i], source, target, source_fds,
+                           target_fds, source_cross, target_cross)) {
+          benchmark_used[i] = true;
+          ++result.matched;
+          mapping_matched = true;
+          break;
+        }
+      }
+    }
+  }
+  result.precision = result.generated == 0
+                         ? 0.0
+                         : static_cast<double>(result.matched) /
+                               static_cast<double>(result.generated);
+  result.recall = result.expected == 0
+                      ? 0.0
+                      : static_cast<double>(result.matched) /
+                            static_cast<double>(result.expected);
+  return result;
+}
+
+MethodResult EvaluateSemantic(const Domain& domain,
+                              const rew::SemanticMapperOptions& options) {
+  MethodResult out;
+  out.method = "semantic";
+  for (const TestCase& test_case : domain.cases) {
+    auto start = std::chrono::steady_clock::now();
+    auto mappings = rew::GenerateSemanticMappings(
+        domain.source, domain.target, test_case.correspondences, options);
+    double elapsed = Seconds(start);
+    std::vector<std::vector<logic::Tgd>> generated;
+    if (mappings.ok()) {
+      for (const rew::GeneratedMapping& m : *mappings) {
+        generated.push_back(m.variants);
+      }
+    }
+    CaseResult cr = ScoreCase(test_case.name, generated, test_case.benchmark,
+                              domain.source, domain.target);
+    cr.seconds = elapsed;
+    out.total_seconds += elapsed;
+    out.cases.push_back(std::move(cr));
+  }
+  for (const CaseResult& cr : out.cases) {
+    out.avg_precision += cr.precision;
+    out.avg_recall += cr.recall;
+  }
+  if (!out.cases.empty()) {
+    out.avg_precision /= static_cast<double>(out.cases.size());
+    out.avg_recall /= static_cast<double>(out.cases.size());
+  }
+  return out;
+}
+
+MethodResult EvaluateRic(const Domain& domain,
+                         const baseline::RicMapperOptions& options) {
+  MethodResult out;
+  out.method = "ric";
+  for (const TestCase& test_case : domain.cases) {
+    auto start = std::chrono::steady_clock::now();
+    auto mappings = baseline::GenerateRicMappings(
+        domain.source.schema(), domain.target.schema(),
+        test_case.correspondences, options);
+    double elapsed = Seconds(start);
+    std::vector<std::vector<logic::Tgd>> generated;
+    if (mappings.ok()) {
+      for (const baseline::RicMapping& m : *mappings) {
+        generated.push_back({m.tgd});
+      }
+    }
+    CaseResult cr = ScoreCase(test_case.name, generated, test_case.benchmark,
+                              domain.source, domain.target);
+    cr.seconds = elapsed;
+    out.total_seconds += elapsed;
+    out.cases.push_back(std::move(cr));
+  }
+  for (const CaseResult& cr : out.cases) {
+    out.avg_precision += cr.precision;
+    out.avg_recall += cr.recall;
+  }
+  if (!out.cases.empty()) {
+    out.avg_precision /= static_cast<double>(out.cases.size());
+    out.avg_recall /= static_cast<double>(out.cases.size());
+  }
+  return out;
+}
+
+}  // namespace semap::eval

@@ -1,0 +1,73 @@
+#include "eval/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace semap::eval {
+
+namespace {
+
+/// The paper's "#nodes in CM" metric: class nodes of the compiled graph.
+size_t NodeCount(const sem::AnnotatedSchema& side) {
+  return side.graph().ClassNodes().size();
+}
+
+std::string Sprintf(const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+std::string FormatTable1Header() {
+  return Sprintf("%-10s %8s %-18s %7s %10s %10s\n", "Schema", "#tables",
+                 "associated CM", "#nodes", "#mappings", "time(s)");
+}
+
+std::string FormatTable1Row(const Domain& domain,
+                            const MethodResult& semantic) {
+  std::string out;
+  out += Sprintf("%-10s %8zu %-18s %7zu %10zu %10.4f\n",
+                 domain.source_label.c_str(), domain.source.schema().tables().size(),
+                 domain.source_cm_label.c_str(),
+                 NodeCount(domain.source), domain.cases.size(),
+                 semantic.total_seconds);
+  out += Sprintf("%-10s %8zu %-18s %7zu %10s %10s\n",
+                 domain.target_label.c_str(), domain.target.schema().tables().size(),
+                 domain.target_cm_label.c_str(),
+                 NodeCount(domain.target), "", "");
+  return out;
+}
+
+std::string FormatCaseDetails(const Domain& domain,
+                              const MethodResult& result) {
+  std::string out = domain.name + " [" + result.method + "]\n";
+  for (const CaseResult& cr : result.cases) {
+    out += Sprintf("  %-28s |P|=%-3zu |R|=%-3zu matched=%-3zu P=%.2f R=%.2f "
+                   "(%.4fs)\n",
+                   cr.name.c_str(), cr.generated, cr.expected, cr.matched,
+                   cr.precision, cr.recall, cr.seconds);
+  }
+  out += Sprintf("  %-28s avg precision=%.3f avg recall=%.3f\n", "==",
+                 result.avg_precision, result.avg_recall);
+  return out;
+}
+
+std::string FormatComparisonTable(
+    const std::vector<std::string>& domain_names,
+    const std::vector<MethodResult>& semantic,
+    const std::vector<MethodResult>& ric, bool precision) {
+  std::string out = Sprintf("%-12s %10s %10s\n", "Domain", "Semantic", "RIC");
+  for (size_t i = 0; i < domain_names.size(); ++i) {
+    double s = precision ? semantic[i].avg_precision : semantic[i].avg_recall;
+    double r = precision ? ric[i].avg_precision : ric[i].avg_recall;
+    out += Sprintf("%-12s %10.3f %10.3f\n", domain_names[i].c_str(), s, r);
+  }
+  return out;
+}
+
+}  // namespace semap::eval

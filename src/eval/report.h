@@ -1,0 +1,35 @@
+// Textual reporting of evaluation results: Table-1 style characteristics
+// rows, per-case precision/recall details, and Figure 6/7 style
+// comparison tables.
+#ifndef SEMAP_EVAL_REPORT_H_
+#define SEMAP_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace semap::eval {
+
+/// \brief One row of Table 1 for `domain` (both schemas), including the
+/// measured semantic mapping-generation time.
+std::string FormatTable1Row(const Domain& domain,
+                            const MethodResult& semantic);
+
+/// \brief Header matching FormatTable1Row.
+std::string FormatTable1Header();
+
+/// \brief Per-case details of one method run.
+std::string FormatCaseDetails(const Domain& domain,
+                              const MethodResult& result);
+
+/// \brief Figure 6/7 style comparison: one row per domain with both
+/// methods' average precision or recall.
+std::string FormatComparisonTable(
+    const std::vector<std::string>& domain_names,
+    const std::vector<MethodResult>& semantic,
+    const std::vector<MethodResult>& ric, bool precision);
+
+}  // namespace semap::eval
+
+#endif  // SEMAP_EVAL_REPORT_H_

@@ -1,0 +1,256 @@
+#include "exec/instance.h"
+
+#include <algorithm>
+#include <set>
+
+namespace semap::exec {
+
+void Instance::Insert(const std::string& table, Tuple tuple) {
+  std::vector<Tuple>& rows = relations_[table];
+  if (std::find(rows.begin(), rows.end(), tuple) == rows.end()) {
+    rows.push_back(std::move(tuple));
+  }
+}
+
+void Instance::InsertRow(const std::string& table,
+                         const std::vector<std::string>& values) {
+  Tuple tuple;
+  tuple.reserve(values.size());
+  for (const std::string& v : values) tuple.push_back(Value::Const(v));
+  Insert(table, std::move(tuple));
+}
+
+const std::vector<Tuple>& Instance::Rows(const std::string& table) const {
+  static const std::vector<Tuple> kEmpty;
+  auto it = relations_.find(table);
+  return it == relations_.end() ? kEmpty : it->second;
+}
+
+bool Instance::HasTable(const std::string& table) const {
+  return relations_.count(table) > 0;
+}
+
+size_t Instance::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [table, rows] : relations_) n += rows.size();
+  return n;
+}
+
+std::string Instance::ToString() const {
+  std::string out;
+  for (const auto& [table, rows] : relations_) {
+    out += table + ":\n";
+    for (const Tuple& row : rows) {
+      out += "  (";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += row[i].ToString();
+      }
+      out += ")\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+using Binding = std::map<std::string, Value>;
+
+/// Match `term` against `value`, extending `binding`.
+bool MatchTerm(const logic::Term& term, const Value& value, Binding& binding) {
+  switch (term.kind) {
+    case logic::TermKind::kVariable: {
+      auto it = binding.find(term.name);
+      if (it != binding.end()) return it->second == value;
+      binding[term.name] = value;
+      return true;
+    }
+    case logic::TermKind::kConstant:
+      return !value.is_null && value.text == term.name;
+    case logic::TermKind::kFunction:
+      return false;  // not evaluable
+  }
+  return false;
+}
+
+void Search(const logic::ConjunctiveQuery& query, const Instance& instance,
+            size_t atom_index, Binding& binding,
+            std::set<Tuple>& results) {
+  if (atom_index == query.body.size()) {
+    Tuple out;
+    out.reserve(query.head.size());
+    for (const logic::Term& t : query.head) {
+      if (t.kind == logic::TermKind::kConstant) {
+        out.push_back(Value::Const(t.name));
+      } else {
+        auto it = binding.find(t.name);
+        // Unbound head variables should not occur in safe queries; treat
+        // as a null-less sentinel constant to keep evaluation total.
+        out.push_back(it == binding.end() ? Value::Const("?") : it->second);
+      }
+    }
+    results.insert(std::move(out));
+    return;
+  }
+  const logic::Atom& atom = query.body[atom_index];
+  for (const Tuple& row : instance.Rows(atom.predicate)) {
+    if (row.size() != atom.terms.size()) continue;
+    Binding snapshot = binding;
+    bool ok = true;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (!MatchTerm(atom.terms[i], row[i], binding)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) Search(query, instance, atom_index + 1, binding, results);
+    binding = std::move(snapshot);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Tuple>> EvaluateQuery(const logic::ConjunctiveQuery& query,
+                                         const Instance& instance) {
+  for (const logic::Atom& atom : query.body) {
+    for (const logic::Term& t : atom.terms) {
+      if (t.kind == logic::TermKind::kFunction) {
+        return Status::Unsupported("function terms are not evaluable: " +
+                                   atom.ToString());
+      }
+    }
+  }
+  std::set<Tuple> results;
+  Binding binding;
+  Search(query, instance, 0, binding, results);
+  return std::vector<Tuple>(results.begin(), results.end());
+}
+
+Result<size_t> ApplyTgd(const logic::Tgd& tgd, const Instance& source,
+                        Instance* target) {
+  // Evaluate the source side with *all* source variables exported, so the
+  // target side can reference any of them (frontier variables included).
+  logic::ConjunctiveQuery body_query = tgd.source;
+  body_query.head.clear();
+  for (const std::string& v : tgd.source.Variables()) {
+    body_query.head.push_back(logic::Term::Var(v));
+  }
+  SEMAP_ASSIGN_OR_RETURN(std::vector<Tuple> matches,
+                         EvaluateQuery(body_query, source));
+
+  size_t before = target->TotalTuples();
+  std::vector<std::string> exported;
+  for (const logic::Term& t : body_query.head) exported.push_back(t.name);
+
+  for (const Tuple& match : matches) {
+    std::map<std::string, Value> env;
+    for (size_t i = 0; i < exported.size(); ++i) {
+      env[exported[i]] = match[i];
+    }
+    // Fresh nulls for the target-side existential variables, one per
+    // match (naive chase).
+    for (const std::string& v : tgd.target.Variables()) {
+      if (env.count(v) == 0) env[v] = target->FreshNull();
+    }
+    for (const logic::Atom& atom : tgd.target.body) {
+      Tuple row;
+      row.reserve(atom.terms.size());
+      for (const logic::Term& t : atom.terms) {
+        if (t.kind == logic::TermKind::kConstant) {
+          row.push_back(Value::Const(t.name));
+        } else if (t.kind == logic::TermKind::kVariable) {
+          row.push_back(env[t.name]);
+        } else {
+          return Status::Unsupported("function term in tgd target: " +
+                                     atom.ToString());
+        }
+      }
+      target->Insert(atom.predicate, std::move(row));
+    }
+  }
+  return target->TotalTuples() - before;
+}
+
+namespace {
+
+bool MatchTuples(const Tuple& pattern, const Tuple& target,
+                 std::map<int, Value>& null_map) {
+  if (pattern.size() != target.size()) return false;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i].is_null) {
+      auto it = null_map.find(pattern[i].null_id);
+      if (it != null_map.end()) {
+        if (!(it->second == target[i])) return false;
+      } else {
+        null_map[pattern[i].null_id] = target[i];
+      }
+    } else if (!(pattern[i] == target[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SubEntry {
+  const std::string* table;
+  const Tuple* tuple;
+};
+
+bool SearchNulls(const std::vector<SubEntry>& entries, size_t index,
+                 const Instance& super, std::map<int, Value>& null_map) {
+  if (index == entries.size()) return true;
+  for (const Tuple& candidate : super.Rows(*entries[index].table)) {
+    std::map<int, Value> snapshot = null_map;
+    if (MatchTuples(*entries[index].tuple, candidate, null_map) &&
+        SearchNulls(entries, index + 1, super, null_map)) {
+      return true;
+    }
+    null_map = std::move(snapshot);
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> SatisfiesTgd(const logic::Tgd& tgd, const Instance& source,
+                          const Instance& target) {
+  // Evaluate the source side exporting the frontier; each frontier value
+  // combination must extend to a target-side match.
+  SEMAP_ASSIGN_OR_RETURN(std::vector<Tuple> matches,
+                         EvaluateQuery(tgd.source, source));
+  for (const Tuple& match : matches) {
+    // Substitute the frontier values as constants into the target query.
+    logic::ConjunctiveQuery probe = tgd.target;
+    logic::Substitution sub;
+    for (size_t i = 0; i < tgd.target.head.size() && i < match.size(); ++i) {
+      const logic::Term& head = tgd.target.head[i];
+      if (!head.IsVar()) continue;
+      // Nulls in the frontier cannot be written as constants; treat the
+      // whole match as satisfied only via a fresh variable (the null can
+      // match anything a variable can).
+      if (match[i].is_null) continue;
+      sub[head.name] = logic::Term::Const(match[i].text);
+    }
+    probe = ApplySubstitution(probe, sub);
+    probe.head.clear();
+    SEMAP_ASSIGN_OR_RETURN(std::vector<Tuple> witnesses,
+                           EvaluateQuery(probe, target));
+    if (witnesses.empty()) return false;
+  }
+  return true;
+}
+
+bool ContainsUpToNulls(const Instance& super, const Instance& sub) {
+  // Collect every tuple of `sub` (with its table); nulls must map
+  // consistently across all of them.
+  std::vector<SubEntry> entries;
+  for (const auto& [table, rows] : sub.relations()) {
+    for (const Tuple& t : rows) {
+      entries.push_back({&table, &t});
+    }
+  }
+  std::map<int, Value> null_map;
+  return SearchNulls(entries, 0, super, null_map);
+}
+
+}  // namespace semap::exec

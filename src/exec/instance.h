@@ -1,0 +1,109 @@
+// A tiny in-memory relational instance with labeled nulls — enough of a
+// data-exchange substrate to *execute* generated schema mappings: evaluate
+// a mapping's source query over source data and materialize target tuples,
+// Skolemizing the existential positions with fresh nulls (the standard
+// universal-solution construction of Fagin et al., the paper's [7]).
+//
+// This is how the integration tests check that a discovered mapping is
+// not just syntactically expected but moves the right data.
+#ifndef SEMAP_EXEC_INSTANCE_H_
+#define SEMAP_EXEC_INSTANCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logic/cq.h"
+#include "logic/tgd.h"
+#include "util/result.h"
+
+namespace semap::exec {
+
+/// \brief A data value: a constant string or a labeled null (⊥k).
+struct Value {
+  bool is_null = false;
+  std::string text;  // constant text, or printable label for nulls
+  int null_id = -1;
+
+  static Value Const(std::string text) {
+    Value v;
+    v.text = std::move(text);
+    return v;
+  }
+  static Value Null(int id) {
+    Value v;
+    v.is_null = true;
+    v.null_id = id;
+    v.text = "_N" + std::to_string(id);
+    return v;
+  }
+
+  bool operator==(const Value& other) const {
+    if (is_null != other.is_null) return false;
+    return is_null ? null_id == other.null_id : text == other.text;
+  }
+  bool operator<(const Value& other) const {
+    if (is_null != other.is_null) return is_null < other.is_null;
+    return is_null ? null_id < other.null_id : text < other.text;
+  }
+  std::string ToString() const { return text; }
+};
+
+using Tuple = std::vector<Value>;
+
+/// \brief A relational instance: named relations holding tuples.
+class Instance {
+ public:
+  /// Insert `tuple` into `table` (duplicates are kept out).
+  void Insert(const std::string& table, Tuple tuple);
+
+  /// Convenience: insert a row of constants.
+  void InsertRow(const std::string& table,
+                 const std::vector<std::string>& values);
+
+  const std::vector<Tuple>& Rows(const std::string& table) const;
+  bool HasTable(const std::string& table) const;
+  size_t TotalTuples() const;
+  const std::map<std::string, std::vector<Tuple>>& relations() const {
+    return relations_;
+  }
+
+  /// Fresh labeled null (monotone counter per instance).
+  Value FreshNull() { return Value::Null(next_null_++); }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::vector<Tuple>> relations_;
+  int next_null_ = 0;
+};
+
+/// \brief Evaluate a conjunctive query over `instance`: one output tuple
+/// per satisfying assignment, projected onto the head terms (duplicates
+/// removed). Body predicates are table names; terms may be variables or
+/// constants. Function terms are not evaluable and yield an error.
+Result<std::vector<Tuple>> EvaluateQuery(const logic::ConjunctiveQuery& query,
+                                         const Instance& instance);
+
+/// \brief Apply a source-to-target tgd once (one naive-chase step): for
+/// every match of the source side in `source`, add the target atoms to
+/// `target`, instantiating each existential variable with a fresh labeled
+/// null per match. Returns the number of tuples added.
+Result<size_t> ApplyTgd(const logic::Tgd& tgd, const Instance& source,
+                        Instance* target);
+
+/// \brief True if every tuple of `sub` appears in `super` *up to a
+/// homomorphism on nulls* (nulls may map to any value, consistently) —
+/// the standard comparison for data-exchange solutions.
+bool ContainsUpToNulls(const Instance& super, const Instance& sub);
+
+/// \brief True when (source, target) satisfies the tgd: every match of the
+/// tgd's source side in `source` extends to a match of its target side in
+/// `target` (the defining property of a data-exchange solution; ApplyTgd's
+/// output always satisfies it).
+Result<bool> SatisfiesTgd(const logic::Tgd& tgd, const Instance& source,
+                          const Instance& target);
+
+}  // namespace semap::exec
+
+#endif  // SEMAP_EXEC_INSTANCE_H_

@@ -1,0 +1,123 @@
+#include "logic/containment.h"
+
+#include <algorithm>
+
+namespace semap::logic {
+
+namespace {
+
+// Extend `sub` so that pattern maps onto target; returns false (leaving sub
+// possibly extended — callers snapshot) when impossible.
+bool MatchTerm(const Term& pattern, const Term& target, Substitution& sub) {
+  switch (pattern.kind) {
+    case TermKind::kVariable: {
+      auto it = sub.find(pattern.name);
+      if (it != sub.end()) return it->second == target;
+      sub[pattern.name] = target;
+      return true;
+    }
+    case TermKind::kConstant:
+      return target.kind == TermKind::kConstant && target.name == pattern.name;
+    case TermKind::kFunction: {
+      if (target.kind != TermKind::kFunction || target.name != pattern.name ||
+          target.args.size() != pattern.args.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < pattern.args.size(); ++i) {
+        if (!MatchTerm(pattern.args[i], target.args[i], sub)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MatchAtom(const Atom& pattern, const Atom& target, Substitution& sub) {
+  if (pattern.predicate != target.predicate ||
+      pattern.terms.size() != target.terms.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < pattern.terms.size(); ++i) {
+    if (!MatchTerm(pattern.terms[i], target.terms[i], sub)) return false;
+  }
+  return true;
+}
+
+// Backstop against catastrophic backtracking on bodies with many
+// same-predicate atoms; hitting it reports "no homomorphism", which is the
+// conservative answer for every caller (containment checks fail open).
+constexpr long kMaxHomSteps = 200000;
+
+bool SearchBody(const std::vector<Atom>& pattern_body, size_t index,
+                const std::vector<Atom>& target_body, Substitution& sub,
+                long& steps) {
+  if (index == pattern_body.size()) return true;
+  for (const Atom& candidate : target_body) {
+    if (++steps > kMaxHomSteps) return false;
+    Substitution snapshot = sub;
+    if (MatchAtom(pattern_body[index], candidate, sub) &&
+        SearchBody(pattern_body, index + 1, target_body, sub, steps)) {
+      return true;
+    }
+    sub = std::move(snapshot);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Substitution> FindHomomorphism(const ConjunctiveQuery& from,
+                                             const ConjunctiveQuery& to) {
+  if (from.head.size() != to.head.size()) return std::nullopt;
+  Substitution sub;
+  for (size_t i = 0; i < from.head.size(); ++i) {
+    if (!MatchTerm(from.head[i], to.head[i], sub)) return std::nullopt;
+  }
+  // Match the most selective pattern atoms first: fewer same-predicate
+  // candidates in the target means earlier pruning.
+  std::vector<Atom> ordered = from.body;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](const Atom& a, const Atom& b) {
+                     auto count = [&](const Atom& atom) {
+                       size_t n = 0;
+                       for (const Atom& t : to.body) {
+                         if (t.predicate == atom.predicate) ++n;
+                       }
+                       return n;
+                     };
+                     return count(a) < count(b);
+                   });
+  long steps = 0;
+  if (!SearchBody(ordered, 0, to.body, sub, steps)) return std::nullopt;
+  return sub;
+}
+
+bool Contains(const ConjunctiveQuery& q_super, const ConjunctiveQuery& q_sub) {
+  return FindHomomorphism(q_super, q_sub).has_value();
+}
+
+bool Equivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return Contains(a, b) && Contains(b, a);
+}
+
+ConjunctiveQuery Minimize(const ConjunctiveQuery& query) {
+  ConjunctiveQuery current = query;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < current.body.size(); ++i) {
+      ConjunctiveQuery candidate = current;
+      candidate.body.erase(candidate.body.begin() + static_cast<long>(i));
+      // Removing an atom only generalizes; the removal is sound when the
+      // smaller query still contains the original (hom current -> candidate).
+      if (FindHomomorphism(current, candidate).has_value()) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace semap::logic

@@ -1,0 +1,35 @@
+// Conjunctive-query homomorphism, containment, equivalence, minimization.
+//
+// Containment is decided by the classical homomorphism theorem
+// (Chandra–Merlin): q2 ⊆ q1 iff there is a homomorphism from q1 into q2
+// mapping head to head. Bodies in this library are small (a handful of
+// atoms), so the exponential worst case never bites.
+#ifndef SEMAP_LOGIC_CONTAINMENT_H_
+#define SEMAP_LOGIC_CONTAINMENT_H_
+
+#include <optional>
+
+#include "logic/cq.h"
+
+namespace semap::logic {
+
+/// \brief Find a homomorphism h from `from` into `to`: h maps variables of
+/// `from` to terms of `to`, constants and function symbols to themselves,
+/// every body atom of `from` onto some body atom of `to`, and the head of
+/// `from` onto the head of `to`.
+std::optional<Substitution> FindHomomorphism(const ConjunctiveQuery& from,
+                                             const ConjunctiveQuery& to);
+
+/// \brief q_sub ⊆ q_super: every answer of q_sub is an answer of q_super.
+bool Contains(const ConjunctiveQuery& q_super, const ConjunctiveQuery& q_sub);
+
+/// \brief Mutual containment.
+bool Equivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+/// \brief Remove redundant body atoms: the core of the query, unique up to
+/// isomorphism.
+ConjunctiveQuery Minimize(const ConjunctiveQuery& query);
+
+}  // namespace semap::logic
+
+#endif  // SEMAP_LOGIC_CONTAINMENT_H_

@@ -1,0 +1,133 @@
+#include "logic/cq.h"
+
+#include <tuple>
+
+#include "util/string_util.h"
+
+namespace semap::logic {
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case TermKind::kVariable:
+      return name;
+    case TermKind::kConstant:
+      return "'" + name + "'";
+    case TermKind::kFunction: {
+      std::vector<std::string> rendered;
+      rendered.reserve(args.size());
+      for (const Term& a : args) rendered.push_back(a.ToString());
+      return name + "(" + Join(rendered, ", ") + ")";
+    }
+  }
+  return "?";
+}
+
+bool Term::operator==(const Term& other) const {
+  return kind == other.kind && name == other.name && args == other.args;
+}
+
+bool Term::operator<(const Term& other) const {
+  if (kind != other.kind) return kind < other.kind;
+  if (name != other.name) return name < other.name;
+  return args < other.args;
+}
+
+std::string Atom::ToString() const {
+  std::vector<std::string> rendered;
+  rendered.reserve(terms.size());
+  for (const Term& t : terms) rendered.push_back(t.ToString());
+  return predicate + "(" + Join(rendered, ", ") + ")";
+}
+
+namespace {
+
+void CollectVariables(const Term& term, std::vector<std::string>& out,
+                      std::set<std::string>& seen) {
+  if (term.IsVar()) {
+    if (seen.insert(term.name).second) out.push_back(term.name);
+    return;
+  }
+  for (const Term& a : term.args) CollectVariables(a, out, seen);
+}
+
+}  // namespace
+
+std::vector<std::string> ConjunctiveQuery::Variables() const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const Term& t : head) CollectVariables(t, out, seen);
+  for (const Atom& a : body) {
+    for (const Term& t : a.terms) CollectVariables(t, out, seen);
+  }
+  return out;
+}
+
+std::vector<std::string> ConjunctiveQuery::ExistentialVariables() const {
+  std::set<std::string> head_vars;
+  {
+    std::vector<std::string> hv;
+    std::set<std::string> seen;
+    for (const Term& t : head) CollectVariables(t, hv, seen);
+    head_vars.insert(hv.begin(), hv.end());
+  }
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const Atom& a : body) {
+    for (const Term& t : a.terms) CollectVariables(t, out, seen);
+  }
+  std::vector<std::string> filtered;
+  for (const std::string& v : out) {
+    if (head_vars.count(v) == 0) filtered.push_back(v);
+  }
+  return filtered;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::vector<std::string> head_terms;
+  head_terms.reserve(head.size());
+  for (const Term& t : head) head_terms.push_back(t.ToString());
+  std::vector<std::string> body_atoms;
+  body_atoms.reserve(body.size());
+  for (const Atom& a : body) body_atoms.push_back(a.ToString());
+  return head_predicate + "(" + Join(head_terms, ", ") + ") :- " +
+         Join(body_atoms, ", ");
+}
+
+Term ApplySubstitution(const Term& term, const Substitution& sub) {
+  if (term.IsVar()) {
+    auto it = sub.find(term.name);
+    return it == sub.end() ? term : it->second;
+  }
+  if (term.kind == TermKind::kFunction) {
+    Term out = term;
+    for (Term& a : out.args) a = ApplySubstitution(a, sub);
+    return out;
+  }
+  return term;
+}
+
+Atom ApplySubstitution(const Atom& atom, const Substitution& sub) {
+  Atom out = atom;
+  for (Term& t : out.terms) t = ApplySubstitution(t, sub);
+  return out;
+}
+
+ConjunctiveQuery ApplySubstitution(const ConjunctiveQuery& query,
+                                   const Substitution& sub) {
+  ConjunctiveQuery out = query;
+  for (Term& t : out.head) t = ApplySubstitution(t, sub);
+  for (Atom& a : out.body) a = ApplySubstitution(a, sub);
+  return out;
+}
+
+ConjunctiveQuery RenameApart(const ConjunctiveQuery& query,
+                             const std::string& prefix) {
+  Substitution sub;
+  int counter = 0;
+  for (const std::string& v : query.Variables()) {
+    sub[v] = Term::Var(prefix + std::to_string(counter++));
+  }
+  return ApplySubstitution(query, sub);
+}
+
+}  // namespace semap::logic

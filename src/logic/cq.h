@@ -1,0 +1,94 @@
+// First-order building blocks: terms, atoms and conjunctive queries.
+//
+// Conjunctive queries are the lingua franca of the library: table semantics
+// are LAV formulas (CQ bodies over CM predicates), discovered conceptual
+// subgraphs are encoded as CQs, rewritings are CQs over table predicates,
+// and the evaluation matches generated mappings against benchmarks by CQ
+// equivalence.
+#ifndef SEMAP_LOGIC_CQ_H_
+#define SEMAP_LOGIC_CQ_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace semap::logic {
+
+enum class TermKind {
+  kVariable,
+  kConstant,
+  kFunction,  // uninterpreted function application, e.g. a Skolem term
+};
+
+/// \brief A variable, constant, or (Skolem) function term.
+struct Term {
+  TermKind kind = TermKind::kVariable;
+  std::string name;
+  std::vector<Term> args;  // kFunction only
+
+  static Term Var(std::string name) {
+    return Term{TermKind::kVariable, std::move(name), {}};
+  }
+  static Term Const(std::string name) {
+    return Term{TermKind::kConstant, std::move(name), {}};
+  }
+  static Term Func(std::string symbol, std::vector<Term> args) {
+    return Term{TermKind::kFunction, std::move(symbol), std::move(args)};
+  }
+
+  bool IsVar() const { return kind == TermKind::kVariable; }
+
+  std::string ToString() const;
+
+  bool operator==(const Term& other) const;
+  bool operator<(const Term& other) const;
+};
+
+/// \brief predicate(t1, ..., tn).
+struct Atom {
+  std::string predicate;
+  std::vector<Term> terms;
+
+  std::string ToString() const;
+  bool operator==(const Atom&) const = default;
+  bool operator<(const Atom& other) const {
+    if (predicate != other.predicate) return predicate < other.predicate;
+    return terms < other.terms;
+  }
+};
+
+/// \brief head(x̄) :- body. Variables in the body not in the head are
+/// existentially quantified.
+struct ConjunctiveQuery {
+  std::string head_predicate = "ans";
+  std::vector<Term> head;
+  std::vector<Atom> body;
+
+  /// All distinct variable names appearing in head or body, in first-seen
+  /// order.
+  std::vector<std::string> Variables() const;
+  /// Variables appearing in the body but not the head.
+  std::vector<std::string> ExistentialVariables() const;
+
+  std::string ToString() const;
+};
+
+/// \brief Substitution of variable names by terms.
+using Substitution = std::map<std::string, Term>;
+
+/// Apply `sub` to a term / atom / query (variables without an entry are
+/// left unchanged).
+Term ApplySubstitution(const Term& term, const Substitution& sub);
+Atom ApplySubstitution(const Atom& atom, const Substitution& sub);
+ConjunctiveQuery ApplySubstitution(const ConjunctiveQuery& query,
+                                   const Substitution& sub);
+
+/// \brief Rename every variable with the given prefix + counter; used to
+/// make two queries variable-disjoint.
+ConjunctiveQuery RenameApart(const ConjunctiveQuery& query,
+                             const std::string& prefix);
+
+}  // namespace semap::logic
+
+#endif  // SEMAP_LOGIC_CQ_H_

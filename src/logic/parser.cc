@@ -1,0 +1,122 @@
+#include "logic/parser.h"
+
+#include <set>
+
+#include "util/lexer.h"
+
+namespace semap::logic {
+
+namespace {
+
+// term := IDENT | IDENT '(' term, ... ')'   (nested = function term)
+Result<Term> ParseTerm(TokenCursor& cur) {
+  SEMAP_ASSIGN_OR_RETURN(std::string name, cur.ExpectIdentifier());
+  if (cur.TryConsumePunct("(")) {
+    std::vector<Term> args;
+    if (!cur.TryConsumePunct(")")) {
+      do {
+        SEMAP_ASSIGN_OR_RETURN(Term arg, ParseTerm(cur));
+        args.push_back(std::move(arg));
+      } while (cur.TryConsumePunct(","));
+      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(")"));
+    }
+    return Term::Func(std::move(name), std::move(args));
+  }
+  return Term::Var(std::move(name));
+}
+
+Result<Atom> ParseAtomAt(TokenCursor& cur) {
+  Atom atom;
+  SEMAP_ASSIGN_OR_RETURN(atom.predicate, cur.ExpectIdentifier());
+  // Dotted predicates ("Person.pname") for attribute atoms.
+  while (cur.TryConsumePunct(".")) {
+    SEMAP_ASSIGN_OR_RETURN(std::string part, cur.ExpectIdentifier());
+    atom.predicate += "." + part;
+  }
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("("));
+  if (!cur.TryConsumePunct(")")) {
+    do {
+      SEMAP_ASSIGN_OR_RETURN(Term term, ParseTerm(cur));
+      atom.terms.push_back(std::move(term));
+    } while (cur.TryConsumePunct(","));
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(")"));
+  }
+  return atom;
+}
+
+Result<std::vector<Atom>> ParseAtomList(TokenCursor& cur) {
+  std::vector<Atom> atoms;
+  do {
+    SEMAP_ASSIGN_OR_RETURN(Atom atom, ParseAtomAt(cur));
+    atoms.push_back(std::move(atom));
+  } while (cur.TryConsumePunct(","));
+  return atoms;
+}
+
+void CollectVars(const Term& t, std::vector<std::string>& order,
+                 std::set<std::string>& seen) {
+  if (t.IsVar()) {
+    if (seen.insert(t.name).second) order.push_back(t.name);
+    return;
+  }
+  for (const Term& a : t.args) CollectVars(a, order, seen);
+}
+
+}  // namespace
+
+Result<Atom> ParseAtom(std::string_view input) {
+  SEMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  TokenCursor cur(std::move(tokens));
+  SEMAP_ASSIGN_OR_RETURN(Atom atom, ParseAtomAt(cur));
+  if (!cur.AtEnd()) return cur.ErrorHere("trailing input after atom");
+  return atom;
+}
+
+Result<ConjunctiveQuery> ParseCq(std::string_view input) {
+  SEMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  TokenCursor cur(std::move(tokens));
+  ConjunctiveQuery query;
+  SEMAP_ASSIGN_OR_RETURN(Atom head, ParseAtomAt(cur));
+  query.head_predicate = head.predicate;
+  query.head = std::move(head.terms);
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct(":"));
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("-"));
+  SEMAP_ASSIGN_OR_RETURN(query.body, ParseAtomList(cur));
+  if (!cur.AtEnd()) return cur.ErrorHere("trailing input after query");
+  return query;
+}
+
+Result<Tgd> ParseTgd(std::string_view input) {
+  SEMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  TokenCursor cur(std::move(tokens));
+  Tgd tgd;
+  SEMAP_ASSIGN_OR_RETURN(tgd.source.body, ParseAtomList(cur));
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("->"));
+  SEMAP_ASSIGN_OR_RETURN(tgd.target.body, ParseAtomList(cur));
+  if (!cur.AtEnd()) return cur.ErrorHere("trailing input after tgd");
+
+  // Frontier: variables on both sides, ordered by source appearance.
+  std::vector<std::string> source_order;
+  std::set<std::string> source_seen;
+  for (const Atom& a : tgd.source.body) {
+    for (const Term& t : a.terms) CollectVars(t, source_order, source_seen);
+  }
+  std::set<std::string> target_vars;
+  {
+    std::vector<std::string> order;
+    std::set<std::string> seen;
+    for (const Atom& a : tgd.target.body) {
+      for (const Term& t : a.terms) CollectVars(t, order, seen);
+    }
+    target_vars = std::move(seen);
+  }
+  for (const std::string& v : source_order) {
+    if (target_vars.count(v) > 0) {
+      tgd.source.head.push_back(Term::Var(v));
+      tgd.target.head.push_back(Term::Var(v));
+    }
+  }
+  return tgd;
+}
+
+}  // namespace semap::logic

@@ -1,0 +1,28 @@
+// Small text formats for logic objects, used by tests and by dataset
+// benchmark definitions:
+//
+//   atom:   person(v0)
+//   cq:     ans(v0, v1) :- person(v0), writes(v0, y)
+//   tgd:    person(w0), writes(w0, b) -> employee(w0, e)
+//
+// In a tgd the frontier is the set of variables appearing on both sides,
+// ordered by first appearance in the source; both heads are set to it.
+// Terms are variables by default; 'quoted' names are constants.
+#ifndef SEMAP_LOGIC_PARSER_H_
+#define SEMAP_LOGIC_PARSER_H_
+
+#include <string_view>
+
+#include "logic/cq.h"
+#include "logic/tgd.h"
+#include "util/result.h"
+
+namespace semap::logic {
+
+Result<Atom> ParseAtom(std::string_view input);
+Result<ConjunctiveQuery> ParseCq(std::string_view input);
+Result<Tgd> ParseTgd(std::string_view input);
+
+}  // namespace semap::logic
+
+#endif  // SEMAP_LOGIC_PARSER_H_

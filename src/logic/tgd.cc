@@ -1,0 +1,83 @@
+#include "logic/tgd.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "logic/containment.h"
+#include "util/string_util.h"
+
+namespace semap::logic {
+
+std::string Tgd::ToString() const {
+  std::vector<std::string> src_atoms;
+  for (const Atom& a : source.body) src_atoms.push_back(a.ToString());
+  std::vector<std::string> tgt_atoms;
+  for (const Atom& a : target.body) tgt_atoms.push_back(a.ToString());
+  std::vector<std::string> frontier_names;
+  for (const Term& t : source.head) frontier_names.push_back(t.ToString());
+  std::string out = "forall " + Join(frontier_names, ", ") + " . ";
+  out += Join(src_atoms, " & ");
+  out += " -> ";
+  std::vector<std::string> exists = target.ExistentialVariables();
+  if (!exists.empty()) {
+    out += "exists " + Join(exists, ", ") + " . ";
+  }
+  out += Join(tgt_atoms, " & ");
+  return out;
+}
+
+Tgd AlignTgd(const ConjunctiveQuery& source_in,
+             const ConjunctiveQuery& target_in) {
+  Substitution sigma;
+  for (size_t i = 0; i < source_in.head.size(); ++i) {
+    const std::string& v = source_in.head[i].name;
+    if (sigma.count(v) == 0) sigma[v] = Term::Var("w" + std::to_string(i));
+  }
+  ConjunctiveQuery source = ApplySubstitution(source_in, sigma);
+
+  Substitution tau;
+  for (size_t i = 0; i < target_in.head.size() && i < source.head.size();
+       ++i) {
+    const std::string& v = target_in.head[i].name;
+    if (tau.count(v) == 0) tau[v] = source.head[i];
+  }
+  ConjunctiveQuery target = ApplySubstitution(target_in, tau);
+
+  auto prefix_existentials = [](ConjunctiveQuery& q, const std::string& p) {
+    Substitution sub;
+    for (const std::string& v : q.Variables()) {
+      if (v.rfind("w", 0) != 0) sub[v] = Term::Var(p + v);
+    }
+    q = ApplySubstitution(q, sub);
+  };
+  prefix_existentials(source, "s_");
+  prefix_existentials(target, "t_");
+  return Tgd{std::move(source), std::move(target)};
+}
+
+bool EquivalentTgds(const Tgd& a, const Tgd& b) {
+  if (a.source.head.size() != b.source.head.size() ||
+      a.target.head.size() != b.target.head.size() ||
+      b.source.head.size() != b.target.head.size()) {
+    return false;
+  }
+  // The frontier orders of independently produced mappings may differ; try
+  // every alignment of b's frontier against a's (frontiers are tiny).
+  const size_t n = b.source.head.size();
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    Tgd permuted = b;
+    for (size_t i = 0; i < n; ++i) {
+      permuted.source.head[i] = b.source.head[perm[i]];
+      permuted.target.head[i] = b.target.head[perm[i]];
+    }
+    if (Equivalent(a.source, permuted.source) &&
+        Equivalent(a.target, permuted.target)) {
+      return true;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+}  // namespace semap::logic

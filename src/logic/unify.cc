@@ -1,0 +1,68 @@
+#include "logic/unify.h"
+
+namespace semap::logic {
+
+namespace {
+
+bool Occurs(const std::string& var, const Term& term, const Substitution& sub) {
+  Term resolved = Resolve(term, sub);
+  if (resolved.IsVar()) return resolved.name == var;
+  if (resolved.kind == TermKind::kFunction) {
+    for (const Term& a : resolved.args) {
+      if (Occurs(var, a, sub)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Term Resolve(const Term& term, const Substitution& sub) {
+  Term current = term;
+  // Walk variable bindings to the end of the chain.
+  while (current.IsVar()) {
+    auto it = sub.find(current.name);
+    if (it == sub.end()) break;
+    current = it->second;
+  }
+  if (current.kind == TermKind::kFunction) {
+    for (Term& a : current.args) a = Resolve(a, sub);
+  }
+  return current;
+}
+
+bool Unify(const Term& a, const Term& b, Substitution& sub) {
+  Term ra = Resolve(a, sub);
+  Term rb = Resolve(b, sub);
+  if (ra.IsVar()) {
+    if (rb.IsVar() && rb.name == ra.name) return true;
+    if (Occurs(ra.name, rb, sub)) return false;
+    sub[ra.name] = rb;
+    return true;
+  }
+  if (rb.IsVar()) {
+    if (Occurs(rb.name, ra, sub)) return false;
+    sub[rb.name] = ra;
+    return true;
+  }
+  if (ra.kind != rb.kind || ra.name != rb.name ||
+      ra.args.size() != rb.args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < ra.args.size(); ++i) {
+    if (!Unify(ra.args[i], rb.args[i], sub)) return false;
+  }
+  return true;
+}
+
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution& sub) {
+  if (a.predicate != b.predicate || a.terms.size() != b.terms.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    if (!Unify(a.terms[i], b.terms[i], sub)) return false;
+  }
+  return true;
+}
+
+}  // namespace semap::logic

@@ -1,0 +1,26 @@
+// First-order unification (with occurs check) over Term. Used by the LAV
+// rewriting stage to resolve CSG queries against inverse rules.
+#ifndef SEMAP_LOGIC_UNIFY_H_
+#define SEMAP_LOGIC_UNIFY_H_
+
+#include <optional>
+
+#include "logic/cq.h"
+
+namespace semap::logic {
+
+/// \brief Fully resolve `term` under `sub` (variables are looked up
+/// repeatedly; function arguments are resolved recursively).
+Term Resolve(const Term& term, const Substitution& sub);
+
+/// \brief Extend `sub` to a most general unifier of `a` and `b`; returns
+/// false (leaving `sub` partially extended — callers snapshot) when the
+/// terms do not unify.
+bool Unify(const Term& a, const Term& b, Substitution& sub);
+
+/// \brief Unify two atoms (same predicate and arity, argument-wise).
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution& sub);
+
+}  // namespace semap::logic
+
+#endif  // SEMAP_LOGIC_UNIFY_H_

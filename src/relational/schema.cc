@@ -1,0 +1,141 @@
+#include "relational/schema.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace semap::rel {
+
+bool Table::HasColumn(const std::string& column) const {
+  return ColumnIndex(column) >= 0;
+}
+
+int Table::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Table::IsKeyColumn(const std::string& column) const {
+  return std::find(primary_key_.begin(), primary_key_.end(), column) !=
+         primary_key_.end();
+}
+
+std::string Table::ToString() const {
+  std::vector<std::string> rendered;
+  rendered.reserve(columns_.size());
+  for (const std::string& c : columns_) {
+    rendered.push_back(IsKeyColumn(c) ? c + "*" : c);
+  }
+  return name_ + "(" + Join(rendered, ", ") + ")";
+}
+
+std::string Ric::ToString() const {
+  std::string out;
+  if (!label.empty()) out += label + ": ";
+  out += from_table + "(" + Join(from_columns, ", ") + ") -> " + to_table +
+         "(" + Join(to_columns, ", ") + ")";
+  return out;
+}
+
+Status RelationalSchema::AddTable(Table table) {
+  if (table.name().empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (table_index_.count(table.name()) > 0) {
+    return Status::AlreadyExists("duplicate table '" + table.name() + "'");
+  }
+  std::set<std::string> seen;
+  for (const std::string& c : table.columns()) {
+    if (!seen.insert(c).second) {
+      return Status::InvalidArgument("duplicate column '" + c + "' in table '" +
+                                     table.name() + "'");
+    }
+  }
+  for (const std::string& k : table.primary_key()) {
+    if (!table.HasColumn(k)) {
+      return Status::InvalidArgument("primary key column '" + k +
+                                     "' not in table '" + table.name() + "'");
+    }
+  }
+  table_index_[table.name()] = tables_.size();
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Status RelationalSchema::AddRic(Ric ric) {
+  const Table* from = FindTable(ric.from_table);
+  if (from == nullptr) {
+    return Status::NotFound("RIC references unknown table '" + ric.from_table +
+                            "'");
+  }
+  const Table* to = FindTable(ric.to_table);
+  if (to == nullptr) {
+    return Status::NotFound("RIC references unknown table '" + ric.to_table +
+                            "'");
+  }
+  if (ric.from_columns.size() != ric.to_columns.size() ||
+      ric.from_columns.empty()) {
+    return Status::InvalidArgument("RIC column lists must be non-empty and of "
+                                   "equal length: " +
+                                   ric.ToString());
+  }
+  for (const std::string& c : ric.from_columns) {
+    if (!from->HasColumn(c)) {
+      return Status::NotFound("RIC column '" + c + "' not in table '" +
+                              ric.from_table + "'");
+    }
+  }
+  for (const std::string& c : ric.to_columns) {
+    if (!to->HasColumn(c)) {
+      return Status::NotFound("RIC column '" + c + "' not in table '" +
+                              ric.to_table + "'");
+    }
+  }
+  rics_.push_back(std::move(ric));
+  return Status::OK();
+}
+
+const Table* RelationalSchema::FindTable(const std::string& name) const {
+  auto it = table_index_.find(name);
+  if (it == table_index_.end()) return nullptr;
+  return &tables_[it->second];
+}
+
+bool RelationalSchema::HasColumn(const ColumnRef& ref) const {
+  const Table* t = FindTable(ref.table);
+  return t != nullptr && t->HasColumn(ref.column);
+}
+
+std::vector<const Ric*> RelationalSchema::RicsFrom(
+    const std::string& table) const {
+  std::vector<const Ric*> out;
+  for (const Ric& r : rics_) {
+    if (r.from_table == table) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const Ric*> RelationalSchema::RicsTo(
+    const std::string& table) const {
+  std::vector<const Ric*> out;
+  for (const Ric& r : rics_) {
+    if (r.to_table == table) out.push_back(&r);
+  }
+  return out;
+}
+
+std::string RelationalSchema::ToString() const {
+  std::string out = "schema " + name_ + ";\n";
+  for (const Table& t : tables_) {
+    out += "  " + t.ToString() + "\n";
+  }
+  for (const Ric& r : rics_) {
+    out += "  " + r.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace semap::rel

@@ -1,0 +1,113 @@
+// Relational schema model: tables, columns, primary keys, and referential
+// integrity constraints (RICs).
+//
+// This is the "logical schema" side of the paper's input: both the source
+// and target of a mapping problem are RelationalSchema instances. The
+// RIC-based baseline chases these constraints directly; the semantic
+// technique uses them only through table semantics.
+#ifndef SEMAP_RELATIONAL_SCHEMA_H_
+#define SEMAP_RELATIONAL_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace semap::rel {
+
+/// \brief A qualified column reference, "table.column".
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  std::string ToString() const { return table + "." + column; }
+
+  bool operator==(const ColumnRef&) const = default;
+  bool operator<(const ColumnRef& other) const {
+    return std::tie(table, column) < std::tie(other.table, other.column);
+  }
+};
+
+/// \brief A relational table: ordered columns plus a primary key.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<std::string> columns,
+        std::vector<std::string> primary_key)
+      : name_(std::move(name)),
+        columns_(std::move(columns)),
+        primary_key_(std::move(primary_key)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+
+  bool HasColumn(const std::string& column) const;
+  /// Index of `column` in the column list, or -1.
+  int ColumnIndex(const std::string& column) const;
+  bool IsKeyColumn(const std::string& column) const;
+
+  /// Render as DDL-ish text, e.g. "person(pname*) " with key columns starred.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::string> primary_key_;
+};
+
+/// \brief Referential integrity constraint:
+/// from_table[from_columns] ⊆ to_table[to_columns].
+struct Ric {
+  std::string label;  // optional, e.g. "r1"
+  std::string from_table;
+  std::vector<std::string> from_columns;
+  std::string to_table;
+  std::vector<std::string> to_columns;
+
+  std::string ToString() const;
+  bool operator==(const Ric&) const = default;
+};
+
+/// \brief A named collection of tables and RICs.
+class RelationalSchema {
+ public:
+  RelationalSchema() = default;
+  explicit RelationalSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Add a table. Fails on duplicate table names, duplicate columns within a
+  /// table, or a primary key mentioning unknown columns.
+  Status AddTable(Table table);
+  /// Add a RIC. Fails if either side names an unknown table/column or the
+  /// two column lists have different lengths.
+  Status AddRic(Ric ric);
+
+  const Table* FindTable(const std::string& name) const;
+  bool HasColumn(const ColumnRef& ref) const;
+
+  const std::vector<Table>& tables() const { return tables_; }
+  const std::vector<Ric>& rics() const { return rics_; }
+
+  /// RICs whose referencing side is `table`.
+  std::vector<const Ric*> RicsFrom(const std::string& table) const;
+  /// RICs whose referenced side is `table`.
+  std::vector<const Ric*> RicsTo(const std::string& table) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Table> tables_;
+  std::vector<Ric> rics_;
+  std::map<std::string, size_t> table_index_;
+};
+
+}  // namespace semap::rel
+
+#endif  // SEMAP_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,79 @@
+#include "relational/schema_parser.h"
+
+#include "util/lexer.h"
+
+namespace semap::rel {
+
+namespace {
+
+// ident_list := ident (',' ident)*
+Result<std::vector<std::string>> ParseIdentList(TokenCursor& cur) {
+  std::vector<std::string> out;
+  do {
+    SEMAP_ASSIGN_OR_RETURN(std::string id, cur.ExpectIdentifier());
+    out.push_back(std::move(id));
+  } while (cur.TryConsumePunct(","));
+  return out;
+}
+
+// '(' ident_list ')'
+Result<std::vector<std::string>> ParseParenIdentList(TokenCursor& cur) {
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("("));
+  SEMAP_ASSIGN_OR_RETURN(std::vector<std::string> ids, ParseIdentList(cur));
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct(")"));
+  return ids;
+}
+
+// RICs may reference tables declared later in the file, so ParseTable
+// appends them to `pending` and ParseSchema installs them at the end.
+Status ParseTable(TokenCursor& cur, RelationalSchema& schema,
+                  std::vector<Ric>& pending) {
+  SEMAP_ASSIGN_OR_RETURN(std::string name, cur.ExpectIdentifier());
+  SEMAP_ASSIGN_OR_RETURN(std::vector<std::string> columns,
+                         ParseParenIdentList(cur));
+  std::vector<std::string> key;
+  if (cur.TryConsumeIdent("key")) {
+    SEMAP_ASSIGN_OR_RETURN(key, ParseParenIdentList(cur));
+  }
+  while (cur.TryConsumeIdent("fk")) {
+    Ric ric;
+    ric.from_table = name;
+    if (cur.Peek().Is(TokenKind::kIdentifier)) {
+      ric.label = cur.Next().text;
+    }
+    SEMAP_ASSIGN_OR_RETURN(ric.from_columns, ParseParenIdentList(cur));
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct("->"));
+    SEMAP_ASSIGN_OR_RETURN(ric.to_table, cur.ExpectIdentifier());
+    SEMAP_ASSIGN_OR_RETURN(ric.to_columns, ParseParenIdentList(cur));
+    pending.push_back(std::move(ric));
+  }
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  return schema.AddTable(Table(name, std::move(columns), std::move(key)));
+}
+
+}  // namespace
+
+Result<RelationalSchema> ParseSchema(std::string_view input) {
+  SEMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  TokenCursor cur(std::move(tokens));
+  RelationalSchema schema;
+  std::vector<Ric> pending;
+  if (cur.TryConsumeIdent("schema")) {
+    SEMAP_ASSIGN_OR_RETURN(std::string name, cur.ExpectIdentifier());
+    schema.set_name(std::move(name));
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  }
+  while (!cur.AtEnd()) {
+    if (cur.TryConsumeIdent("table")) {
+      SEMAP_RETURN_NOT_OK(ParseTable(cur, schema, pending));
+    } else {
+      return cur.ErrorHere("expected 'table'");
+    }
+  }
+  for (Ric& ric : pending) {
+    SEMAP_RETURN_NOT_OK(schema.AddRic(std::move(ric)));
+  }
+  return schema;
+}
+
+}  // namespace semap::rel

@@ -1,0 +1,27 @@
+// Text format for relational schemas.
+//
+//   schema source;
+//   table person(pname) key(pname);
+//   table writes(pname, bid) key(pname, bid)
+//     fk r1 (pname) -> person(pname)
+//     fk (bid) -> book(bid);
+//
+// Each `table` statement declares columns, an optional `key(...)` clause,
+// and zero or more `fk [label] (cols) -> table(cols)` clauses, terminated
+// by ';'. Comments start with '#' or '//'.
+#ifndef SEMAP_RELATIONAL_SCHEMA_PARSER_H_
+#define SEMAP_RELATIONAL_SCHEMA_PARSER_H_
+
+#include <string_view>
+
+#include "relational/schema.h"
+#include "util/result.h"
+
+namespace semap::rel {
+
+/// \brief Parse the schema text format described above.
+Result<RelationalSchema> ParseSchema(std::string_view input);
+
+}  // namespace semap::rel
+
+#endif  // SEMAP_RELATIONAL_SCHEMA_PARSER_H_

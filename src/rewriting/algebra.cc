@@ -1,0 +1,55 @@
+#include "rewriting/algebra.h"
+
+#include <map>
+
+#include "util/string_util.h"
+
+namespace semap::rew {
+
+std::string RenderAlgebra(const logic::ConjunctiveQuery& query,
+                          const ColumnResolver& columns_of) {
+  // Alias each atom, name each (alias, position) as alias.column, and
+  // derive join conditions from repeated variables.
+  struct Occurrence {
+    std::string qualified;  // "t0.pname"
+  };
+  std::map<std::string, std::vector<Occurrence>> var_occurrences;
+  std::vector<std::string> from_parts;
+  for (size_t i = 0; i < query.body.size(); ++i) {
+    const logic::Atom& atom = query.body[i];
+    std::string alias = "t" + std::to_string(i);
+    from_parts.push_back(atom.predicate + " " + alias);
+    const std::vector<std::string>* cols = columns_of(atom.predicate);
+    for (size_t p = 0; p < atom.terms.size(); ++p) {
+      std::string col = (cols != nullptr && p < cols->size())
+                            ? (*cols)[p]
+                            : "$" + std::to_string(p);
+      const logic::Term& t = atom.terms[p];
+      if (t.kind == logic::TermKind::kVariable) {
+        var_occurrences[t.name].push_back({alias + "." + col});
+      }
+    }
+  }
+  std::vector<std::string> conditions;
+  for (const auto& [var, occs] : var_occurrences) {
+    for (size_t i = 1; i < occs.size(); ++i) {
+      conditions.push_back(occs[i - 1].qualified + " = " + occs[i].qualified);
+    }
+  }
+  std::vector<std::string> projection;
+  for (const logic::Term& h : query.head) {
+    auto it = var_occurrences.find(h.name);
+    projection.push_back(it != var_occurrences.end() && !it->second.empty()
+                             ? it->second.front().qualified
+                             : h.ToString());
+  }
+  std::string out = "project[" + Join(projection, ", ") + "](";
+  out += Join(from_parts, " join ");
+  if (!conditions.empty()) {
+    out += " on " + Join(conditions, " and ");
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace semap::rew

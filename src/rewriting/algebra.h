@@ -1,0 +1,30 @@
+// Rendering of table-level conjunctive queries as relational algebra text
+// — the "algebraic expression" form the paper returns to the user.
+#ifndef SEMAP_REWRITING_ALGEBRA_H_
+#define SEMAP_REWRITING_ALGEBRA_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "logic/cq.h"
+
+namespace semap::rew {
+
+/// \brief Resolver from table name to its ordered column list (nullptr for
+/// unknown tables, rendered positionally).
+using ColumnResolver =
+    std::function<const std::vector<std::string>*(const std::string&)>;
+
+/// \brief Render `query` (body atoms over tables, one variable per column
+/// position) as a projection over natural joins, e.g.
+///
+///   project[t0.pname, t2.sid](
+///     person t0 join writes t1 on t0.pname = t1.pname
+///               join soldAt t2 on t1.bid = t2.bid)
+std::string RenderAlgebra(const logic::ConjunctiveQuery& query,
+                          const ColumnResolver& columns_of);
+
+}  // namespace semap::rew
+
+#endif  // SEMAP_REWRITING_ALGEBRA_H_

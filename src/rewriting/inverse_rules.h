@@ -1,0 +1,47 @@
+// Inverse rules (Section 3.4, Example 3.4): from the LAV semantics of each
+// table, derive one rule per CM predicate produced by the table, with
+// Skolem functions naming the existential class instances.
+//
+// Key-based Skolem merging: when an s-tree node's class is fully
+// identified by bound key columns, the instance term is the key column
+// variable itself (single-attribute key) or a shared "id_<Class>" function
+// of the key columns (composite key) — so instances produced by different
+// tables join, exactly as the paper's "use z instead of x as the internal
+// identifier". Unidentified instances get a table-local Skolem
+// "sk_<table>_<var>" applied to all columns, which never joins across
+// tables.
+#ifndef SEMAP_REWRITING_INVERSE_RULES_H_
+#define SEMAP_REWRITING_INVERSE_RULES_H_
+
+#include <vector>
+
+#include "logic/cq.h"
+#include "semantics/stree.h"
+#include "util/result.h"
+
+namespace semap::rew {
+
+/// \brief head :- table_atom. Head terms are built from the table atom's
+/// column variables (possibly under Skolem functions).
+struct InverseRule {
+  logic::Atom head;
+  logic::Atom table_atom;
+
+  std::string ToString() const {
+    return head.ToString() + " :- " + table_atom.ToString();
+  }
+};
+
+/// \brief All inverse rules of one table.
+Result<std::vector<InverseRule>> InverseRulesForTable(
+    const cm::CmGraph& graph, const rel::Table& table_def,
+    const sem::STree& stree);
+
+/// \brief All inverse rules of a schema side (tables without semantics are
+/// skipped).
+Result<std::vector<InverseRule>> InverseRulesForSchema(
+    const sem::AnnotatedSchema& side);
+
+}  // namespace semap::rew
+
+#endif  // SEMAP_REWRITING_INVERSE_RULES_H_

@@ -1,0 +1,35 @@
+#include "rewriting/join_hints.h"
+
+namespace semap::rew {
+
+std::string JoinHint::ToString() const {
+  std::string out = from_class + " -" + relationship + "-> " + to_class;
+  out += outer ? "  [LEFT OUTER JOIN: participation may be 0]"
+               : "  [inner join: total participation]";
+  return out;
+}
+
+std::vector<JoinHint> DeriveJoinHints(const cm::CmGraph& graph,
+                                      const disc::Csg& csg) {
+  std::vector<JoinHint> hints;
+  hints.reserve(csg.fragment.edges.size());
+  for (const sem::Fragment::Edge& e : csg.fragment.edges) {
+    const cm::GraphEdge& ge = graph.edge(e.graph_edge);
+    JoinHint hint;
+    hint.from_class =
+        graph.node(csg.fragment.nodes[static_cast<size_t>(e.from)].graph_node)
+            .name;
+    hint.to_class =
+        graph.node(csg.fragment.nodes[static_cast<size_t>(e.to)].graph_node)
+            .name;
+    hint.relationship = ge.Label();
+    // The traversed direction's minimum participation: 0 means some
+    // instances of `from` have no partner, so an inner join would drop
+    // them.
+    hint.outer = ge.card.min == 0;
+    hints.push_back(std::move(hint));
+  }
+  return hints;
+}
+
+}  // namespace semap::rew

@@ -1,0 +1,40 @@
+// Outer-join hints (Section 6): "a more careful look at the tree provides
+// hints about when joins should really be treated as outer-joins (e.g.,
+// when the minimum cardinality of an edge being traversed is 0, not 1);
+// such information could be quite useful in computing more accurate
+// mappings, expressed as nested tuple-generating dependencies."
+//
+// For every edge of a discovered CSG, traversed root-outward, a minimum
+// participation of 0 means the subtree beyond it may be absent for some
+// instances — the relational join realizing that edge should be an outer
+// join so those instances are not dropped.
+#ifndef SEMAP_REWRITING_JOIN_HINTS_H_
+#define SEMAP_REWRITING_JOIN_HINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "discovery/csg.h"
+
+namespace semap::rew {
+
+struct JoinHint {
+  std::string from_class;
+  std::string to_class;
+  std::string relationship;
+  /// True when the traversed direction has minimum cardinality 0: realize
+  /// the join as a LEFT OUTER JOIN toward `to_class`.
+  bool outer = false;
+
+  std::string ToString() const;
+};
+
+/// \brief One hint per CSG edge, in tree order. ISA edges toward a
+/// superclass are total by definition (never outer); ISA⁻ edges and any
+/// relationship/role traversal with min 0 are flagged outer.
+std::vector<JoinHint> DeriveJoinHints(const cm::CmGraph& graph,
+                                      const disc::Csg& csg);
+
+}  // namespace semap::rew
+
+#endif  // SEMAP_REWRITING_JOIN_HINTS_H_

@@ -1,0 +1,249 @@
+#include "rewriting/rewriter.h"
+
+#include <algorithm>
+#include <map>
+
+#include "logic/unify.h"
+
+namespace semap::rew {
+
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::Substitution;
+using logic::Term;
+
+namespace {
+
+/// Rename every variable of `term` with `prefix`.
+Term PrefixVars(const Term& term, const std::string& prefix) {
+  Term out = term;
+  if (out.IsVar()) {
+    out.name = prefix + out.name;
+    return out;
+  }
+  for (Term& a : out.args) a = PrefixVars(a, prefix);
+  return out;
+}
+
+Atom PrefixVars(const Atom& atom, const std::string& prefix) {
+  Atom out = atom;
+  for (Term& t : out.terms) t = PrefixVars(t, prefix);
+  return out;
+}
+
+struct SearchState {
+  const ConjunctiveQuery* query = nullptr;
+  const std::vector<InverseRule>* rules = nullptr;
+  const RewriteOptions* options = nullptr;
+  std::vector<Atom> table_atoms;
+  // One entry per table_atoms element: (table predicate, variable prefix)
+  // identifying the row instance, so later goals can be satisfied by the
+  // same row (the paper's rewritings join one atom per row, not one atom
+  // per resolved predicate).
+  std::vector<std::pair<std::string, std::string>> instances;
+  Substitution subst;
+  int rule_use_counter = 0;
+  long steps = 0;
+  std::vector<ConjunctiveQuery> results;
+};
+
+// Backstop against pathological rule sets; bodies in practice have a
+// handful of atoms, so normal searches finish in a few hundred steps.
+constexpr long kMaxSearchSteps = 500000;
+
+bool TermIsVariable(const Term& t) { return t.kind == logic::TermKind::kVariable; }
+
+void Search(SearchState& state, size_t atom_index) {
+  if (state.results.size() >= state.options->max_rewritings) return;
+  if (++state.steps > kMaxSearchSteps) return;
+  const ConjunctiveQuery& query = *state.query;
+  if (atom_index == query.body.size()) {
+    ConjunctiveQuery rewriting;
+    rewriting.head_predicate = query.head_predicate;
+    for (const Term& t : query.head) {
+      Term resolved = logic::Resolve(t, state.subst);
+      // An answer variable still bound to a Skolem term cannot be produced
+      // from the tables: reject this combination.
+      if (!TermIsVariable(resolved)) return;
+      rewriting.head.push_back(std::move(resolved));
+    }
+    for (const Atom& a : state.table_atoms) {
+      Atom resolved = a;
+      for (Term& t : resolved.terms) t = logic::Resolve(t, state.subst);
+      // Table atoms with Skolem-valued columns can never hold real rows.
+      for (const Term& t : resolved.terms) {
+        if (t.kind == logic::TermKind::kFunction) return;
+      }
+      rewriting.body.push_back(std::move(resolved));
+    }
+    // Deduplicate identical atoms introduced by shared rule uses.
+    std::sort(rewriting.body.begin(), rewriting.body.end());
+    rewriting.body.erase(
+        std::unique(rewriting.body.begin(), rewriting.body.end()),
+        rewriting.body.end());
+    // Required-table filter applied inline: rewritings missing a
+    // corresponded table must not consume the result budget (the valid
+    // ones can hide arbitrarily deep in the enumeration order).
+    for (const std::string& table : state.options->required_tables) {
+      bool found = false;
+      for (const Atom& a : rewriting.body) {
+        if (a.predicate == table) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return;
+    }
+    state.results.push_back(std::move(rewriting));
+    return;
+  }
+  const Atom& goal = query.body[atom_index];
+  std::vector<const InverseRule*> candidates;
+  for (const InverseRule& rule : *state.rules) {
+    if (rule.head.predicate != goal.predicate ||
+        rule.head.terms.size() != goal.terms.size()) {
+      continue;
+    }
+    candidates.push_back(&rule);
+  }
+  // Rules over the corresponded (required) tables lead; those tables must
+  // appear in any surviving rewriting, so exploring them first reaches the
+  // intended expressions before the result cap.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](const InverseRule* a, const InverseRule* b) {
+                     return state.options->required_tables.count(
+                                a->table_atom.predicate) >
+                            state.options->required_tables.count(
+                                b->table_atom.predicate);
+                   });
+  // Pass 1: satisfy the goal from a row instance already joined into the
+  // partial rewriting (same table, same variable prefix) — this is what
+  // yields the paper's compact rewritings, and enumerating it first keeps
+  // them ahead of the result cap.
+  for (const InverseRule* rule : candidates) {
+    for (const auto& [table, prefix] : state.instances) {
+      if (table != rule->table_atom.predicate) continue;
+      Atom head = PrefixVars(rule->head, prefix);
+      Substitution snapshot = state.subst;
+      if (logic::UnifyAtoms(goal, head, state.subst)) {
+        Search(state, atom_index + 1);
+      }
+      state.subst = std::move(snapshot);
+    }
+  }
+  // Pass 2: a fresh row instance per rule.
+  for (const InverseRule* rule : candidates) {
+    std::string prefix = "u" + std::to_string(state.rule_use_counter) + "_";
+    Atom head = PrefixVars(rule->head, prefix);
+    Atom table_atom = PrefixVars(rule->table_atom, prefix);
+    Substitution snapshot = state.subst;
+    ++state.rule_use_counter;
+    if (logic::UnifyAtoms(goal, head, state.subst)) {
+      state.table_atoms.push_back(table_atom);
+      state.instances.push_back({rule->table_atom.predicate, prefix});
+      Search(state, atom_index + 1);
+      state.table_atoms.pop_back();
+      state.instances.pop_back();
+    }
+    state.subst = std::move(snapshot);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ConjunctiveQuery>> RewriteQuery(
+    const ConjunctiveQuery& cm_query, const std::vector<InverseRule>& rules,
+    const RewriteOptions& options) {
+  // Resolve the most constrained goals first (fewest matching rules):
+  // relationship atoms typically have a single producing table, so the
+  // class and attribute atoms that follow are satisfied by reusing the
+  // rows those joins introduced.
+  ConjunctiveQuery ordered = cm_query;
+  std::stable_sort(ordered.body.begin(), ordered.body.end(),
+                   [&](const Atom& a, const Atom& b) {
+                     auto rule_count = [&](const Atom& atom) {
+                       size_t n = 0;
+                       for (const InverseRule& rule : rules) {
+                         if (rule.head.predicate == atom.predicate &&
+                             rule.head.terms.size() == atom.terms.size()) {
+                           ++n;
+                         }
+                       }
+                       return n;
+                     };
+                     return rule_count(a) < rule_count(b);
+                   });
+
+  SearchState state;
+  state.query = &ordered;
+  state.rules = &rules;
+  state.options = &options;
+  Search(state, 0);
+
+  // Minimization may fold away a required table's only atom (when another
+  // table subsumes it), so the filter is re-checked after minimizing.
+  std::vector<ConjunctiveQuery> rewritings;
+  for (ConjunctiveQuery& q : state.results) {
+    ConjunctiveQuery minimized = logic::Minimize(q);
+    bool ok = true;
+    for (const std::string& table : options.required_tables) {
+      bool found = false;
+      for (const Atom& a : minimized.body) {
+        if (a.predicate == table) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) rewritings.push_back(std::move(minimized));
+  }
+
+  // Drop duplicates and, when requested, rewritings strictly contained in
+  // another survivor — both judged on the normalized (e.g. chased) forms,
+  // so variants equivalent under the schema constraints collapse onto the
+  // first (most compact, thanks to reuse-first enumeration) one.
+  auto normalize = [&](const ConjunctiveQuery& q) {
+    return options.normalize ? options.normalize(q) : q;
+  };
+  std::vector<ConjunctiveQuery> unique;
+  std::vector<ConjunctiveQuery> unique_norm;
+  for (ConjunctiveQuery& q : rewritings) {
+    ConjunctiveQuery norm = normalize(q);
+    bool duplicate = false;
+    for (const ConjunctiveQuery& kept : unique_norm) {
+      if (logic::Equivalent(kept, norm)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      unique.push_back(std::move(q));
+      unique_norm.push_back(std::move(norm));
+    }
+  }
+  if (options.keep_only_maximal) {
+    std::vector<bool> keep(unique.size(), true);
+    for (size_t i = 0; i < unique.size(); ++i) {
+      for (size_t j = 0; j < unique.size(); ++j) {
+        if (i == j) continue;
+        if (logic::Contains(unique_norm[j], unique_norm[i]) &&
+            !logic::Contains(unique_norm[i], unique_norm[j])) {
+          keep[i] = false;
+          break;
+        }
+      }
+    }
+    std::vector<ConjunctiveQuery> maximal;
+    for (size_t i = 0; i < unique.size(); ++i) {
+      if (keep[i]) maximal.push_back(std::move(unique[i]));
+    }
+    return maximal;
+  }
+  return unique;
+}
+
+}  // namespace semap::rew

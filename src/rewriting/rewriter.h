@@ -1,0 +1,53 @@
+// Maximally-contained rewriting of a CM-level conjunctive query into
+// queries over the relational tables, using the inverse rules
+// (Section 3.4). Every body atom of the CM query is resolved against the
+// head of some inverse rule; the accumulated table atoms, under the
+// composed unifier, form one rewriting. Rewritings whose answer variables
+// remain bound to Skolem terms are unusable and dropped.
+//
+// Post-filters, per the paper's Example 3.4:
+//  * a rewriting must mention every table linked by the covered
+//    correspondences (q'1 is eliminated);
+//  * a rewriting strictly contained in another surviving rewriting is
+//    eliminated (q'2 ⊆ q'3 eliminates q'2).
+#ifndef SEMAP_REWRITING_REWRITER_H_
+#define SEMAP_REWRITING_REWRITER_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logic/containment.h"
+#include "rewriting/inverse_rules.h"
+#include "util/result.h"
+
+namespace semap::rew {
+
+struct RewriteOptions {
+  /// Cap on enumerated rewritings (before filtering).
+  size_t max_rewritings = 32;
+  /// Tables that must appear in a surviving rewriting (the tables whose
+  /// columns participate in the covered correspondences).
+  std::set<std::string> required_tables;
+  /// Eliminate rewritings strictly contained in another.
+  bool keep_only_maximal = true;
+  /// Normal form used for the dedup/containment comparisons (typically the
+  /// chase under the schema's RICs and functional dependencies followed by
+  /// minimization, so that e.g. reading an attribute from a second
+  /// key-joined row of the same table compares equal to reading it from
+  /// the first). Identity when unset. The *returned* rewritings are the
+  /// original, un-normalized queries.
+  std::function<logic::ConjunctiveQuery(const logic::ConjunctiveQuery&)>
+      normalize;
+};
+
+/// \brief Rewrite `cm_query` into table-level queries. The result may be
+/// empty when the tables cannot produce the query.
+Result<std::vector<logic::ConjunctiveQuery>> RewriteQuery(
+    const logic::ConjunctiveQuery& cm_query,
+    const std::vector<InverseRule>& rules, const RewriteOptions& options);
+
+}  // namespace semap::rew
+
+#endif  // SEMAP_REWRITING_REWRITER_H_

@@ -1,0 +1,177 @@
+#include "rewriting/semantic_mapper.h"
+
+#include <algorithm>
+
+#include "baseline/logical_relations.h"
+#include "logic/containment.h"
+#include "rewriting/algebra.h"
+#include "rewriting/inverse_rules.h"
+#include "rewriting/rewriter.h"
+#include "semantics/encoder.h"
+#include "semantics/fd.h"
+
+namespace semap::rew {
+
+using logic::ConjunctiveQuery;
+using logic::Substitution;
+using logic::Term;
+
+namespace {
+
+/// Encode one CSG side of a candidate as a CM-level query whose head is
+/// v0..v{n-1}, one variable per covered correspondence.
+Result<ConjunctiveQuery> EncodeCsgQuery(
+    const cm::CmGraph& graph, const disc::MappingCandidate& cand,
+    const std::vector<disc::LiftedCorrespondence>& lifted, bool source_side) {
+  const disc::Csg& csg = source_side ? cand.source_csg : cand.target_csg;
+  sem::Fragment fragment = csg.fragment;
+  std::vector<std::string> head_vars;
+  for (size_t k = 0; k < cand.covered.size(); ++k) {
+    const disc::LiftedCorrespondence& lc = lifted[cand.covered[k]];
+    int node = source_side ? lc.source_node : lc.target_node;
+    // Attachments keep correspondences on the concept *copy* their column
+    // is bound to (recursive relationships).
+    int node_idx = cand.AttachNode(cand.covered[k], node, source_side);
+    if (node_idx < 0) {
+      return Status::Internal("covered correspondence node missing from CSG");
+    }
+    std::string var = "v" + std::to_string(k);
+    fragment.attrs.push_back(
+        {node_idx, source_side ? lc.source_attribute : lc.target_attribute,
+         var});
+    head_vars.push_back(std::move(var));
+  }
+  return sem::EncodeFragment(graph, fragment, head_vars);
+}
+
+}  // namespace
+
+Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const SemanticMapperOptions& options) {
+  disc::Discoverer discoverer(source, target, correspondences,
+                              options.discovery);
+  SEMAP_ASSIGN_OR_RETURN(std::vector<disc::MappingCandidate> candidates,
+                         discoverer.Run());
+  const std::vector<disc::LiftedCorrespondence>& lifted = discoverer.lifted();
+
+  SEMAP_ASSIGN_OR_RETURN(std::vector<InverseRule> source_rules,
+                         InverseRulesForSchema(source));
+  SEMAP_ASSIGN_OR_RETURN(std::vector<InverseRule> target_rules,
+                         InverseRulesForSchema(target));
+
+  // Normalizers for rewriting comparison: chase under the schema's RICs,
+  // key FDs and CM-derived FDs, then minimize.
+  auto make_normalizer = [](const sem::AnnotatedSchema& side) {
+    std::vector<baseline::ColumnFd> fds;
+    for (const sem::TableFd& fd : sem::DeriveSchemaFds(side)) {
+      fds.push_back(baseline::ColumnFd{fd.table, fd.lhs, fd.rhs});
+    }
+    std::vector<sem::CrossTableFd> cross = sem::DeriveCrossTableFds(side);
+    const rel::RelationalSchema* schema = &side.schema();
+    // EGDs only: cheap, never grows the query, and suffices to collapse
+    // rewritings that read an attribute from a second key-joined row.
+    baseline::ChaseOptions chase_opts;
+    chase_opts.apply_rics = false;
+    return [schema, fds, cross, chase_opts](const ConjunctiveQuery& q) {
+      return logic::Minimize(baseline::ChaseQueryWithConstraints(
+          *schema, q, fds, cross, chase_opts));
+    };
+  };
+  auto source_normalize = make_normalizer(source);
+  auto target_normalize = make_normalizer(target);
+
+  auto source_columns = [&](const std::string& table)
+      -> const std::vector<std::string>* {
+    const rel::Table* t = source.schema().FindTable(table);
+    return t == nullptr ? nullptr : &t->columns();
+  };
+  auto target_columns = [&](const std::string& table)
+      -> const std::vector<std::string>* {
+    const rel::Table* t = target.schema().FindTable(table);
+    return t == nullptr ? nullptr : &t->columns();
+  };
+
+  std::vector<GeneratedMapping> mappings;
+  for (const disc::MappingCandidate& cand : candidates) {
+    if (mappings.size() >= options.max_mappings) break;
+    SEMAP_ASSIGN_OR_RETURN(
+        ConjunctiveQuery src_cm,
+        EncodeCsgQuery(source.graph(), cand, lifted, /*source_side=*/true));
+    SEMAP_ASSIGN_OR_RETURN(
+        ConjunctiveQuery tgt_cm,
+        EncodeCsgQuery(target.graph(), cand, lifted, /*source_side=*/false));
+
+    RewriteOptions src_opts;
+    src_opts.max_rewritings = options.max_rewritings_per_side * 4;
+    src_opts.normalize = source_normalize;
+    for (size_t idx : cand.covered) {
+      src_opts.required_tables.insert(lifted[idx].corr.source.table);
+    }
+    RewriteOptions tgt_opts;
+    tgt_opts.max_rewritings = options.max_rewritings_per_side * 4;
+    tgt_opts.normalize = target_normalize;
+    for (size_t idx : cand.covered) {
+      tgt_opts.required_tables.insert(lifted[idx].corr.target.table);
+    }
+
+    SEMAP_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> src_rewritings,
+                           RewriteQuery(src_cm, source_rules, src_opts));
+    SEMAP_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> tgt_rewritings,
+                           RewriteQuery(tgt_cm, target_rules, tgt_opts));
+    if (src_rewritings.empty() || tgt_rewritings.empty()) continue;
+    // Most compact rewriting first (Occam: the paper returns the single
+    // q'3-style expression); the rest become alternative variants.
+    auto by_size = [](const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+      return a.body.size() < b.body.size();
+    };
+    std::stable_sort(src_rewritings.begin(), src_rewritings.end(), by_size);
+    std::stable_sort(tgt_rewritings.begin(), tgt_rewritings.end(), by_size);
+    if (src_rewritings.size() > options.max_rewritings_per_side) {
+      src_rewritings.resize(options.max_rewritings_per_side);
+    }
+    if (tgt_rewritings.size() > options.max_rewritings_per_side) {
+      tgt_rewritings.resize(options.max_rewritings_per_side);
+    }
+
+    GeneratedMapping mapping;
+    for (const ConjunctiveQuery& rs : src_rewritings) {
+      for (const ConjunctiveQuery& rt : tgt_rewritings) {
+        logic::Tgd tgd = logic::AlignTgd(rs, rt);
+        bool duplicate = false;
+        for (const logic::Tgd& existing : mapping.variants) {
+          if (logic::EquivalentTgds(existing, tgd)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) mapping.variants.push_back(std::move(tgd));
+      }
+    }
+    if (mapping.variants.empty()) continue;
+    mapping.tgd = mapping.variants.front();
+    // A candidate whose primary rendering duplicates an earlier mapping's
+    // is the same mapping expression; skip it.
+    bool duplicate_mapping = false;
+    for (const GeneratedMapping& existing : mappings) {
+      if (logic::EquivalentTgds(existing.tgd, mapping.tgd)) {
+        duplicate_mapping = true;
+        break;
+      }
+    }
+    if (duplicate_mapping) continue;
+    mapping.source_algebra = RenderAlgebra(mapping.tgd.source, source_columns);
+    mapping.target_algebra = RenderAlgebra(mapping.tgd.target, target_columns);
+    mapping.source_join_hints = DeriveJoinHints(source.graph(), cand.source_csg);
+    mapping.target_join_hints = DeriveJoinHints(target.graph(), cand.target_csg);
+    for (size_t idx : cand.covered) {
+      mapping.covered.push_back(lifted[idx].corr);
+    }
+    mapping.candidate = cand;
+    mappings.push_back(std::move(mapping));
+  }
+  return mappings;
+}
+
+}  // namespace semap::rew

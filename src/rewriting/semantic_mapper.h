@@ -1,0 +1,54 @@
+// End-to-end semantic mapping generation: the public facade that runs the
+// whole pipeline of the paper —
+//   correspondences -> lifted marks -> CSG discovery -> CM-level queries
+//   -> inverse-rule rewriting -> GLAV mappings (s-t tgds) + algebra text.
+#ifndef SEMAP_REWRITING_SEMANTIC_MAPPER_H_
+#define SEMAP_REWRITING_SEMANTIC_MAPPER_H_
+
+#include <string>
+#include <vector>
+
+#include "discovery/discoverer.h"
+#include "rewriting/join_hints.h"
+#include "logic/tgd.h"
+#include "util/result.h"
+
+namespace semap::rew {
+
+/// \brief One generated schema mapping — a *pair of connections* in the
+/// paper's sense, i.e. one conceptual candidate, rendered by a primary tgd
+/// plus any alternative expression variants (different but equally
+/// plausible rewrite choices, e.g. reading a shared attribute from either
+/// of two tables).
+struct GeneratedMapping {
+  logic::Tgd tgd;                    // primary rendering (== variants[0])
+  std::vector<logic::Tgd> variants;  // all renderings, most compact first
+  std::string source_algebra;
+  std::string target_algebra;
+  /// Per-CSG-edge outer-join hints (Section 6): joins whose traversed
+  /// minimum cardinality is 0 should become left outer joins.
+  std::vector<JoinHint> source_join_hints;
+  std::vector<JoinHint> target_join_hints;
+  std::vector<disc::Correspondence> covered;
+  disc::MappingCandidate candidate;
+
+  std::string ToString() const { return tgd.ToString(); }
+};
+
+struct SemanticMapperOptions {
+  disc::DiscoveryOptions discovery;
+  /// Cap on emitted mappings.
+  size_t max_mappings = 8;
+  /// Cap on rewritings kept per CSG side.
+  size_t max_rewritings_per_side = 8;
+};
+
+/// \brief Run the full semantic pipeline.
+Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const SemanticMapperOptions& options = {});
+
+}  // namespace semap::rew
+
+#endif  // SEMAP_REWRITING_SEMANTIC_MAPPER_H_

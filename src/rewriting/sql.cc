@@ -1,0 +1,95 @@
+#include "rewriting/sql.h"
+
+#include <map>
+
+#include "util/string_util.h"
+
+namespace semap::rew {
+
+Result<std::vector<std::string>> RenderSql(
+    const logic::Tgd& tgd, const ColumnResolver& source_columns,
+    const ColumnResolver& target_columns) {
+  // FROM clause with aliases, and the first qualified column per source
+  // variable (join conditions come from repeated variables).
+  std::map<std::string, std::string> var_column;  // var -> "s0.col"
+  std::vector<std::string> from_parts;
+  std::vector<std::string> where;
+  for (size_t i = 0; i < tgd.source.body.size(); ++i) {
+    const logic::Atom& atom = tgd.source.body[i];
+    const std::vector<std::string>* cols = source_columns(atom.predicate);
+    if (cols == nullptr || cols->size() != atom.terms.size()) {
+      return Status::NotFound("unknown source table or arity mismatch: " +
+                              atom.ToString());
+    }
+    std::string alias = "s" + std::to_string(i);
+    from_parts.push_back(atom.predicate + " AS " + alias);
+    for (size_t p = 0; p < atom.terms.size(); ++p) {
+      const logic::Term& t = atom.terms[p];
+      std::string qualified = alias + "." + (*cols)[p];
+      if (t.kind == logic::TermKind::kConstant) {
+        where.push_back(qualified + " = '" + t.name + "'");
+      } else if (t.kind == logic::TermKind::kVariable) {
+        auto it = var_column.find(t.name);
+        if (it == var_column.end()) {
+          var_column[t.name] = qualified;
+        } else {
+          where.push_back(it->second + " = " + qualified);
+        }
+      } else {
+        return Status::Unsupported("function term in tgd source: " +
+                                   atom.ToString());
+      }
+    }
+  }
+
+  // Skolem expression per existential target variable: a function of the
+  // exported (frontier) columns, tagged with the variable name so distinct
+  // existentials invent distinct values.
+  std::vector<std::string> frontier_cols;
+  for (const logic::Term& t : tgd.source.head) {
+    auto it = var_column.find(t.name);
+    if (it == var_column.end()) {
+      return Status::InvalidArgument("frontier variable '" + t.name +
+                                     "' unbound in tgd source");
+    }
+    frontier_cols.push_back(it->second);
+  }
+  auto value_of = [&](const logic::Term& t) -> Result<std::string> {
+    if (t.kind == logic::TermKind::kConstant) return "'" + t.name + "'";
+    if (t.kind != logic::TermKind::kVariable) {
+      return Status::Unsupported("function term in tgd target");
+    }
+    auto it = var_column.find(t.name);
+    if (it != var_column.end()) return it->second;
+    // Existential: Skolemize over the frontier.
+    return "SK('" + t.name + "'" +
+           (frontier_cols.empty() ? "" : ", " + Join(frontier_cols, ", ")) +
+           ")";
+  };
+
+  std::vector<std::string> statements;
+  for (const logic::Atom& atom : tgd.target.body) {
+    const std::vector<std::string>* cols = target_columns(atom.predicate);
+    if (cols == nullptr || cols->size() != atom.terms.size()) {
+      return Status::NotFound("unknown target table or arity mismatch: " +
+                              atom.ToString());
+    }
+    std::vector<std::string> select_items;
+    for (size_t p = 0; p < atom.terms.size(); ++p) {
+      SEMAP_ASSIGN_OR_RETURN(std::string value, value_of(atom.terms[p]));
+      select_items.push_back(value + " AS " + (*cols)[p]);
+    }
+    std::string sql = "INSERT INTO " + atom.predicate + " (" +
+                      Join(*cols, ", ") + ")\n  SELECT DISTINCT " +
+                      Join(select_items, ", ") + "\n  FROM " +
+                      Join(from_parts, ", ");
+    if (!where.empty()) {
+      sql += "\n  WHERE " + Join(where, " AND ");
+    }
+    sql += ";";
+    statements.push_back(std::move(sql));
+  }
+  return statements;
+}
+
+}  // namespace semap::rew

@@ -1,0 +1,31 @@
+// SQL rendering of generated mappings: each s-t tgd becomes an
+// INSERT ... SELECT per target atom, with existential variables realized
+// as Skolem expressions over the exported columns — the way mappings are
+// executed in data-exchange systems (the paper's §1: "when mappings are
+// realized as queries (as in data exchange), Skolem functions are
+// generally used to represent existentially quantified variables").
+#ifndef SEMAP_REWRITING_SQL_H_
+#define SEMAP_REWRITING_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/tgd.h"
+#include "rewriting/algebra.h"
+#include "util/result.h"
+
+namespace semap::rew {
+
+/// \brief Render `tgd` as one INSERT ... SELECT statement per target atom.
+/// `source_columns` / `target_columns` resolve table column names (see
+/// ColumnResolver). Existential target variables become
+/// SK('<var>', <exported cols...>) expressions; the same variable yields
+/// the same expression across the tgd's target atoms, so value invention
+/// is consistent.
+Result<std::vector<std::string>> RenderSql(const logic::Tgd& tgd,
+                                           const ColumnResolver& source_columns,
+                                           const ColumnResolver& target_columns);
+
+}  // namespace semap::rew
+
+#endif  // SEMAP_REWRITING_SQL_H_

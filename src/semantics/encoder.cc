@@ -1,0 +1,201 @@
+#include "semantics/encoder.h"
+
+#include <map>
+#include <numeric>
+
+namespace semap::sem {
+
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::Term;
+
+namespace {
+
+/// Union-find over fragment node indices; ISA edges merge variables.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> EncodeFragment(const cm::CmGraph& graph,
+                                        const Fragment& fragment,
+                                        const std::vector<std::string>& head_vars,
+                                        const std::string& head_predicate,
+                                        std::vector<std::string>* var_of_node_out) {
+  const size_t n = fragment.nodes.size();
+  for (const Fragment::Edge& e : fragment.edges) {
+    if (e.from < 0 || static_cast<size_t>(e.from) >= n || e.to < 0 ||
+        static_cast<size_t>(e.to) >= n) {
+      return Status::InvalidArgument("fragment edge index out of range");
+    }
+    const cm::GraphEdge& ge = graph.edge(e.graph_edge);
+    if (ge.from != fragment.nodes[static_cast<size_t>(e.from)].graph_node ||
+        ge.to != fragment.nodes[static_cast<size_t>(e.to)].graph_node) {
+      return Status::InvalidArgument(
+          "fragment edge endpoints disagree with graph edge '" + ge.Label() +
+          "'");
+    }
+  }
+
+  // ISA edges equate the variables of their endpoints.
+  UnionFind uf(n);
+  for (const Fragment::Edge& e : fragment.edges) {
+    if (graph.edge(e.graph_edge).kind == cm::EdgeKind::kIsa) {
+      uf.Union(static_cast<size_t>(e.from), static_cast<size_t>(e.to));
+    }
+  }
+  std::vector<std::string> var_of_node(n);
+  {
+    std::map<size_t, std::string> rep_var;
+    int counter = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t rep = uf.Find(i);
+      auto it = rep_var.find(rep);
+      if (it == rep_var.end()) {
+        it = rep_var.emplace(rep, "x" + std::to_string(counter++)).first;
+      }
+      var_of_node[i] = it->second;
+    }
+  }
+  if (var_of_node_out != nullptr) *var_of_node_out = var_of_node;
+
+  ConjunctiveQuery query;
+  query.head_predicate = head_predicate;
+  int fresh_counter = 0;
+  auto fresh_var = [&fresh_counter]() {
+    return "f" + std::to_string(fresh_counter++);
+  };
+
+  // Class atoms; auto-reified nodes are un-reified below.
+  for (size_t i = 0; i < n; ++i) {
+    const cm::GraphNode& cls = graph.node(fragment.nodes[i].graph_node);
+    if (cls.auto_reified) continue;
+    query.body.push_back(Atom{cls.name, {Term::Var(var_of_node[i])}});
+  }
+
+  // Relationship and role edges. Role edges incident to auto-reified nodes
+  // are collected per fragment node and collapsed into one binary atom.
+  struct ReifiedPair {
+    std::string src_var;
+    std::string tgt_var;
+  };
+  std::map<size_t, ReifiedPair> auto_pairs;  // fragment node -> fillers seen
+
+  for (const Fragment::Edge& e : fragment.edges) {
+    const cm::GraphEdge& ge = graph.edge(e.graph_edge);
+    const std::string& from_var = var_of_node[static_cast<size_t>(e.from)];
+    const std::string& to_var = var_of_node[static_cast<size_t>(e.to)];
+    switch (ge.kind) {
+      case cm::EdgeKind::kIsa:
+        break;  // handled by unification
+      case cm::EdgeKind::kAttribute:
+        return Status::InvalidArgument(
+            "attribute edges belong in Fragment::attrs, not edges");
+      case cm::EdgeKind::kRelationship: {
+        // p(c1, c2): a non-inverted edge runs c1 -> c2, an inverted one
+        // c2 -> c1.
+        Term a = Term::Var(ge.inverted ? to_var : from_var);
+        Term b = Term::Var(ge.inverted ? from_var : to_var);
+        query.body.push_back(Atom{ge.name, {std::move(a), std::move(b)}});
+        break;
+      }
+      case cm::EdgeKind::kRole: {
+        // Determine which fragment node is the reified end.
+        size_t reified_idx =
+            static_cast<size_t>(ge.inverted ? e.to : e.from);
+        size_t filler_idx = static_cast<size_t>(ge.inverted ? e.from : e.to);
+        const cm::GraphNode& reified_node =
+            graph.node(fragment.nodes[reified_idx].graph_node);
+        if (reified_node.auto_reified) {
+          ReifiedPair& pair = auto_pairs[reified_idx];
+          if (ge.name == "src") {
+            pair.src_var = var_of_node[filler_idx];
+          } else {
+            pair.tgt_var = var_of_node[filler_idx];
+          }
+        } else {
+          query.body.push_back(
+              Atom{ge.name,
+                   {Term::Var(var_of_node[reified_idx]),
+                    Term::Var(var_of_node[filler_idx])}});
+        }
+        break;
+      }
+    }
+  }
+
+  // Collapse auto-reified nodes back into binary relationship atoms. A
+  // missing role filler becomes a fresh existential variable.
+  for (size_t i = 0; i < n; ++i) {
+    const cm::GraphNode& cls = graph.node(fragment.nodes[i].graph_node);
+    if (!cls.auto_reified) continue;
+    ReifiedPair pair;
+    auto it = auto_pairs.find(i);
+    if (it != auto_pairs.end()) pair = it->second;
+    if (pair.src_var.empty()) pair.src_var = fresh_var();
+    if (pair.tgt_var.empty()) pair.tgt_var = fresh_var();
+    query.body.push_back(
+        Atom{cls.name, {Term::Var(pair.src_var), Term::Var(pair.tgt_var)}});
+  }
+
+  // Attribute selections.
+  for (const Fragment::AttrSel& sel : fragment.attrs) {
+    if (sel.node < 0 || static_cast<size_t>(sel.node) >= n) {
+      return Status::InvalidArgument("attribute selection node out of range");
+    }
+    const cm::GraphNode& cls =
+        graph.node(fragment.nodes[static_cast<size_t>(sel.node)].graph_node);
+    if (graph.FindAttributeNode(cls.name, sel.attribute) < 0) {
+      return Status::NotFound("class '" + cls.name + "' has no attribute '" +
+                              sel.attribute + "'");
+    }
+    query.body.push_back(
+        Atom{cls.name + "." + sel.attribute,
+             {Term::Var(var_of_node[static_cast<size_t>(sel.node)]),
+              Term::Var(sel.var)}});
+  }
+
+  for (const std::string& v : head_vars) {
+    query.head.push_back(Term::Var(v));
+  }
+  return query;
+}
+
+Fragment FragmentFromSTree(const STree& stree) {
+  Fragment fragment;
+  for (const STreeNode& n : stree.nodes) {
+    fragment.nodes.push_back({n.graph_node});
+  }
+  for (const STreeEdge& e : stree.edges) {
+    fragment.edges.push_back({e.from, e.to, e.graph_edge});
+  }
+  for (const ColumnBinding& b : stree.bindings) {
+    fragment.attrs.push_back({b.node, b.attribute, b.column});
+  }
+  return fragment;
+}
+
+Result<ConjunctiveQuery> EncodeTableSemantics(const cm::CmGraph& graph,
+                                              const rel::Table& table_def,
+                                              const STree& stree) {
+  Fragment fragment = FragmentFromSTree(stree);
+  // Head variables are the column names in table declaration order.
+  return EncodeFragment(graph, fragment, table_def.columns(), stree.table);
+}
+
+}  // namespace semap::sem

@@ -1,0 +1,69 @@
+// Encoding of CM-graph fragments (s-trees and discovered conceptual
+// subgraphs) as conjunctive queries over CM predicates, per Section 2 and
+// Example 3.3 of the paper.
+//
+// The encoding uses unary predicates for classes, binary predicates for
+// relationships and roles, and binary predicates "Class.attr" for
+// attributes. ISA edges do not produce predicates; instead their endpoints
+// share one variable (a subclass instance *is* a superclass instance).
+// Nodes that were auto-reified from many-to-many binary relationships are
+// un-reified on output: their two role edges collapse back into a single
+// binary atom, so formulas look exactly like the paper's.
+#ifndef SEMAP_SEMANTICS_ENCODER_H_
+#define SEMAP_SEMANTICS_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "cm/graph.h"
+#include "logic/cq.h"
+#include "semantics/stree.h"
+#include "util/result.h"
+
+namespace semap::sem {
+
+/// \brief A fragment of the CM graph to encode: nodes (possibly repeated
+/// graph nodes = concept copies), connecting edges, and attribute
+/// selections that become the formula's free variables.
+struct Fragment {
+  struct Node {
+    int graph_node = -1;
+  };
+  struct Edge {
+    int from = -1;  // index into nodes
+    int to = -1;
+    int graph_edge = -1;
+  };
+  struct AttrSel {
+    int node = -1;
+    std::string attribute;
+    std::string var;  // variable name to expose for this attribute
+  };
+
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+  std::vector<AttrSel> attrs;
+};
+
+/// \brief Encode `fragment` as a CQ whose head is `head_vars` (names of
+/// AttrSel vars, or other variables bound in the body). When
+/// `var_of_node` is non-null it receives, per fragment node, the instance
+/// variable assigned to it (ISA-unified nodes share one variable).
+Result<logic::ConjunctiveQuery> EncodeFragment(
+    const cm::CmGraph& graph, const Fragment& fragment,
+    const std::vector<std::string>& head_vars,
+    const std::string& head_predicate = "ans",
+    std::vector<std::string>* var_of_node = nullptr);
+
+/// \brief Build the fragment of an s-tree; attribute variables are named
+/// after the bound columns.
+Fragment FragmentFromSTree(const STree& stree);
+
+/// \brief The LAV semantics of a table: T(cols) :- Φ, with Φ the encoding
+/// of its s-tree and head variables the column names in table order.
+Result<logic::ConjunctiveQuery> EncodeTableSemantics(
+    const cm::CmGraph& graph, const rel::Table& table_def, const STree& stree);
+
+}  // namespace semap::sem
+
+#endif  // SEMAP_SEMANTICS_ENCODER_H_

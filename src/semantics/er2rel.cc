@@ -1,0 +1,450 @@
+#include "semantics/er2rel.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "semantics/stree_builder.h"
+
+namespace semap::sem {
+
+namespace {
+
+/// Resolved key of a class: the class (possibly an ancestor) declaring the
+/// key attributes, and their names.
+struct EffectiveKey {
+  std::string declaring_class;
+  std::vector<std::string> attributes;
+};
+
+/// Walk up single-inheritance chains until a class with key attributes is
+/// found.
+Result<EffectiveKey> ResolveKey(const cm::ConceptualModel& model,
+                                const std::string& cls_name) {
+  std::string current = cls_name;
+  std::set<std::string> visited;
+  while (visited.insert(current).second) {
+    const cm::CmClass* cls = model.FindClass(current);
+    if (cls == nullptr) {
+      return Status::NotFound("er2rel: class '" + current + "' not found");
+    }
+    std::vector<std::string> keys = cls->KeyAttributes();
+    if (!keys.empty()) {
+      return EffectiveKey{current, std::move(keys)};
+    }
+    std::vector<std::string> supers = model.SuperclassesOf(current);
+    if (supers.empty()) {
+      return Status::InvalidArgument("er2rel: class '" + cls_name +
+                                     "' has no (inherited) key");
+    }
+    current = supers[0];
+  }
+  return Status::InvalidArgument("er2rel: ISA cycle at class '" + cls_name +
+                                 "'");
+}
+
+/// Pick a column name not yet in `used`, starting from `base` and
+/// prefixing with `prefix` (then numbering) on collision.
+/// Bind `cols` to the key attributes of `key`, routing through ISA chain
+/// nodes when the key is declared on an ancestor of `cls_name` (the
+/// attribute lives on the ancestor, so the s-tree must contain it).
+Status BindKeyColumns(const cm::ConceptualModel& model,
+                      sem::STreeBuilder& builder, const std::string& alias,
+                      const std::string& cls_name, const EffectiveKey& key,
+                      const std::vector<std::string>& cols) {
+  std::string bind_alias = alias;
+  if (key.declaring_class != cls_name) {
+    // Walk one superclass chain from cls_name up to the declaring class.
+    std::string current = cls_name;
+    std::string current_alias = alias;
+    while (current != key.declaring_class) {
+      std::vector<std::string> supers = model.SuperclassesOf(current);
+      if (supers.empty()) {
+        return Status::Internal("er2rel: lost ISA chain from '" + cls_name +
+                                "' to '" + key.declaring_class + "'");
+      }
+      std::string parent = supers[0];
+      std::string parent_alias = alias + "_up" +
+                                 std::to_string(builder.NodeCount());
+      SEMAP_RETURN_NOT_OK(builder.AddNode(parent_alias, parent));
+      SEMAP_RETURN_NOT_OK(builder.AddEdge("isa", current_alias, parent_alias));
+      current = parent;
+      current_alias = parent_alias;
+    }
+    bind_alias = current_alias;
+  }
+  for (size_t i = 0; i < cols.size(); ++i) {
+    SEMAP_RETURN_NOT_OK(
+        builder.BindColumn(cols[i], bind_alias, key.attributes[i]));
+  }
+  return Status::OK();
+}
+
+std::string FreshColumn(std::set<std::string>& used, const std::string& prefix,
+                        const std::string& base) {
+  std::string candidate = base;
+  if (used.count(candidate) > 0) candidate = prefix + "_" + base;
+  int n = 2;
+  while (used.count(candidate) > 0) {
+    candidate = prefix + std::to_string(n++) + "_" + base;
+  }
+  used.insert(candidate);
+  return candidate;
+}
+
+}  // namespace
+
+Result<AnnotatedSchema> Er2Rel(const cm::ConceptualModel& model,
+                               const std::string& schema_name,
+                               const Er2RelOptions& options) {
+  SEMAP_RETURN_NOT_OK(model.Validate());
+  SEMAP_ASSIGN_OR_RETURN(cm::CmGraph graph, cm::CmGraph::Build(model));
+
+  rel::RelationalSchema schema(schema_name);
+  std::vector<STree> strees;
+  // Key columns of each generated entity table, for FK targets.
+  std::map<std::string, std::vector<std::string>> table_keys;
+  std::vector<rel::Ric> pending_rics;
+  // Columns appended to already-created entity tables by merged functional
+  // relationships; applied in the final rebuild.
+  std::vector<std::pair<std::string, std::vector<std::string>>>
+      table_extensions;
+
+  auto has_subclasses = [&](const std::string& cls) {
+    for (const cm::IsaLink& link : model.isa_links()) {
+      if (link.super == cls) return true;
+    }
+    return false;
+  };
+  auto included = [&](const std::string& cls) {
+    return options.only_classes.empty() || options.only_classes.count(cls) > 0;
+  };
+
+  // ---- Entity tables ----
+  for (const cm::CmClass& cls : model.classes()) {
+    if (!included(cls.name)) continue;
+    if (options.merge_isa_into_leaves && has_subclasses(cls.name)) continue;
+    SEMAP_ASSIGN_OR_RETURN(EffectiveKey key, ResolveKey(model, cls.name));
+
+    std::set<std::string> used;
+    std::vector<std::string> columns;
+    std::vector<std::string> pk;
+    STreeBuilder builder(graph, cls.name);
+    SEMAP_RETURN_NOT_OK(builder.AddNode("c0", cls.name));
+    SEMAP_RETURN_NOT_OK(builder.SetAnchor("c0"));
+
+    // Chain of ancestor nodes (c0 = the class itself, c1 its parent, ...)
+    // is materialized lazily while binding inherited attributes.
+    std::map<std::string, std::string> alias_of_class = {{cls.name, "c0"}};
+    auto ensure_ancestor_alias =
+        [&](const std::string& ancestor) -> Result<std::string> {
+      auto it = alias_of_class.find(ancestor);
+      if (it != alias_of_class.end()) return it->second;
+      // Walk one superclass chain from cls to ancestor, adding ISA edges.
+      std::string current = cls.name;
+      std::string current_alias = "c0";
+      while (current != ancestor) {
+        std::vector<std::string> supers = model.SuperclassesOf(current);
+        if (supers.empty()) {
+          return Status::Internal("er2rel: lost ISA chain to '" + ancestor +
+                                  "'");
+        }
+        const std::string& parent = supers[0];
+        auto pit = alias_of_class.find(parent);
+        std::string parent_alias;
+        if (pit == alias_of_class.end()) {
+          parent_alias = "c" + std::to_string(alias_of_class.size());
+          SEMAP_RETURN_NOT_OK(builder.AddNode(parent_alias, parent));
+          SEMAP_RETURN_NOT_OK(
+              builder.AddEdge("isa", current_alias, parent_alias));
+          alias_of_class[parent] = parent_alias;
+        } else {
+          parent_alias = pit->second;
+        }
+        current = parent;
+        current_alias = parent_alias;
+      }
+      return current_alias;
+    };
+
+    // Key columns first.
+    for (const std::string& ka : key.attributes) {
+      std::string col = FreshColumn(used, cls.name, ka);
+      columns.push_back(col);
+      pk.push_back(col);
+      SEMAP_ASSIGN_OR_RETURN(std::string alias,
+                             ensure_ancestor_alias(key.declaring_class));
+      SEMAP_RETURN_NOT_OK(builder.BindColumn(col, alias, ka));
+    }
+    // Inherited non-key attributes first (matching the paper's
+    // programmer(ssn, name, acnt) layout), when collapsing ISA into
+    // leaves.
+    if (options.merge_isa_into_leaves) {
+      std::string current = cls.name;
+      std::set<std::string> seen = {current};
+      while (true) {
+        std::vector<std::string> supers = model.SuperclassesOf(current);
+        if (supers.empty() || !seen.insert(supers[0]).second) break;
+        current = supers[0];
+        const cm::CmClass* ancestor = model.FindClass(current);
+        if (ancestor == nullptr) break;
+        SEMAP_ASSIGN_OR_RETURN(std::string alias,
+                               ensure_ancestor_alias(current));
+        for (const cm::CmAttribute& attr : ancestor->attributes) {
+          if (attr.is_key) continue;  // key already handled above
+          std::string col = FreshColumn(used, current, attr.name);
+          columns.push_back(col);
+          SEMAP_RETURN_NOT_OK(builder.BindColumn(col, alias, attr.name));
+        }
+      }
+    }
+    // Own non-key attributes.
+    for (const cm::CmAttribute& attr : cls.attributes) {
+      if (attr.is_key) continue;
+      std::string col = FreshColumn(used, cls.name, attr.name);
+      columns.push_back(col);
+      SEMAP_RETURN_NOT_OK(builder.BindColumn(col, "c0", attr.name));
+    }
+
+    SEMAP_RETURN_NOT_OK(schema.AddTable(rel::Table(cls.name, columns, pk)));
+    table_keys[cls.name] = pk;
+    strees.push_back(std::move(builder).Build());
+  }
+
+  // ISA RICs: subclass table -> superclass table, only when the subclass
+  // inherits the superclass key (same key columns) and both have tables.
+  if (!options.merge_isa_into_leaves) {
+    for (const cm::IsaLink& link : model.isa_links()) {
+      const cm::CmClass* sub = model.FindClass(link.sub);
+      if (sub == nullptr || !sub->KeyAttributes().empty()) continue;
+      auto sub_it = table_keys.find(link.sub);
+      auto super_it = table_keys.find(link.super);
+      if (sub_it == table_keys.end() || super_it == table_keys.end()) continue;
+      if (sub_it->second != super_it->second) continue;
+      pending_rics.push_back(rel::Ric{"", link.sub, sub_it->second, link.super,
+                                      super_it->second});
+    }
+  }
+
+  // ---- Binary relationships ----
+  for (const cm::CmRelationship& rel : model.relationships()) {
+    if (!included(rel.from_class) || !included(rel.to_class)) continue;
+    // Normalize so the functional direction (if any) runs from `src`.
+    bool fwd_functional = rel.forward.IsFunctional();
+    bool inv_functional = rel.inverse.IsFunctional();
+    std::string src = rel.from_class;
+    std::string dst = rel.to_class;
+    if (!fwd_functional && inv_functional) std::swap(src, dst);
+    bool functional = fwd_functional || inv_functional;
+
+    SEMAP_ASSIGN_OR_RETURN(EffectiveKey src_key, ResolveKey(model, src));
+    SEMAP_ASSIGN_OR_RETURN(EffectiveKey dst_key, ResolveKey(model, dst));
+
+    // A functional relationship merges into the source entity's table when
+    // that table exists; otherwise (e.g. the source class was collapsed by
+    // merge_isa_into_leaves) it falls through to its own table below.
+    const rel::Table* src_table = schema.FindTable(src);
+    if (functional && options.merge_functional_relationships &&
+        src_table != nullptr) {
+      // Choose FK column names avoiding both the table's current columns
+      // and any already-staged extensions.
+      std::set<std::string> used(src_table->columns().begin(),
+                                 src_table->columns().end());
+      for (const auto& [table, cols] : table_extensions) {
+        if (table == src) used.insert(cols.begin(), cols.end());
+      }
+      std::vector<std::string> fk_cols;
+      for (const std::string& ka : dst_key.attributes) {
+        fk_cols.push_back(FreshColumn(used, rel.name, ka));
+      }
+      // Extend the matching s-tree: the destination node, the relationship
+      // edge, and — when the key is inherited — the ISA chain up to its
+      // declaring ancestor.
+      for (STree& st : strees) {
+        if (st.table != src) continue;
+        std::string alias = "r" + std::to_string(st.nodes.size());
+        int dst_node = graph.FindClassNode(dst);
+        st.nodes.push_back({alias, dst_node});
+        int to_idx = static_cast<int>(st.nodes.size()) - 1;
+        int from_idx = st.FindNode("c0");
+        int eid = -1;
+        for (int cand : graph.OutEdges(graph.FindClassNode(src))) {
+          const cm::GraphEdge& e = graph.edge(cand);
+          if (e.kind == cm::EdgeKind::kAttribute) continue;
+          if (e.name == rel.name && e.to == dst_node) {
+            eid = cand;
+            break;
+          }
+        }
+        if (eid < 0) {
+          return Status::Internal("er2rel: edge for '" + rel.name +
+                                  "' not found in graph");
+        }
+        st.edges.push_back({from_idx, to_idx, eid});
+        int bind_idx = to_idx;
+        std::string current = dst;
+        while (current != dst_key.declaring_class) {
+          std::vector<std::string> supers = model.SuperclassesOf(current);
+          if (supers.empty()) {
+            return Status::Internal("er2rel: lost ISA chain to '" +
+                                    dst_key.declaring_class + "'");
+          }
+          const std::string& parent = supers[0];
+          int parent_node = graph.FindClassNode(parent);
+          st.nodes.push_back(
+              {alias + "_up" + std::to_string(st.nodes.size()), parent_node});
+          int parent_idx = static_cast<int>(st.nodes.size()) - 1;
+          int isa_edge = -1;
+          for (int cand :
+               graph.OutEdges(st.nodes[static_cast<size_t>(bind_idx)]
+                                  .graph_node)) {
+            const cm::GraphEdge& e = graph.edge(cand);
+            if (e.kind == cm::EdgeKind::kIsa && !e.inverted &&
+                e.to == parent_node) {
+              isa_edge = cand;
+              break;
+            }
+          }
+          if (isa_edge < 0) {
+            return Status::Internal("er2rel: missing ISA edge to '" + parent +
+                                    "'");
+          }
+          st.edges.push_back({bind_idx, parent_idx, isa_edge});
+          bind_idx = parent_idx;
+          current = parent;
+        }
+        for (size_t i = 0; i < fk_cols.size(); ++i) {
+          st.bindings.push_back(
+              {fk_cols[i], bind_idx, dst_key.attributes[i]});
+        }
+        break;
+      }
+      // Stage the column extension for the final schema rebuild.
+      table_extensions.push_back({src, fk_cols});
+      if (table_keys.count(dst) > 0) {
+        pending_rics.push_back(
+            rel::Ric{"", src, fk_cols, dst, table_keys[dst]});
+      }
+      continue;
+    }
+
+    // Own table: rel(src_key..., dst_key...). Functional: PK = src key;
+    // many-to-many: PK = both sides.
+    std::set<std::string> used;
+    std::vector<std::string> columns;
+    std::vector<std::string> src_cols;
+    std::vector<std::string> dst_cols;
+    for (const std::string& ka : src_key.attributes) {
+      std::string col = FreshColumn(used, src, ka);
+      columns.push_back(col);
+      src_cols.push_back(col);
+    }
+    for (const std::string& ka : dst_key.attributes) {
+      std::string col = FreshColumn(used, dst, ka);
+      columns.push_back(col);
+      dst_cols.push_back(col);
+    }
+    std::vector<std::string> pk = src_cols;
+    if (!functional) pk.insert(pk.end(), dst_cols.begin(), dst_cols.end());
+    SEMAP_RETURN_NOT_OK(schema.AddTable(rel::Table(rel.name, columns, pk)));
+    if (table_keys.count(src) > 0) {
+      pending_rics.push_back(rel::Ric{"", rel.name, src_cols, src,
+                                      table_keys[src]});
+    }
+    if (table_keys.count(dst) > 0) {
+      pending_rics.push_back(rel::Ric{"", rel.name, dst_cols, dst,
+                                      table_keys[dst]});
+    }
+
+    STreeBuilder builder(graph, rel.name);
+    SEMAP_RETURN_NOT_OK(builder.AddNode("a", src));
+    SEMAP_RETURN_NOT_OK(builder.AddNode("b", dst));
+    SEMAP_RETURN_NOT_OK(builder.AddEdge(rel.name, "a", "b"));
+    if (functional) {
+      SEMAP_RETURN_NOT_OK(builder.SetAnchor("a"));
+    } else {
+      // The m:n expansion added the implicit reified node "<rel>$0".
+      SEMAP_RETURN_NOT_OK(builder.SetAnchor(rel.name + "$0"));
+    }
+    SEMAP_RETURN_NOT_OK(
+        BindKeyColumns(model, builder, "a", src, src_key, src_cols));
+    SEMAP_RETURN_NOT_OK(
+        BindKeyColumns(model, builder, "b", dst, dst_key, dst_cols));
+    strees.push_back(std::move(builder).Build());
+  }
+
+  // ---- Reified relationships ----
+  for (const cm::ReifiedRelationship& reified : model.reified()) {
+    if (!included(reified.class_name)) continue;
+    {
+      bool all_fillers = true;
+      for (const cm::Role& role : reified.roles) {
+        if (!included(role.filler_class)) {
+          all_fillers = false;
+          break;
+        }
+      }
+      if (!all_fillers) continue;
+    }
+    std::set<std::string> used;
+    std::vector<std::string> columns;
+    std::vector<std::string> pk;
+    STreeBuilder builder(graph, reified.class_name);
+    SEMAP_RETURN_NOT_OK(builder.AddNode("r", reified.class_name));
+    SEMAP_RETURN_NOT_OK(builder.SetAnchor("r"));
+    int role_idx = 0;
+    for (const cm::Role& role : reified.roles) {
+      SEMAP_ASSIGN_OR_RETURN(EffectiveKey key,
+                             ResolveKey(model, role.filler_class));
+      std::string alias = "p" + std::to_string(role_idx++);
+      SEMAP_RETURN_NOT_OK(builder.AddNode(alias, role.filler_class));
+      SEMAP_RETURN_NOT_OK(builder.AddEdge(role.name, "r", alias));
+      std::vector<std::string> role_cols;
+      for (const std::string& ka : key.attributes) {
+        std::string col = FreshColumn(used, role.name, ka);
+        columns.push_back(col);
+        role_cols.push_back(col);
+        pk.push_back(col);
+      }
+      SEMAP_RETURN_NOT_OK(BindKeyColumns(model, builder, alias,
+                                         role.filler_class, key, role_cols));
+      if (table_keys.count(role.filler_class) > 0) {
+        pending_rics.push_back(rel::Ric{"", reified.class_name, role_cols,
+                                        role.filler_class,
+                                        table_keys[role.filler_class]});
+      }
+    }
+    for (const cm::CmAttribute& attr : reified.attributes) {
+      std::string col = FreshColumn(used, reified.class_name, attr.name);
+      columns.push_back(col);
+      SEMAP_RETURN_NOT_OK(builder.BindColumn(col, "r", attr.name));
+    }
+    SEMAP_RETURN_NOT_OK(
+        schema.AddTable(rel::Table(reified.class_name, columns, pk)));
+    strees.push_back(std::move(builder).Build());
+  }
+
+  // ---- Apply staged entity-table extensions and RICs ----
+  rel::RelationalSchema final_schema(schema_name);
+  for (const rel::Table& t : schema.tables()) {
+    std::vector<std::string> columns = t.columns();
+    for (const auto& [table, cols] : table_extensions) {
+      if (table == t.name()) {
+        columns.insert(columns.end(), cols.begin(), cols.end());
+      }
+    }
+    SEMAP_RETURN_NOT_OK(
+        final_schema.AddTable(rel::Table(t.name(), columns, t.primary_key())));
+  }
+  for (rel::Ric& ric : pending_rics) {
+    SEMAP_RETURN_NOT_OK(final_schema.AddRic(std::move(ric)));
+  }
+
+  AnnotatedSchema annotated(std::move(final_schema), std::move(graph));
+  for (STree& st : strees) {
+    SEMAP_RETURN_NOT_OK(annotated.AddSemantics(std::move(st)));
+  }
+  return annotated;
+}
+
+}  // namespace semap::sem

@@ -1,0 +1,137 @@
+#include "semantics/fd.h"
+
+#include <queue>
+
+#include "util/string_util.h"
+
+namespace semap::sem {
+
+std::string TableFd::ToString() const {
+  return table + ": " + Join(lhs, ",") + " -> " + Join(rhs, ",");
+}
+
+namespace {
+
+/// Bound columns completing the key of node `idx`'s class, or empty.
+std::vector<std::string> CompleteKeyColumns(const cm::CmGraph& graph,
+                                            const STree& stree, int idx) {
+  const cm::GraphNode& cls =
+      graph.node(stree.nodes[static_cast<size_t>(idx)].graph_node);
+  const cm::CmClass* model_cls = graph.model().FindClass(cls.name);
+  if (model_cls == nullptr) return {};
+  std::vector<std::string> key_attrs = model_cls->KeyAttributes();
+  if (key_attrs.empty()) return {};
+  std::vector<std::string> cols;
+  for (const std::string& ka : key_attrs) {
+    const ColumnBinding* found = nullptr;
+    for (const ColumnBinding& b : stree.bindings) {
+      if (b.node == idx && b.attribute == ka) {
+        found = &b;
+        break;
+      }
+    }
+    if (found == nullptr) return {};
+    cols.push_back(found->column);
+  }
+  return cols;
+}
+
+}  // namespace
+
+std::vector<TableFd> DeriveTableFds(const cm::CmGraph& graph,
+                                    const STree& stree) {
+  const size_t n = stree.nodes.size();
+  // Undirected adjacency with the directed graph edge per traversal.
+  std::vector<std::vector<std::pair<int, int>>> adj(n);
+  for (const STreeEdge& e : stree.edges) {
+    adj[static_cast<size_t>(e.from)].push_back({e.to, e.graph_edge});
+    int partner = graph.edge(e.graph_edge).partner;
+    if (partner >= 0) {
+      adj[static_cast<size_t>(e.to)].push_back({e.from, partner});
+    }
+  }
+
+  std::vector<TableFd> fds;
+  for (size_t a = 0; a < n; ++a) {
+    std::vector<std::string> lhs =
+        CompleteKeyColumns(graph, stree, static_cast<int>(a));
+    if (lhs.empty()) continue;
+    // Nodes reachable from `a` along functional-direction paths.
+    std::vector<bool> reached(n, false);
+    reached[a] = true;
+    std::queue<size_t> queue;
+    queue.push(a);
+    while (!queue.empty()) {
+      size_t cur = queue.front();
+      queue.pop();
+      for (auto [next, eid] : adj[cur]) {
+        if (reached[static_cast<size_t>(next)]) continue;
+        if (!graph.edge(eid).IsFunctional()) continue;
+        reached[static_cast<size_t>(next)] = true;
+        queue.push(static_cast<size_t>(next));
+      }
+    }
+    TableFd fd;
+    fd.table = stree.table;
+    fd.lhs = lhs;
+    for (const ColumnBinding& b : stree.bindings) {
+      if (reached[static_cast<size_t>(b.node)]) fd.rhs.push_back(b.column);
+    }
+    if (!fd.rhs.empty()) fds.push_back(std::move(fd));
+  }
+  return fds;
+}
+
+std::vector<TableFd> DeriveSchemaFds(const AnnotatedSchema& side) {
+  std::vector<TableFd> out;
+  for (const auto& [table, stree] : side.semantics()) {
+    std::vector<TableFd> fds = DeriveTableFds(side.graph(), stree);
+    out.insert(out.end(), fds.begin(), fds.end());
+  }
+  return out;
+}
+
+std::string CrossTableFd::ToString() const {
+  return table_a + "[" + Join(key_a, ",") + "]." + col_a + " == " + table_b +
+         "[" + Join(key_b, ",") + "]." + col_b;
+}
+
+std::vector<CrossTableFd> DeriveCrossTableFds(const AnnotatedSchema& side) {
+  // Collect, per table, every binding of an attribute of an *identified*
+  // node: (graph class node, attribute) -> (table, identifying key cols,
+  // value column).
+  struct Entry {
+    std::string table;
+    std::vector<std::string> key_cols;
+    std::string column;
+    int graph_node;
+    std::string attribute;
+  };
+  std::vector<Entry> entries;
+  const cm::CmGraph& graph = side.graph();
+  for (const auto& [table, stree] : side.semantics()) {
+    for (const ColumnBinding& b : stree.bindings) {
+      std::vector<std::string> key_cols =
+          CompleteKeyColumns(graph, stree, b.node);
+      if (key_cols.empty()) continue;
+      entries.push_back(Entry{table, std::move(key_cols), b.column,
+                              stree.nodes[static_cast<size_t>(b.node)]
+                                  .graph_node,
+                              b.attribute});
+    }
+  }
+  std::vector<CrossTableFd> out;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const Entry& a = entries[i];
+      const Entry& b = entries[j];
+      if (a.table == b.table) continue;  // covered by DeriveTableFds
+      if (a.graph_node != b.graph_node || a.attribute != b.attribute) continue;
+      out.push_back(CrossTableFd{a.table, a.key_cols, a.column, b.table,
+                                 b.key_cols, b.column});
+    }
+  }
+  return out;
+}
+
+}  // namespace semap::sem

@@ -1,0 +1,61 @@
+#include "semantics/semantics_parser.h"
+
+#include "semantics/stree_builder.h"
+#include "util/lexer.h"
+
+namespace semap::sem {
+
+namespace {
+
+Result<STree> ParseBlock(const cm::CmGraph& graph, TokenCursor& cur) {
+  SEMAP_ASSIGN_OR_RETURN(std::string table, cur.ExpectIdentifier());
+  STreeBuilder builder(graph, table);
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("{"));
+  while (!cur.TryConsumePunct("}")) {
+    if (cur.TryConsumeIdent("node")) {
+      SEMAP_ASSIGN_OR_RETURN(std::string alias, cur.ExpectIdentifier());
+      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(":"));
+      SEMAP_ASSIGN_OR_RETURN(std::string cls, cur.ExpectIdentifier());
+      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+      SEMAP_RETURN_NOT_OK(builder.AddNode(alias, cls));
+    } else if (cur.TryConsumeIdent("edge")) {
+      SEMAP_ASSIGN_OR_RETURN(std::string name, cur.ExpectIdentifier());
+      SEMAP_ASSIGN_OR_RETURN(std::string a, cur.ExpectIdentifier());
+      SEMAP_ASSIGN_OR_RETURN(std::string b, cur.ExpectIdentifier());
+      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+      SEMAP_RETURN_NOT_OK(builder.AddEdge(name, a, b));
+    } else if (cur.TryConsumeIdent("anchor")) {
+      SEMAP_ASSIGN_OR_RETURN(std::string alias, cur.ExpectIdentifier());
+      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+      SEMAP_RETURN_NOT_OK(builder.SetAnchor(alias));
+    } else if (cur.TryConsumeIdent("col")) {
+      SEMAP_ASSIGN_OR_RETURN(std::string column, cur.ExpectIdentifier());
+      SEMAP_RETURN_NOT_OK(cur.ExpectPunct("->"));
+      SEMAP_ASSIGN_OR_RETURN(std::string alias, cur.ExpectIdentifier());
+      SEMAP_RETURN_NOT_OK(cur.ExpectPunct("."));
+      SEMAP_ASSIGN_OR_RETURN(std::string attr, cur.ExpectIdentifier());
+      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+      SEMAP_RETURN_NOT_OK(builder.BindColumn(column, alias, attr));
+    } else {
+      return cur.ErrorHere("expected 'node', 'edge', 'anchor' or 'col'");
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+Result<std::vector<STree>> ParseSemantics(const cm::CmGraph& graph,
+                                          std::string_view input) {
+  SEMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  TokenCursor cur(std::move(tokens));
+  std::vector<STree> out;
+  while (!cur.AtEnd()) {
+    SEMAP_RETURN_NOT_OK(cur.ExpectIdent("semantics"));
+    SEMAP_ASSIGN_OR_RETURN(STree tree, ParseBlock(graph, cur));
+    out.push_back(std::move(tree));
+  }
+  return out;
+}
+
+}  // namespace semap::sem

@@ -1,0 +1,36 @@
+// Text format for table semantics (s-trees).
+//
+//   semantics writes {
+//     node p: Person;
+//     node b: Book;
+//     edge writes p b;
+//     anchor p;
+//     col pname -> p.pname;
+//     col bid -> b.bid;
+//   }
+//
+// `node` declares an s-tree node (repeated class = concept copy); `edge`
+// names a relationship, role, or "isa" connecting two aliases — naming a
+// many-to-many binary relationship inserts its reified node implicitly;
+// `anchor` marks the central node; `col` binds a table column to a node's
+// attribute.
+#ifndef SEMAP_SEMANTICS_SEMANTICS_PARSER_H_
+#define SEMAP_SEMANTICS_SEMANTICS_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "semantics/stree.h"
+#include "util/result.h"
+
+namespace semap::sem {
+
+/// \brief Parse one or more `semantics` blocks against `graph`. The
+/// returned trees are structurally resolved but not yet validated against a
+/// relational schema; attach them to an AnnotatedSchema for that.
+Result<std::vector<STree>> ParseSemantics(const cm::CmGraph& graph,
+                                          std::string_view input);
+
+}  // namespace semap::sem
+
+#endif  // SEMAP_SEMANTICS_SEMANTICS_PARSER_H_

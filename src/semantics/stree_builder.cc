@@ -1,0 +1,116 @@
+#include "semantics/stree_builder.h"
+
+namespace semap::sem {
+
+Status STreeBuilder::AddNode(const std::string& alias,
+                             const std::string& class_name) {
+  if (tree_.FindNode(alias) >= 0) {
+    return Status::AlreadyExists("duplicate s-tree alias '" + alias + "'");
+  }
+  int graph_node = graph_.FindClassNode(class_name);
+  if (graph_node < 0) graph_node = graph_.FindAutoReifiedNode(class_name);
+  if (graph_node < 0) {
+    return Status::NotFound("unknown class '" + class_name +
+                            "' in s-tree for '" + tree_.table + "'");
+  }
+  tree_.nodes.push_back({alias, graph_node});
+  return Status::OK();
+}
+
+Result<int> STreeBuilder::RequireNode(const std::string& alias) const {
+  int idx = tree_.FindNode(alias);
+  if (idx < 0) {
+    return Status::NotFound("undeclared s-tree alias '" + alias +
+                            "' in s-tree for '" + tree_.table + "'");
+  }
+  return idx;
+}
+
+void STreeBuilder::PushEdge(int from_idx, int to_idx, int graph_edge) {
+  tree_.edges.push_back({from_idx, to_idx, graph_edge});
+}
+
+Status STreeBuilder::AddEdge(const std::string& name,
+                             const std::string& alias_a,
+                             const std::string& alias_b) {
+  SEMAP_ASSIGN_OR_RETURN(int a_idx, RequireNode(alias_a));
+  SEMAP_ASSIGN_OR_RETURN(int b_idx, RequireNode(alias_b));
+  int a_node = tree_.nodes[static_cast<size_t>(a_idx)].graph_node;
+  int b_node = tree_.nodes[static_cast<size_t>(b_idx)].graph_node;
+
+  // Direct edge (relationship, ISA, or role) from a to b, either direction
+  // flag; the s-tree edge records the direction actually found.
+  for (bool inverted : {false, true}) {
+    for (int eid : graph_.OutEdges(a_node)) {
+      const cm::GraphEdge& e = graph_.edge(eid);
+      if (e.kind == cm::EdgeKind::kAttribute) continue;
+      if (e.name == name && e.inverted == inverted && e.to == b_node) {
+        PushEdge(a_idx, b_idx, eid);
+        return Status::OK();
+      }
+    }
+  }
+  // From b to a (e.g. the role edge of a reified node given filler-first).
+  for (bool inverted : {false, true}) {
+    for (int eid : graph_.OutEdges(b_node)) {
+      const cm::GraphEdge& e = graph_.edge(eid);
+      if (e.kind == cm::EdgeKind::kAttribute) continue;
+      if (e.name == name && e.inverted == inverted && e.to == a_node) {
+        PushEdge(b_idx, a_idx, eid);
+        return Status::OK();
+      }
+    }
+  }
+
+  // Many-to-many binary relationship: expand through its auto-reified node.
+  int rnode = graph_.FindAutoReifiedNode(name);
+  if (rnode >= 0) {
+    const cm::CmRelationship* rel = graph_.model().FindRelationship(name);
+    std::string implicit_alias =
+        name + "$" + std::to_string(implicit_counter_++);
+    tree_.nodes.push_back({implicit_alias, rnode});
+    int r_idx = static_cast<int>(tree_.nodes.size()) - 1;
+    // Role "src" points at rel->from_class, "tgt" at rel->to_class. For a
+    // self-relationship both ends match; assign a->src, b->tgt.
+    const cm::GraphNode& a_cls = graph_.node(a_node);
+    bool a_is_src = (a_cls.name == rel->from_class);
+    const std::string& a_role = a_is_src ? "src" : "tgt";
+    const std::string& b_role = a_is_src ? "tgt" : "src";
+    int ea = -1;
+    int eb = -1;
+    for (int eid : graph_.OutEdges(rnode)) {
+      const cm::GraphEdge& e = graph_.edge(eid);
+      if (e.kind != cm::EdgeKind::kRole || e.inverted) continue;
+      if (e.name == a_role && e.to == a_node) ea = eid;
+      if (e.name == b_role && e.to == b_node) eb = eid;
+    }
+    if (ea < 0 || eb < 0) {
+      return Status::NotFound("relationship '" + name +
+                              "' does not connect the classes of '" + alias_a +
+                              "' and '" + alias_b + "'");
+    }
+    PushEdge(r_idx, a_idx, ea);
+    PushEdge(r_idx, b_idx, eb);
+    return Status::OK();
+  }
+
+  return Status::NotFound("no edge '" + name + "' between '" + alias_a +
+                          "' and '" + alias_b + "' in s-tree for '" +
+                          tree_.table + "'");
+}
+
+Status STreeBuilder::SetAnchor(const std::string& alias) {
+  SEMAP_ASSIGN_OR_RETURN(int idx, RequireNode(alias));
+  tree_.anchor = idx;
+  return Status::OK();
+}
+
+Status STreeBuilder::BindColumn(const std::string& column,
+                                const std::string& alias,
+                                const std::string& attribute) {
+  SEMAP_ASSIGN_OR_RETURN(int idx, RequireNode(alias));
+  tree_.bindings.push_back({column, idx, attribute});
+  return Status::OK();
+}
+
+}  // namespace semap::sem

@@ -1,0 +1,58 @@
+// Convenience builder for s-trees: resolves class / relationship / role /
+// ISA names against a CmGraph, including the sugar of naming a
+// many-to-many binary relationship directly — the builder inserts the
+// auto-reified node and both role edges.
+#ifndef SEMAP_SEMANTICS_STREE_BUILDER_H_
+#define SEMAP_SEMANTICS_STREE_BUILDER_H_
+
+#include <string>
+
+#include "semantics/stree.h"
+#include "util/result.h"
+
+namespace semap::sem {
+
+class STreeBuilder {
+ public:
+  STreeBuilder(const cm::CmGraph& graph, std::string table)
+      : graph_(graph) {
+    tree_.table = std::move(table);
+  }
+
+  /// Declare node `alias` of class `class_name`. The name may be a declared
+  /// class, an explicit reified-relationship class, or the name of a
+  /// many-to-many binary relationship (resolving to its auto-reified node).
+  Status AddNode(const std::string& alias, const std::string& class_name);
+
+  /// Connect two declared nodes with the relationship / role / "isa" edge
+  /// called `name`. For a many-to-many binary relationship this inserts an
+  /// implicit auto-reified node ("<name>$<k>") plus the two role edges.
+  Status AddEdge(const std::string& name, const std::string& alias_a,
+                 const std::string& alias_b);
+
+  Status SetAnchor(const std::string& alias);
+
+  Status BindColumn(const std::string& column, const std::string& alias,
+                    const std::string& attribute);
+
+  /// Number of nodes added so far (for generating fresh aliases).
+  size_t NodeCount() const { return tree_.nodes.size(); }
+
+  /// The finished tree. Structural validation happens when the tree is
+  /// attached to an AnnotatedSchema.
+  STree Build() && { return std::move(tree_); }
+
+ private:
+  Result<int> RequireNode(const std::string& alias) const;
+  /// Add an s-tree edge for graph edge `graph_edge` oriented from
+  /// `from_idx` to `to_idx`.
+  void PushEdge(int from_idx, int to_idx, int graph_edge);
+
+  const cm::CmGraph& graph_;
+  STree tree_;
+  int implicit_counter_ = 0;
+};
+
+}  // namespace semap::sem
+
+#endif  // SEMAP_SEMANTICS_STREE_BUILDER_H_

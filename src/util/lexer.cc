@@ -1,0 +1,166 @@
+#include "util/lexer.h"
+
+#include <cctype>
+
+namespace semap {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < input.size(); ++k, ++i) {
+      if (input[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comments: '#' or '//' to end of line.
+    if (c == '#' || (c == '/' && i + 1 < input.size() && input[i + 1] == '/')) {
+      while (i < input.size() && input[i] != '\n') advance(1);
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    tok.column = column;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < input.size() && IsIdentChar(input[i])) advance(1);
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = std::string(input.substr(start, i - start));
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        advance(1);
+      }
+      tok.kind = TokenKind::kInteger;
+      tok.text = std::string(input.substr(start, i - start));
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-character punctuation, longest match first.
+    static constexpr std::string_view kMulti[] = {"<->", "->", "<-", "--", ".."};
+    bool matched = false;
+    for (std::string_view m : kMulti) {
+      if (input.substr(i, m.size()) == m) {
+        tok.kind = TokenKind::kPunct;
+        tok.text = std::string(m);
+        advance(m.size());
+        out.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static constexpr std::string_view kSingle = "(){}[],;:.*<>=+-?";
+    if (kSingle.find(c) != std::string_view::npos) {
+      tok.kind = TokenKind::kPunct;
+      tok.text = std::string(1, c);
+      advance(1);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at line " + std::to_string(line) + ", column " +
+                              std::to_string(column));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  out.push_back(std::move(end));
+  return out;
+}
+
+const Token& TokenCursor::Peek(int lookahead) const {
+  size_t idx = pos_ + static_cast<size_t>(lookahead);
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;  // the kEnd sentinel
+  return tokens_[idx];
+}
+
+Token TokenCursor::Next() {
+  Token tok = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool TokenCursor::TryConsumePunct(std::string_view p) {
+  if (Peek().IsPunct(p)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenCursor::TryConsumeIdent(std::string_view name) {
+  if (Peek().IsIdent(name)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status TokenCursor::ExpectPunct(std::string_view p) {
+  if (!TryConsumePunct(p)) {
+    return ErrorHere("expected '" + std::string(p) + "'");
+  }
+  return Status::OK();
+}
+
+Status TokenCursor::ExpectIdent(std::string_view name) {
+  if (!TryConsumeIdent(name)) {
+    return ErrorHere("expected keyword '" + std::string(name) + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> TokenCursor::ExpectIdentifier() {
+  if (!Peek().Is(TokenKind::kIdentifier)) {
+    return ErrorHere("expected identifier");
+  }
+  return Next().text;
+}
+
+Result<long> TokenCursor::ExpectInteger() {
+  if (!Peek().Is(TokenKind::kInteger)) {
+    return ErrorHere("expected integer");
+  }
+  return std::stol(Next().text);
+}
+
+Status TokenCursor::ErrorHere(std::string_view message) const {
+  const Token& tok = Peek();
+  std::string got = tok.Is(TokenKind::kEnd) ? "<end of input>" : "'" + tok.text + "'";
+  return Status::ParseError(std::string(message) + " but got " + got +
+                            " at line " + std::to_string(tok.line) +
+                            ", column " + std::to_string(tok.column));
+}
+
+}  // namespace semap

@@ -1,0 +1,78 @@
+// A small hand-written tokenizer shared by the schema / CM / semantics
+// text-format parsers.
+//
+// Token classes: identifiers ([A-Za-z_][A-Za-z0-9_$]*), integers,
+// punctuation (single characters plus the multi-char arrows "->", "<-",
+// "--", "..", "<->"), and end-of-input. Comments run from '#' or "//" to
+// end of line. Whitespace separates tokens.
+#ifndef SEMAP_UTIL_LEXER_H_
+#define SEMAP_UTIL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace semap {
+
+enum class TokenKind {
+  kIdentifier,
+  kInteger,
+  kPunct,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+  int column = 0;
+
+  bool Is(TokenKind k) const { return kind == k; }
+  bool IsPunct(std::string_view p) const {
+    return kind == TokenKind::kPunct && text == p;
+  }
+  bool IsIdent(std::string_view name) const {
+    return kind == TokenKind::kIdentifier && text == name;
+  }
+};
+
+/// \brief Tokenize `input`; returns the token stream terminated by a kEnd
+/// token, or a ParseError naming the offending line/column.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// \brief Cursor over a token stream with the usual Peek/Next/Expect helpers.
+///
+/// All Expect* helpers return ParseError statuses that carry the line and
+/// column of the unexpected token.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(int lookahead = 0) const;
+  Token Next();
+  bool AtEnd() const { return Peek().Is(TokenKind::kEnd); }
+
+  /// Consume the next token if it is the punctuation `p`.
+  bool TryConsumePunct(std::string_view p);
+  /// Consume the next token if it is the identifier `name` (exact match).
+  bool TryConsumeIdent(std::string_view name);
+
+  Status ExpectPunct(std::string_view p);
+  Status ExpectIdent(std::string_view name);
+  Result<std::string> ExpectIdentifier();
+  Result<long> ExpectInteger();
+
+  /// ParseError pinned to the current token.
+  Status ErrorHere(std::string_view message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace semap
+
+#endif  // SEMAP_UTIL_LEXER_H_

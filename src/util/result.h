@@ -1,0 +1,71 @@
+// Result<T>: a value or a non-OK Status, in the Arrow style.
+#ifndef SEMAP_UTIL_RESULT_H_
+#define SEMAP_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace semap {
+
+/// \brief Holds either a successfully computed T or the Status explaining
+/// why it could not be computed.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, mirrors
+  // arrow::Result so `return value;` and `return status;` both work.
+  Result(T value) : state_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {
+    assert(!std::get<Status>(state_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(state_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(state_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Assign the value of a Result expression to `lhs` or propagate its error.
+#define SEMAP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define SEMAP_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  SEMAP_ASSIGN_OR_RETURN_IMPL(SEMAP_CONCAT_(_semap_result_, __LINE__), lhs, \
+                              expr)
+
+#define SEMAP_CONCAT_INNER_(a, b) a##b
+#define SEMAP_CONCAT_(a, b) SEMAP_CONCAT_INNER_(a, b)
+
+}  // namespace semap
+
+#endif  // SEMAP_UTIL_RESULT_H_

@@ -1,0 +1,80 @@
+// Status: lightweight error propagation in the Arrow/RocksDB style.
+//
+// Library code never throws across public API boundaries; fallible
+// operations return Status (no payload) or Result<T> (payload or error).
+#ifndef SEMAP_UTIL_STATUS_H_
+#define SEMAP_UTIL_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace semap {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kInternal,
+  kUnsupported,
+};
+
+/// \brief Outcome of a fallible operation: OK, or a code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagate a non-OK Status from the enclosing function.
+#define SEMAP_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::semap::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace semap
+
+#endif  // SEMAP_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+// Small string helpers shared across the library.
+#ifndef SEMAP_UTIL_STRING_UTIL_H_
+#define SEMAP_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace semap {
+
+/// Join the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Split `s` on `delim`, trimming whitespace from every piece; empty pieces
+/// are dropped.
+std::vector<std::string> SplitAndTrim(std::string_view s, char delim);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lower-case ASCII copy.
+std::string ToLower(std::string_view s);
+
+}  // namespace semap
+
+#endif  // SEMAP_UTIL_STRING_UTIL_H_

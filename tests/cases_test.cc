@@ -1,0 +1,193 @@
+// Dedicated coverage of the algorithm's case analysis (Section 3.2):
+// Case A.1 (target anchor has a corresponding source root), Case A.2
+// (root unknown), Case B (target CSG constructed across several
+// pre-selected s-trees), partial coverage splits, and the recursive /
+// copy-handling corners of the s-tree machinery.
+#include <gtest/gtest.h>
+
+#include "datasets/builder_util.h"
+#include "datasets/examples.h"
+#include "logic/parser.h"
+#include "discovery/discoverer.h"
+#include "logic/containment.h"
+#include "rewriting/semantic_mapper.h"
+
+namespace semap::disc {
+namespace {
+
+/// A pair of sides where the target correspondences span TWO tables, so
+/// the target CSG itself must be constructed (Case B): dept(d)/emp(e) on
+/// the target vs a single denormalized staff table on the source.
+struct CaseBFixture {
+  sem::AnnotatedSchema source;
+  sem::AnnotatedSchema target;
+
+  static CaseBFixture Make() {
+    auto source = data::AnnotatedFromText(
+        R"(table staff(sid, sname, dname) key(sid);)",
+        R"(class Emp { sid key; sname; }
+           class Dept { dkey key; dname; }
+           rel inDept Emp -- Dept fwd 1..1 inv 0..*;)",
+        R"(semantics staff {
+             node e: Emp; node d: Dept;
+             edge inDept e d; anchor e;
+             col sid -> e.sid; col sname -> e.sname; col dname -> d.dname;
+           })");
+    EXPECT_TRUE(source.ok()) << source.status();
+    auto target = data::AnnotatedFromText(
+        R"(table dept(dcode, deptname) key(dcode);
+           table emp(eid, empname, dcode) key(eid)
+             fk (dcode) -> dept(dcode);)",
+        R"(class Emp2 { eid key; empname; }
+           class Dept2 { dcode key; deptname; }
+           rel empDept Emp2 -- Dept2 fwd 1..1 inv 0..*;)",
+        R"(semantics dept { node d: Dept2; anchor d;
+             col dcode -> d.dcode; col deptname -> d.deptname; }
+           semantics emp { node e: Emp2; node d: Dept2;
+             edge empDept e d; anchor e;
+             col eid -> e.eid; col empname -> e.empname;
+             col dcode -> d.dcode; })");
+    EXPECT_TRUE(target.ok()) << target.status();
+    return CaseBFixture{std::move(*source), std::move(*target)};
+  }
+};
+
+TEST(CaseBTest, TargetTreeConstructedAcrossTables) {
+  CaseBFixture f = CaseBFixture::Make();
+  Discoverer d(f.source, f.target,
+               {data::Corr("staff.sname", "emp.empname"),
+                data::Corr("staff.dname", "dept.deptname")});
+  auto candidates = d.Run();
+  ASSERT_TRUE(candidates.ok()) << candidates.status();
+  ASSERT_FALSE(candidates->empty());
+  const MappingCandidate& best = (*candidates)[0];
+  EXPECT_EQ(best.covered.size(), 2u);
+  // The target CSG connects Emp2 and Dept2 through empDept.
+  EXPECT_EQ(best.target_csg.fragment.nodes.size(), 2u);
+  EXPECT_EQ(best.target_csg.fragment.edges.size(), 1u);
+}
+
+TEST(CaseBTest, EndToEndMapping) {
+  CaseBFixture f = CaseBFixture::Make();
+  auto mappings = rew::GenerateSemanticMappings(
+      f.source, f.target,
+      {data::Corr("staff.sname", "emp.empname"),
+       data::Corr("staff.dname", "dept.deptname")});
+  ASSERT_TRUE(mappings.ok());
+  ASSERT_EQ(mappings->size(), 1u);
+  // Source: one staff atom; target: emp ⋈ dept.
+  EXPECT_EQ((*mappings)[0].tgd.source.body.size(), 1u);
+  EXPECT_EQ((*mappings)[0].tgd.target.body.size(), 2u);
+}
+
+TEST(CaseTest, SingleCorrespondenceTrivialMapping) {
+  CaseBFixture f = CaseBFixture::Make();
+  auto mappings = rew::GenerateSemanticMappings(
+      f.source, f.target, {data::Corr("staff.sname", "emp.empname")});
+  ASSERT_TRUE(mappings.ok());
+  ASSERT_FALSE(mappings->empty());
+  EXPECT_EQ((*mappings)[0].covered.size(), 1u);
+}
+
+TEST(CaseTest, RecursiveRelationshipCopies) {
+  // pers(pid, spousePid): two copies of Person connected by hasSpouse
+  // (Section 2's copy device), against a flat target.
+  auto source = data::AnnotatedFromText(
+      R"(table pers(pid, name, spousePid) key(pid);)",
+      R"(class Person { pid key; name; }
+         rel hasSpouse Person -- Person fwd 0..1 inv 0..1;)",
+      R"(semantics pers {
+           node p: Person; node q: Person;
+           edge hasSpouse p q; anchor p;
+           col pid -> p.pid; col name -> p.name; col spousePid -> q.pid;
+         })");
+  ASSERT_TRUE(source.ok()) << source.status();
+  auto target = data::AnnotatedFromText(
+      R"(table couple(aid, bid) key(aid);)",
+      R"(class P2 { xid key; }
+         rel marriedTo P2 -- P2 fwd 0..1 inv 0..1;)",
+      R"(semantics couple {
+           node a: P2; node b: P2;
+           edge marriedTo a b; anchor a;
+           col aid -> a.xid; col bid -> b.xid;
+         })");
+  ASSERT_TRUE(target.ok()) << target.status();
+  auto mappings = rew::GenerateSemanticMappings(
+      *source, *target,
+      {data::Corr("pers.pid", "couple.aid"),
+       data::Corr("pers.spousePid", "couple.bid")});
+  ASSERT_TRUE(mappings.ok()) << mappings.status();
+  ASSERT_FALSE(mappings->empty());
+  auto expected = logic::ParseTgd("pers(w0, n, w1) -> couple(w0, w1)");
+  bool matched = false;
+  for (const auto& v : (*mappings)[0].variants) {
+    if (logic::EquivalentTgds(v, *expected)) matched = true;
+  }
+  EXPECT_TRUE(matched) << (*mappings)[0].tgd.ToString();
+}
+
+TEST(CaseTest, PartialCoverageSplitsCorrespondences) {
+  // The source has no connection at all between A and B; the target table
+  // pairs them. Discovery must split into two partial candidates instead
+  // of fabricating a join.
+  auto source = data::AnnotatedFromText(
+      R"(table a(aid, aval) key(aid);
+         table b(bid, bval) key(bid);)",
+      R"(class A { aid key; aval; }
+         class B { bid key; bval; })",
+      R"(semantics a { node x: A; anchor x; col aid -> x.aid;
+           col aval -> x.aval; }
+         semantics b { node y: B; anchor y; col bid -> y.bid;
+           col bval -> y.bval; })");
+  ASSERT_TRUE(source.ok()) << source.status();
+  auto target = data::AnnotatedFromText(
+      R"(table ab(av, bv) key(av);)",
+      R"(class AB { av key; bv; })",
+      R"(semantics ab { node z: AB; anchor z;
+           col av -> z.av; col bv -> z.bv; })");
+  ASSERT_TRUE(target.ok()) << target.status();
+  Discoverer d(*source, *target,
+               {data::Corr("a.aval", "ab.av"), data::Corr("b.bval", "ab.bv")});
+  auto candidates = d.Run();
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_FALSE(candidates->empty());
+  for (const MappingCandidate& c : *candidates) {
+    EXPECT_EQ(c.covered.size(), 1u)
+        << "no source connection exists, so no candidate may claim both";
+  }
+}
+
+TEST(CaseTest, CorrespondenceOnReifiedAttributeAnchorsSearch) {
+  // A correspondence on a reified relationship's own attribute marks the
+  // reified node itself; Case A.1 roots the source tree there.
+  auto domain = data::BuildSalesReifiedExample();
+  ASSERT_TRUE(domain.ok());
+  Discoverer d(domain->source, domain->target,
+               {data::Corr("sells.date", "purchases.pdate"),
+                data::Corr("sells.sid", "purchases.shopid")});
+  auto candidates = d.Run();
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_FALSE(candidates->empty());
+  const MappingCandidate& best = (*candidates)[0];
+  ASSERT_TRUE(best.source_csg.root.has_value());
+  EXPECT_EQ(domain->source.graph()
+                .node(best.source_csg.fragment
+                          .nodes[static_cast<size_t>(*best.source_csg.root)]
+                          .graph_node)
+                .name,
+            "Sell");
+}
+
+TEST(CaseTest, MultipleCorrespondencesOnOneColumnPair) {
+  // Duplicated correspondences must not duplicate mappings.
+  CaseBFixture f = CaseBFixture::Make();
+  auto mappings = rew::GenerateSemanticMappings(
+      f.source, f.target,
+      {data::Corr("staff.sname", "emp.empname"),
+       data::Corr("staff.sname", "emp.empname")});
+  ASSERT_TRUE(mappings.ok());
+  ASSERT_FALSE(mappings->empty());
+}
+
+}  // namespace
+}  // namespace semap::disc

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "cm/graph.h"
+#include "cm/model.h"
+#include "cm/parser.h"
+
+namespace semap::cm {
+namespace {
+
+TEST(CardinalityTest, Classification) {
+  EXPECT_TRUE(Cardinality::ExactlyOne().IsFunctional());
+  EXPECT_TRUE(Cardinality::AtMostOne().IsFunctional());
+  EXPECT_FALSE(Cardinality::Any().IsFunctional());
+  EXPECT_FALSE(Cardinality::AtLeastOne().IsFunctional());
+  EXPECT_TRUE(Cardinality::ExactlyOne().IsTotal());
+  EXPECT_FALSE(Cardinality::AtMostOne().IsTotal());
+}
+
+TEST(CardinalityTest, ToString) {
+  EXPECT_EQ(Cardinality::Any().ToString(), "0..*");
+  EXPECT_EQ(Cardinality::ExactlyOne().ToString(), "1..1");
+}
+
+TEST(ModelTest, DuplicateClassRejected) {
+  ConceptualModel m;
+  EXPECT_TRUE(m.AddClass(CmClass{"A", {}}).ok());
+  EXPECT_EQ(m.AddClass(CmClass{"A", {}}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ModelTest, DuplicateAttributeRejected) {
+  ConceptualModel m;
+  EXPECT_FALSE(m.AddClass(CmClass{"A", {{"x", false}, {"x", true}}}).ok());
+}
+
+TEST(ModelTest, KeyAttributes) {
+  CmClass c{"A", {{"id", true}, {"x", false}, {"id2", true}}};
+  auto keys = c.KeyAttributes();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "id");
+  EXPECT_EQ(keys[1], "id2");
+  EXPECT_NE(c.FindAttribute("x"), nullptr);
+  EXPECT_EQ(c.FindAttribute("y"), nullptr);
+}
+
+TEST(ModelTest, SubclassTransitivity) {
+  ConceptualModel m;
+  ASSERT_TRUE(m.AddClass(CmClass{"A", {}}).ok());
+  ASSERT_TRUE(m.AddClass(CmClass{"B", {}}).ok());
+  ASSERT_TRUE(m.AddClass(CmClass{"C", {}}).ok());
+  ASSERT_TRUE(m.AddIsa(IsaLink{"B", "A"}).ok());
+  ASSERT_TRUE(m.AddIsa(IsaLink{"C", "B"}).ok());
+  EXPECT_TRUE(m.IsSubclassOf("C", "A"));
+  EXPECT_TRUE(m.IsSubclassOf("C", "C"));
+  EXPECT_FALSE(m.IsSubclassOf("A", "C"));
+}
+
+TEST(ModelTest, DisjointnessIsInherited) {
+  ConceptualModel m;
+  for (const char* n : {"A", "B", "SubA", "SubB"}) {
+    ASSERT_TRUE(m.AddClass(CmClass{n, {}}).ok());
+  }
+  ASSERT_TRUE(m.AddIsa(IsaLink{"SubA", "A"}).ok());
+  ASSERT_TRUE(m.AddIsa(IsaLink{"SubB", "B"}).ok());
+  ASSERT_TRUE(m.AddDisjointness(DisjointnessConstraint{{"A", "B"}}).ok());
+  EXPECT_TRUE(m.AreDisjoint("A", "B"));
+  EXPECT_TRUE(m.AreDisjoint("SubA", "SubB"));
+  EXPECT_TRUE(m.AreDisjoint("SubA", "B"));
+  EXPECT_FALSE(m.AreDisjoint("SubA", "A"));
+  EXPECT_FALSE(m.AreDisjoint("A", "A"));
+}
+
+TEST(ModelTest, ValidateCatchesDanglingReferences) {
+  ConceptualModel m;
+  ASSERT_TRUE(m.AddClass(CmClass{"A", {}}).ok());
+  ASSERT_TRUE(m.AddRelationship(CmRelationship{"r", "A", "Ghost"}).ok());
+  EXPECT_EQ(m.Validate().code(), StatusCode::kNotFound);
+}
+
+TEST(ModelTest, ReifiedNeedsTwoRoles) {
+  ConceptualModel m;
+  ASSERT_TRUE(m.AddClass(CmClass{"A", {}}).ok());
+  ReifiedRelationship r;
+  r.class_name = "R";
+  r.roles = {{"only", "A", Cardinality::Any()}};
+  EXPECT_FALSE(m.AddReified(r).ok());
+}
+
+TEST(ModelTest, ReifiedDuplicateRoleRejected) {
+  ConceptualModel m;
+  ASSERT_TRUE(m.AddClass(CmClass{"A", {}}).ok());
+  ReifiedRelationship r;
+  r.class_name = "R";
+  r.roles = {{"x", "A", {}}, {"x", "A", {}}};
+  ASSERT_TRUE(m.AddReified(r).ok());  // added, caught at Validate
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(CmParserTest, FullFeatureParse) {
+  auto m = ParseCm(R"(
+    cm demo;
+    class Person { pid key; name; }
+    class Student { year; }
+    class Course { cid key; }
+    isa Student -> Person;
+    rel takes Student -- Course fwd 0..* inv 0..*;
+    rel partof enrolledIn Student -- Course fwd 1..1 inv 0..*;
+    disjoint Student, Course;
+    covers Person = Student;
+    reified Grade {
+      role who -> Student part 0..*;
+      role what -> Course part 0..*;
+      attr mark;
+    }
+  )");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->classes().size(), 3u);
+  EXPECT_EQ(m->relationships().size(), 2u);
+  EXPECT_EQ(m->relationships()[1].semantic_type, SemanticType::kPartOf);
+  EXPECT_EQ(m->isa_links().size(), 1u);
+  EXPECT_EQ(m->reified().size(), 1u);
+  EXPECT_EQ(m->ConceptCount(), 4u);
+}
+
+TEST(CmParserTest, DefaultCardinalities) {
+  auto m = ParseCm("class A; class B; rel r A -- B;");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->relationships()[0].forward, Cardinality::Any());
+  EXPECT_EQ(m->relationships()[0].inverse, Cardinality::Any());
+}
+
+TEST(CmParserTest, RejectsBadCardinality) {
+  EXPECT_FALSE(ParseCm("class A; class B; rel r A -- B fwd 2..1;").ok());
+}
+
+TEST(CmParserTest, RejectsUnknownClassInRel) {
+  EXPECT_FALSE(ParseCm("class A; rel r A -- Missing;").ok());
+}
+
+TEST(CmGraphTest, ClassAndAttributeNodes) {
+  auto m = ParseCm("class A { id key; x; } class B { bid key; }");
+  auto g = CmGraph::Build(*m);
+  ASSERT_TRUE(g.ok());
+  int a = g->FindClassNode("A");
+  ASSERT_GE(a, 0);
+  EXPECT_GE(g->FindAttributeNode("A", "id"), 0);
+  EXPECT_GE(g->FindAttributeNode("A", "x"), 0);
+  EXPECT_EQ(g->FindAttributeNode("A", "nope"), -1);
+  EXPECT_TRUE(g->node(g->FindAttributeNode("A", "id")).is_key_attribute);
+  EXPECT_FALSE(g->node(g->FindAttributeNode("A", "x")).is_key_attribute);
+}
+
+TEST(CmGraphTest, FunctionalRelationshipStaysDirectEdge) {
+  auto m = ParseCm(
+      "class A { id key; } class B { bid key; } "
+      "rel r A -- B fwd 1..1 inv 0..*;");
+  auto g = CmGraph::Build(*m);
+  ASSERT_TRUE(g.ok());
+  int a = g->FindClassNode("A");
+  int eid = g->FindEdge(a, "r", /*inverted=*/false);
+  ASSERT_GE(eid, 0);
+  const GraphEdge& e = g->edge(eid);
+  EXPECT_TRUE(e.IsFunctional());
+  // Inverse partner runs the other way and is non-functional.
+  const GraphEdge& inv = g->edge(e.partner);
+  EXPECT_EQ(inv.from, e.to);
+  EXPECT_TRUE(inv.inverted);
+  EXPECT_FALSE(inv.IsFunctional());
+  EXPECT_EQ(g->FindAutoReifiedNode("r"), -1);
+}
+
+TEST(CmGraphTest, ManyToManyIsAutoReified) {
+  auto m = ParseCm(
+      "class A { id key; } class B { bid key; } "
+      "rel r A -- B fwd 0..* inv 1..*;");
+  auto g = CmGraph::Build(*m);
+  ASSERT_TRUE(g.ok());
+  int r = g->FindAutoReifiedNode("r");
+  ASSERT_GE(r, 0);
+  const GraphNode& n = g->node(r);
+  EXPECT_TRUE(n.reified);
+  EXPECT_TRUE(n.auto_reified);
+  EXPECT_EQ(n.arity, 2);
+  // The direct A -> B edge must be absent.
+  EXPECT_EQ(g->FindEdge(g->FindClassNode("A"), "r", false), -1);
+  // Role edges from the reified node are functional.
+  int src = g->FindEdge(r, "src", false);
+  ASSERT_GE(src, 0);
+  EXPECT_TRUE(g->edge(src).IsFunctional());
+  // The inverse carries the participation (= original forward card).
+  EXPECT_FALSE(g->edge(g->edge(src).partner).IsFunctional());
+}
+
+TEST(CmGraphTest, IsaEdgesFunctionalBothWays) {
+  auto m = ParseCm("class A; class B; isa B -> A;");
+  auto g = CmGraph::Build(*m);
+  ASSERT_TRUE(g.ok());
+  int b = g->FindClassNode("B");
+  int eid = g->FindEdge(b, "isa", false);
+  ASSERT_GE(eid, 0);
+  EXPECT_EQ(g->edge(eid).kind, EdgeKind::kIsa);
+  EXPECT_TRUE(g->edge(eid).IsFunctional());
+  EXPECT_TRUE(g->edge(g->edge(eid).partner).IsFunctional());
+}
+
+TEST(CmGraphTest, ExplicitReifiedRoles) {
+  auto m = ParseCm(R"(
+    class S { sid key; }
+    class P { pid key; }
+    reified Sell {
+      role seller -> S part 0..1;
+      role sold -> P part 0..*;
+      attr date;
+    }
+  )");
+  auto g = CmGraph::Build(*m);
+  ASSERT_TRUE(g.ok());
+  int sell = g->FindClassNode("Sell");
+  ASSERT_GE(sell, 0);
+  EXPECT_TRUE(g->node(sell).reified);
+  EXPECT_FALSE(g->node(sell).auto_reified);
+  EXPECT_EQ(g->node(sell).arity, 2);
+  EXPECT_GE(g->FindAttributeNode("Sell", "date"), 0);
+  // seller role inverse is functional (part 0..1).
+  int seller = g->FindEdge(sell, "seller", false);
+  ASSERT_GE(seller, 0);
+  EXPECT_TRUE(g->edge(g->edge(seller).partner).IsFunctional());
+}
+
+TEST(CmGraphTest, ComposePathCardinalities) {
+  GraphEdge f1;
+  f1.card = Cardinality::ExactlyOne();
+  GraphEdge f2;
+  f2.card = Cardinality::AtMostOne();
+  GraphEdge m1;
+  m1.card = Cardinality::Any();
+  EXPECT_TRUE(CmGraph::ComposePath({&f1, &f2}).IsFunctional());
+  EXPECT_FALSE(CmGraph::ComposePath({&f1, &m1}).IsFunctional());
+  EXPECT_TRUE(CmGraph::ComposePath({&f1, &f1}).IsTotal());
+  EXPECT_FALSE(CmGraph::ComposePath({&f1, &f2}).IsTotal());
+  EXPECT_TRUE(CmGraph::ComposePath({}).IsFunctional());
+}
+
+TEST(CmGraphTest, DisjointnessDelegation) {
+  auto m = ParseCm("class A; class B; class C; isa B -> A; isa C -> A; "
+                   "disjoint B, C;");
+  auto g = CmGraph::Build(*m);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->AreDisjoint(g->FindClassNode("B"), g->FindClassNode("C")));
+  EXPECT_FALSE(g->AreDisjoint(g->FindClassNode("A"), g->FindClassNode("B")));
+}
+
+TEST(CmGraphTest, ClassNodesSkipAttributes) {
+  auto m = ParseCm("class A { x; y; } class B;");
+  auto g = CmGraph::Build(*m);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->ClassNodes().size(), 2u);
+}
+
+TEST(CmGraphTest, SelfRelationship) {
+  auto m = ParseCm("class P { pid key; } rel friend P -- P fwd 0..* inv 0..*;");
+  auto g = CmGraph::Build(*m);
+  ASSERT_TRUE(g.ok());
+  int r = g->FindAutoReifiedNode("friend");
+  ASSERT_GE(r, 0);
+  // Both roles point at P.
+  int src = g->FindEdge(r, "src", false);
+  int tgt = g->FindEdge(r, "tgt", false);
+  ASSERT_GE(src, 0);
+  ASSERT_GE(tgt, 0);
+  EXPECT_EQ(g->edge(src).to, g->FindClassNode("P"));
+  EXPECT_EQ(g->edge(tgt).to, g->FindClassNode("P"));
+}
+
+}  // namespace
+}  // namespace semap::cm

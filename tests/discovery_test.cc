@@ -1,0 +1,417 @@
+#include <gtest/gtest.h>
+
+#include "cm/parser.h"
+#include "datasets/examples.h"
+#include "discovery/compat.h"
+#include "discovery/cost_model.h"
+#include "discovery/discoverer.h"
+#include "discovery/tree_search.h"
+
+namespace semap::disc {
+namespace {
+
+cm::CmGraph Graph(const char* text) {
+  auto m = cm::ParseCm(text);
+  EXPECT_TRUE(m.ok()) << m.status();
+  auto g = cm::CmGraph::Build(*m);
+  EXPECT_TRUE(g.ok());
+  return *g;
+}
+
+TEST(CostModelTest, FunctionalEdgeCosts) {
+  cm::CmGraph g = Graph(
+      "class A { a key; } class B { b key; } class C { c key; } "
+      "rel f A -- B fwd 1..1 inv 0..*; "
+      "rel m B -- C fwd 0..* inv 0..*;");
+  CostModel costs(g, {});
+  int f = g.FindEdge(g.FindClassNode("A"), "f", false);
+  EXPECT_EQ(costs.EdgeCost(f), kUnitEdgeCost);
+  // The inverse of f is non-functional: penalized.
+  EXPECT_GT(costs.EdgeCost(g.edge(f).partner), costs.LossyPenalty());
+  // Role edges (of the auto-reified m) cost half a unit.
+  int r = g.FindAutoReifiedNode("m");
+  int src = g.FindEdge(r, "src", false);
+  EXPECT_EQ(costs.EdgeCost(src), kUnitEdgeCost / 2);
+}
+
+TEST(CostModelTest, PreSelectedEdgesAreFree) {
+  cm::CmGraph g = Graph(
+      "class A { a key; } class B { b key; } "
+      "rel f A -- B fwd 1..1 inv 0..*;");
+  int f = g.FindEdge(g.FindClassNode("A"), "f", false);
+  CostModel costs(g, {f});
+  EXPECT_EQ(costs.EdgeCost(f), 0);
+  EXPECT_TRUE(costs.IsPreSelected(f));
+  EXPECT_FALSE(costs.IsPreSelected(g.edge(f).partner));
+}
+
+TEST(CostModelTest, LossyPenaltyExceedsAllFunctionalEdges) {
+  cm::CmGraph g = Graph(
+      "class A { a key; } class B { b key; } class C { c key; } "
+      "rel f1 A -- B fwd 1..1 inv 0..*; "
+      "rel f2 B -- C fwd 1..1 inv 0..*; "
+      "rel f3 A -- C fwd 1..1 inv 0..*;");
+  CostModel costs(g, {});
+  EXPECT_GT(costs.LossyPenalty(), 3 * kUnitEdgeCost);
+}
+
+TEST(TreeSearchTest, ShortestPathsFollowFunctionalEdges) {
+  cm::CmGraph g = Graph(
+      "class A { a key; } class B { b key; } class C { c key; } "
+      "rel f A -- B fwd 1..1 inv 0..*; "
+      "rel g B -- C fwd 0..1 inv 0..*;");
+  CostModel costs(g, {});
+  TreeSearchOptions opts;
+  ShortestPaths sp = ComputeShortestPaths(g, costs, g.FindClassNode("A"), opts);
+  EXPECT_EQ(sp.dist[static_cast<size_t>(g.FindClassNode("C"))],
+            2 * kUnitEdgeCost);
+  // C cannot reach A functionally.
+  ShortestPaths back =
+      ComputeShortestPaths(g, costs, g.FindClassNode("C"), opts);
+  EXPECT_EQ(back.dist[static_cast<size_t>(g.FindClassNode("A"))],
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(TreeSearchTest, LossyAllowedReachesEverything) {
+  cm::CmGraph g = Graph(
+      "class A { a key; } class B { b key; } "
+      "rel f A -- B fwd 1..1 inv 0..*;");
+  CostModel costs(g, {});
+  TreeSearchOptions opts;
+  opts.functional_only = false;
+  ShortestPaths sp = ComputeShortestPaths(g, costs, g.FindClassNode("B"), opts);
+  EXPECT_LT(sp.dist[static_cast<size_t>(g.FindClassNode("A"))],
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(TreeSearchTest, GrowTreeCoversTerminals) {
+  cm::CmGraph g = Graph(
+      "class A { a key; } class B { b key; } class C { c key; } "
+      "rel f A -- B fwd 1..1 inv 0..*; "
+      "rel g A -- C fwd 1..1 inv 0..*;");
+  CostModel costs(g, {});
+  TreeSearchOptions opts;
+  auto tree = GrowTree(g, costs, g.FindClassNode("A"),
+                       {g.FindClassNode("B"), g.FindClassNode("C")}, opts);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->fragment.nodes.size(), 3u);
+  EXPECT_EQ(tree->fragment.edges.size(), 2u);
+  EXPECT_TRUE(tree->IsFunctionalTree());
+}
+
+TEST(TreeSearchTest, GrowTreeReportsUncovered) {
+  cm::CmGraph g = Graph(
+      "class A { a key; } class B { b key; } class C { c key; } "
+      "rel f A -- B fwd 1..1 inv 0..*;");
+  CostModel costs(g, {});
+  TreeSearchOptions opts;
+  std::vector<int> uncovered;
+  auto tree = GrowTree(g, costs, g.FindClassNode("A"),
+                       {g.FindClassNode("B"), g.FindClassNode("C")}, opts,
+                       &uncovered);
+  ASSERT_TRUE(tree.has_value());
+  ASSERT_EQ(uncovered.size(), 1u);
+  EXPECT_EQ(uncovered[0], g.FindClassNode("C"));
+}
+
+TEST(TreeSearchTest, GrowAllTreesEnumeratesParallelEdges) {
+  cm::CmGraph g = Graph(
+      "class A { a key; } class B { b key; } "
+      "rel f1 A -- B fwd 0..1 inv 0..*; "
+      "rel f2 A -- B fwd 0..1 inv 0..*;");
+  CostModel costs(g, {});
+  TreeSearchOptions opts;
+  auto trees = GrowAllTrees(g, costs, g.FindClassNode("A"),
+                            {g.FindClassNode("B")}, opts);
+  EXPECT_EQ(trees.size(), 2u);
+}
+
+TEST(TreeSearchTest, MinimalTreesPrefersCheaperRoot) {
+  // Intern -> Project -> Department (Example 3.1's Intern note): the tree
+  // rooted at Project is strictly cheaper.
+  cm::CmGraph g = Graph(
+      "class Intern { i key; } class Project { p key; } "
+      "class Department { d key; } "
+      "rel works_on Intern -- Project fwd 1..1 inv 0..*; "
+      "rel controlledBy Project -- Department fwd 1..1 inv 0..*;");
+  CostModel costs(g, {});
+  TreeSearchOptions opts;
+  auto trees = MinimalTrees(
+      g, costs, {g.FindClassNode("Project"), g.FindClassNode("Department")},
+      opts);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].fragment.nodes.size(), 2u);
+  EXPECT_EQ(g.node(trees[0].fragment.nodes[0].graph_node).name, "Project");
+}
+
+TEST(TreeSearchTest, PreSelectedTieBreakPrefersLargerTree) {
+  // Example 3.1 Case A.2: with both edges pre-selected, the Project-rooted
+  // tree using two pre-selected edges beats the Department-Employee tree.
+  cm::CmGraph g = Graph(
+      "class Project { p key; } class Department { d key; } "
+      "class Employee { e key; } "
+      "rel controlledBy Project -- Department fwd 1..1 inv 0..*; "
+      "rel hasManager Department -- Employee fwd 0..1 inv 0..*;");
+  int cb = g.FindEdge(g.FindClassNode("Project"), "controlledBy", false);
+  int hm = g.FindEdge(g.FindClassNode("Department"), "hasManager", false);
+  CostModel costs(g, {cb, g.edge(cb).partner, hm, g.edge(hm).partner});
+  TreeSearchOptions opts;
+  auto trees = MinimalTrees(
+      g, costs, {g.FindClassNode("Department"), g.FindClassNode("Employee")},
+      opts);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].fragment.nodes.size(), 3u);  // includes Project
+  EXPECT_EQ(trees[0].pre_selected_used, 2);
+}
+
+TEST(TreeSearchTest, ExcludedNodesRespected) {
+  cm::CmGraph g = Graph(
+      "class A { a key; } class B { b key; } class C { c key; } "
+      "rel f A -- B fwd 1..1 inv 0..*; "
+      "rel g B -- C fwd 1..1 inv 0..*; "
+      "rel h A -- C fwd 1..1 inv 0..*;");
+  CostModel costs(g, {});
+  TreeSearchOptions opts;
+  opts.excluded_nodes = {g.FindClassNode("B")};
+  auto trees = MinimalTrees(g, costs,
+                            {g.FindClassNode("A"), g.FindClassNode("C")}, opts);
+  ASSERT_FALSE(trees.empty());
+  for (const Csg& t : trees) {
+    EXPECT_EQ(t.GraphNodeSet().count(g.FindClassNode("B")), 0u);
+  }
+}
+
+TEST(TreeSearchTest, ReifiedNodesIgnoredForNodeMinimality) {
+  // A ~ B both via a reified m:n and via a functional edge of equal cost:
+  // the reified route must not be pruned as a node-superset.
+  cm::CmGraph g = Graph(
+      "class A { a key; } class B { b key; } "
+      "rel mn A -- B fwd 0..* inv 0..*; "
+      "rel f A -- B fwd 0..1 inv 0..*;");
+  int f = g.FindEdge(g.FindClassNode("A"), "f", false);
+  int r = g.FindAutoReifiedNode("mn");
+  int src = g.FindEdge(r, "src", false);
+  int tgt = g.FindEdge(r, "tgt", false);
+  // Pre-select nothing; role path costs 1+1 = one unit = functional edge.
+  CostModel costs(g, {});
+  TreeSearchOptions opts;
+  auto trees = MinimalTrees(g, costs,
+                            {g.FindClassNode("A"), g.FindClassNode("B")}, opts);
+  EXPECT_EQ(trees.size(), 2u);
+  (void)f;
+  (void)src;
+  (void)tgt;
+}
+
+TEST(CompatTest, TreeConnectionComposesCardinalities) {
+  cm::CmGraph g = Graph(
+      "class A { a key; } class B { b key; } class C { c key; } "
+      "rel f A -- B fwd 1..1 inv 0..*; "
+      "rel g B -- C fwd 0..1 inv 0..*;");
+  CostModel costs(g, {});
+  TreeSearchOptions opts;
+  auto tree = GrowTree(g, costs, g.FindClassNode("A"),
+                       {g.FindClassNode("C")}, opts);
+  ASSERT_TRUE(tree.has_value());
+  Connection conn = TreeConnection(g, *tree, tree->FindNodeIndex(g.FindClassNode("A")),
+                                   tree->FindNodeIndex(g.FindClassNode("C")));
+  ASSERT_TRUE(conn.exists);
+  EXPECT_TRUE(conn.forward.IsFunctional());
+  EXPECT_FALSE(conn.backward.IsFunctional());
+  EXPECT_TRUE(conn.has_non_isa);
+}
+
+TEST(CompatTest, SameNodeConnection) {
+  cm::CmGraph g = Graph("class A { a key; }");
+  Csg csg;
+  csg.fragment.nodes = {{g.FindClassNode("A")}};
+  Connection conn = TreeConnection(g, csg, 0, 0);
+  EXPECT_TRUE(conn.exists);
+  EXPECT_TRUE(conn.forward.IsFunctional());
+}
+
+TEST(CompatTest, MissingNodeNoConnection) {
+  cm::CmGraph g = Graph("class A { a key; }");
+  Csg csg;
+  csg.fragment.nodes = {{g.FindClassNode("A")}};
+  EXPECT_FALSE(TreeConnection(g, csg, 0, -1).exists);
+}
+
+TEST(CompatTest, DisjointnessViolationDetected) {
+  cm::CmGraph g = Graph(
+      "class R { r key; } class S; class T; "
+      "isa S -> R; isa T -> R; disjoint S, T;");
+  Csg csg;
+  csg.fragment.nodes = {{g.FindClassNode("R")},
+                        {g.FindClassNode("S")},
+                        {g.FindClassNode("T")}};
+  int isa_s = g.FindEdge(g.FindClassNode("S"), "isa", false);
+  int isa_t = g.FindEdge(g.FindClassNode("T"), "isa", false);
+  csg.fragment.edges = {{1, 0, isa_s}, {2, 0, isa_t}};
+  EXPECT_TRUE(HasDisjointnessViolation(g, csg));
+}
+
+TEST(CompatTest, NonDisjointSiblingsAllowed) {
+  cm::CmGraph g = Graph(
+      "class R { r key; } class S; class T; isa S -> R; isa T -> R;");
+  Csg csg;
+  csg.fragment.nodes = {{g.FindClassNode("R")},
+                        {g.FindClassNode("S")},
+                        {g.FindClassNode("T")}};
+  int isa_s = g.FindEdge(g.FindClassNode("S"), "isa", false);
+  int isa_t = g.FindEdge(g.FindClassNode("T"), "isa", false);
+  csg.fragment.edges = {{1, 0, isa_s}, {2, 0, isa_t}};
+  EXPECT_FALSE(HasDisjointnessViolation(g, csg));
+}
+
+TEST(JudgeTest, ManyToManyIntoIdentifiedFunctionalTargetIncompatible) {
+  Connection src;
+  src.exists = true;
+  src.forward = cm::Cardinality::Any();
+  src.backward = cm::Cardinality::Any();
+  Connection tgt;
+  tgt.exists = true;
+  tgt.forward = cm::Cardinality::AtMostOne();
+  tgt.backward = cm::Cardinality::Any();
+  EXPECT_EQ(JudgeConnections(src, tgt, /*a_identified=*/true,
+                             /*b_identified=*/true),
+            Compat::kIncompatible);
+  // Unidentified endpoint: fresh existentials cannot collide.
+  EXPECT_EQ(JudgeConnections(src, tgt, /*a_identified=*/false,
+                             /*b_identified=*/false),
+            Compat::kCompatible);
+}
+
+TEST(JudgeTest, PartOfMismatchDowngrades) {
+  Connection src;
+  src.exists = true;
+  src.forward = cm::Cardinality::AtMostOne();
+  src.backward = cm::Cardinality::AtMostOne();
+  src.has_non_isa = true;
+  src.all_partof = false;
+  Connection tgt = src;
+  tgt.all_partof = true;
+  EXPECT_EQ(JudgeConnections(src, tgt), Compat::kDowngrade);
+  tgt.all_partof = false;
+  EXPECT_EQ(JudgeConnections(src, tgt), Compat::kCompatible);
+}
+
+TEST(JudgeTest, PureIsaPathIsPartOfNeutral) {
+  Connection src;
+  src.exists = true;
+  src.forward = cm::Cardinality::AtMostOne();
+  src.backward = cm::Cardinality::AtMostOne();
+  src.has_non_isa = false;
+  Connection tgt = src;
+  tgt.has_non_isa = true;
+  tgt.all_partof = true;
+  EXPECT_EQ(JudgeConnections(src, tgt), Compat::kCompatible);
+}
+
+TEST(ReifiedCategoryTest, Classification) {
+  cm::CmGraph g = Graph(R"(
+    class A { a key; }
+    class B { b key; }
+    reified MN { role x -> A part 0..*; role y -> B part 0..*; }
+    reified M1 { role x -> A part 0..*; role y -> B part 0..1; }
+    reified OO { role x -> A part 1..1; role y -> B part 0..1; }
+  )");
+  EXPECT_EQ(CategoryOfReified(g, g.FindClassNode("MN")),
+            ReifiedCategory::kManyToMany);
+  EXPECT_EQ(CategoryOfReified(g, g.FindClassNode("M1")),
+            ReifiedCategory::kManyToOne);
+  EXPECT_EQ(CategoryOfReified(g, g.FindClassNode("OO")),
+            ReifiedCategory::kOneToOne);
+}
+
+TEST(DiscovererTest, BookstoreFindsLossyComposition) {
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok());
+  Discoverer d(domain->source, domain->target,
+               domain->cases[0].correspondences);
+  auto candidates = d.Run();
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_FALSE(candidates->empty());
+  const MappingCandidate& best = (*candidates)[0];
+  EXPECT_EQ(best.covered.size(), 2u);
+  // The source CSG spans Person, Book, Bookstore and both reified hops.
+  EXPECT_EQ(best.source_csg.fragment.nodes.size(), 5u);
+  EXPECT_EQ(best.source_csg.lossy_edges, 1);
+}
+
+TEST(DiscovererTest, LossyDisallowedDropsComposition) {
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok());
+  DiscoveryOptions options;
+  options.allow_lossy = false;
+  Discoverer d(domain->source, domain->target,
+               domain->cases[0].correspondences, options);
+  auto candidates = d.Run();
+  ASSERT_TRUE(candidates.ok());
+  for (const MappingCandidate& c : *candidates) {
+    EXPECT_EQ(c.source_csg.lossy_edges, 0);
+    EXPECT_LT(c.covered.size(), 2u);
+  }
+}
+
+TEST(DiscovererTest, IsaDisabledBreaksEmployeeMerge) {
+  auto domain = data::BuildEmployeeIsaExample();
+  ASSERT_TRUE(domain.ok());
+  DiscoveryOptions options;
+  options.use_isa = false;
+  Discoverer d(domain->source, domain->target,
+               domain->cases[0].correspondences, options);
+  auto candidates = d.Run();
+  ASSERT_TRUE(candidates.ok());
+  for (const MappingCandidate& c : *candidates) {
+    EXPECT_LT(c.covered.size(), 3u);
+  }
+}
+
+TEST(DiscovererTest, SemanticTypeFilterDisabledKeepsDeanOf) {
+  auto domain = data::BuildPartOfExample();
+  ASSERT_TRUE(domain.ok());
+  DiscoveryOptions options;
+  options.use_semantic_type_filter = false;
+  Discoverer d(domain->source, domain->target,
+               domain->cases[0].correspondences, options);
+  auto candidates = d.Run();
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates->size(), 2u);  // chairOf and deanOf both survive
+  Discoverer filtered(domain->source, domain->target,
+                      domain->cases[0].correspondences);
+  auto strict = filtered.Run();
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->size(), 1u);
+}
+
+TEST(DiscovererTest, NoCorrespondencesRejected) {
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok());
+  Discoverer d(domain->source, domain->target, {});
+  EXPECT_FALSE(d.Run().ok());
+}
+
+TEST(DiscovererTest, UnknownColumnRejected) {
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok());
+  Discoverer d(domain->source, domain->target,
+               {Correspondence{{"nope", "x"}, {"author", "aname"}}});
+  EXPECT_EQ(d.Run().status().code(), StatusCode::kNotFound);
+}
+
+TEST(LiftTest, MarkedNodesGrouping) {
+  auto domain = data::BuildEmployeeIsaExample();
+  ASSERT_TRUE(domain.ok());
+  auto lifted = LiftCorrespondences(domain->source, domain->target,
+                                    domain->cases[0].correspondences);
+  ASSERT_TRUE(lifted.ok());
+  auto marked = MarkedNodes(*lifted, /*source_side=*/true);
+  // name -> Employee, site -> Engineer, acnt -> Programmer.
+  EXPECT_EQ(marked.size(), 3u);
+  auto tgt_marked = MarkedNodes(*lifted, /*source_side=*/false);
+  EXPECT_EQ(tgt_marked.size(), 3u);
+}
+
+}  // namespace
+}  // namespace semap::disc

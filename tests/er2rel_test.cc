@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "cm/parser.h"
+#include "semantics/er2rel.h"
+
+namespace semap::sem {
+namespace {
+
+cm::ConceptualModel Model(const char* text) {
+  auto m = cm::ParseCm(text);
+  EXPECT_TRUE(m.ok()) << m.status();
+  return *m;
+}
+
+TEST(Er2RelTest, EntityTables) {
+  auto annotated = Er2Rel(Model(R"(
+    class Person { pid key; name; }
+    class Dog { did key; breed; }
+  )"), "s");
+  ASSERT_TRUE(annotated.ok()) << annotated.status();
+  EXPECT_EQ(annotated->schema().tables().size(), 2u);
+  const rel::Table* person = annotated->schema().FindTable("Person");
+  ASSERT_NE(person, nullptr);
+  EXPECT_EQ(person->columns(), (std::vector<std::string>{"pid", "name"}));
+  EXPECT_EQ(person->primary_key(), (std::vector<std::string>{"pid"}));
+  EXPECT_NE(annotated->FindSemantics("Person"), nullptr);
+}
+
+TEST(Er2RelTest, MergedFunctionalRelationship) {
+  auto annotated = Er2Rel(Model(R"(
+    class A { aid key; }
+    class B { bid key; }
+    rel owns A -- B fwd 0..1 inv 0..*;
+  )"), "s");
+  ASSERT_TRUE(annotated.ok());
+  const rel::Table* a = annotated->schema().FindTable("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->columns(), (std::vector<std::string>{"aid", "bid"}));
+  ASSERT_EQ(annotated->schema().rics().size(), 1u);
+  EXPECT_EQ(annotated->schema().rics()[0].to_table, "B");
+  // The s-tree spans both classes.
+  EXPECT_EQ(annotated->FindSemantics("A")->nodes.size(), 2u);
+}
+
+TEST(Er2RelTest, UnmergedFunctionalGetsOwnTable) {
+  Er2RelOptions options;
+  options.merge_functional_relationships = false;
+  auto annotated = Er2Rel(Model(R"(
+    class A { aid key; }
+    class B { bid key; }
+    rel owns A -- B fwd 0..1 inv 0..*;
+  )"), "s", options);
+  ASSERT_TRUE(annotated.ok());
+  const rel::Table* owns = annotated->schema().FindTable("owns");
+  ASSERT_NE(owns, nullptr);
+  EXPECT_EQ(owns->primary_key(), (std::vector<std::string>{"aid"}));
+}
+
+TEST(Er2RelTest, InverseFunctionalNormalized) {
+  // Functional only in the inverse direction: merged into B's table.
+  auto annotated = Er2Rel(Model(R"(
+    class A { aid key; }
+    class B { bid key; }
+    rel r A -- B fwd 0..* inv 1..1;
+  )"), "s");
+  ASSERT_TRUE(annotated.ok());
+  EXPECT_EQ(annotated->schema().FindTable("B")->columns().size(), 2u);
+  EXPECT_EQ(annotated->schema().FindTable("A")->columns().size(), 1u);
+}
+
+TEST(Er2RelTest, ManyToManyTableKeyedByBothSides) {
+  auto annotated = Er2Rel(Model(R"(
+    class A { aid key; }
+    class B { bid key; }
+    rel likes A -- B fwd 0..* inv 0..*;
+  )"), "s");
+  ASSERT_TRUE(annotated.ok());
+  const rel::Table* likes = annotated->schema().FindTable("likes");
+  ASSERT_NE(likes, nullptr);
+  EXPECT_EQ(likes->primary_key(), (std::vector<std::string>{"aid", "bid"}));
+  // Its s-tree runs through the auto-reified node with an anchor there.
+  const STree* stree = annotated->FindSemantics("likes");
+  ASSERT_NE(stree, nullptr);
+  EXPECT_EQ(stree->nodes.size(), 3u);
+  ASSERT_TRUE(stree->anchor.has_value());
+  EXPECT_TRUE(annotated->graph()
+                  .node(stree->nodes[static_cast<size_t>(*stree->anchor)]
+                            .graph_node)
+                  .auto_reified);
+}
+
+TEST(Er2RelTest, SelfRelationshipColumnsDisambiguated) {
+  auto annotated = Er2Rel(Model(R"(
+    class P { pid key; }
+    rel knows P -- P fwd 0..* inv 0..*;
+  )"), "s");
+  ASSERT_TRUE(annotated.ok());
+  const rel::Table* knows = annotated->schema().FindTable("knows");
+  ASSERT_NE(knows, nullptr);
+  EXPECT_EQ(knows->columns().size(), 2u);
+  EXPECT_NE(knows->columns()[0], knows->columns()[1]);
+}
+
+TEST(Er2RelTest, IsaWithInheritedKeyGetsRic) {
+  auto annotated = Er2Rel(Model(R"(
+    class Person { pid key; name; }
+    class Student { year; }
+    isa Student -> Person;
+  )"), "s");
+  ASSERT_TRUE(annotated.ok());
+  const rel::Table* student = annotated->schema().FindTable("Student");
+  ASSERT_NE(student, nullptr);
+  EXPECT_EQ(student->columns(), (std::vector<std::string>{"pid", "year"}));
+  ASSERT_EQ(annotated->schema().rics().size(), 1u);
+  EXPECT_EQ(annotated->schema().rics()[0].to_table, "Person");
+  // The s-tree includes the ISA edge up to the key-declaring ancestor.
+  EXPECT_EQ(annotated->FindSemantics("Student")->nodes.size(), 2u);
+}
+
+TEST(Er2RelTest, MergeIsaIntoLeaves) {
+  Er2RelOptions options;
+  options.merge_isa_into_leaves = true;
+  auto annotated = Er2Rel(Model(R"(
+    class Person { pid key; name; }
+    class Student { year; }
+    class Staff { desk; }
+    isa Student -> Person;
+    isa Staff -> Person;
+  )"), "s", options);
+  ASSERT_TRUE(annotated.ok());
+  EXPECT_EQ(annotated->schema().FindTable("Person"), nullptr);
+  const rel::Table* student = annotated->schema().FindTable("Student");
+  ASSERT_NE(student, nullptr);
+  // key, inherited name, own attr — paper's programmer(ssn, name, acnt).
+  EXPECT_EQ(student->columns(),
+            (std::vector<std::string>{"pid", "name", "year"}));
+  EXPECT_TRUE(annotated->schema().rics().empty());
+}
+
+TEST(Er2RelTest, OnlyClassesRestrictsTables) {
+  Er2RelOptions options;
+  options.only_classes = {"A"};
+  auto annotated = Er2Rel(Model(R"(
+    class A { aid key; }
+    class B { bid key; }
+    rel likes A -- B fwd 0..* inv 0..*;
+  )"), "s", options);
+  ASSERT_TRUE(annotated.ok());
+  EXPECT_EQ(annotated->schema().tables().size(), 1u);
+  EXPECT_EQ(annotated->schema().FindTable("likes"), nullptr);
+  // The CM graph still knows the excluded concepts.
+  EXPECT_GE(annotated->graph().FindClassNode("B"), 0);
+  EXPECT_GE(annotated->graph().FindAutoReifiedNode("likes"), 0);
+}
+
+TEST(Er2RelTest, ReifiedRelationshipTable) {
+  auto annotated = Er2Rel(Model(R"(
+    class Store { sid key; }
+    class Product { prodid key; }
+    class Client { cid key; }
+    reified Sell {
+      role seller -> Store part 0..*;
+      role sold -> Product part 0..*;
+      role buyer -> Client part 0..*;
+      attr date;
+    }
+  )"), "s");
+  ASSERT_TRUE(annotated.ok());
+  const rel::Table* sell = annotated->schema().FindTable("Sell");
+  ASSERT_NE(sell, nullptr);
+  EXPECT_EQ(sell->columns(),
+            (std::vector<std::string>{"sid", "prodid", "cid", "date"}));
+  EXPECT_EQ(sell->primary_key().size(), 3u);
+  EXPECT_EQ(annotated->schema().rics().size(), 3u);
+  const STree* stree = annotated->FindSemantics("Sell");
+  ASSERT_NE(stree, nullptr);
+  EXPECT_EQ(stree->nodes.size(), 4u);
+  ASSERT_TRUE(stree->anchor.has_value());
+}
+
+TEST(Er2RelTest, ClassWithoutKeyFails) {
+  auto annotated = Er2Rel(Model("class A { x; }"), "s");
+  EXPECT_FALSE(annotated.ok());
+}
+
+TEST(Er2RelTest, RelationshipOnInheritedKeyBindsAncestor) {
+  auto annotated = Er2Rel(Model(R"(
+    class Person { pid key; }
+    class Student;
+    class Course { cid key; }
+    isa Student -> Person;
+    rel takes Student -- Course fwd 0..* inv 0..*;
+  )"), "s");
+  ASSERT_TRUE(annotated.ok()) << annotated.status();
+  const STree* takes = annotated->FindSemantics("takes");
+  ASSERT_NE(takes, nullptr);
+  // Student, Course, reified takes node, plus the Person ancestor carrying
+  // the key attribute.
+  EXPECT_EQ(takes->nodes.size(), 4u);
+}
+
+TEST(Er2RelTest, ColumnNameCollisionPrefixed) {
+  auto annotated = Er2Rel(Model(R"(
+    class A { id key; }
+    class B { id key; }
+    rel r A -- B fwd 0..1 inv 0..*;
+  )"), "s");
+  ASSERT_TRUE(annotated.ok());
+  const rel::Table* a = annotated->schema().FindTable("A");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->columns().size(), 2u);
+  EXPECT_EQ(a->columns()[0], "id");
+  EXPECT_EQ(a->columns()[1], "r_id");
+}
+
+}  // namespace
+}  // namespace semap::sem

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "datasets/builder_util.h"
+#include "datasets/examples.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "logic/parser.h"
+
+namespace semap::eval {
+namespace {
+
+Domain Bookstore() {
+  auto d = data::BuildBookstoreExample();
+  EXPECT_TRUE(d.ok());
+  return std::move(*d);
+}
+
+TEST(MatchTest, ExactBenchmarkMatches) {
+  Domain d = Bookstore();
+  logic::Tgd bench = d.cases[0].benchmark[0];
+  EXPECT_TRUE(MatchesBenchmark(bench, bench, d.source, d.target));
+}
+
+TEST(MatchTest, EquivalenceUnderRics) {
+  Domain d = Bookstore();
+  // Same mapping with the chase-implied book atom made explicit.
+  logic::Tgd with_book = *logic::ParseTgd(
+      "person(w0), writes(w0, b), book(b), soldAt(b, w1), bookstore(w1) -> "
+      "hasBookSoldAt(w0, w1)");
+  EXPECT_TRUE(MatchesBenchmark(with_book, d.cases[0].benchmark[0], d.source,
+                               d.target));
+}
+
+TEST(MatchTest, DifferentConnectionDoesNotMatch) {
+  Domain d = Bookstore();
+  logic::Tgd trivial =
+      *logic::ParseTgd("person(w0) -> hasBookSoldAt(w0, y)");
+  EXPECT_FALSE(MatchesBenchmark(trivial, d.cases[0].benchmark[0], d.source,
+                                d.target));
+}
+
+TEST(ScoreTest, PrecisionAndRecall) {
+  Domain d = Bookstore();
+  logic::Tgd good = d.cases[0].benchmark[0];
+  logic::Tgd bad = *logic::ParseTgd("person(w0) -> hasBookSoldAt(w0, y)");
+  CaseResult r = ScoreCase("t", {{good}, {bad}}, d.cases[0].benchmark,
+                           d.source, d.target);
+  EXPECT_EQ(r.generated, 2u);
+  EXPECT_EQ(r.matched, 1u);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+TEST(ScoreTest, EmptyGeneratedScoresZero) {
+  Domain d = Bookstore();
+  CaseResult r =
+      ScoreCase("t", {}, d.cases[0].benchmark, d.source, d.target);
+  EXPECT_DOUBLE_EQ(r.precision, 0.0);
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+}
+
+TEST(ScoreTest, VariantMatchCountsOnce) {
+  Domain d = Bookstore();
+  logic::Tgd good = d.cases[0].benchmark[0];
+  // A mapping with two variants matching the same benchmark counts once.
+  CaseResult r = ScoreCase("t", {{good, good}}, d.cases[0].benchmark,
+                           d.source, d.target);
+  EXPECT_EQ(r.matched, 1u);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+}
+
+TEST(ScoreTest, BenchmarkMatchedAtMostOnce) {
+  Domain d = Bookstore();
+  logic::Tgd good = d.cases[0].benchmark[0];
+  CaseResult r = ScoreCase("t", {{good}, {good}}, d.cases[0].benchmark,
+                           d.source, d.target);
+  // Two identical generated mappings, one benchmark: one match.
+  EXPECT_EQ(r.matched, 1u);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+}
+
+TEST(EvaluateTest, SemanticResultStructure) {
+  Domain d = Bookstore();
+  MethodResult r = EvaluateSemantic(d);
+  EXPECT_EQ(r.method, "semantic");
+  ASSERT_EQ(r.cases.size(), d.cases.size());
+  EXPECT_GE(r.total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_recall, 1.0);
+}
+
+TEST(EvaluateTest, RicResultStructure) {
+  Domain d = Bookstore();
+  MethodResult r = EvaluateRic(d);
+  EXPECT_EQ(r.method, "ric");
+  EXPECT_EQ(r.cases.size(), d.cases.size());
+}
+
+TEST(ReportTest, Table1RowContainsCharacteristics) {
+  Domain d = Bookstore();
+  MethodResult sem = EvaluateSemantic(d);
+  std::string row = FormatTable1Row(d, sem);
+  EXPECT_NE(row.find("bookstore_src"), std::string::npos);
+  EXPECT_NE(row.find("bookstore_tgt"), std::string::npos);
+  std::string header = FormatTable1Header();
+  EXPECT_NE(header.find("#tables"), std::string::npos);
+  EXPECT_NE(header.find("#mappings"), std::string::npos);
+}
+
+TEST(ReportTest, CaseDetailsListEveryCase) {
+  Domain d = Bookstore();
+  MethodResult sem = EvaluateSemantic(d);
+  std::string details = FormatCaseDetails(d, sem);
+  for (const TestCase& c : d.cases) {
+    EXPECT_NE(details.find(c.name), std::string::npos);
+  }
+}
+
+TEST(ReportTest, ComparisonTable) {
+  Domain d = Bookstore();
+  MethodResult sem = EvaluateSemantic(d);
+  MethodResult ric = EvaluateRic(d);
+  std::string table =
+      FormatComparisonTable({d.name}, {sem}, {ric}, /*precision=*/true);
+  EXPECT_NE(table.find("bookstore-example"), std::string::npos);
+  EXPECT_NE(table.find("Semantic"), std::string::npos);
+  EXPECT_NE(table.find("RIC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semap::eval

@@ -1,0 +1,278 @@
+// The Section 6 extensions: outer-join hints from minimum cardinalities,
+// CM-to-CM mapping discovery, and the correspondence file format.
+#include <gtest/gtest.h>
+
+#include "cm/parser.h"
+#include "datasets/examples.h"
+#include "discovery/cm_mapper.h"
+#include "discovery/stree_infer.h"
+#include "discovery/correspondence.h"
+#include "logic/containment.h"
+#include "logic/parser.h"
+#include "rewriting/semantic_mapper.h"
+
+namespace semap {
+namespace {
+
+TEST(JoinHintsTest, OptionalEdgeFlaggedOuter) {
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok());
+  auto mappings = rew::GenerateSemanticMappings(
+      domain->source, domain->target, domain->cases[0].correspondences);
+  ASSERT_TRUE(mappings.ok());
+  ASSERT_EQ(mappings->size(), 1u);
+  const auto& hints = (*mappings)[0].source_join_hints;
+  ASSERT_EQ(hints.size(), 4u);  // the four edges of the M5 tree
+  // A book's participation in soldAt has min 0: outer join toward soldAt.
+  bool found_outer = false;
+  bool found_inner = false;
+  for (const auto& h : hints) {
+    if (h.outer) found_outer = true;
+    if (!h.outer) found_inner = true;
+  }
+  EXPECT_TRUE(found_outer);
+  EXPECT_TRUE(found_inner);
+}
+
+TEST(JoinHintsTest, TotalParticipationStaysInner) {
+  auto domain = data::BuildProjectExample();
+  ASSERT_TRUE(domain.ok());
+  auto mappings = rew::GenerateSemanticMappings(
+      domain->source, domain->target, domain->cases[0].correspondences);
+  ASSERT_TRUE(mappings.ok());
+  ASSERT_EQ(mappings->size(), 1u);
+  // controlledBy is 1..1 (total): inner; hasManager is 0..1: outer.
+  bool controlled_inner = false;
+  bool manager_outer = false;
+  for (const auto& h : (*mappings)[0].source_join_hints) {
+    if (h.relationship == "controlledBy") controlled_inner = !h.outer;
+    if (h.relationship == "hasManager") manager_outer = h.outer;
+  }
+  EXPECT_TRUE(controlled_inner);
+  EXPECT_TRUE(manager_outer);
+}
+
+TEST(CorrespondenceParserTest, ParsesStatements) {
+  auto corrs = disc::ParseCorrespondences(R"(
+    # comment
+    a.x <-> b.y;
+    c.z <-> d.w;  // trailing
+  )");
+  ASSERT_TRUE(corrs.ok()) << corrs.status();
+  ASSERT_EQ(corrs->size(), 2u);
+  EXPECT_EQ((*corrs)[0].source.table, "a");
+  EXPECT_EQ((*corrs)[1].target.column, "w");
+}
+
+TEST(CorrespondenceParserTest, RejectsMalformed) {
+  EXPECT_FALSE(disc::ParseCorrespondences("a.x -> b.y;").ok());
+  EXPECT_FALSE(disc::ParseCorrespondences("a.x <-> b.y").ok());
+  EXPECT_FALSE(disc::ParseCorrespondences("a <-> b.y;").ok());
+}
+
+class CmMapperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto source_model = cm::ParseCm(R"(
+      class Person { pid key; name; }
+      class Book { bid key; title; }
+      class Shop { sid key; shopname; }
+      rel writes Person -- Book fwd 0..* inv 1..*;
+      rel stockedAt Book -- Shop fwd 0..* inv 0..*;
+    )");
+    ASSERT_TRUE(source_model.ok());
+    auto target_model = cm::ParseCm(R"(
+      class Author { aid key; aname; }
+      class Outlet { oid key; oname; }
+      rel availableAt Author -- Outlet fwd 0..* inv 0..*;
+    )");
+    ASSERT_TRUE(target_model.ok());
+    auto sg = cm::CmGraph::Build(*source_model);
+    auto tg = cm::CmGraph::Build(*target_model);
+    ASSERT_TRUE(sg.ok());
+    ASSERT_TRUE(tg.ok());
+    source_ = std::make_unique<cm::CmGraph>(std::move(*sg));
+    target_ = std::make_unique<cm::CmGraph>(std::move(*tg));
+  }
+
+  std::unique_ptr<cm::CmGraph> source_;
+  std::unique_ptr<cm::CmGraph> target_;
+};
+
+TEST_F(CmMapperTest, DiscoversComposedConnection) {
+  auto candidates = disc::DiscoverCmMappings(
+      *source_, *target_,
+      {{"Person", "name", "Author", "aname"},
+       {"Shop", "shopname", "Outlet", "oname"}});
+  ASSERT_TRUE(candidates.ok()) << candidates.status();
+  ASSERT_FALSE(candidates->empty());
+  const auto& best = (*candidates)[0];
+  EXPECT_EQ(best.covered.size(), 2u);
+  // The source side composes writes ∘ stockedAt at the CM level.
+  auto expected = logic::ParseCq(
+      "ans(v0, v1) :- Person(p), Book(b), Shop(s), writes(p, b), "
+      "stockedAt(b, s), Person.name(p, v0), Shop.shopname(s, v1)");
+  EXPECT_TRUE(logic::Equivalent(best.source_query, *expected))
+      << best.source_query.ToString();
+  auto expected_target = logic::ParseCq(
+      "ans(v0, v1) :- Author(a), Outlet(o), availableAt(a, o), "
+      "Author.aname(a, v0), Outlet.oname(o, v1)");
+  EXPECT_TRUE(logic::Equivalent(best.target_query, *expected_target))
+      << best.target_query.ToString();
+}
+
+TEST_F(CmMapperTest, UnknownClassRejected) {
+  auto candidates = disc::DiscoverCmMappings(
+      *source_, *target_, {{"Ghost", "x", "Author", "aname"}});
+  EXPECT_EQ(candidates.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CmMapperTest, UnknownAttributeRejected) {
+  auto candidates = disc::DiscoverCmMappings(
+      *source_, *target_, {{"Person", "ghost", "Author", "aname"}});
+  EXPECT_EQ(candidates.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CmMapperTest, EmptyCorrespondencesRejected) {
+  EXPECT_FALSE(disc::DiscoverCmMappings(*source_, *target_, {}).ok());
+}
+
+TEST(CmMapperIsaTest, MergesThroughSuperclass) {
+  auto source_model = cm::ParseCm(R"(
+    class Employee { ssn key; name; }
+    class Engineer { site; }
+    class Programmer { acnt; }
+    isa Engineer -> Employee;
+    isa Programmer -> Employee;
+  )");
+  auto target_model = cm::ParseCm(R"(
+    class Worker { wid key; wname; wsite; wacnt; }
+  )");
+  auto sg = cm::CmGraph::Build(*source_model);
+  auto tg = cm::CmGraph::Build(*target_model);
+  ASSERT_TRUE(sg.ok());
+  ASSERT_TRUE(tg.ok());
+  auto candidates = disc::DiscoverCmMappings(
+      *sg, *tg,
+      {{"Employee", "name", "Worker", "wname"},
+       {"Engineer", "site", "Worker", "wsite"},
+       {"Programmer", "acnt", "Worker", "wacnt"}});
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_FALSE(candidates->empty());
+  EXPECT_EQ((*candidates)[0].covered.size(), 3u);
+  // ISA unification: one instance variable spans all three classes.
+  auto expected = logic::ParseCq(
+      "ans(v0, v1, v2) :- Employee(x), Engineer(x), Programmer(x), "
+      "Employee.name(x, v0), Engineer.site(x, v1), Programmer.acnt(x, v2)");
+  EXPECT_TRUE(logic::Equivalent((*candidates)[0].source_query, *expected))
+      << (*candidates)[0].source_query.ToString();
+}
+
+TEST(CmMapperDisjointTest, InconsistentConnectionEliminated) {
+  auto source_model = cm::ParseCm(R"(
+    class Vehicle { vin key; model; }
+    class Car { doors; }
+    class Truck { axles; }
+    isa Car -> Vehicle;
+    isa Truck -> Vehicle;
+    disjoint Car, Truck;
+  )");
+  auto target_model = cm::ParseCm(R"(
+    class Auto { aid key; amodel; adoors; aaxles; }
+  )");
+  auto sg = cm::CmGraph::Build(*source_model);
+  auto tg = cm::CmGraph::Build(*target_model);
+  auto candidates = disc::DiscoverCmMappings(
+      *sg, *tg,
+      {{"Vehicle", "model", "Auto", "amodel"},
+       {"Car", "doors", "Auto", "adoors"},
+       {"Truck", "axles", "Auto", "aaxles"}});
+  ASSERT_TRUE(candidates.ok());
+  // No candidate may span both Car and Truck.
+  for (const auto& c : *candidates) {
+    std::set<int> nodes = c.source_csg.GraphNodeSet();
+    bool car = nodes.count(sg->FindClassNode("Car")) > 0;
+    bool truck = nodes.count(sg->FindClassNode("Truck")) > 0;
+    EXPECT_FALSE(car && truck);
+  }
+}
+
+}  // namespace
+}  // namespace semap
+
+namespace semap {
+namespace {
+
+class InferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto model = cm::ParseCm(R"(
+      class Proj { pid key; pname; }
+      class Dept { did key; dname; }
+      class Emp { eid key; ename; }
+      rel controlledBy Proj -- Dept fwd 1..1 inv 0..*;
+      rel hasManager Dept -- Emp fwd 0..1 inv 0..*;
+    )");
+    ASSERT_TRUE(model.ok());
+    auto g = cm::CmGraph::Build(*model);
+    ASSERT_TRUE(g.ok());
+    graph_ = std::make_unique<cm::CmGraph>(std::move(*g));
+  }
+  std::unique_ptr<cm::CmGraph> graph_;
+};
+
+TEST_F(InferTest, RecoversFunctionalChainTree) {
+  rel::Table table("proj", {"pnum", "dept", "emp"}, {"pnum"});
+  auto stree = disc::InferSTree(
+      *graph_, table,
+      {{"pnum", {"Proj", "pid"}},
+       {"dept", {"Dept", "did"}},
+       {"emp", {"Emp", "eid"}}});
+  ASSERT_TRUE(stree.ok()) << stree.status();
+  EXPECT_EQ(stree->nodes.size(), 3u);
+  EXPECT_EQ(stree->edges.size(), 2u);
+  ASSERT_TRUE(stree->anchor.has_value());
+  // Rooted at Proj: the only node from which both paths run functionally.
+  EXPECT_EQ(graph_->node(stree->nodes[static_cast<size_t>(*stree->anchor)]
+                             .graph_node)
+                .name,
+            "Proj");
+  EXPECT_TRUE(stree->Validate(*graph_, table).ok());
+}
+
+TEST_F(InferTest, SingleClassTable) {
+  rel::Table table("dept", {"did", "dname"}, {"did"});
+  auto stree = disc::InferSTree(
+      *graph_, table,
+      {{"did", {"Dept", "did"}}, {"dname", {"Dept", "dname"}}});
+  ASSERT_TRUE(stree.ok()) << stree.status();
+  EXPECT_EQ(stree->nodes.size(), 1u);
+  EXPECT_TRUE(stree->edges.empty());
+}
+
+TEST_F(InferTest, MissingHintRejected) {
+  rel::Table table("proj", {"pnum", "dept"}, {"pnum"});
+  auto stree =
+      disc::InferSTree(*graph_, table, {{"pnum", {"Proj", "pid"}}});
+  EXPECT_EQ(stree.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(InferTest, DuplicateAttributeHintUnsupported) {
+  rel::Table table("pairs", {"a", "b"}, {"a"});
+  auto stree = disc::InferSTree(
+      *graph_, table,
+      {{"a", {"Proj", "pid"}}, {"b", {"Proj", "pid"}}});
+  EXPECT_EQ(stree.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(InferTest, DisconnectedClassesRejected) {
+  auto model = cm::ParseCm("class A { x key; } class B { y key; }");
+  auto g = cm::CmGraph::Build(*model);
+  rel::Table table("t", {"x", "y"}, {"x"});
+  auto stree = disc::InferSTree(
+      *g, table, {{"x", {"A", "x"}}, {"y", {"B", "y"}}});
+  EXPECT_EQ(stree.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace semap

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "relational/schema.h"
+#include "relational/schema_parser.h"
+
+namespace semap::rel {
+namespace {
+
+Table MakeTable() {
+  return Table("person", {"pid", "name", "age"}, {"pid"});
+}
+
+TEST(TableTest, ColumnLookup) {
+  Table t = MakeTable();
+  EXPECT_TRUE(t.HasColumn("pid"));
+  EXPECT_TRUE(t.HasColumn("age"));
+  EXPECT_FALSE(t.HasColumn("missing"));
+  EXPECT_EQ(t.ColumnIndex("name"), 1);
+  EXPECT_EQ(t.ColumnIndex("missing"), -1);
+}
+
+TEST(TableTest, KeyColumns) {
+  Table t = MakeTable();
+  EXPECT_TRUE(t.IsKeyColumn("pid"));
+  EXPECT_FALSE(t.IsKeyColumn("name"));
+}
+
+TEST(TableTest, ToStringMarksKeys) {
+  EXPECT_EQ(MakeTable().ToString(), "person(pid*, name, age)");
+}
+
+TEST(ColumnRefTest, OrderingAndToString) {
+  ColumnRef a{"t", "a"};
+  ColumnRef b{"t", "b"};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.ToString(), "t.a");
+}
+
+TEST(SchemaTest, AddTableRejectsDuplicates) {
+  RelationalSchema s("test");
+  EXPECT_TRUE(s.AddTable(MakeTable()).ok());
+  Status st = s.AddTable(MakeTable());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, AddTableRejectsDuplicateColumns) {
+  RelationalSchema s;
+  Status st = s.AddTable(Table("t", {"a", "a"}, {}));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, AddTableRejectsKeyOutsideColumns) {
+  RelationalSchema s;
+  Status st = s.AddTable(Table("t", {"a"}, {"b"}));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, AddTableRejectsEmptyName) {
+  RelationalSchema s;
+  EXPECT_FALSE(s.AddTable(Table("", {"a"}, {})).ok());
+}
+
+TEST(SchemaTest, RicValidation) {
+  RelationalSchema s;
+  ASSERT_TRUE(s.AddTable(Table("a", {"x", "y"}, {"x"})).ok());
+  ASSERT_TRUE(s.AddTable(Table("b", {"z"}, {"z"})).ok());
+  EXPECT_TRUE(s.AddRic(Ric{"r1", "a", {"y"}, "b", {"z"}}).ok());
+  EXPECT_EQ(s.AddRic(Ric{"", "a", {"nope"}, "b", {"z"}}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(s.AddRic(Ric{"", "missing", {"y"}, "b", {"z"}}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(s.AddRic(Ric{"", "a", {"x", "y"}, "b", {"z"}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RicsFromAndTo) {
+  RelationalSchema s;
+  ASSERT_TRUE(s.AddTable(Table("a", {"x"}, {"x"})).ok());
+  ASSERT_TRUE(s.AddTable(Table("b", {"x"}, {"x"})).ok());
+  ASSERT_TRUE(s.AddRic(Ric{"", "a", {"x"}, "b", {"x"}}).ok());
+  EXPECT_EQ(s.RicsFrom("a").size(), 1u);
+  EXPECT_EQ(s.RicsFrom("b").size(), 0u);
+  EXPECT_EQ(s.RicsTo("b").size(), 1u);
+}
+
+TEST(SchemaTest, FindTable) {
+  RelationalSchema s;
+  ASSERT_TRUE(s.AddTable(MakeTable()).ok());
+  EXPECT_NE(s.FindTable("person"), nullptr);
+  EXPECT_EQ(s.FindTable("nope"), nullptr);
+  EXPECT_TRUE(s.HasColumn(ColumnRef{"person", "age"}));
+  EXPECT_FALSE(s.HasColumn(ColumnRef{"person", "nope"}));
+}
+
+TEST(SchemaParserTest, ParsesBasicSchema) {
+  auto schema = ParseSchema(R"(
+    schema demo;
+    table person(pid, name) key(pid);
+    table pet(petid, owner) key(petid)
+      fk r1 (owner) -> person(pid);
+  )");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->name(), "demo");
+  EXPECT_EQ(schema->tables().size(), 2u);
+  ASSERT_EQ(schema->rics().size(), 1u);
+  EXPECT_EQ(schema->rics()[0].label, "r1");
+  EXPECT_EQ(schema->rics()[0].to_table, "person");
+}
+
+TEST(SchemaParserTest, ForwardReferencedRic) {
+  auto schema = ParseSchema(R"(
+    table pet(petid, owner) key(petid)
+      fk (owner) -> person(pid);
+    table person(pid) key(pid);
+  )");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->rics().size(), 1u);
+}
+
+TEST(SchemaParserTest, OptionalSchemaHeaderAndKey) {
+  auto schema = ParseSchema("table t(a, b);");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->FindTable("t")->primary_key().empty());
+}
+
+TEST(SchemaParserTest, UnlabeledFk) {
+  auto schema = ParseSchema(R"(
+    table a(x) key(x);
+    table b(x) key(x) fk (x) -> a(x);
+  )");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->rics()[0].label.empty());
+}
+
+TEST(SchemaParserTest, CompositeKeysAndFks) {
+  auto schema = ParseSchema(R"(
+    table a(x, y) key(x, y);
+    table b(u, v) key(u) fk (u, v) -> a(x, y);
+  )");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->rics()[0].from_columns.size(), 2u);
+}
+
+TEST(SchemaParserTest, RejectsMissingSemicolon) {
+  EXPECT_FALSE(ParseSchema("table t(a)").ok());
+}
+
+TEST(SchemaParserTest, RejectsUnknownKeyword) {
+  auto r = ParseSchema("tabel t(a);");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(SchemaParserTest, RejectsFkToUnknownTable) {
+  auto r = ParseSchema("table t(a) key(a) fk (a) -> nowhere(b);");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SchemaParserTest, CommentsAllowed) {
+  auto r = ParseSchema(R"(
+    # a comment
+    table t(a);  // trailing comment
+  )");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SchemaParserTest, ErrorCarriesLocation) {
+  auto r = ParseSchema("table t(a) key(b);");
+  ASSERT_FALSE(r.ok());
+  // The key validation error mentions the offending column.
+  EXPECT_NE(r.status().message().find("b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semap::rel

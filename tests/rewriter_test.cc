@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "cm/parser.h"
+#include "datasets/builder_util.h"
+#include "datasets/examples.h"
+#include "logic/containment.h"
+#include "logic/parser.h"
+#include "relational/schema_parser.h"
+#include "rewriting/algebra.h"
+#include "rewriting/inverse_rules.h"
+#include "rewriting/rewriter.h"
+#include "rewriting/semantic_mapper.h"
+
+namespace semap::rew {
+namespace {
+
+sem::AnnotatedSchema Bookstore() {
+  auto side = data::AnnotatedFromText(
+      R"(table person(pname) key(pname);
+         table book(bid) key(bid);
+         table bookstore(sid) key(sid);
+         table writes(pname, bid) key(pname, bid)
+           fk (pname) -> person(pname) fk (bid) -> book(bid);
+         table soldAt(bid, sid) key(bid, sid)
+           fk (bid) -> book(bid) fk (sid) -> bookstore(sid);)",
+      R"(class Person { pname key; }
+         class Book { bid key; }
+         class Bookstore { sid key; }
+         rel writes Person -- Book fwd 0..* inv 1..*;
+         rel soldAt Book -- Bookstore fwd 0..* inv 0..*;)",
+      R"(semantics person { node p: Person; anchor p; col pname -> p.pname; }
+         semantics book { node b: Book; anchor b; col bid -> b.bid; }
+         semantics bookstore { node s: Bookstore; anchor s; col sid -> s.sid; }
+         semantics writes { node p: Person; node b: Book; edge writes p b;
+           anchor writes$0; col pname -> p.pname; col bid -> b.bid; }
+         semantics soldAt { node b: Book; node s: Bookstore; edge soldAt b s;
+           anchor soldAt$0; col bid -> b.bid; col sid -> s.sid; })");
+  EXPECT_TRUE(side.ok()) << side.status();
+  return *side;
+}
+
+TEST(InverseRulesTest, KeyIdentifiedInstances) {
+  sem::AnnotatedSchema side = Bookstore();
+  auto rules = InverseRulesForTable(side.graph(),
+                                    *side.schema().FindTable("writes"),
+                                    *side.FindSemantics("writes"));
+  ASSERT_TRUE(rules.ok());
+  bool person_rule = false;
+  bool writes_rule = false;
+  for (const InverseRule& r : *rules) {
+    if (r.head.predicate == "Person") {
+      person_rule = true;
+      // Identified by the pname key column, not a Skolem.
+      EXPECT_TRUE(r.head.terms[0].IsVar());
+      EXPECT_EQ(r.head.terms[0].name, "pname");
+    }
+    if (r.head.predicate == "writes") {
+      writes_rule = true;
+      EXPECT_EQ(r.head.terms.size(), 2u);
+    }
+    EXPECT_EQ(r.table_atom.predicate, "writes");
+  }
+  EXPECT_TRUE(person_rule);
+  EXPECT_TRUE(writes_rule);
+}
+
+TEST(InverseRulesTest, UnidentifiedInstancesGetSkolems) {
+  auto side = data::AnnotatedFromText(
+      "table t(x) key(x);",
+      "class A { x key; } class B { y key; } rel r A -- B fwd 0..1 inv 0..*;",
+      R"(semantics t { node a: A; node b: B; edge r a b; anchor a;
+           col x -> a.x; })");
+  ASSERT_TRUE(side.ok()) << side.status();
+  auto rules = InverseRulesForTable(side->graph(),
+                                    *side->schema().FindTable("t"),
+                                    *side->FindSemantics("t"));
+  ASSERT_TRUE(rules.ok());
+  for (const InverseRule& r : *rules) {
+    if (r.head.predicate == "B") {
+      // B's key y is unbound: the instance term must be a Skolem function.
+      EXPECT_EQ(r.head.terms[0].kind, logic::TermKind::kFunction);
+    }
+  }
+}
+
+TEST(InverseRulesTest, SchemaWideRuleCount) {
+  sem::AnnotatedSchema side = Bookstore();
+  auto rules = InverseRulesForSchema(side);
+  ASSERT_TRUE(rules.ok());
+  // person:2, book:2, bookstore:2, writes:5, soldAt:5.
+  EXPECT_EQ(rules->size(), 16u);
+}
+
+TEST(RewriterTest, ReproducesPaperQ3) {
+  sem::AnnotatedSchema side = Bookstore();
+  auto rules = InverseRulesForSchema(side);
+  ASSERT_TRUE(rules.ok());
+  // The CSG query of Example 3.3.
+  auto q = logic::ParseCq(
+      "ans(v0, v1) :- Person(x1), Person.pname(x1, v0), writes(x1, x2), "
+      "Book(x2), soldAt(x2, x3), Bookstore(x3), Bookstore.sid(x3, v1)");
+  ASSERT_TRUE(q.ok());
+  RewriteOptions options;
+  options.required_tables = {"person", "bookstore"};
+  auto rewritings = RewriteQuery(*q, *rules, options);
+  ASSERT_TRUE(rewritings.ok());
+  ASSERT_EQ(rewritings->size(), 1u);
+  // q'3: person ⋈ writes ⋈ soldAt ⋈ bookstore (book folded away).
+  auto expected = logic::ParseCq(
+      "ans(v0, v1) :- person(v0), writes(v0, y), soldAT(y, v1), "
+      "bookstore(v1)");
+  // Predicate name is lowercase soldAt in our schema.
+  auto expected2 = logic::ParseCq(
+      "ans(v0, v1) :- person(v0), writes(v0, y), soldAt(y, v1), "
+      "bookstore(v1)");
+  EXPECT_TRUE(logic::Equivalent((*rewritings)[0], *expected2))
+      << (*rewritings)[0].ToString();
+  (void)expected;
+}
+
+TEST(RewriterTest, RequiredTablesEliminateQ1) {
+  sem::AnnotatedSchema side = Bookstore();
+  auto rules = InverseRulesForSchema(side);
+  ASSERT_TRUE(rules.ok());
+  auto q = logic::ParseCq(
+      "ans(v0, v1) :- Person.pname(x1, v0), writes(x1, x2), "
+      "soldAt(x2, x3), Bookstore.sid(x3, v1)");
+  ASSERT_TRUE(q.ok());
+  RewriteOptions loose;
+  auto all = RewriteQuery(*q, *rules, loose);
+  ASSERT_TRUE(all.ok());
+  // Without required tables, the writes ⋈ soldAt rewriting (q'1) shows up.
+  bool q1_present = false;
+  for (const auto& r : *all) {
+    if (r.body.size() == 2u) q1_present = true;
+  }
+  EXPECT_TRUE(q1_present);
+  RewriteOptions strict;
+  strict.required_tables = {"person", "bookstore"};
+  auto filtered = RewriteQuery(*q, *rules, strict);
+  ASSERT_TRUE(filtered.ok());
+  for (const auto& r : *filtered) {
+    bool person = false;
+    bool store = false;
+    for (const auto& a : r.body) {
+      person |= a.predicate == "person";
+      store |= a.predicate == "bookstore";
+    }
+    EXPECT_TRUE(person && store);
+  }
+}
+
+TEST(RewriterTest, UnanswerableQueryYieldsNothing) {
+  sem::AnnotatedSchema side = Bookstore();
+  auto rules = InverseRulesForSchema(side);
+  auto q = logic::ParseCq("ans(v0) :- Unknown.attr(x, v0)");
+  auto rewritings = RewriteQuery(*q, *rules, {});
+  ASSERT_TRUE(rewritings.ok());
+  EXPECT_TRUE(rewritings->empty());
+}
+
+TEST(RewriterTest, SkolemHeadRejected) {
+  // A query exporting an attribute no table binds cannot be rewritten.
+  auto side = data::AnnotatedFromText(
+      "table t(x) key(x);",
+      "class A { x key; y; }",
+      "semantics t { node a: A; anchor a; col x -> a.x; }");
+  ASSERT_TRUE(side.ok());
+  auto rules = InverseRulesForSchema(*side);
+  auto q = logic::ParseCq("ans(v0) :- A(i), A.y(i, v0)");
+  auto rewritings = RewriteQuery(*q, *rules, {});
+  ASSERT_TRUE(rewritings.ok());
+  EXPECT_TRUE(rewritings->empty());
+}
+
+TEST(AlgebraTest, RendersProjectionAndJoins) {
+  auto q = logic::ParseCq("ans(a, c) :- r(a, b), s(b, c)");
+  std::vector<std::string> r_cols = {"x", "y"};
+  std::vector<std::string> s_cols = {"u", "v"};
+  std::string text = RenderAlgebra(
+      *q, [&](const std::string& table) -> const std::vector<std::string>* {
+        if (table == "r") return &r_cols;
+        if (table == "s") return &s_cols;
+        return nullptr;
+      });
+  EXPECT_NE(text.find("project[t0.x, t1.v]"), std::string::npos) << text;
+  EXPECT_NE(text.find("r t0 join s t1"), std::string::npos) << text;
+  EXPECT_NE(text.find("t0.y = t1.u"), std::string::npos) << text;
+}
+
+TEST(AlgebraTest, UnknownTableColumnsPositional) {
+  auto q = logic::ParseCq("ans(a) :- mystery(a)");
+  std::string text = RenderAlgebra(
+      *q, [](const std::string&) -> const std::vector<std::string>* {
+        return nullptr;
+      });
+  EXPECT_NE(text.find("$0"), std::string::npos);
+}
+
+TEST(SemanticMapperTest, BookstoreEndToEnd) {
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok());
+  auto mappings = GenerateSemanticMappings(
+      domain->source, domain->target, domain->cases[0].correspondences);
+  ASSERT_TRUE(mappings.ok()) << mappings.status();
+  ASSERT_EQ(mappings->size(), 1u);
+  const GeneratedMapping& m = (*mappings)[0];
+  EXPECT_EQ(m.covered.size(), 2u);
+  EXPECT_FALSE(m.source_algebra.empty());
+  EXPECT_FALSE(m.target_algebra.empty());
+  EXPECT_NE(m.source_algebra.find("join"), std::string::npos);
+  // Primary tgd source mentions all four tables of M5's q'3 form.
+  for (const char* table : {"person", "writes", "soldAt", "bookstore"}) {
+    bool found = false;
+    for (const auto& a : m.tgd.source.body) {
+      if (a.predicate == table) found = true;
+    }
+    EXPECT_TRUE(found) << table << " missing: " << m.tgd.ToString();
+  }
+}
+
+TEST(SemanticMapperTest, VariantsShareCandidate) {
+  auto domain = data::BuildEmployeeIsaExample();
+  ASSERT_TRUE(domain.ok());
+  auto mappings = GenerateSemanticMappings(
+      domain->source, domain->target, domain->cases[0].correspondences);
+  ASSERT_TRUE(mappings.ok());
+  ASSERT_EQ(mappings->size(), 1u);
+  EXPECT_GE((*mappings)[0].variants.size(), 1u);
+  EXPECT_TRUE(
+      logic::EquivalentTgds((*mappings)[0].tgd, (*mappings)[0].variants[0]));
+}
+
+TEST(SemanticMapperTest, MaxMappingsRespected) {
+  auto domain = data::BuildPartOfExample();
+  ASSERT_TRUE(domain.ok());
+  SemanticMapperOptions options;
+  options.max_mappings = 1;
+  options.discovery.use_semantic_type_filter = false;  // both candidates
+  auto mappings = GenerateSemanticMappings(
+      domain->source, domain->target, domain->cases[0].correspondences,
+      options);
+  ASSERT_TRUE(mappings.ok());
+  EXPECT_EQ(mappings->size(), 1u);
+}
+
+}  // namespace
+}  // namespace semap::rew

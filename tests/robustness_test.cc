@@ -1,0 +1,136 @@
+// Parser robustness sweeps (fuzz-lite): every prefix and a deterministic
+// set of single-character mutations of valid inputs must produce a clean
+// Status — never a crash — and accepted inputs must still satisfy the
+// models' validity invariants.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cm/parser.h"
+#include "discovery/correspondence.h"
+#include "logic/parser.h"
+#include "relational/schema_parser.h"
+
+namespace semap {
+namespace {
+
+constexpr const char* kSchemaText = R"(
+schema demo;
+table person(pid, name) key(pid);
+table pet(petid, owner) key(petid)
+  fk r1 (owner) -> person(pid);
+)";
+
+constexpr const char* kCmText = R"(
+cm demo;
+class Person { pid key; name; }
+class Pet { petid key; }
+isa Dog -> Pet;
+class Dog { breed; }
+rel owns Person -- Pet fwd 0..* inv 1..1;
+reified Adoption {
+  role who -> Person part 0..*;
+  role what -> Pet part 0..1;
+  attr date;
+}
+disjoint Person, Pet;
+)";
+
+constexpr const char* kCorrText = R"(
+a.x <-> b.y;
+c.z <-> d.w;
+)";
+
+std::string Mutate(const std::string& input, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::string out = input;
+  if (out.empty()) return out;
+  size_t pos = rng() % out.size();
+  const char* replacements = "(){};.,<->*x0 ";
+  out[pos] = replacements[rng() % 14];
+  return out;
+}
+
+TEST(RobustnessTest, SchemaParserSurvivesAllPrefixes) {
+  std::string text = kSchemaText;
+  for (size_t cut = 0; cut <= text.size(); cut += 3) {
+    auto result = rel::ParseSchema(text.substr(0, cut));
+    if (result.ok()) {
+      // Any accepted schema must be internally consistent.
+      for (const rel::Ric& ric : result->rics()) {
+        EXPECT_NE(result->FindTable(ric.from_table), nullptr);
+        EXPECT_NE(result->FindTable(ric.to_table), nullptr);
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, SchemaParserSurvivesMutations) {
+  for (unsigned seed = 0; seed < 200; ++seed) {
+    auto result = rel::ParseSchema(Mutate(kSchemaText, seed));
+    if (result.ok()) {
+      EXPECT_FALSE(result->tables().empty());
+    }
+  }
+}
+
+TEST(RobustnessTest, CmParserSurvivesAllPrefixes) {
+  std::string text = kCmText;
+  for (size_t cut = 0; cut <= text.size(); cut += 3) {
+    auto result = cm::ParseCm(text.substr(0, cut));
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+}
+
+TEST(RobustnessTest, CmParserSurvivesMutations) {
+  for (unsigned seed = 0; seed < 200; ++seed) {
+    auto result = cm::ParseCm(Mutate(kCmText, seed));
+    if (result.ok()) {
+      // Accepted models always compile to a graph.
+      EXPECT_TRUE(cm::CmGraph::Build(*result).ok());
+    }
+  }
+}
+
+TEST(RobustnessTest, CorrespondenceParserSurvivesMutations) {
+  for (unsigned seed = 0; seed < 200; ++seed) {
+    auto result = disc::ParseCorrespondences(Mutate(kCorrText, seed));
+    if (result.ok()) {
+      for (const auto& corr : *result) {
+        EXPECT_FALSE(corr.source.table.empty());
+        EXPECT_FALSE(corr.target.column.empty());
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, LogicParsersSurviveMutations) {
+  const std::string cq = "ans(v0, v1) :- p(v0, x), q(x, v1), r(f(x))";
+  const std::string tgd = "p(a, b), q(b) -> r(a, c), s(c, b)";
+  for (unsigned seed = 0; seed < 200; ++seed) {
+    auto q = logic::ParseCq(Mutate(cq, seed));
+    if (q.ok()) EXPECT_FALSE(q->body.empty());
+    auto t = logic::ParseTgd(Mutate(tgd, seed + 1000));
+    if (t.ok()) EXPECT_FALSE(t->target.body.empty());
+  }
+}
+
+TEST(RobustnessTest, GarbageInputsRejectedCleanly) {
+  const char* garbage[] = {
+      "",  ";;;", "(((((", "table table table", "class { } class",
+      "\xff\xfe binary", "rel -- fwd inv", "a.b <-> ;", "semantics { }",
+  };
+  for (const char* text : garbage) {
+    (void)rel::ParseSchema(text);
+    (void)cm::ParseCm(text);
+    (void)disc::ParseCorrespondences(text);
+    (void)logic::ParseCq(text);
+    (void)logic::ParseTgd(text);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace semap

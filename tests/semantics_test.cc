@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include "cm/parser.h"
+#include "logic/containment.h"
+#include "logic/parser.h"
+#include "relational/schema_parser.h"
+#include "semantics/encoder.h"
+#include "semantics/fd.h"
+#include "semantics/semantics_parser.h"
+#include "semantics/stree.h"
+#include "semantics/stree_builder.h"
+
+namespace semap::sem {
+namespace {
+
+struct Fixture {
+  cm::CmGraph graph;
+  rel::RelationalSchema schema;
+
+  static Fixture Bookstore() {
+    auto model = cm::ParseCm(R"(
+      cm bookstore;
+      class Person { pname key; age; }
+      class Book { bid key; }
+      class Bookstore { sid key; }
+      rel writes Person -- Book fwd 0..* inv 1..*;
+      rel soldAt Book -- Bookstore fwd 0..* inv 0..*;
+      rel favorite Person -- Book fwd 0..1 inv 0..*;
+    )");
+    EXPECT_TRUE(model.ok()) << model.status();
+    auto graph = cm::CmGraph::Build(*model);
+    EXPECT_TRUE(graph.ok());
+    auto schema = rel::ParseSchema(R"(
+      table person(pname, age) key(pname);
+      table writes(pname, bid) key(pname, bid);
+    )");
+    EXPECT_TRUE(schema.ok());
+    return Fixture{std::move(*graph), std::move(*schema)};
+  }
+};
+
+TEST(STreeBuilderTest, BuildsSimpleTree) {
+  Fixture f = Fixture::Bookstore();
+  STreeBuilder b(f.graph, "writes");
+  ASSERT_TRUE(b.AddNode("p", "Person").ok());
+  ASSERT_TRUE(b.AddNode("bk", "Book").ok());
+  ASSERT_TRUE(b.AddEdge("writes", "p", "bk").ok());
+  ASSERT_TRUE(b.SetAnchor("p").ok());
+  ASSERT_TRUE(b.BindColumn("pname", "p", "pname").ok());
+  ASSERT_TRUE(b.BindColumn("bid", "bk", "bid").ok());
+  STree t = std::move(b).Build();
+  // writes is many-to-many: the builder inserted the implicit reified node.
+  EXPECT_EQ(t.nodes.size(), 3u);
+  EXPECT_EQ(t.edges.size(), 2u);
+  EXPECT_TRUE(t.Validate(f.graph, *f.schema.FindTable("writes")).ok());
+}
+
+TEST(STreeBuilderTest, FunctionalEdgeDirect) {
+  Fixture f = Fixture::Bookstore();
+  STreeBuilder b(f.graph, "t");
+  ASSERT_TRUE(b.AddNode("p", "Person").ok());
+  ASSERT_TRUE(b.AddNode("bk", "Book").ok());
+  ASSERT_TRUE(b.AddEdge("favorite", "p", "bk").ok());
+  STree t = std::move(b).Build();
+  EXPECT_EQ(t.nodes.size(), 2u);  // no reified node
+  EXPECT_EQ(t.edges.size(), 1u);
+}
+
+TEST(STreeBuilderTest, RejectsUnknownClassAndEdge) {
+  Fixture f = Fixture::Bookstore();
+  STreeBuilder b(f.graph, "t");
+  EXPECT_FALSE(b.AddNode("x", "Ghost").ok());
+  ASSERT_TRUE(b.AddNode("p", "Person").ok());
+  ASSERT_TRUE(b.AddNode("s", "Bookstore").ok());
+  EXPECT_FALSE(b.AddEdge("writes", "p", "s").ok());  // wrong classes
+  EXPECT_FALSE(b.AddEdge("nothing", "p", "s").ok());
+}
+
+TEST(STreeBuilderTest, DuplicateAliasRejected) {
+  Fixture f = Fixture::Bookstore();
+  STreeBuilder b(f.graph, "t");
+  ASSERT_TRUE(b.AddNode("p", "Person").ok());
+  EXPECT_EQ(b.AddNode("p", "Book").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(STreeValidateTest, RejectsUnboundColumn) {
+  Fixture f = Fixture::Bookstore();
+  STreeBuilder b(f.graph, "person");
+  ASSERT_TRUE(b.AddNode("p", "Person").ok());
+  ASSERT_TRUE(b.BindColumn("pname", "p", "pname").ok());
+  STree t = std::move(b).Build();
+  // age column left unbound.
+  EXPECT_FALSE(t.Validate(f.graph, *f.schema.FindTable("person")).ok());
+}
+
+TEST(STreeValidateTest, RejectsDisconnectedTree) {
+  Fixture f = Fixture::Bookstore();
+  STree t;
+  t.table = "person";
+  t.nodes = {{"a", f.graph.FindClassNode("Person")},
+             {"b", f.graph.FindClassNode("Book")}};
+  t.bindings = {{"pname", 0, "pname"}, {"age", 0, "age"}};
+  EXPECT_FALSE(t.Validate(f.graph, *f.schema.FindTable("person")).ok());
+}
+
+TEST(STreeTest, IdentifierColumns) {
+  Fixture f = Fixture::Bookstore();
+  STreeBuilder b(f.graph, "person");
+  ASSERT_TRUE(b.AddNode("p", "Person").ok());
+  ASSERT_TRUE(b.BindColumn("pname", "p", "pname").ok());
+  ASSERT_TRUE(b.BindColumn("age", "p", "age").ok());
+  STree t = std::move(b).Build();
+  auto ids = t.IdentifierColumns(f.graph, 0);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], "pname");
+}
+
+TEST(SemanticsParserTest, ParsesBlock) {
+  Fixture f = Fixture::Bookstore();
+  auto trees = ParseSemantics(f.graph, R"(
+    semantics writes {
+      node p: Person;
+      node b: Book;
+      edge writes p b;
+      anchor writes$0;
+      col pname -> p.pname;
+      col bid -> b.bid;
+    }
+  )");
+  ASSERT_TRUE(trees.ok()) << trees.status();
+  ASSERT_EQ(trees->size(), 1u);
+  EXPECT_TRUE((*trees)[0].anchor.has_value());
+}
+
+TEST(SemanticsParserTest, RejectsBadDirective) {
+  Fixture f = Fixture::Bookstore();
+  EXPECT_FALSE(ParseSemantics(f.graph, "semantics t { blah x; }").ok());
+}
+
+TEST(AnnotatedSchemaTest, ColumnResolution) {
+  Fixture f = Fixture::Bookstore();
+  AnnotatedSchema annotated(f.schema, f.graph);
+  auto trees = ParseSemantics(annotated.graph(), R"(
+    semantics person {
+      node p: Person;
+      anchor p;
+      col pname -> p.pname;
+      col age -> p.age;
+    }
+  )");
+  ASSERT_TRUE(trees.ok());
+  ASSERT_TRUE(annotated.AddSemantics((*trees)[0]).ok());
+  int node = annotated.ClassNodeForColumn({"person", "age"});
+  EXPECT_EQ(node, annotated.graph().FindClassNode("Person"));
+  EXPECT_EQ(annotated.ClassNodeForColumn({"person", "nope"}), -1);
+  EXPECT_EQ(annotated.ClassNodeForColumn({"ghost", "age"}), -1);
+  // Re-adding the same table's semantics fails.
+  EXPECT_EQ(annotated.AddSemantics((*trees)[0]).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(EncoderTest, TableSemanticsFormula) {
+  Fixture f = Fixture::Bookstore();
+  auto trees = ParseSemantics(f.graph, R"(
+    semantics person {
+      node p: Person;
+      anchor p;
+      col pname -> p.pname;
+      col age -> p.age;
+    }
+  )");
+  ASSERT_TRUE(trees.ok());
+  auto cq = EncodeTableSemantics(f.graph, *f.schema.FindTable("person"),
+                                 (*trees)[0]);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  // person(pname, age) :- Person(x), Person.pname(x, pname), ...
+  auto expected = logic::ParseCq(
+      "person(pname, age) :- Person(x0), Person.pname(x0, pname), "
+      "Person.age(x0, age)");
+  EXPECT_TRUE(logic::Equivalent(*cq, *expected)) << cq->ToString();
+}
+
+TEST(EncoderTest, AutoReifiedCollapsesToBinaryAtom) {
+  Fixture f = Fixture::Bookstore();
+  auto trees = ParseSemantics(f.graph, R"(
+    semantics writes {
+      node p: Person;
+      node b: Book;
+      edge writes p b;
+      col pname -> p.pname;
+      col bid -> b.bid;
+    }
+  )");
+  ASSERT_TRUE(trees.ok());
+  auto cq = EncodeTableSemantics(f.graph, *f.schema.FindTable("writes"),
+                                 (*trees)[0]);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  bool found_writes = false;
+  for (const logic::Atom& a : cq->body) {
+    EXPECT_NE(a.predicate, "src");
+    EXPECT_NE(a.predicate, "tgt");
+    if (a.predicate == "writes") {
+      found_writes = true;
+      EXPECT_EQ(a.terms.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(found_writes);
+}
+
+TEST(EncoderTest, IsaUnifiesVariables) {
+  auto model = cm::ParseCm(R"(
+    class Employee { ssn key; name; }
+    class Engineer { site; }
+    isa Engineer -> Employee;
+  )");
+  auto graph = cm::CmGraph::Build(*model);
+  ASSERT_TRUE(graph.ok());
+  Fragment frag;
+  frag.nodes = {{graph->FindClassNode("Engineer")},
+                {graph->FindClassNode("Employee")}};
+  int isa_edge = graph->FindEdge(graph->FindClassNode("Engineer"), "isa",
+                                 false);
+  ASSERT_GE(isa_edge, 0);
+  frag.edges = {{0, 1, isa_edge}};
+  frag.attrs = {{0, "site", "v0"}, {1, "name", "v1"}};
+  std::vector<std::string> var_of_node;
+  auto cq = EncodeFragment(*graph, frag, {"v0", "v1"}, "ans", &var_of_node);
+  ASSERT_TRUE(cq.ok());
+  EXPECT_EQ(var_of_node[0], var_of_node[1]);  // one instance variable
+  auto expected = logic::ParseCq(
+      "ans(v0, v1) :- Engineer(x), Employee(x), Engineer.site(x, v0), "
+      "Employee.name(x, v1)");
+  EXPECT_TRUE(logic::Equivalent(*cq, *expected)) << cq->ToString();
+}
+
+TEST(EncoderTest, RejectsBadAttribute) {
+  Fixture f = Fixture::Bookstore();
+  Fragment frag;
+  frag.nodes = {{f.graph.FindClassNode("Person")}};
+  frag.attrs = {{0, "nonexistent", "v0"}};
+  EXPECT_FALSE(EncodeFragment(f.graph, frag, {"v0"}).ok());
+}
+
+TEST(EncoderTest, RejectsMismatchedEdgeEndpoints) {
+  Fixture f = Fixture::Bookstore();
+  Fragment frag;
+  frag.nodes = {{f.graph.FindClassNode("Person")},
+                {f.graph.FindClassNode("Bookstore")}};
+  int fav = f.graph.FindEdge(f.graph.FindClassNode("Person"), "favorite",
+                             false);
+  frag.edges = {{0, 1, fav}};  // favorite goes Person -> Book, not Bookstore
+  EXPECT_FALSE(EncodeFragment(f.graph, frag, {}).ok());
+}
+
+TEST(FdTest, KeyDeterminesFunctionalNeighborhood) {
+  auto model = cm::ParseCm(R"(
+    class Proj { pid key; }
+    class Dept { did key; }
+    class Emp { eid key; }
+    rel inDept Proj -- Dept fwd 1..1 inv 0..*;
+    rel mgr Dept -- Emp fwd 0..1 inv 0..*;
+  )");
+  auto graph = cm::CmGraph::Build(*model);
+  ASSERT_TRUE(graph.ok());
+  STreeBuilder b(*graph, "proj");
+  ASSERT_TRUE(b.AddNode("p", "Proj").ok());
+  ASSERT_TRUE(b.AddNode("d", "Dept").ok());
+  ASSERT_TRUE(b.AddNode("e", "Emp").ok());
+  ASSERT_TRUE(b.AddEdge("inDept", "p", "d").ok());
+  ASSERT_TRUE(b.AddEdge("mgr", "d", "e").ok());
+  ASSERT_TRUE(b.BindColumn("pnum", "p", "pid").ok());
+  ASSERT_TRUE(b.BindColumn("dept", "d", "did").ok());
+  ASSERT_TRUE(b.BindColumn("emp", "e", "eid").ok());
+  STree t = std::move(b).Build();
+  auto fds = DeriveTableFds(*graph, t);
+  // pnum -> everything; dept -> {dept, emp}; emp -> {emp}.
+  bool found_dept_fd = false;
+  for (const TableFd& fd : fds) {
+    if (fd.lhs == std::vector<std::string>{"dept"}) {
+      found_dept_fd = true;
+      EXPECT_EQ(fd.rhs.size(), 2u);
+    }
+    if (fd.lhs == std::vector<std::string>{"pnum"}) {
+      EXPECT_EQ(fd.rhs.size(), 3u);
+    }
+  }
+  EXPECT_TRUE(found_dept_fd);
+}
+
+TEST(FdTest, NonFunctionalDirectionExcluded) {
+  Fixture f = Fixture::Bookstore();
+  auto trees = ParseSemantics(f.graph, R"(
+    semantics writes {
+      node p: Person;
+      node b: Book;
+      edge writes p b;
+      col pname -> p.pname;
+      col bid -> b.bid;
+    }
+  )");
+  ASSERT_TRUE(trees.ok());
+  auto fds = DeriveTableFds(f.graph, (*trees)[0]);
+  for (const TableFd& fd : fds) {
+    // pname cannot determine bid through a many-to-many relationship.
+    if (fd.lhs == std::vector<std::string>{"pname"}) {
+      for (const std::string& rhs : fd.rhs) EXPECT_NE(rhs, "bid");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semap::sem

@@ -1,0 +1,139 @@
+// SQL rendering of mappings and the mapping diagnostics instrumentation.
+#include <gtest/gtest.h>
+
+#include "datasets/examples.h"
+#include "eval/diagnostics.h"
+#include "logic/parser.h"
+#include "rewriting/semantic_mapper.h"
+#include "rewriting/sql.h"
+
+namespace semap {
+namespace {
+
+rew::ColumnResolver Resolver(const rel::RelationalSchema& schema) {
+  return [&schema](const std::string& table)
+             -> const std::vector<std::string>* {
+    const rel::Table* t = schema.FindTable(table);
+    return t == nullptr ? nullptr : &t->columns();
+  };
+}
+
+TEST(SqlTest, BookstoreMappingRendersInsertSelect) {
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok());
+  auto mappings = rew::GenerateSemanticMappings(
+      domain->source, domain->target, domain->cases[0].correspondences);
+  ASSERT_TRUE(mappings.ok());
+  ASSERT_EQ(mappings->size(), 1u);
+  auto sql = rew::RenderSql((*mappings)[0].tgd,
+                            Resolver(domain->source.schema()),
+                            Resolver(domain->target.schema()));
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  ASSERT_EQ(sql->size(), 1u);
+  const std::string& stmt = (*sql)[0];
+  EXPECT_NE(stmt.find("INSERT INTO hasBookSoldAt (aname, sid)"),
+            std::string::npos)
+      << stmt;
+  EXPECT_NE(stmt.find("SELECT DISTINCT"), std::string::npos);
+  EXPECT_NE(stmt.find("FROM"), std::string::npos);
+  EXPECT_NE(stmt.find("WHERE"), std::string::npos);
+  // All four source tables appear in the FROM clause.
+  for (const char* table : {"person", "writes", "soldAt", "bookstore"}) {
+    EXPECT_NE(stmt.find(table), std::string::npos) << table << "\n" << stmt;
+  }
+}
+
+TEST(SqlTest, ExistentialsBecomeSkolemExpressions) {
+  auto tgd = logic::ParseTgd("person(w0) -> employee(e, w0)");
+  rel::RelationalSchema source;
+  ASSERT_TRUE(source.AddTable(rel::Table("person", {"pname"}, {"pname"})).ok());
+  rel::RelationalSchema target;
+  ASSERT_TRUE(
+      target.AddTable(rel::Table("employee", {"eid", "name"}, {"eid"})).ok());
+  auto sql = rew::RenderSql(*tgd, Resolver(source), Resolver(target));
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_NE((*sql)[0].find("SK('e', s0.pname) AS eid"), std::string::npos)
+      << (*sql)[0];
+}
+
+TEST(SqlTest, SharedExistentialUsesOneExpression) {
+  auto tgd = logic::ParseTgd("p(w0) -> a(e, w0), b(e)");
+  rel::RelationalSchema source;
+  ASSERT_TRUE(source.AddTable(rel::Table("p", {"x"}, {"x"})).ok());
+  rel::RelationalSchema target;
+  ASSERT_TRUE(target.AddTable(rel::Table("a", {"id", "v"}, {"id"})).ok());
+  ASSERT_TRUE(target.AddTable(rel::Table("b", {"id"}, {"id"})).ok());
+  auto sql = rew::RenderSql(*tgd, Resolver(source), Resolver(target));
+  ASSERT_TRUE(sql.ok());
+  ASSERT_EQ(sql->size(), 2u);
+  // The same SK('e', ...) expression appears in both inserts.
+  EXPECT_NE((*sql)[0].find("SK('e', s0.x)"), std::string::npos);
+  EXPECT_NE((*sql)[1].find("SK('e', s0.x)"), std::string::npos);
+}
+
+TEST(SqlTest, UnknownTableRejected) {
+  auto tgd = logic::ParseTgd("ghost(w0) -> t(w0)");
+  rel::RelationalSchema empty;
+  EXPECT_FALSE(rew::RenderSql(*tgd, Resolver(empty), Resolver(empty)).ok());
+}
+
+TEST(DiagnosticsTest, CountsMatchesTuplesAndNulls) {
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok());
+  auto mappings = rew::GenerateSemanticMappings(
+      domain->source, domain->target, domain->cases[0].correspondences);
+  ASSERT_TRUE(mappings.ok());
+  exec::Instance source;
+  source.InsertRow("person", {"a1"});
+  source.InsertRow("writes", {"a1", "b1"});
+  source.InsertRow("soldAt", {"b1", "s1"});
+  source.InsertRow("bookstore", {"s1"});
+  auto diag = eval::DiagnoseMapping((*mappings)[0].tgd, source,
+                                    domain->target.schema());
+  ASSERT_TRUE(diag.ok()) << diag.status();
+  EXPECT_EQ(diag->source_matches, 1u);
+  ASSERT_EQ(diag->tables.size(), 1u);
+  EXPECT_EQ(diag->tables[0].table, "hasBookSoldAt");
+  EXPECT_EQ(diag->tables[0].tuples, 1u);
+  // No invented values: both columns are exported.
+  for (const auto& [col, n] : diag->tables[0].nulls_per_column) {
+    EXPECT_EQ(n, 0u) << col;
+  }
+  EXPECT_EQ(diag->tables[0].key_violations, 0u);
+}
+
+TEST(DiagnosticsTest, ReportsInventedValues) {
+  auto tgd = logic::ParseTgd("person(w0) -> employee(e, w0)");
+  exec::Instance source;
+  source.InsertRow("person", {"alice"});
+  source.InsertRow("person", {"bob"});
+  rel::RelationalSchema target;
+  ASSERT_TRUE(
+      target.AddTable(rel::Table("employee", {"eid", "name"}, {"eid"})).ok());
+  auto diag = eval::DiagnoseMapping(*tgd, source, target);
+  ASSERT_TRUE(diag.ok());
+  EXPECT_EQ(diag->source_matches, 2u);
+  EXPECT_EQ(diag->tables[0].nulls_per_column.at("eid"), 2u);
+  EXPECT_EQ(diag->tables[0].key_violations, 0u);
+  EXPECT_NE(diag->ToString().find("invented values: eid=2"),
+            std::string::npos);
+}
+
+TEST(DiagnosticsTest, DetectsKeyViolations) {
+  // A mapping keyed on a non-unique exported column violates the target PK.
+  auto tgd = logic::ParseTgd("person(w0, w1) -> emp(w0, w1)");
+  exec::Instance source;
+  source.InsertRow("person", {"p1", "anna"});
+  source.InsertRow("person", {"p1", "annie"});  // same key, different name
+  rel::RelationalSchema target;
+  ASSERT_TRUE(target.AddTable(rel::Table("emp", {"id", "name"}, {"id"})).ok());
+  auto diag = eval::DiagnoseMapping(*tgd, source, target);
+  ASSERT_TRUE(diag.ok());
+  EXPECT_EQ(diag->tables[0].tuples, 2u);
+  EXPECT_EQ(diag->tables[0].key_violations, 1u);
+  EXPECT_NE(diag->ToString().find("PRIMARY KEY VIOLATIONS"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace semap

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "util/lexer.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace semap {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, "-"), "solo");
+}
+
+TEST(StringUtilTest, SplitAndTrim) {
+  auto parts = SplitAndTrim("  a , b,  c  ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitDropsEmptyPieces) {
+  auto parts = SplitAndTrim(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(LexerTest, TokenizesIdentifiersAndPunct) {
+  auto tokens = Tokenize("table person(pname) key(pname);");
+  ASSERT_TRUE(tokens.ok());
+  TokenCursor cur(*tokens);
+  EXPECT_TRUE(cur.TryConsumeIdent("table"));
+  EXPECT_TRUE(cur.TryConsumeIdent("person"));
+  EXPECT_TRUE(cur.TryConsumePunct("("));
+  EXPECT_TRUE(cur.TryConsumeIdent("pname"));
+  EXPECT_TRUE(cur.TryConsumePunct(")"));
+}
+
+TEST(LexerTest, MultiCharPunct) {
+  auto tokens = Tokenize("a -> b .. c -- d");
+  ASSERT_TRUE(tokens.ok());
+  TokenCursor cur(*tokens);
+  cur.Next();
+  EXPECT_TRUE(cur.TryConsumePunct("->"));
+  cur.Next();
+  EXPECT_TRUE(cur.TryConsumePunct(".."));
+  cur.Next();
+  EXPECT_TRUE(cur.TryConsumePunct("--"));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Tokenize("a # comment to end\nb // another\nc");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // a b c + end
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+  EXPECT_EQ((*tokens)[2].text, "c");
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto tokens = Tokenize("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  auto tokens = Tokenize("a @ b");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, ErrorsReportPosition) {
+  auto tokens = Tokenize("x y");
+  ASSERT_TRUE(tokens.ok());
+  TokenCursor cur(*tokens);
+  Status err = cur.ExpectPunct(";");
+  EXPECT_FALSE(err.ok());
+  EXPECT_NE(err.message().find("line 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semap

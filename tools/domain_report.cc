@@ -1,0 +1,103 @@
+// Developer tool: print a domain's generated schemas, per-case mapping
+// output of both techniques, and the scored results.
+//
+//   domain_report <domain-name> [--schemas] [--mappings]
+//
+// Domain names: dblp, mondial, amalgam, 3sdb, university, hotel, network,
+// plus the example scenarios (bookstore, employee, partof, project,
+// sales).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baseline/ric_mapper.h"
+#include "datasets/domains.h"
+#include "datasets/examples.h"
+#include "eval/report.h"
+#include "rewriting/semantic_mapper.h"
+
+namespace {
+
+using namespace semap;
+
+Result<eval::Domain> BuildByName(const std::string& name) {
+  if (name == "dblp") return data::BuildDblp();
+  if (name == "mondial") return data::BuildMondial();
+  if (name == "amalgam") return data::BuildAmalgam();
+  if (name == "3sdb") return data::Build3Sdb();
+  if (name == "university") return data::BuildUniversity();
+  if (name == "hotel") return data::BuildHotel();
+  if (name == "network") return data::BuildNetwork();
+  if (name == "bookstore") return data::BuildBookstoreExample();
+  if (name == "employee") return data::BuildEmployeeIsaExample();
+  if (name == "partof") return data::BuildPartOfExample();
+  if (name == "project") return data::BuildProjectExample();
+  if (name == "sales") return data::BuildSalesReifiedExample();
+  return Status::NotFound("unknown domain '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <domain> [--schemas] [--mappings]\n",
+                 argv[0]);
+    return 2;
+  }
+  bool show_schemas = false;
+  bool show_mappings = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--schemas") == 0) show_schemas = true;
+    if (std::strcmp(argv[i], "--mappings") == 0) show_mappings = true;
+  }
+  auto domain = BuildByName(argv[1]);
+  if (!domain.ok()) {
+    std::fprintf(stderr, "error: %s\n", domain.status().ToString().c_str());
+    return 1;
+  }
+  if (show_schemas) {
+    std::printf("---- source ----\n%s\n",
+                domain->source.schema().ToString().c_str());
+    for (const auto& [table, stree] : domain->source.semantics()) {
+      std::printf("  %s\n", stree.ToString(domain->source.graph()).c_str());
+    }
+    std::printf("---- target ----\n%s\n",
+                domain->target.schema().ToString().c_str());
+    for (const auto& [table, stree] : domain->target.semantics()) {
+      std::printf("  %s\n", stree.ToString(domain->target.graph()).c_str());
+    }
+  }
+  if (show_mappings) {
+    for (const auto& tc : domain->cases) {
+      std::printf("== case %s\n", tc.name.c_str());
+      auto maps = rew::GenerateSemanticMappings(domain->source, domain->target,
+                                                tc.correspondences);
+      if (!maps.ok()) {
+        std::printf("  semantic error: %s\n",
+                    maps.status().ToString().c_str());
+      } else {
+        for (const auto& m : *maps) {
+          std::printf("  sem: %s\n", m.tgd.ToString().c_str());
+        }
+      }
+      auto rics = baseline::GenerateRicMappings(domain->source.schema(),
+                                                domain->target.schema(),
+                                                tc.correspondences);
+      if (rics.ok()) {
+        for (const auto& m : *rics) {
+          std::printf("  ric: %s\n", m.tgd.ToString().c_str());
+        }
+      }
+      for (const auto& b : tc.benchmark) {
+        std::printf("  expect: %s\n", b.ToString().c_str());
+      }
+    }
+  }
+  eval::MethodResult semantic = eval::EvaluateSemantic(*domain);
+  eval::MethodResult ric = eval::EvaluateRic(*domain);
+  std::printf("%s", eval::FormatTable1Header().c_str());
+  std::printf("%s", eval::FormatTable1Row(*domain, semantic).c_str());
+  std::printf("%s", eval::FormatCaseDetails(*domain, semantic).c_str());
+  std::printf("%s", eval::FormatCaseDetails(*domain, ric).c_str());
+  return 0;
+}

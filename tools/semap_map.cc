@@ -1,0 +1,152 @@
+// Command-line mapping generator: the library's end-to-end pipeline over
+// files in the three text formats.
+//
+//   semap_map <src.schema> <src.cm> <src.sem>
+//             <tgt.schema> <tgt.cm> <tgt.sem> <correspondences>
+//             [--baseline] [--hints] [--variants] [--sql]
+//
+// Sample inputs live in examples/data/bookstore/:
+//
+//   ./tools/semap_map examples/data/bookstore/source.{schema,cm,sem}
+//       examples/data/bookstore/target.{schema,cm,sem}
+//       examples/data/bookstore/correspondences.txt --hints
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baseline/ric_mapper.h"
+#include "datasets/builder_util.h"
+#include "rewriting/semantic_mapper.h"
+#include "rewriting/sql.h"
+
+namespace {
+
+using namespace semap;
+
+Result<std::string> ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(std::string("cannot open ") + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 8) {
+    std::fprintf(stderr,
+                 "usage: %s <src.schema> <src.cm> <src.sem> <tgt.schema> "
+                 "<tgt.cm> <tgt.sem> <corrs> [--baseline] [--hints] "
+                 "[--variants] [--sql]\n",
+                 argv[0]);
+    return 2;
+  }
+  bool show_baseline = false;
+  bool show_hints = false;
+  bool show_variants = false;
+  bool show_sql = false;
+  for (int i = 8; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0) show_baseline = true;
+    if (std::strcmp(argv[i], "--hints") == 0) show_hints = true;
+    if (std::strcmp(argv[i], "--variants") == 0) show_variants = true;
+    if (std::strcmp(argv[i], "--sql") == 0) show_sql = true;
+  }
+
+  std::string texts[7];
+  for (int i = 0; i < 7; ++i) {
+    auto content = ReadFile(argv[i + 1]);
+    if (!content.ok()) {
+      std::fprintf(stderr, "error: %s\n", content.status().ToString().c_str());
+      return 1;
+    }
+    texts[i] = std::move(*content);
+  }
+
+  auto source = data::AnnotatedFromText(texts[0], texts[1], texts[2]);
+  if (!source.ok()) {
+    std::fprintf(stderr, "source error: %s\n",
+                 source.status().ToString().c_str());
+    return 1;
+  }
+  auto target = data::AnnotatedFromText(texts[3], texts[4], texts[5]);
+  if (!target.ok()) {
+    std::fprintf(stderr, "target error: %s\n",
+                 target.status().ToString().c_str());
+    return 1;
+  }
+  auto correspondences = disc::ParseCorrespondences(texts[6]);
+  if (!correspondences.ok()) {
+    std::fprintf(stderr, "correspondence error: %s\n",
+                 correspondences.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%zu correspondence(s):\n", correspondences->size());
+  for (const auto& c : *correspondences) {
+    std::printf("  %s\n", c.ToString().c_str());
+  }
+
+  auto mappings =
+      rew::GenerateSemanticMappings(*source, *target, *correspondences);
+  if (!mappings.ok()) {
+    std::fprintf(stderr, "error: %s\n", mappings.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%zu semantic mapping(s):\n", mappings->size());
+  int index = 1;
+  for (const auto& m : *mappings) {
+    std::printf("[%d] %s\n", index, m.tgd.ToString().c_str());
+    std::printf("    source: %s\n", m.source_algebra.c_str());
+    std::printf("    target: %s\n", m.target_algebra.c_str());
+    if (show_hints) {
+      for (const auto& h : m.source_join_hints) {
+        std::printf("    hint (source): %s\n", h.ToString().c_str());
+      }
+      for (const auto& h : m.target_join_hints) {
+        std::printf("    hint (target): %s\n", h.ToString().c_str());
+      }
+    }
+    if (show_sql) {
+      auto source_cols = [&](const std::string& table)
+          -> const std::vector<std::string>* {
+        const rel::Table* t = source->schema().FindTable(table);
+        return t == nullptr ? nullptr : &t->columns();
+      };
+      auto target_cols = [&](const std::string& table)
+          -> const std::vector<std::string>* {
+        const rel::Table* t = target->schema().FindTable(table);
+        return t == nullptr ? nullptr : &t->columns();
+      };
+      auto sql = rew::RenderSql(m.tgd, source_cols, target_cols);
+      if (sql.ok()) {
+        for (const std::string& stmt : *sql) {
+          std::printf("    sql:\n%s\n", stmt.c_str());
+        }
+      }
+    }
+    if (show_variants && m.variants.size() > 1) {
+      for (size_t v = 1; v < m.variants.size(); ++v) {
+        std::printf("    variant: %s\n", m.variants[v].ToString().c_str());
+      }
+    }
+    ++index;
+  }
+
+  if (show_baseline) {
+    auto ric = baseline::GenerateRicMappings(source->schema(),
+                                             target->schema(),
+                                             *correspondences);
+    if (ric.ok()) {
+      std::printf("\n%zu RIC-based baseline mapping(s):\n", ric->size());
+      for (const auto& m : *ric) {
+        std::printf("  %s\n", m.tgd.ToString().c_str());
+      }
+    }
+  }
+  return 0;
+}
