@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_employees.dir/isa_employees.cpp.o"
+  "CMakeFiles/isa_employees.dir/isa_employees.cpp.o.d"
+  "isa_employees"
+  "isa_employees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_employees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

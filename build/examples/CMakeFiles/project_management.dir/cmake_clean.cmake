@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_management.dir/project_management.cpp.o"
+  "CMakeFiles/project_management.dir/project_management.cpp.o.d"
+  "project_management"
+  "project_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reified_sales.dir/reified_sales.cpp.o"
+  "CMakeFiles/reified_sales.dir/reified_sales.cpp.o.d"
+  "reified_sales"
+  "reified_sales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reified_sales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

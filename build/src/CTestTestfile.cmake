@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("relational")
+subdirs("cm")
+subdirs("logic")
+subdirs("semantics")
+subdirs("discovery")
+subdirs("rewriting")
+subdirs("baseline")
+subdirs("eval")
+subdirs("datasets")
+subdirs("exec")

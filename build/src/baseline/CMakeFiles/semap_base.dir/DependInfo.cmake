@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/logical_relations.cc" "src/baseline/CMakeFiles/semap_base.dir/logical_relations.cc.o" "gcc" "src/baseline/CMakeFiles/semap_base.dir/logical_relations.cc.o.d"
+  "/root/repo/src/baseline/ric_mapper.cc" "src/baseline/CMakeFiles/semap_base.dir/ric_mapper.cc.o" "gcc" "src/baseline/CMakeFiles/semap_base.dir/ric_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/semap_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/semap_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/semap_disc.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/semap_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm/CMakeFiles/semap_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semap_base.dir/logical_relations.cc.o"
+  "CMakeFiles/semap_base.dir/logical_relations.cc.o.d"
+  "CMakeFiles/semap_base.dir/ric_mapper.cc.o"
+  "CMakeFiles/semap_base.dir/ric_mapper.cc.o.d"
+  "libsemap_base.a"
+  "libsemap_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semap_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cm/graph.cc" "src/cm/CMakeFiles/semap_cm.dir/graph.cc.o" "gcc" "src/cm/CMakeFiles/semap_cm.dir/graph.cc.o.d"
+  "/root/repo/src/cm/model.cc" "src/cm/CMakeFiles/semap_cm.dir/model.cc.o" "gcc" "src/cm/CMakeFiles/semap_cm.dir/model.cc.o.d"
+  "/root/repo/src/cm/parser.cc" "src/cm/CMakeFiles/semap_cm.dir/parser.cc.o" "gcc" "src/cm/CMakeFiles/semap_cm.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/semap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

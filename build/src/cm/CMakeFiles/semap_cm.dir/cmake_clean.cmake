@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semap_cm.dir/graph.cc.o"
+  "CMakeFiles/semap_cm.dir/graph.cc.o.d"
+  "CMakeFiles/semap_cm.dir/model.cc.o"
+  "CMakeFiles/semap_cm.dir/model.cc.o.d"
+  "CMakeFiles/semap_cm.dir/parser.cc.o"
+  "CMakeFiles/semap_cm.dir/parser.cc.o.d"
+  "libsemap_cm.a"
+  "libsemap_cm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semap_cm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for semap_cm.
+# This may be replaced when dependencies are built.

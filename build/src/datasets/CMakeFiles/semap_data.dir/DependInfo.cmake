@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/all_domains.cc" "src/datasets/CMakeFiles/semap_data.dir/all_domains.cc.o" "gcc" "src/datasets/CMakeFiles/semap_data.dir/all_domains.cc.o.d"
+  "/root/repo/src/datasets/amalgam.cc" "src/datasets/CMakeFiles/semap_data.dir/amalgam.cc.o" "gcc" "src/datasets/CMakeFiles/semap_data.dir/amalgam.cc.o.d"
+  "/root/repo/src/datasets/builder_util.cc" "src/datasets/CMakeFiles/semap_data.dir/builder_util.cc.o" "gcc" "src/datasets/CMakeFiles/semap_data.dir/builder_util.cc.o.d"
+  "/root/repo/src/datasets/dblp.cc" "src/datasets/CMakeFiles/semap_data.dir/dblp.cc.o" "gcc" "src/datasets/CMakeFiles/semap_data.dir/dblp.cc.o.d"
+  "/root/repo/src/datasets/examples.cc" "src/datasets/CMakeFiles/semap_data.dir/examples.cc.o" "gcc" "src/datasets/CMakeFiles/semap_data.dir/examples.cc.o.d"
+  "/root/repo/src/datasets/hotel.cc" "src/datasets/CMakeFiles/semap_data.dir/hotel.cc.o" "gcc" "src/datasets/CMakeFiles/semap_data.dir/hotel.cc.o.d"
+  "/root/repo/src/datasets/mondial.cc" "src/datasets/CMakeFiles/semap_data.dir/mondial.cc.o" "gcc" "src/datasets/CMakeFiles/semap_data.dir/mondial.cc.o.d"
+  "/root/repo/src/datasets/network.cc" "src/datasets/CMakeFiles/semap_data.dir/network.cc.o" "gcc" "src/datasets/CMakeFiles/semap_data.dir/network.cc.o.d"
+  "/root/repo/src/datasets/padding.cc" "src/datasets/CMakeFiles/semap_data.dir/padding.cc.o" "gcc" "src/datasets/CMakeFiles/semap_data.dir/padding.cc.o.d"
+  "/root/repo/src/datasets/sdb3.cc" "src/datasets/CMakeFiles/semap_data.dir/sdb3.cc.o" "gcc" "src/datasets/CMakeFiles/semap_data.dir/sdb3.cc.o.d"
+  "/root/repo/src/datasets/university.cc" "src/datasets/CMakeFiles/semap_data.dir/university.cc.o" "gcc" "src/datasets/CMakeFiles/semap_data.dir/university.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/semap_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewriting/CMakeFiles/semap_rew.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/semap_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/semap_disc.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/semap_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm/CMakeFiles/semap_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/semap_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/semap_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/semap_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semap_data.dir/all_domains.cc.o"
+  "CMakeFiles/semap_data.dir/all_domains.cc.o.d"
+  "CMakeFiles/semap_data.dir/amalgam.cc.o"
+  "CMakeFiles/semap_data.dir/amalgam.cc.o.d"
+  "CMakeFiles/semap_data.dir/builder_util.cc.o"
+  "CMakeFiles/semap_data.dir/builder_util.cc.o.d"
+  "CMakeFiles/semap_data.dir/dblp.cc.o"
+  "CMakeFiles/semap_data.dir/dblp.cc.o.d"
+  "CMakeFiles/semap_data.dir/examples.cc.o"
+  "CMakeFiles/semap_data.dir/examples.cc.o.d"
+  "CMakeFiles/semap_data.dir/hotel.cc.o"
+  "CMakeFiles/semap_data.dir/hotel.cc.o.d"
+  "CMakeFiles/semap_data.dir/mondial.cc.o"
+  "CMakeFiles/semap_data.dir/mondial.cc.o.d"
+  "CMakeFiles/semap_data.dir/network.cc.o"
+  "CMakeFiles/semap_data.dir/network.cc.o.d"
+  "CMakeFiles/semap_data.dir/padding.cc.o"
+  "CMakeFiles/semap_data.dir/padding.cc.o.d"
+  "CMakeFiles/semap_data.dir/sdb3.cc.o"
+  "CMakeFiles/semap_data.dir/sdb3.cc.o.d"
+  "CMakeFiles/semap_data.dir/university.cc.o"
+  "CMakeFiles/semap_data.dir/university.cc.o.d"
+  "libsemap_data.a"
+  "libsemap_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semap_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/cm_mapper.cc" "src/discovery/CMakeFiles/semap_disc.dir/cm_mapper.cc.o" "gcc" "src/discovery/CMakeFiles/semap_disc.dir/cm_mapper.cc.o.d"
+  "/root/repo/src/discovery/compat.cc" "src/discovery/CMakeFiles/semap_disc.dir/compat.cc.o" "gcc" "src/discovery/CMakeFiles/semap_disc.dir/compat.cc.o.d"
+  "/root/repo/src/discovery/correspondence.cc" "src/discovery/CMakeFiles/semap_disc.dir/correspondence.cc.o" "gcc" "src/discovery/CMakeFiles/semap_disc.dir/correspondence.cc.o.d"
+  "/root/repo/src/discovery/cost_model.cc" "src/discovery/CMakeFiles/semap_disc.dir/cost_model.cc.o" "gcc" "src/discovery/CMakeFiles/semap_disc.dir/cost_model.cc.o.d"
+  "/root/repo/src/discovery/csg.cc" "src/discovery/CMakeFiles/semap_disc.dir/csg.cc.o" "gcc" "src/discovery/CMakeFiles/semap_disc.dir/csg.cc.o.d"
+  "/root/repo/src/discovery/discoverer.cc" "src/discovery/CMakeFiles/semap_disc.dir/discoverer.cc.o" "gcc" "src/discovery/CMakeFiles/semap_disc.dir/discoverer.cc.o.d"
+  "/root/repo/src/discovery/stree_infer.cc" "src/discovery/CMakeFiles/semap_disc.dir/stree_infer.cc.o" "gcc" "src/discovery/CMakeFiles/semap_disc.dir/stree_infer.cc.o.d"
+  "/root/repo/src/discovery/tree_search.cc" "src/discovery/CMakeFiles/semap_disc.dir/tree_search.cc.o" "gcc" "src/discovery/CMakeFiles/semap_disc.dir/tree_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semantics/CMakeFiles/semap_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/semap_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm/CMakeFiles/semap_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/semap_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semap_disc.dir/cm_mapper.cc.o"
+  "CMakeFiles/semap_disc.dir/cm_mapper.cc.o.d"
+  "CMakeFiles/semap_disc.dir/compat.cc.o"
+  "CMakeFiles/semap_disc.dir/compat.cc.o.d"
+  "CMakeFiles/semap_disc.dir/correspondence.cc.o"
+  "CMakeFiles/semap_disc.dir/correspondence.cc.o.d"
+  "CMakeFiles/semap_disc.dir/cost_model.cc.o"
+  "CMakeFiles/semap_disc.dir/cost_model.cc.o.d"
+  "CMakeFiles/semap_disc.dir/csg.cc.o"
+  "CMakeFiles/semap_disc.dir/csg.cc.o.d"
+  "CMakeFiles/semap_disc.dir/discoverer.cc.o"
+  "CMakeFiles/semap_disc.dir/discoverer.cc.o.d"
+  "CMakeFiles/semap_disc.dir/stree_infer.cc.o"
+  "CMakeFiles/semap_disc.dir/stree_infer.cc.o.d"
+  "CMakeFiles/semap_disc.dir/tree_search.cc.o"
+  "CMakeFiles/semap_disc.dir/tree_search.cc.o.d"
+  "libsemap_disc.a"
+  "libsemap_disc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semap_disc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

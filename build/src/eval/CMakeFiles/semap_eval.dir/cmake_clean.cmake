@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semap_eval.dir/diagnostics.cc.o"
+  "CMakeFiles/semap_eval.dir/diagnostics.cc.o.d"
+  "CMakeFiles/semap_eval.dir/experiment.cc.o"
+  "CMakeFiles/semap_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/semap_eval.dir/report.cc.o"
+  "CMakeFiles/semap_eval.dir/report.cc.o.d"
+  "libsemap_eval.a"
+  "libsemap_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semap_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

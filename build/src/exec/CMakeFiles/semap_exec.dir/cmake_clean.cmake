@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semap_exec.dir/instance.cc.o"
+  "CMakeFiles/semap_exec.dir/instance.cc.o.d"
+  "libsemap_exec.a"
+  "libsemap_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semap_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/containment.cc" "src/logic/CMakeFiles/semap_logic.dir/containment.cc.o" "gcc" "src/logic/CMakeFiles/semap_logic.dir/containment.cc.o.d"
+  "/root/repo/src/logic/cq.cc" "src/logic/CMakeFiles/semap_logic.dir/cq.cc.o" "gcc" "src/logic/CMakeFiles/semap_logic.dir/cq.cc.o.d"
+  "/root/repo/src/logic/parser.cc" "src/logic/CMakeFiles/semap_logic.dir/parser.cc.o" "gcc" "src/logic/CMakeFiles/semap_logic.dir/parser.cc.o.d"
+  "/root/repo/src/logic/tgd.cc" "src/logic/CMakeFiles/semap_logic.dir/tgd.cc.o" "gcc" "src/logic/CMakeFiles/semap_logic.dir/tgd.cc.o.d"
+  "/root/repo/src/logic/unify.cc" "src/logic/CMakeFiles/semap_logic.dir/unify.cc.o" "gcc" "src/logic/CMakeFiles/semap_logic.dir/unify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/semap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semap_logic.dir/containment.cc.o"
+  "CMakeFiles/semap_logic.dir/containment.cc.o.d"
+  "CMakeFiles/semap_logic.dir/cq.cc.o"
+  "CMakeFiles/semap_logic.dir/cq.cc.o.d"
+  "CMakeFiles/semap_logic.dir/parser.cc.o"
+  "CMakeFiles/semap_logic.dir/parser.cc.o.d"
+  "CMakeFiles/semap_logic.dir/tgd.cc.o"
+  "CMakeFiles/semap_logic.dir/tgd.cc.o.d"
+  "CMakeFiles/semap_logic.dir/unify.cc.o"
+  "CMakeFiles/semap_logic.dir/unify.cc.o.d"
+  "libsemap_logic.a"
+  "libsemap_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semap_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

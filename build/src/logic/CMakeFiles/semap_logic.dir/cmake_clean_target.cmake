@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsemap_logic.a"
+)

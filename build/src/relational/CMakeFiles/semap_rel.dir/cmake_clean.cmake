@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semap_rel.dir/schema.cc.o"
+  "CMakeFiles/semap_rel.dir/schema.cc.o.d"
+  "CMakeFiles/semap_rel.dir/schema_parser.cc.o"
+  "CMakeFiles/semap_rel.dir/schema_parser.cc.o.d"
+  "libsemap_rel.a"
+  "libsemap_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semap_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semap_rew.dir/algebra.cc.o"
+  "CMakeFiles/semap_rew.dir/algebra.cc.o.d"
+  "CMakeFiles/semap_rew.dir/inverse_rules.cc.o"
+  "CMakeFiles/semap_rew.dir/inverse_rules.cc.o.d"
+  "CMakeFiles/semap_rew.dir/join_hints.cc.o"
+  "CMakeFiles/semap_rew.dir/join_hints.cc.o.d"
+  "CMakeFiles/semap_rew.dir/rewriter.cc.o"
+  "CMakeFiles/semap_rew.dir/rewriter.cc.o.d"
+  "CMakeFiles/semap_rew.dir/semantic_mapper.cc.o"
+  "CMakeFiles/semap_rew.dir/semantic_mapper.cc.o.d"
+  "CMakeFiles/semap_rew.dir/sql.cc.o"
+  "CMakeFiles/semap_rew.dir/sql.cc.o.d"
+  "libsemap_rew.a"
+  "libsemap_rew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semap_rew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for semap_rew.
+# This may be replaced when dependencies are built.

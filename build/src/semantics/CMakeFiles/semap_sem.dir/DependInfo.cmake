@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantics/encoder.cc" "src/semantics/CMakeFiles/semap_sem.dir/encoder.cc.o" "gcc" "src/semantics/CMakeFiles/semap_sem.dir/encoder.cc.o.d"
+  "/root/repo/src/semantics/er2rel.cc" "src/semantics/CMakeFiles/semap_sem.dir/er2rel.cc.o" "gcc" "src/semantics/CMakeFiles/semap_sem.dir/er2rel.cc.o.d"
+  "/root/repo/src/semantics/fd.cc" "src/semantics/CMakeFiles/semap_sem.dir/fd.cc.o" "gcc" "src/semantics/CMakeFiles/semap_sem.dir/fd.cc.o.d"
+  "/root/repo/src/semantics/semantics_parser.cc" "src/semantics/CMakeFiles/semap_sem.dir/semantics_parser.cc.o" "gcc" "src/semantics/CMakeFiles/semap_sem.dir/semantics_parser.cc.o.d"
+  "/root/repo/src/semantics/stree.cc" "src/semantics/CMakeFiles/semap_sem.dir/stree.cc.o" "gcc" "src/semantics/CMakeFiles/semap_sem.dir/stree.cc.o.d"
+  "/root/repo/src/semantics/stree_builder.cc" "src/semantics/CMakeFiles/semap_sem.dir/stree_builder.cc.o" "gcc" "src/semantics/CMakeFiles/semap_sem.dir/stree_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/semap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/semap_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm/CMakeFiles/semap_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/semap_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semap_sem.dir/encoder.cc.o"
+  "CMakeFiles/semap_sem.dir/encoder.cc.o.d"
+  "CMakeFiles/semap_sem.dir/er2rel.cc.o"
+  "CMakeFiles/semap_sem.dir/er2rel.cc.o.d"
+  "CMakeFiles/semap_sem.dir/fd.cc.o"
+  "CMakeFiles/semap_sem.dir/fd.cc.o.d"
+  "CMakeFiles/semap_sem.dir/semantics_parser.cc.o"
+  "CMakeFiles/semap_sem.dir/semantics_parser.cc.o.d"
+  "CMakeFiles/semap_sem.dir/stree.cc.o"
+  "CMakeFiles/semap_sem.dir/stree.cc.o.d"
+  "CMakeFiles/semap_sem.dir/stree_builder.cc.o"
+  "CMakeFiles/semap_sem.dir/stree_builder.cc.o.d"
+  "libsemap_sem.a"
+  "libsemap_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semap_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semap_util.dir/lexer.cc.o"
+  "CMakeFiles/semap_util.dir/lexer.cc.o.d"
+  "CMakeFiles/semap_util.dir/status.cc.o"
+  "CMakeFiles/semap_util.dir/status.cc.o.d"
+  "CMakeFiles/semap_util.dir/string_util.cc.o"
+  "CMakeFiles/semap_util.dir/string_util.cc.o.d"
+  "libsemap_util.a"
+  "libsemap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

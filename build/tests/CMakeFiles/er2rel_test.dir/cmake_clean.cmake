@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er2rel_test.dir/er2rel_test.cc.o"
+  "CMakeFiles/er2rel_test.dir/er2rel_test.cc.o.d"
+  "er2rel_test"
+  "er2rel_test.pdb"
+  "er2rel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er2rel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/exec_test.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datasets/CMakeFiles/semap_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/semap_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/semap_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewriting/CMakeFiles/semap_rew.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/semap_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/semap_disc.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/semap_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/semap_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm/CMakeFiles/semap_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/semap_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

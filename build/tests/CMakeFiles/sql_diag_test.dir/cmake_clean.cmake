@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_diag_test.dir/sql_diag_test.cc.o"
+  "CMakeFiles/sql_diag_test.dir/sql_diag_test.cc.o.d"
+  "sql_diag_test"
+  "sql_diag_test.pdb"
+  "sql_diag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_diag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semap_map.dir/semap_map.cc.o"
+  "CMakeFiles/semap_map.dir/semap_map.cc.o.d"
+  "semap_map"
+  "semap_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semap_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
