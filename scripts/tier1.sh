@@ -1,0 +1,14 @@
+#!/bin/sh
+# Tier-1 verification: the standard build + full test suite, then the
+# robustness/governance tests again under ASan+UBSan (-DSEMAP_SANITIZE=ON).
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+cmake -B build-asan -S . -DSEMAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j --target robustness_test resilient_pipeline_test util_test
+(cd build-asan && ctest --output-on-failure -j \
+  -R 'RobustnessTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|StatusTest')

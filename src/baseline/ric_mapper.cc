@@ -68,8 +68,13 @@ Result<std::vector<RicMapping>> GenerateRicMappings(
       LogicalRelationsOf(target, options.chase);
 
   std::vector<RicMapping> mappings;
+  size_t pairs_tried = 0;
+  const size_t total_pairs = source_lrs.size() * target_lrs.size();
   for (const LogicalRelation& slr : source_lrs) {
+    if (GovernorExhausted(options.governor)) break;
     for (const LogicalRelation& tlr : target_lrs) {
+      if (!GovernorCharge(options.governor)) break;
+      ++pairs_tried;
       // Covered correspondences: both ends present in the pair.
       std::vector<size_t> covered;
       for (size_t i = 0; i < correspondences.size(); ++i) {
@@ -115,6 +120,11 @@ Result<std::vector<RicMapping>> GenerateRicMappings(
         if (mappings.size() >= options.max_mappings) return mappings;
       }
     }
+  }
+  if (GovernorExhausted(options.governor) && pairs_tried < total_pairs) {
+    options.governor->NoteTruncation(
+        "GenerateRicMappings: examined " + std::to_string(pairs_tried) + "/" +
+        std::to_string(total_pairs) + " logical-relation pairs");
   }
   return mappings;
 }

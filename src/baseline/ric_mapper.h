@@ -11,6 +11,7 @@
 #include "baseline/logical_relations.h"
 #include "discovery/correspondence.h"
 #include "logic/tgd.h"
+#include "util/budget.h"
 #include "util/result.h"
 
 namespace semap::baseline {
@@ -21,6 +22,10 @@ struct RicMapperOptions {
   bool prune_unnecessary_joins = true;
   /// Cap on emitted mappings.
   size_t max_mappings = 64;
+  /// Optional resource governor (not owned; null = ungoverned); charged
+  /// per logical-relation pair. When it trips, the mappings emitted so
+  /// far are returned.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// \brief One RIC-based mapping: the tgd plus the correspondences the

@@ -72,6 +72,7 @@ std::vector<Csg> BestPartialTrees(const cm::CmGraph& graph,
                                   const TreeSearchOptions& opts) {
   std::vector<std::pair<size_t, Csg>> scored;  // (covered count, tree)
   for (int root : graph.ClassNodes()) {
+    if (!GovernorCharge(opts.governor)) break;
     std::vector<int> uncovered;
     std::optional<Csg> tree =
         GrowTree(graph, costs, root, terminals, opts, &uncovered);
@@ -127,6 +128,7 @@ std::vector<Csg> Discoverer::FindTargetCsgs(
   opts.functional_only = true;
   opts.use_isa = options_.use_isa;
   opts.max_results = options_.max_trees_per_side;
+  opts.governor = options_.governor;
   std::vector<Csg> trees =
       MinimalTrees(target_.graph(), target_costs, marked, opts);
   if (trees.empty() && options_.allow_lossy) {
@@ -153,6 +155,7 @@ std::vector<Csg> Discoverer::FindSourceCsgs(
   TreeSearchOptions opts;
   opts.use_isa = options_.use_isa;
   opts.max_results = options_.max_trees_per_side;
+  opts.governor = options_.governor;
   // Functional trees suffice for functional targets; many-to-many targets
   // may require minimally-lossy connections (Example 3.2).
   opts.functional_only = !(target_many_to_many && options_.allow_lossy);
@@ -165,6 +168,7 @@ std::vector<Csg> Discoverer::FindSourceCsgs(
             .graph_node;
     std::vector<Csg> anchored;
     for (int s : graph.ClassNodes()) {
+      if (!GovernorCharge(options_.governor)) break;
       if (!NodesCorrespond(lifted_, s, anchor_graph_node)) continue;
       std::vector<int> uncovered;
       std::vector<Csg> trees = GrowAllTrees(graph, source_costs, s,
@@ -216,6 +220,7 @@ std::vector<Csg> Discoverer::FindSourceCsgs(
   // subsets of the marked nodes instead.
   if (marked_source.size() > 2) {
     for (size_t skip = 0; skip < marked_source.size(); ++skip) {
+      if (!GovernorCharge(options_.governor)) break;
       std::vector<int> subset;
       for (size_t i = 0; i < marked_source.size(); ++i) {
         if (i != skip) subset.push_back(marked_source[i]);
@@ -396,7 +401,10 @@ Result<std::vector<MappingCandidate>> Discoverer::Run() {
   }
 
   std::vector<Csg> target_csgs = FindTargetCsgs(target_costs);
+  size_t targets_paired = 0;
   for (const Csg& target_csg : target_csgs) {
+    if (!GovernorCharge(options_.governor)) break;
+    ++targets_paired;
     // Marked source nodes restricted to correspondences this target CSG
     // covers.
     std::set<int> tgt_nodes = target_csg.GraphNodeSet();
@@ -443,6 +451,7 @@ Result<std::vector<MappingCandidate>> Discoverer::Run() {
           FindSourceCsgs(target_csg, marked_source, target_mn, source_costs);
     }
     for (Csg& source_csg : source_csgs) {
+      if (!GovernorCharge(options_.governor)) break;
       MappingCandidate cand;
       cand.source_attachments = source_attachments;
       cand.target_attachments = target_attachments;
@@ -450,6 +459,15 @@ Result<std::vector<MappingCandidate>> Discoverer::Run() {
         push_candidate(std::move(cand));
       }
     }
+  }
+  // A tripped governor ends enumeration, never discovery: the candidates
+  // assembled before the budget ran out are filtered and ranked normally
+  // below, and the governor records what was left unexplored.
+  if (GovernorExhausted(options_.governor) &&
+      targets_paired < target_csgs.size()) {
+    options_.governor->NoteTruncation(
+        "Discoverer: paired " + std::to_string(targets_paired) + "/" +
+        std::to_string(target_csgs.size()) + " target CSGs");
   }
 
   // Keep, per covered-correspondence set, only the least-penalized

@@ -42,6 +42,11 @@ struct DiscoveryOptions {
   size_t max_candidates = 8;
   /// Cap on trees enumerated per side.
   size_t max_trees_per_side = 8;
+  /// Optional resource governor (not owned; null = ungoverned), shared
+  /// with every tree search this discovery spawns. When it trips, Run()
+  /// returns the candidates assembled so far instead of an error; the
+  /// governor's status() and truncations() describe what was cut.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// \brief A conceptual mapping candidate: a pair of semantically similar

@@ -34,7 +34,10 @@ ShortestPaths ComputeShortestPaths(const cm::CmGraph& graph,
   using Entry = std::pair<int64_t, int>;  // (dist, node)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
   queue.push({0, root});
+  // Cancellation leaves the still-unsettled nodes at ∞, which callers
+  // already treat as "unreachable" — the partial result stays well-formed.
   while (!queue.empty()) {
+    if (!GovernorCharge(options.governor)) break;
     auto [d, u] = queue.top();
     queue.pop();
     if (d > sp.dist[static_cast<size_t>(u)]) continue;
@@ -123,9 +126,10 @@ class TreeEnumerator {
  public:
   TreeEnumerator(const cm::CmGraph& graph, const CostModel& costs,
                  const ShortestPaths& sp, int root,
-                 const std::vector<int>& terminals, size_t cap)
+                 const std::vector<int>& terminals, size_t cap,
+                 ResourceGovernor* governor)
       : graph_(graph), costs_(costs), sp_(sp), root_(root),
-        terminals_(terminals), cap_(cap) {}
+        terminals_(terminals), cap_(cap), governor_(governor) {}
 
   std::vector<Csg> Run() {
     std::vector<int> pending;
@@ -139,6 +143,7 @@ class TreeEnumerator {
  private:
   void Enumerate(std::vector<int> pending) {
     if (results_.size() >= cap_) return;
+    if (!GovernorCharge(governor_)) return;
     while (!pending.empty() &&
            (pending.back() == root_ || choice_.count(pending.back()) > 0)) {
       pending.pop_back();
@@ -230,6 +235,7 @@ class TreeEnumerator {
   int root_;
   const std::vector<int>& terminals_;
   size_t cap_;
+  ResourceGovernor* governor_;
   std::map<int, int> choice_;  // node -> chosen parent edge
   std::vector<Csg> results_;
   std::vector<std::set<int>> seen_;
@@ -253,21 +259,38 @@ std::vector<Csg> GrowAllTrees(const cm::CmGraph& graph, const CostModel& costs,
   }
   if (reachable.empty()) return {};
   TreeEnumerator enumerator(graph, costs, sp, root, reachable,
-                            options.max_results);
-  return enumerator.Run();
+                            options.max_results, options.governor);
+  std::vector<Csg> trees = enumerator.Run();
+  if (options.governor != nullptr) {
+    for (const Csg& tree : trees) {
+      options.governor->ChargeMemory(static_cast<int64_t>(
+          tree.fragment.nodes.size() * sizeof(sem::Fragment::Node) +
+          tree.fragment.edges.size() * sizeof(sem::Fragment::Edge)));
+    }
+  }
+  return trees;
 }
 
 std::vector<Csg> MinimalTrees(const cm::CmGraph& graph, const CostModel& costs,
                               const std::vector<int>& terminals,
                               const TreeSearchOptions& options) {
   std::vector<Csg> candidates;
-  for (int root : graph.ClassNodes()) {
+  const std::vector<int> roots = graph.ClassNodes();
+  size_t roots_tried = 0;
+  for (int root : roots) {
+    if (!GovernorCharge(options.governor)) break;
+    ++roots_tried;
     if (options.excluded_nodes.count(root) > 0) continue;
     std::vector<int> uncovered;
     std::vector<Csg> trees =
         GrowAllTrees(graph, costs, root, terminals, options, &uncovered);
     if (!uncovered.empty()) continue;
     for (Csg& tree : trees) candidates.push_back(std::move(tree));
+  }
+  if (GovernorExhausted(options.governor) && roots_tried < roots.size()) {
+    options.governor->NoteTruncation(
+        "MinimalTrees: stopped after " + std::to_string(roots_tried) + "/" +
+        std::to_string(roots.size()) + " candidate roots");
   }
   if (candidates.empty()) return candidates;
 

@@ -14,6 +14,7 @@
 
 #include "discovery/cost_model.h"
 #include "discovery/csg.h"
+#include "util/budget.h"
 
 namespace semap::disc {
 
@@ -29,6 +30,10 @@ struct TreeSearchOptions {
   /// Class nodes the search must not touch (used when splitting an
   /// inconsistent connection: the split-away node stays out).
   std::set<int> excluded_nodes;
+  /// Optional resource governor (not owned; null = ungoverned). Every
+  /// search loop charges it and, once exhausted, unwinds with the
+  /// well-formed trees found so far.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// \brief Single-source minimal-cost paths from `root` over class nodes.

@@ -1,0 +1,253 @@
+#include "exec/resilient_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+
+namespace semap::exec {
+
+const char* TierName(DegradationTier tier) {
+  switch (tier) {
+    case DegradationTier::kSemanticFull:
+      return "semantic-full";
+    case DegradationTier::kSemanticRestricted:
+      return "semantic-restricted";
+    case DegradationTier::kRicBaseline:
+      return "ric-baseline";
+    case DegradationTier::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+bool DegradationReport::AnyDegraded() const {
+  for (const TableOutcome& t : tables) {
+    if (t.tier != DegradationTier::kSemanticFull) return true;
+  }
+  return false;
+}
+
+bool DegradationReport::AnyAtBaselineOrWorse() const {
+  for (const TableOutcome& t : tables) {
+    if (t.tier == DegradationTier::kRicBaseline ||
+        t.tier == DegradationTier::kFailed) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string DegradationReport::ToString() const {
+  std::string out = "degradation report (" + std::to_string(tables.size()) +
+                    " target table(s)):\n";
+  for (const TableOutcome& t : tables) {
+    out += "  " + t.target_table + ": " + TierName(t.tier) + ", " +
+           std::to_string(t.mappings) + " mapping(s)\n";
+    for (const std::string& note : t.notes) {
+      out += "    - " + note + "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Deadline {
+  std::optional<Clock::time_point> at;
+
+  /// Milliseconds left, clamped at 0; nullopt when no deadline is set.
+  std::optional<int64_t> RemainingMs() const {
+    if (!at.has_value()) return std::nullopt;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        *at - Clock::now());
+    return std::max<int64_t>(0, left.count());
+  }
+};
+
+void ConfigureGovernor(ResourceGovernor* governor, const Deadline& deadline,
+                       int64_t step_budget,
+                       const std::optional<int64_t>& fault_after) {
+  if (auto ms = deadline.RemainingMs(); ms.has_value()) {
+    governor->set_deadline_ms(*ms);
+  }
+  if (step_budget >= 0) governor->set_max_steps(step_budget);
+  if (fault_after.has_value()) governor->InjectFailureAfter(*fault_after);
+}
+
+/// Tier-1 search restrictions: no lossy joins, tight enumeration caps —
+/// the cheapest configuration that can still find functional mappings.
+rew::SemanticMapperOptions RestrictSemantic(rew::SemanticMapperOptions opts) {
+  opts.discovery.allow_lossy = false;
+  opts.discovery.max_trees_per_side =
+      std::min<size_t>(opts.discovery.max_trees_per_side, 2);
+  opts.discovery.max_candidates =
+      std::min<size_t>(opts.discovery.max_candidates, 4);
+  opts.max_rewritings_per_side =
+      std::min<size_t>(opts.max_rewritings_per_side, 2);
+  return opts;
+}
+
+}  // namespace
+
+Result<ResilientResult> RunResilientPipeline(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const ResilientPipelineOptions& options) {
+  if (correspondences.empty()) {
+    return Status::InvalidArgument("no correspondences given");
+  }
+  for (const disc::Correspondence& corr : correspondences) {
+    if (!source.schema().HasColumn(corr.source)) {
+      return Status::NotFound("unknown source column " +
+                              corr.source.ToString());
+    }
+    if (!target.schema().HasColumn(corr.target)) {
+      return Status::NotFound("unknown target column " +
+                              corr.target.ToString());
+    }
+  }
+
+  std::optional<int64_t> fault_after;
+  if (options.fault_after >= 0) {
+    fault_after = options.fault_after;
+  } else {
+    fault_after = ResourceGovernor::FaultAfterFromEnv();
+  }
+  Deadline deadline;
+  if (options.deadline_ms >= 0) {
+    deadline.at = Clock::now() + std::chrono::milliseconds(options.deadline_ms);
+  }
+
+  // Per-table cascades, in deterministic (sorted) table order.
+  std::map<std::string, std::vector<disc::Correspondence>> groups;
+  for (const disc::Correspondence& corr : correspondences) {
+    groups[corr.target.table].push_back(corr);
+  }
+
+  ResilientResult result;
+  auto emit = [&result](ResilientMapping mapping) {
+    // Cross-table duplicates (two groups reaching the same expression)
+    // collapse onto the first, least-degraded occurrence.
+    for (const ResilientMapping& existing : result.mappings) {
+      if (logic::EquivalentTgds(existing.tgd, mapping.tgd)) return false;
+    }
+    result.mappings.push_back(std::move(mapping));
+    return true;
+  };
+
+  for (const auto& [table, group] : groups) {
+    TableOutcome outcome;
+    outcome.target_table = table;
+    bool settled = false;
+
+    // Governed semantic tiers, each retried under halving step budgets.
+    const DegradationTier semantic_tiers[] = {
+        DegradationTier::kSemanticFull, DegradationTier::kSemanticRestricted};
+    bool semantic_answered_empty = false;
+    for (DegradationTier tier : semantic_tiers) {
+      if (settled || semantic_answered_empty) break;
+      rew::SemanticMapperOptions sem_opts =
+          tier == DegradationTier::kSemanticFull
+              ? options.semantic
+              : RestrictSemantic(options.semantic);
+      int64_t tier_budget = options.max_steps;
+      if (tier_budget >= 0 && tier == DegradationTier::kSemanticRestricted) {
+        tier_budget /= 2;
+      }
+      for (size_t attempt = 0; attempt <= options.retries_per_tier;
+           ++attempt) {
+        int64_t budget = tier_budget;
+        if (budget >= 0) budget >>= attempt;
+        ResourceGovernor governor;
+        ConfigureGovernor(&governor, deadline, budget, fault_after);
+        sem_opts.discovery.governor = &governor;
+        auto mappings =
+            rew::GenerateSemanticMappings(source, target, group, sem_opts);
+        std::string attempt_label = std::string(TierName(tier)) +
+                                    " (attempt " +
+                                    std::to_string(attempt + 1) + ")";
+        if (!mappings.ok()) {
+          outcome.notes.push_back(attempt_label + ": " +
+                                  mappings.status().ToString());
+          break;  // A real error will not improve under a smaller budget.
+        }
+        if (!mappings->empty()) {
+          outcome.tier = tier;
+          outcome.mappings = mappings->size();
+          if (governor.exhausted()) {
+            outcome.notes.push_back(attempt_label + ": partial result, " +
+                                    governor.status().ToString());
+            for (const std::string& note : governor.truncations()) {
+              outcome.notes.push_back(attempt_label + ": " + note);
+            }
+          }
+          for (rew::GeneratedMapping& m : *mappings) {
+            ResilientMapping out;
+            out.tier = tier;
+            out.target_table = table;
+            out.tgd = std::move(m.tgd);
+            out.covered = std::move(m.covered);
+            out.source_algebra = std::move(m.source_algebra);
+            out.target_algebra = std::move(m.target_algebra);
+            emit(std::move(out));
+          }
+          settled = true;
+          break;
+        }
+        outcome.notes.push_back(attempt_label + ": no mappings (" +
+                                governor.status().ToString() + ")");
+        // A clean empty result is the technique's answer, not a resource
+        // problem; shrinking the budget or the search space cannot add
+        // mappings, so skip straight to the baseline.
+        if (!governor.exhausted()) {
+          semantic_answered_empty = true;
+          break;
+        }
+      }
+    }
+
+    if (!settled) {
+      // The lifeline: the RIC baseline always terminates, so it runs
+      // exempt from step budgets and fault injection (deadline only).
+      baseline::RicMapperOptions ric_opts = options.ric;
+      ResourceGovernor governor;
+      ConfigureGovernor(&governor, deadline, /*step_budget=*/-1,
+                        /*fault_after=*/std::nullopt);
+      ric_opts.governor = &governor;
+      auto ric = baseline::GenerateRicMappings(source.schema(),
+                                               target.schema(), group,
+                                               ric_opts);
+      if (ric.ok() && !ric->empty()) {
+        outcome.tier = DegradationTier::kRicBaseline;
+        outcome.mappings = ric->size();
+        if (governor.exhausted()) {
+          outcome.notes.push_back(std::string(TierName(outcome.tier)) +
+                                  ": partial result, " +
+                                  governor.status().ToString());
+        }
+        for (baseline::RicMapping& m : *ric) {
+          ResilientMapping out;
+          out.tier = DegradationTier::kRicBaseline;
+          out.target_table = table;
+          out.tgd = std::move(m.tgd);
+          out.covered = std::move(m.covered);
+          emit(std::move(out));
+        }
+      } else {
+        outcome.tier = DegradationTier::kFailed;
+        outcome.notes.push_back(
+            std::string(TierName(DegradationTier::kRicBaseline)) + ": " +
+            (ric.ok() ? std::string("no mappings (") +
+                            governor.status().ToString() + ")"
+                      : ric.status().ToString()));
+      }
+    }
+    result.report.tables.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace semap::exec

@@ -1,0 +1,111 @@
+// Resilient mapping pipeline: per-table graceful degradation from the
+// paper's semantic technique down to the RIC-based (Clio-style) baseline.
+//
+// The semantic discovery is the high-fidelity but combinatorial path; the
+// RIC baseline is cheaper and always terminates on the same inputs. This
+// pipeline exploits that asymmetry: correspondences are grouped by target
+// table and each group runs a degradation cascade —
+//
+//   tier 0  full semantic discovery
+//   tier 1  restricted semantic discovery (no lossy joins, tighter tree
+//           caps) under a halved budget
+//   tier 2  RIC baseline (the lifeline: exempt from step budgets and
+//           fault injection, deadline-only)
+//
+// Every governed tier runs under a ResourceGovernor slice of the overall
+// deadline/step budget and is retried under exponentially shrinking step
+// budgets before the cascade moves down a tier. The DegradationReport
+// records, per target table, which tier produced the result and why the
+// higher tiers were abandoned, so operators can tell a degraded answer
+// from a full one.
+//
+// Deterministic fault injection for tests: options.fault_after (or the
+// SEMAP_FAULT_AFTER environment variable) forces kResourceExhausted in
+// the semantic tiers after that many charged steps; the cascade must then
+// fall back to the baseline rather than crash or return a malformed
+// result.
+#ifndef SEMAP_EXEC_RESILIENT_PIPELINE_H_
+#define SEMAP_EXEC_RESILIENT_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/ric_mapper.h"
+#include "rewriting/semantic_mapper.h"
+#include "util/result.h"
+
+namespace semap::exec {
+
+enum class DegradationTier {
+  kSemanticFull = 0,
+  kSemanticRestricted = 1,
+  kRicBaseline = 2,
+  kFailed = 3,
+};
+
+const char* TierName(DegradationTier tier);
+
+/// \brief Per-target-table cascade outcome.
+struct TableOutcome {
+  std::string target_table;
+  DegradationTier tier = DegradationTier::kFailed;
+  size_t mappings = 0;
+  /// Why higher tiers were abandoned (governor statuses, truncation
+  /// notes), in cascade order.
+  std::vector<std::string> notes;
+};
+
+struct DegradationReport {
+  std::vector<TableOutcome> tables;
+
+  /// True when any table settled below full semantic discovery.
+  bool AnyDegraded() const;
+  /// True when any table reached the RIC tier or failed outright.
+  bool AnyAtBaselineOrWorse() const;
+
+  std::string ToString() const;
+};
+
+struct ResilientPipelineOptions {
+  rew::SemanticMapperOptions semantic;
+  baseline::RicMapperOptions ric;
+  /// Overall wall-clock deadline for the whole pipeline; < 0 = none.
+  int64_t deadline_ms = -1;
+  /// Step budget for the first semantic attempt of each table; later
+  /// attempts and tiers get exponentially smaller slices. < 0 = none.
+  int64_t max_steps = -1;
+  /// Deterministic fault injection into the semantic tiers; < 0 = take
+  /// SEMAP_FAULT_AFTER from the environment (unset = no injection).
+  int64_t fault_after = -1;
+  /// Shrinking-budget retries per governed tier before degrading.
+  size_t retries_per_tier = 1;
+};
+
+/// \brief One emitted mapping, tagged with the tier that produced it.
+struct ResilientMapping {
+  DegradationTier tier = DegradationTier::kSemanticFull;
+  std::string target_table;
+  logic::Tgd tgd;
+  std::vector<disc::Correspondence> covered;
+  // Populated by the semantic tiers only.
+  std::string source_algebra;
+  std::string target_algebra;
+};
+
+struct ResilientResult {
+  std::vector<ResilientMapping> mappings;
+  DegradationReport report;
+};
+
+/// \brief Run the degradation cascade over every target table named by
+/// `correspondences`. Returns an error only for malformed inputs (unknown
+/// columns, empty correspondence set); resource exhaustion never surfaces
+/// as an error — it surfaces as a degraded tier in the report.
+Result<ResilientResult> RunResilientPipeline(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const ResilientPipelineOptions& options = {});
+
+}  // namespace semap::exec
+
+#endif  // SEMAP_EXEC_RESILIENT_PIPELINE_H_

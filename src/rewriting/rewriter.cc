@@ -56,6 +56,7 @@ bool TermIsVariable(const Term& t) { return t.kind == logic::TermKind::kVariable
 void Search(SearchState& state, size_t atom_index) {
   if (state.results.size() >= state.options->max_rewritings) return;
   if (++state.steps > kMaxSearchSteps) return;
+  if (!GovernorCharge(state.options->governor)) return;
   const ConjunctiveQuery& query = *state.query;
   if (atom_index == query.body.size()) {
     ConjunctiveQuery rewriting;
@@ -119,11 +120,14 @@ void Search(SearchState& state, size_t atom_index) {
   // Pass 1: satisfy the goal from a row instance already joined into the
   // partial rewriting (same table, same variable prefix) — this is what
   // yields the paper's compact rewritings, and enumerating it first keeps
-  // them ahead of the result cap.
+  // them ahead of the result cap. Iterate by index, not iterator: the
+  // recursive call pushes and pops instances, which can reallocate the
+  // vector (the entries below `instance_count` themselves are stable).
+  const size_t instance_count = state.instances.size();
   for (const InverseRule* rule : candidates) {
-    for (const auto& [table, prefix] : state.instances) {
-      if (table != rule->table_atom.predicate) continue;
-      Atom head = PrefixVars(rule->head, prefix);
+    for (size_t i = 0; i < instance_count; ++i) {
+      if (state.instances[i].first != rule->table_atom.predicate) continue;
+      Atom head = PrefixVars(rule->head, state.instances[i].second);
       Substitution snapshot = state.subst;
       if (logic::UnifyAtoms(goal, head, state.subst)) {
         Search(state, atom_index + 1);
@@ -179,6 +183,12 @@ Result<std::vector<ConjunctiveQuery>> RewriteQuery(
   state.rules = &rules;
   state.options = &options;
   Search(state, 0);
+  if (GovernorExhausted(options.governor)) {
+    options.governor->NoteTruncation(
+        "RewriteQuery: enumeration stopped after " +
+        std::to_string(state.steps) + " resolution steps with " +
+        std::to_string(state.results.size()) + " rewriting(s)");
+  }
 
   // Minimization may fold away a required table's only atom (when another
   // table subsumes it), so the filter is re-checked after minimizing.

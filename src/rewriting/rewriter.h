@@ -20,6 +20,7 @@
 
 #include "logic/containment.h"
 #include "rewriting/inverse_rules.h"
+#include "util/budget.h"
 #include "util/result.h"
 
 namespace semap::rew {
@@ -40,6 +41,10 @@ struct RewriteOptions {
   /// original, un-normalized queries.
   std::function<logic::ConjunctiveQuery(const logic::ConjunctiveQuery&)>
       normalize;
+  /// Optional resource governor (not owned; null = ungoverned); charged
+  /// per resolution step. When it trips, the rewritings enumerated so far
+  /// are filtered and returned as usual.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// \brief Rewrite `cm_query` into table-level queries. The result may be

@@ -93,9 +93,15 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     return t == nullptr ? nullptr : &t->columns();
   };
 
+  // Discovery and rewriting share one governor: a deadline covers the
+  // pipeline end to end, not each stage separately.
+  ResourceGovernor* governor = options.discovery.governor;
   std::vector<GeneratedMapping> mappings;
+  size_t candidates_rendered = 0;
   for (const disc::MappingCandidate& cand : candidates) {
     if (mappings.size() >= options.max_mappings) break;
+    if (!GovernorCharge(governor)) break;
+    ++candidates_rendered;
     SEMAP_ASSIGN_OR_RETURN(
         ConjunctiveQuery src_cm,
         EncodeCsgQuery(source.graph(), cand, lifted, /*source_side=*/true));
@@ -106,12 +112,14 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     RewriteOptions src_opts;
     src_opts.max_rewritings = options.max_rewritings_per_side * 4;
     src_opts.normalize = source_normalize;
+    src_opts.governor = governor;
     for (size_t idx : cand.covered) {
       src_opts.required_tables.insert(lifted[idx].corr.source.table);
     }
     RewriteOptions tgt_opts;
     tgt_opts.max_rewritings = options.max_rewritings_per_side * 4;
     tgt_opts.normalize = target_normalize;
+    tgt_opts.governor = governor;
     for (size_t idx : cand.covered) {
       tgt_opts.required_tables.insert(lifted[idx].corr.target.table);
     }
@@ -170,6 +178,12 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     }
     mapping.candidate = cand;
     mappings.push_back(std::move(mapping));
+  }
+  if (GovernorExhausted(governor) && candidates_rendered < candidates.size()) {
+    governor->NoteTruncation(
+        "GenerateSemanticMappings: rendered " +
+        std::to_string(candidates_rendered) + "/" +
+        std::to_string(candidates.size()) + " discovered candidates");
   }
   return mappings;
 }

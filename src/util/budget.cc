@@ -1,0 +1,78 @@
+#include "util/budget.h"
+
+#include <cstdlib>
+
+namespace semap {
+
+namespace {
+// Reading the monotonic clock on every charged step would dominate tight
+// loops; with work items costing at least a queue operation each, a
+// deadline resolution of a few dozen steps is indistinguishable from
+// exact. The first charge always checks so an already-expired deadline
+// trips immediately.
+constexpr uint64_t kDeadlineCheckInterval = 16;
+}  // namespace
+
+std::optional<int64_t> ResourceGovernor::FaultAfterFromEnv() {
+  const char* raw = std::getenv("SEMAP_FAULT_AFTER");
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < 0) return std::nullopt;
+  return static_cast<int64_t>(value);
+}
+
+Status ResourceGovernor::Trip(Status status) {
+  if (terminal_.ok()) terminal_ = std::move(status);
+  return terminal_;
+}
+
+Status ResourceGovernor::Charge(int64_t steps) {
+  if (!terminal_.ok()) return terminal_;
+  steps_used_ += steps;
+  if (fault_after_.has_value() && steps_used_ > *fault_after_) {
+    return Trip(Status::ResourceExhausted(
+        "injected fault after " + std::to_string(*fault_after_) + " steps"));
+  }
+  if (max_steps_.has_value() && steps_used_ > *max_steps_) {
+    return Trip(Status::ResourceExhausted(
+        "step budget of " + std::to_string(*max_steps_) + " exhausted"));
+  }
+  if (deadline_.has_value() &&
+      (deadline_check_counter_++ % kDeadlineCheckInterval) == 0 &&
+      Clock::now() > *deadline_) {
+    return Trip(Status::DeadlineExceeded(
+        "deadline exceeded after " + std::to_string(steps_used_) + " steps"));
+  }
+  return Status::OK();
+}
+
+Status ResourceGovernor::ChargeMemory(int64_t bytes) {
+  if (!terminal_.ok()) return terminal_;
+  memory_used_ += bytes;
+  if (max_memory_bytes_.has_value() && memory_used_ > *max_memory_bytes_) {
+    return Trip(Status::ResourceExhausted(
+        "memory estimate exceeds budget of " +
+        std::to_string(*max_memory_bytes_) + " bytes"));
+  }
+  return Status::OK();
+}
+
+std::string ResourceGovernor::ToString() const {
+  std::string out = "governor{steps=" + std::to_string(steps_used_);
+  if (max_steps_.has_value()) out += "/" + std::to_string(*max_steps_);
+  if (memory_used_ > 0 || max_memory_bytes_.has_value()) {
+    out += ", mem=" + std::to_string(memory_used_);
+    if (max_memory_bytes_.has_value()) {
+      out += "/" + std::to_string(*max_memory_bytes_);
+    }
+  }
+  out += ", status=" + terminal_.ToString();
+  if (!truncations_.empty()) {
+    out += ", truncated=" + std::to_string(truncations_.size());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace semap

@@ -1,0 +1,110 @@
+// ResourceGovernor: cooperative resource governance for the discovery
+// stack.
+//
+// The semantic search is combinatorial (minimal-tree enumeration, CSG
+// pairing, inverse-rule rewriting); a pathological schema can make any of
+// those loops explode. A governor carries a wall-clock deadline, a
+// monotonic step budget and a memory-estimate budget, and every long
+// loop charges it at its checkpoint. Once any budget is exhausted the
+// governor turns sticky-non-OK and the loops unwind, returning the
+// partial — but structurally well-formed — results they accumulated so
+// far, annotated via NoteTruncation with what was cut off.
+//
+// A null governor pointer means "ungoverned"; all call sites treat it as
+// an unlimited budget so the default pipeline behaves exactly as before.
+//
+// Deterministic fault injection: InjectFailureAfter(n) forces
+// kResourceExhausted on the (n+1)-th charged step regardless of clocks,
+// and the SEMAP_FAULT_AFTER environment variable (read by
+// FaultAfterFromEnv) lets tests and operators inject the same failure
+// into an unmodified binary.
+#ifndef SEMAP_UTIL_BUDGET_H_
+#define SEMAP_UTIL_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace semap {
+
+class ResourceGovernor {
+ public:
+  /// Unlimited governor: never trips until a budget or injection is set.
+  ResourceGovernor() = default;
+
+  /// Deadline `ms` milliseconds from now. Negative values mean
+  /// "already expired" (useful for deterministic tests).
+  void set_deadline_ms(int64_t ms) {
+    deadline_ = Clock::now() + std::chrono::milliseconds(ms);
+  }
+  /// Total step budget; every Charge(n) consumes n of it.
+  void set_max_steps(int64_t steps) { max_steps_ = steps; }
+  /// Budget for the memory *estimate* accumulated via ChargeMemory.
+  void set_max_memory_bytes(int64_t bytes) { max_memory_bytes_ = bytes; }
+
+  /// Force kResourceExhausted once `n` steps have been charged.
+  void InjectFailureAfter(int64_t n) { fault_after_ = n; }
+
+  /// Parsed value of SEMAP_FAULT_AFTER, if set and numeric.
+  static std::optional<int64_t> FaultAfterFromEnv();
+
+  /// Charge `steps` units of work. Returns OK while budgets hold;
+  /// afterwards returns (and keeps returning) the terminal status.
+  Status Charge(int64_t steps = 1);
+
+  /// Add `bytes` to the memory estimate and re-check the budget.
+  Status ChargeMemory(int64_t bytes);
+
+  /// True once any budget tripped; the governor stays exhausted.
+  bool exhausted() const { return !terminal_.ok(); }
+
+  /// OK, or the terminal status that first tripped.
+  const Status& status() const { return terminal_; }
+
+  /// Record what a cancelled loop left undone (e.g. "MinimalTrees:
+  /// stopped after 3/17 roots").
+  void NoteTruncation(std::string note) {
+    truncations_.push_back(std::move(note));
+  }
+  const std::vector<std::string>& truncations() const { return truncations_; }
+
+  int64_t steps_used() const { return steps_used_; }
+  int64_t memory_used() const { return memory_used_; }
+
+  /// One-line usage summary for reports and logs.
+  std::string ToString() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Status Trip(Status status);
+
+  std::optional<Clock::time_point> deadline_;
+  std::optional<int64_t> max_steps_;
+  std::optional<int64_t> max_memory_bytes_;
+  std::optional<int64_t> fault_after_;
+  int64_t steps_used_ = 0;
+  int64_t memory_used_ = 0;
+  uint64_t deadline_check_counter_ = 0;
+  Status terminal_;  // OK until a budget trips; sticky afterwards.
+  std::vector<std::string> truncations_;
+};
+
+/// True when work may proceed: no governor, or budget left after
+/// charging `steps`. The canonical loop checkpoint.
+inline bool GovernorCharge(ResourceGovernor* governor, int64_t steps = 1) {
+  return governor == nullptr || governor->Charge(steps).ok();
+}
+
+/// True when the governor exists and has tripped (for truncation notes).
+inline bool GovernorExhausted(const ResourceGovernor* governor) {
+  return governor != nullptr && governor->exhausted();
+}
+
+}  // namespace semap
+
+#endif  // SEMAP_UTIL_BUDGET_H_

@@ -19,6 +19,10 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -20,6 +20,8 @@ enum class StatusCode {
   kParseError,
   kInternal,
   kUnsupported,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// \brief Outcome of a fallible operation: OK, or a code plus message.
@@ -49,6 +51,12 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

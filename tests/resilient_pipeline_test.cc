@@ -1,0 +1,209 @@
+// Fault-injection and resource-governance tests: at every injected
+// exhaustion point the degradation cascade must return clean, well-formed
+// (possibly degraded) mappings — never a crash, a malformed tgd, or an
+// empty-handed kInternal.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "datasets/domains.h"
+#include "datasets/examples.h"
+#include "discovery/discoverer.h"
+#include "exec/resilient_pipeline.h"
+#include "rewriting/semantic_mapper.h"
+
+namespace semap {
+namespace {
+
+eval::Domain Bookstore() {
+  auto domain = data::BuildBookstoreExample();
+  EXPECT_TRUE(domain.ok()) << domain.status();
+  return std::move(*domain);
+}
+
+/// Every emitted mapping must be a complete s-t tgd covering at least one
+/// correspondence, whatever tier produced it.
+void ExpectWellFormedMappings(const exec::ResilientResult& result) {
+  for (const exec::ResilientMapping& m : result.mappings) {
+    EXPECT_FALSE(m.tgd.source.body.empty()) << m.tgd.ToString();
+    EXPECT_FALSE(m.tgd.target.body.empty()) << m.tgd.ToString();
+    EXPECT_FALSE(m.covered.empty()) << m.tgd.ToString();
+    EXPECT_FALSE(m.target_table.empty());
+    EXPECT_NE(m.tier, exec::DegradationTier::kFailed);
+  }
+}
+
+TEST(ResilientPipelineTest, UngovernedRunStaysAtFullSemanticTier) {
+  eval::Domain domain = Bookstore();
+  auto run = exec::RunResilientPipeline(domain.source, domain.target,
+                                        domain.cases[0].correspondences);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_FALSE(run->mappings.empty());
+  ExpectWellFormedMappings(*run);
+  ASSERT_EQ(run->report.tables.size(), 1u);
+  EXPECT_EQ(run->report.tables[0].tier, exec::DegradationTier::kSemanticFull);
+  EXPECT_FALSE(run->report.AnyDegraded());
+  EXPECT_FALSE(run->report.AnyAtBaselineOrWorse());
+}
+
+TEST(ResilientPipelineTest, FaultInjectionMatrixNeverCrashesNorEmpties) {
+  eval::Domain domain = Bookstore();
+  // Exhaustion at every low expansion count, plus a spread of larger ones
+  // that land inside discovery, rewriting, and rendering respectively.
+  std::vector<int64_t> points;
+  for (int64_t n = 0; n <= 48; ++n) points.push_back(n);
+  for (int64_t n : {64, 96, 128, 192, 256, 512, 1024, 4096}) {
+    points.push_back(n);
+  }
+  for (int64_t fault_after : points) {
+    exec::ResilientPipelineOptions options;
+    options.fault_after = fault_after;
+    auto run = exec::RunResilientPipeline(domain.source, domain.target,
+                                          domain.cases[0].correspondences,
+                                          options);
+    ASSERT_TRUE(run.ok()) << "fault_after=" << fault_after << ": "
+                          << run.status();
+    EXPECT_FALSE(run->mappings.empty()) << "fault_after=" << fault_after;
+    ExpectWellFormedMappings(*run);
+    // The report names a definite tier for the (single) target table.
+    ASSERT_EQ(run->report.tables.size(), 1u);
+    const exec::TableOutcome& outcome = run->report.tables[0];
+    EXPECT_EQ(outcome.target_table, "hasBookSoldAt");
+    EXPECT_NE(outcome.tier, exec::DegradationTier::kFailed)
+        << "fault_after=" << fault_after;
+    EXPECT_STRNE(exec::TierName(outcome.tier), "unknown");
+    EXPECT_EQ(outcome.mappings, run->mappings.size());
+    // A degraded table must explain what went wrong in the tiers above.
+    if (outcome.tier != exec::DegradationTier::kSemanticFull) {
+      EXPECT_FALSE(outcome.notes.empty()) << "fault_after=" << fault_after;
+    }
+  }
+}
+
+TEST(ResilientPipelineTest, ImmediateFaultFallsBackToRicBaseline) {
+  eval::Domain domain = Bookstore();
+  exec::ResilientPipelineOptions options;
+  options.fault_after = 0;
+  auto run = exec::RunResilientPipeline(domain.source, domain.target,
+                                        domain.cases[0].correspondences,
+                                        options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_EQ(run->report.tables.size(), 1u);
+  EXPECT_EQ(run->report.tables[0].tier, exec::DegradationTier::kRicBaseline);
+  EXPECT_FALSE(run->mappings.empty());
+  EXPECT_TRUE(run->report.AnyAtBaselineOrWorse());
+  for (const exec::ResilientMapping& m : run->mappings) {
+    EXPECT_EQ(m.tier, exec::DegradationTier::kRicBaseline);
+  }
+}
+
+TEST(ResilientPipelineTest, EnvKnobInjectsTheSameFault) {
+  eval::Domain domain = Bookstore();
+  ASSERT_EQ(setenv("SEMAP_FAULT_AFTER", "0", 1), 0);
+  auto run = exec::RunResilientPipeline(domain.source, domain.target,
+                                        domain.cases[0].correspondences);
+  ASSERT_EQ(unsetenv("SEMAP_FAULT_AFTER"), 0);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_EQ(run->report.tables.size(), 1u);
+  EXPECT_EQ(run->report.tables[0].tier, exec::DegradationTier::kRicBaseline);
+  EXPECT_FALSE(run->mappings.empty());
+}
+
+TEST(ResilientPipelineTest, ZeroStepBudgetFallsBackCleanly) {
+  eval::Domain domain = Bookstore();
+  exec::ResilientPipelineOptions options;
+  options.max_steps = 0;
+  auto run = exec::RunResilientPipeline(domain.source, domain.target,
+                                        domain.cases[0].correspondences,
+                                        options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_FALSE(run->mappings.empty());
+  ExpectWellFormedMappings(*run);
+  EXPECT_EQ(run->report.tables[0].tier, exec::DegradationTier::kRicBaseline);
+}
+
+TEST(ResilientPipelineTest, ExpiredDeadlineFailsCleanNotCrash) {
+  eval::Domain domain = Bookstore();
+  exec::ResilientPipelineOptions options;
+  options.deadline_ms = 0;
+  auto run = exec::RunResilientPipeline(domain.source, domain.target,
+                                        domain.cases[0].correspondences,
+                                        options);
+  // Everything (including the baseline) is deadline-bound, so the table
+  // may fail — but it must fail *clean*: an explained tier in the report,
+  // no error status, no malformed mapping.
+  ASSERT_TRUE(run.ok()) << run.status();
+  ExpectWellFormedMappings(*run);
+  ASSERT_EQ(run->report.tables.size(), 1u);
+  EXPECT_FALSE(run->report.tables[0].notes.empty());
+}
+
+TEST(ResilientPipelineTest, ReportPrintsTierPerTable) {
+  eval::Domain domain = Bookstore();
+  exec::ResilientPipelineOptions options;
+  options.fault_after = 0;
+  auto run = exec::RunResilientPipeline(domain.source, domain.target,
+                                        domain.cases[0].correspondences,
+                                        options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  std::string report = run->report.ToString();
+  EXPECT_NE(report.find("hasBookSoldAt"), std::string::npos) << report;
+  EXPECT_NE(report.find("ric-baseline"), std::string::npos) << report;
+}
+
+// --- Governed discovery on the largest built-in dataset -----------------
+
+TEST(GovernedDiscoveryTest, ExpiredDeadlineReturnsAnnotatedPartialResult) {
+  auto domain = data::BuildUniversity();  // 105/62 CM nodes: the largest CMs
+  ASSERT_TRUE(domain.ok()) << domain.status();
+  ResourceGovernor governor;
+  governor.set_deadline_ms(-1);  // already expired
+  disc::DiscoveryOptions options;
+  options.governor = &governor;
+  disc::Discoverer discoverer(domain->source, domain->target,
+                              domain->cases[0].correspondences, options);
+  auto candidates = discoverer.Run();
+  // Exhaustion is not an error: discovery returns what it had (possibly
+  // nothing) and the governor carries the deadline annotation.
+  ASSERT_TRUE(candidates.ok()) << candidates.status();
+  EXPECT_EQ(governor.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(governor.exhausted());
+}
+
+TEST(GovernedDiscoveryTest, MillisecondDeadlineTerminatesPipeline) {
+  auto domain = data::BuildUniversity();
+  ASSERT_TRUE(domain.ok()) << domain.status();
+  ResourceGovernor governor;
+  governor.set_deadline_ms(1);
+  rew::SemanticMapperOptions options;
+  options.discovery.governor = &governor;
+  auto mappings = rew::GenerateSemanticMappings(
+      domain->source, domain->target, domain->cases[0].correspondences,
+      options);
+  // Must come back promptly (ctest would time the whole binary out
+  // otherwise) and cleanly, with or without partial mappings.
+  ASSERT_TRUE(mappings.ok()) << mappings.status();
+  if (governor.exhausted()) {
+    EXPECT_EQ(governor.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(GovernedDiscoveryTest, StepBudgetBoundsSearchWithPartialResults) {
+  auto domain = data::BuildUniversity();
+  ASSERT_TRUE(domain.ok()) << domain.status();
+  ResourceGovernor governor;
+  governor.set_max_steps(0);
+  disc::DiscoveryOptions options;
+  options.governor = &governor;
+  disc::Discoverer discoverer(domain->source, domain->target,
+                              domain->cases[0].correspondences, options);
+  auto candidates = discoverer.Run();
+  ASSERT_TRUE(candidates.ok()) << candidates.status();
+  EXPECT_TRUE(governor.exhausted());
+  EXPECT_EQ(governor.status().code(), StatusCode::kResourceExhausted);
+  // The cancelled loops say what they left unexplored.
+  EXPECT_FALSE(governor.truncations().empty());
+}
+
+}  // namespace
+}  // namespace semap

@@ -6,10 +6,12 @@
 
 #include <random>
 
+#include "cm/graph.h"
 #include "cm/parser.h"
 #include "discovery/correspondence.h"
 #include "logic/parser.h"
 #include "relational/schema_parser.h"
+#include "semantics/semantics_parser.h"
 
 namespace semap {
 namespace {
@@ -40,6 +42,68 @@ constexpr const char* kCorrText = R"(
 a.x <-> b.y;
 c.z <-> d.w;
 )";
+
+constexpr const char* kSemText = R"(
+semantics person {
+  node p: Person;
+  anchor p;
+  col pid -> p.pid;
+  col name -> p.name;
+}
+semantics pet {
+  node q: Pet; node p: Person;
+  edge owns p q;
+  anchor q;
+  col petid -> q.petid;
+}
+semantics adoption {
+  node a: Adoption; node p: Person; node q: Pet;
+  edge who a p; edge what a q;
+  anchor a;
+  col date -> a.date;
+}
+)";
+
+/// The CM graph the semantics sweeps resolve against; built once from the
+/// (valid) kCmText.
+const cm::CmGraph& SemGraph() {
+  static const cm::CmGraph* graph = [] {
+    auto model = cm::ParseCm(kCmText);
+    EXPECT_TRUE(model.ok()) << model.status();
+    auto built = cm::CmGraph::Build(*model);
+    EXPECT_TRUE(built.ok()) << built.status();
+    return new cm::CmGraph(std::move(*built));
+  }();
+  return *graph;
+}
+
+/// Structural sanity of any *accepted* semantics parse: aliases resolve,
+/// edges and bindings point inside the tree, anchors are in range.
+void ExpectWellFormedTrees(const std::vector<sem::STree>& trees) {
+  for (const sem::STree& tree : trees) {
+    EXPECT_FALSE(tree.table.empty());
+    for (const sem::STreeNode& node : tree.nodes) {
+      EXPECT_GE(node.graph_node, 0);
+      EXPECT_LT(node.graph_node, static_cast<int>(SemGraph().nodes().size()));
+    }
+    const int n = static_cast<int>(tree.nodes.size());
+    for (const sem::STreeEdge& edge : tree.edges) {
+      EXPECT_GE(edge.from, 0);
+      EXPECT_LT(edge.from, n);
+      EXPECT_GE(edge.to, 0);
+      EXPECT_LT(edge.to, n);
+    }
+    for (const sem::ColumnBinding& binding : tree.bindings) {
+      EXPECT_GE(binding.node, 0);
+      EXPECT_LT(binding.node, n);
+      EXPECT_FALSE(binding.column.empty());
+    }
+    if (tree.anchor.has_value()) {
+      EXPECT_GE(*tree.anchor, 0);
+      EXPECT_LT(*tree.anchor, n);
+    }
+  }
+}
 
 std::string Mutate(const std::string& input, unsigned seed) {
   std::mt19937 rng(seed);
@@ -106,14 +170,40 @@ TEST(RobustnessTest, CorrespondenceParserSurvivesMutations) {
   }
 }
 
+TEST(RobustnessTest, SemanticsFixtureParses) {
+  auto result = sem::ParseSemantics(SemGraph(), kSemText);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 3u);
+  ExpectWellFormedTrees(*result);
+}
+
+TEST(RobustnessTest, SemanticsParserSurvivesAllPrefixes) {
+  std::string text = kSemText;
+  for (size_t cut = 0; cut <= text.size(); ++cut) {
+    auto result = sem::ParseSemantics(SemGraph(), text.substr(0, cut));
+    if (result.ok()) ExpectWellFormedTrees(*result);
+  }
+}
+
+TEST(RobustnessTest, SemanticsParserSurvivesMutations) {
+  for (unsigned seed = 0; seed < 200; ++seed) {
+    auto result = sem::ParseSemantics(SemGraph(), Mutate(kSemText, seed));
+    if (result.ok()) ExpectWellFormedTrees(*result);
+  }
+}
+
 TEST(RobustnessTest, LogicParsersSurviveMutations) {
   const std::string cq = "ans(v0, v1) :- p(v0, x), q(x, v1), r(f(x))";
   const std::string tgd = "p(a, b), q(b) -> r(a, c), s(c, b)";
   for (unsigned seed = 0; seed < 200; ++seed) {
     auto q = logic::ParseCq(Mutate(cq, seed));
-    if (q.ok()) EXPECT_FALSE(q->body.empty());
+    if (q.ok()) {
+      EXPECT_FALSE(q->body.empty());
+    }
     auto t = logic::ParseTgd(Mutate(tgd, seed + 1000));
-    if (t.ok()) EXPECT_FALSE(t->target.body.empty());
+    if (t.ok()) {
+      EXPECT_FALSE(t->target.body.empty());
+    }
   }
 }
 
@@ -128,6 +218,7 @@ TEST(RobustnessTest, GarbageInputsRejectedCleanly) {
     (void)disc::ParseCorrespondences(text);
     (void)logic::ParseCq(text);
     (void)logic::ParseTgd(text);
+    (void)sem::ParseSemantics(SemGraph(), text);
   }
   SUCCEED();
 }

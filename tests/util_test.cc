@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <sstream>
+
+#include "util/budget.h"
 #include "util/lexer.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -20,6 +24,84 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.code(), StatusCode::kNotFound);
   EXPECT_EQ(s.message(), "missing thing");
   EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, ResourceCodesPrintTheirNames) {
+  Status deadline = Status::DeadlineExceeded("took too long");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: took too long");
+  Status exhausted = Status::ResourceExhausted("out of steps");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.ToString(), "ResourceExhausted: out of steps");
+}
+
+TEST(StatusTest, ResourceCodesStreamCleanly) {
+  std::ostringstream out;
+  out << Status::DeadlineExceeded("d") << " / " << Status::ResourceExhausted("r");
+  EXPECT_EQ(out.str(), "DeadlineExceeded: d / ResourceExhausted: r");
+}
+
+TEST(GovernorTest, UnlimitedByDefault) {
+  ResourceGovernor governor;
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(governor.Charge().ok());
+  EXPECT_FALSE(governor.exhausted());
+  EXPECT_EQ(governor.steps_used(), 1000);
+}
+
+TEST(GovernorTest, StepBudgetTripsAndStaysTripped) {
+  ResourceGovernor governor;
+  governor.set_max_steps(3);
+  EXPECT_TRUE(governor.Charge().ok());
+  EXPECT_TRUE(governor.Charge().ok());
+  EXPECT_TRUE(governor.Charge().ok());
+  Status tripped = governor.Charge();
+  EXPECT_EQ(tripped.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(governor.exhausted());
+  // Sticky: the same terminal status keeps coming back.
+  EXPECT_EQ(governor.Charge().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(governor.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorTest, ExpiredDeadlineTripsOnFirstCharge) {
+  ResourceGovernor governor;
+  governor.set_deadline_ms(-1);
+  EXPECT_EQ(governor.Charge().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(GovernorTest, MemoryBudgetTrips) {
+  ResourceGovernor governor;
+  governor.set_max_memory_bytes(100);
+  EXPECT_TRUE(governor.ChargeMemory(60).ok());
+  EXPECT_EQ(governor.ChargeMemory(60).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorTest, FaultInjectionIsDeterministic) {
+  ResourceGovernor governor;
+  governor.InjectFailureAfter(5);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(governor.Charge().ok()) << i;
+  EXPECT_EQ(governor.Charge().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorTest, FaultAfterFromEnv) {
+  ASSERT_EQ(setenv("SEMAP_FAULT_AFTER", "42", 1), 0);
+  auto parsed = ResourceGovernor::FaultAfterFromEnv();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, 42);
+  ASSERT_EQ(setenv("SEMAP_FAULT_AFTER", "nonsense", 1), 0);
+  EXPECT_FALSE(ResourceGovernor::FaultAfterFromEnv().has_value());
+  ASSERT_EQ(unsetenv("SEMAP_FAULT_AFTER"), 0);
+  EXPECT_FALSE(ResourceGovernor::FaultAfterFromEnv().has_value());
+}
+
+TEST(GovernorTest, TruncationNotesAndToString) {
+  ResourceGovernor governor;
+  governor.set_max_steps(1);
+  (void)governor.Charge(2);
+  governor.NoteTruncation("search: stopped at 1/10 roots");
+  ASSERT_EQ(governor.truncations().size(), 1u);
+  std::string summary = governor.ToString();
+  EXPECT_NE(summary.find("steps=2/1"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("ResourceExhausted"), std::string::npos) << summary;
 }
 
 TEST(ResultTest, HoldsValue) {

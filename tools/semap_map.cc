@@ -4,6 +4,16 @@
 //   semap_map <src.schema> <src.cm> <src.sem>
 //             <tgt.schema> <tgt.cm> <tgt.sem> <correspondences>
 //             [--baseline] [--hints] [--variants] [--sql]
+//             [--resilient] [--deadline-ms=N] [--max-steps=N]
+//
+// --deadline-ms / --max-steps (or --resilient alone, ungoverned) switch
+// to the resource-governed degradation cascade: full semantic discovery,
+// then restricted semantic discovery, then the RIC baseline, per target
+// table. The DegradationReport is printed after the mappings.
+//
+// Exit codes: 0 success, 1 input/pipeline error, 2 usage,
+// 3 = at least one table degraded to the RIC tier or failed (mappings
+// were still emitted; the report says which tables degraded and why).
 //
 // Sample inputs live in examples/data/bookstore/:
 //
@@ -11,6 +21,7 @@
 //       examples/data/bookstore/target.{schema,cm,sem}
 //       examples/data/bookstore/correspondences.txt --hints
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -18,6 +29,7 @@
 
 #include "baseline/ric_mapper.h"
 #include "datasets/builder_util.h"
+#include "exec/resilient_pipeline.h"
 #include "rewriting/semantic_mapper.h"
 #include "rewriting/sql.h"
 
@@ -42,7 +54,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <src.schema> <src.cm> <src.sem> <tgt.schema> "
                  "<tgt.cm> <tgt.sem> <corrs> [--baseline] [--hints] "
-                 "[--variants] [--sql]\n",
+                 "[--variants] [--sql] [--resilient] [--deadline-ms=N] "
+                 "[--max-steps=N]\n"
+                 "exit codes: 0 ok, 1 error, 2 usage, 3 degraded to the "
+                 "RIC tier (see the printed degradation report)\n",
                  argv[0]);
     return 2;
   }
@@ -50,11 +65,35 @@ int main(int argc, char** argv) {
   bool show_hints = false;
   bool show_variants = false;
   bool show_sql = false;
+  bool resilient = false;
+  long long deadline_ms = -1;
+  long long max_steps = -1;
   for (int i = 8; i < argc; ++i) {
     if (std::strcmp(argv[i], "--baseline") == 0) show_baseline = true;
     if (std::strcmp(argv[i], "--hints") == 0) show_hints = true;
     if (std::strcmp(argv[i], "--variants") == 0) show_variants = true;
     if (std::strcmp(argv[i], "--sql") == 0) show_sql = true;
+    if (std::strcmp(argv[i], "--resilient") == 0) resilient = true;
+    if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      char* end = nullptr;
+      deadline_ms = std::strtoll(argv[i] + 14, &end, 10);
+      if (end == argv[i] + 14 || *end != '\0') {
+        std::fprintf(stderr, "error: --deadline-ms wants an integer, got %s\n",
+                     argv[i] + 14);
+        return 2;
+      }
+      resilient = true;
+    }
+    if (std::strncmp(argv[i], "--max-steps=", 12) == 0) {
+      char* end = nullptr;
+      max_steps = std::strtoll(argv[i] + 12, &end, 10);
+      if (end == argv[i] + 12 || *end != '\0') {
+        std::fprintf(stderr, "error: --max-steps wants an integer, got %s\n",
+                     argv[i] + 12);
+        return 2;
+      }
+      resilient = true;
+    }
   }
 
   std::string texts[7];
@@ -89,6 +128,31 @@ int main(int argc, char** argv) {
   std::printf("%zu correspondence(s):\n", correspondences->size());
   for (const auto& c : *correspondences) {
     std::printf("  %s\n", c.ToString().c_str());
+  }
+
+  if (resilient) {
+    exec::ResilientPipelineOptions opts;
+    opts.deadline_ms = deadline_ms;
+    opts.max_steps = max_steps;
+    auto run = exec::RunResilientPipeline(*source, *target, *correspondences,
+                                          opts);
+    if (!run.ok()) {
+      std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n%zu mapping(s):\n", run->mappings.size());
+    int index = 1;
+    for (const auto& m : run->mappings) {
+      std::printf("[%d] (%s) %s\n", index, exec::TierName(m.tier),
+                  m.tgd.ToString().c_str());
+      if (!m.source_algebra.empty()) {
+        std::printf("    source: %s\n", m.source_algebra.c_str());
+        std::printf("    target: %s\n", m.target_algebra.c_str());
+      }
+      ++index;
+    }
+    std::printf("\n%s", run->report.ToString().c_str());
+    return run->report.AnyAtBaselineOrWorse() ? 3 : 0;
   }
 
   auto mappings =
