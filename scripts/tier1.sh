@@ -1,14 +1,20 @@
 #!/bin/sh
 # Tier-1 verification: the standard build + full test suite, then the
-# robustness/governance tests again under ASan+UBSan (-DSEMAP_SANITIZE=ON).
+# robustness/governance/validation tests again under ASan+UBSan
+# (-DSEMAP_SANITIZE=ON).
 set -eu
 cd "$(dirname "$0")/.."
 
+jobs="$(nproc 2>/dev/null || echo 4)"
+
 cmake -B build -S .
-cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+cmake --build build -j "$jobs"
+(cd build && ctest --output-on-failure -j "$jobs")
 
 cmake -B build-asan -S . -DSEMAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-asan -j --target robustness_test resilient_pipeline_test util_test
-(cd build-asan && ctest --output-on-failure -j \
-  -R 'RobustnessTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|StatusTest')
+cmake --build build-asan -j "$jobs" --target robustness_test \
+  resilient_pipeline_test util_test validate_test
+# Note: ctest's -j needs an explicit value here — a bare -j would swallow
+# the -R flag and run the NOT_BUILT placeholders of the unbuilt targets.
+(cd build-asan && ctest --output-on-failure -j "$jobs" \
+  -R 'RobustnessTest|CorpusSweepTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|StatusTest|DiagTest|GoldenDiagnosticsTest|CrossCheckTest|TgdCheckTest|QuarantineScenarioTest')

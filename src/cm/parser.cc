@@ -1,5 +1,8 @@
 #include "cm/parser.h"
 
+#include <set>
+#include <utility>
+
 #include "util/lexer.h"
 
 namespace semap::cm {
@@ -7,8 +10,13 @@ namespace semap::cm {
 namespace {
 
 // cardinality := INT '..' (INT | '*')
-Result<Cardinality> ParseCardinality(TokenCursor& cur) {
+//
+// `sink` (nullable) enables recovery-mode reporting: an inverted range is
+// reported as kBadCardinality (and the statement abandoned via the
+// AlreadyDiagnosed sentinel); a 0..0 range is kept but warned about.
+Result<Cardinality> ParseCardinality(TokenCursor& cur, DiagnosticSink* sink) {
   Cardinality card;
+  SourceSpan span = cur.SpanHere();
   SEMAP_ASSIGN_OR_RETURN(long min, cur.ExpectInteger());
   card.min = static_cast<int>(min);
   SEMAP_RETURN_NOT_OK(cur.ExpectPunct(".."));
@@ -19,37 +27,40 @@ Result<Cardinality> ParseCardinality(TokenCursor& cur) {
     card.max = static_cast<int>(max);
   }
   if (card.max != kMany && card.max < card.min) {
+    if (sink != nullptr) {
+      sink->Error(diag::kBadCardinality, "cardinality max must be >= min",
+                  span, "write 'min..max' with min <= max, or 'min..*'");
+      return AlreadyDiagnosed();
+    }
     return cur.ErrorHere("cardinality max must be >= min");
+  }
+  if (sink != nullptr && card.min == 0 && card.max == 0) {
+    sink->Warning(diag::kEmptyCardinality,
+                  "cardinality 0..0 forbids all participation", span);
   }
   return card;
 }
 
-// attribute entries inside '{ ... }': name ['key'] ';'
-Result<std::vector<CmAttribute>> ParseAttributeBlock(TokenCursor& cur) {
-  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("{"));
-  std::vector<CmAttribute> attrs;
-  while (!cur.TryConsumePunct("}")) {
-    CmAttribute attr;
-    SEMAP_ASSIGN_OR_RETURN(attr.name, cur.ExpectIdentifier());
-    if (cur.TryConsumeIdent("key")) attr.is_key = true;
-    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
-    attrs.push_back(std::move(attr));
-  }
-  return attrs;
-}
-
-Status ParseClass(TokenCursor& cur, ConceptualModel& model) {
+Result<CmClass> ParseClassStmt(TokenCursor& cur) {
   CmClass cls;
   SEMAP_ASSIGN_OR_RETURN(cls.name, cur.ExpectIdentifier());
   if (cur.Peek().IsPunct("{")) {
-    SEMAP_ASSIGN_OR_RETURN(cls.attributes, ParseAttributeBlock(cur));
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct("{"));
+    while (!cur.TryConsumePunct("}")) {
+      CmAttribute attr;
+      SEMAP_ASSIGN_OR_RETURN(attr.name, cur.ExpectIdentifier());
+      if (cur.TryConsumeIdent("key")) attr.is_key = true;
+      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+      cls.attributes.push_back(std::move(attr));
+    }
   } else {
     SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
   }
-  return model.AddClass(std::move(cls));
+  return cls;
 }
 
-Status ParseRelationship(TokenCursor& cur, ConceptualModel& model) {
+Result<CmRelationship> ParseRelationshipStmt(TokenCursor& cur,
+                                             DiagnosticSink* sink) {
   CmRelationship rel;
   if (cur.TryConsumeIdent("partof")) {
     rel.semantic_type = SemanticType::kPartOf;
@@ -59,35 +70,35 @@ Status ParseRelationship(TokenCursor& cur, ConceptualModel& model) {
   SEMAP_RETURN_NOT_OK(cur.ExpectPunct("--"));
   SEMAP_ASSIGN_OR_RETURN(rel.to_class, cur.ExpectIdentifier());
   if (cur.TryConsumeIdent("fwd")) {
-    SEMAP_ASSIGN_OR_RETURN(rel.forward, ParseCardinality(cur));
+    SEMAP_ASSIGN_OR_RETURN(rel.forward, ParseCardinality(cur, sink));
   }
   if (cur.TryConsumeIdent("inv")) {
-    SEMAP_ASSIGN_OR_RETURN(rel.inverse, ParseCardinality(cur));
+    SEMAP_ASSIGN_OR_RETURN(rel.inverse, ParseCardinality(cur, sink));
   }
   SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
-  return model.AddRelationship(std::move(rel));
+  return rel;
 }
 
-Status ParseIsa(TokenCursor& cur, ConceptualModel& model) {
+Result<IsaLink> ParseIsaStmt(TokenCursor& cur) {
   IsaLink link;
   SEMAP_ASSIGN_OR_RETURN(link.sub, cur.ExpectIdentifier());
   SEMAP_RETURN_NOT_OK(cur.ExpectPunct("->"));
   SEMAP_ASSIGN_OR_RETURN(link.super, cur.ExpectIdentifier());
   SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
-  return model.AddIsa(std::move(link));
+  return link;
 }
 
-Status ParseDisjoint(TokenCursor& cur, ConceptualModel& model) {
+Result<DisjointnessConstraint> ParseDisjointStmt(TokenCursor& cur) {
   DisjointnessConstraint constraint;
   do {
     SEMAP_ASSIGN_OR_RETURN(std::string cls, cur.ExpectIdentifier());
     constraint.classes.push_back(std::move(cls));
   } while (cur.TryConsumePunct(","));
   SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
-  return model.AddDisjointness(std::move(constraint));
+  return constraint;
 }
 
-Status ParseCovers(TokenCursor& cur, ConceptualModel& model) {
+Result<CoveringConstraint> ParseCoversStmt(TokenCursor& cur) {
   CoveringConstraint constraint;
   SEMAP_ASSIGN_OR_RETURN(constraint.super, cur.ExpectIdentifier());
   SEMAP_RETURN_NOT_OK(cur.ExpectPunct("="));
@@ -96,10 +107,11 @@ Status ParseCovers(TokenCursor& cur, ConceptualModel& model) {
     constraint.subs.push_back(std::move(cls));
   } while (cur.TryConsumePunct(","));
   SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
-  return model.AddCovering(std::move(constraint));
+  return constraint;
 }
 
-Status ParseReified(TokenCursor& cur, ConceptualModel& model) {
+Result<ReifiedRelationship> ParseReifiedStmt(TokenCursor& cur,
+                                             DiagnosticSink* sink) {
   ReifiedRelationship reified;
   if (cur.TryConsumeIdent("partof")) {
     reified.semantic_type = SemanticType::kPartOf;
@@ -113,7 +125,7 @@ Status ParseReified(TokenCursor& cur, ConceptualModel& model) {
       SEMAP_RETURN_NOT_OK(cur.ExpectPunct("->"));
       SEMAP_ASSIGN_OR_RETURN(role.filler_class, cur.ExpectIdentifier());
       if (cur.TryConsumeIdent("part")) {
-        SEMAP_ASSIGN_OR_RETURN(role.participation, ParseCardinality(cur));
+        SEMAP_ASSIGN_OR_RETURN(role.participation, ParseCardinality(cur, sink));
       }
       SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
       reified.roles.push_back(std::move(role));
@@ -127,7 +139,143 @@ Status ParseReified(TokenCursor& cur, ConceptualModel& model) {
       return cur.ErrorHere("expected 'role' or 'attr' in reified block");
     }
   }
-  return model.AddReified(std::move(reified));
+  return reified;
+}
+
+// --- Recovery-mode assembly ---------------------------------------------
+
+template <typename T>
+struct Spanned {
+  T value;
+  SourceSpan span;
+};
+
+/// Everything the recovery-mode statement loop collected; assembled into a
+/// ConceptualModel afterwards so that forward references work and broken
+/// pieces can be dropped with precise diagnostics.
+struct ParsedCm {
+  std::string name;
+  std::vector<Spanned<CmClass>> classes;
+  std::vector<Spanned<CmRelationship>> relationships;
+  std::vector<Spanned<IsaLink>> isa_links;
+  std::vector<Spanned<DisjointnessConstraint>> disjointness;
+  std::vector<Spanned<CoveringConstraint>> coverings;
+  std::vector<Spanned<ReifiedRelationship>> reified;
+};
+
+void SyncToStatement(TokenCursor& cur) {
+  cur.SynchronizeTo({"class", "rel", "isa", "disjoint", "covers", "reified"});
+}
+
+ParsedCm CollectStatements(TokenCursor& cur, DiagnosticSink& sink) {
+  ParsedCm out;
+  if (cur.TryConsumeIdent("cm")) {
+    auto name = cur.ExpectIdentifier();
+    Status header = name.ok() ? cur.ExpectPunct(";") : name.status();
+    if (header.ok()) {
+      out.name = std::move(*name);
+    } else {
+      cur.DiagnoseHere(sink, header);
+      SyncToStatement(cur);
+    }
+  }
+  while (!cur.AtEnd()) {
+    SourceSpan span = cur.SpanHere();
+    Status failed = Status::OK();
+    if (cur.TryConsumeIdent("class")) {
+      span = cur.SpanHere();
+      auto cls = ParseClassStmt(cur);
+      if (cls.ok()) out.classes.push_back({std::move(*cls), span});
+      failed = cls.status();
+    } else if (cur.TryConsumeIdent("rel")) {
+      span = cur.SpanHere();
+      auto rel = ParseRelationshipStmt(cur, &sink);
+      if (rel.ok()) out.relationships.push_back({std::move(*rel), span});
+      failed = rel.status();
+    } else if (cur.TryConsumeIdent("isa")) {
+      span = cur.SpanHere();
+      auto link = ParseIsaStmt(cur);
+      if (link.ok()) out.isa_links.push_back({std::move(*link), span});
+      failed = link.status();
+    } else if (cur.TryConsumeIdent("disjoint")) {
+      span = cur.SpanHere();
+      auto constraint = ParseDisjointStmt(cur);
+      if (constraint.ok()) {
+        out.disjointness.push_back({std::move(*constraint), span});
+      }
+      failed = constraint.status();
+    } else if (cur.TryConsumeIdent("covers")) {
+      span = cur.SpanHere();
+      auto constraint = ParseCoversStmt(cur);
+      if (constraint.ok()) out.coverings.push_back({std::move(*constraint), span});
+      failed = constraint.status();
+    } else if (cur.TryConsumeIdent("reified")) {
+      span = cur.SpanHere();
+      auto reified = ParseReifiedStmt(cur, &sink);
+      if (reified.ok()) out.reified.push_back({std::move(*reified), span});
+      failed = reified.status();
+    } else {
+      failed = cur.ErrorHere(
+          "expected 'class', 'rel', 'isa', 'disjoint', 'covers' or 'reified'");
+    }
+    if (!failed.ok()) {
+      cur.DiagnoseHere(sink, failed);
+      SyncToStatement(cur);
+    }
+  }
+  return out;
+}
+
+/// Drop reified relationships that are structurally broken (< 2 distinct
+/// roles) or whose roles reference classes that do not survive, iterating
+/// because dropping one reified class can invalidate another's role.
+void FilterReified(ParsedCm& parsed, const std::set<std::string>& class_names,
+                   DiagnosticSink& sink) {
+  auto structurally_ok = [&sink](const Spanned<ReifiedRelationship>& r) {
+    std::set<std::string> role_names;
+    for (const Role& role : r.value.roles) role_names.insert(role.name);
+    if (role_names.size() != r.value.roles.size()) {
+      sink.Error(diag::kDuplicateDefinition,
+                 "reified relationship '" + r.value.class_name +
+                     "' has duplicate role names",
+                 r.span, "the reified declaration was dropped");
+      return false;
+    }
+    if (role_names.size() < 2) {
+      sink.Error(diag::kFewRoles,
+                 "reified relationship '" + r.value.class_name +
+                     "' needs at least two distinct roles",
+                 r.span, "the reified declaration was dropped");
+      return false;
+    }
+    return true;
+  };
+  std::erase_if(parsed.reified, [&](const Spanned<ReifiedRelationship>& r) {
+    return !structurally_ok(r);
+  });
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::set<std::string> known = class_names;
+    for (const Spanned<ReifiedRelationship>& r : parsed.reified) {
+      known.insert(r.value.class_name);
+    }
+    std::erase_if(parsed.reified, [&](const Spanned<ReifiedRelationship>& r) {
+      for (const Role& role : r.value.roles) {
+        if (known.count(role.filler_class) == 0) {
+          sink.Error(diag::kUnknownClass,
+                     "reified '" + r.value.class_name + "' role '" +
+                         role.name + "' references unknown class '" +
+                         role.filler_class + "'",
+                     r.span, "the reified declaration was dropped");
+          changed = true;
+          return true;
+        }
+      }
+      return false;
+    });
+  }
 }
 
 }  // namespace
@@ -143,23 +291,161 @@ Result<ConceptualModel> ParseCm(std::string_view input) {
   }
   while (!cur.AtEnd()) {
     if (cur.TryConsumeIdent("class")) {
-      SEMAP_RETURN_NOT_OK(ParseClass(cur, model));
+      SEMAP_ASSIGN_OR_RETURN(CmClass cls, ParseClassStmt(cur));
+      SEMAP_RETURN_NOT_OK(model.AddClass(std::move(cls)));
     } else if (cur.TryConsumeIdent("rel")) {
-      SEMAP_RETURN_NOT_OK(ParseRelationship(cur, model));
+      SEMAP_ASSIGN_OR_RETURN(CmRelationship rel,
+                             ParseRelationshipStmt(cur, nullptr));
+      SEMAP_RETURN_NOT_OK(model.AddRelationship(std::move(rel)));
     } else if (cur.TryConsumeIdent("isa")) {
-      SEMAP_RETURN_NOT_OK(ParseIsa(cur, model));
+      SEMAP_ASSIGN_OR_RETURN(IsaLink link, ParseIsaStmt(cur));
+      SEMAP_RETURN_NOT_OK(model.AddIsa(std::move(link)));
     } else if (cur.TryConsumeIdent("disjoint")) {
-      SEMAP_RETURN_NOT_OK(ParseDisjoint(cur, model));
+      SEMAP_ASSIGN_OR_RETURN(DisjointnessConstraint constraint,
+                             ParseDisjointStmt(cur));
+      SEMAP_RETURN_NOT_OK(model.AddDisjointness(std::move(constraint)));
     } else if (cur.TryConsumeIdent("covers")) {
-      SEMAP_RETURN_NOT_OK(ParseCovers(cur, model));
+      SEMAP_ASSIGN_OR_RETURN(CoveringConstraint constraint,
+                             ParseCoversStmt(cur));
+      SEMAP_RETURN_NOT_OK(model.AddCovering(std::move(constraint)));
     } else if (cur.TryConsumeIdent("reified")) {
-      SEMAP_RETURN_NOT_OK(ParseReified(cur, model));
+      SEMAP_ASSIGN_OR_RETURN(ReifiedRelationship reified,
+                             ParseReifiedStmt(cur, nullptr));
+      SEMAP_RETURN_NOT_OK(model.AddReified(std::move(reified)));
     } else {
       return cur.ErrorHere(
           "expected 'class', 'rel', 'isa', 'disjoint', 'covers' or 'reified'");
     }
   }
   SEMAP_RETURN_NOT_OK(model.Validate());
+  return model;
+}
+
+ConceptualModel ParseCmLenient(std::string_view input, DiagnosticSink& sink) {
+  TokenCursor cur(TokenizeLenient(input, sink));
+  ParsedCm parsed = CollectStatements(cur, sink);
+
+  ConceptualModel model;
+  model.set_name(parsed.name);
+
+  // Classes first: relationships and constraints may reference classes
+  // declared later in the file.
+  for (Spanned<CmClass>& cls : parsed.classes) {
+    std::string name = cls.value.name;
+    Status added = model.AddClass(std::move(cls.value));
+    if (!added.ok()) {
+      const char* code = model.FindClass(name) != nullptr
+                             ? diag::kDuplicateDefinition
+                             : diag::kDuplicateAttribute;
+      sink.Error(code, added.message(), cls.span,
+                 "the class declaration was dropped");
+    }
+  }
+
+  std::set<std::string> class_names;
+  for (const CmClass& cls : model.classes()) class_names.insert(cls.name);
+  FilterReified(parsed, class_names, sink);
+  for (Spanned<ReifiedRelationship>& r : parsed.reified) {
+    Status added = model.AddReified(std::move(r.value));
+    if (!added.ok()) {
+      sink.Error(diag::kDuplicateDefinition, added.message(), r.span,
+                 "the reified declaration was dropped");
+    }
+  }
+
+  auto known = [&model](const std::string& name) {
+    return model.FindClass(name) != nullptr ||
+           model.FindReified(name) != nullptr;
+  };
+  auto report_unknown = [&sink](const std::string& what,
+                                const std::string& name, SourceSpan span) {
+    sink.Error(diag::kUnknownClass,
+               what + " references unknown class '" + name + "'", span,
+               "declare the class or drop the reference");
+  };
+
+  for (Spanned<CmRelationship>& rel : parsed.relationships) {
+    if (!known(rel.value.from_class)) {
+      report_unknown("relationship '" + rel.value.name + "'",
+                     rel.value.from_class, rel.span);
+      continue;
+    }
+    if (!known(rel.value.to_class)) {
+      report_unknown("relationship '" + rel.value.name + "'",
+                     rel.value.to_class, rel.span);
+      continue;
+    }
+    Status added = model.AddRelationship(std::move(rel.value));
+    if (!added.ok()) {
+      sink.Error(diag::kDuplicateDefinition, added.message(), rel.span,
+                 "the relationship was dropped");
+    }
+  }
+
+  for (Spanned<IsaLink>& link : parsed.isa_links) {
+    if (!known(link.value.sub) || !known(link.value.super)) {
+      report_unknown("ISA link",
+                     known(link.value.sub) ? link.value.super : link.value.sub,
+                     link.span);
+      continue;
+    }
+    // Adding sub -> super closes a cycle iff super already reaches sub.
+    if (model.IsSubclassOf(link.value.super, link.value.sub)) {
+      sink.Error(diag::kIsaCycle,
+                 "ISA " + link.value.sub + " -> " + link.value.super +
+                     " would close an ISA cycle",
+                 link.span, "the ISA link was dropped");
+      continue;
+    }
+    Status added = model.AddIsa(std::move(link.value));
+    if (!added.ok()) {
+      sink.Error(diag::kDuplicateDefinition, added.message(), link.span,
+                 "the duplicate ISA link was dropped");
+    }
+  }
+
+  for (Spanned<DisjointnessConstraint>& d : parsed.disjointness) {
+    bool ok = true;
+    for (const std::string& cls : d.value.classes) {
+      if (!known(cls)) {
+        report_unknown("disjointness constraint", cls, d.span);
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    Status added = model.AddDisjointness(std::move(d.value));
+    if (!added.ok()) {
+      sink.Error(diag::kUnexpectedToken, added.message(), d.span,
+                 "the disjointness constraint was dropped");
+    }
+  }
+
+  for (Spanned<CoveringConstraint>& cov : parsed.coverings) {
+    bool ok = known(cov.value.super);
+    if (!ok) report_unknown("covering constraint", cov.value.super, cov.span);
+    for (const std::string& cls : cov.value.subs) {
+      if (!ok) break;
+      if (!known(cls)) {
+        report_unknown("covering constraint", cls, cov.span);
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    Status added = model.AddCovering(std::move(cov.value));
+    if (!added.ok()) {
+      sink.Error(diag::kUnexpectedToken, added.message(), cov.span,
+                 "the covering constraint was dropped");
+    }
+  }
+
+  // The filters above re-establish every invariant Validate() checks; a
+  // failure here is a bug worth surfacing as a diagnostic, not a crash.
+  Status valid = model.Validate();
+  if (!valid.ok()) {
+    sink.Error(diag::kUnknownClass,
+               "recovered model failed validation: " + valid.message(), {});
+  }
   return model;
 }
 

@@ -27,13 +27,21 @@
 #include <string_view>
 
 #include "cm/model.h"
+#include "util/diag.h"
 #include "util/result.h"
 
 namespace semap::cm {
 
 /// \brief Parse the CM text format described above. The returned model has
-/// been Validate()d.
+/// been Validate()d. Fail-fast: the first problem aborts the parse.
 Result<ConceptualModel> ParseCm(std::string_view input);
+
+/// \brief Recovery-mode parse: collects coded diagnostics into `sink`,
+/// synchronizes at statement keywords, and returns the well-formed subset
+/// of the model — malformed statements, duplicate definitions, references
+/// to unknown classes, and ISA links that would close a cycle are dropped
+/// (each with a diagnostic). The returned model always passes Validate().
+ConceptualModel ParseCmLenient(std::string_view input, DiagnosticSink& sink);
 
 }  // namespace semap::cm
 

@@ -6,17 +6,34 @@ namespace semap::disc {
 
 Result<std::vector<LiftedCorrespondence>> LiftCorrespondences(
     const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
-    const std::vector<Correspondence>& correspondences) {
+    const std::vector<Correspondence>& correspondences,
+    DiagnosticSink* sink) {
   std::vector<LiftedCorrespondence> out;
   out.reserve(correspondences.size());
   for (const Correspondence& corr : correspondences) {
     auto src = source.AttributeForColumn(corr.source);
     if (!src.has_value()) {
+      if (sink != nullptr) {
+        sink->Warning(diag::kUnliftableCorrespondence,
+                      "no semantics for source column " +
+                          corr.source.ToString() + "; skipping " +
+                          corr.ToString(),
+                      {}, "the correspondence still drives RIC-only rewrite");
+        continue;
+      }
       return Status::NotFound("no semantics for source column " +
                               corr.source.ToString());
     }
     auto tgt = target.AttributeForColumn(corr.target);
     if (!tgt.has_value()) {
+      if (sink != nullptr) {
+        sink->Warning(diag::kUnliftableCorrespondence,
+                      "no semantics for target column " +
+                          corr.target.ToString() + "; skipping " +
+                          corr.ToString(),
+                      {}, "the correspondence still drives RIC-only rewrite");
+        continue;
+      }
       return Status::NotFound("no semantics for target column " +
                               corr.target.ToString());
     }
@@ -60,22 +77,51 @@ std::set<std::string> PreSelectedTables(
   return out;
 }
 
+namespace {
+
+// One `src_table.col <-> tgt_table.col;` statement.
+Result<Correspondence> ParseCorrStmt(TokenCursor& cur) {
+  Correspondence corr;
+  SEMAP_ASSIGN_OR_RETURN(corr.source.table, cur.ExpectIdentifier());
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("."));
+  SEMAP_ASSIGN_OR_RETURN(corr.source.column, cur.ExpectIdentifier());
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("<->"));
+  SEMAP_ASSIGN_OR_RETURN(corr.target.table, cur.ExpectIdentifier());
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct("."));
+  SEMAP_ASSIGN_OR_RETURN(corr.target.column, cur.ExpectIdentifier());
+  SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  return corr;
+}
+
+}  // namespace
+
 Result<std::vector<Correspondence>> ParseCorrespondences(
     std::string_view input) {
   SEMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
   TokenCursor cur(std::move(tokens));
   std::vector<Correspondence> out;
   while (!cur.AtEnd()) {
-    Correspondence corr;
-    SEMAP_ASSIGN_OR_RETURN(corr.source.table, cur.ExpectIdentifier());
-    SEMAP_RETURN_NOT_OK(cur.ExpectPunct("."));
-    SEMAP_ASSIGN_OR_RETURN(corr.source.column, cur.ExpectIdentifier());
-    SEMAP_RETURN_NOT_OK(cur.ExpectPunct("<->"));
-    SEMAP_ASSIGN_OR_RETURN(corr.target.table, cur.ExpectIdentifier());
-    SEMAP_RETURN_NOT_OK(cur.ExpectPunct("."));
-    SEMAP_ASSIGN_OR_RETURN(corr.target.column, cur.ExpectIdentifier());
-    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+    SEMAP_ASSIGN_OR_RETURN(Correspondence corr, ParseCorrStmt(cur));
     out.push_back(std::move(corr));
+  }
+  return out;
+}
+
+std::vector<Correspondence> ParseCorrespondencesLenient(
+    std::string_view input, DiagnosticSink& sink,
+    std::vector<SourceSpan>* spans) {
+  TokenCursor cur(TokenizeLenient(input, sink));
+  std::vector<Correspondence> out;
+  while (!cur.AtEnd()) {
+    SourceSpan span = cur.SpanHere();
+    auto corr = ParseCorrStmt(cur);
+    if (!corr.ok()) {
+      cur.DiagnoseHere(sink, corr.status());
+      cur.SynchronizePast(";");
+      continue;
+    }
+    out.push_back(std::move(*corr));
+    if (spans != nullptr) spans->push_back(span);
   }
   return out;
 }

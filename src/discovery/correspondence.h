@@ -10,6 +10,7 @@
 
 #include "relational/schema.h"
 #include "semantics/stree.h"
+#include "util/diag.h"
 #include "util/result.h"
 
 namespace semap::disc {
@@ -35,11 +36,16 @@ struct LiftedCorrespondence {
   std::string target_attribute;
 };
 
-/// \brief Lift all correspondences via the table semantics. Fails when a
-/// corresponded column has no semantics (unknown table / unbound column).
+/// \brief Lift all correspondences via the table semantics. Without a
+/// `sink` this fails when a corresponded column has no semantics (unknown
+/// table / unbound column). With a `sink` it fail-softs instead: the
+/// unliftable correspondence is skipped with a kUnliftableCorrespondence
+/// warning and the rest are returned, so discovery degrades the affected
+/// table rather than aborting the whole run.
 Result<std::vector<LiftedCorrespondence>> LiftCorrespondences(
     const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
-    const std::vector<Correspondence>& correspondences);
+    const std::vector<Correspondence>& correspondences,
+    DiagnosticSink* sink = nullptr);
 
 /// \brief Marked class nodes on one side: node -> indices of lifted
 /// correspondences touching it.
@@ -57,9 +63,19 @@ std::set<std::string> PreSelectedTables(
     const std::vector<Correspondence>& correspondences, bool source_side);
 
 /// \brief Parse a correspondence file: one `src_table.col <-> tgt_table.col;`
-/// per statement, '#'//'//' comments allowed.
+/// per statement, '#'//'//' comments allowed. Fail-fast: the first problem
+/// aborts the parse.
 Result<std::vector<Correspondence>> ParseCorrespondences(
     std::string_view input);
+
+/// \brief Recovery-mode parse: collects coded diagnostics into `sink`,
+/// synchronizes past the next ';' after a malformed statement, and returns
+/// the well-formed correspondences. Never fails. When `spans` is non-null
+/// it receives one SourceSpan per returned correspondence (its first
+/// token), for later cross-artifact diagnostics.
+std::vector<Correspondence> ParseCorrespondencesLenient(
+    std::string_view input, DiagnosticSink& sink,
+    std::vector<SourceSpan>* spans = nullptr);
 
 }  // namespace semap::disc
 

@@ -338,8 +338,15 @@ bool Discoverer::AssembleCandidate(Csg source_csg, const Csg& target_csg,
 Result<std::vector<MappingCandidate>> Discoverer::Run() {
   SEMAP_ASSIGN_OR_RETURN(lifted_,
                          LiftCorrespondences(source_, target_,
-                                             correspondences_));
+                                             correspondences_,
+                                             options_.sink));
   if (lifted_.empty()) {
+    if (options_.sink != nullptr && !correspondences_.empty()) {
+      // Every correspondence was skipped as unliftable (already reported
+      // to the sink): a clean empty answer, so the caller can degrade to
+      // the RIC baseline instead of aborting.
+      return std::vector<MappingCandidate>();
+    }
     return Status::InvalidArgument("no correspondences given");
   }
 

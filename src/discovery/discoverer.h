@@ -47,6 +47,12 @@ struct DiscoveryOptions {
   /// returns the candidates assembled so far instead of an error; the
   /// governor's status() and truncations() describe what was cut.
   ResourceGovernor* governor = nullptr;
+  /// Optional diagnostic sink (not owned). When set, a correspondence
+  /// whose column has no semantics is skipped with a
+  /// kUnliftableCorrespondence warning instead of failing the run; if every
+  /// correspondence is skipped, Run() returns an empty candidate list (a
+  /// clean answer the caller can degrade on) rather than an error.
+  DiagnosticSink* sink = nullptr;
 };
 
 /// \brief A conceptual mapping candidate: a pair of semantically similar

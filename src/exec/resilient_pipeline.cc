@@ -5,6 +5,8 @@
 #include <map>
 #include <memory>
 
+#include "validate/tgd_check.h"
+
 namespace semap::exec {
 
 const char* TierName(DegradationTier tier) {
@@ -17,6 +19,8 @@ const char* TierName(DegradationTier tier) {
       return "ric-baseline";
     case DegradationTier::kFailed:
       return "failed";
+    case DegradationTier::kQuarantined:
+      return "quarantined";
   }
   return "unknown";
 }
@@ -31,7 +35,8 @@ bool DegradationReport::AnyDegraded() const {
 bool DegradationReport::AnyAtBaselineOrWorse() const {
   for (const TableOutcome& t : tables) {
     if (t.tier == DegradationTier::kRicBaseline ||
-        t.tier == DegradationTier::kFailed) {
+        t.tier == DegradationTier::kFailed ||
+        t.tier == DegradationTier::kQuarantined) {
       return true;
     }
   }
@@ -41,6 +46,10 @@ bool DegradationReport::AnyAtBaselineOrWorse() const {
 std::string DegradationReport::ToString() const {
   std::string out = "degradation report (" + std::to_string(tables.size()) +
                     " target table(s)):\n";
+  if (quarantined_correspondences > 0) {
+    out += "  quarantined correspondence(s): " +
+           std::to_string(quarantined_correspondences) + "\n";
+  }
   for (const TableOutcome& t : tables) {
     out += "  " + t.target_table + ": " + TierName(t.tier) + ", " +
            std::to_string(t.mappings) + " mapping(s)\n";
@@ -99,15 +108,38 @@ Result<ResilientResult> RunResilientPipeline(
   if (correspondences.empty()) {
     return Status::InvalidArgument("no correspondences given");
   }
+  ResilientResult result;
+  // Fail-soft validation: without a sink a dangling correspondence is a
+  // hard error (the caller asked for strict inputs); with one it is
+  // quarantined — dropped with a diagnostic, its table reported at tier
+  // kQuarantined — and the rest of the run proceeds.
+  std::vector<disc::Correspondence> usable;
+  std::map<std::string, std::vector<std::string>> quarantined_by_table;
   for (const disc::Correspondence& corr : correspondences) {
+    const rel::ColumnRef* dangling = nullptr;
+    const char* side = nullptr;
     if (!source.schema().HasColumn(corr.source)) {
-      return Status::NotFound("unknown source column " +
-                              corr.source.ToString());
+      dangling = &corr.source;
+      side = "source";
+    } else if (!target.schema().HasColumn(corr.target)) {
+      dangling = &corr.target;
+      side = "target";
     }
-    if (!target.schema().HasColumn(corr.target)) {
-      return Status::NotFound("unknown target column " +
-                              corr.target.ToString());
+    if (dangling == nullptr) {
+      usable.push_back(corr);
+      continue;
     }
+    if (options.sink == nullptr) {
+      return Status::NotFound("unknown " + std::string(side) + " column " +
+                              dangling->ToString());
+    }
+    options.sink->Error(diag::kDanglingCorrespondence,
+                        "unknown " + std::string(side) + " column " +
+                            dangling->ToString() + "; quarantining " +
+                            corr.ToString(),
+                        {}, "fix the column name or remove the statement");
+    quarantined_by_table[corr.target.table].push_back(corr.ToString());
+    ++result.report.quarantined_correspondences;
   }
 
   std::optional<int64_t> fault_after;
@@ -123,12 +155,31 @@ Result<ResilientResult> RunResilientPipeline(
 
   // Per-table cascades, in deterministic (sorted) table order.
   std::map<std::string, std::vector<disc::Correspondence>> groups;
-  for (const disc::Correspondence& corr : correspondences) {
+  for (const disc::Correspondence& corr : usable) {
     groups[corr.target.table].push_back(corr);
   }
 
-  ResilientResult result;
-  auto emit = [&result](ResilientMapping mapping) {
+  // Tables whose every correspondence was quarantined never cascade; they
+  // surface directly at tier kQuarantined.
+  for (const auto& [table, dropped] : quarantined_by_table) {
+    if (groups.count(table)) continue;
+    TableOutcome outcome;
+    outcome.target_table = table;
+    outcome.tier = DegradationTier::kQuarantined;
+    for (const std::string& corr : dropped) {
+      outcome.notes.push_back("quarantined: " + corr);
+    }
+    result.report.tables.push_back(std::move(outcome));
+  }
+
+  auto emit = [&result, &options](ResilientMapping mapping) {
+    // An unsafe tgd (frontier variable the source query never binds) is a
+    // generator bug, never a valid answer: discard it rather than ship an
+    // unexecutable mapping.
+    if (options.sink != nullptr &&
+        !validate::CheckTgdSafety(mapping.tgd, *options.sink)) {
+      return false;
+    }
     // Cross-table duplicates (two groups reaching the same expression)
     // collapse onto the first, least-degraded occurrence.
     for (const ResilientMapping& existing : result.mappings) {
@@ -141,6 +192,12 @@ Result<ResilientResult> RunResilientPipeline(
   for (const auto& [table, group] : groups) {
     TableOutcome outcome;
     outcome.target_table = table;
+    if (auto it = quarantined_by_table.find(table);
+        it != quarantined_by_table.end()) {
+      for (const std::string& corr : it->second) {
+        outcome.notes.push_back("quarantined: " + corr);
+      }
+    }
     bool settled = false;
 
     // Governed semantic tiers, each retried under halving step budgets.
@@ -164,8 +221,20 @@ Result<ResilientResult> RunResilientPipeline(
         ResourceGovernor governor;
         ConfigureGovernor(&governor, deadline, budget, fault_after);
         sem_opts.discovery.governor = &governor;
+        // Discovery reports unliftable correspondences into a scratch sink
+        // so cascade retries do not duplicate them; lifting is
+        // deterministic, so the first attempt's findings stand for all.
+        DiagnosticSink lift_sink;
+        sem_opts.discovery.sink =
+            options.sink != nullptr ? &lift_sink : nullptr;
         auto mappings =
             rew::GenerateSemanticMappings(source, target, group, sem_opts);
+        if (options.sink != nullptr &&
+            tier == DegradationTier::kSemanticFull && attempt == 0) {
+          for (const Diagnostic& d : lift_sink.diagnostics()) {
+            options.sink->Add(d);
+          }
+        }
         std::string attempt_label = std::string(TierName(tier)) +
                                     " (attempt " +
                                     std::to_string(attempt + 1) + ")";

@@ -32,6 +32,7 @@
 
 #include "baseline/ric_mapper.h"
 #include "rewriting/semantic_mapper.h"
+#include "util/diag.h"
 #include "util/result.h"
 
 namespace semap::exec {
@@ -41,6 +42,9 @@ enum class DegradationTier {
   kSemanticRestricted = 1,
   kRicBaseline = 2,
   kFailed = 3,
+  /// Fail-soft loading put this table's inputs aside (dangling
+  /// correspondences): no tier ran at all.
+  kQuarantined = 4,
 };
 
 const char* TierName(DegradationTier tier);
@@ -57,10 +61,14 @@ struct TableOutcome {
 
 struct DegradationReport {
   std::vector<TableOutcome> tables;
+  /// Correspondences dropped by fail-soft validation before any cascade
+  /// ran (dangling table/column references).
+  size_t quarantined_correspondences = 0;
 
   /// True when any table settled below full semantic discovery.
   bool AnyDegraded() const;
-  /// True when any table reached the RIC tier or failed outright.
+  /// True when any table reached the RIC tier, was quarantined, or failed
+  /// outright.
   bool AnyAtBaselineOrWorse() const;
 
   std::string ToString() const;
@@ -79,6 +87,13 @@ struct ResilientPipelineOptions {
   int64_t fault_after = -1;
   /// Shrinking-budget retries per governed tier before degrading.
   size_t retries_per_tier = 1;
+  /// Optional diagnostic sink (not owned). When set, malformed inputs no
+  /// longer fail the run: correspondences naming unknown columns are
+  /// quarantined with kDanglingCorrespondence (their tables reported at
+  /// tier kQuarantined), columns without semantics degrade their table
+  /// with kUnliftableCorrespondence, and any unsafe produced mapping is
+  /// discarded with kUnsafeTgd.
+  DiagnosticSink* sink = nullptr;
 };
 
 /// \brief One emitted mapping, tagged with the tier that produced it.
@@ -98,9 +113,12 @@ struct ResilientResult {
 };
 
 /// \brief Run the degradation cascade over every target table named by
-/// `correspondences`. Returns an error only for malformed inputs (unknown
-/// columns, empty correspondence set); resource exhaustion never surfaces
-/// as an error — it surfaces as a degraded tier in the report.
+/// `correspondences`. Without a sink, returns an error for malformed
+/// inputs (unknown columns, empty correspondence set); with
+/// `options.sink` set, malformed correspondences are quarantined instead
+/// (only an empty correspondence set still fails). Resource exhaustion
+/// never surfaces as an error — it surfaces as a degraded tier in the
+/// report.
 Result<ResilientResult> RunResilientPipeline(
     const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
     const std::vector<disc::Correspondence>& correspondences,

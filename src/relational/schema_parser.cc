@@ -1,5 +1,7 @@
 #include "relational/schema_parser.h"
 
+#include <set>
+
 #include "util/lexer.h"
 
 namespace semap::rel {
@@ -24,10 +26,22 @@ Result<std::vector<std::string>> ParseParenIdentList(TokenCursor& cur) {
   return ids;
 }
 
-// RICs may reference tables declared later in the file, so ParseTable
-// appends them to `pending` and ParseSchema installs them at the end.
-Status ParseTable(TokenCursor& cur, RelationalSchema& schema,
-                  std::vector<Ric>& pending) {
+struct ParsedRic {
+  Ric ric;
+  SourceSpan span;  // the 'fk' keyword
+};
+
+struct ParsedTable {
+  Table table;
+  SourceSpan span;  // the table name
+  std::vector<ParsedRic> rics;
+};
+
+// One full `table` statement (the keyword already consumed), without
+// mutating any schema — both drivers install the result themselves.
+Result<ParsedTable> ParseTableStmt(TokenCursor& cur) {
+  ParsedTable out;
+  out.span = cur.SpanHere();
   SEMAP_ASSIGN_OR_RETURN(std::string name, cur.ExpectIdentifier());
   SEMAP_ASSIGN_OR_RETURN(std::vector<std::string> columns,
                          ParseParenIdentList(cur));
@@ -36,19 +50,44 @@ Status ParseTable(TokenCursor& cur, RelationalSchema& schema,
     SEMAP_ASSIGN_OR_RETURN(key, ParseParenIdentList(cur));
   }
   while (cur.TryConsumeIdent("fk")) {
-    Ric ric;
-    ric.from_table = name;
+    ParsedRic parsed;
+    parsed.span = cur.SpanHere();
+    parsed.ric.from_table = name;
     if (cur.Peek().Is(TokenKind::kIdentifier)) {
-      ric.label = cur.Next().text;
+      parsed.ric.label = cur.Next().text;
     }
-    SEMAP_ASSIGN_OR_RETURN(ric.from_columns, ParseParenIdentList(cur));
+    SEMAP_ASSIGN_OR_RETURN(parsed.ric.from_columns, ParseParenIdentList(cur));
     SEMAP_RETURN_NOT_OK(cur.ExpectPunct("->"));
-    SEMAP_ASSIGN_OR_RETURN(ric.to_table, cur.ExpectIdentifier());
-    SEMAP_ASSIGN_OR_RETURN(ric.to_columns, ParseParenIdentList(cur));
-    pending.push_back(std::move(ric));
+    SEMAP_ASSIGN_OR_RETURN(parsed.ric.to_table, cur.ExpectIdentifier());
+    SEMAP_ASSIGN_OR_RETURN(parsed.ric.to_columns, ParseParenIdentList(cur));
+    out.rics.push_back(std::move(parsed));
   }
   SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
-  return schema.AddTable(Table(name, std::move(columns), std::move(key)));
+  out.table = Table(std::move(name), std::move(columns), std::move(key));
+  return out;
+}
+
+/// Code for a failed AddTable: re-derive which invariant broke.
+const char* ClassifyTableRejection(const RelationalSchema& schema,
+                                   const Table& table) {
+  if (schema.FindTable(table.name()) != nullptr) return diag::kDuplicateTable;
+  std::set<std::string> seen;
+  for (const std::string& c : table.columns()) {
+    if (!seen.insert(c).second) return diag::kDuplicateColumn;
+  }
+  for (const std::string& k : table.primary_key()) {
+    if (!table.HasColumn(k)) return diag::kBadKey;
+  }
+  return diag::kUnexpectedToken;
+}
+
+/// Code for a failed AddRic: arity problems vs dangling references.
+const char* ClassifyRicRejection(const Ric& ric) {
+  if (ric.from_columns.size() != ric.to_columns.size() ||
+      ric.from_columns.empty()) {
+    return diag::kRicArity;
+  }
+  return diag::kDanglingRic;
 }
 
 }  // namespace
@@ -65,13 +104,62 @@ Result<RelationalSchema> ParseSchema(std::string_view input) {
   }
   while (!cur.AtEnd()) {
     if (cur.TryConsumeIdent("table")) {
-      SEMAP_RETURN_NOT_OK(ParseTable(cur, schema, pending));
+      SEMAP_ASSIGN_OR_RETURN(ParsedTable parsed, ParseTableStmt(cur));
+      SEMAP_RETURN_NOT_OK(schema.AddTable(std::move(parsed.table)));
+      for (ParsedRic& ric : parsed.rics) pending.push_back(std::move(ric.ric));
     } else {
       return cur.ErrorHere("expected 'table'");
     }
   }
   for (Ric& ric : pending) {
     SEMAP_RETURN_NOT_OK(schema.AddRic(std::move(ric)));
+  }
+  return schema;
+}
+
+RelationalSchema ParseSchemaLenient(std::string_view input,
+                                    DiagnosticSink& sink) {
+  TokenCursor cur(TokenizeLenient(input, sink));
+  RelationalSchema schema;
+  std::vector<ParsedRic> pending;
+  if (cur.TryConsumeIdent("schema")) {
+    auto name = cur.ExpectIdentifier();
+    Status header = name.ok() ? cur.ExpectPunct(";") : name.status();
+    if (header.ok()) {
+      schema.set_name(std::move(*name));
+    } else {
+      cur.DiagnoseHere(sink, header);
+      cur.SynchronizeTo({"table"});
+    }
+  }
+  while (!cur.AtEnd()) {
+    if (!cur.TryConsumeIdent("table")) {
+      cur.DiagnoseHere(sink, cur.ErrorHere("expected 'table'"));
+      cur.SynchronizeTo({"table"});
+      continue;
+    }
+    auto parsed = ParseTableStmt(cur);
+    if (!parsed.ok()) {
+      cur.DiagnoseHere(sink, parsed.status());
+      cur.SynchronizeTo({"table"});
+      continue;
+    }
+    Status added = schema.AddTable(parsed->table);
+    if (!added.ok()) {
+      // The statement's RICs are part of the dropped declaration.
+      sink.Error(ClassifyTableRejection(schema, parsed->table),
+                 added.message(), parsed->span,
+                 "the table declaration was dropped");
+      continue;
+    }
+    for (ParsedRic& ric : parsed->rics) pending.push_back(std::move(ric));
+  }
+  for (ParsedRic& parsed : pending) {
+    Status added = schema.AddRic(parsed.ric);
+    if (!added.ok()) {
+      sink.Error(ClassifyRicRejection(parsed.ric), added.message(),
+                 parsed.span, "the fk clause was dropped");
+    }
   }
   return schema;
 }

@@ -15,12 +15,21 @@
 #include <string_view>
 
 #include "relational/schema.h"
+#include "util/diag.h"
 #include "util/result.h"
 
 namespace semap::rel {
 
-/// \brief Parse the schema text format described above.
+/// \brief Parse the schema text format described above. Fail-fast: the
+/// first problem aborts the parse.
 Result<RelationalSchema> ParseSchema(std::string_view input);
+
+/// \brief Recovery-mode parse: collects coded diagnostics into `sink`,
+/// synchronizes at statement boundaries, and returns the well-formed
+/// subset of the schema (malformed tables and RICs are dropped; the rest
+/// is kept). Never fails.
+RelationalSchema ParseSchemaLenient(std::string_view input,
+                                    DiagnosticSink& sink);
 
 }  // namespace semap::rel
 

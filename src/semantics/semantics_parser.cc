@@ -1,5 +1,9 @@
 #include "semantics/semantics_parser.h"
 
+#include <set>
+#include <string>
+#include <utility>
+
 #include "semantics/stree_builder.h"
 #include "util/lexer.h"
 
@@ -7,38 +11,93 @@ namespace semap::sem {
 
 namespace {
 
+// One item inside a `semantics` block, parsed syntactically before it is
+// applied to a builder — both drivers share the grammar this way.
+struct SemItem {
+  enum class Kind { kNode, kEdge, kAnchor, kCol };
+  Kind kind = Kind::kNode;
+  // node: a=alias, b=class; edge: a=name, b/c=aliases; anchor: a=alias;
+  // col: a=column, b=alias, c=attribute.
+  std::string a, b, c;
+  SourceSpan span;  // the item keyword
+};
+
+Result<SemItem> ParseSemItem(TokenCursor& cur) {
+  SemItem item;
+  item.span = cur.SpanHere();
+  if (cur.TryConsumeIdent("node")) {
+    item.kind = SemItem::Kind::kNode;
+    SEMAP_ASSIGN_OR_RETURN(item.a, cur.ExpectIdentifier());
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(":"));
+    SEMAP_ASSIGN_OR_RETURN(item.b, cur.ExpectIdentifier());
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  } else if (cur.TryConsumeIdent("edge")) {
+    item.kind = SemItem::Kind::kEdge;
+    SEMAP_ASSIGN_OR_RETURN(item.a, cur.ExpectIdentifier());
+    SEMAP_ASSIGN_OR_RETURN(item.b, cur.ExpectIdentifier());
+    SEMAP_ASSIGN_OR_RETURN(item.c, cur.ExpectIdentifier());
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  } else if (cur.TryConsumeIdent("anchor")) {
+    item.kind = SemItem::Kind::kAnchor;
+    SEMAP_ASSIGN_OR_RETURN(item.a, cur.ExpectIdentifier());
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  } else if (cur.TryConsumeIdent("col")) {
+    item.kind = SemItem::Kind::kCol;
+    SEMAP_ASSIGN_OR_RETURN(item.a, cur.ExpectIdentifier());
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct("->"));
+    SEMAP_ASSIGN_OR_RETURN(item.b, cur.ExpectIdentifier());
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct("."));
+    SEMAP_ASSIGN_OR_RETURN(item.c, cur.ExpectIdentifier());
+    SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
+  } else {
+    return cur.ErrorHere("expected 'node', 'edge', 'anchor' or 'col'");
+  }
+  return item;
+}
+
+Status ApplyItem(STreeBuilder& builder, const SemItem& item) {
+  switch (item.kind) {
+    case SemItem::Kind::kNode:
+      return builder.AddNode(item.a, item.b);
+    case SemItem::Kind::kEdge:
+      return builder.AddEdge(item.a, item.b, item.c);
+    case SemItem::Kind::kAnchor:
+      return builder.SetAnchor(item.a);
+    case SemItem::Kind::kCol:
+      return builder.BindColumn(item.a, item.b, item.c);
+  }
+  return Status::OK();
+}
+
+/// Code for an item the builder rejected: resolution failures against the
+/// CM get kBadNode/kBadEdge/kBadBinding; references to aliases the block
+/// never declared get kUnknownAlias.
+const char* ClassifyItemRejection(const SemItem& item,
+                                  const std::set<std::string>& aliases) {
+  switch (item.kind) {
+    case SemItem::Kind::kNode:
+      return diag::kBadNode;
+    case SemItem::Kind::kEdge:
+      if (!aliases.count(item.b) || !aliases.count(item.c)) {
+        return diag::kUnknownAlias;
+      }
+      return diag::kBadEdge;
+    case SemItem::Kind::kAnchor:
+      return diag::kUnknownAlias;
+    case SemItem::Kind::kCol:
+      if (!aliases.count(item.b)) return diag::kUnknownAlias;
+      return diag::kBadBinding;
+  }
+  return diag::kBadNode;
+}
+
 Result<STree> ParseBlock(const cm::CmGraph& graph, TokenCursor& cur) {
   SEMAP_ASSIGN_OR_RETURN(std::string table, cur.ExpectIdentifier());
   STreeBuilder builder(graph, table);
   SEMAP_RETURN_NOT_OK(cur.ExpectPunct("{"));
   while (!cur.TryConsumePunct("}")) {
-    if (cur.TryConsumeIdent("node")) {
-      SEMAP_ASSIGN_OR_RETURN(std::string alias, cur.ExpectIdentifier());
-      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(":"));
-      SEMAP_ASSIGN_OR_RETURN(std::string cls, cur.ExpectIdentifier());
-      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
-      SEMAP_RETURN_NOT_OK(builder.AddNode(alias, cls));
-    } else if (cur.TryConsumeIdent("edge")) {
-      SEMAP_ASSIGN_OR_RETURN(std::string name, cur.ExpectIdentifier());
-      SEMAP_ASSIGN_OR_RETURN(std::string a, cur.ExpectIdentifier());
-      SEMAP_ASSIGN_OR_RETURN(std::string b, cur.ExpectIdentifier());
-      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
-      SEMAP_RETURN_NOT_OK(builder.AddEdge(name, a, b));
-    } else if (cur.TryConsumeIdent("anchor")) {
-      SEMAP_ASSIGN_OR_RETURN(std::string alias, cur.ExpectIdentifier());
-      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
-      SEMAP_RETURN_NOT_OK(builder.SetAnchor(alias));
-    } else if (cur.TryConsumeIdent("col")) {
-      SEMAP_ASSIGN_OR_RETURN(std::string column, cur.ExpectIdentifier());
-      SEMAP_RETURN_NOT_OK(cur.ExpectPunct("->"));
-      SEMAP_ASSIGN_OR_RETURN(std::string alias, cur.ExpectIdentifier());
-      SEMAP_RETURN_NOT_OK(cur.ExpectPunct("."));
-      SEMAP_ASSIGN_OR_RETURN(std::string attr, cur.ExpectIdentifier());
-      SEMAP_RETURN_NOT_OK(cur.ExpectPunct(";"));
-      SEMAP_RETURN_NOT_OK(builder.BindColumn(column, alias, attr));
-    } else {
-      return cur.ErrorHere("expected 'node', 'edge', 'anchor' or 'col'");
-    }
+    SEMAP_ASSIGN_OR_RETURN(SemItem item, ParseSemItem(cur));
+    SEMAP_RETURN_NOT_OK(ApplyItem(builder, item));
   }
   return std::move(builder).Build();
 }
@@ -54,6 +113,66 @@ Result<std::vector<STree>> ParseSemantics(const cm::CmGraph& graph,
     SEMAP_RETURN_NOT_OK(cur.ExpectIdent("semantics"));
     SEMAP_ASSIGN_OR_RETURN(STree tree, ParseBlock(graph, cur));
     out.push_back(std::move(tree));
+  }
+  return out;
+}
+
+std::vector<STree> ParseSemanticsLenient(const cm::CmGraph& graph,
+                                         std::string_view input,
+                                         DiagnosticSink& sink) {
+  TokenCursor cur(TokenizeLenient(input, sink));
+  std::vector<STree> out;
+  while (!cur.AtEnd()) {
+    if (!cur.TryConsumeIdent("semantics")) {
+      cur.DiagnoseHere(sink, cur.ErrorHere("expected 'semantics'"));
+      cur.SynchronizeTo({"semantics"});
+      continue;
+    }
+    const size_t mark = sink.error_count();
+    auto table = cur.ExpectIdentifier();
+    Status header = table.ok() ? cur.ExpectPunct("{") : table.status();
+    if (!header.ok()) {
+      cur.DiagnoseHere(sink, header);
+      cur.SynchronizeTo({"semantics"});
+      continue;
+    }
+    STreeBuilder builder(graph, *table);
+    std::set<std::string> aliases;
+    bool closed = false;
+    while (!cur.AtEnd()) {
+      if (cur.TryConsumePunct("}")) {
+        closed = true;
+        break;
+      }
+      if (cur.Peek().IsIdent("semantics")) break;  // run-on: missing '}'
+      auto item = ParseSemItem(cur);
+      if (!item.ok()) {
+        cur.DiagnoseHere(sink, item.status());
+        cur.SynchronizeTo({"node", "edge", "anchor", "col", "semantics", "}"});
+        continue;
+      }
+      Status applied = ApplyItem(builder, *item);
+      if (!applied.ok()) {
+        sink.Error(ClassifyItemRejection(*item, aliases),
+                   std::string(applied.message()), item->span,
+                   "the item was dropped");
+        continue;
+      }
+      if (item->kind == SemItem::Kind::kNode) aliases.insert(item->a);
+    }
+    if (!closed) {
+      sink.Error(diag::kUnexpectedEnd,
+                 "unterminated semantics block for table '" + *table + "'",
+                 cur.SpanHere(), "add the missing '}'");
+    }
+    if (sink.ErrorsSince(mark) > 0) {
+      sink.Note(diag::kQuarantined,
+                "semantics for table '" + *table +
+                    "' quarantined: the block has errors",
+                {}, "the table degrades to RIC-only discovery");
+      continue;
+    }
+    out.push_back(std::move(builder).Build());
   }
   return out;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "semantics/stree.h"
+#include "util/diag.h"
 #include "util/result.h"
 
 namespace semap::sem {
@@ -28,8 +29,19 @@ namespace semap::sem {
 /// \brief Parse one or more `semantics` blocks against `graph`. The
 /// returned trees are structurally resolved but not yet validated against a
 /// relational schema; attach them to an AnnotatedSchema for that.
+/// Fail-fast: the first problem aborts the parse.
 Result<std::vector<STree>> ParseSemantics(const cm::CmGraph& graph,
                                           std::string_view input);
+
+/// \brief Recovery-mode parse: collects coded diagnostics into `sink`,
+/// synchronizes at item boundaries, and returns the blocks that resolved
+/// cleanly. A block that contributed any error is quarantined — its whole
+/// tree is dropped (with a kQuarantined note) rather than returned
+/// half-built, so downstream discovery degrades that one table instead of
+/// consuming a broken s-tree. Never fails.
+std::vector<STree> ParseSemanticsLenient(const cm::CmGraph& graph,
+                                         std::string_view input,
+                                         DiagnosticSink& sink);
 
 }  // namespace semap::sem
 

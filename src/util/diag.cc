@@ -1,0 +1,81 @@
+#include "util/diag.h"
+
+namespace semap {
+
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = artifact.empty() ? std::string("<input>") : artifact;
+  if (span.IsValid()) {
+    out += ":" + std::to_string(span.line) + ":" + std::to_string(span.column);
+  }
+  out += ": ";
+  out += SeverityName(severity);
+  out += " ";
+  out += code;
+  out += ": " + message;
+  if (!hint.empty()) out += " (hint: " + hint + ")";
+  return out;
+}
+
+void DiagnosticSink::Add(Diagnostic d) {
+  if (d.artifact.empty()) d.artifact = artifact_;
+  if (d.severity == Severity::kError) ++errors_;
+  if (d.severity == Severity::kWarning) ++warnings_;
+  diagnostics_.push_back(std::move(d));
+}
+
+void DiagnosticSink::Error(std::string_view code, std::string message,
+                           SourceSpan span, std::string hint) {
+  Add(Diagnostic{Severity::kError, std::string(code), std::move(message), span,
+                 /*artifact=*/{}, std::move(hint)});
+}
+
+void DiagnosticSink::Warning(std::string_view code, std::string message,
+                             SourceSpan span, std::string hint) {
+  Add(Diagnostic{Severity::kWarning, std::string(code), std::move(message),
+                 span, /*artifact=*/{}, std::move(hint)});
+}
+
+void DiagnosticSink::Note(std::string_view code, std::string message,
+                          SourceSpan span, std::string hint) {
+  Add(Diagnostic{Severity::kNote, std::string(code), std::move(message), span,
+                 /*artifact=*/{}, std::move(hint)});
+}
+
+std::string DiagnosticSink::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.ToString() + "\n";
+  }
+  out += std::to_string(errors_) + " error(s), " + std::to_string(warnings_) +
+         " warning(s), " +
+         std::to_string(diagnostics_.size() - errors_ - warnings_) +
+         " note(s)\n";
+  return out;
+}
+
+namespace {
+constexpr const char kAlreadyDiagnosedMessage[] = "(already diagnosed)";
+}  // namespace
+
+Status AlreadyDiagnosed() {
+  return Status::ParseError(kAlreadyDiagnosedMessage);
+}
+
+bool IsAlreadyDiagnosed(const Status& status) {
+  return status.code() == StatusCode::kParseError &&
+         status.message() == kAlreadyDiagnosedMessage;
+}
+
+}  // namespace semap

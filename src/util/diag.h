@@ -1,0 +1,134 @@
+// Structured diagnostics: coded, source-located, severity-tagged findings
+// collected across a whole load instead of aborting at the first problem.
+//
+// The parsers' recovery ("lenient") entry points and the cross-artifact
+// validator append Diagnostics to a DiagnosticSink and return the
+// well-formed subset of their input; callers inspect the sink to decide
+// whether the load is clean, degraded, or unusable. Every code is stable
+// ("SEMAP-Exxx" errors, "SEMAP-Wxxx" warnings, "SEMAP-Nxxx" notes) and
+// documented in the error-code appendix of docs/FORMATS.md.
+#ifndef SEMAP_UTIL_DIAG_H_
+#define SEMAP_UTIL_DIAG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace semap {
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+std::string_view SeverityName(Severity severity);
+
+/// \brief 1-based line/column of the offending token; {0,0} when the
+/// finding has no single source location (cross-artifact checks).
+struct SourceSpan {
+  int line = 0;
+  int column = 0;
+
+  bool IsValid() const { return line > 0 && column > 0; }
+  bool operator==(const SourceSpan&) const = default;
+};
+
+/// Stable diagnostic codes. Append-only: never renumber, never reuse.
+namespace diag {
+// Lexical / syntactic (all four formats).
+inline constexpr const char kUnexpectedChar[] = "SEMAP-E001";
+inline constexpr const char kUnexpectedToken[] = "SEMAP-E002";
+inline constexpr const char kUnexpectedEnd[] = "SEMAP-E003";
+// Relational schema.
+inline constexpr const char kDuplicateTable[] = "SEMAP-E010";
+inline constexpr const char kDuplicateColumn[] = "SEMAP-E011";
+inline constexpr const char kBadKey[] = "SEMAP-E012";
+inline constexpr const char kDanglingRic[] = "SEMAP-E013";
+inline constexpr const char kRicArity[] = "SEMAP-E014";
+inline constexpr const char kRicNonKeyTarget[] = "SEMAP-W015";
+// Conceptual model.
+inline constexpr const char kDuplicateDefinition[] = "SEMAP-E020";
+inline constexpr const char kBadCardinality[] = "SEMAP-E021";
+inline constexpr const char kUnknownClass[] = "SEMAP-E022";
+inline constexpr const char kFewRoles[] = "SEMAP-E023";
+inline constexpr const char kIsaCycle[] = "SEMAP-E024";
+inline constexpr const char kEmptyCardinality[] = "SEMAP-W025";
+inline constexpr const char kDuplicateAttribute[] = "SEMAP-E026";
+// Table semantics (s-trees).
+inline constexpr const char kBadNode[] = "SEMAP-E030";
+inline constexpr const char kBadEdge[] = "SEMAP-E031";
+inline constexpr const char kUnknownAlias[] = "SEMAP-E032";
+inline constexpr const char kBadBinding[] = "SEMAP-E033";
+inline constexpr const char kInvalidSTree[] = "SEMAP-E034";
+// Correspondences.
+inline constexpr const char kDanglingCorrespondence[] = "SEMAP-E040";
+inline constexpr const char kUnliftableCorrespondence[] = "SEMAP-W041";
+inline constexpr const char kDuplicateCorrespondence[] = "SEMAP-W042";
+// Produced mappings.
+inline constexpr const char kUnsafeTgd[] = "SEMAP-E060";
+// Loader bookkeeping.
+inline constexpr const char kQuarantined[] = "SEMAP-N090";
+}  // namespace diag
+
+/// \brief One finding: what went wrong, where, how bad, and (optionally)
+/// how to fix it.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;      // stable code from the diag:: namespace
+  std::string message;
+  SourceSpan span;
+  std::string artifact;  // which input, e.g. "source.cm" or a file path
+  std::string hint;      // optional fix hint
+
+  /// "source.cm:3:7: error SEMAP-E022: message (hint: ...)".
+  std::string ToString() const;
+};
+
+/// \brief Collects the diagnostics of one load. Parsers in recovery mode
+/// append many per file instead of returning the first error.
+class DiagnosticSink {
+ public:
+  /// Default artifact label stamped onto diagnostics added without one.
+  void set_artifact(std::string name) { artifact_ = std::move(name); }
+  const std::string& artifact() const { return artifact_; }
+
+  void Add(Diagnostic d);
+  void Error(std::string_view code, std::string message, SourceSpan span = {},
+             std::string hint = {});
+  void Warning(std::string_view code, std::string message,
+               SourceSpan span = {}, std::string hint = {});
+  void Note(std::string_view code, std::string message, SourceSpan span = {},
+            std::string hint = {});
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t error_count() const { return errors_; }
+  size_t warning_count() const { return warnings_; }
+  bool has_errors() const { return errors_ > 0; }
+
+  /// Errors added after `mark` (a previous error_count()); lets a parser
+  /// tell whether one artifact/block contributed errors.
+  size_t ErrorsSince(size_t mark) const { return errors_ - mark; }
+
+  /// All diagnostics, one per line, plus a summary line.
+  std::string ToString() const;
+
+ private:
+  std::string artifact_;
+  std::vector<Diagnostic> diagnostics_;
+  size_t errors_ = 0;
+  size_t warnings_ = 0;
+};
+
+/// \brief Sentinel used by recovery-mode parsers: the condition has already
+/// been reported to the sink, so the caller should synchronize without
+/// adding another diagnostic.
+Status AlreadyDiagnosed();
+bool IsAlreadyDiagnosed(const Status& status);
+
+}  // namespace semap
+
+#endif  // SEMAP_UTIL_DIAG_H_

@@ -14,9 +14,11 @@ bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
 }
 
-}  // namespace
-
-Result<std::vector<Token>> Tokenize(std::string_view input) {
+/// Shared scanner. `on_bad_char(c, line, column)` is called for characters
+/// no token class accepts; it returns true to skip the character and keep
+/// scanning (recovery mode) or false to stop immediately (strict mode).
+template <typename OnBadChar>
+std::vector<Token> Scan(std::string_view input, OnBadChar&& on_bad_char) {
   std::vector<Token> out;
   int line = 1;
   int column = 1;
@@ -87,9 +89,8 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       out.push_back(std::move(tok));
       continue;
     }
-    return Status::ParseError("unexpected character '" + std::string(1, c) +
-                              "' at line " + std::to_string(line) + ", column " +
-                              std::to_string(column));
+    if (!on_bad_char(c, line, column)) break;
+    advance(1);
   }
   Token end;
   end.kind = TokenKind::kEnd;
@@ -97,6 +98,33 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
   end.column = column;
   out.push_back(std::move(end));
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  Status error = Status::OK();
+  std::vector<Token> out =
+      Scan(input, [&error](char c, int line, int column) {
+        error = Status::ParseError(
+            "unexpected character '" + std::string(1, c) + "' at line " +
+            std::to_string(line) + ", column " + std::to_string(column));
+        return false;
+      });
+  if (!error.ok()) return error;
+  return out;
+}
+
+std::vector<Token> TokenizeLenient(std::string_view input,
+                                   DiagnosticSink& sink) {
+  return Scan(input, [&sink](char c, int line, int column) {
+    sink.Error(diag::kUnexpectedChar,
+               "unexpected character '" + std::string(1, c) + "'",
+               SourceSpan{line, column},
+               "only identifiers, integers, punctuation and #-comments "
+               "are recognized");
+    return true;
+  });
 }
 
 const Token& TokenCursor::Peek(int lookahead) const {
@@ -153,6 +181,33 @@ Result<long> TokenCursor::ExpectInteger() {
     return ErrorHere("expected integer");
   }
   return std::stol(Next().text);
+}
+
+void TokenCursor::DiagnoseHere(DiagnosticSink& sink,
+                               const Status& status) const {
+  if (IsAlreadyDiagnosed(status)) return;
+  const Token& tok = Peek();
+  sink.Error(tok.Is(TokenKind::kEnd) ? diag::kUnexpectedEnd
+                                     : diag::kUnexpectedToken,
+             status.message(), SpanOf(tok));
+}
+
+void TokenCursor::SynchronizeTo(
+    std::initializer_list<std::string_view> anchors) {
+  if (!AtEnd()) Next();
+  while (!AtEnd()) {
+    const Token& tok = Peek();
+    for (std::string_view anchor : anchors) {
+      if (tok.text == anchor) return;
+    }
+    Next();
+  }
+}
+
+void TokenCursor::SynchronizePast(std::string_view p) {
+  while (!AtEnd()) {
+    if (Next().IsPunct(p)) return;
+  }
 }
 
 Status TokenCursor::ErrorHere(std::string_view message) const {

@@ -8,10 +8,12 @@
 #ifndef SEMAP_UTIL_LEXER_H_
 #define SEMAP_UTIL_LEXER_H_
 
+#include <initializer_list>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/diag.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -39,9 +41,19 @@ struct Token {
   }
 };
 
+/// Source span of a token (its 1-based line/column).
+inline SourceSpan SpanOf(const Token& tok) {
+  return SourceSpan{tok.line, tok.column};
+}
+
 /// \brief Tokenize `input`; returns the token stream terminated by a kEnd
 /// token, or a ParseError naming the offending line/column.
 Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// \brief Recovery-mode tokenizer: unexpected characters are reported to
+/// `sink` (kUnexpectedChar) and skipped; never fails.
+std::vector<Token> TokenizeLenient(std::string_view input,
+                                   DiagnosticSink& sink);
 
 /// \brief Cursor over a token stream with the usual Peek/Next/Expect helpers.
 ///
@@ -67,6 +79,24 @@ class TokenCursor {
 
   /// ParseError pinned to the current token.
   Status ErrorHere(std::string_view message) const;
+
+  /// Span of the current token.
+  SourceSpan SpanHere() const { return SpanOf(Peek()); }
+
+  /// Report `status` (a failed parse whose cursor sits at the offending
+  /// token) to `sink` as kUnexpectedToken / kUnexpectedEnd — unless the
+  /// status is the AlreadyDiagnosed sentinel, in which case nothing is
+  /// added.
+  void DiagnoseHere(DiagnosticSink& sink, const Status& status) const;
+
+  /// Panic-mode recovery: advance at least one token, then stop *before*
+  /// the next token whose text matches one of `anchors` (identifier or
+  /// punctuation), or at end of input.
+  void SynchronizeTo(std::initializer_list<std::string_view> anchors);
+
+  /// Panic-mode recovery: advance until the punctuation `p` has been
+  /// consumed, or to end of input.
+  void SynchronizePast(std::string_view p);
 
  private:
   std::vector<Token> tokens_;

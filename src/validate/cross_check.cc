@@ -1,0 +1,68 @@
+#include "validate/cross_check.h"
+
+#include <set>
+#include <string>
+
+namespace semap::validate {
+
+namespace {
+
+/// The RIC targets the table's primary key (same column set, any order).
+bool TargetsKey(const rel::Ric& ric, const rel::Table& to_table) {
+  std::set<std::string> targeted(ric.to_columns.begin(), ric.to_columns.end());
+  std::set<std::string> key(to_table.primary_key().begin(),
+                            to_table.primary_key().end());
+  return !key.empty() && targeted == key;
+}
+
+}  // namespace
+
+void LintSchema(const rel::RelationalSchema& schema, DiagnosticSink& sink) {
+  for (const rel::Ric& ric : schema.rics()) {
+    const rel::Table* to_table = schema.FindTable(ric.to_table);
+    if (to_table == nullptr) continue;  // AddRic already rejects these.
+    if (!TargetsKey(ric, *to_table)) {
+      sink.Warning(diag::kRicNonKeyTarget,
+                   "RIC " + ric.ToString() + " does not target the key of '" +
+                       ric.to_table + "'",
+                   {}, "RIC-based discovery may merge distinct rows");
+    }
+  }
+}
+
+std::vector<disc::Correspondence> LintCorrespondences(
+    const std::vector<disc::Correspondence>& correspondences,
+    const std::vector<SourceSpan>& spans, const rel::RelationalSchema& source,
+    const rel::RelationalSchema& target, DiagnosticSink& sink) {
+  std::vector<disc::Correspondence> kept;
+  std::set<std::pair<rel::ColumnRef, rel::ColumnRef>> seen;
+  for (size_t i = 0; i < correspondences.size(); ++i) {
+    const disc::Correspondence& corr = correspondences[i];
+    SourceSpan span = i < spans.size() ? spans[i] : SourceSpan{};
+    const char* dangling_side = nullptr;
+    if (!source.HasColumn(corr.source)) dangling_side = "source";
+    if (dangling_side == nullptr && !target.HasColumn(corr.target)) {
+      dangling_side = "target";
+    }
+    if (dangling_side != nullptr) {
+      const rel::ColumnRef& ref =
+          dangling_side == std::string_view("source") ? corr.source
+                                                      : corr.target;
+      sink.Error(diag::kDanglingCorrespondence,
+                 std::string(dangling_side) + " column " + ref.ToString() +
+                     " does not exist; dropping " + corr.ToString(),
+                 span, "fix the column name or remove the correspondence");
+      continue;
+    }
+    if (!seen.insert({corr.source, corr.target}).second) {
+      sink.Warning(diag::kDuplicateCorrespondence,
+                   "duplicate correspondence " + corr.ToString(), span,
+                   "the repeated statement was dropped");
+      continue;
+    }
+    kept.push_back(corr);
+  }
+  return kept;
+}
+
+}  // namespace semap::validate

@@ -1,0 +1,36 @@
+// Cross-artifact lint checks: findings that no single parser can see
+// because they relate two artifacts (correspondences against schemas, RICs
+// against the keys they target).
+//
+// Like the recovery-mode parsers, these never fail — they report coded
+// diagnostics and return the usable subset of their input.
+#ifndef SEMAP_VALIDATE_CROSS_CHECK_H_
+#define SEMAP_VALIDATE_CROSS_CHECK_H_
+
+#include <vector>
+
+#include "discovery/correspondence.h"
+#include "relational/schema.h"
+#include "util/diag.h"
+
+namespace semap::validate {
+
+/// \brief Warn about RICs whose target columns are not the referenced
+/// table's primary key (kRicNonKeyTarget): the RIC baseline chases such
+/// constraints as if they were key-based, which can merge distinct rows.
+void LintSchema(const rel::RelationalSchema& schema, DiagnosticSink& sink);
+
+/// \brief Validate correspondences against the two schemas. Dangling
+/// references (unknown table or column on either side) are dropped with
+/// kDanglingCorrespondence; exact duplicates are dropped with
+/// kDuplicateCorrespondence. Returns the kept correspondences. `spans` is
+/// parallel to `correspondences` (one span each, from the lenient parser)
+/// and may be empty when no source locations are known.
+std::vector<disc::Correspondence> LintCorrespondences(
+    const std::vector<disc::Correspondence>& correspondences,
+    const std::vector<SourceSpan>& spans, const rel::RelationalSchema& source,
+    const rel::RelationalSchema& target, DiagnosticSink& sink);
+
+}  // namespace semap::validate
+
+#endif  // SEMAP_VALIDATE_CROSS_CHECK_H_

@@ -1,0 +1,76 @@
+#include "validate/scenario_loader.h"
+
+#include <utility>
+
+#include "cm/parser.h"
+#include "relational/schema_parser.h"
+#include "semantics/semantics_parser.h"
+#include "validate/cross_check.h"
+
+namespace semap::validate {
+
+namespace {
+
+/// One side of the scenario: schema + CM + semantics, all fail-soft. The
+/// CM compile is the only hard failure (the lenient parser guarantees a
+/// Validate()d model, so Build only fails on internal invariants).
+Result<sem::AnnotatedSchema> LoadSide(const ArtifactText& schema_text,
+                                      const ArtifactText& cm_text,
+                                      const ArtifactText& sem_text,
+                                      DiagnosticSink& sink) {
+  sink.set_artifact(schema_text.name);
+  rel::RelationalSchema schema =
+      rel::ParseSchemaLenient(schema_text.text, sink);
+  LintSchema(schema, sink);
+
+  sink.set_artifact(cm_text.name);
+  cm::ConceptualModel model = cm::ParseCmLenient(cm_text.text, sink);
+  SEMAP_ASSIGN_OR_RETURN(cm::CmGraph graph, cm::CmGraph::Build(model));
+
+  sink.set_artifact(sem_text.name);
+  std::vector<sem::STree> trees =
+      sem::ParseSemanticsLenient(graph, sem_text.text, sink);
+
+  sem::AnnotatedSchema annotated(std::move(schema), std::move(graph));
+  for (sem::STree& tree : trees) {
+    std::string table = tree.table;
+    Status attached = annotated.AddSemantics(std::move(tree));
+    if (!attached.ok()) {
+      // The tree parsed but does not fit the schema/CM (unknown table,
+      // non-bijective bindings, disconnected edges, ...): quarantine it.
+      sink.Error(diag::kInvalidSTree, std::string(attached.message()), {},
+                 "the s-tree was dropped");
+      sink.Note(diag::kQuarantined,
+                "semantics for table '" + table +
+                    "' quarantined: the tree does not validate",
+                {}, "the table degrades to RIC-only discovery");
+    }
+  }
+  return annotated;
+}
+
+}  // namespace
+
+Result<LoadedScenario> LoadScenario(const ScenarioTexts& texts,
+                                    DiagnosticSink& sink) {
+  LoadedScenario out;
+  SEMAP_ASSIGN_OR_RETURN(
+      out.source, LoadSide(texts.source_schema, texts.source_cm,
+                           texts.source_sem, sink));
+  SEMAP_ASSIGN_OR_RETURN(
+      out.target, LoadSide(texts.target_schema, texts.target_cm,
+                           texts.target_sem, sink));
+
+  sink.set_artifact(texts.correspondences.name);
+  std::vector<SourceSpan> spans;
+  std::vector<disc::Correspondence> parsed =
+      disc::ParseCorrespondencesLenient(texts.correspondences.text, sink,
+                                        &spans);
+  out.correspondences =
+      LintCorrespondences(parsed, spans, out.source.schema(),
+                          out.target.schema(), sink);
+  sink.set_artifact("");
+  return out;
+}
+
+}  // namespace semap::validate

@@ -1,0 +1,56 @@
+// Fail-soft loading of a whole mapping scenario (both annotated schemas
+// plus the correspondences) with quarantine semantics: every artifact is
+// parsed in recovery mode, cross-artifact checks run over the results, and
+// broken pieces — an s-tree that does not validate, a dangling
+// correspondence — are dropped with coded diagnostics instead of failing
+// the load. Discovery then degrades the affected tables (per-table RIC
+// fallback) rather than the whole run.
+#ifndef SEMAP_VALIDATE_SCENARIO_LOADER_H_
+#define SEMAP_VALIDATE_SCENARIO_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "discovery/correspondence.h"
+#include "semantics/stree.h"
+#include "util/diag.h"
+#include "util/result.h"
+
+namespace semap::validate {
+
+/// \brief One textual input plus the artifact label stamped onto its
+/// diagnostics (usually its file path).
+struct ArtifactText {
+  std::string text;
+  std::string name;
+};
+
+/// \brief The seven artifacts of a mapping scenario.
+struct ScenarioTexts {
+  ArtifactText source_schema{{}, "source.schema"};
+  ArtifactText source_cm{{}, "source.cm"};
+  ArtifactText source_sem{{}, "source.sem"};
+  ArtifactText target_schema{{}, "target.schema"};
+  ArtifactText target_cm{{}, "target.cm"};
+  ArtifactText target_sem{{}, "target.sem"};
+  ArtifactText correspondences{{}, "correspondences"};
+};
+
+struct LoadedScenario {
+  sem::AnnotatedSchema source;
+  sem::AnnotatedSchema target;
+  /// The correspondences that survived linting (dangling ones dropped).
+  std::vector<disc::Correspondence> correspondences;
+};
+
+/// \brief Load a scenario fail-soft: lenient parses, cross-artifact lints,
+/// quarantines. The sink collects every finding; `sink.has_errors()` after
+/// the call means the load is degraded (some artifact was dropped), not
+/// that it failed. The only hard failure is a conceptual model that cannot
+/// be compiled at all.
+Result<LoadedScenario> LoadScenario(const ScenarioTexts& texts,
+                                    DiagnosticSink& sink);
+
+}  // namespace semap::validate
+
+#endif  // SEMAP_VALIDATE_SCENARIO_LOADER_H_

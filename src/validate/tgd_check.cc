@@ -1,0 +1,49 @@
+#include "validate/tgd_check.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace semap::validate {
+
+namespace {
+
+void CollectVariables(const logic::Term& term, std::set<std::string>* out) {
+  if (term.IsVar()) out->insert(term.name);
+  for (const logic::Term& arg : term.args) CollectVariables(arg, out);
+}
+
+}  // namespace
+
+std::vector<std::string> UnsafeFrontierVariables(const logic::Tgd& tgd) {
+  std::set<std::string> bound;
+  for (const logic::Atom& atom : tgd.source.body) {
+    for (const logic::Term& term : atom.terms) {
+      CollectVariables(term, &bound);
+    }
+  }
+  std::vector<std::string> unsafe;
+  std::set<std::string> reported;
+  for (const logic::Term& term : tgd.frontier()) {
+    std::set<std::string> wanted;
+    CollectVariables(term, &wanted);
+    for (const std::string& var : wanted) {
+      if (!bound.count(var) && reported.insert(var).second) {
+        unsafe.push_back(var);
+      }
+    }
+  }
+  return unsafe;
+}
+
+bool CheckTgdSafety(const logic::Tgd& tgd, DiagnosticSink& sink) {
+  std::vector<std::string> unsafe = UnsafeFrontierVariables(tgd);
+  if (unsafe.empty()) return true;
+  sink.Error(diag::kUnsafeTgd,
+             "unsafe mapping: frontier variable(s) " + Join(unsafe, ", ") +
+                 " not bound by the source query " + tgd.source.ToString(),
+             {}, "the mapping was discarded");
+  return false;
+}
+
+}  // namespace semap::validate

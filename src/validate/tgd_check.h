@@ -1,0 +1,27 @@
+// Safety checks on produced mappings: a TGD ∀x̄(φ_S(x̄) → ∃ȳ ψ_T(x̄,ȳ)) is
+// only executable when every frontier variable x̄ is bound by the source
+// body φ_S — an unbound frontier variable would range over the whole
+// domain. Generators should never emit such a mapping, so a finding here
+// means the mapping must be discarded, not repaired.
+#ifndef SEMAP_VALIDATE_TGD_CHECK_H_
+#define SEMAP_VALIDATE_TGD_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/tgd.h"
+#include "util/diag.h"
+
+namespace semap::validate {
+
+/// \brief Frontier variables of `tgd` that no source-body atom binds, in
+/// head order; empty when the TGD is safe.
+std::vector<std::string> UnsafeFrontierVariables(const logic::Tgd& tgd);
+
+/// \brief True when `tgd` is safe. Otherwise reports one kUnsafeTgd error
+/// to `sink` naming the unbound variables and returns false.
+bool CheckTgdSafety(const logic::Tgd& tgd, DiagnosticSink& sink);
+
+}  // namespace semap::validate
+
+#endif  // SEMAP_VALIDATE_TGD_CHECK_H_

@@ -400,6 +400,24 @@ TEST(DiscovererTest, UnknownColumnRejected) {
   EXPECT_EQ(d.Run().status().code(), StatusCode::kNotFound);
 }
 
+TEST(DiscovererTest, UnknownColumnCollectedAsWarningWithSink) {
+  // With a sink the same input fails soft: the unliftable correspondence
+  // is skipped with a coded warning and Run() returns a clean empty list.
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok());
+  DiagnosticSink sink;
+  DiscoveryOptions options;
+  options.sink = &sink;
+  Discoverer d(domain->source, domain->target,
+               {Correspondence{{"nope", "x"}, {"author", "aname"}}}, options);
+  auto result = d.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->empty());
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  EXPECT_EQ(sink.diagnostics()[0].code, diag::kUnliftableCorrespondence);
+  EXPECT_EQ(sink.diagnostics()[0].severity, Severity::kWarning);
+}
+
 TEST(LiftTest, MarkedNodesGrouping) {
   auto domain = data::BuildEmployeeIsaExample();
   ASSERT_TRUE(domain.ok());

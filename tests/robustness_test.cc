@@ -4,7 +4,10 @@
 // models' validity invariants.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <random>
+#include <sstream>
 
 #include "cm/graph.h"
 #include "cm/parser.h"
@@ -12,6 +15,7 @@
 #include "logic/parser.h"
 #include "relational/schema_parser.h"
 #include "semantics/semantics_parser.h"
+#include "validate/cross_check.h"
 
 namespace semap {
 namespace {
@@ -207,6 +211,122 @@ TEST(RobustnessTest, LogicParsersSurviveMutations) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Malformed-input corpus sweep: every file under tests/data/corpus/ is
+// deliberately broken (truncations, dangling refs, duplicate names, bad
+// arrows/cardinalities). The recovery-mode parsers must never crash, must
+// report at least one diagnostic per file, and at least one diagnostic must
+// carry a valid source span.
+
+std::vector<std::filesystem::path> CorpusFiles(const char* format) {
+  std::vector<std::filesystem::path> out;
+  std::filesystem::path dir =
+      std::filesystem::path(SEMAP_TEST_DATA_DIR) / "corpus" / format;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string ReadCorpusFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void ExpectDiagnosed(const DiagnosticSink& sink,
+                     const std::filesystem::path& file) {
+  EXPECT_FALSE(sink.empty()) << file << ": no diagnostics for a broken file";
+  bool any_span = false;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    EXPECT_FALSE(d.code.empty()) << file;
+    if (d.span.IsValid()) any_span = true;
+  }
+  EXPECT_TRUE(any_span) << file << ": no diagnostic carries a source span";
+}
+
+TEST(CorpusSweepTest, SchemaCorpusNeverCrashesAndDiagnoses) {
+  auto files = CorpusFiles("schema");
+  ASSERT_FALSE(files.empty());
+  for (const auto& file : files) {
+    DiagnosticSink sink;
+    rel::RelationalSchema schema =
+        rel::ParseSchemaLenient(ReadCorpusFile(file), sink);
+    ExpectDiagnosed(sink, file);
+    // Whatever survived must be internally consistent.
+    for (const rel::Ric& ric : schema.rics()) {
+      EXPECT_NE(schema.FindTable(ric.from_table), nullptr) << file;
+      EXPECT_NE(schema.FindTable(ric.to_table), nullptr) << file;
+    }
+  }
+}
+
+TEST(CorpusSweepTest, CmCorpusNeverCrashesAndDiagnoses) {
+  auto files = CorpusFiles("cm");
+  ASSERT_FALSE(files.empty());
+  for (const auto& file : files) {
+    DiagnosticSink sink;
+    cm::ConceptualModel model = cm::ParseCmLenient(ReadCorpusFile(file), sink);
+    ExpectDiagnosed(sink, file);
+    // The recovered subset always validates and compiles.
+    EXPECT_TRUE(model.Validate().ok()) << file;
+    EXPECT_TRUE(cm::CmGraph::Build(model).ok()) << file;
+  }
+}
+
+TEST(CorpusSweepTest, SemanticsCorpusNeverCrashesAndDiagnoses) {
+  auto files = CorpusFiles("sem");
+  ASSERT_FALSE(files.empty());
+  for (const auto& file : files) {
+    DiagnosticSink sink;
+    std::vector<sem::STree> trees =
+        sem::ParseSemanticsLenient(SemGraph(), ReadCorpusFile(file), sink);
+    ExpectDiagnosed(sink, file);
+    ExpectWellFormedTrees(trees);
+  }
+}
+
+TEST(CorpusSweepTest, CorrespondenceCorpusNeverCrashesAndDiagnoses) {
+  // Parse plus cross-artifact lint against the demo schema on both sides,
+  // so dangling-reference and duplicate corpus files also diagnose.
+  DiagnosticSink schema_sink;
+  rel::RelationalSchema schema =
+      rel::ParseSchemaLenient(kSchemaText, schema_sink);
+  ASSERT_TRUE(schema_sink.empty()) << schema_sink.ToString();
+  auto files = CorpusFiles("corr");
+  ASSERT_FALSE(files.empty());
+  for (const auto& file : files) {
+    DiagnosticSink sink;
+    std::vector<SourceSpan> spans;
+    std::vector<disc::Correspondence> corrs =
+        disc::ParseCorrespondencesLenient(ReadCorpusFile(file), sink, &spans);
+    ASSERT_EQ(corrs.size(), spans.size()) << file;
+    validate::LintCorrespondences(corrs, spans, schema, schema, sink);
+    ExpectDiagnosed(sink, file);
+  }
+}
+
+TEST(CorpusSweepTest, LenientParsersSurviveMutationsOfValidInputs) {
+  for (unsigned seed = 0; seed < 200; ++seed) {
+    DiagnosticSink sink;
+    rel::RelationalSchema schema =
+        rel::ParseSchemaLenient(Mutate(kSchemaText, seed), sink);
+    for (const rel::Ric& ric : schema.rics()) {
+      EXPECT_NE(schema.FindTable(ric.from_table), nullptr);
+    }
+    cm::ConceptualModel model =
+        cm::ParseCmLenient(Mutate(kCmText, seed), sink);
+    EXPECT_TRUE(model.Validate().ok());
+    std::vector<sem::STree> trees =
+        sem::ParseSemanticsLenient(SemGraph(), Mutate(kSemText, seed), sink);
+    ExpectWellFormedTrees(trees);
+    disc::ParseCorrespondencesLenient(Mutate(kCorrText, seed), sink);
+  }
+}
+
 TEST(RobustnessTest, GarbageInputsRejectedCleanly) {
   const char* garbage[] = {
       "",  ";;;", "(((((", "table table table", "class { } class",
@@ -219,6 +339,11 @@ TEST(RobustnessTest, GarbageInputsRejectedCleanly) {
     (void)logic::ParseCq(text);
     (void)logic::ParseTgd(text);
     (void)sem::ParseSemantics(SemGraph(), text);
+    DiagnosticSink sink;
+    (void)rel::ParseSchemaLenient(text, sink);
+    (void)cm::ParseCmLenient(text, sink);
+    (void)disc::ParseCorrespondencesLenient(text, sink);
+    (void)sem::ParseSemanticsLenient(SemGraph(), text, sink);
   }
   SUCCEED();
 }

@@ -196,5 +196,72 @@ TEST(LexerTest, ErrorsReportPosition) {
   EXPECT_NE(err.message().find("line 1"), std::string::npos);
 }
 
+TEST(LexerTest, LenientTokenizerSkipsBadCharactersWithDiagnostics) {
+  DiagnosticSink sink;
+  std::vector<Token> tokens = TokenizeLenient("a @ b % c", sink);
+  // The bad characters are gone, the good tokens remain (+ kEnd).
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+  ASSERT_EQ(sink.diagnostics().size(), 2u);
+  EXPECT_EQ(sink.diagnostics()[0].code, diag::kUnexpectedChar);
+  EXPECT_EQ(sink.diagnostics()[0].span, (SourceSpan{1, 3}));
+  EXPECT_EQ(sink.diagnostics()[1].span, (SourceSpan{1, 7}));
+}
+
+TEST(LexerTest, SynchronizeStopsAtAnchorOrEnd) {
+  auto tokens = Tokenize("x y ; table z");
+  ASSERT_TRUE(tokens.ok());
+  TokenCursor cur(*tokens);
+  cur.SynchronizeTo({"table"});
+  EXPECT_EQ(cur.Peek().text, "table");
+  // From the anchor itself it advances at least one token, so repeated
+  // synchronization cannot loop forever; with no further anchor it
+  // drains to the end.
+  cur.SynchronizeTo({"table"});
+  EXPECT_TRUE(cur.AtEnd());
+}
+
+TEST(DiagTest, ToStringCarriesCodeSpanArtifactAndHint) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.code = diag::kUnknownClass;
+  d.message = "no class 'Ghost'";
+  d.span = {3, 7};
+  d.artifact = "source.cm";
+  d.hint = "declare the class first";
+  EXPECT_EQ(d.ToString(),
+            "source.cm:3:7: error SEMAP-E022: no class 'Ghost' "
+            "(hint: declare the class first)");
+  d.artifact.clear();
+  d.hint.clear();
+  EXPECT_EQ(d.ToString(), "<input>:3:7: error SEMAP-E022: no class 'Ghost'");
+}
+
+TEST(DiagTest, SinkStampsArtifactAndCounts) {
+  DiagnosticSink sink;
+  sink.set_artifact("a.schema");
+  sink.Error(diag::kDuplicateTable, "dup", {1, 1});
+  sink.Warning(diag::kRicNonKeyTarget, "weak", {2, 1});
+  sink.Note(diag::kQuarantined, "gone");
+  EXPECT_EQ(sink.diagnostics().size(), 3u);
+  EXPECT_EQ(sink.error_count(), 1u);
+  EXPECT_EQ(sink.warning_count(), 1u);
+  EXPECT_TRUE(sink.has_errors());
+  for (const Diagnostic& d : sink.diagnostics()) {
+    EXPECT_EQ(d.artifact, "a.schema");
+  }
+  size_t mark = sink.error_count();
+  sink.Error(diag::kBadKey, "bad", {3, 1});
+  EXPECT_EQ(sink.ErrorsSince(mark), 1u);
+}
+
+TEST(DiagTest, AlreadyDiagnosedSentinelRoundTrips) {
+  EXPECT_TRUE(IsAlreadyDiagnosed(AlreadyDiagnosed()));
+  EXPECT_FALSE(IsAlreadyDiagnosed(Status::OK()));
+  EXPECT_FALSE(IsAlreadyDiagnosed(Status::ParseError("real problem")));
+}
+
 }  // namespace
 }  // namespace semap

@@ -1,0 +1,389 @@
+// The fail-soft validation layer: golden multi-error diagnostics from the
+// recovery-mode parsers (codes + line/column, proving recovery past the
+// first error), cross-artifact lints, TGD safety, and the end-to-end
+// quarantine scenario — one dangling correspondence, one broken s-tree and
+// one CM parse error must each surface as a coded diagnostic while the
+// unaffected tables still get their mappings.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cm/graph.h"
+#include "cm/parser.h"
+#include "discovery/correspondence.h"
+#include "exec/resilient_pipeline.h"
+#include "logic/parser.h"
+#include "relational/schema_parser.h"
+#include "semantics/semantics_parser.h"
+#include "validate/cross_check.h"
+#include "validate/scenario_loader.h"
+#include "validate/tgd_check.h"
+
+namespace semap {
+namespace {
+
+/// "SEMAP-E010@3:7" per diagnostic, in emission order — the golden shape.
+std::vector<std::string> Golden(const DiagnosticSink& sink) {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    out.push_back(d.code + "@" + std::to_string(d.span.line) + ":" +
+                  std::to_string(d.span.column));
+  }
+  return out;
+}
+
+bool HasCode(const DiagnosticSink& sink, std::string_view code) {
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+// --- Golden multi-error lists per parser ----------------------------------
+
+TEST(GoldenDiagnosticsTest, SchemaParserCollectsManyErrors) {
+  constexpr const char* kText =
+      "schema demo;\n"
+      "table person(pid, name) key(pid);\n"
+      "table person(other) key(other);\n"
+      "table pet(petid, petid) key(petid);\n"
+      "table toy(tid) key(nosuch);\n"
+      "table broken(\n";
+  DiagnosticSink sink;
+  rel::RelationalSchema schema = rel::ParseSchemaLenient(kText, sink);
+  EXPECT_EQ(Golden(sink),
+            (std::vector<std::string>{
+                "SEMAP-E010@3:7",  // duplicate table 'person'
+                "SEMAP-E011@4:7",  // duplicate column petid
+                "SEMAP-E012@5:7",  // key over unknown column
+                "SEMAP-E003@7:1",  // truncated final statement
+            }))
+      << sink.ToString();
+  // The well-formed subset survives.
+  ASSERT_EQ(schema.tables().size(), 1u);
+  EXPECT_EQ(schema.tables()[0].name(), "person");
+}
+
+TEST(GoldenDiagnosticsTest, SchemaParserReportsDanglingRic) {
+  constexpr const char* kText =
+      "table pet(petid, owner) key(petid)\n"
+      "  fk r1 (owner) -> nosuchtable(pid);\n";
+  DiagnosticSink sink;
+  rel::RelationalSchema schema = rel::ParseSchemaLenient(kText, sink);
+  EXPECT_EQ(Golden(sink), (std::vector<std::string>{"SEMAP-E013@2:6"}))
+      << sink.ToString();
+  EXPECT_EQ(schema.tables().size(), 1u);
+  EXPECT_TRUE(schema.rics().empty());
+}
+
+TEST(GoldenDiagnosticsTest, CmParserCollectsManyErrors) {
+  constexpr const char* kText =
+      "cm demo;\n"
+      "class Person { pid key; }\n"
+      "class Employee { eid key; }\n"
+      "class Person { other; }\n"
+      "rel owns Person -- Ghost fwd 0..* inv 1..1;\n"
+      "rel bad Person -- Employee fwd 3..1 inv 0..*;\n"
+      "isa Person -> Employee;\n"
+      "isa Employee -> Person;\n";
+  DiagnosticSink sink;
+  cm::ConceptualModel model = cm::ParseCmLenient(kText, sink);
+  EXPECT_EQ(Golden(sink),
+            (std::vector<std::string>{
+                "SEMAP-E021@6:32",  // inverted cardinality 3..1
+                "SEMAP-E020@4:7",   // duplicate class 'Person'
+                "SEMAP-E022@5:5",   // relationship to unknown 'Ghost'
+                "SEMAP-E024@8:5",   // ISA link closing a cycle
+            }))
+      << sink.ToString();
+  // The recovered subset validates and keeps the good pieces.
+  EXPECT_TRUE(model.Validate().ok());
+  EXPECT_NE(model.FindClass("Person"), nullptr);
+  EXPECT_NE(model.FindClass("Employee"), nullptr);
+  EXPECT_TRUE(model.IsSubclassOf("Person", "Employee"));
+  EXPECT_TRUE(model.relationships().empty());
+}
+
+TEST(GoldenDiagnosticsTest, SemanticsParserCollectsManyErrors) {
+  constexpr const char* kCm =
+      "class Person { pid key; name; }\n"
+      "class Pet { petid key; }\n"
+      "rel owns Person -- Pet fwd 0..* inv 1..1;\n";
+  auto model = cm::ParseCm(kCm);
+  ASSERT_TRUE(model.ok()) << model.status();
+  auto graph = cm::CmGraph::Build(*model);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+
+  constexpr const char* kSem =
+      "semantics person {\n"
+      "  node p: Person;\n"
+      "  node x: Ghost;\n"
+      "  anchor q;\n"
+      "  col pid -> p.pid;\n"
+      "}\n"
+      "semantics pet {\n"
+      "  node q: Pet;\n"
+      "  anchor q;\n"
+      "  col petid -> q.petid;\n"
+      "}\n";
+  DiagnosticSink sink;
+  std::vector<sem::STree> trees =
+      sem::ParseSemanticsLenient(*graph, kSem, sink);
+  EXPECT_EQ(Golden(sink),
+            (std::vector<std::string>{
+                "SEMAP-E030@3:3",  // unknown class 'Ghost'
+                "SEMAP-E032@4:3",  // anchor names undeclared alias
+                "SEMAP-N090@0:0",  // the broken tree is quarantined whole
+            }))
+      << sink.ToString();
+  // The clean block survives; the broken one is quarantined, not half-kept.
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].table, "pet");
+}
+
+TEST(GoldenDiagnosticsTest, CorrespondenceParserCollectsManyErrors) {
+  constexpr const char* kText =
+      "person.pid <-> pet.petid\n"
+      "person.name <-> pet.owner;\n"
+      "a.b <- c.d;\n"
+      "person.pid <-> pet.petid;\n";
+  DiagnosticSink sink;
+  std::vector<SourceSpan> spans;
+  std::vector<disc::Correspondence> corrs =
+      disc::ParseCorrespondencesLenient(kText, sink, &spans);
+  EXPECT_EQ(Golden(sink),
+            (std::vector<std::string>{
+                "SEMAP-E002@2:1",  // missing ';' noticed at the next stmt
+                "SEMAP-E002@3:5",  // '<-' instead of '<->'
+            }))
+      << sink.ToString();
+  ASSERT_EQ(corrs.size(), 1u);
+  EXPECT_EQ(corrs[0].source.ToString(), "person.pid");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (SourceSpan{4, 1}));
+}
+
+// --- Cross-artifact lints -------------------------------------------------
+
+TEST(CrossCheckTest, LintSchemaWarnsOnNonKeyRicTarget) {
+  constexpr const char* kText =
+      "table person(pid, name) key(pid);\n"
+      "table pet(petid, owner) key(petid)\n"
+      "  fk (owner) -> person(name);\n";
+  DiagnosticSink sink;
+  rel::RelationalSchema schema = rel::ParseSchemaLenient(kText, sink);
+  ASSERT_TRUE(sink.empty()) << sink.ToString();
+  validate::LintSchema(schema, sink);
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  EXPECT_EQ(sink.diagnostics()[0].code, diag::kRicNonKeyTarget);
+  EXPECT_EQ(sink.diagnostics()[0].severity, Severity::kWarning);
+}
+
+TEST(CrossCheckTest, LintCorrespondencesDropsDanglingAndDuplicates) {
+  constexpr const char* kSchema = "table person(pid, name) key(pid);\n";
+  DiagnosticSink schema_sink;
+  rel::RelationalSchema schema = rel::ParseSchemaLenient(kSchema, schema_sink);
+  ASSERT_TRUE(schema_sink.empty());
+
+  std::vector<disc::Correspondence> corrs = {
+      {{"person", "pid"}, {"person", "pid"}},
+      {{"person", "zzz"}, {"person", "pid"}},   // dangling source column
+      {{"person", "pid"}, {"ghost", "pid"}},    // dangling target table
+      {{"person", "pid"}, {"person", "pid"}},   // duplicate of the first
+      {{"person", "name"}, {"person", "name"}},
+  };
+  DiagnosticSink sink;
+  std::vector<disc::Correspondence> kept = validate::LintCorrespondences(
+      corrs, /*spans=*/{}, schema, schema, sink);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].source.column, "pid");
+  EXPECT_EQ(kept[1].source.column, "name");
+  ASSERT_EQ(sink.diagnostics().size(), 3u);
+  EXPECT_EQ(sink.diagnostics()[0].code, diag::kDanglingCorrespondence);
+  EXPECT_EQ(sink.diagnostics()[1].code, diag::kDanglingCorrespondence);
+  EXPECT_EQ(sink.diagnostics()[2].code, diag::kDuplicateCorrespondence);
+  EXPECT_EQ(sink.error_count(), 2u);
+  EXPECT_EQ(sink.warning_count(), 1u);
+}
+
+// --- TGD safety -----------------------------------------------------------
+
+TEST(TgdCheckTest, SafeTgdPasses) {
+  auto tgd = logic::ParseTgd("p(a, b) -> q(a, b)");
+  ASSERT_TRUE(tgd.ok()) << tgd.status();
+  EXPECT_TRUE(validate::UnsafeFrontierVariables(*tgd).empty());
+  DiagnosticSink sink;
+  EXPECT_TRUE(validate::CheckTgdSafety(*tgd, sink));
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(TgdCheckTest, UnboundFrontierVariableReported) {
+  logic::Tgd tgd;
+  tgd.source.head = {logic::Term::Var("x"), logic::Term::Var("y")};
+  tgd.source.body = {{"p", {logic::Term::Var("x")}}};
+  tgd.target.head = tgd.source.head;
+  tgd.target.body = {
+      {"q", {logic::Term::Var("x"), logic::Term::Var("y")}}};
+  EXPECT_EQ(validate::UnsafeFrontierVariables(tgd),
+            (std::vector<std::string>{"y"}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate::CheckTgdSafety(tgd, sink));
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  EXPECT_EQ(sink.diagnostics()[0].code, diag::kUnsafeTgd);
+}
+
+// --- The quarantine scenario (acceptance) ---------------------------------
+
+/// One dangling correspondence + one broken s-tree + one CM parse error:
+/// the load must surface all three as coded diagnostics, and the pipeline
+/// must still produce mappings for the unaffected table.
+validate::ScenarioTexts BrokenScenario() {
+  validate::ScenarioTexts t;
+  t.source_schema.text =
+      "schema src;\n"
+      "table person(pid, name) key(pid);\n"
+      "table city(cid, cname) key(cid);\n";
+  t.source_cm.text =
+      "cm src;\n"
+      "class Person { pid key; name; }\n"
+      "class City { cid key; cname; }\n"
+      "klass Broken;\n";  // CM parse error (unknown statement keyword)
+  t.source_sem.text =
+      "semantics person { node p: Person; anchor p;\n"
+      "  col pid -> p.pid; col name -> p.name; }\n"
+      "semantics city { node c: Ghost; anchor c; }\n";  // broken s-tree
+  t.target_schema.text =
+      "schema tgt;\n"
+      "table client(clid, clname) key(clid);\n"
+      "table town(tid, tname) key(tid);\n";
+  t.target_cm.text =
+      "cm tgt;\n"
+      "class Client { clid key; clname; }\n"
+      "class Town { tid key; tname; }\n";
+  t.target_sem.text =
+      "semantics client { node c: Client; anchor c;\n"
+      "  col clid -> c.clid; col clname -> c.clname; }\n"
+      "semantics town { node t: Town; anchor t;\n"
+      "  col tid -> t.tid; col tname -> t.tname; }\n";
+  t.correspondences.text =
+      "person.name <-> client.clname;\n"
+      "city.cname <-> town.tname;\n"
+      "person.zzz <-> client.clid;\n";  // dangling source column
+  return t;
+}
+
+TEST(QuarantineScenarioTest, AllThreeProblemsSurfaceAsCodedDiagnostics) {
+  DiagnosticSink sink;
+  auto loaded = validate::LoadScenario(BrokenScenario(), sink);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(HasCode(sink, diag::kUnexpectedToken))  // CM parse error
+      << sink.ToString();
+  EXPECT_TRUE(HasCode(sink, diag::kBadNode))          // broken s-tree item
+      << sink.ToString();
+  EXPECT_TRUE(HasCode(sink, diag::kQuarantined))      // ...tree quarantined
+      << sink.ToString();
+  EXPECT_TRUE(HasCode(sink, diag::kDanglingCorrespondence))
+      << sink.ToString();
+  // The dangling correspondence is gone; the other two survive.
+  EXPECT_EQ(loaded->correspondences.size(), 2u);
+  // The broken city s-tree was quarantined; person's survived.
+  EXPECT_NE(loaded->source.FindSemantics("person"), nullptr);
+  EXPECT_EQ(loaded->source.FindSemantics("city"), nullptr);
+}
+
+TEST(QuarantineScenarioTest, UnaffectedTablesStillGetMappings) {
+  DiagnosticSink sink;
+  auto loaded = validate::LoadScenario(BrokenScenario(), sink);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  exec::ResilientPipelineOptions opts;
+  opts.sink = &sink;
+  auto run = exec::RunResilientPipeline(loaded->source, loaded->target,
+                                        loaded->correspondences, opts);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  // person.name <-> client.clname is untouched by any of the three
+  // problems: full semantic discovery must serve it.
+  const exec::TableOutcome* client = nullptr;
+  const exec::TableOutcome* town = nullptr;
+  for (const exec::TableOutcome& t : run->report.tables) {
+    if (t.target_table == "client") client = &t;
+    if (t.target_table == "town") town = &t;
+  }
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->tier, exec::DegradationTier::kSemanticFull);
+  EXPECT_GT(client->mappings, 0u);
+  // city's quarantined s-tree leaves town to the RIC baseline, with the
+  // skipped lift reported.
+  ASSERT_NE(town, nullptr);
+  EXPECT_EQ(town->tier, exec::DegradationTier::kRicBaseline);
+  EXPECT_TRUE(HasCode(sink, diag::kUnliftableCorrespondence))
+      << sink.ToString();
+  EXPECT_TRUE(run->report.AnyAtBaselineOrWorse());
+  EXPECT_FALSE(run->mappings.empty());
+}
+
+TEST(QuarantineScenarioTest, PipelineQuarantinesDanglingCorrespondences) {
+  // Feed the pipeline an unlinted dangling correspondence directly: with a
+  // sink it must quarantine (tier kQuarantined), without one it must fail
+  // as before.
+  DiagnosticSink sink;
+  auto loaded = validate::LoadScenario(BrokenScenario(), sink);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  std::vector<disc::Correspondence> corrs = loaded->correspondences;
+  corrs.push_back({{"person", "zzz"}, {"client", "clid"}});
+
+  exec::ResilientPipelineOptions strict;
+  auto failed = exec::RunResilientPipeline(loaded->source, loaded->target,
+                                           corrs, strict);
+  EXPECT_FALSE(failed.ok());
+
+  DiagnosticSink run_sink;
+  exec::ResilientPipelineOptions soft;
+  soft.sink = &run_sink;
+  auto run = exec::RunResilientPipeline(loaded->source, loaded->target,
+                                        corrs, soft);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(HasCode(run_sink, diag::kDanglingCorrespondence));
+  EXPECT_EQ(run->report.quarantined_correspondences, 1u);
+  // client still cascades (it keeps a usable correspondence); the
+  // quarantined one is noted on its outcome.
+  bool client_noted = false;
+  for (const exec::TableOutcome& t : run->report.tables) {
+    if (t.target_table != "client") continue;
+    EXPECT_EQ(t.tier, exec::DegradationTier::kSemanticFull);
+    for (const std::string& note : t.notes) {
+      if (note.find("quarantined") != std::string::npos) client_noted = true;
+    }
+  }
+  EXPECT_TRUE(client_noted);
+}
+
+TEST(QuarantineScenarioTest, FullyQuarantinedTableReportedAsSuch) {
+  DiagnosticSink sink;
+  auto loaded = validate::LoadScenario(BrokenScenario(), sink);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  // Every correspondence of table 'ghosttown' is dangling.
+  std::vector<disc::Correspondence> corrs = {
+      {{"person", "name"}, {"client", "clname"}},
+      {{"person", "zzz"}, {"ghosttown", "x"}},
+  };
+  DiagnosticSink run_sink;
+  exec::ResilientPipelineOptions soft;
+  soft.sink = &run_sink;
+  auto run = exec::RunResilientPipeline(loaded->source, loaded->target,
+                                        corrs, soft);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const exec::TableOutcome* ghost = nullptr;
+  for (const exec::TableOutcome& t : run->report.tables) {
+    if (t.target_table == "ghosttown") ghost = &t;
+  }
+  ASSERT_NE(ghost, nullptr);
+  EXPECT_EQ(ghost->tier, exec::DegradationTier::kQuarantined);
+  EXPECT_EQ(ghost->mappings, 0u);
+  EXPECT_TRUE(run->report.AnyAtBaselineOrWorse());
+}
+
+}  // namespace
+}  // namespace semap

@@ -3,17 +3,24 @@
 //
 //   semap_map <src.schema> <src.cm> <src.sem>
 //             <tgt.schema> <tgt.cm> <tgt.sem> <correspondences>
-//             [--baseline] [--hints] [--variants] [--sql]
+//             [--baseline] [--hints] [--variants] [--sql] [--lint]
 //             [--resilient] [--deadline-ms=N] [--max-steps=N]
 //
 // --deadline-ms / --max-steps (or --resilient alone, ungoverned) switch
 // to the resource-governed degradation cascade: full semantic discovery,
 // then restricted semantic discovery, then the RIC baseline, per target
-// table. The DegradationReport is printed after the mappings.
+// table. The inputs are loaded fail-soft (recovery-mode parsers; broken
+// artifacts quarantined with coded diagnostics) and the DegradationReport
+// is printed after the mappings.
 //
-// Exit codes: 0 success, 1 input/pipeline error, 2 usage,
-// 3 = at least one table degraded to the RIC tier or failed (mappings
-// were still emitted; the report says which tables degraded and why).
+// --lint only loads the scenario fail-soft and prints the collected
+// diagnostics; no mappings are generated.
+//
+// Exit codes: 0 success, 1 input/pipeline error (with --lint: at least
+// one error diagnostic), 2 usage,
+// 3 = at least one table degraded to the RIC tier, was quarantined, or
+// failed (mappings were still emitted; the report says which tables
+// degraded and why).
 //
 // Sample inputs live in examples/data/bookstore/:
 //
@@ -32,6 +39,7 @@
 #include "exec/resilient_pipeline.h"
 #include "rewriting/semantic_mapper.h"
 #include "rewriting/sql.h"
+#include "validate/scenario_loader.h"
 
 namespace {
 
@@ -54,10 +62,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <src.schema> <src.cm> <src.sem> <tgt.schema> "
                  "<tgt.cm> <tgt.sem> <corrs> [--baseline] [--hints] "
-                 "[--variants] [--sql] [--resilient] [--deadline-ms=N] "
-                 "[--max-steps=N]\n"
-                 "exit codes: 0 ok, 1 error, 2 usage, 3 degraded to the "
-                 "RIC tier (see the printed degradation report)\n",
+                 "[--variants] [--sql] [--lint] [--resilient] "
+                 "[--deadline-ms=N] [--max-steps=N]\n"
+                 "exit codes: 0 ok, 1 error (--lint: errors found), 2 "
+                 "usage, 3 degraded to the RIC tier or quarantined (see "
+                 "the printed degradation report)\n",
                  argv[0]);
     return 2;
   }
@@ -66,6 +75,7 @@ int main(int argc, char** argv) {
   bool show_variants = false;
   bool show_sql = false;
   bool resilient = false;
+  bool lint_only = false;
   long long deadline_ms = -1;
   long long max_steps = -1;
   for (int i = 8; i < argc; ++i) {
@@ -74,6 +84,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--variants") == 0) show_variants = true;
     if (std::strcmp(argv[i], "--sql") == 0) show_sql = true;
     if (std::strcmp(argv[i], "--resilient") == 0) resilient = true;
+    if (std::strcmp(argv[i], "--lint") == 0) lint_only = true;
     if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       char* end = nullptr;
       deadline_ms = std::strtoll(argv[i] + 14, &end, 10);
@@ -106,6 +117,70 @@ int main(int argc, char** argv) {
     texts[i] = std::move(*content);
   }
 
+  if (lint_only || resilient) {
+    // Fail-soft load: recovery-mode parsers, cross-artifact lints,
+    // quarantines. Broken artifacts become coded diagnostics, not exits.
+    validate::ScenarioTexts scenario;
+    validate::ArtifactText* slots[7] = {
+        &scenario.source_schema, &scenario.source_cm,
+        &scenario.source_sem,    &scenario.target_schema,
+        &scenario.target_cm,     &scenario.target_sem,
+        &scenario.correspondences};
+    for (int i = 0; i < 7; ++i) {
+      slots[i]->text = texts[i];
+      slots[i]->name = argv[i + 1];
+    }
+    DiagnosticSink sink;
+    auto loaded = validate::LoadScenario(scenario, sink);
+    if (!sink.empty() || lint_only) {
+      std::printf("%s\n", sink.ToString().c_str());
+    }
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    if (lint_only) {
+      std::printf("usable: %zu source s-tree(s), %zu target s-tree(s), "
+                  "%zu correspondence(s)\n",
+                  loaded->source.semantics().size(),
+                  loaded->target.semantics().size(),
+                  loaded->correspondences.size());
+      return sink.has_errors() ? 1 : 0;
+    }
+
+    std::printf("%zu correspondence(s):\n", loaded->correspondences.size());
+    for (const auto& c : loaded->correspondences) {
+      std::printf("  %s\n", c.ToString().c_str());
+    }
+    exec::ResilientPipelineOptions opts;
+    opts.deadline_ms = deadline_ms;
+    opts.max_steps = max_steps;
+    opts.sink = &sink;
+    const size_t load_diags = sink.diagnostics().size();
+    auto run = exec::RunResilientPipeline(loaded->source, loaded->target,
+                                          loaded->correspondences, opts);
+    if (!run.ok()) {
+      std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n%zu mapping(s):\n", run->mappings.size());
+    int index = 1;
+    for (const auto& m : run->mappings) {
+      std::printf("[%d] (%s) %s\n", index, exec::TierName(m.tier),
+                  m.tgd.ToString().c_str());
+      if (!m.source_algebra.empty()) {
+        std::printf("    source: %s\n", m.source_algebra.c_str());
+        std::printf("    target: %s\n", m.target_algebra.c_str());
+      }
+      ++index;
+    }
+    for (size_t i = load_diags; i < sink.diagnostics().size(); ++i) {
+      std::printf("%s\n", sink.diagnostics()[i].ToString().c_str());
+    }
+    std::printf("\n%s", run->report.ToString().c_str());
+    return run->report.AnyAtBaselineOrWorse() || sink.has_errors() ? 3 : 0;
+  }
+
   auto source = data::AnnotatedFromText(texts[0], texts[1], texts[2]);
   if (!source.ok()) {
     std::fprintf(stderr, "source error: %s\n",
@@ -128,31 +203,6 @@ int main(int argc, char** argv) {
   std::printf("%zu correspondence(s):\n", correspondences->size());
   for (const auto& c : *correspondences) {
     std::printf("  %s\n", c.ToString().c_str());
-  }
-
-  if (resilient) {
-    exec::ResilientPipelineOptions opts;
-    opts.deadline_ms = deadline_ms;
-    opts.max_steps = max_steps;
-    auto run = exec::RunResilientPipeline(*source, *target, *correspondences,
-                                          opts);
-    if (!run.ok()) {
-      std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("\n%zu mapping(s):\n", run->mappings.size());
-    int index = 1;
-    for (const auto& m : run->mappings) {
-      std::printf("[%d] (%s) %s\n", index, exec::TierName(m.tier),
-                  m.tgd.ToString().c_str());
-      if (!m.source_algebra.empty()) {
-        std::printf("    source: %s\n", m.source_algebra.c_str());
-        std::printf("    target: %s\n", m.target_algebra.c_str());
-      }
-      ++index;
-    }
-    std::printf("\n%s", run->report.ToString().c_str());
-    return run->report.AnyAtBaselineOrWorse() ? 3 : 0;
   }
 
   auto mappings =
