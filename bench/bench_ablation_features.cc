@@ -70,6 +70,18 @@ void PrintAblationTable() {
       " no-lossy-joins forbids minimally-lossy connections [recall])\n");
 }
 
+// One instrumented pass of the full (un-ablated) configuration over every
+// domain's test cases, for the BENCH_ablation_features.json report.
+void InstrumentedPass(const exec::RunContext& ctx) {
+  for (const eval::Domain& domain : AllDomains()) {
+    for (const eval::TestCase& c : domain.cases) {
+      auto mappings = rew::GenerateSemanticMappings(
+          domain.source, domain.target, c.correspondences, {}, ctx);
+      benchmark::DoNotOptimize(mappings);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace semap::bench
 
@@ -85,5 +97,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   semap::bench::PrintAblationTable();
+  semap::bench::EmitBenchJson("ablation_features",
+                              semap::bench::InstrumentedPass);
   return 0;
 }

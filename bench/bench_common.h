@@ -1,15 +1,21 @@
 // Shared helpers for the benchmark binaries: build the seven Table-1
-// domains once and expose per-domain evaluation runs.
+// domains once, expose per-domain evaluation runs, and emit each bench's
+// machine-readable BENCH_<name>.json observability report.
 #ifndef SEMAP_BENCH_BENCH_COMMON_H_
 #define SEMAP_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "datasets/domains.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "exec/run_context.h"
+#include "obs/profile.h"
 
 namespace semap::bench {
 
@@ -24,6 +30,58 @@ inline const std::vector<eval::Domain>& AllDomains() {
     return new std::vector<eval::Domain>(std::move(*result));
   }();
   return *domains;
+}
+
+/// Run one fully instrumented pass of the bench's workload and write
+/// BENCH_<name>.json ("semap.bench.v1": per-phase wall time aggregated
+/// from the trace plus the run's counters) into $SEMAP_BENCH_JSON_DIR (or
+/// the working directory). The instrumented pass is separate from the
+/// google-benchmark timings, so the timed iterations stay uninstrumented.
+inline void EmitBenchJson(
+    const std::string& bench_name,
+    const std::function<void(const exec::RunContext&)>& workload) {
+  obs::Tracer tracer;
+  obs::Metrics metrics;
+  exec::RunContext ctx;
+  ctx.tracer = &tracer;
+  ctx.metrics = &metrics;
+  {
+    obs::Span root = obs::StartSpan(&tracer, "pipeline");
+    workload(ctx);
+  }
+
+  std::string json = "{\n  \"schema\": \"semap.bench.v1\",\n  \"bench\": \"" +
+                     obs::JsonEscape(bench_name) + "\",\n  \"phases\": [";
+  bool first = true;
+  for (const obs::PhaseProfile& phase : obs::AggregatePhases(tracer)) {
+    if (!first) json += ",";
+    first = false;
+    json += "\n    {\"name\": \"" + obs::JsonEscape(phase.name) +
+            "\", \"spans\": " + std::to_string(phase.spans) +
+            ", \"total_ns\": " + std::to_string(phase.total_ns) +
+            ", \"share\": " + std::to_string(phase.share) + "}";
+  }
+  json += first ? "],\n" : "\n  ],\n";
+  json += "  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : metrics.counters()) {
+    if (!first) json += ",";
+    first = false;
+    json += "\n    \"" + obs::JsonEscape(name) +
+            "\": " + std::to_string(value);
+  }
+  json += first ? "}\n}\n" : "\n  }\n}\n";
+
+  const char* dir = std::getenv("SEMAP_BENCH_JSON_DIR");
+  std::string path = dir != nullptr && dir[0] != '\0'
+                         ? std::string(dir) + "/BENCH_" + bench_name + ".json"
+                         : "BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out || !(out << json)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 
 }  // namespace semap::bench

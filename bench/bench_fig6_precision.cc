@@ -6,7 +6,9 @@
 // as google-benchmark timings.
 #include <benchmark/benchmark.h>
 
+#include "baseline/ric_mapper.h"
 #include "bench_common.h"
+#include "rewriting/semantic_mapper.h"
 
 namespace semap::bench {
 namespace {
@@ -49,6 +51,22 @@ void PrintFigure6() {
               ric_avg / static_cast<double>(names.size()));
 }
 
+// One instrumented pass of both methods over every domain's test cases,
+// for the BENCH_fig6_precision.json report.
+void InstrumentedPass(const exec::RunContext& ctx) {
+  for (const eval::Domain& domain : AllDomains()) {
+    for (const eval::TestCase& c : domain.cases) {
+      auto semantic = rew::GenerateSemanticMappings(
+          domain.source, domain.target, c.correspondences, {}, ctx);
+      benchmark::DoNotOptimize(semantic);
+      auto ric = baseline::GenerateRicMappings(
+          domain.source.schema(), domain.target.schema(), c.correspondences,
+          {}, ctx);
+      benchmark::DoNotOptimize(ric);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace semap::bench
 
@@ -69,5 +87,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   semap::bench::PrintFigure6();
+  semap::bench::EmitBenchJson("fig6_precision", semap::bench::InstrumentedPass);
   return 0;
 }

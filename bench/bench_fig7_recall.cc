@@ -7,7 +7,9 @@
 // cases.
 #include <benchmark/benchmark.h>
 
+#include "baseline/ric_mapper.h"
 #include "bench_common.h"
+#include "rewriting/semantic_mapper.h"
 
 namespace semap::bench {
 namespace {
@@ -50,6 +52,22 @@ void PrintFigure7() {
   }
 }
 
+// One instrumented pass of both methods over every domain's test cases,
+// for the BENCH_fig7_recall.json report.
+void InstrumentedPass(const exec::RunContext& ctx) {
+  for (const eval::Domain& domain : AllDomains()) {
+    for (const eval::TestCase& c : domain.cases) {
+      auto semantic = rew::GenerateSemanticMappings(
+          domain.source, domain.target, c.correspondences, {}, ctx);
+      benchmark::DoNotOptimize(semantic);
+      auto ric = baseline::GenerateRicMappings(
+          domain.source.schema(), domain.target.schema(), c.correspondences,
+          {}, ctx);
+      benchmark::DoNotOptimize(ric);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace semap::bench
 
@@ -68,5 +86,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   semap::bench::PrintFigure7();
+  semap::bench::EmitBenchJson("fig7_recall", semap::bench::InstrumentedPass);
   return 0;
 }

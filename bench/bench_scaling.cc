@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "bench_common.h"
 #include "cm/model.h"
 #include "datasets/padding.h"
 #include "rewriting/semantic_mapper.h"
@@ -76,7 +77,29 @@ BENCHMARK(BenchDiscovery)
     ->ArgsProduct({{2, 4, 8, 12}, {0, 25, 50, 100}})
     ->Unit(benchmark::kMillisecond);
 
+// One instrumented pass over the smallest chain configuration, for the
+// BENCH_scaling.json report (also the CI bench smoke workload).
+void InstrumentedPass(const exec::RunContext& ctx) {
+  auto source = ChainSchema("src", 2, 0);
+  auto target = ChainSchema("tgt", 2, 0);
+  if (!source.ok() || !target.ok()) return;
+  std::vector<disc::Correspondence> corrs = {
+      {{"C0", "v0"}, {"C0", "v0"}},
+      {{"C1", "v1"}, {"C1", "v1"}},
+  };
+  auto mappings =
+      rew::GenerateSemanticMappings(*source, *target, corrs, {}, ctx);
+  benchmark::DoNotOptimize(mappings);
+}
+
 }  // namespace
 }  // namespace semap::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  semap::bench::EmitBenchJson("scaling", semap::bench::InstrumentedPass);
+  return 0;
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files against the semap.bench.v1 shape.
+
+Usage: check_bench_json.py FILE [FILE...]
+
+Hand-rolled structural checks (stdlib only — no jsonschema dependency):
+the file must parse as JSON and carry the schema tag, a bench name, a
+phases array of {name, spans, total_ns, share} rows, and a counters map
+of non-negative integers. Exits non-zero on the first invalid file.
+"""
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def check(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(path, f"unreadable or invalid JSON: {error}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if doc.get("schema") != "semap.bench.v1":
+        return fail(path, f"schema is {doc.get('schema')!r}, "
+                          "expected 'semap.bench.v1'")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        return fail(path, "missing or empty 'bench' name")
+
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        return fail(path, "missing or empty 'phases' array")
+    names = set()
+    for i, phase in enumerate(phases):
+        if not isinstance(phase, dict):
+            return fail(path, f"phases[{i}] is not an object")
+        if not isinstance(phase.get("name"), str) or not phase["name"]:
+            return fail(path, f"phases[{i}] missing 'name'")
+        for key in ("spans", "total_ns"):
+            value = phase.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                return fail(path, f"phases[{i}].{key} is not a "
+                                  f"non-negative integer: {value!r}")
+        share = phase.get("share")
+        if not isinstance(share, (int, float)) or isinstance(share, bool) \
+                or not 0 <= share <= 1:
+            return fail(path, f"phases[{i}].share out of [0,1]: {share!r}")
+        names.add(phase["name"])
+    if "pipeline" not in names:
+        return fail(path, "phases lack the 'pipeline' root span")
+
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        return fail(path, "missing 'counters' object")
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            return fail(path, f"counter {name!r} is not a non-negative "
+                              f"integer: {value!r}")
+    if not any(name.startswith(("discovery.", "rewriting.", "baseline."))
+               for name in counters):
+        return fail(path, "counters carry no pipeline activity "
+                          "(no discovery.*/rewriting.*/baseline.* entries)")
+
+    print(f"{path}: ok ({len(phases)} phases, {len(counters)} counters)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return max(check(path) for path in argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Tier-1 verification: the standard build + full test suite, then the
-# robustness/governance/validation tests again under ASan+UBSan
-# (-DSEMAP_SANITIZE=ON).
+# Tier-1 verification: the standard build + full test suite, a bench
+# smoke run that emits and schema-checks the machine-readable
+# BENCH_*.json observability report, then the robustness/governance/
+# validation tests again under ASan+UBSan (-DSEMAP_SANITIZE=ON).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,6 +11,13 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 cmake -B build -S .
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
+
+# Bench smoke: the smallest bench_scaling configuration, one iteration —
+# enough to exercise the instrumented pass and validate its JSON report.
+mkdir -p build/bench-json
+SEMAP_BENCH_JSON_DIR="$PWD/build/bench-json" ./build/bench/bench_scaling \
+  --benchmark_filter='BenchDiscovery/2/0$' --benchmark_min_time=0.01
+python3 scripts/check_bench_json.py build/bench-json/BENCH_scaling.json
 
 cmake -B build-asan -S . -DSEMAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$jobs" --target robustness_test \

@@ -52,6 +52,17 @@ Result<std::vector<RicMapping>> GenerateRicMappings(
     const rel::RelationalSchema& source, const rel::RelationalSchema& target,
     const std::vector<disc::Correspondence>& correspondences,
     const RicMapperOptions& options) {
+  return GenerateRicMappings(source, target, correspondences, options,
+                             exec::RunContext{});
+}
+
+Result<std::vector<RicMapping>> GenerateRicMappings(
+    const rel::RelationalSchema& source, const rel::RelationalSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const RicMapperOptions& options, const exec::RunContext& run_ctx) {
+  exec::RunContext ctx = run_ctx;
+  if (ctx.governor == nullptr) ctx.governor = options.governor;
+  obs::Span span = ctx.Span("ric_baseline");
   for (const disc::Correspondence& corr : correspondences) {
     if (!source.HasColumn(corr.source)) {
       return Status::NotFound("unknown source column " +
@@ -67,13 +78,23 @@ Result<std::vector<RicMapping>> GenerateRicMappings(
   std::vector<LogicalRelation> target_lrs =
       LogicalRelationsOf(target, options.chase);
 
+  ctx.Count("baseline.logical_relations",
+            static_cast<int64_t>(source_lrs.size() + target_lrs.size()));
   std::vector<RicMapping> mappings;
   size_t pairs_tried = 0;
   const size_t total_pairs = source_lrs.size() * target_lrs.size();
+  // Emitted on every exit path (cap hit, exhaustion, completion).
+  auto finish = [&] {
+    ctx.Count("baseline.pairs_examined", static_cast<int64_t>(pairs_tried));
+    ctx.Count("baseline.mappings_emitted",
+              static_cast<int64_t>(mappings.size()));
+    span.AddAttr("mappings", static_cast<int64_t>(mappings.size()));
+    span.End();
+  };
   for (const LogicalRelation& slr : source_lrs) {
-    if (GovernorExhausted(options.governor)) break;
+    if (ctx.Exhausted()) break;
     for (const LogicalRelation& tlr : target_lrs) {
-      if (!GovernorCharge(options.governor)) break;
+      if (!ctx.Charge()) break;
       ++pairs_tried;
       // Covered correspondences: both ends present in the pair.
       std::vector<size_t> covered;
@@ -117,15 +138,19 @@ Result<std::vector<RicMapping>> GenerateRicMappings(
       }
       if (!duplicate) {
         mappings.push_back(std::move(mapping));
-        if (mappings.size() >= options.max_mappings) return mappings;
+        if (mappings.size() >= options.max_mappings) {
+          finish();
+          return mappings;
+        }
       }
     }
   }
-  if (GovernorExhausted(options.governor) && pairs_tried < total_pairs) {
-    options.governor->NoteTruncation(
+  if (ctx.Exhausted() && pairs_tried < total_pairs) {
+    ctx.governor->NoteTruncation(
         "GenerateRicMappings: examined " + std::to_string(pairs_tried) + "/" +
         std::to_string(total_pairs) + " logical-relation pairs");
   }
+  finish();
   return mappings;
 }
 

@@ -10,6 +10,7 @@
 
 #include "baseline/logical_relations.h"
 #include "discovery/correspondence.h"
+#include "exec/run_context.h"
 #include "logic/tgd.h"
 #include "util/budget.h"
 #include "util/result.h"
@@ -22,9 +23,9 @@ struct RicMapperOptions {
   bool prune_unnecessary_joins = true;
   /// Cap on emitted mappings.
   size_t max_mappings = 64;
-  /// Optional resource governor (not owned; null = ungoverned); charged
-  /// per logical-relation pair. When it trips, the mappings emitted so
-  /// far are returned.
+  /// Deprecated: pass an exec::RunContext instead. Honored (when the
+  /// context carries no governor); charged per logical-relation pair.
+  /// When it trips, the mappings emitted so far are returned.
   ResourceGovernor* governor = nullptr;
 };
 
@@ -36,7 +37,14 @@ struct RicMapping {
 };
 
 /// \brief Generate all RIC-based candidate mappings for the given schemas
-/// and correspondences.
+/// and correspondences. With tracing enabled the whole run is one
+/// `ric_baseline` span; `baseline.*` counters record pairs examined and
+/// mappings emitted. The context-free overload is the deprecated
+/// pre-RunContext path.
+Result<std::vector<RicMapping>> GenerateRicMappings(
+    const rel::RelationalSchema& source, const rel::RelationalSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const RicMapperOptions& options, const exec::RunContext& ctx);
 Result<std::vector<RicMapping>> GenerateRicMappings(
     const rel::RelationalSchema& source, const rel::RelationalSchema& target,
     const std::vector<disc::Correspondence>& correspondences,

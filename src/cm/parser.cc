@@ -278,9 +278,7 @@ void FilterReified(ParsedCm& parsed, const std::set<std::string>& class_names,
   }
 }
 
-}  // namespace
-
-Result<ConceptualModel> ParseCm(std::string_view input) {
+Result<ConceptualModel> ParseCmStrict(std::string_view input) {
   SEMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
   TokenCursor cur(std::move(tokens));
   ConceptualModel model;
@@ -321,7 +319,8 @@ Result<ConceptualModel> ParseCm(std::string_view input) {
   return model;
 }
 
-ConceptualModel ParseCmLenient(std::string_view input, DiagnosticSink& sink) {
+ConceptualModel ParseCmLenientImpl(std::string_view input,
+                                   DiagnosticSink& sink) {
   TokenCursor cur(TokenizeLenient(input, sink));
   ParsedCm parsed = CollectStatements(cur, sink);
 
@@ -447,6 +446,28 @@ ConceptualModel ParseCmLenient(std::string_view input, DiagnosticSink& sink) {
                "recovered model failed validation: " + valid.message(), {});
   }
   return model;
+}
+
+}  // namespace
+
+Result<ConceptualModel> ParseCm(std::string_view input,
+                                const ParseOptions& options) {
+  if (options.mode == ParseMode::kLenient) {
+    if (options.sink == nullptr) {
+      return Status::InvalidArgument(
+          "lenient parse requires ParseOptions::sink");
+    }
+    return ParseCmLenientImpl(input, *options.sink);
+  }
+  return ParseCmStrict(input);
+}
+
+Result<ConceptualModel> ParseCm(std::string_view input) {
+  return ParseCm(input, {});
+}
+
+ConceptualModel ParseCmLenient(std::string_view input, DiagnosticSink& sink) {
+  return *ParseCm(input, {ParseMode::kLenient, &sink});
 }
 
 }  // namespace semap::cm

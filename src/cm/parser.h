@@ -32,15 +32,19 @@
 
 namespace semap::cm {
 
-/// \brief Parse the CM text format described above. The returned model has
-/// been Validate()d. Fail-fast: the first problem aborts the parse.
-Result<ConceptualModel> ParseCm(std::string_view input);
+/// \brief Parse the CM text format described above — the canonical entry
+/// point. The returned model has been Validate()d. kStrict fails fast on
+/// the first problem; kLenient (sink required) collects coded
+/// diagnostics, synchronizes at statement keywords, and returns the
+/// well-formed subset of the model — malformed statements, duplicate
+/// definitions, references to unknown classes, and ISA links that would
+/// close a cycle are dropped (each with a diagnostic) — failing only when
+/// the options are themselves invalid (kLenient without a sink).
+Result<ConceptualModel> ParseCm(std::string_view input,
+                                const ParseOptions& options);
 
-/// \brief Recovery-mode parse: collects coded diagnostics into `sink`,
-/// synchronizes at statement keywords, and returns the well-formed subset
-/// of the model — malformed statements, duplicate definitions, references
-/// to unknown classes, and ISA links that would close a cycle are dropped
-/// (each with a diagnostic). The returned model always passes Validate().
+/// Historical names, delegating to the canonical entry point.
+Result<ConceptualModel> ParseCm(std::string_view input);
 ConceptualModel ParseCmLenient(std::string_view input, DiagnosticSink& sink);
 
 }  // namespace semap::cm

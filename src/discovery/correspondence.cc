@@ -93,9 +93,7 @@ Result<Correspondence> ParseCorrStmt(TokenCursor& cur) {
   return corr;
 }
 
-}  // namespace
-
-Result<std::vector<Correspondence>> ParseCorrespondences(
+Result<std::vector<Correspondence>> ParseCorrespondencesStrict(
     std::string_view input) {
   SEMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
   TokenCursor cur(std::move(tokens));
@@ -107,7 +105,7 @@ Result<std::vector<Correspondence>> ParseCorrespondences(
   return out;
 }
 
-std::vector<Correspondence> ParseCorrespondencesLenient(
+std::vector<Correspondence> ParseCorrespondencesLenientImpl(
     std::string_view input, DiagnosticSink& sink,
     std::vector<SourceSpan>* spans) {
   TokenCursor cur(TokenizeLenient(input, sink));
@@ -124,6 +122,32 @@ std::vector<Correspondence> ParseCorrespondencesLenient(
     if (spans != nullptr) spans->push_back(span);
   }
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<Correspondence>> ParseCorrespondences(
+    std::string_view input, const ParseOptions& options,
+    std::vector<SourceSpan>* spans) {
+  if (options.mode == ParseMode::kLenient) {
+    if (options.sink == nullptr) {
+      return Status::InvalidArgument(
+          "lenient parse requires ParseOptions::sink");
+    }
+    return ParseCorrespondencesLenientImpl(input, *options.sink, spans);
+  }
+  return ParseCorrespondencesStrict(input);
+}
+
+Result<std::vector<Correspondence>> ParseCorrespondences(
+    std::string_view input) {
+  return ParseCorrespondences(input, ParseOptions{});
+}
+
+std::vector<Correspondence> ParseCorrespondencesLenient(
+    std::string_view input, DiagnosticSink& sink,
+    std::vector<SourceSpan>* spans) {
+  return *ParseCorrespondences(input, {ParseMode::kLenient, &sink}, spans);
 }
 
 }  // namespace semap::disc

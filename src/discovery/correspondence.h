@@ -63,16 +63,22 @@ std::set<std::string> PreSelectedTables(
     const std::vector<Correspondence>& correspondences, bool source_side);
 
 /// \brief Parse a correspondence file: one `src_table.col <-> tgt_table.col;`
-/// per statement, '#'//'//' comments allowed. Fail-fast: the first problem
-/// aborts the parse.
+/// per statement, '#'//'//' comments allowed — the canonical entry point.
+/// kStrict fails fast on the first problem; kLenient (sink required)
+/// collects coded diagnostics, synchronizes past the next ';' after a
+/// malformed statement, and returns the well-formed correspondences —
+/// failing only when the options are themselves invalid (kLenient
+/// without a sink). When `spans` is non-null, a lenient parse fills it
+/// with one SourceSpan per returned correspondence (its first token),
+/// for later cross-artifact diagnostics; strict parses leave it
+/// untouched.
+Result<std::vector<Correspondence>> ParseCorrespondences(
+    std::string_view input, const ParseOptions& options,
+    std::vector<SourceSpan>* spans = nullptr);
+
+/// Historical names, delegating to the canonical entry point.
 Result<std::vector<Correspondence>> ParseCorrespondences(
     std::string_view input);
-
-/// \brief Recovery-mode parse: collects coded diagnostics into `sink`,
-/// synchronizes past the next ';' after a malformed statement, and returns
-/// the well-formed correspondences. Never fails. When `spans` is non-null
-/// it receives one SourceSpan per returned correspondence (its first
-/// token), for later cross-artifact diagnostics.
 std::vector<Correspondence> ParseCorrespondencesLenient(
     std::string_view input, DiagnosticSink& sink,
     std::vector<SourceSpan>* spans = nullptr);

@@ -42,11 +42,24 @@ ReifiedCategory CategoryOfReified(const cm::CmGraph& graph, int node) {
 Discoverer::Discoverer(const sem::AnnotatedSchema& source,
                        const sem::AnnotatedSchema& target,
                        std::vector<Correspondence> correspondences,
-                       DiscoveryOptions options)
+                       DiscoveryOptions options, const exec::RunContext& ctx)
     : source_(source),
       target_(target),
       correspondences_(std::move(correspondences)),
-      options_(options) {}
+      options_(options),
+      ctx_(ctx) {
+  // Deprecated per-pointer options are honored when the context lacks the
+  // corresponding service, so both construction styles behave alike.
+  if (ctx_.governor == nullptr) ctx_.governor = options_.governor;
+  if (ctx_.sink == nullptr) ctx_.sink = options_.sink;
+}
+
+Discoverer::Discoverer(const sem::AnnotatedSchema& source,
+                       const sem::AnnotatedSchema& target,
+                       std::vector<Correspondence> correspondences,
+                       DiscoveryOptions options)
+    : Discoverer(source, target, std::move(correspondences), options,
+                 exec::RunContext{}) {}
 
 namespace {
 
@@ -69,13 +82,14 @@ std::set<int> PreSelectedEdges(const sem::AnnotatedSchema& side,
 std::vector<Csg> BestPartialTrees(const cm::CmGraph& graph,
                                   const CostModel& costs,
                                   const std::vector<int>& terminals,
-                                  const TreeSearchOptions& opts) {
+                                  const TreeSearchOptions& opts,
+                                  const exec::RunContext& ctx) {
   std::vector<std::pair<size_t, Csg>> scored;  // (covered count, tree)
   for (int root : graph.ClassNodes()) {
-    if (!GovernorCharge(opts.governor)) break;
+    if (!ctx.Charge()) break;
     std::vector<int> uncovered;
     std::optional<Csg> tree =
-        GrowTree(graph, costs, root, terminals, opts, &uncovered);
+        GrowTree(graph, costs, root, terminals, opts, ctx, &uncovered);
     if (!tree.has_value()) continue;
     scored.push_back({terminals.size() - uncovered.size(), std::move(*tree)});
   }
@@ -128,12 +142,11 @@ std::vector<Csg> Discoverer::FindTargetCsgs(
   opts.functional_only = true;
   opts.use_isa = options_.use_isa;
   opts.max_results = options_.max_trees_per_side;
-  opts.governor = options_.governor;
   std::vector<Csg> trees =
-      MinimalTrees(target_.graph(), target_costs, marked, opts);
+      MinimalTrees(target_.graph(), target_costs, marked, opts, ctx_);
   if (trees.empty() && options_.allow_lossy) {
     opts.functional_only = false;
-    trees = MinimalTrees(target_.graph(), target_costs, marked, opts);
+    trees = MinimalTrees(target_.graph(), target_costs, marked, opts, ctx_);
   }
   if (trees.empty()) {
     // Fall back to the pre-selected s-trees individually; each covers a
@@ -155,7 +168,6 @@ std::vector<Csg> Discoverer::FindSourceCsgs(
   TreeSearchOptions opts;
   opts.use_isa = options_.use_isa;
   opts.max_results = options_.max_trees_per_side;
-  opts.governor = options_.governor;
   // Functional trees suffice for functional targets; many-to-many targets
   // may require minimally-lossy connections (Example 3.2).
   opts.functional_only = !(target_many_to_many && options_.allow_lossy);
@@ -168,18 +180,21 @@ std::vector<Csg> Discoverer::FindSourceCsgs(
             .graph_node;
     std::vector<Csg> anchored;
     for (int s : graph.ClassNodes()) {
-      if (!GovernorCharge(options_.governor)) break;
+      if (!ctx_.Charge()) break;
       if (!NodesCorrespond(lifted_, s, anchor_graph_node)) continue;
       std::vector<int> uncovered;
-      std::vector<Csg> trees = GrowAllTrees(graph, source_costs, s,
-                                            marked_source, opts, &uncovered);
+      std::vector<Csg> trees = GrowAllTrees(
+          graph, source_costs, s, marked_source, opts, ctx_, &uncovered);
       if (!uncovered.empty()) continue;
       for (Csg& tree : trees) anchored.push_back(std::move(tree));
     }
     if (options_.use_disjointness_filter) {
+      const size_t before = anchored.size();
       std::erase_if(anchored, [&](const Csg& c) {
         return HasDisjointnessViolation(graph, c);
       });
+      ctx_.Count("discovery.pruned.disjointness",
+                 static_cast<int64_t>(before - anchored.size()));
     }
     if (!anchored.empty()) {
       int64_t best = std::numeric_limits<int64_t>::max();
@@ -196,17 +211,20 @@ std::vector<Csg> Discoverer::FindSourceCsgs(
     TreeSearchOptions local = opts;
     local.excluded_nodes = excluded;
     std::vector<Csg> trees =
-        MinimalTrees(graph, source_costs, terminals, local);
+        MinimalTrees(graph, source_costs, terminals, local, ctx_);
     if (trees.empty() && local.functional_only && options_.allow_lossy) {
       // "passing, if necessary, through non-functional edges".
       TreeSearchOptions lossy = local;
       lossy.functional_only = false;
-      trees = MinimalTrees(graph, source_costs, terminals, lossy);
+      trees = MinimalTrees(graph, source_costs, terminals, lossy, ctx_);
     }
     if (options_.use_disjointness_filter) {
+      const size_t before = trees.size();
       std::erase_if(trees, [&](const Csg& c) {
         return HasDisjointnessViolation(graph, c);
       });
+      ctx_.Count("discovery.pruned.disjointness",
+                 static_cast<int64_t>(before - trees.size()));
     }
     return trees;
   };
@@ -220,7 +238,7 @@ std::vector<Csg> Discoverer::FindSourceCsgs(
   // subsets of the marked nodes instead.
   if (marked_source.size() > 2) {
     for (size_t skip = 0; skip < marked_source.size(); ++skip) {
-      if (!GovernorCharge(options_.governor)) break;
+      if (!ctx_.Charge()) break;
       std::vector<int> subset;
       for (size_t i = 0; i < marked_source.size(); ++i) {
         if (i != skip) subset.push_back(marked_source[i]);
@@ -236,11 +254,14 @@ std::vector<Csg> Discoverer::FindSourceCsgs(
     }
     if (!out.empty()) return out;
   }
-  out = BestPartialTrees(graph, source_costs, marked_source, opts);
+  out = BestPartialTrees(graph, source_costs, marked_source, opts, ctx_);
   if (options_.use_disjointness_filter) {
+    const size_t before = out.size();
     std::erase_if(out, [&](const Csg& c) {
       return HasDisjointnessViolation(graph, c);
     });
+    ctx_.Count("discovery.pruned.disjointness",
+               static_cast<int64_t>(before - out.size()));
   }
   return out;
 }
@@ -270,6 +291,7 @@ bool Discoverer::AssembleCandidate(Csg source_csg, const Csg& target_csg,
   if (options_.use_disjointness_filter &&
       (HasDisjointnessViolation(src_graph, cand.source_csg) ||
        HasDisjointnessViolation(tgt_graph, cand.target_csg))) {
+    ctx_.Count("discovery.pruned.disjointness");
     return false;
   }
 
@@ -295,8 +317,10 @@ bool Discoverer::AssembleCandidate(Csg source_csg, const Csg& target_csg,
         switch (JudgeConnections(src_conn, tgt_conn, identified(la),
                                  identified(lb))) {
           case Compat::kIncompatible:
+            ctx_.Count("discovery.pruned.semantic_type");
             return false;
           case Compat::kDowngrade:
+            ctx_.Count("discovery.downgrades");
             ++cand.penalty;
             break;
           case Compat::kCompatible:
@@ -336,12 +360,20 @@ bool Discoverer::AssembleCandidate(Csg source_csg, const Csg& target_csg,
 }
 
 Result<std::vector<MappingCandidate>> Discoverer::Run() {
-  SEMAP_ASSIGN_OR_RETURN(lifted_,
-                         LiftCorrespondences(source_, target_,
-                                             correspondences_,
-                                             options_.sink));
+  {
+    obs::Span span = ctx_.Span("stree_inference");
+    SEMAP_ASSIGN_OR_RETURN(lifted_,
+                           LiftCorrespondences(source_, target_,
+                                               correspondences_,
+                                               ctx_.sink));
+    span.AddAttr("lifted", static_cast<int64_t>(lifted_.size()));
+  }
+  ctx_.Count("discovery.correspondences_lifted",
+             static_cast<int64_t>(lifted_.size()));
+  ctx_.Count("discovery.correspondences_unliftable",
+             static_cast<int64_t>(correspondences_.size() - lifted_.size()));
   if (lifted_.empty()) {
-    if (options_.sink != nullptr && !correspondences_.empty()) {
+    if (ctx_.sink != nullptr && !correspondences_.empty()) {
       // Every correspondence was skipped as unliftable (already reported
       // to the sink): a clean empty answer, so the caller can degrade to
       // the RIC baseline instead of aborting.
@@ -407,10 +439,18 @@ Result<std::vector<MappingCandidate>> Discoverer::Run() {
     }
   }
 
-  std::vector<Csg> target_csgs = FindTargetCsgs(target_costs);
+  std::vector<Csg> target_csgs;
+  {
+    obs::Span span = ctx_.Span("tree_search");
+    target_csgs = FindTargetCsgs(target_costs);
+    span.AddAttr("target_csgs", static_cast<int64_t>(target_csgs.size()));
+  }
+  ctx_.Count("discovery.target_csgs",
+             static_cast<int64_t>(target_csgs.size()));
+  obs::Span pairing_span = ctx_.Span("csg_pairing");
   size_t targets_paired = 0;
   for (const Csg& target_csg : target_csgs) {
-    if (!GovernorCharge(options_.governor)) break;
+    if (!ctx_.Charge()) break;
     ++targets_paired;
     // Marked source nodes restricted to correspondences this target CSG
     // covers.
@@ -457,8 +497,10 @@ Result<std::vector<MappingCandidate>> Discoverer::Run() {
       source_csgs =
           FindSourceCsgs(target_csg, marked_source, target_mn, source_costs);
     }
+    ctx_.Count("discovery.source_csgs",
+               static_cast<int64_t>(source_csgs.size()));
     for (Csg& source_csg : source_csgs) {
-      if (!GovernorCharge(options_.governor)) break;
+      if (!ctx_.Charge()) break;
       MappingCandidate cand;
       cand.source_attachments = source_attachments;
       cand.target_attachments = target_attachments;
@@ -470,13 +512,19 @@ Result<std::vector<MappingCandidate>> Discoverer::Run() {
   // A tripped governor ends enumeration, never discovery: the candidates
   // assembled before the budget ran out are filtered and ranked normally
   // below, and the governor records what was left unexplored.
-  if (GovernorExhausted(options_.governor) &&
-      targets_paired < target_csgs.size()) {
-    options_.governor->NoteTruncation(
+  if (ctx_.Exhausted() && targets_paired < target_csgs.size()) {
+    ctx_.governor->NoteTruncation(
         "Discoverer: paired " + std::to_string(targets_paired) + "/" +
         std::to_string(target_csgs.size()) + " target CSGs");
   }
+  pairing_span.AddAttr("candidates",
+                       static_cast<int64_t>(candidates.size()));
+  pairing_span.End();
+  ctx_.Count("discovery.candidates_assembled",
+             static_cast<int64_t>(candidates.size()));
 
+  obs::Span filter_span = ctx_.Span("filtering");
+  const size_t assembled = candidates.size();
   // Keep, per covered-correspondence set, only the least-penalized
   // candidates ("eliminated or downgraded", Example 1.3).
   std::map<std::string, int> best_penalty;
@@ -506,9 +554,18 @@ Result<std::vector<MappingCandidate>> Discoverer::Run() {
                      return a.source_csg.cost + a.target_csg.cost <
                             b.source_csg.cost + b.target_csg.cost;
                    });
+  ctx_.Count("discovery.pruned.penalty",
+             static_cast<int64_t>(assembled - candidates.size()));
   if (candidates.size() > options_.max_candidates) {
+    ctx_.Count("discovery.pruned.candidate_cap",
+               static_cast<int64_t>(candidates.size() -
+                                    options_.max_candidates));
     candidates.resize(options_.max_candidates);
   }
+  filter_span.AddAttr("kept", static_cast<int64_t>(candidates.size()));
+  filter_span.End();
+  ctx_.Count("discovery.candidates_returned",
+             static_cast<int64_t>(candidates.size()));
   return candidates;
 }
 

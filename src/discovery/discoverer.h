@@ -42,16 +42,14 @@ struct DiscoveryOptions {
   size_t max_candidates = 8;
   /// Cap on trees enumerated per side.
   size_t max_trees_per_side = 8;
-  /// Optional resource governor (not owned; null = ungoverned), shared
-  /// with every tree search this discovery spawns. When it trips, Run()
-  /// returns the candidates assembled so far instead of an error; the
-  /// governor's status() and truncations() describe what was cut.
+  /// Deprecated: pass an exec::RunContext to the Discoverer instead. Both
+  /// pointers are honored (when the context lacks them) so pre-RunContext
+  /// call sites keep working unchanged. The governor is shared with every
+  /// tree search this discovery spawns — when it trips, Run() returns the
+  /// candidates assembled so far instead of an error; with a sink set, a
+  /// correspondence whose column has no semantics is skipped with a
+  /// kUnliftableCorrespondence warning instead of failing the run.
   ResourceGovernor* governor = nullptr;
-  /// Optional diagnostic sink (not owned). When set, a correspondence
-  /// whose column has no semantics is skipped with a
-  /// kUnliftableCorrespondence warning instead of failing the run; if every
-  /// correspondence is skipped, Run() returns an empty candidate list (a
-  /// clean answer the caller can degrade on) rather than an error.
   DiagnosticSink* sink = nullptr;
 };
 
@@ -80,6 +78,17 @@ struct MappingCandidate {
 
 class Discoverer {
  public:
+  /// The RunContext carries the run's governor, diagnostic sink, tracer
+  /// and metrics; Run() emits one span per discovery phase
+  /// (stree_inference, tree_search, csg_pairing, filtering) when tracing
+  /// is enabled. See docs/OBSERVABILITY.md for the span/counter taxonomy.
+  Discoverer(const sem::AnnotatedSchema& source,
+             const sem::AnnotatedSchema& target,
+             std::vector<Correspondence> correspondences,
+             DiscoveryOptions options, const exec::RunContext& ctx);
+
+  /// Deprecated compat: builds the context from options.governor /
+  /// options.sink (no tracing, no metrics).
   Discoverer(const sem::AnnotatedSchema& source,
              const sem::AnnotatedSchema& target,
              std::vector<Correspondence> correspondences,
@@ -110,6 +119,7 @@ class Discoverer {
   const sem::AnnotatedSchema& target_;
   std::vector<Correspondence> correspondences_;
   DiscoveryOptions options_;
+  exec::RunContext ctx_;
   std::vector<LiftedCorrespondence> lifted_;
 };
 

@@ -19,11 +19,29 @@ bool EdgeAllowed(const cm::GraphEdge& e, const TreeSearchOptions& options) {
   return true;
 }
 
+/// The context the search actually runs under: the caller's context, with
+/// the deprecated options.governor honored when the context has none.
+exec::RunContext Effective(const TreeSearchOptions& options,
+                           const exec::RunContext& ctx) {
+  exec::RunContext out = ctx;
+  if (out.governor == nullptr) out.governor = options.governor;
+  return out;
+}
+
 }  // namespace
 
 ShortestPaths ComputeShortestPaths(const cm::CmGraph& graph,
                                    const CostModel& costs, int root,
                                    const TreeSearchOptions& options) {
+  return ComputeShortestPaths(graph, costs, root, options, {});
+}
+
+ShortestPaths ComputeShortestPaths(const cm::CmGraph& graph,
+                                   const CostModel& costs, int root,
+                                   const TreeSearchOptions& options,
+                                   const exec::RunContext& run_ctx) {
+  const exec::RunContext ctx = Effective(options, run_ctx);
+  ctx.Count("tree_search.shortest_path_runs");
   const size_t n = graph.nodes().size();
   ShortestPaths sp;
   sp.dist.assign(n, kInf);
@@ -37,7 +55,7 @@ ShortestPaths ComputeShortestPaths(const cm::CmGraph& graph,
   // Cancellation leaves the still-unsettled nodes at ∞, which callers
   // already treat as "unreachable" — the partial result stays well-formed.
   while (!queue.empty()) {
-    if (!GovernorCharge(options.governor)) break;
+    if (!ctx.Charge()) break;
     auto [d, u] = queue.top();
     queue.pop();
     if (d > sp.dist[static_cast<size_t>(u)]) continue;
@@ -69,7 +87,15 @@ std::optional<Csg> GrowTree(const cm::CmGraph& graph, const CostModel& costs,
                             int root, const std::vector<int>& terminals,
                             const TreeSearchOptions& options,
                             std::vector<int>* uncovered) {
-  ShortestPaths sp = ComputeShortestPaths(graph, costs, root, options);
+  return GrowTree(graph, costs, root, terminals, options, {}, uncovered);
+}
+
+std::optional<Csg> GrowTree(const cm::CmGraph& graph, const CostModel& costs,
+                            int root, const std::vector<int>& terminals,
+                            const TreeSearchOptions& options,
+                            const exec::RunContext& ctx,
+                            std::vector<int>* uncovered) {
+  ShortestPaths sp = ComputeShortestPaths(graph, costs, root, options, ctx);
   if (uncovered != nullptr) uncovered->clear();
 
   // Union of root->terminal paths: the set of edges on any used path.
@@ -127,9 +153,9 @@ class TreeEnumerator {
   TreeEnumerator(const cm::CmGraph& graph, const CostModel& costs,
                  const ShortestPaths& sp, int root,
                  const std::vector<int>& terminals, size_t cap,
-                 ResourceGovernor* governor)
+                 const exec::RunContext& ctx)
       : graph_(graph), costs_(costs), sp_(sp), root_(root),
-        terminals_(terminals), cap_(cap), governor_(governor) {}
+        terminals_(terminals), cap_(cap), ctx_(ctx) {}
 
   std::vector<Csg> Run() {
     std::vector<int> pending;
@@ -143,7 +169,7 @@ class TreeEnumerator {
  private:
   void Enumerate(std::vector<int> pending) {
     if (results_.size() >= cap_) return;
-    if (!GovernorCharge(governor_)) return;
+    if (!ctx_.Charge()) return;
     while (!pending.empty() &&
            (pending.back() == root_ || choice_.count(pending.back()) > 0)) {
       pending.pop_back();
@@ -235,7 +261,7 @@ class TreeEnumerator {
   int root_;
   const std::vector<int>& terminals_;
   size_t cap_;
-  ResourceGovernor* governor_;
+  exec::RunContext ctx_;
   std::map<int, int> choice_;  // node -> chosen parent edge
   std::vector<Csg> results_;
   std::vector<std::set<int>> seen_;
@@ -247,7 +273,16 @@ std::vector<Csg> GrowAllTrees(const cm::CmGraph& graph, const CostModel& costs,
                               int root, const std::vector<int>& terminals,
                               const TreeSearchOptions& options,
                               std::vector<int>* uncovered) {
-  ShortestPaths sp = ComputeShortestPaths(graph, costs, root, options);
+  return GrowAllTrees(graph, costs, root, terminals, options, {}, uncovered);
+}
+
+std::vector<Csg> GrowAllTrees(const cm::CmGraph& graph, const CostModel& costs,
+                              int root, const std::vector<int>& terminals,
+                              const TreeSearchOptions& options,
+                              const exec::RunContext& run_ctx,
+                              std::vector<int>* uncovered) {
+  const exec::RunContext ctx = Effective(options, run_ctx);
+  ShortestPaths sp = ComputeShortestPaths(graph, costs, root, options, ctx);
   if (uncovered != nullptr) uncovered->clear();
   std::vector<int> reachable;
   for (int t : terminals) {
@@ -259,11 +294,13 @@ std::vector<Csg> GrowAllTrees(const cm::CmGraph& graph, const CostModel& costs,
   }
   if (reachable.empty()) return {};
   TreeEnumerator enumerator(graph, costs, sp, root, reachable,
-                            options.max_results, options.governor);
+                            options.max_results, ctx);
   std::vector<Csg> trees = enumerator.Run();
-  if (options.governor != nullptr) {
+  ctx.Count("tree_search.trees_enumerated",
+            static_cast<int64_t>(trees.size()));
+  if (ctx.governor != nullptr) {
     for (const Csg& tree : trees) {
-      options.governor->ChargeMemory(static_cast<int64_t>(
+      ctx.governor->ChargeMemory(static_cast<int64_t>(
           tree.fragment.nodes.size() * sizeof(sem::Fragment::Node) +
           tree.fragment.edges.size() * sizeof(sem::Fragment::Edge)));
     }
@@ -274,21 +311,31 @@ std::vector<Csg> GrowAllTrees(const cm::CmGraph& graph, const CostModel& costs,
 std::vector<Csg> MinimalTrees(const cm::CmGraph& graph, const CostModel& costs,
                               const std::vector<int>& terminals,
                               const TreeSearchOptions& options) {
+  return MinimalTrees(graph, costs, terminals, options, {});
+}
+
+std::vector<Csg> MinimalTrees(const cm::CmGraph& graph, const CostModel& costs,
+                              const std::vector<int>& terminals,
+                              const TreeSearchOptions& options,
+                              const exec::RunContext& run_ctx) {
+  const exec::RunContext ctx = Effective(options, run_ctx);
+  obs::ScopedTimer timer(ctx.metrics, "tree_search.minimal_trees_ns");
   std::vector<Csg> candidates;
   const std::vector<int> roots = graph.ClassNodes();
   size_t roots_tried = 0;
   for (int root : roots) {
-    if (!GovernorCharge(options.governor)) break;
+    if (!ctx.Charge()) break;
     ++roots_tried;
     if (options.excluded_nodes.count(root) > 0) continue;
     std::vector<int> uncovered;
     std::vector<Csg> trees =
-        GrowAllTrees(graph, costs, root, terminals, options, &uncovered);
+        GrowAllTrees(graph, costs, root, terminals, options, ctx, &uncovered);
     if (!uncovered.empty()) continue;
     for (Csg& tree : trees) candidates.push_back(std::move(tree));
   }
-  if (GovernorExhausted(options.governor) && roots_tried < roots.size()) {
-    options.governor->NoteTruncation(
+  ctx.Count("tree_search.roots_tried", static_cast<int64_t>(roots_tried));
+  if (ctx.Exhausted() && roots_tried < roots.size()) {
+    ctx.governor->NoteTruncation(
         "MinimalTrees: stopped after " + std::to_string(roots_tried) + "/" +
         std::to_string(roots.size()) + " candidate roots");
   }

@@ -14,6 +14,7 @@
 
 #include "discovery/cost_model.h"
 #include "discovery/csg.h"
+#include "exec/run_context.h"
 #include "util/budget.h"
 
 namespace semap::disc {
@@ -30,9 +31,9 @@ struct TreeSearchOptions {
   /// Class nodes the search must not touch (used when splitting an
   /// inconsistent connection: the split-away node stays out).
   std::set<int> excluded_nodes;
-  /// Optional resource governor (not owned; null = ungoverned). Every
-  /// search loop charges it and, once exhausted, unwinds with the
-  /// well-formed trees found so far.
+  /// Deprecated: pass an exec::RunContext instead. Honored (when the
+  /// context carries no governor) so pre-RunContext call sites keep
+  /// working unchanged.
   ResourceGovernor* governor = nullptr;
 };
 
@@ -47,12 +48,21 @@ struct ShortestPaths {
 
 ShortestPaths ComputeShortestPaths(const cm::CmGraph& graph,
                                    const CostModel& costs, int root,
+                                   const TreeSearchOptions& options,
+                                   const exec::RunContext& ctx);
+ShortestPaths ComputeShortestPaths(const cm::CmGraph& graph,
+                                   const CostModel& costs, int root,
                                    const TreeSearchOptions& options);
 
 /// \brief Grow the minimal-cost tree rooted at `root` covering every
 /// reachable terminal. `uncovered` (optional out) receives terminals that
 /// were unreachable. Returns nullopt when no terminal is reachable or the
 /// tree would be a single node with no terminals.
+std::optional<Csg> GrowTree(const cm::CmGraph& graph, const CostModel& costs,
+                            int root, const std::vector<int>& terminals,
+                            const TreeSearchOptions& options,
+                            const exec::RunContext& ctx,
+                            std::vector<int>* uncovered = nullptr);
 std::optional<Csg> GrowTree(const cm::CmGraph& graph, const CostModel& costs,
                             int root, const std::vector<int>& terminals,
                             const TreeSearchOptions& options,
@@ -65,6 +75,11 @@ std::optional<Csg> GrowTree(const cm::CmGraph& graph, const CostModel& costs,
 std::vector<Csg> GrowAllTrees(const cm::CmGraph& graph, const CostModel& costs,
                               int root, const std::vector<int>& terminals,
                               const TreeSearchOptions& options,
+                              const exec::RunContext& ctx,
+                              std::vector<int>* uncovered = nullptr);
+std::vector<Csg> GrowAllTrees(const cm::CmGraph& graph, const CostModel& costs,
+                              int root, const std::vector<int>& terminals,
+                              const TreeSearchOptions& options,
                               std::vector<int>* uncovered = nullptr);
 
 /// \brief Enumerate minimal trees covering all `terminals`, over every
@@ -72,6 +87,14 @@ std::vector<Csg> GrowAllTrees(const cm::CmGraph& graph, const CostModel& costs,
 /// whose node set strictly contains another's (Case A.2 minimality), and
 /// deduplicates by undirected edge set. Tie-breaks prefer trees using more
 /// pre-selected s-tree edges, then fewer nodes.
+///
+/// The RunContext carries the governor charged by every search loop plus
+/// tracing/metrics; the context-free overloads delegate with a context
+/// built from options.governor (the deprecated pre-RunContext path).
+std::vector<Csg> MinimalTrees(const cm::CmGraph& graph, const CostModel& costs,
+                              const std::vector<int>& terminals,
+                              const TreeSearchOptions& options,
+                              const exec::RunContext& ctx);
 std::vector<Csg> MinimalTrees(const cm::CmGraph& graph, const CostModel& costs,
                               const std::vector<int>& terminals,
                               const TreeSearchOptions& options);

@@ -105,9 +105,19 @@ Result<ResilientResult> RunResilientPipeline(
     const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
     const std::vector<disc::Correspondence>& correspondences,
     const ResilientPipelineOptions& options) {
+  return RunResilientPipeline(source, target, correspondences, options,
+                              RunContext{});
+}
+
+Result<ResilientResult> RunResilientPipeline(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const ResilientPipelineOptions& options, const RunContext& run_ctx) {
   if (correspondences.empty()) {
     return Status::InvalidArgument("no correspondences given");
   }
+  RunContext ctx = run_ctx;
+  if (ctx.sink == nullptr) ctx.sink = options.sink;
   ResilientResult result;
   // Fail-soft validation: without a sink a dangling correspondence is a
   // hard error (the caller asked for strict inputs); with one it is
@@ -129,11 +139,11 @@ Result<ResilientResult> RunResilientPipeline(
       usable.push_back(corr);
       continue;
     }
-    if (options.sink == nullptr) {
+    if (ctx.sink == nullptr) {
       return Status::NotFound("unknown " + std::string(side) + " column " +
                               dangling->ToString());
     }
-    options.sink->Error(diag::kDanglingCorrespondence,
+    ctx.sink->Error(diag::kDanglingCorrespondence,
                         "unknown " + std::string(side) + " column " +
                             dangling->ToString() + "; quarantining " +
                             corr.ToString(),
@@ -172,12 +182,12 @@ Result<ResilientResult> RunResilientPipeline(
     result.report.tables.push_back(std::move(outcome));
   }
 
-  auto emit = [&result, &options](ResilientMapping mapping) {
+  auto emit = [&result, &ctx](ResilientMapping mapping) {
     // An unsafe tgd (frontier variable the source query never binds) is a
     // generator bug, never a valid answer: discard it rather than ship an
     // unexecutable mapping.
-    if (options.sink != nullptr &&
-        !validate::CheckTgdSafety(mapping.tgd, *options.sink)) {
+    if (ctx.sink != nullptr &&
+        !validate::CheckTgdSafety(mapping.tgd, *ctx.sink)) {
       return false;
     }
     // Cross-table duplicates (two groups reaching the same expression)
@@ -189,7 +199,12 @@ Result<ResilientResult> RunResilientPipeline(
     return true;
   };
 
+  ctx.Count("pipeline.tables", static_cast<int64_t>(groups.size()));
+  ctx.Count("pipeline.quarantined_correspondences",
+            static_cast<int64_t>(result.report.quarantined_correspondences));
   for (const auto& [table, group] : groups) {
+    obs::Span cascade_span = ctx.Span("cascade");
+    cascade_span.AddAttr("table", table);
     TableOutcome outcome;
     outcome.target_table = table;
     if (auto it = quarantined_by_table.find(table);
@@ -220,19 +235,24 @@ Result<ResilientResult> RunResilientPipeline(
         if (budget >= 0) budget >>= attempt;
         ResourceGovernor governor;
         ConfigureGovernor(&governor, deadline, budget, fault_after);
-        sem_opts.discovery.governor = &governor;
         // Discovery reports unliftable correspondences into a scratch sink
         // so cascade retries do not duplicate them; lifting is
         // deterministic, so the first attempt's findings stand for all.
         DiagnosticSink lift_sink;
-        sem_opts.discovery.sink =
-            options.sink != nullptr ? &lift_sink : nullptr;
-        auto mappings =
-            rew::GenerateSemanticMappings(source, target, group, sem_opts);
-        if (options.sink != nullptr &&
+        RunContext tier_ctx = ctx.WithGovernor(&governor);
+        tier_ctx.sink = ctx.sink != nullptr ? &lift_sink : nullptr;
+        ctx.Count("pipeline.tier_attempts");
+        obs::Span tier_span = ctx.Span("tier");
+        tier_span.AddAttr("tier", TierName(tier));
+        tier_span.AddAttr("attempt", static_cast<int64_t>(attempt + 1));
+        auto mappings = rew::GenerateSemanticMappings(source, target, group,
+                                                      sem_opts, tier_ctx);
+        if (governor.exhausted()) ctx.Count("governor.trips");
+        tier_span.End();
+        if (ctx.sink != nullptr &&
             tier == DegradationTier::kSemanticFull && attempt == 0) {
           for (const Diagnostic& d : lift_sink.diagnostics()) {
-            options.sink->Add(d);
+            ctx.sink->Add(d);
           }
         }
         std::string attempt_label = std::string(TierName(tier)) +
@@ -285,10 +305,15 @@ Result<ResilientResult> RunResilientPipeline(
       ResourceGovernor governor;
       ConfigureGovernor(&governor, deadline, /*step_budget=*/-1,
                         /*fault_after=*/std::nullopt);
-      ric_opts.governor = &governor;
+      ctx.Count("pipeline.tier_attempts");
+      obs::Span tier_span = ctx.Span("tier");
+      tier_span.AddAttr("tier", TierName(DegradationTier::kRicBaseline));
       auto ric = baseline::GenerateRicMappings(source.schema(),
                                                target.schema(), group,
-                                               ric_opts);
+                                               ric_opts,
+                                               ctx.WithGovernor(&governor));
+      if (governor.exhausted()) ctx.Count("governor.trips");
+      tier_span.End();
       if (ric.ok() && !ric->empty()) {
         outcome.tier = DegradationTier::kRicBaseline;
         outcome.mappings = ric->size();
@@ -314,8 +339,15 @@ Result<ResilientResult> RunResilientPipeline(
                       : ric.status().ToString()));
       }
     }
+    cascade_span.AddAttr("tier", TierName(outcome.tier));
+    cascade_span.AddAttr("mappings", static_cast<int64_t>(outcome.mappings));
+    if (outcome.tier != DegradationTier::kSemanticFull) {
+      ctx.Count("pipeline.degraded_tables");
+    }
     result.report.tables.push_back(std::move(outcome));
   }
+  ctx.Count("pipeline.mappings_emitted",
+            static_cast<int64_t>(result.mappings.size()));
   return result;
 }
 

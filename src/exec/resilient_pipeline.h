@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "baseline/ric_mapper.h"
+#include "exec/run_context.h"
 #include "rewriting/semantic_mapper.h"
 #include "util/diag.h"
 #include "util/result.h"
@@ -87,11 +88,12 @@ struct ResilientPipelineOptions {
   int64_t fault_after = -1;
   /// Shrinking-budget retries per governed tier before degrading.
   size_t retries_per_tier = 1;
-  /// Optional diagnostic sink (not owned). When set, malformed inputs no
-  /// longer fail the run: correspondences naming unknown columns are
-  /// quarantined with kDanglingCorrespondence (their tables reported at
-  /// tier kQuarantined), columns without semantics degrade their table
-  /// with kUnliftableCorrespondence, and any unsafe produced mapping is
+  /// Deprecated: pass an exec::RunContext instead (honored when the
+  /// context carries no sink). When set, malformed inputs no longer fail
+  /// the run: correspondences naming unknown columns are quarantined with
+  /// kDanglingCorrespondence (their tables reported at tier
+  /// kQuarantined), columns without semantics degrade their table with
+  /// kUnliftableCorrespondence, and any unsafe produced mapping is
   /// discarded with kUnsafeTgd.
   DiagnosticSink* sink = nullptr;
 };
@@ -119,6 +121,18 @@ struct ResilientResult {
 /// (only an empty correspondence set still fails). Resource exhaustion
 /// never surfaces as an error — it surfaces as a degraded tier in the
 /// report.
+/// The RunContext's tracer/metrics observe the whole cascade: one
+/// `cascade` span per target table with a nested `tier` span per attempt
+/// (each carrying the usual discovery/rewriting phase spans beneath it),
+/// plus `pipeline.*` and `governor.trips` counters. The context's
+/// governor is ignored — the cascade manufactures its own per-tier
+/// governor slices from deadline_ms/max_steps — but its sink/tracer/
+/// metrics flow into every tier. The context-free overload is the
+/// deprecated pre-RunContext path.
+Result<ResilientResult> RunResilientPipeline(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const ResilientPipelineOptions& options, const RunContext& ctx);
 Result<ResilientResult> RunResilientPipeline(
     const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
     const std::vector<disc::Correspondence>& correspondences,

@@ -1,0 +1,68 @@
+// RunContext: the one bundle of per-run cross-cutting services threaded
+// through the whole pipeline — resource governance (PR 1), structured
+// diagnostics (PR 2), and tracing/metrics (PR 3) — replacing the earlier
+// pattern of adding one raw pointer per concern to every options struct.
+//
+// All members are optional and non-owning; a default-constructed
+// RunContext means "no governance, no diagnostics, no observability" and
+// every helper below degrades to a branch on null — the pipeline's
+// behavior and allocations are then identical to an uninstrumented build.
+//
+// This header is deliberately header-only and depends only on util/ and
+// obs/, so the lower pipeline layers (discovery, rewriting, baseline) can
+// accept a RunContext without linking against the exec library.
+#ifndef SEMAP_EXEC_RUN_CONTEXT_H_
+#define SEMAP_EXEC_RUN_CONTEXT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/budget.h"
+#include "util/diag.h"
+
+namespace semap::exec {
+
+struct RunContext {
+  /// Cooperative resource budget; null = ungoverned.
+  ResourceGovernor* governor = nullptr;
+  /// Fail-soft diagnostics; null = strict (first problem is an error).
+  DiagnosticSink* sink = nullptr;
+  /// Span tracing; null = disabled (zero cost).
+  obs::Tracer* tracer = nullptr;
+  /// Counters and histograms; null = disabled (zero cost).
+  obs::Metrics* metrics = nullptr;
+
+  /// Charge `steps` against the governor; true while work may proceed.
+  bool Charge(int64_t steps = 1) const {
+    return GovernorCharge(governor, steps);
+  }
+  /// True when the governor exists and has tripped.
+  bool Exhausted() const { return GovernorExhausted(governor); }
+  /// Open a span (inert when tracing is disabled).
+  obs::Span Span(std::string_view name) const {
+    return obs::StartSpan(tracer, name);
+  }
+  /// Bump a counter (no-op when metrics are disabled).
+  void Count(std::string_view name, int64_t delta = 1) const {
+    obs::Count(metrics, name, delta);
+  }
+  /// Time a scope into a duration histogram (inert when disabled).
+  obs::ScopedTimer Timer(std::string_view name) const {
+    return obs::ScopedTimer(metrics, name);
+  }
+
+  /// This context with the governor swapped out — how the resilient
+  /// pipeline hands each cascade tier its own budget slice while keeping
+  /// the run's sink/tracer/metrics.
+  RunContext WithGovernor(ResourceGovernor* g) const {
+    RunContext out = *this;
+    out.governor = g;
+    return out;
+  }
+};
+
+}  // namespace semap::exec
+
+#endif  // SEMAP_EXEC_RUN_CONTEXT_H_

@@ -1,0 +1,73 @@
+#include "obs/metrics.h"
+
+#include "obs/trace.h"
+
+namespace semap::obs {
+
+void Metrics::Add(std::string_view name, int64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+int64_t Metrics::Value(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Metrics::RecordDurationNs(std::string_view name, int64_t ns) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  Histogram& h = it->second;
+  size_t bucket = kBucketBoundsNs.size();  // overflow bucket
+  for (size_t i = 0; i < kBucketBoundsNs.size(); ++i) {
+    if (ns <= kBucketBoundsNs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++h.buckets[bucket];
+  if (h.count == 0 || ns < h.min_ns) h.min_ns = ns;
+  if (h.count == 0 || ns > h.max_ns) h.max_ns = ns;
+  ++h.count;
+  h.sum_ns += ns;
+}
+
+std::string Metrics::ToJson() const {
+  std::string out = "{\"schema\":\"semap.metrics.v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{";
+    out += "\"count\":" + std::to_string(h.count);
+    out += ",\"sum_ns\":" + std::to_string(h.sum_ns);
+    out += ",\"min_ns\":" + std::to_string(h.min_ns);
+    out += ",\"max_ns\":" + std::to_string(h.max_ns);
+    out += ",\"buckets\":[";
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      if (i > 0) out += ",";
+      out += "{\"le_ns\":";
+      out += i < kBucketBoundsNs.size() ? std::to_string(kBucketBoundsNs[i])
+                                        : std::string("\"inf\"");
+      out += ",\"count\":" + std::to_string(h.buckets[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace semap::obs

@@ -1,0 +1,103 @@
+// Metrics: named monotonic counters and duration histograms for one run.
+//
+// Counters measure search effort (trees enumerated, candidates pruned per
+// filter, governor trips, quarantines — the quantities the paper's
+// evaluation and later perf PRs compare); histograms capture the latency
+// distribution of repeated operations (a tree enumeration, one rewrite
+// query) in fixed exponential nanosecond buckets. The flat JSON export
+// (ToJson) is the machine-readable side; docs/OBSERVABILITY.md names every
+// counter the pipeline emits.
+//
+// Disabled metrics cost nothing: a null Metrics* through obs::Count /
+// obs::ScopedTimer (or an empty exec::RunContext) skips the work entirely,
+// without allocating or reading the clock.
+#ifndef SEMAP_OBS_METRICS_H_
+#define SEMAP_OBS_METRICS_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace semap::obs {
+
+class Metrics {
+ public:
+  /// Bucket upper bounds (inclusive), nanoseconds; the last bucket is
+  /// unbounded. 1µs, 10µs, 100µs, 1ms, 10ms, 100ms, 1s, 10s, +inf.
+  static constexpr std::array<int64_t, 8> kBucketBoundsNs = {
+      1'000,       10'000,        100'000,       1'000'000,
+      10'000'000,  100'000'000,   1'000'000'000, 10'000'000'000};
+  static constexpr size_t kNumBuckets = kBucketBoundsNs.size() + 1;
+
+  struct Histogram {
+    std::array<int64_t, kNumBuckets> buckets{};
+    int64_t count = 0;
+    int64_t sum_ns = 0;
+    int64_t min_ns = 0;
+    int64_t max_ns = 0;
+  };
+
+  /// Bump counter `name` by `delta`.
+  void Add(std::string_view name, int64_t delta = 1);
+
+  /// Current value of counter `name` (0 if never bumped).
+  int64_t Value(std::string_view name) const;
+
+  /// Record one duration observation into histogram `name`.
+  void RecordDurationNs(std::string_view name, int64_t ns);
+
+  const std::map<std::string, int64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Flat metrics table as JSON:
+  /// {"schema":"semap.metrics.v1","counters":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, int64_t, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// \brief Bump a counter on a nullable Metrics: the canonical call site.
+inline void Count(Metrics* metrics, std::string_view name,
+                  int64_t delta = 1) {
+  if (metrics != nullptr) metrics->Add(name, delta);
+}
+
+/// \brief RAII duration sample: records the scope's wall time into a
+/// histogram on destruction. Null metrics = inert (no clock read).
+class ScopedTimer {
+ public:
+  ScopedTimer(Metrics* metrics, std::string_view name) : metrics_(metrics) {
+    if (metrics_ != nullptr) {
+      name_ = name;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (metrics_ != nullptr) {
+      metrics_->RecordDurationNs(
+          name_, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+    }
+  }
+
+ private:
+  Metrics* metrics_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace semap::obs
+
+#endif  // SEMAP_OBS_METRICS_H_

@@ -1,0 +1,98 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace semap::obs {
+
+namespace {
+
+std::string FormatNs(int64_t ns) {
+  char buf[32];
+  if (ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::vector<PhaseProfile> AggregatePhases(const Tracer& tracer) {
+  std::map<std::string, PhaseProfile> by_name;
+  for (const SpanRecord& s : tracer.spans()) {
+    PhaseProfile& p = by_name[s.name];
+    p.name = s.name;
+    ++p.spans;
+    if (s.duration_ns > 0) p.total_ns += s.duration_ns;
+  }
+  // The run total: the first root span when one exists (the CLI's
+  // `pipeline` span), otherwise the largest aggregate.
+  int64_t total = 0;
+  for (const SpanRecord& s : tracer.spans()) {
+    if (s.parent < 0 && s.duration_ns > 0) {
+      total = s.duration_ns;
+      break;
+    }
+  }
+  std::vector<PhaseProfile> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, p] : by_name) rows.push_back(std::move(p));
+  if (total == 0) {
+    for (const PhaseProfile& p : rows) total = std::max(total, p.total_ns);
+  }
+  for (PhaseProfile& p : rows) {
+    p.share = total > 0 ? static_cast<double>(p.total_ns) /
+                              static_cast<double>(total)
+                        : 0;
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const PhaseProfile& a, const PhaseProfile& b) {
+                     return a.total_ns > b.total_ns;
+                   });
+  return rows;
+}
+
+std::string ProfileString(const Tracer& tracer, const Metrics& metrics,
+                          size_t max_counters) {
+  std::vector<PhaseProfile> rows = AggregatePhases(tracer);
+  std::string out = "profile (per-phase wall time):\n";
+  size_t width = 5;
+  for (const PhaseProfile& p : rows) width = std::max(width, p.name.size());
+  for (const PhaseProfile& p : rows) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-*s  %10s  %5.1f%%  %zu span(s)\n",
+                  static_cast<int>(width), p.name.c_str(),
+                  FormatNs(p.total_ns).c_str(), p.share * 100.0, p.spans);
+    out += line;
+  }
+  if (!metrics.counters().empty()) {
+    std::vector<std::pair<std::string, int64_t>> top(
+        metrics.counters().begin(), metrics.counters().end());
+    std::stable_sort(top.begin(), top.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    if (top.size() > max_counters) top.resize(max_counters);
+    out += "top counters:\n";
+    size_t cw = 5;
+    for (const auto& [name, value] : top) cw = std::max(cw, name.size());
+    for (const auto& [name, value] : top) {
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %-*s  %lld\n",
+                    static_cast<int>(cw), name.c_str(),
+                    static_cast<long long>(value));
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace semap::obs

@@ -1,0 +1,33 @@
+// Human-readable profile rendering: the `semap_map --profile` summary —
+// per-phase wall time aggregated by span name, share of the run, span
+// counts, and the top counters of the run. See docs/OBSERVABILITY.md for
+// how to read the output.
+#ifndef SEMAP_OBS_PROFILE_H_
+#define SEMAP_OBS_PROFILE_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace semap::obs {
+
+/// \brief One aggregated profile row: every span named `name`.
+struct PhaseProfile {
+  std::string name;
+  size_t spans = 0;
+  int64_t total_ns = 0;
+  double share = 0;  // of the run's total (first root span, else max sum)
+};
+
+/// \brief Aggregate spans by name, sorted by total duration descending.
+std::vector<PhaseProfile> AggregatePhases(const Tracer& tracer);
+
+/// \brief The per-phase table plus the `max_counters` largest counters,
+/// formatted for a terminal.
+std::string ProfileString(const Tracer& tracer, const Metrics& metrics,
+                          size_t max_counters = 12);
+
+}  // namespace semap::obs
+
+#endif  // SEMAP_OBS_PROFILE_H_

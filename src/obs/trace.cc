@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace semap::obs {
+
+void Span::AddAttr(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  tracer_->spans_[static_cast<size_t>(id_)].attrs.emplace_back(
+      std::string(key), std::string(value));
+}
+
+void Span::AddAttr(std::string_view key, int64_t value) {
+  AddAttr(key, std::to_string(value));
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  tracer_->EndSpan(id_);
+  tracer_ = nullptr;
+}
+
+Span Tracer::StartSpan(std::string_view name) {
+  SpanRecord record;
+  record.name = std::string(name);
+  record.id = static_cast<int>(spans_.size());
+  record.parent = open_.empty() ? -1 : open_.back();
+  record.start_ns = NowNs();
+  spans_.push_back(std::move(record));
+  open_.push_back(spans_.back().id);
+  return Span(this, spans_.back().id);
+}
+
+void Tracer::EndSpan(int id) {
+  SpanRecord& record = spans_[static_cast<size_t>(id)];
+  if (record.duration_ns >= 0) return;
+  record.duration_ns = NowNs() - record.start_ns;
+  // Out-of-order ends (a parent Span destroyed before a still-open child,
+  // e.g. after a move) just remove the id wherever it sits in the stack.
+  auto it = std::find(open_.rbegin(), open_.rend(), id);
+  if (it != open_.rend()) open_.erase(std::next(it).base());
+}
+
+size_t Tracer::CountSpans(std::string_view name) const {
+  size_t n = 0;
+  for (const SpanRecord& s : spans_) {
+    if (s.name == name) ++n;
+  }
+  return n;
+}
+
+int64_t Tracer::TotalDurationNs(std::string_view name) const {
+  int64_t total = 0;
+  for (const SpanRecord& s : spans_) {
+    if (s.name == name && s.duration_ns >= 0) total += s.duration_ns;
+  }
+  return total;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void EmitSpan(const std::vector<SpanRecord>& spans,
+              const std::vector<std::vector<int>>& children, int id,
+              std::string* out) {
+  const SpanRecord& s = spans[static_cast<size_t>(id)];
+  *out += "{\"name\":\"" + JsonEscape(s.name) + "\"";
+  *out += ",\"id\":" + std::to_string(s.id);
+  *out += ",\"start_ns\":" + std::to_string(s.start_ns);
+  *out += ",\"duration_ns\":" + std::to_string(s.duration_ns);
+  if (!s.attrs.empty()) {
+    *out += ",\"attrs\":{";
+    bool first = true;
+    for (const auto& [key, value] : s.attrs) {
+      if (!first) *out += ",";
+      first = false;
+      *out += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+    }
+    *out += "}";
+  }
+  const std::vector<int>& kids = children[static_cast<size_t>(id)];
+  if (!kids.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < kids.size(); ++i) {
+      if (i > 0) *out += ",";
+      EmitSpan(spans, children, kids[i], out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string Tracer::ToJson() const {
+  std::vector<std::vector<int>> children(spans_.size());
+  std::vector<int> roots;
+  for (const SpanRecord& s : spans_) {
+    if (s.parent < 0) {
+      roots.push_back(s.id);
+    } else {
+      children[static_cast<size_t>(s.parent)].push_back(s.id);
+    }
+  }
+  std::string out = "{\"schema\":\"semap.trace.v1\",\"spans\":[";
+  for (size_t i = 0; i < roots.size(); ++i) {
+    if (i > 0) out += ",";
+    EmitSpan(spans_, children, roots[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace semap::obs

@@ -1,0 +1,127 @@
+// Tracing: wall-clock spans over the discovery pipeline's phases.
+//
+// A Tracer records a tree of Spans — name, parent, start offset, duration,
+// string attributes — for one run; the JSON export (ToJson) renders the
+// tree for offline analysis and docs/OBSERVABILITY.md documents the span
+// taxonomy the pipeline emits. Spans are RAII: StartSpan opens a span as a
+// child of the innermost still-open span, and the Span object closes it on
+// destruction (or explicitly via End).
+//
+// Disabled tracing is the default and costs nothing: a null Tracer*
+// (obs::StartSpan(nullptr, ...) or an empty exec::RunContext) yields an
+// inert Span — no allocation, no clock read, no branches beyond the null
+// check. Tracers are single-threaded by design, matching the pipeline.
+#ifndef SEMAP_OBS_TRACE_H_
+#define SEMAP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace semap::obs {
+
+/// \brief One recorded span. Offsets are nanoseconds since the tracer was
+/// constructed; duration_ns is -1 while the span is still open.
+struct SpanRecord {
+  std::string name;
+  int id = -1;
+  int parent = -1;  // -1 = root
+  int64_t start_ns = 0;
+  int64_t duration_ns = -1;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class Tracer;
+
+/// \brief RAII handle for an open span. Default-constructed (or moved-from)
+/// handles are inert no-ops — the disabled-tracing fast path.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept : tracer_(other.tracer_), id_(other.id_) {
+    other.tracer_ = nullptr;
+  }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      End();
+      tracer_ = other.tracer_;
+      id_ = other.id_;
+      other.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ~Span() { End(); }
+
+  /// Attach a key/value attribute (no-op on an inert span).
+  void AddAttr(std::string_view key, std::string_view value);
+  void AddAttr(std::string_view key, int64_t value);
+
+  /// Close the span now; further calls are no-ops.
+  void End();
+
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, int id) : tracer_(tracer), id_(id) {}
+
+  Tracer* tracer_ = nullptr;
+  int id_ = -1;
+};
+
+/// \brief Collects the span tree of one run.
+class Tracer {
+ public:
+  Tracer() : epoch_(Clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Open a span as a child of the innermost open span.
+  Span StartSpan(std::string_view name);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Number of (open or closed) spans named `name`.
+  size_t CountSpans(std::string_view name) const;
+
+  /// Summed duration of all closed spans named `name`.
+  int64_t TotalDurationNs(std::string_view name) const;
+
+  /// Trace tree as JSON ({"schema":"semap.trace.v1","spans":[...]});
+  /// children are nested under their parent span.
+  std::string ToJson() const;
+
+ private:
+  friend class Span;
+  using Clock = std::chrono::steady_clock;
+
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                epoch_)
+        .count();
+  }
+  void EndSpan(int id);
+
+  Clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;
+  std::vector<int> open_;  // ids of open spans, innermost last
+};
+
+/// \brief Open a span on a nullable tracer: the canonical call site. A null
+/// tracer returns an inert Span without touching the clock.
+inline Span StartSpan(Tracer* tracer, std::string_view name) {
+  return tracer == nullptr ? Span() : tracer->StartSpan(name);
+}
+
+/// \brief Escape `s` for embedding in a JSON string literal (shared by the
+/// trace/metrics/bench exporters).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace semap::obs
+
+#endif  // SEMAP_OBS_TRACE_H_

@@ -90,9 +90,7 @@ const char* ClassifyRicRejection(const Ric& ric) {
   return diag::kDanglingRic;
 }
 
-}  // namespace
-
-Result<RelationalSchema> ParseSchema(std::string_view input) {
+Result<RelationalSchema> ParseSchemaStrict(std::string_view input) {
   SEMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
   TokenCursor cur(std::move(tokens));
   RelationalSchema schema;
@@ -117,8 +115,8 @@ Result<RelationalSchema> ParseSchema(std::string_view input) {
   return schema;
 }
 
-RelationalSchema ParseSchemaLenient(std::string_view input,
-                                    DiagnosticSink& sink) {
+RelationalSchema ParseSchemaLenientImpl(std::string_view input,
+                                        DiagnosticSink& sink) {
   TokenCursor cur(TokenizeLenient(input, sink));
   RelationalSchema schema;
   std::vector<ParsedRic> pending;
@@ -162,6 +160,29 @@ RelationalSchema ParseSchemaLenient(std::string_view input,
     }
   }
   return schema;
+}
+
+}  // namespace
+
+Result<RelationalSchema> ParseSchema(std::string_view input,
+                                     const ParseOptions& options) {
+  if (options.mode == ParseMode::kLenient) {
+    if (options.sink == nullptr) {
+      return Status::InvalidArgument(
+          "lenient parse requires ParseOptions::sink");
+    }
+    return ParseSchemaLenientImpl(input, *options.sink);
+  }
+  return ParseSchemaStrict(input);
+}
+
+Result<RelationalSchema> ParseSchema(std::string_view input) {
+  return ParseSchema(input, {});
+}
+
+RelationalSchema ParseSchemaLenient(std::string_view input,
+                                    DiagnosticSink& sink) {
+  return *ParseSchema(input, {ParseMode::kLenient, &sink});
 }
 
 }  // namespace semap::rel

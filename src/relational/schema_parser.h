@@ -20,14 +20,18 @@
 
 namespace semap::rel {
 
-/// \brief Parse the schema text format described above. Fail-fast: the
-/// first problem aborts the parse.
-Result<RelationalSchema> ParseSchema(std::string_view input);
+/// \brief Parse the schema text format described above — the canonical
+/// entry point. kStrict fails fast on the first problem; kLenient (sink
+/// required) collects coded diagnostics, synchronizes at statement
+/// boundaries, and returns the well-formed subset of the schema
+/// (malformed tables and RICs are dropped; the rest is kept) — it only
+/// fails when the options are themselves invalid (kLenient without a
+/// sink).
+Result<RelationalSchema> ParseSchema(std::string_view input,
+                                     const ParseOptions& options);
 
-/// \brief Recovery-mode parse: collects coded diagnostics into `sink`,
-/// synchronizes at statement boundaries, and returns the well-formed
-/// subset of the schema (malformed tables and RICs are dropped; the rest
-/// is kept). Never fails.
+/// Historical names, delegating to the canonical entry point.
+Result<RelationalSchema> ParseSchema(std::string_view input);
 RelationalSchema ParseSchemaLenient(std::string_view input,
                                     DiagnosticSink& sink);
 

@@ -35,6 +35,7 @@ struct SearchState {
   const ConjunctiveQuery* query = nullptr;
   const std::vector<InverseRule>* rules = nullptr;
   const RewriteOptions* options = nullptr;
+  exec::RunContext ctx;
   std::vector<Atom> table_atoms;
   // One entry per table_atoms element: (table predicate, variable prefix)
   // identifying the row instance, so later goals can be satisfied by the
@@ -56,7 +57,7 @@ bool TermIsVariable(const Term& t) { return t.kind == logic::TermKind::kVariable
 void Search(SearchState& state, size_t atom_index) {
   if (state.results.size() >= state.options->max_rewritings) return;
   if (++state.steps > kMaxSearchSteps) return;
-  if (!GovernorCharge(state.options->governor)) return;
+  if (!state.ctx.Charge()) return;
   const ConjunctiveQuery& query = *state.query;
   if (atom_index == query.body.size()) {
     ConjunctiveQuery rewriting;
@@ -158,6 +159,15 @@ void Search(SearchState& state, size_t atom_index) {
 Result<std::vector<ConjunctiveQuery>> RewriteQuery(
     const ConjunctiveQuery& cm_query, const std::vector<InverseRule>& rules,
     const RewriteOptions& options) {
+  return RewriteQuery(cm_query, rules, options, exec::RunContext{});
+}
+
+Result<std::vector<ConjunctiveQuery>> RewriteQuery(
+    const ConjunctiveQuery& cm_query, const std::vector<InverseRule>& rules,
+    const RewriteOptions& options, const exec::RunContext& run_ctx) {
+  exec::RunContext ctx = run_ctx;
+  if (ctx.governor == nullptr) ctx.governor = options.governor;
+  obs::ScopedTimer timer(ctx.metrics, "rewriting.rewrite_query_ns");
   // Resolve the most constrained goals first (fewest matching rules):
   // relationship atoms typically have a single producing table, so the
   // class and attribute atoms that follow are satisfied by reusing the
@@ -182,9 +192,13 @@ Result<std::vector<ConjunctiveQuery>> RewriteQuery(
   state.query = &ordered;
   state.rules = &rules;
   state.options = &options;
+  state.ctx = ctx;
   Search(state, 0);
-  if (GovernorExhausted(options.governor)) {
-    options.governor->NoteTruncation(
+  ctx.Count("rewriting.resolution_steps", state.steps);
+  ctx.Count("rewriting.rewritings_enumerated",
+            static_cast<int64_t>(state.results.size()));
+  if (ctx.Exhausted()) {
+    ctx.governor->NoteTruncation(
         "RewriteQuery: enumeration stopped after " +
         std::to_string(state.steps) + " resolution steps with " +
         std::to_string(state.results.size()) + " rewriting(s)");
@@ -251,8 +265,11 @@ Result<std::vector<ConjunctiveQuery>> RewriteQuery(
     for (size_t i = 0; i < unique.size(); ++i) {
       if (keep[i]) maximal.push_back(std::move(unique[i]));
     }
+    ctx.Count("rewriting.rewritings_kept",
+              static_cast<int64_t>(maximal.size()));
     return maximal;
   }
+  ctx.Count("rewriting.rewritings_kept", static_cast<int64_t>(unique.size()));
   return unique;
 }
 

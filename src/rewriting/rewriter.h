@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/run_context.h"
 #include "logic/containment.h"
 #include "rewriting/inverse_rules.h"
 #include "util/budget.h"
@@ -41,14 +42,21 @@ struct RewriteOptions {
   /// original, un-normalized queries.
   std::function<logic::ConjunctiveQuery(const logic::ConjunctiveQuery&)>
       normalize;
-  /// Optional resource governor (not owned; null = ungoverned); charged
-  /// per resolution step. When it trips, the rewritings enumerated so far
-  /// are filtered and returned as usual.
+  /// Deprecated: pass an exec::RunContext instead. Honored (when the
+  /// context carries no governor) so pre-RunContext call sites keep
+  /// working; charged per resolution step. When it trips, the rewritings
+  /// enumerated so far are filtered and returned as usual.
   ResourceGovernor* governor = nullptr;
 };
 
 /// \brief Rewrite `cm_query` into table-level queries. The result may be
-/// empty when the tables cannot produce the query.
+/// empty when the tables cannot produce the query. The context's metrics
+/// record resolution steps and survivor counts (`rewriting.*` counters);
+/// the governor (context's, else options.governor) bounds the search.
+Result<std::vector<logic::ConjunctiveQuery>> RewriteQuery(
+    const logic::ConjunctiveQuery& cm_query,
+    const std::vector<InverseRule>& rules, const RewriteOptions& options,
+    const exec::RunContext& ctx);
 Result<std::vector<logic::ConjunctiveQuery>> RewriteQuery(
     const logic::ConjunctiveQuery& cm_query,
     const std::vector<InverseRule>& rules, const RewriteOptions& options);

@@ -50,8 +50,21 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
     const std::vector<disc::Correspondence>& correspondences,
     const SemanticMapperOptions& options) {
+  return GenerateSemanticMappings(source, target, correspondences, options,
+                                  exec::RunContext{});
+}
+
+Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const SemanticMapperOptions& options, const exec::RunContext& run_ctx) {
+  // Discovery and rewriting share one governor: a deadline covers the
+  // pipeline end to end, not each stage separately.
+  exec::RunContext ctx = run_ctx;
+  if (ctx.governor == nullptr) ctx.governor = options.discovery.governor;
+  if (ctx.sink == nullptr) ctx.sink = options.discovery.sink;
   disc::Discoverer discoverer(source, target, correspondences,
-                              options.discovery);
+                              options.discovery, ctx);
   SEMAP_ASSIGN_OR_RETURN(std::vector<disc::MappingCandidate> candidates,
                          discoverer.Run());
   const std::vector<disc::LiftedCorrespondence>& lifted = discoverer.lifted();
@@ -93,14 +106,12 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     return t == nullptr ? nullptr : &t->columns();
   };
 
-  // Discovery and rewriting share one governor: a deadline covers the
-  // pipeline end to end, not each stage separately.
-  ResourceGovernor* governor = options.discovery.governor;
+  obs::Span rewriting_span = ctx.Span("rewriting");
   std::vector<GeneratedMapping> mappings;
   size_t candidates_rendered = 0;
   for (const disc::MappingCandidate& cand : candidates) {
     if (mappings.size() >= options.max_mappings) break;
-    if (!GovernorCharge(governor)) break;
+    if (!ctx.Charge()) break;
     ++candidates_rendered;
     SEMAP_ASSIGN_OR_RETURN(
         ConjunctiveQuery src_cm,
@@ -112,22 +123,20 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     RewriteOptions src_opts;
     src_opts.max_rewritings = options.max_rewritings_per_side * 4;
     src_opts.normalize = source_normalize;
-    src_opts.governor = governor;
     for (size_t idx : cand.covered) {
       src_opts.required_tables.insert(lifted[idx].corr.source.table);
     }
     RewriteOptions tgt_opts;
     tgt_opts.max_rewritings = options.max_rewritings_per_side * 4;
     tgt_opts.normalize = target_normalize;
-    tgt_opts.governor = governor;
     for (size_t idx : cand.covered) {
       tgt_opts.required_tables.insert(lifted[idx].corr.target.table);
     }
 
     SEMAP_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> src_rewritings,
-                           RewriteQuery(src_cm, source_rules, src_opts));
+                           RewriteQuery(src_cm, source_rules, src_opts, ctx));
     SEMAP_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> tgt_rewritings,
-                           RewriteQuery(tgt_cm, target_rules, tgt_opts));
+                           RewriteQuery(tgt_cm, target_rules, tgt_opts, ctx));
     if (src_rewritings.empty() || tgt_rewritings.empty()) continue;
     // Most compact rewriting first (Occam: the paper returns the single
     // q'3-style expression); the rest become alternative variants.
@@ -179,12 +188,18 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     mapping.candidate = cand;
     mappings.push_back(std::move(mapping));
   }
-  if (GovernorExhausted(governor) && candidates_rendered < candidates.size()) {
-    governor->NoteTruncation(
+  if (ctx.Exhausted() && candidates_rendered < candidates.size()) {
+    ctx.governor->NoteTruncation(
         "GenerateSemanticMappings: rendered " +
         std::to_string(candidates_rendered) + "/" +
         std::to_string(candidates.size()) + " discovered candidates");
   }
+  rewriting_span.AddAttr("mappings", static_cast<int64_t>(mappings.size()));
+  rewriting_span.End();
+  ctx.Count("rewriting.candidates_rendered",
+            static_cast<int64_t>(candidates_rendered));
+  ctx.Count("rewriting.mappings_emitted",
+            static_cast<int64_t>(mappings.size()));
   return mappings;
 }
 

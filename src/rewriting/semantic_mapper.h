@@ -43,7 +43,15 @@ struct SemanticMapperOptions {
   size_t max_rewritings_per_side = 8;
 };
 
-/// \brief Run the full semantic pipeline.
+/// \brief Run the full semantic pipeline. The RunContext's tracer gets the
+/// discovery phase spans plus a `rewriting` span; the governor (context's,
+/// else options.discovery.governor) covers discovery and rewriting with
+/// one budget. The context-free overload is the deprecated pre-RunContext
+/// path.
+Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const SemanticMapperOptions& options, const exec::RunContext& ctx);
 Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
     const std::vector<disc::Correspondence>& correspondences,

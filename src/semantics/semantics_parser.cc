@@ -102,10 +102,8 @@ Result<STree> ParseBlock(const cm::CmGraph& graph, TokenCursor& cur) {
   return std::move(builder).Build();
 }
 
-}  // namespace
-
-Result<std::vector<STree>> ParseSemantics(const cm::CmGraph& graph,
-                                          std::string_view input) {
+Result<std::vector<STree>> ParseSemanticsStrict(const cm::CmGraph& graph,
+                                                std::string_view input) {
   SEMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
   TokenCursor cur(std::move(tokens));
   std::vector<STree> out;
@@ -117,9 +115,9 @@ Result<std::vector<STree>> ParseSemantics(const cm::CmGraph& graph,
   return out;
 }
 
-std::vector<STree> ParseSemanticsLenient(const cm::CmGraph& graph,
-                                         std::string_view input,
-                                         DiagnosticSink& sink) {
+std::vector<STree> ParseSemanticsLenientImpl(const cm::CmGraph& graph,
+                                             std::string_view input,
+                                             DiagnosticSink& sink) {
   TokenCursor cur(TokenizeLenient(input, sink));
   std::vector<STree> out;
   while (!cur.AtEnd()) {
@@ -175,6 +173,32 @@ std::vector<STree> ParseSemanticsLenient(const cm::CmGraph& graph,
     out.push_back(std::move(builder).Build());
   }
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<STree>> ParseSemantics(const cm::CmGraph& graph,
+                                          std::string_view input,
+                                          const ParseOptions& options) {
+  if (options.mode == ParseMode::kLenient) {
+    if (options.sink == nullptr) {
+      return Status::InvalidArgument(
+          "lenient parse requires ParseOptions::sink");
+    }
+    return ParseSemanticsLenientImpl(graph, input, *options.sink);
+  }
+  return ParseSemanticsStrict(graph, input);
+}
+
+Result<std::vector<STree>> ParseSemantics(const cm::CmGraph& graph,
+                                          std::string_view input) {
+  return ParseSemantics(graph, input, {});
+}
+
+std::vector<STree> ParseSemanticsLenient(const cm::CmGraph& graph,
+                                         std::string_view input,
+                                         DiagnosticSink& sink) {
+  return *ParseSemantics(graph, input, {ParseMode::kLenient, &sink});
 }
 
 }  // namespace semap::sem

@@ -26,19 +26,24 @@
 
 namespace semap::sem {
 
-/// \brief Parse one or more `semantics` blocks against `graph`. The
-/// returned trees are structurally resolved but not yet validated against a
-/// relational schema; attach them to an AnnotatedSchema for that.
-/// Fail-fast: the first problem aborts the parse.
+/// \brief Parse one or more `semantics` blocks against `graph` — the
+/// canonical entry point. The returned trees are structurally resolved
+/// but not yet validated against a relational schema; attach them to an
+/// AnnotatedSchema for that. kStrict fails fast on the first problem;
+/// kLenient (sink required) collects coded diagnostics, synchronizes at
+/// item boundaries, and returns the blocks that resolved cleanly — a
+/// block that contributed any error is quarantined (its whole tree
+/// dropped with a kQuarantined note) rather than returned half-built, so
+/// downstream discovery degrades that one table instead of consuming a
+/// broken s-tree. Fails only when the options are themselves invalid
+/// (kLenient without a sink).
+Result<std::vector<STree>> ParseSemantics(const cm::CmGraph& graph,
+                                          std::string_view input,
+                                          const ParseOptions& options);
+
+/// Historical names, delegating to the canonical entry point.
 Result<std::vector<STree>> ParseSemantics(const cm::CmGraph& graph,
                                           std::string_view input);
-
-/// \brief Recovery-mode parse: collects coded diagnostics into `sink`,
-/// synchronizes at item boundaries, and returns the blocks that resolved
-/// cleanly. A block that contributed any error is quarantined — its whole
-/// tree is dropped (with a kQuarantined note) rather than returned
-/// half-built, so downstream discovery degrades that one table instead of
-/// consuming a broken s-tree. Never fails.
 std::vector<STree> ParseSemanticsLenient(const cm::CmGraph& graph,
                                          std::string_view input,
                                          DiagnosticSink& sink);

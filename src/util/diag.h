@@ -129,6 +129,27 @@ class DiagnosticSink {
 Status AlreadyDiagnosed();
 bool IsAlreadyDiagnosed(const Status& status);
 
+/// \brief How a parser treats malformed input.
+enum class ParseMode {
+  /// Fail-fast: the first problem aborts the parse with an error Status.
+  kStrict,
+  /// Recovery: report every problem to the sink, synchronize, and return
+  /// the well-formed subset of the input. Requires `ParseOptions::sink`.
+  kLenient,
+};
+
+/// \brief The one knob set every text parser takes: every format exposes a
+/// canonical `Parse*(input, ParseOptions)` entry point dispatching on
+/// `mode` (the historical `Parse*` / `Parse*Lenient` names delegate to
+/// it). See docs/FORMATS.md.
+struct ParseOptions {
+  ParseMode mode = ParseMode::kStrict;
+  /// Where lenient parses report their findings (not owned). Mandatory
+  /// for kLenient — lenient without a sink is InvalidArgument, never a
+  /// silent drop. Ignored by kStrict.
+  DiagnosticSink* sink = nullptr;
+};
+
 }  // namespace semap
 
 #endif  // SEMAP_UTIL_DIAG_H_

@@ -1,0 +1,12 @@
+// Library version, reported by the CLI tools' --version flag. Bumped per
+// release line; the minor tracks feature PRs.
+#ifndef SEMAP_UTIL_VERSION_H_
+#define SEMAP_UTIL_VERSION_H_
+
+namespace semap {
+
+inline constexpr const char kSemapVersion[] = "0.3.0";
+
+}  // namespace semap
+
+#endif  // SEMAP_UTIL_VERSION_H_

@@ -1,0 +1,279 @@
+// Observability layer: span nesting, histogram bucketing, JSON export
+// shape, the zero-cost disabled path, and the end-to-end guarantee that an
+// instrumented pipeline run emits exactly one span per phase while leaving
+// the pipeline's output untouched.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/ric_mapper.h"
+#include "datasets/examples.h"
+#include "exec/run_context.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "rewriting/semantic_mapper.h"
+
+namespace semap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tracer / Span
+
+TEST(TracerTest, NestingRecordsParentChain) {
+  obs::Tracer tracer;
+  {
+    obs::Span outer = tracer.StartSpan("outer");
+    {
+      obs::Span inner = tracer.StartSpan("inner");
+      obs::Span leaf = tracer.StartSpan("leaf");
+    }
+    obs::Span sibling = tracer.StartSpan("sibling");
+  }
+  ASSERT_EQ(tracer.spans().size(), 4u);
+  const auto& spans = tracer.spans();
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].name, "leaf");
+  EXPECT_EQ(spans[2].parent, spans[1].id);
+  // `sibling` opens after inner+leaf have closed: its parent is `outer`.
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].parent, spans[0].id);
+  for (const obs::SpanRecord& s : spans) {
+    EXPECT_GE(s.duration_ns, 0) << s.name << " left open";
+    EXPECT_GE(s.start_ns, 0);
+  }
+}
+
+TEST(TracerTest, ExplicitEndClosesOnceAndMoveTransfersOwnership) {
+  obs::Tracer tracer;
+  obs::Span span = tracer.StartSpan("once");
+  span.End();
+  int64_t first = tracer.spans()[0].duration_ns;
+  EXPECT_GE(first, 0);
+  span.End();  // second End is a no-op
+  EXPECT_EQ(tracer.spans()[0].duration_ns, first);
+
+  obs::Span a = tracer.StartSpan("moved");
+  obs::Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.active());
+  b.End();
+  EXPECT_GE(tracer.spans()[1].duration_ns, 0);
+}
+
+TEST(TracerTest, CountSpansAndTotalsAggregateByName) {
+  obs::Tracer tracer;
+  for (int i = 0; i < 3; ++i) {
+    obs::Span span = tracer.StartSpan("tier");
+  }
+  obs::Span other = tracer.StartSpan("cascade");
+  other.End();
+  EXPECT_EQ(tracer.CountSpans("tier"), 3u);
+  EXPECT_EQ(tracer.CountSpans("cascade"), 1u);
+  EXPECT_EQ(tracer.CountSpans("missing"), 0u);
+  EXPECT_GE(tracer.TotalDurationNs("tier"), 0);
+}
+
+TEST(TracerTest, JsonExportNestsChildrenAndEscapesAttrs) {
+  obs::Tracer tracer;
+  {
+    obs::Span outer = tracer.StartSpan("outer");
+    outer.AddAttr("note", "say \"hi\"\n");
+    outer.AddAttr("count", static_cast<int64_t>(7));
+    obs::Span inner = tracer.StartSpan("inner");
+  }
+  std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"semap.trace.v1\""), std::string::npos);
+  // `inner` is rendered inside outer's children array, not as a sibling.
+  size_t outer_pos = json.find("\"name\":\"outer\"");
+  size_t children_pos = json.find("\"children\":[", outer_pos);
+  size_t inner_pos = json.find("\"name\":\"inner\"");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(children_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  EXPECT_LT(children_pos, inner_pos);
+  // Attribute values are escaped and int attrs are stringified.
+  EXPECT_NE(json.find("say \\\"hi\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":\"7\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(MetricsTest, CountersAccumulateAndReadBackZeroWhenAbsent) {
+  obs::Metrics metrics;
+  metrics.Add("x");
+  metrics.Add("x", 4);
+  EXPECT_EQ(metrics.Value("x"), 5);
+  EXPECT_EQ(metrics.Value("never"), 0);
+  obs::Count(&metrics, "x", 2);
+  EXPECT_EQ(metrics.Value("x"), 7);
+}
+
+TEST(MetricsTest, HistogramBucketsPlaceObservationsAtBounds) {
+  obs::Metrics metrics;
+  // One observation per bucket: each bound is inclusive, bound+1 spills
+  // into the next bucket, and anything past the last bound lands in +inf.
+  metrics.RecordDurationNs("h", 0);
+  metrics.RecordDurationNs("h", 1'000);          // still bucket 0
+  metrics.RecordDurationNs("h", 1'001);          // bucket 1
+  metrics.RecordDurationNs("h", 10'000'000'000); // last bounded bucket
+  metrics.RecordDurationNs("h", 10'000'000'001); // +inf bucket
+  const auto& h = metrics.histograms().at("h");
+  EXPECT_EQ(h.buckets[0], 2);
+  EXPECT_EQ(h.buckets[1], 1);
+  EXPECT_EQ(h.buckets[obs::Metrics::kBucketBoundsNs.size() - 1], 1);
+  EXPECT_EQ(h.buckets[obs::Metrics::kNumBuckets - 1], 1);
+  EXPECT_EQ(h.count, 5);
+  EXPECT_EQ(h.min_ns, 0);
+  EXPECT_EQ(h.max_ns, 10'000'000'001);
+  EXPECT_EQ(h.sum_ns, 0 + 1'000 + 1'001 + 10'000'000'000 + 10'000'000'001);
+}
+
+TEST(MetricsTest, JsonExportCarriesSchemaCountersAndHistograms) {
+  obs::Metrics metrics;
+  metrics.Add("discovery.target_csgs", 3);
+  metrics.RecordDurationNs("rewriting.rewrite_query_ns", 42);
+  std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"semap.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"discovery.target_csgs\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"rewriting.rewrite_query_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(ScopedTimerTest, RecordsOneObservationPerScope) {
+  obs::Metrics metrics;
+  {
+    obs::ScopedTimer t(&metrics, "op_ns");
+  }
+  {
+    obs::ScopedTimer t(&metrics, "op_ns");
+  }
+  EXPECT_EQ(metrics.histograms().at("op_ns").count, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Disabled path
+
+TEST(ObsDisabledTest, NullHandlesAreInertNoOps) {
+  obs::Span span = obs::StartSpan(nullptr, "nothing");
+  EXPECT_FALSE(span.active());
+  span.AddAttr("k", "v");
+  span.AddAttr("k", static_cast<int64_t>(1));
+  span.End();  // all no-ops, must not crash
+
+  obs::Count(nullptr, "counter");
+  obs::ScopedTimer timer(nullptr, "timer_ns");
+
+  exec::RunContext ctx;  // empty context: every helper is a no-op
+  EXPECT_TRUE(ctx.Charge());
+  EXPECT_FALSE(ctx.Exhausted());
+  obs::Span ctx_span = ctx.Span("phase");
+  EXPECT_FALSE(ctx_span.active());
+  ctx.Count("counter", 5);
+  obs::ScopedTimer ctx_timer = ctx.Timer("timer_ns");
+}
+
+// ---------------------------------------------------------------------------
+// Profile aggregation
+
+TEST(ProfileTest, AggregatePhasesGroupsByNameAndComputesShares) {
+  obs::Tracer tracer;
+  {
+    obs::Span root = tracer.StartSpan("pipeline");
+    for (int i = 0; i < 2; ++i) {
+      obs::Span tier = tracer.StartSpan("tier");
+    }
+  }
+  std::vector<obs::PhaseProfile> phases = obs::AggregatePhases(tracer);
+  ASSERT_EQ(phases.size(), 2u);
+  // Sorted by total duration descending: the root dominates.
+  EXPECT_EQ(phases[0].name, "pipeline");
+  EXPECT_EQ(phases[0].spans, 1u);
+  EXPECT_DOUBLE_EQ(phases[0].share, 1.0);
+  EXPECT_EQ(phases[1].name, "tier");
+  EXPECT_EQ(phases[1].spans, 2u);
+  EXPECT_LE(phases[1].total_ns, phases[0].total_ns);
+
+  obs::Metrics metrics;
+  metrics.Add("some.counter", 9);
+  std::string profile = obs::ProfileString(tracer, metrics);
+  EXPECT_NE(profile.find("pipeline"), std::string::npos);
+  EXPECT_NE(profile.find("some.counter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: instrumented pipeline runs
+
+TEST(ObsPipelineTest, SemanticRunEmitsOneSpanPerPhaseAndCoreCounters) {
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+  obs::Tracer tracer;
+  obs::Metrics metrics;
+  exec::RunContext ctx;
+  ctx.tracer = &tracer;
+  ctx.metrics = &metrics;
+  auto mappings = rew::GenerateSemanticMappings(
+      domain->source, domain->target, domain->cases[0].correspondences, {},
+      ctx);
+  ASSERT_TRUE(mappings.ok()) << mappings.status().ToString();
+  ASSERT_FALSE(mappings->empty());
+
+  for (const char* phase : {"stree_inference", "tree_search", "csg_pairing",
+                            "filtering", "rewriting"}) {
+    EXPECT_EQ(tracer.CountSpans(phase), 1u) << phase;
+  }
+  EXPECT_GT(metrics.Value("discovery.correspondences_lifted"), 0);
+  EXPECT_GT(metrics.Value("discovery.target_csgs"), 0);
+  EXPECT_GT(metrics.Value("rewriting.mappings_emitted"), 0);
+  EXPECT_GT(metrics.histograms().at("rewriting.rewrite_query_ns").count, 0);
+}
+
+TEST(ObsPipelineTest, RicRunEmitsBaselineSpanAndCounters) {
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+  obs::Tracer tracer;
+  obs::Metrics metrics;
+  exec::RunContext ctx;
+  ctx.tracer = &tracer;
+  ctx.metrics = &metrics;
+  auto mappings = baseline::GenerateRicMappings(
+      domain->source.schema(), domain->target.schema(),
+      domain->cases[0].correspondences, {}, ctx);
+  ASSERT_TRUE(mappings.ok()) << mappings.status().ToString();
+  EXPECT_EQ(tracer.CountSpans("ric_baseline"), 1u);
+  EXPECT_GT(metrics.Value("baseline.logical_relations"), 0);
+  EXPECT_GT(metrics.Value("baseline.pairs_examined"), 0);
+}
+
+TEST(ObsPipelineTest, DisabledObservabilityLeavesOutputIdentical) {
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+  const auto& corrs = domain->cases[0].correspondences;
+
+  auto plain = rew::GenerateSemanticMappings(domain->source, domain->target,
+                                             corrs);
+  obs::Tracer tracer;
+  obs::Metrics metrics;
+  exec::RunContext ctx;
+  ctx.tracer = &tracer;
+  ctx.metrics = &metrics;
+  auto instrumented = rew::GenerateSemanticMappings(
+      domain->source, domain->target, corrs, {}, ctx);
+
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(instrumented.ok());
+  ASSERT_EQ(plain->size(), instrumented->size());
+  for (size_t i = 0; i < plain->size(); ++i) {
+    EXPECT_EQ((*plain)[i].tgd.ToString(), (*instrumented)[i].tgd.ToString());
+    EXPECT_EQ((*plain)[i].source_algebra, (*instrumented)[i].source_algebra);
+    EXPECT_EQ((*plain)[i].target_algebra, (*instrumented)[i].target_algebra);
+  }
+}
+
+}  // namespace
+}  // namespace semap

@@ -9,15 +9,30 @@
 // Exit codes: 0 no errors (warnings/notes allowed), 1 at least one error
 // diagnostic, 2 usage or unreadable input.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "util/version.h"
 #include "validate/scenario_loader.h"
 
 namespace {
 
 using namespace semap;
+
+constexpr const char kOptionTable[] =
+    "options:\n"
+    "  --version  print the version and exit\n"
+    "  --help     print this table and exit\n"
+    "exit codes: 0 clean, 1 errors found, 2 usage or unreadable input\n";
+
+void PrintUsage(FILE* out, const char* prog) {
+  std::fprintf(out,
+               "usage: %s <src.schema> <src.cm> <src.sem> <tgt.schema> "
+               "<tgt.cm> <tgt.sem> <corrs>\n%s",
+               prog, kOptionTable);
+}
 
 bool ReadFile(const char* path, std::string* out) {
   std::ifstream in(path);
@@ -31,13 +46,23 @@ bool ReadFile(const char* path, std::string* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("semap_lint %s\n", kSemapVersion);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage(stdout, argv[0]);
+      return 0;
+    }
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
+                   kOptionTable);
+      return 2;
+    }
+  }
   if (argc != 8) {
-    std::fprintf(stderr,
-                 "usage: %s <src.schema> <src.cm> <src.sem> <tgt.schema> "
-                 "<tgt.cm> <tgt.sem> <corrs>\n"
-                 "exit codes: 0 clean, 1 errors found, 2 usage or "
-                 "unreadable input\n",
-                 argv[0]);
+    PrintUsage(stderr, argv[0]);
     return 2;
   }
 

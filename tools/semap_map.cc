@@ -5,6 +5,7 @@
 //             <tgt.schema> <tgt.cm> <tgt.sem> <correspondences>
 //             [--baseline] [--hints] [--variants] [--sql] [--lint]
 //             [--resilient] [--deadline-ms=N] [--max-steps=N]
+//             [--trace=FILE] [--metrics=FILE] [--profile] [--version]
 //
 // --deadline-ms / --max-steps (or --resilient alone, ungoverned) switch
 // to the resource-governed degradation cascade: full semantic discovery,
@@ -15,6 +16,12 @@
 //
 // --lint only loads the scenario fail-soft and prints the collected
 // diagnostics; no mappings are generated.
+//
+// --trace / --metrics / --profile turn on the observability layer (see
+// docs/OBSERVABILITY.md): one JSON span tree per run, a flat
+// counter/histogram table, and a human-readable phase profile on stdout.
+// Without these flags no tracer or metrics object exists and the output
+// is byte-identical to an uninstrumented run.
 //
 // Exit codes: 0 success, 1 input/pipeline error (with --lint: at least
 // one error diagnostic), 2 usage,
@@ -37,13 +44,43 @@
 #include "baseline/ric_mapper.h"
 #include "datasets/builder_util.h"
 #include "exec/resilient_pipeline.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "rewriting/semantic_mapper.h"
 #include "rewriting/sql.h"
+#include "util/version.h"
 #include "validate/scenario_loader.h"
 
 namespace {
 
 using namespace semap;
+
+constexpr const char kOptionTable[] =
+    "options:\n"
+    "  --baseline        also run the RIC-based (Clio-style) baseline\n"
+    "  --hints           print per-edge outer-join hints\n"
+    "  --variants        print alternative rewriting variants\n"
+    "  --sql             print SQL renderings of each mapping\n"
+    "  --lint            fail-soft load + diagnostics only; no mappings\n"
+    "  --resilient       per-table degradation cascade (fail-soft load)\n"
+    "  --deadline-ms=N   overall wall-clock budget (implies --resilient)\n"
+    "  --max-steps=N     search step budget (implies --resilient)\n"
+    "  --trace=FILE      write the span tree as JSON (semap.trace.v1)\n"
+    "  --metrics=FILE    write counters/histograms as JSON "
+    "(semap.metrics.v1)\n"
+    "  --profile         print a phase profile + top counters to stdout\n"
+    "  --version         print the version and exit\n"
+    "  --help            print this table and exit\n"
+    "exit codes: 0 ok, 1 error (--lint: errors found), 2 usage, 3 degraded "
+    "to the RIC tier or quarantined (see the printed degradation report)\n";
+
+void PrintUsage(FILE* out, const char* prog) {
+  std::fprintf(out,
+               "usage: %s <src.schema> <src.cm> <src.sem> <tgt.schema> "
+               "<tgt.cm> <tgt.sem> <corrs> [options]\n%s",
+               prog, kOptionTable);
+}
 
 Result<std::string> ReadFile(const char* path) {
   std::ifstream in(path);
@@ -55,58 +92,31 @@ Result<std::string> ReadFile(const char* path) {
   return buffer.str();
 }
 
-}  // namespace
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
 
-int main(int argc, char** argv) {
-  if (argc < 8) {
-    std::fprintf(stderr,
-                 "usage: %s <src.schema> <src.cm> <src.sem> <tgt.schema> "
-                 "<tgt.cm> <tgt.sem> <corrs> [--baseline] [--hints] "
-                 "[--variants] [--sql] [--lint] [--resilient] "
-                 "[--deadline-ms=N] [--max-steps=N]\n"
-                 "exit codes: 0 ok, 1 error (--lint: errors found), 2 "
-                 "usage, 3 degraded to the RIC tier or quarantined (see "
-                 "the printed degradation report)\n",
-                 argv[0]);
-    return 2;
-  }
+struct Options {
   bool show_baseline = false;
   bool show_hints = false;
   bool show_variants = false;
   bool show_sql = false;
   bool resilient = false;
   bool lint_only = false;
+  bool profile = false;
   long long deadline_ms = -1;
   long long max_steps = -1;
-  for (int i = 8; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--baseline") == 0) show_baseline = true;
-    if (std::strcmp(argv[i], "--hints") == 0) show_hints = true;
-    if (std::strcmp(argv[i], "--variants") == 0) show_variants = true;
-    if (std::strcmp(argv[i], "--sql") == 0) show_sql = true;
-    if (std::strcmp(argv[i], "--resilient") == 0) resilient = true;
-    if (std::strcmp(argv[i], "--lint") == 0) lint_only = true;
-    if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
-      char* end = nullptr;
-      deadline_ms = std::strtoll(argv[i] + 14, &end, 10);
-      if (end == argv[i] + 14 || *end != '\0') {
-        std::fprintf(stderr, "error: --deadline-ms wants an integer, got %s\n",
-                     argv[i] + 14);
-        return 2;
-      }
-      resilient = true;
-    }
-    if (std::strncmp(argv[i], "--max-steps=", 12) == 0) {
-      char* end = nullptr;
-      max_steps = std::strtoll(argv[i] + 12, &end, 10);
-      if (end == argv[i] + 12 || *end != '\0') {
-        std::fprintf(stderr, "error: --max-steps wants an integer, got %s\n",
-                     argv[i] + 12);
-        return 2;
-      }
-      resilient = true;
-    }
-  }
+  std::string trace_path;
+  std::string metrics_path;
+};
 
+/// The pipeline proper; split out of main so every exit path flows
+/// through the trace/metrics export below. `ctx` carries the tracer and
+/// metrics when observability flags are set, null services otherwise.
+int RunPipeline(char** argv, const Options& opts, const exec::RunContext& ctx) {
   std::string texts[7];
   for (int i = 0; i < 7; ++i) {
     auto content = ReadFile(argv[i + 1]);
@@ -117,7 +127,7 @@ int main(int argc, char** argv) {
     texts[i] = std::move(*content);
   }
 
-  if (lint_only || resilient) {
+  if (opts.lint_only || opts.resilient) {
     // Fail-soft load: recovery-mode parsers, cross-artifact lints,
     // quarantines. Broken artifacts become coded diagnostics, not exits.
     validate::ScenarioTexts scenario;
@@ -132,14 +142,14 @@ int main(int argc, char** argv) {
     }
     DiagnosticSink sink;
     auto loaded = validate::LoadScenario(scenario, sink);
-    if (!sink.empty() || lint_only) {
+    if (!sink.empty() || opts.lint_only) {
       std::printf("%s\n", sink.ToString().c_str());
     }
     if (!loaded.ok()) {
       std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
       return 1;
     }
-    if (lint_only) {
+    if (opts.lint_only) {
       std::printf("usable: %zu source s-tree(s), %zu target s-tree(s), "
                   "%zu correspondence(s)\n",
                   loaded->source.semantics().size(),
@@ -152,13 +162,15 @@ int main(int argc, char** argv) {
     for (const auto& c : loaded->correspondences) {
       std::printf("  %s\n", c.ToString().c_str());
     }
-    exec::ResilientPipelineOptions opts;
-    opts.deadline_ms = deadline_ms;
-    opts.max_steps = max_steps;
-    opts.sink = &sink;
+    exec::ResilientPipelineOptions pipeline_opts;
+    pipeline_opts.deadline_ms = opts.deadline_ms;
+    pipeline_opts.max_steps = opts.max_steps;
+    pipeline_opts.sink = &sink;
     const size_t load_diags = sink.diagnostics().size();
-    auto run = exec::RunResilientPipeline(loaded->source, loaded->target,
-                                          loaded->correspondences, opts);
+    auto run =
+        exec::RunResilientPipeline(loaded->source, loaded->target,
+                                   loaded->correspondences, pipeline_opts,
+                                   ctx);
     if (!run.ok()) {
       std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
       return 1;
@@ -205,8 +217,8 @@ int main(int argc, char** argv) {
     std::printf("  %s\n", c.ToString().c_str());
   }
 
-  auto mappings =
-      rew::GenerateSemanticMappings(*source, *target, *correspondences);
+  auto mappings = rew::GenerateSemanticMappings(*source, *target,
+                                                *correspondences, {}, ctx);
   if (!mappings.ok()) {
     std::fprintf(stderr, "error: %s\n", mappings.status().ToString().c_str());
     return 1;
@@ -217,7 +229,7 @@ int main(int argc, char** argv) {
     std::printf("[%d] %s\n", index, m.tgd.ToString().c_str());
     std::printf("    source: %s\n", m.source_algebra.c_str());
     std::printf("    target: %s\n", m.target_algebra.c_str());
-    if (show_hints) {
+    if (opts.show_hints) {
       for (const auto& h : m.source_join_hints) {
         std::printf("    hint (source): %s\n", h.ToString().c_str());
       }
@@ -225,7 +237,7 @@ int main(int argc, char** argv) {
         std::printf("    hint (target): %s\n", h.ToString().c_str());
       }
     }
-    if (show_sql) {
+    if (opts.show_sql) {
       auto source_cols = [&](const std::string& table)
           -> const std::vector<std::string>* {
         const rel::Table* t = source->schema().FindTable(table);
@@ -243,7 +255,7 @@ int main(int argc, char** argv) {
         }
       }
     }
-    if (show_variants && m.variants.size() > 1) {
+    if (opts.show_variants && m.variants.size() > 1) {
       for (size_t v = 1; v < m.variants.size(); ++v) {
         std::printf("    variant: %s\n", m.variants[v].ToString().c_str());
       }
@@ -251,10 +263,10 @@ int main(int argc, char** argv) {
     ++index;
   }
 
-  if (show_baseline) {
+  if (opts.show_baseline) {
     auto ric = baseline::GenerateRicMappings(source->schema(),
                                              target->schema(),
-                                             *correspondences);
+                                             *correspondences, {}, ctx);
     if (ric.ok()) {
       std::printf("\n%zu RIC-based baseline mapping(s):\n", ric->size());
       for (const auto& m : *ric) {
@@ -263,4 +275,102 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --version / --help work without the seven positional arguments.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("semap_map %s\n", kSemapVersion);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage(stdout, argv[0]);
+      return 0;
+    }
+  }
+  if (argc < 8) {
+    PrintUsage(stderr, argv[0]);
+    return 2;
+  }
+  Options opts;
+  for (int i = 8; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0) {
+      opts.show_baseline = true;
+    } else if (std::strcmp(argv[i], "--hints") == 0) {
+      opts.show_hints = true;
+    } else if (std::strcmp(argv[i], "--variants") == 0) {
+      opts.show_variants = true;
+    } else if (std::strcmp(argv[i], "--sql") == 0) {
+      opts.show_sql = true;
+    } else if (std::strcmp(argv[i], "--resilient") == 0) {
+      opts.resilient = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      opts.lint_only = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      opts.profile = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      opts.trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      opts.metrics_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      char* end = nullptr;
+      opts.deadline_ms = std::strtoll(argv[i] + 14, &end, 10);
+      if (end == argv[i] + 14 || *end != '\0') {
+        std::fprintf(stderr, "error: --deadline-ms wants an integer, got %s\n",
+                     argv[i] + 14);
+        return 2;
+      }
+      opts.resilient = true;
+    } else if (std::strncmp(argv[i], "--max-steps=", 12) == 0) {
+      char* end = nullptr;
+      opts.max_steps = std::strtoll(argv[i] + 12, &end, 10);
+      if (end == argv[i] + 12 || *end != '\0') {
+        std::fprintf(stderr, "error: --max-steps wants an integer, got %s\n",
+                     argv[i] + 12);
+        return 2;
+      }
+      opts.resilient = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
+                   kOptionTable);
+      return 2;
+    }
+  }
+
+  // Observability is strictly opt-in: without these flags no tracer or
+  // metrics object exists at all and the context carries null services.
+  const bool observe = opts.profile || !opts.trace_path.empty() ||
+                       !opts.metrics_path.empty();
+  obs::Tracer tracer;
+  obs::Metrics metrics;
+  exec::RunContext ctx;
+  if (observe) {
+    ctx.tracer = &tracer;
+    ctx.metrics = &metrics;
+  }
+  int code;
+  {
+    obs::Span pipeline_span = ctx.Span("pipeline");
+    code = RunPipeline(argv, opts, ctx);
+    pipeline_span.AddAttr("exit_code", static_cast<int64_t>(code));
+  }
+  if (!opts.trace_path.empty() &&
+      !WriteFile(opts.trace_path, tracer.ToJson())) {
+    std::fprintf(stderr, "error: cannot write trace to %s\n",
+                 opts.trace_path.c_str());
+    if (code == 0) code = 1;
+  }
+  if (!opts.metrics_path.empty() &&
+      !WriteFile(opts.metrics_path, metrics.ToJson())) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                 opts.metrics_path.c_str());
+    if (code == 0) code = 1;
+  }
+  if (opts.profile) {
+    std::printf("\n%s", obs::ProfileString(tracer, metrics).c_str());
+  }
+  return code;
 }
