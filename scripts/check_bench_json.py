@@ -1,14 +1,22 @@
 #!/usr/bin/env python3
 """Validate BENCH_*.json files against the semap.bench.v1 shape.
 
-Usage: check_bench_json.py FILE [FILE...]
+Usage: check_bench_json.py PATH [PATH...]
+
+Each PATH is a report file or a directory; a directory stands for every
+BENCH_*.json inside it, and a directory with zero reports is an error —
+an empty $SEMAP_BENCH_JSON_DIR means the instrumented bench run silently
+produced nothing, which is exactly the failure this check exists to
+catch.
 
 Hand-rolled structural checks (stdlib only — no jsonschema dependency):
 the file must parse as JSON and carry the schema tag, a bench name, a
 phases array of {name, spans, total_ns, share} rows, and a counters map
 of non-negative integers. Exits non-zero on the first invalid file.
 """
+import glob
 import json
+import os
 import sys
 
 
@@ -71,11 +79,34 @@ def check(path):
     return 0
 
 
+def expand(args):
+    """Resolve directory arguments to their BENCH_*.json reports.
+
+    Returns None (an error, already printed) when a directory holds no
+    reports at all.
+    """
+    paths = []
+    for arg in args:
+        if os.path.isdir(arg):
+            reports = sorted(glob.glob(os.path.join(arg, "BENCH_*.json")))
+            if not reports:
+                print(f"{arg}: no BENCH_*.json reports found",
+                      file=sys.stderr)
+                return None
+            paths.extend(reports)
+        else:
+            paths.append(arg)
+    return paths
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    return max(check(path) for path in argv[1:])
+    paths = expand(argv[1:])
+    if paths is None:
+        return 1
+    return max(check(path) for path in paths)
 
 
 if __name__ == "__main__":

@@ -2,7 +2,8 @@
 # Tier-1 verification: the standard build + full test suite, a bench
 # smoke run that emits and schema-checks the machine-readable
 # BENCH_*.json observability report, then the robustness/governance/
-# validation tests again under ASan+UBSan (-DSEMAP_SANITIZE=ON).
+# validation tests again under ASan+UBSan (-DSEMAP_SANITIZE=ON), and the
+# supervised-execution tests under TSan (-DSEMAP_SANITIZE=THREAD).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,12 +18,22 @@ cmake --build build -j "$jobs"
 mkdir -p build/bench-json
 SEMAP_BENCH_JSON_DIR="$PWD/build/bench-json" ./build/bench/bench_scaling \
   --benchmark_filter='BenchDiscovery/2/0$' --benchmark_min_time=0.01
-python3 scripts/check_bench_json.py build/bench-json/BENCH_scaling.json
+# The directory form fails when the bench run produced zero reports.
+python3 scripts/check_bench_json.py build/bench-json
 
 cmake -B build-asan -S . -DSEMAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$jobs" --target robustness_test \
-  resilient_pipeline_test util_test validate_test
+  resilient_pipeline_test supervisor_test util_test validate_test
 # Note: ctest's -j needs an explicit value here — a bare -j would swallow
 # the -R flag and run the NOT_BUILT placeholders of the unbuilt targets.
 (cd build-asan && ctest --output-on-failure -j "$jobs" \
-  -R 'RobustnessTest|CorpusSweepTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|StatusTest|DiagTest|GoldenDiagnosticsTest|CrossCheckTest|TgdCheckTest|QuarantineScenarioTest')
+  -R 'RobustnessTest|CorpusSweepTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|StatusTest|DiagTest|GoldenDiagnosticsTest|CrossCheckTest|TgdCheckTest|QuarantineScenarioTest|SupervisorTest|CheckpointTest')
+
+# TSan pass over the concurrent paths: the supervised worker pool
+# (--jobs=4 equality tests included), the shared governor, and the
+# serial pipeline it must keep matching.
+cmake -B build-tsan -S . -DSEMAP_SANITIZE=THREAD -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$jobs" --target supervisor_test \
+  resilient_pipeline_test util_test
+(cd build-tsan && ctest --output-on-failure -j "$jobs" \
+  -R 'SupervisorTest|CheckpointTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|GovernorConcurrencyTest|BackoffTest|JsonTest')

@@ -1,0 +1,92 @@
+// Crash-safe checkpoint journal for supervised runs: semap.checkpoint.v1.
+//
+// Discovery over many target tables is a batch job; a mid-run crash or
+// kill must not lose the tables already finished. The supervisor appends
+// one JSON line per completed work unit — the table's cascade outcome
+// plus its raw (pre-merge) mappings, fully serialized — behind a header
+// line that fingerprints the scenario. A run restarted with
+// --resume=<journal> loads the finished units, skips their tables, and
+// merges the cached mappings as if they had just been computed, so the
+// final mapping set is identical to an uninterrupted run.
+//
+// Durability: every append rewrites the whole journal to `<path>.tmp`,
+// fsyncs, and renames over `<path>` — the journal on disk is always a
+// complete, well-formed prefix of the run (never a torn line). Journals
+// are small (one line per target table), so the rewrite is cheap.
+//
+// The fingerprint is a stable 64-bit hash over both schemas and the
+// correspondence set; resuming against different inputs is refused
+// rather than silently merging stale mappings. The line format is
+// documented in docs/FORMATS.md.
+#ifndef SEMAP_EXEC_CHECKPOINT_H_
+#define SEMAP_EXEC_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/resilient_pipeline.h"
+#include "semantics/stree.h"
+#include "util/result.h"
+
+namespace semap::exec {
+
+inline constexpr const char kCheckpointSchema[] = "semap.checkpoint.v1";
+
+/// \brief One journaled work unit: a finished table's outcome and raw
+/// mappings (pre-merge — dedup against other tables happens at
+/// assembly, so resume reproduces the exact serial merge).
+struct CheckpointedUnit {
+  TableOutcome outcome;
+  std::vector<ResilientMapping> mappings;
+};
+
+/// \brief Stable scenario fingerprint: schemas (tables, columns, keys)
+/// plus the correspondence set. Order-sensitive on purpose — the
+/// journal caches *this* run's inputs, nothing weaker.
+uint64_t ScenarioFingerprint(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences);
+
+/// Serialize / parse one journal line (also used by tests to pin the
+/// format).
+std::string SerializeCheckpointUnit(const CheckpointedUnit& unit);
+Result<CheckpointedUnit> ParseCheckpointUnit(const std::string& line);
+
+class CheckpointJournal {
+ public:
+  /// Start a fresh journal at `path` (truncating any previous file) with
+  /// the header line written and synced.
+  static Result<CheckpointJournal> Create(std::string path,
+                                          uint64_t fingerprint);
+
+  /// Open `path` for resumption: parse the header (its fingerprint must
+  /// match), fill `completed` with the finished units, and keep
+  /// appending to the same file. A missing file degrades to Create so
+  /// `--resume` also works on the first run. A trailing malformed line
+  /// (torn by a crash mid-rename on exotic filesystems) is dropped with
+  /// a note in `*warning`; a malformed header or fingerprint mismatch is
+  /// an error.
+  static Result<CheckpointJournal> Resume(std::string path,
+                                          uint64_t fingerprint,
+                                          std::vector<CheckpointedUnit>* completed,
+                                          std::string* warning = nullptr);
+
+  /// Append one finished unit: rewrite-to-temp, fsync, rename.
+  Status Append(const CheckpointedUnit& unit);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  CheckpointJournal(std::string path, std::vector<std::string> lines)
+      : path_(std::move(path)), lines_(std::move(lines)) {}
+
+  Status Flush() const;
+
+  std::string path_;
+  std::vector<std::string> lines_;  // header first, then one per unit
+};
+
+}  // namespace semap::exec
+
+#endif  // SEMAP_EXEC_CHECKPOINT_H_

@@ -64,26 +64,26 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-struct Deadline {
-  std::optional<Clock::time_point> at;
+/// Milliseconds left until `deadline`, clamped at 0.
+std::optional<int64_t> RemainingMs(
+    const std::optional<Clock::time_point>& deadline) {
+  if (!deadline.has_value()) return std::nullopt;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      *deadline - Clock::now());
+  return std::max<int64_t>(0, left.count());
+}
 
-  /// Milliseconds left, clamped at 0; nullopt when no deadline is set.
-  std::optional<int64_t> RemainingMs() const {
-    if (!at.has_value()) return std::nullopt;
-    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-        *at - Clock::now());
-    return std::max<int64_t>(0, left.count());
-  }
-};
-
-void ConfigureGovernor(ResourceGovernor* governor, const Deadline& deadline,
+void ConfigureGovernor(ResourceGovernor* governor,
+                       const std::optional<Clock::time_point>& deadline,
                        int64_t step_budget,
-                       const std::optional<int64_t>& fault_after) {
-  if (auto ms = deadline.RemainingMs(); ms.has_value()) {
+                       const std::optional<int64_t>& fault_after,
+                       ResourceGovernor* parent) {
+  if (auto ms = RemainingMs(deadline); ms.has_value()) {
     governor->set_deadline_ms(*ms);
   }
   if (step_budget >= 0) governor->set_max_steps(step_budget);
   if (fault_after.has_value()) governor->InjectFailureAfter(*fault_after);
+  if (parent != nullptr) governor->set_parent(parent);
 }
 
 /// Tier-1 search restrictions: no lossy joins, tight enumeration caps —
@@ -100,6 +100,230 @@ rew::SemanticMapperOptions RestrictSemantic(rew::SemanticMapperOptions opts) {
 }
 
 }  // namespace
+
+Result<PreparedRun> PrepareResilientRun(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const RunContext& ctx) {
+  PreparedRun prepared;
+  // Fail-soft validation: without a sink a dangling correspondence is a
+  // hard error (the caller asked for strict inputs); with one it is
+  // quarantined — dropped with a diagnostic, its table reported at tier
+  // kQuarantined — and the rest of the run proceeds.
+  std::map<std::string, std::vector<std::string>> quarantined_by_table;
+  for (const disc::Correspondence& corr : correspondences) {
+    const rel::ColumnRef* dangling = nullptr;
+    const char* side = nullptr;
+    if (!source.schema().HasColumn(corr.source)) {
+      dangling = &corr.source;
+      side = "source";
+    } else if (!target.schema().HasColumn(corr.target)) {
+      dangling = &corr.target;
+      side = "target";
+    }
+    if (dangling == nullptr) {
+      prepared.groups[corr.target.table].push_back(corr);
+      continue;
+    }
+    if (ctx.sink == nullptr) {
+      return Status::NotFound("unknown " + std::string(side) + " column " +
+                              dangling->ToString());
+    }
+    ctx.sink->Error(diag::kDanglingCorrespondence,
+                    "unknown " + std::string(side) + " column " +
+                        dangling->ToString() + "; quarantining " +
+                        corr.ToString(),
+                    {}, "fix the column name or remove the statement");
+    quarantined_by_table[corr.target.table].push_back(corr.ToString());
+    ++prepared.quarantined_correspondences;
+  }
+
+  // Tables whose every correspondence was quarantined never cascade; they
+  // surface directly at tier kQuarantined. Partially affected tables keep
+  // the drops as notes on their eventual cascade outcome.
+  for (const auto& [table, dropped] : quarantined_by_table) {
+    if (prepared.groups.count(table)) {
+      for (const std::string& corr : dropped) {
+        prepared.quarantine_notes[table].push_back("quarantined: " + corr);
+      }
+      continue;
+    }
+    TableOutcome outcome;
+    outcome.target_table = table;
+    outcome.tier = DegradationTier::kQuarantined;
+    for (const std::string& corr : dropped) {
+      outcome.notes.push_back("quarantined: " + corr);
+    }
+    prepared.quarantined_tables.push_back(std::move(outcome));
+  }
+  return prepared;
+}
+
+bool MappingMerger::Emit(ResilientMapping mapping) {
+  // An unsafe tgd (frontier variable the source query never binds) is a
+  // generator bug, never a valid answer: discard it rather than ship an
+  // unexecutable mapping.
+  if (ctx_.sink != nullptr &&
+      !validate::CheckTgdSafety(mapping.tgd, *ctx_.sink)) {
+    return false;
+  }
+  // Cross-table duplicates (two groups reaching the same expression)
+  // collapse onto the first, least-degraded occurrence.
+  for (const ResilientMapping& existing : mappings_) {
+    if (logic::EquivalentTgds(existing.tgd, mapping.tgd)) return false;
+  }
+  mappings_.push_back(std::move(mapping));
+  return true;
+}
+
+TableWork RunTableCascade(const sem::AnnotatedSchema& source,
+                          const sem::AnnotatedSchema& target,
+                          const std::string& table,
+                          const std::vector<disc::Correspondence>& group,
+                          const TableCascadeOptions& options,
+                          const RunContext& ctx) {
+  obs::Span cascade_span = ctx.Span("cascade");
+  cascade_span.AddAttr("table", table);
+  TableWork work;
+  work.outcome.target_table = table;
+  TableOutcome& outcome = work.outcome;
+  bool settled = false;
+
+  // Governed semantic tiers, each retried under halving step budgets.
+  const DegradationTier semantic_tiers[] = {
+      DegradationTier::kSemanticFull, DegradationTier::kSemanticRestricted};
+  bool semantic_answered_empty = false;
+  bool last_semantic_exhausted = false;
+  for (DegradationTier tier : semantic_tiers) {
+    if (!options.semantic_enabled) break;
+    if (settled || semantic_answered_empty) break;
+    rew::SemanticMapperOptions sem_opts =
+        tier == DegradationTier::kSemanticFull
+            ? options.semantic
+            : RestrictSemantic(options.semantic);
+    int64_t tier_budget = options.max_steps;
+    if (tier_budget >= 0 && tier == DegradationTier::kSemanticRestricted) {
+      tier_budget /= 2;
+    }
+    for (size_t attempt = 0; attempt <= options.retries_per_tier; ++attempt) {
+      int64_t budget = tier_budget;
+      if (budget >= 0) budget >>= attempt;
+      ResourceGovernor governor;
+      ConfigureGovernor(&governor, options.deadline, budget,
+                        options.fault_after, ctx.governor);
+      // Discovery reports unliftable correspondences into a scratch sink
+      // so cascade retries do not duplicate them; lifting is
+      // deterministic, so the first attempt's findings stand for all.
+      DiagnosticSink lift_sink;
+      RunContext tier_ctx = ctx.WithGovernor(&governor);
+      tier_ctx.sink = ctx.sink != nullptr ? &lift_sink : nullptr;
+      ctx.Count("pipeline.tier_attempts");
+      obs::Span tier_span = ctx.Span("tier");
+      tier_span.AddAttr("tier", TierName(tier));
+      tier_span.AddAttr("attempt", static_cast<int64_t>(attempt + 1));
+      auto mappings = rew::GenerateSemanticMappings(source, target, group,
+                                                    sem_opts, tier_ctx);
+      if (governor.exhausted()) ctx.Count("governor.trips");
+      last_semantic_exhausted = governor.exhausted();
+      tier_span.End();
+      if (ctx.sink != nullptr && tier == DegradationTier::kSemanticFull &&
+          attempt == 0) {
+        for (const Diagnostic& d : lift_sink.diagnostics()) {
+          ctx.sink->Add(d);
+        }
+      }
+      std::string attempt_label = std::string(TierName(tier)) + " (attempt " +
+                                  std::to_string(attempt + 1) + ")";
+      if (!mappings.ok()) {
+        outcome.notes.push_back(attempt_label + ": " +
+                                mappings.status().ToString());
+        last_semantic_exhausted = false;
+        break;  // A real error will not improve under a smaller budget.
+      }
+      if (!mappings->empty()) {
+        outcome.tier = tier;
+        outcome.mappings = mappings->size();
+        if (governor.exhausted()) {
+          outcome.notes.push_back(attempt_label + ": partial result, " +
+                                  governor.status().ToString());
+          for (const std::string& note : governor.truncations()) {
+            outcome.notes.push_back(attempt_label + ": " + note);
+          }
+        }
+        for (rew::GeneratedMapping& m : *mappings) {
+          ResilientMapping out;
+          out.tier = tier;
+          out.target_table = table;
+          out.tgd = std::move(m.tgd);
+          out.covered = std::move(m.covered);
+          out.source_algebra = std::move(m.source_algebra);
+          out.target_algebra = std::move(m.target_algebra);
+          work.mappings.push_back(std::move(out));
+        }
+        settled = true;
+        break;
+      }
+      outcome.notes.push_back(attempt_label + ": no mappings (" +
+                              governor.status().ToString() + ")");
+      // A clean empty result is the technique's answer, not a resource
+      // problem; shrinking the budget or the search space cannot add
+      // mappings, so skip straight to the baseline.
+      if (!governor.exhausted()) {
+        semantic_answered_empty = true;
+        break;
+      }
+    }
+  }
+
+  if (!settled) {
+    // The lifeline: the RIC baseline always terminates, so it runs
+    // exempt from step budgets and fault injection (deadline only).
+    baseline::RicMapperOptions ric_opts = options.ric;
+    ResourceGovernor governor;
+    ConfigureGovernor(&governor, options.deadline, /*step_budget=*/-1,
+                      /*fault_after=*/std::nullopt, ctx.governor);
+    ctx.Count("pipeline.tier_attempts");
+    obs::Span tier_span = ctx.Span("tier");
+    tier_span.AddAttr("tier", TierName(DegradationTier::kRicBaseline));
+    auto ric =
+        baseline::GenerateRicMappings(source.schema(), target.schema(), group,
+                                      ric_opts, ctx.WithGovernor(&governor));
+    if (governor.exhausted()) ctx.Count("governor.trips");
+    tier_span.End();
+    if (ric.ok() && !ric->empty()) {
+      outcome.tier = DegradationTier::kRicBaseline;
+      outcome.mappings = ric->size();
+      if (governor.exhausted()) {
+        outcome.notes.push_back(std::string(TierName(outcome.tier)) +
+                                ": partial result, " +
+                                governor.status().ToString());
+      }
+      for (baseline::RicMapping& m : *ric) {
+        ResilientMapping out;
+        out.tier = DegradationTier::kRicBaseline;
+        out.target_table = table;
+        out.tgd = std::move(m.tgd);
+        out.covered = std::move(m.covered);
+        work.mappings.push_back(std::move(out));
+      }
+    } else {
+      outcome.tier = DegradationTier::kFailed;
+      outcome.notes.push_back(
+          std::string(TierName(DegradationTier::kRicBaseline)) + ": " +
+          (ric.ok() ? std::string("no mappings (") +
+                          governor.status().ToString() + ")"
+                    : ric.status().ToString()));
+    }
+    // Exhaustion in the semantic tiers (budget, deadline, injected fault)
+    // is the transient kind of failure a fresh attempt might clear; a
+    // clean empty answer or a real error is not.
+    work.transient_failure =
+        options.semantic_enabled && last_semantic_exhausted;
+  }
+  cascade_span.AddAttr("tier", TierName(outcome.tier));
+  cascade_span.AddAttr("mappings", static_cast<int64_t>(outcome.mappings));
+  return work;
+}
 
 Result<ResilientResult> RunResilientPipeline(
     const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
@@ -118,234 +342,55 @@ Result<ResilientResult> RunResilientPipeline(
   }
   RunContext ctx = run_ctx;
   if (ctx.sink == nullptr) ctx.sink = options.sink;
-  ResilientResult result;
-  // Fail-soft validation: without a sink a dangling correspondence is a
-  // hard error (the caller asked for strict inputs); with one it is
-  // quarantined — dropped with a diagnostic, its table reported at tier
-  // kQuarantined — and the rest of the run proceeds.
-  std::vector<disc::Correspondence> usable;
-  std::map<std::string, std::vector<std::string>> quarantined_by_table;
-  for (const disc::Correspondence& corr : correspondences) {
-    const rel::ColumnRef* dangling = nullptr;
-    const char* side = nullptr;
-    if (!source.schema().HasColumn(corr.source)) {
-      dangling = &corr.source;
-      side = "source";
-    } else if (!target.schema().HasColumn(corr.target)) {
-      dangling = &corr.target;
-      side = "target";
-    }
-    if (dangling == nullptr) {
-      usable.push_back(corr);
-      continue;
-    }
-    if (ctx.sink == nullptr) {
-      return Status::NotFound("unknown " + std::string(side) + " column " +
-                              dangling->ToString());
-    }
-    ctx.sink->Error(diag::kDanglingCorrespondence,
-                        "unknown " + std::string(side) + " column " +
-                            dangling->ToString() + "; quarantining " +
-                            corr.ToString(),
-                        {}, "fix the column name or remove the statement");
-    quarantined_by_table[corr.target.table].push_back(corr.ToString());
-    ++result.report.quarantined_correspondences;
-  }
+  // The cascade manufactures its own governor slices; a caller-provided
+  // governor is not part of this entry point's contract.
+  ctx.governor = nullptr;
 
-  std::optional<int64_t> fault_after;
+  auto prepared =
+      PrepareResilientRun(source, target, correspondences, ctx);
+  if (!prepared.ok()) return prepared.status();
+
+  TableCascadeOptions cascade_opts;
+  cascade_opts.semantic = options.semantic;
+  cascade_opts.ric = options.ric;
+  cascade_opts.max_steps = options.max_steps;
+  cascade_opts.retries_per_tier = options.retries_per_tier;
   if (options.fault_after >= 0) {
-    fault_after = options.fault_after;
+    cascade_opts.fault_after = options.fault_after;
   } else {
-    fault_after = ResourceGovernor::FaultAfterFromEnv();
+    cascade_opts.fault_after = ResourceGovernor::FaultAfterFromEnv();
   }
-  Deadline deadline;
   if (options.deadline_ms >= 0) {
-    deadline.at = Clock::now() + std::chrono::milliseconds(options.deadline_ms);
+    cascade_opts.deadline =
+        Clock::now() + std::chrono::milliseconds(options.deadline_ms);
   }
 
-  // Per-table cascades, in deterministic (sorted) table order.
-  std::map<std::string, std::vector<disc::Correspondence>> groups;
-  for (const disc::Correspondence& corr : usable) {
-    groups[corr.target.table].push_back(corr);
-  }
+  ResilientResult result;
+  result.report.quarantined_correspondences =
+      prepared->quarantined_correspondences;
+  result.report.tables = std::move(prepared->quarantined_tables);
 
-  // Tables whose every correspondence was quarantined never cascade; they
-  // surface directly at tier kQuarantined.
-  for (const auto& [table, dropped] : quarantined_by_table) {
-    if (groups.count(table)) continue;
-    TableOutcome outcome;
-    outcome.target_table = table;
-    outcome.tier = DegradationTier::kQuarantined;
-    for (const std::string& corr : dropped) {
-      outcome.notes.push_back("quarantined: " + corr);
-    }
-    result.report.tables.push_back(std::move(outcome));
-  }
-
-  auto emit = [&result, &ctx](ResilientMapping mapping) {
-    // An unsafe tgd (frontier variable the source query never binds) is a
-    // generator bug, never a valid answer: discard it rather than ship an
-    // unexecutable mapping.
-    if (ctx.sink != nullptr &&
-        !validate::CheckTgdSafety(mapping.tgd, *ctx.sink)) {
-      return false;
-    }
-    // Cross-table duplicates (two groups reaching the same expression)
-    // collapse onto the first, least-degraded occurrence.
-    for (const ResilientMapping& existing : result.mappings) {
-      if (logic::EquivalentTgds(existing.tgd, mapping.tgd)) return false;
-    }
-    result.mappings.push_back(std::move(mapping));
-    return true;
-  };
-
-  ctx.Count("pipeline.tables", static_cast<int64_t>(groups.size()));
+  MappingMerger merger(ctx);
+  ctx.Count("pipeline.tables", static_cast<int64_t>(prepared->groups.size()));
   ctx.Count("pipeline.quarantined_correspondences",
             static_cast<int64_t>(result.report.quarantined_correspondences));
-  for (const auto& [table, group] : groups) {
-    obs::Span cascade_span = ctx.Span("cascade");
-    cascade_span.AddAttr("table", table);
-    TableOutcome outcome;
-    outcome.target_table = table;
-    if (auto it = quarantined_by_table.find(table);
-        it != quarantined_by_table.end()) {
-      for (const std::string& corr : it->second) {
-        outcome.notes.push_back("quarantined: " + corr);
-      }
+  for (const auto& [table, group] : prepared->groups) {
+    TableWork work =
+        RunTableCascade(source, target, table, group, cascade_opts, ctx);
+    if (auto it = prepared->quarantine_notes.find(table);
+        it != prepared->quarantine_notes.end()) {
+      work.outcome.notes.insert(work.outcome.notes.begin(),
+                                it->second.begin(), it->second.end());
     }
-    bool settled = false;
-
-    // Governed semantic tiers, each retried under halving step budgets.
-    const DegradationTier semantic_tiers[] = {
-        DegradationTier::kSemanticFull, DegradationTier::kSemanticRestricted};
-    bool semantic_answered_empty = false;
-    for (DegradationTier tier : semantic_tiers) {
-      if (settled || semantic_answered_empty) break;
-      rew::SemanticMapperOptions sem_opts =
-          tier == DegradationTier::kSemanticFull
-              ? options.semantic
-              : RestrictSemantic(options.semantic);
-      int64_t tier_budget = options.max_steps;
-      if (tier_budget >= 0 && tier == DegradationTier::kSemanticRestricted) {
-        tier_budget /= 2;
-      }
-      for (size_t attempt = 0; attempt <= options.retries_per_tier;
-           ++attempt) {
-        int64_t budget = tier_budget;
-        if (budget >= 0) budget >>= attempt;
-        ResourceGovernor governor;
-        ConfigureGovernor(&governor, deadline, budget, fault_after);
-        // Discovery reports unliftable correspondences into a scratch sink
-        // so cascade retries do not duplicate them; lifting is
-        // deterministic, so the first attempt's findings stand for all.
-        DiagnosticSink lift_sink;
-        RunContext tier_ctx = ctx.WithGovernor(&governor);
-        tier_ctx.sink = ctx.sink != nullptr ? &lift_sink : nullptr;
-        ctx.Count("pipeline.tier_attempts");
-        obs::Span tier_span = ctx.Span("tier");
-        tier_span.AddAttr("tier", TierName(tier));
-        tier_span.AddAttr("attempt", static_cast<int64_t>(attempt + 1));
-        auto mappings = rew::GenerateSemanticMappings(source, target, group,
-                                                      sem_opts, tier_ctx);
-        if (governor.exhausted()) ctx.Count("governor.trips");
-        tier_span.End();
-        if (ctx.sink != nullptr &&
-            tier == DegradationTier::kSemanticFull && attempt == 0) {
-          for (const Diagnostic& d : lift_sink.diagnostics()) {
-            ctx.sink->Add(d);
-          }
-        }
-        std::string attempt_label = std::string(TierName(tier)) +
-                                    " (attempt " +
-                                    std::to_string(attempt + 1) + ")";
-        if (!mappings.ok()) {
-          outcome.notes.push_back(attempt_label + ": " +
-                                  mappings.status().ToString());
-          break;  // A real error will not improve under a smaller budget.
-        }
-        if (!mappings->empty()) {
-          outcome.tier = tier;
-          outcome.mappings = mappings->size();
-          if (governor.exhausted()) {
-            outcome.notes.push_back(attempt_label + ": partial result, " +
-                                    governor.status().ToString());
-            for (const std::string& note : governor.truncations()) {
-              outcome.notes.push_back(attempt_label + ": " + note);
-            }
-          }
-          for (rew::GeneratedMapping& m : *mappings) {
-            ResilientMapping out;
-            out.tier = tier;
-            out.target_table = table;
-            out.tgd = std::move(m.tgd);
-            out.covered = std::move(m.covered);
-            out.source_algebra = std::move(m.source_algebra);
-            out.target_algebra = std::move(m.target_algebra);
-            emit(std::move(out));
-          }
-          settled = true;
-          break;
-        }
-        outcome.notes.push_back(attempt_label + ": no mappings (" +
-                                governor.status().ToString() + ")");
-        // A clean empty result is the technique's answer, not a resource
-        // problem; shrinking the budget or the search space cannot add
-        // mappings, so skip straight to the baseline.
-        if (!governor.exhausted()) {
-          semantic_answered_empty = true;
-          break;
-        }
-      }
+    for (ResilientMapping& mapping : work.mappings) {
+      merger.Emit(std::move(mapping));
     }
-
-    if (!settled) {
-      // The lifeline: the RIC baseline always terminates, so it runs
-      // exempt from step budgets and fault injection (deadline only).
-      baseline::RicMapperOptions ric_opts = options.ric;
-      ResourceGovernor governor;
-      ConfigureGovernor(&governor, deadline, /*step_budget=*/-1,
-                        /*fault_after=*/std::nullopt);
-      ctx.Count("pipeline.tier_attempts");
-      obs::Span tier_span = ctx.Span("tier");
-      tier_span.AddAttr("tier", TierName(DegradationTier::kRicBaseline));
-      auto ric = baseline::GenerateRicMappings(source.schema(),
-                                               target.schema(), group,
-                                               ric_opts,
-                                               ctx.WithGovernor(&governor));
-      if (governor.exhausted()) ctx.Count("governor.trips");
-      tier_span.End();
-      if (ric.ok() && !ric->empty()) {
-        outcome.tier = DegradationTier::kRicBaseline;
-        outcome.mappings = ric->size();
-        if (governor.exhausted()) {
-          outcome.notes.push_back(std::string(TierName(outcome.tier)) +
-                                  ": partial result, " +
-                                  governor.status().ToString());
-        }
-        for (baseline::RicMapping& m : *ric) {
-          ResilientMapping out;
-          out.tier = DegradationTier::kRicBaseline;
-          out.target_table = table;
-          out.tgd = std::move(m.tgd);
-          out.covered = std::move(m.covered);
-          emit(std::move(out));
-        }
-      } else {
-        outcome.tier = DegradationTier::kFailed;
-        outcome.notes.push_back(
-            std::string(TierName(DegradationTier::kRicBaseline)) + ": " +
-            (ric.ok() ? std::string("no mappings (") +
-                            governor.status().ToString() + ")"
-                      : ric.status().ToString()));
-      }
-    }
-    cascade_span.AddAttr("tier", TierName(outcome.tier));
-    cascade_span.AddAttr("mappings", static_cast<int64_t>(outcome.mappings));
-    if (outcome.tier != DegradationTier::kSemanticFull) {
+    if (work.outcome.tier != DegradationTier::kSemanticFull) {
       ctx.Count("pipeline.degraded_tables");
     }
-    result.report.tables.push_back(std::move(outcome));
+    result.report.tables.push_back(std::move(work.outcome));
   }
+  result.mappings = std::move(merger.mappings());
   ctx.Count("pipeline.mappings_emitted",
             static_cast<int64_t>(result.mappings.size()));
   return result;

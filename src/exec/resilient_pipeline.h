@@ -27,6 +27,9 @@
 #ifndef SEMAP_EXEC_RESILIENT_PIPELINE_H_
 #define SEMAP_EXEC_RESILIENT_PIPELINE_H_
 
+#include <chrono>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -112,6 +115,91 @@ struct ResilientMapping {
 struct ResilientResult {
   std::vector<ResilientMapping> mappings;
   DegradationReport report;
+};
+
+// --- Building blocks shared by the serial pipeline and the supervisor ---
+//
+// RunResilientPipeline is PrepareResilientRun + one RunTableCascade per
+// surviving table + a MappingMerger pass, run serially on the calling
+// thread. exec/supervisor.h reuses the same three pieces to run the
+// cascades on a worker pool with retry, watchdog deadlines and
+// checkpointing; keeping them public is what guarantees --jobs=N and the
+// serial path can never drift apart.
+
+/// \brief The fail-soft front half of a resilient run: dangling
+/// correspondences quarantined (with ctx.sink) or rejected (without),
+/// survivors grouped by target table in deterministic (sorted) order.
+struct PreparedRun {
+  /// Surviving correspondences grouped by target table.
+  std::map<std::string, std::vector<disc::Correspondence>> groups;
+  /// Tables whose every correspondence was quarantined: ready-made
+  /// kQuarantined outcomes, in sorted order.
+  std::vector<TableOutcome> quarantined_tables;
+  /// "quarantined: <corr>" notes for tables that still cascade.
+  std::map<std::string, std::vector<std::string>> quarantine_notes;
+  size_t quarantined_correspondences = 0;
+};
+
+Result<PreparedRun> PrepareResilientRun(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const RunContext& ctx);
+
+/// \brief Configuration of one table's degradation cascade.
+struct TableCascadeOptions {
+  rew::SemanticMapperOptions semantic;
+  baseline::RicMapperOptions ric;
+  /// Absolute wall-clock deadline shared by every tier (the run-wide
+  /// --deadline-ms); nullopt = none.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Step budget of the first semantic attempt; see ResilientPipelineOptions.
+  int64_t max_steps = -1;
+  /// Resolved fault injection point; nullopt = none.
+  std::optional<int64_t> fault_after;
+  size_t retries_per_tier = 1;
+  /// False once the circuit breaker has tripped: skip the semantic tiers
+  /// and serve the table straight from the RIC baseline.
+  bool semantic_enabled = true;
+};
+
+/// \brief One table's cascade outcome plus its raw (pre-merge) mappings.
+struct TableWork {
+  TableOutcome outcome;
+  std::vector<ResilientMapping> mappings;
+  /// True when the semantic tiers were lost to exhaustion (budget,
+  /// deadline, injected fault) rather than answering cleanly — the
+  /// failure a supervisor retry might recover from.
+  bool transient_failure = false;
+};
+
+/// \brief Run the tier cascade for one target table. Opens a `cascade`
+/// span on ctx and counts tier attempts / governor trips; ctx.governor,
+/// when set, becomes the *parent* of every tier governor (the
+/// supervisor's per-unit budget slice — a watchdog Cancel on it unwinds
+/// the whole cascade at the next charge).
+TableWork RunTableCascade(const sem::AnnotatedSchema& source,
+                          const sem::AnnotatedSchema& target,
+                          const std::string& table,
+                          const std::vector<disc::Correspondence>& group,
+                          const TableCascadeOptions& options,
+                          const RunContext& ctx);
+
+/// \brief Cross-table assembly: TGD-safety-checks each mapping (with
+/// ctx.sink), collapses cross-table duplicates onto their first
+/// occurrence, and accumulates the final mapping list. Feed tables in
+/// sorted order to reproduce the serial pipeline's output exactly.
+class MappingMerger {
+ public:
+  explicit MappingMerger(const RunContext& ctx) : ctx_(ctx) {}
+
+  /// True when the mapping survived (safe and not a duplicate).
+  bool Emit(ResilientMapping mapping);
+
+  std::vector<ResilientMapping>& mappings() { return mappings_; }
+
+ private:
+  RunContext ctx_;
+  std::vector<ResilientMapping> mappings_;
 };
 
 /// \brief Run the degradation cascade over every target table named by

@@ -1,0 +1,488 @@
+#include "exec/supervisor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace semap::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One dispatched table: the unit of isolation, retry and checkpointing.
+struct Unit {
+  std::string table;
+  const std::vector<disc::Correspondence>* group = nullptr;
+  const std::vector<std::string>* quarantine_notes = nullptr;
+};
+
+/// Everything a finished unit hands back to the supervising thread. The
+/// observability objects are private to the unit while it runs (none of
+/// them is thread-safe) and merged into the run's context at assembly,
+/// in sorted table order, so concurrent completion order never leaks
+/// into the output.
+struct UnitDone {
+  TableWork work;
+  size_t attempts = 0;
+  std::vector<int64_t> retry_delays_ms;
+  int64_t queue_wait_ns = 0;
+  std::unique_ptr<DiagnosticSink> sink;
+  std::unique_ptr<obs::Tracer> tracer;
+  int64_t tracer_offset_ns = 0;
+  std::unique_ptr<obs::Metrics> metrics;
+};
+
+/// Watchdog thread for per-unit deadlines. Workers lease a watch on
+/// their unit governor for the duration of each attempt; the watchdog
+/// Cancels any governor whose deadline passes, which unwinds that
+/// cascade at its next charge (cancellation is cooperative — it
+/// interrupts governed loops, not arbitrary code) without touching the
+/// sibling units.
+class Watchdog {
+ public:
+  Watchdog() : thread_([this] { Loop(); }) {}
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+  void Watch(ResourceGovernor* governor, Clock::time_point deadline) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      watched_[governor] = deadline;
+    }
+    cv_.notify_one();
+  }
+
+  void Unwatch(ResourceGovernor* governor) {
+    std::lock_guard<std::mutex> lock(mu_);
+    watched_.erase(governor);
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (watched_.empty()) {
+        cv_.wait(lock);
+        continue;
+      }
+      const Clock::time_point now = Clock::now();
+      Clock::time_point next = Clock::time_point::max();
+      for (auto it = watched_.begin(); it != watched_.end();) {
+        if (it->second <= now) {
+          it->first->Cancel(Status::DeadlineExceeded(
+              "unit deadline exceeded (watchdog cancellation)"));
+          it = watched_.erase(it);
+        } else {
+          next = std::min(next, it->second);
+          ++it;
+        }
+      }
+      if (watched_.empty()) continue;
+      cv_.wait_until(lock, next);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<ResourceGovernor*, Clock::time_point> watched_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// RAII watch lease: registered for the span of one attempt, always
+/// unregistered before the governor leaves scope.
+class WatchLease {
+ public:
+  WatchLease(Watchdog* watchdog, ResourceGovernor* governor,
+             Clock::time_point deadline)
+      : watchdog_(watchdog), governor_(governor) {
+    if (watchdog_ != nullptr) watchdog_->Watch(governor_, deadline);
+  }
+  ~WatchLease() {
+    if (watchdog_ != nullptr) watchdog_->Unwatch(governor_);
+  }
+  WatchLease(const WatchLease&) = delete;
+  WatchLease& operator=(const WatchLease&) = delete;
+
+ private:
+  Watchdog* watchdog_;
+  ResourceGovernor* governor_;
+};
+
+/// State shared by the workers, all of it guarded by `mu` except the
+/// breaker flag (read on the hot path of every attempt).
+struct Shared {
+  std::mutex mu;
+  size_t next = 0;
+  bool halted = false;
+  size_t fresh_completed = 0;
+  size_t consecutive_semantic_losses = 0;
+  std::atomic<bool> breaker_tripped{false};
+  std::map<std::string, UnitDone> done;
+  CheckpointJournal* journal = nullptr;
+  std::string journal_warning;
+};
+
+/// Run one unit to completion: up to unit_attempts attempts, each under
+/// a fresh governor slice (watchdog-leased when a unit deadline is
+/// configured) and a fresh scratch sink, retrying transient semantic
+/// losses under the backoff schedule. Only the kept (final) attempt's
+/// diagnostics survive, so a retried unit does not report the same lift
+/// problems twice.
+UnitDone RunUnit(const sem::AnnotatedSchema& source,
+                 const sem::AnnotatedSchema& target, const Unit& unit,
+                 const SupervisorOptions& options,
+                 const TableCascadeOptions& base_opts, const RunContext& ctx,
+                 Shared* shared, Watchdog* watchdog) {
+  UnitDone done;
+  if (ctx.sink != nullptr) done.sink = std::make_unique<DiagnosticSink>();
+  if (ctx.tracer != nullptr) {
+    done.tracer = std::make_unique<obs::Tracer>();
+    done.tracer_offset_ns = ctx.tracer->NowNs();
+  }
+  if (ctx.metrics != nullptr) done.metrics = std::make_unique<obs::Metrics>();
+
+  const size_t max_attempts = std::max<size_t>(1, options.unit_attempts);
+  const Backoff backoff(options.backoff);
+  bool breaker_open = false;
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    ++done.attempts;
+    breaker_open = shared->breaker_tripped.load(std::memory_order_relaxed);
+
+    TableCascadeOptions attempt_opts = base_opts;
+    attempt_opts.semantic_enabled = !breaker_open;
+    // Transient-fault simulation: the injected fault afflicts only the
+    // first fault_attempts attempts, so a retry genuinely recovers.
+    if (options.fault_attempts > 0 && attempt >= options.fault_attempts) {
+      attempt_opts.fault_after.reset();
+    }
+
+    // The unit's own governor slice, parent of every tier governor the
+    // cascade creates below it: one Cancel here unwinds them all.
+    ResourceGovernor unit_governor;
+    std::optional<WatchLease> lease;
+    if (options.unit_deadline_ms >= 0) {
+      unit_governor.set_deadline_ms(options.unit_deadline_ms);
+      lease.emplace(watchdog, &unit_governor,
+                    Clock::now() +
+                        std::chrono::milliseconds(options.unit_deadline_ms));
+    }
+
+    DiagnosticSink attempt_sink;
+    RunContext unit_ctx;
+    unit_ctx.governor = &unit_governor;
+    unit_ctx.sink = done.sink != nullptr ? &attempt_sink : nullptr;
+    unit_ctx.tracer = done.tracer.get();
+    unit_ctx.metrics = done.metrics.get();
+
+    TableWork work = RunTableCascade(source, target, unit.table, *unit.group,
+                                     attempt_opts, unit_ctx);
+    lease.reset();
+
+    const bool retry = work.transient_failure && attempt + 1 < max_attempts &&
+                       !shared->breaker_tripped.load(std::memory_order_relaxed);
+    if (!retry) {
+      done.work = std::move(work);
+      if (done.sink != nullptr) {
+        for (const Diagnostic& d : attempt_sink.diagnostics()) {
+          done.sink->Add(d);
+        }
+      }
+      break;
+    }
+    const int64_t delay_ms = backoff.DelayMs(attempt);
+    done.retry_delays_ms.push_back(delay_ms);
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+  }
+
+  // Mirror the serial pipeline: fail-soft quarantine drops lead the
+  // table's notes; supervisor annotations trail them. Fault-free runs
+  // take one attempt with the breaker closed and add nothing, keeping
+  // --jobs=N note-for-note identical to the serial path.
+  TableOutcome& outcome = done.work.outcome;
+  if (unit.quarantine_notes != nullptr) {
+    outcome.notes.insert(outcome.notes.begin(), unit.quarantine_notes->begin(),
+                         unit.quarantine_notes->end());
+  }
+  if (done.attempts > 1) {
+    outcome.notes.push_back("supervisor: " + std::to_string(done.attempts) +
+                            " attempt(s)");
+  }
+  if (breaker_open) {
+    outcome.notes.push_back(
+        "supervisor: circuit breaker open, semantic tiers skipped");
+  }
+  return done;
+}
+
+/// Worker loop: claim the next unclaimed unit, run it, publish the
+/// result, update the breaker, journal the completion. Runs on each pool
+/// thread, or inline on the calling thread when jobs <= 1.
+void WorkerLoop(const sem::AnnotatedSchema& source,
+                const sem::AnnotatedSchema& target,
+                const std::vector<Unit>& units,
+                const SupervisorOptions& options,
+                const TableCascadeOptions& base_opts, const RunContext& ctx,
+                Shared* shared, Watchdog* watchdog) {
+  for (;;) {
+    size_t index = 0;
+    Clock::time_point claimed_at;
+    {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      if (shared->halted || shared->next >= units.size()) return;
+      index = shared->next++;
+      claimed_at = Clock::now();
+    }
+    const Unit& unit = units[index];
+    UnitDone done =
+        RunUnit(source, target, unit, options, base_opts, ctx, shared, watchdog);
+    done.queue_wait_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Clock::now() - claimed_at)
+                             .count();
+
+    std::lock_guard<std::mutex> lock(shared->mu);
+    // Circuit breaker: `transient_failure` marks a unit whose semantic
+    // tiers were lost to exhaustion (it is never set once the breaker is
+    // open, since those units run without semantic tiers). A semantic
+    // success closes the window; a clean RIC answer neither counts nor
+    // resets.
+    if (options.breaker_threshold > 0 &&
+        !shared->breaker_tripped.load(std::memory_order_relaxed)) {
+      if (done.work.transient_failure) {
+        if (++shared->consecutive_semantic_losses >=
+            options.breaker_threshold) {
+          shared->breaker_tripped.store(true, std::memory_order_relaxed);
+        }
+      } else if (done.work.outcome.tier == DegradationTier::kSemanticFull ||
+                 done.work.outcome.tier ==
+                     DegradationTier::kSemanticRestricted) {
+        shared->consecutive_semantic_losses = 0;
+      }
+    }
+    if (shared->journal != nullptr) {
+      CheckpointedUnit checkpoint;
+      checkpoint.outcome = done.work.outcome;
+      checkpoint.mappings = done.work.mappings;
+      Status append = shared->journal->Append(checkpoint);
+      if (!append.ok() && shared->journal_warning.empty()) {
+        shared->journal_warning =
+            "checkpoint append failed: " + append.ToString();
+      }
+    }
+    shared->done.emplace(unit.table, std::move(done));
+    ++shared->fresh_completed;
+    if (options.halt_after_units > 0 &&
+        shared->fresh_completed >= options.halt_after_units) {
+      shared->halted = true;  // simulated kill: stop dispatching
+    }
+  }
+}
+
+}  // namespace
+
+Result<SupervisorResult> RunSupervisedPipeline(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const SupervisorOptions& options, const RunContext& run_ctx) {
+  if (correspondences.empty()) {
+    return Status::InvalidArgument("no correspondences given");
+  }
+  RunContext ctx = run_ctx;
+  if (ctx.sink == nullptr) ctx.sink = options.pipeline.sink;
+  // Units get their own governor slices; a caller-provided governor is
+  // not part of this entry point's contract (same as the serial path).
+  ctx.governor = nullptr;
+
+  auto prepared = PrepareResilientRun(source, target, correspondences, ctx);
+  if (!prepared.ok()) return prepared.status();
+
+  SupervisorResult result;
+
+  // Checkpoint journal: open (or resume) before any unit runs, so even a
+  // run killed on its first table leaves a well-formed journal behind.
+  std::unique_ptr<CheckpointJournal> journal;
+  std::map<std::string, CheckpointedUnit> checkpointed;
+  if (!options.checkpoint_path.empty()) {
+    const uint64_t fingerprint =
+        ScenarioFingerprint(source, target, correspondences);
+    if (options.resume) {
+      std::vector<CheckpointedUnit> completed;
+      std::string warning;
+      auto resumed = CheckpointJournal::Resume(options.checkpoint_path,
+                                               fingerprint, &completed,
+                                               &warning);
+      if (!resumed.ok()) return resumed.status();
+      journal = std::make_unique<CheckpointJournal>(
+          std::move(resumed).ValueOrDie());
+      result.journal_warning = std::move(warning);
+      for (CheckpointedUnit& unit : completed) {
+        // Trust only tables this run actually cascades; the fingerprint
+        // already guarantees the scenario matches.
+        if (prepared->groups.count(unit.outcome.target_table) > 0) {
+          std::string table = unit.outcome.target_table;
+          checkpointed.emplace(std::move(table), std::move(unit));
+        }
+      }
+    } else {
+      auto created =
+          CheckpointJournal::Create(options.checkpoint_path, fingerprint);
+      if (!created.ok()) return created.status();
+      journal = std::make_unique<CheckpointJournal>(
+          std::move(created).ValueOrDie());
+    }
+  }
+
+  // The work queue: every cascading table not already served by the
+  // journal, in sorted (map) order.
+  std::vector<Unit> units;
+  units.reserve(prepared->groups.size());
+  for (const auto& [table, group] : prepared->groups) {
+    if (checkpointed.count(table) > 0) continue;
+    Unit unit;
+    unit.table = table;
+    unit.group = &group;
+    if (auto it = prepared->quarantine_notes.find(table);
+        it != prepared->quarantine_notes.end()) {
+      unit.quarantine_notes = &it->second;
+    }
+    units.push_back(std::move(unit));
+  }
+
+  TableCascadeOptions base_opts;
+  base_opts.semantic = options.pipeline.semantic;
+  base_opts.ric = options.pipeline.ric;
+  base_opts.max_steps = options.pipeline.max_steps;
+  base_opts.retries_per_tier = options.pipeline.retries_per_tier;
+  if (options.pipeline.fault_after >= 0) {
+    base_opts.fault_after = options.pipeline.fault_after;
+  } else {
+    base_opts.fault_after = ResourceGovernor::FaultAfterFromEnv();
+  }
+  if (options.pipeline.deadline_ms >= 0) {
+    base_opts.deadline =
+        Clock::now() + std::chrono::milliseconds(options.pipeline.deadline_ms);
+  }
+
+  Shared shared;
+  shared.journal = journal.get();
+
+  {
+    // Scoped so the watchdog (when present) is joined before assembly.
+    std::unique_ptr<Watchdog> watchdog;
+    if (options.unit_deadline_ms >= 0 && !units.empty()) {
+      watchdog = std::make_unique<Watchdog>();
+    }
+    const size_t jobs = std::max<size_t>(1, options.jobs);
+    const size_t pool = std::min(jobs, units.size());
+    if (pool <= 1) {
+      WorkerLoop(source, target, units, options, base_opts, ctx, &shared,
+                 watchdog.get());
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(pool);
+      for (size_t i = 0; i < pool; ++i) {
+        workers.emplace_back([&] {
+          WorkerLoop(source, target, units, options, base_opts, ctx, &shared,
+                     watchdog.get());
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+    }
+  }
+
+  // --- Assembly: single-threaded, in sorted table order -------------
+  // Exactly the serial pipeline's merge, which is what makes --jobs=N
+  // (and resumed runs) reproduce its mapping set and report.
+  result.run.report.quarantined_correspondences =
+      prepared->quarantined_correspondences;
+  result.run.report.tables = std::move(prepared->quarantined_tables);
+  ctx.Count("pipeline.tables", static_cast<int64_t>(prepared->groups.size()));
+  ctx.Count("pipeline.quarantined_correspondences",
+            static_cast<int64_t>(prepared->quarantined_correspondences));
+
+  MappingMerger merger(ctx);
+  for (const auto& [table, group] : prepared->groups) {
+    if (auto cp = checkpointed.find(table); cp != checkpointed.end()) {
+      // Served from the journal: its outcome (quarantine notes included)
+      // and raw mappings were recorded at completion; only the merge
+      // reruns, which is deterministic.
+      ctx.Count("supervisor.units_resumed");
+      UnitReport report;
+      report.table = table;
+      report.from_checkpoint = true;
+      for (ResilientMapping& mapping : cp->second.mappings) {
+        merger.Emit(std::move(mapping));
+      }
+      if (cp->second.outcome.tier != DegradationTier::kSemanticFull) {
+        ctx.Count("pipeline.degraded_tables");
+      }
+      result.run.report.tables.push_back(std::move(cp->second.outcome));
+      result.units.push_back(std::move(report));
+      continue;
+    }
+    auto it = shared.done.find(table);
+    if (it == shared.done.end()) continue;  // halted before this table ran
+    UnitDone& done = it->second;
+    if (ctx.sink != nullptr && done.sink != nullptr) {
+      for (const Diagnostic& d : done.sink->diagnostics()) ctx.sink->Add(d);
+    }
+    if (ctx.tracer != nullptr && done.tracer != nullptr) {
+      ctx.tracer->Absorb(*done.tracer, "unit/" + table, done.tracer_offset_ns);
+    }
+    if (ctx.metrics != nullptr && done.metrics != nullptr) {
+      ctx.metrics->MergeFrom(*done.metrics);
+      ctx.metrics->RecordDurationNs("supervisor.queue_wait",
+                                    done.queue_wait_ns);
+    }
+    ctx.Count("supervisor.unit_attempts", static_cast<int64_t>(done.attempts));
+    result.retries += done.attempts - 1;
+    for (ResilientMapping& mapping : done.work.mappings) {
+      merger.Emit(std::move(mapping));
+    }
+    if (done.work.outcome.tier != DegradationTier::kSemanticFull) {
+      ctx.Count("pipeline.degraded_tables");
+    }
+    result.run.report.tables.push_back(std::move(done.work.outcome));
+    UnitReport report;
+    report.table = table;
+    report.attempts = done.attempts;
+    report.retry_delays_ms = std::move(done.retry_delays_ms);
+    report.queue_wait_ns = done.queue_wait_ns;
+    result.units.push_back(std::move(report));
+  }
+  result.run.mappings = std::move(merger.mappings());
+  ctx.Count("pipeline.mappings_emitted",
+            static_cast<int64_t>(result.run.mappings.size()));
+  if (result.retries > 0) {
+    ctx.Count("supervisor.retries", static_cast<int64_t>(result.retries));
+  }
+  result.breaker_tripped =
+      shared.breaker_tripped.load(std::memory_order_relaxed);
+  if (result.breaker_tripped) ctx.Count("supervisor.breaker_trips");
+  result.halted = shared.halted;
+  if (result.journal_warning.empty()) {
+    result.journal_warning = std::move(shared.journal_warning);
+  }
+  return result;
+}
+
+}  // namespace semap::exec

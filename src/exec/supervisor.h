@@ -1,0 +1,129 @@
+// Supervised concurrent execution: a fixed-size worker pool over
+// per-table work units, with fault isolation, retry, a circuit breaker,
+// and checkpoint/resume.
+//
+// Discovery is embarrassingly parallel across target tables — one
+// s-tree inference → tree search → CSG pairing → rewriting cascade per
+// table, sharing only immutable schemas — yet one hung Steiner search or
+// a mid-run kill used to cost the whole batch. The supervisor treats
+// each table as a WorkUnit and wraps it in the machinery large batch
+// systems consider table stakes:
+//
+//   * isolation  — every unit attempt runs under its own child
+//     RunContext: a private governor slice (parent of the cascade's tier
+//     governors), a private DiagnosticSink, a private Tracer (absorbed
+//     into the run trace as a `unit/<table>` span) and private Metrics
+//     (merged after completion). A unit cannot corrupt or stall its
+//     siblings.
+//   * watchdog   — with --unit-deadline-ms, a watchdog thread Cancels
+//     the governor of any unit that overstays its per-unit deadline, so
+//     the cascade unwinds at its next charge even between the governor's
+//     own (sampled) clock checks. Cancellation is cooperative: it
+//     interrupts governed loops, not arbitrary code.
+//   * retry      — a unit that lost its semantic tiers to exhaustion
+//     (budget, deadline, injected fault — the transient failures) is
+//     retried up to unit_attempts times under capped exponential backoff
+//     with seeded deterministic jitter (util/backoff.h, --retry-seed).
+//     Clean empty answers and real errors are final: retrying cannot
+//     improve them.
+//   * breaker    — after breaker_threshold *consecutive* units lose
+//     their semantic tiers, the circuit breaker trips and every unit
+//     started afterwards skips straight to the RIC baseline tier
+//     (reusing the degradation cascade) instead of grinding through more
+//     timeouts.
+//   * checkpoint — with a journal path, every completed unit is appended
+//     to a crash-safe semap.checkpoint.v1 journal (exec/checkpoint.h); a
+//     killed run restarted with resume=true skips finished tables and
+//     merges their cached mappings into an identical final mapping set.
+//
+// Determinism: units are merged in sorted table order whatever order
+// they complete in, so --jobs=N produces the same mapping set and
+// degradation report as --jobs=1 (and as the serial
+// RunResilientPipeline) on any fault-free run.
+#ifndef SEMAP_EXEC_SUPERVISOR_H_
+#define SEMAP_EXEC_SUPERVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/checkpoint.h"
+#include "exec/resilient_pipeline.h"
+#include "exec/run_context.h"
+#include "util/backoff.h"
+#include "util/result.h"
+
+namespace semap::exec {
+
+struct SupervisorOptions {
+  /// Cascade configuration (semantic/ric options, run deadline, step
+  /// budget, fault injection, retries per tier) — exactly the serial
+  /// pipeline's knobs.
+  ResilientPipelineOptions pipeline;
+  /// Worker threads. 1 (the default) runs the units inline on the
+  /// calling thread and reproduces the serial pipeline exactly.
+  size_t jobs = 1;
+  /// Per-unit wall-clock deadline, watchdog-enforced; < 0 = none.
+  int64_t unit_deadline_ms = -1;
+  /// Total attempts per unit (1 = no supervisor-level retry).
+  size_t unit_attempts = 2;
+  /// Delays between unit attempts; seed it (--retry-seed) for
+  /// reproducible schedules.
+  BackoffPolicy backoff;
+  /// Consecutive semantic-tier losses before the breaker trips the rest
+  /// of the run down to the RIC tier; 0 disables the breaker.
+  size_t breaker_threshold = 3;
+  /// Deterministic transient-fault simulation: apply the pipeline's
+  /// fault injection only to the first N attempts of each unit, so a
+  /// retry "clears" the fault. 0 = the fault (if any) is permanent.
+  size_t fault_attempts = 0;
+  /// Journal path; empty = no checkpointing.
+  std::string checkpoint_path;
+  /// Load an existing journal at checkpoint_path first and skip its
+  /// finished tables.
+  bool resume = false;
+  /// Test hook simulating a mid-run kill: stop dispatching new units
+  /// once this many fresh units have completed (0 = never). The journal
+  /// then holds exactly the completed prefix.
+  size_t halt_after_units = 0;
+};
+
+/// \brief Per-unit execution summary.
+struct UnitReport {
+  std::string table;
+  /// Attempts actually run; 0 for units served from the checkpoint.
+  size_t attempts = 0;
+  bool from_checkpoint = false;
+  /// Backoff delays slept before each retry, in order.
+  std::vector<int64_t> retry_delays_ms;
+  int64_t queue_wait_ns = 0;
+};
+
+struct SupervisorResult {
+  /// Merged mappings + degradation report, identical in shape to the
+  /// serial pipeline's.
+  ResilientResult run;
+  /// One entry per cascading table, sorted by table name.
+  std::vector<UnitReport> units;
+  size_t retries = 0;
+  bool breaker_tripped = false;
+  /// True when halt_after_units stopped the run early (test hook).
+  bool halted = false;
+  /// Non-fatal journal trouble (torn tail line dropped on resume,
+  /// append failure); empty when clean.
+  std::string journal_warning;
+};
+
+/// \brief Run the per-table cascades on a supervised worker pool. Same
+/// contract as RunResilientPipeline (fail-soft with a sink, exhaustion
+/// surfaces as degraded tiers, never as errors) plus the supervision
+/// above. The RunContext's sink/tracer/metrics observe the whole run;
+/// its governor is ignored (units get their own slices).
+Result<SupervisorResult> RunSupervisedPipeline(
+    const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
+    const std::vector<disc::Correspondence>& correspondences,
+    const SupervisorOptions& options, const RunContext& ctx = {});
+
+}  // namespace semap::exec
+
+#endif  // SEMAP_EXEC_SUPERVISOR_H_

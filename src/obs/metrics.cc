@@ -38,6 +38,33 @@ void Metrics::RecordDurationNs(std::string_view name, int64_t ns) {
   h.sum_ns += ns;
 }
 
+void Metrics::MergeFrom(const Metrics& other) {
+  for (const auto& [name, value] : other.counters_) {
+    Add(name, value);
+  }
+  for (const auto& [name, theirs] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, theirs);
+      continue;
+    }
+    Histogram& ours = it->second;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      ours.buckets[i] += theirs.buckets[i];
+    }
+    if (theirs.count > 0) {
+      if (ours.count == 0 || theirs.min_ns < ours.min_ns) {
+        ours.min_ns = theirs.min_ns;
+      }
+      if (ours.count == 0 || theirs.max_ns > ours.max_ns) {
+        ours.max_ns = theirs.max_ns;
+      }
+      ours.count += theirs.count;
+      ours.sum_ns += theirs.sum_ns;
+    }
+  }
+}
+
 std::string Metrics::ToJson() const {
   std::string out = "{\"schema\":\"semap.metrics.v1\",\"counters\":{";
   bool first = true;

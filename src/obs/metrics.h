@@ -49,6 +49,13 @@ class Metrics {
   /// Record one duration observation into histogram `name`.
   void RecordDurationNs(std::string_view name, int64_t ns);
 
+  /// Fold another Metrics into this one: counters add, histograms merge
+  /// bucket-wise. How the supervisor folds each worker unit's private
+  /// metrics back into the run's metrics after the unit completes
+  /// (Metrics itself is not thread-safe; merging happens on the
+  /// supervising thread).
+  void MergeFrom(const Metrics& other);
+
   const std::map<std::string, int64_t, std::less<>>& counters() const {
     return counters_;
   }

@@ -58,6 +58,30 @@ int64_t Tracer::TotalDurationNs(std::string_view name) const {
   return total;
 }
 
+void Tracer::Absorb(const Tracer& child, std::string_view root_name,
+                    int64_t start_offset_ns) {
+  const int base = static_cast<int>(spans_.size());
+  SpanRecord root;
+  root.name = std::string(root_name);
+  root.id = base;
+  root.parent = open_.empty() ? -1 : open_.back();
+  root.start_ns = start_offset_ns;
+  root.duration_ns = 0;
+  spans_.push_back(std::move(root));
+  for (const SpanRecord& s : child.spans_) {
+    SpanRecord copy = s;
+    copy.id += base + 1;
+    copy.parent = s.parent < 0 ? base : s.parent + base + 1;
+    copy.start_ns += start_offset_ns;
+    if (copy.duration_ns < 0) copy.duration_ns = 0;  // still open in child
+    // The grafted root covers its forest end to end.
+    SpanRecord& r = spans_[static_cast<size_t>(base)];
+    r.duration_ns = std::max(r.duration_ns,
+                             copy.start_ns + copy.duration_ns - r.start_ns);
+    spans_.push_back(std::move(copy));
+  }
+}
+
 std::string JsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());

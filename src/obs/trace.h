@@ -96,15 +96,29 @@ class Tracer {
   /// children are nested under their parent span.
   std::string ToJson() const;
 
- private:
-  friend class Span;
-  using Clock = std::chrono::steady_clock;
+  /// Graft `child`'s whole span forest into this tracer under a new
+  /// closed span named `root_name`, itself a child of the innermost open
+  /// span. Tracers are single-threaded, so concurrent workers record
+  /// into private tracers and the supervisor absorbs them (on its own
+  /// thread) once each unit completes; `start_offset_ns` places the
+  /// child's epoch on this tracer's clock so absorbed spans keep real
+  /// start times. Still-open child spans are absorbed as zero-duration.
+  void Absorb(const Tracer& child, std::string_view root_name,
+              int64_t start_offset_ns);
 
+  /// Nanoseconds since this tracer's epoch. Thread-safe (the epoch is
+  /// immutable); workers use it to timestamp spans recorded in private
+  /// tracers before the supervisor absorbs them.
   int64_t NowNs() const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                                 epoch_)
         .count();
   }
+
+ private:
+  friend class Span;
+  using Clock = std::chrono::steady_clock;
+
   void EndSpan(int id);
 
   Clock::time_point epoch_;

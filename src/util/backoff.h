@@ -1,0 +1,86 @@
+// Capped exponential backoff with deterministic jitter.
+//
+// Retry schedules must be reproducible — tests assert exact delay
+// sequences and a bug report's "it retried at 10ms, 23ms, 41ms" should
+// replay bit-for-bit — so the jitter comes from a splitmix64 PRNG seeded
+// explicitly (the supervisor's --retry-seed flag) instead of from a
+// global random source. DelayMs is a pure function of (policy, seed,
+// attempt): callers can compute a whole schedule up front, and unit
+// tests never have to sleep.
+//
+// Shape: delay(k) = min(initial * multiplier^k, cap), then jittered
+// multiplicatively into [delay * (1 - jitter), delay * (1 + jitter)].
+#ifndef SEMAP_UTIL_BACKOFF_H_
+#define SEMAP_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace semap {
+
+struct BackoffPolicy {
+  /// Delay before the first retry (attempt 0), milliseconds.
+  int64_t initial_ms = 10;
+  /// Growth factor per further attempt.
+  double multiplier = 2.0;
+  /// Cap applied before jitter, milliseconds.
+  int64_t max_ms = 1000;
+  /// Jitter half-width as a fraction of the capped delay, in [0, 1].
+  /// 0 = fully deterministic schedule.
+  double jitter = 0.25;
+  /// PRNG seed for the jitter stream (--retry-seed).
+  uint64_t seed = 0;
+};
+
+/// splitmix64: tiny, well-mixed, and stable across platforms — exactly
+/// what a reproducible jitter stream needs.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy = {}) : policy_(policy) {}
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+  /// Jittered delay before retry number `attempt` (0-based). Pure:
+  /// the same (policy, seed, attempt) always yields the same delay.
+  int64_t DelayMs(size_t attempt) const {
+    double delay = static_cast<double>(policy_.initial_ms);
+    for (size_t i = 0; i < attempt; ++i) {
+      delay *= policy_.multiplier;
+      if (delay >= static_cast<double>(policy_.max_ms)) break;
+    }
+    delay = std::min(delay, static_cast<double>(policy_.max_ms));
+    if (policy_.jitter > 0) {
+      // Uniform in [-jitter, +jitter], from the (seed, attempt) stream.
+      uint64_t bits =
+          SplitMix64(policy_.seed ^ (0x517cc1b727220a95ULL *
+                                     static_cast<uint64_t>(attempt + 1)));
+      double unit =
+          static_cast<double>(bits >> 11) / static_cast<double>(1ULL << 53);
+      delay *= 1.0 + policy_.jitter * (2.0 * unit - 1.0);
+    }
+    return std::max<int64_t>(0, static_cast<int64_t>(delay));
+  }
+
+  /// The first `retries` delays, for logs and tests.
+  std::vector<int64_t> Schedule(size_t retries) const {
+    std::vector<int64_t> out;
+    out.reserve(retries);
+    for (size_t i = 0; i < retries; ++i) out.push_back(DelayMs(i));
+    return out;
+  }
+
+ private:
+  BackoffPolicy policy_;
+};
+
+}  // namespace semap
+
+#endif  // SEMAP_UTIL_BACKOFF_H_

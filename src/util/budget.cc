@@ -23,34 +23,56 @@ std::optional<int64_t> ResourceGovernor::FaultAfterFromEnv() {
 }
 
 Status ResourceGovernor::Trip(Status status) {
-  if (terminal_.ok()) terminal_ = std::move(status);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!tripped_.load(std::memory_order_relaxed)) {
+      terminal_ = std::move(status);
+      tripped_.store(true, std::memory_order_release);
+    }
+  }
   return terminal_;
 }
 
+void ResourceGovernor::Cancel(Status status) {
+  if (status.ok()) return;
+  Trip(std::move(status));
+}
+
 Status ResourceGovernor::Charge(int64_t steps) {
-  if (!terminal_.ok()) return terminal_;
-  steps_used_ += steps;
-  if (fault_after_.has_value() && steps_used_ > *fault_after_) {
+  if (exhausted()) return terminal_;
+  if (parent_ != nullptr) {
+    Status parent_status = parent_->Charge(steps);
+    if (!parent_status.ok()) return Trip(std::move(parent_status));
+  }
+  const int64_t used =
+      steps_used_.fetch_add(steps, std::memory_order_relaxed) + steps;
+  if (fault_after_.has_value() && used > *fault_after_) {
     return Trip(Status::ResourceExhausted(
         "injected fault after " + std::to_string(*fault_after_) + " steps"));
   }
-  if (max_steps_.has_value() && steps_used_ > *max_steps_) {
+  if (max_steps_.has_value() && used > *max_steps_) {
     return Trip(Status::ResourceExhausted(
         "step budget of " + std::to_string(*max_steps_) + " exhausted"));
   }
   if (deadline_.has_value() &&
-      (deadline_check_counter_++ % kDeadlineCheckInterval) == 0 &&
+      (deadline_check_counter_.fetch_add(1, std::memory_order_relaxed) %
+       kDeadlineCheckInterval) == 0 &&
       Clock::now() > *deadline_) {
     return Trip(Status::DeadlineExceeded(
-        "deadline exceeded after " + std::to_string(steps_used_) + " steps"));
+        "deadline exceeded after " + std::to_string(used) + " steps"));
   }
   return Status::OK();
 }
 
 Status ResourceGovernor::ChargeMemory(int64_t bytes) {
-  if (!terminal_.ok()) return terminal_;
-  memory_used_ += bytes;
-  if (max_memory_bytes_.has_value() && memory_used_ > *max_memory_bytes_) {
+  if (exhausted()) return terminal_;
+  if (parent_ != nullptr) {
+    Status parent_status = parent_->ChargeMemory(bytes);
+    if (!parent_status.ok()) return Trip(std::move(parent_status));
+  }
+  const int64_t used =
+      memory_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (max_memory_bytes_.has_value() && used > *max_memory_bytes_) {
     return Trip(Status::ResourceExhausted(
         "memory estimate exceeds budget of " +
         std::to_string(*max_memory_bytes_) + " bytes"));
@@ -59,17 +81,20 @@ Status ResourceGovernor::ChargeMemory(int64_t bytes) {
 }
 
 std::string ResourceGovernor::ToString() const {
-  std::string out = "governor{steps=" + std::to_string(steps_used_);
+  std::string out = "governor{steps=" + std::to_string(steps_used());
   if (max_steps_.has_value()) out += "/" + std::to_string(*max_steps_);
-  if (memory_used_ > 0 || max_memory_bytes_.has_value()) {
-    out += ", mem=" + std::to_string(memory_used_);
+  if (memory_used() > 0 || max_memory_bytes_.has_value()) {
+    out += ", mem=" + std::to_string(memory_used());
     if (max_memory_bytes_.has_value()) {
       out += "/" + std::to_string(*max_memory_bytes_);
     }
   }
-  out += ", status=" + terminal_.ToString();
-  if (!truncations_.empty()) {
-    out += ", truncated=" + std::to_string(truncations_.size());
+  out += ", status=" + status().ToString();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!truncations_.empty()) {
+      out += ", truncated=" + std::to_string(truncations_.size());
+    }
   }
   out += "}";
   return out;

@@ -1,0 +1,88 @@
+// Minimal JSON reader for the library's own machine-readable formats
+// (semap.checkpoint.v1 journal lines; usable on the trace/metrics/bench
+// exports in tests). Writer-side escaping lives in obs/trace.h
+// (obs::JsonEscape); this header is the matching parse direction, kept
+// dependency-free so util/ stays the bottom layer.
+//
+// The value model is deliberately small: null, bool, double, string,
+// array, object (string-keyed, insertion order preserved). Numbers are
+// stored as double — the journal only carries small integers and this
+// code never round-trips big ones.
+#ifndef SEMAP_UTIL_JSON_H_
+#define SEMAP_UTIL_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace semap::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit Value(Array a)
+      : kind_(Kind::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : kind_(Kind::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const {
+    static const Array kEmpty;
+    return array_ ? *array_ : kEmpty;
+  }
+  const Object& AsObject() const {
+    static const Object kEmpty;
+    return object_ ? *object_ : kEmpty;
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  /// Convenience accessors for the "member with expected type" pattern;
+  /// fall back to the given default when absent or mistyped.
+  std::string GetString(std::string_view key,
+                        const std::string& fallback = {}) const;
+  int64_t GetInt(std::string_view key, int64_t fallback = 0) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parse one JSON document (the whole input; trailing whitespace allowed,
+/// anything else is a kParseError).
+Result<Value> Parse(std::string_view text);
+
+}  // namespace semap::json
+
+#endif  // SEMAP_UTIL_JSON_H_

@@ -1,0 +1,398 @@
+// Supervised-execution tests: the worker pool must reproduce the serial
+// pipeline's output exactly (any --jobs=N, resumed or not), recover
+// transient semantic losses by retrying, trip the circuit breaker to the
+// RIC tier under sustained failure, and survive a simulated mid-run kill
+// through the checkpoint journal.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datasets/domains.h"
+#include "datasets/examples.h"
+#include "exec/checkpoint.h"
+#include "exec/supervisor.h"
+
+namespace semap {
+namespace {
+
+eval::Domain Bookstore() {
+  auto domain = data::BuildBookstoreExample();
+  EXPECT_TRUE(domain.ok()) << domain.status();
+  return std::move(*domain);
+}
+
+/// The University domain's cases concatenated: correspondences into two
+/// target tables (Member, Project2), the smallest built-in scenario that
+/// exercises multi-unit scheduling.
+eval::Domain University(std::vector<disc::Correspondence>* correspondences) {
+  auto domain = data::BuildUniversity();
+  EXPECT_TRUE(domain.ok()) << domain.status();
+  correspondences->clear();
+  for (const eval::TestCase& c : domain->cases) {
+    correspondences->insert(correspondences->end(), c.correspondences.begin(),
+                            c.correspondences.end());
+  }
+  return std::move(*domain);
+}
+
+/// Order-preserving fingerprint of a mapping set: tier + tgd text.
+std::vector<std::string> MappingKeys(const exec::ResilientResult& result) {
+  std::vector<std::string> keys;
+  keys.reserve(result.mappings.size());
+  for (const exec::ResilientMapping& m : result.mappings) {
+    keys.push_back(std::string(exec::TierName(m.tier)) + " " +
+                   m.tgd.ToString());
+  }
+  return keys;
+}
+
+/// Zero-delay backoff so retry tests do not sleep.
+BackoffPolicy InstantBackoff() {
+  BackoffPolicy policy;
+  policy.initial_ms = 0;
+  policy.max_ms = 0;
+  return policy;
+}
+
+std::string TempJournalPath(const char* name) {
+  return testing::TempDir() + "/" + name + ".checkpoint.jsonl";
+}
+
+TEST(SupervisorTest, JobsOneMatchesSerialPipeline) {
+  eval::Domain domain = Bookstore();
+  auto serial = exec::RunResilientPipeline(domain.source, domain.target,
+                                           domain.cases[0].correspondences);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  exec::SupervisorOptions options;
+  options.jobs = 1;
+  auto supervised = exec::RunSupervisedPipeline(
+      domain.source, domain.target, domain.cases[0].correspondences, options);
+  ASSERT_TRUE(supervised.ok()) << supervised.status();
+
+  EXPECT_EQ(MappingKeys(supervised->run), MappingKeys(*serial));
+  ASSERT_EQ(supervised->run.report.tables.size(),
+            serial->report.tables.size());
+  for (size_t i = 0; i < serial->report.tables.size(); ++i) {
+    EXPECT_EQ(supervised->run.report.tables[i].target_table,
+              serial->report.tables[i].target_table);
+    EXPECT_EQ(supervised->run.report.tables[i].tier,
+              serial->report.tables[i].tier);
+    EXPECT_EQ(supervised->run.report.tables[i].notes,
+              serial->report.tables[i].notes);
+  }
+  ASSERT_EQ(supervised->units.size(), 1u);
+  EXPECT_EQ(supervised->units[0].attempts, 1u);
+  EXPECT_EQ(supervised->retries, 0u);
+  EXPECT_FALSE(supervised->breaker_tripped);
+}
+
+TEST(SupervisorTest, ParallelJobsMatchSerialAcrossAllExamples) {
+  using Builder = Result<eval::Domain> (*)();
+  const Builder builders[] = {
+      data::BuildBookstoreExample, data::BuildEmployeeIsaExample,
+      data::BuildPartOfExample, data::BuildProjectExample,
+      data::BuildSalesReifiedExample};
+  for (Builder build : builders) {
+    auto domain = build();
+    ASSERT_TRUE(domain.ok()) << domain.status();
+    for (const eval::TestCase& test_case : domain->cases) {
+      auto serial = exec::RunResilientPipeline(domain->source, domain->target,
+                                               test_case.correspondences);
+      ASSERT_TRUE(serial.ok())
+          << domain->name << "/" << test_case.name << ": " << serial.status();
+      for (size_t jobs : {1u, 4u}) {
+        exec::SupervisorOptions options;
+        options.jobs = jobs;
+        auto supervised =
+            exec::RunSupervisedPipeline(domain->source, domain->target,
+                                        test_case.correspondences, options);
+        ASSERT_TRUE(supervised.ok())
+            << domain->name << "/" << test_case.name << " jobs=" << jobs
+            << ": " << supervised.status();
+        EXPECT_EQ(MappingKeys(supervised->run), MappingKeys(*serial))
+            << domain->name << "/" << test_case.name << " jobs=" << jobs;
+        EXPECT_EQ(supervised->run.report.ToString(),
+                  serial->report.ToString())
+            << domain->name << "/" << test_case.name << " jobs=" << jobs;
+      }
+    }
+  }
+}
+
+TEST(SupervisorTest, ParallelMultiTableRunMatchesSerial) {
+  std::vector<disc::Correspondence> correspondences;
+  eval::Domain domain = University(&correspondences);
+  auto serial = exec::RunResilientPipeline(domain.source, domain.target,
+                                           correspondences);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_EQ(serial->report.tables.size(), 2u);
+
+  exec::SupervisorOptions options;
+  options.jobs = 4;
+  auto supervised = exec::RunSupervisedPipeline(domain.source, domain.target,
+                                                correspondences, options);
+  ASSERT_TRUE(supervised.ok()) << supervised.status();
+  EXPECT_EQ(MappingKeys(supervised->run), MappingKeys(*serial));
+  EXPECT_EQ(supervised->run.report.ToString(), serial->report.ToString());
+  EXPECT_EQ(supervised->units.size(), 2u);
+}
+
+TEST(SupervisorTest, TransientFaultIsRetriedAndRecovers) {
+  eval::Domain domain = Bookstore();
+  exec::SupervisorOptions options;
+  // The injected fault afflicts only the first attempt of the unit; the
+  // retry runs fault-free and must recover full semantic quality.
+  options.pipeline.fault_after = 0;
+  options.fault_attempts = 1;
+  options.unit_attempts = 2;
+  options.backoff = InstantBackoff();
+  auto run = exec::RunSupervisedPipeline(
+      domain.source, domain.target, domain.cases[0].correspondences, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_EQ(run->run.report.tables.size(), 1u);
+  EXPECT_EQ(run->run.report.tables[0].tier,
+            exec::DegradationTier::kSemanticFull);
+  EXPECT_FALSE(run->run.mappings.empty());
+  ASSERT_EQ(run->units.size(), 1u);
+  EXPECT_EQ(run->units[0].attempts, 2u);
+  ASSERT_EQ(run->units[0].retry_delays_ms.size(), 1u);
+  EXPECT_EQ(run->retries, 1u);
+
+  // The recovered run matches an ungoverned serial run exactly.
+  auto serial = exec::RunResilientPipeline(domain.source, domain.target,
+                                           domain.cases[0].correspondences);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_EQ(MappingKeys(run->run), MappingKeys(*serial));
+}
+
+TEST(SupervisorTest, PersistentFaultExhaustsRetriesAndLandsOnRic) {
+  eval::Domain domain = Bookstore();
+  exec::SupervisorOptions options;
+  // fault_attempts = 0: the fault never clears, every attempt loses the
+  // semantic tiers. The unit must burn all attempts, then keep the RIC
+  // lifeline answer rather than fail.
+  options.pipeline.fault_after = 0;
+  options.unit_attempts = 3;
+  options.backoff = InstantBackoff();
+  options.breaker_threshold = 0;  // isolate retry behavior from the breaker
+  auto run = exec::RunSupervisedPipeline(
+      domain.source, domain.target, domain.cases[0].correspondences, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_EQ(run->run.report.tables.size(), 1u);
+  EXPECT_EQ(run->run.report.tables[0].tier,
+            exec::DegradationTier::kRicBaseline);
+  EXPECT_FALSE(run->run.mappings.empty());
+  ASSERT_EQ(run->units.size(), 1u);
+  EXPECT_EQ(run->units[0].attempts, 3u);
+  EXPECT_EQ(run->retries, 2u);
+  EXPECT_TRUE(run->run.report.AnyAtBaselineOrWorse());
+}
+
+TEST(SupervisorTest, BreakerTripsRunDownToRicTier) {
+  std::vector<disc::Correspondence> correspondences;
+  eval::Domain domain = University(&correspondences);
+  exec::SupervisorOptions options;
+  options.pipeline.fault_after = 0;  // persistent: every unit loses semantic
+  options.unit_attempts = 1;
+  options.breaker_threshold = 1;  // first loss trips the breaker
+  options.jobs = 1;               // deterministic dispatch order
+  auto run = exec::RunSupervisedPipeline(domain.source, domain.target,
+                                         correspondences, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->breaker_tripped);
+  ASSERT_EQ(run->run.report.tables.size(), 2u);
+  for (const exec::TableOutcome& outcome : run->run.report.tables) {
+    EXPECT_EQ(outcome.tier, exec::DegradationTier::kRicBaseline)
+        << outcome.target_table;
+  }
+  // The unit dispatched after the trip skipped the semantic tiers and
+  // says so; post-trip units are no longer "failures", so no retries.
+  bool saw_breaker_note = false;
+  for (const exec::TableOutcome& outcome : run->run.report.tables) {
+    for (const std::string& note : outcome.notes) {
+      if (note.find("circuit breaker open") != std::string::npos) {
+        saw_breaker_note = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_breaker_note);
+}
+
+TEST(SupervisorTest, HaltAndResumeReachTheSameMappingSet) {
+  std::vector<disc::Correspondence> correspondences;
+  eval::Domain domain = University(&correspondences);
+  const std::string journal = TempJournalPath("halt_resume");
+  std::remove(journal.c_str());
+
+  // Reference: one uninterrupted run.
+  auto full = exec::RunSupervisedPipeline(domain.source, domain.target,
+                                          correspondences, {});
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_EQ(full->units.size(), 2u);
+
+  // Simulated kill after the first completed unit.
+  exec::SupervisorOptions halted_opts;
+  halted_opts.checkpoint_path = journal;
+  halted_opts.halt_after_units = 1;
+  auto halted = exec::RunSupervisedPipeline(domain.source, domain.target,
+                                            correspondences, halted_opts);
+  ASSERT_TRUE(halted.ok()) << halted.status();
+  EXPECT_TRUE(halted->halted);
+  EXPECT_EQ(halted->units.size(), 1u);
+  EXPECT_EQ(halted->run.report.tables.size(), 1u);
+
+  // Resume: only the unfinished table re-executes; the final mapping set
+  // and report are identical to the uninterrupted run.
+  exec::SupervisorOptions resume_opts;
+  resume_opts.checkpoint_path = journal;
+  resume_opts.resume = true;
+  auto resumed = exec::RunSupervisedPipeline(domain.source, domain.target,
+                                             correspondences, resume_opts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_TRUE(resumed->journal_warning.empty()) << resumed->journal_warning;
+  EXPECT_FALSE(resumed->halted);
+  ASSERT_EQ(resumed->units.size(), 2u);
+  size_t from_checkpoint = 0;
+  for (const exec::UnitReport& unit : resumed->units) {
+    if (unit.from_checkpoint) ++from_checkpoint;
+  }
+  EXPECT_EQ(from_checkpoint, 1u);
+  EXPECT_EQ(MappingKeys(resumed->run), MappingKeys(full->run));
+  EXPECT_EQ(resumed->run.report.ToString(), full->run.report.ToString());
+  std::remove(journal.c_str());
+}
+
+TEST(SupervisorTest, ResumeAgainstDifferentInputsIsRefused) {
+  eval::Domain domain = Bookstore();
+  const std::string journal = TempJournalPath("fingerprint_mismatch");
+  std::remove(journal.c_str());
+  exec::SupervisorOptions checkpoint_opts;
+  checkpoint_opts.checkpoint_path = journal;
+  auto first = exec::RunSupervisedPipeline(
+      domain.source, domain.target, domain.cases[0].correspondences,
+      checkpoint_opts);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  // Same journal, different correspondence set: the fingerprint must
+  // refuse the resume instead of merging stale mappings.
+  std::vector<disc::Correspondence> fewer = {
+      domain.cases[0].correspondences[0]};
+  exec::SupervisorOptions resume_opts;
+  resume_opts.checkpoint_path = journal;
+  resume_opts.resume = true;
+  auto resumed = exec::RunSupervisedPipeline(domain.source, domain.target,
+                                             fewer, resume_opts);
+  EXPECT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+  std::remove(journal.c_str());
+}
+
+TEST(SupervisorTest, UnitDeadlineNeverCrashesTheRun) {
+  std::vector<disc::Correspondence> correspondences;
+  eval::Domain domain = University(&correspondences);
+  exec::SupervisorOptions options;
+  options.jobs = 2;
+  options.unit_deadline_ms = 1;  // watchdog cancels almost immediately
+  options.unit_attempts = 1;
+  auto run = exec::RunSupervisedPipeline(domain.source, domain.target,
+                                         correspondences, options);
+  // The cancellation may land anywhere (or nowhere, on a fast machine):
+  // whatever happens, the run must come back clean with an explained
+  // tier per table and well-formed mappings.
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->run.report.tables.size(), 2u);
+  for (const exec::ResilientMapping& m : run->run.mappings) {
+    EXPECT_FALSE(m.tgd.source.body.empty());
+    EXPECT_FALSE(m.tgd.target.body.empty());
+  }
+}
+
+TEST(CheckpointTest, UnitLineRoundTrips) {
+  eval::Domain domain = Bookstore();
+  auto run = exec::RunSupervisedPipeline(
+      domain.source, domain.target, domain.cases[0].correspondences, {});
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_FALSE(run->run.mappings.empty());
+
+  exec::CheckpointedUnit unit;
+  unit.outcome = run->run.report.tables[0];
+  unit.outcome.notes = {"semantic-full (attempt 1): note with \"quotes\""};
+  unit.mappings = run->run.mappings;
+
+  const std::string line = exec::SerializeCheckpointUnit(unit);
+  auto parsed = exec::ParseCheckpointUnit(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\nline: " << line;
+  EXPECT_EQ(parsed->outcome.target_table, unit.outcome.target_table);
+  EXPECT_EQ(parsed->outcome.tier, unit.outcome.tier);
+  EXPECT_EQ(parsed->outcome.notes, unit.outcome.notes);
+  ASSERT_EQ(parsed->mappings.size(), unit.mappings.size());
+  for (size_t i = 0; i < unit.mappings.size(); ++i) {
+    EXPECT_EQ(parsed->mappings[i].tier, unit.mappings[i].tier);
+    EXPECT_EQ(parsed->mappings[i].target_table,
+              unit.mappings[i].target_table);
+    EXPECT_EQ(parsed->mappings[i].tgd.ToString(),
+              unit.mappings[i].tgd.ToString());
+    EXPECT_EQ(parsed->mappings[i].source_algebra,
+              unit.mappings[i].source_algebra);
+    EXPECT_EQ(parsed->mappings[i].target_algebra,
+              unit.mappings[i].target_algebra);
+    ASSERT_EQ(parsed->mappings[i].covered.size(),
+              unit.mappings[i].covered.size());
+    for (size_t j = 0; j < unit.mappings[i].covered.size(); ++j) {
+      EXPECT_EQ(parsed->mappings[i].covered[j].ToString(),
+                unit.mappings[i].covered[j].ToString());
+    }
+  }
+}
+
+TEST(CheckpointTest, FingerprintSeparatesScenarios) {
+  eval::Domain bookstore = Bookstore();
+  std::vector<disc::Correspondence> university_corrs;
+  eval::Domain university = University(&university_corrs);
+  const uint64_t a = exec::ScenarioFingerprint(
+      bookstore.source, bookstore.target, bookstore.cases[0].correspondences);
+  const uint64_t b = exec::ScenarioFingerprint(
+      university.source, university.target, university_corrs);
+  EXPECT_NE(a, b);
+  // Stable across calls on identical inputs.
+  EXPECT_EQ(a, exec::ScenarioFingerprint(bookstore.source, bookstore.target,
+                                         bookstore.cases[0].correspondences));
+}
+
+TEST(CheckpointTest, TornTrailingLineIsDroppedWithWarning) {
+  eval::Domain domain = Bookstore();
+  const std::string journal = TempJournalPath("torn_tail");
+  std::remove(journal.c_str());
+  exec::SupervisorOptions checkpoint_opts;
+  checkpoint_opts.checkpoint_path = journal;
+  auto first = exec::RunSupervisedPipeline(
+      domain.source, domain.target, domain.cases[0].correspondences,
+      checkpoint_opts);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  // Simulate a torn append: garbage after the valid lines.
+  {
+    FILE* f = std::fopen(journal.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"record\":\"unit\",\"table\":\"tr", f);
+    std::fclose(f);
+  }
+  exec::SupervisorOptions resume_opts;
+  resume_opts.checkpoint_path = journal;
+  resume_opts.resume = true;
+  auto resumed = exec::RunSupervisedPipeline(
+      domain.source, domain.target, domain.cases[0].correspondences,
+      resume_opts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_FALSE(resumed->journal_warning.empty());
+  // The intact prefix still serves its table.
+  ASSERT_EQ(resumed->units.size(), 1u);
+  EXPECT_TRUE(resumed->units[0].from_checkpoint);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace semap

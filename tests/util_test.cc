@@ -2,8 +2,12 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <thread>
+#include <vector>
 
+#include "util/backoff.h"
 #include "util/budget.h"
+#include "util/json.h"
 #include "util/lexer.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -261,6 +265,126 @@ TEST(DiagTest, AlreadyDiagnosedSentinelRoundTrips) {
   EXPECT_TRUE(IsAlreadyDiagnosed(AlreadyDiagnosed()));
   EXPECT_FALSE(IsAlreadyDiagnosed(Status::OK()));
   EXPECT_FALSE(IsAlreadyDiagnosed(Status::ParseError("real problem")));
+}
+
+TEST(BackoffTest, ZeroJitterIsExactExponentialWithCap) {
+  BackoffPolicy policy;
+  policy.initial_ms = 10;
+  policy.multiplier = 2.0;
+  policy.max_ms = 50;
+  policy.jitter = 0.0;
+  Backoff backoff(policy);
+  EXPECT_EQ(backoff.Schedule(5),
+            (std::vector<int64_t>{10, 20, 40, 50, 50}));
+}
+
+TEST(BackoffTest, SameSeedSameSchedule) {
+  BackoffPolicy policy;
+  policy.seed = 42;
+  Backoff a(policy);
+  Backoff b(policy);
+  EXPECT_EQ(a.Schedule(6), b.Schedule(6));
+  policy.seed = 43;
+  Backoff c(policy);
+  EXPECT_NE(a.Schedule(6), c.Schedule(6));
+}
+
+TEST(BackoffTest, JitterStaysWithinBand) {
+  BackoffPolicy policy;
+  policy.initial_ms = 100;
+  policy.multiplier = 1.0;
+  policy.max_ms = 100;
+  policy.jitter = 0.25;
+  policy.seed = 7;
+  Backoff backoff(policy);
+  for (size_t attempt = 0; attempt < 32; ++attempt) {
+    int64_t delay = backoff.DelayMs(attempt);
+    EXPECT_GE(delay, 75) << "attempt " << attempt;
+    EXPECT_LE(delay, 125) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffTest, ZeroInitialNeverSleeps) {
+  BackoffPolicy policy;
+  policy.initial_ms = 0;
+  policy.max_ms = 0;
+  Backoff backoff(policy);
+  for (size_t attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(backoff.DelayMs(attempt), 0);
+  }
+}
+
+TEST(GovernorConcurrencyTest, ConcurrentChargesTripOnceAndStayTripped) {
+  // Hammer one governor from many threads: the step budget must trip
+  // exactly once, the terminal status must be stable, and every thread
+  // must observe the trip through Charge's return value. Run under TSan
+  // (cmake -DSEMAP_SANITIZE=THREAD) this also proves the absence of
+  // data races on the hot path.
+  constexpr int kThreads = 8;
+  constexpr int kChargesPerThread = 10'000;
+  ResourceGovernor governor;
+  governor.set_max_steps(1'000);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&governor] {
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        if (!governor.Charge().ok()) break;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_TRUE(governor.exhausted());
+  EXPECT_EQ(governor.status().code(), StatusCode::kResourceExhausted);
+  // The terminal status is write-once: repeated reads agree.
+  const std::string first = governor.status().ToString();
+  EXPECT_EQ(governor.status().ToString(), first);
+}
+
+TEST(GovernorConcurrencyTest, CancelFromAnotherThreadUnwindsChargers) {
+  ResourceGovernor governor;
+  std::thread canceller(
+      [&governor] { governor.Cancel(Status::DeadlineExceeded("watchdog")); });
+  canceller.join();
+  EXPECT_TRUE(governor.exhausted());
+  EXPECT_FALSE(governor.Charge().ok());
+  EXPECT_EQ(governor.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(GovernorConcurrencyTest, ParentTripPropagatesToChildren) {
+  ResourceGovernor parent;
+  ResourceGovernor child_a;
+  ResourceGovernor child_b;
+  child_a.set_parent(&parent);
+  child_b.set_parent(&parent);
+  parent.Cancel(Status::DeadlineExceeded("unit deadline"));
+  EXPECT_FALSE(child_a.Charge().ok());
+  EXPECT_FALSE(child_b.Charge().ok());
+  EXPECT_EQ(child_a.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(child_b.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(JsonTest, ParsesScalarsContainersAndEscapes) {
+  auto value = json::Parse(
+      R"({"s":"a\"b\n","n":-42,"f":true,"arr":[1,2,3],"obj":{"k":"v"}})");
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->GetString("s", ""), "a\"b\n");
+  EXPECT_EQ(value->GetInt("n", 0), -42);
+  const json::Value* arr = value->Find("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->AsArray().size(), 3u);
+  const json::Value* obj = value->Find("obj");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->GetString("k", ""), "v");
+  EXPECT_EQ(value->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(json::Parse("{\"k\":").ok());
+  EXPECT_FALSE(json::Parse("{\"k\" 1}").ok());
+  EXPECT_FALSE(json::Parse("[1,2").ok());
+  EXPECT_FALSE(json::Parse("tru").ok());
+  EXPECT_FALSE(json::Parse("{} trailing").ok());
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 //             <tgt.schema> <tgt.cm> <tgt.sem> <correspondences>
 //             [--baseline] [--hints] [--variants] [--sql] [--lint]
 //             [--resilient] [--deadline-ms=N] [--max-steps=N]
+//             [--jobs=N] [--unit-deadline-ms=N] [--retry-seed=N]
+//             [--checkpoint=FILE] [--resume=FILE]
 //             [--trace=FILE] [--metrics=FILE] [--profile] [--version]
 //
 // --deadline-ms / --max-steps (or --resilient alone, ungoverned) switch
@@ -13,6 +15,14 @@
 // table. The inputs are loaded fail-soft (recovery-mode parsers; broken
 // artifacts quarantined with coded diagnostics) and the DegradationReport
 // is printed after the mappings.
+//
+// --jobs / --unit-deadline-ms / --retry-seed / --checkpoint / --resume
+// run the cascade on the supervised worker pool (exec/supervisor.h):
+// per-table units with retry under seeded backoff, a watchdog-enforced
+// per-unit deadline, a circuit breaker down to the RIC tier, and a
+// crash-safe checkpoint journal that --resume picks up to skip finished
+// tables. Any of these flags implies --resilient; plain --resilient
+// stays on the serial path and its output is byte-identical to before.
 //
 // --lint only loads the scenario fail-soft and prints the collected
 // diagnostics; no mappings are generated.
@@ -44,6 +54,7 @@
 #include "baseline/ric_mapper.h"
 #include "datasets/builder_util.h"
 #include "exec/resilient_pipeline.h"
+#include "exec/supervisor.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -66,6 +77,14 @@ constexpr const char kOptionTable[] =
     "  --resilient       per-table degradation cascade (fail-soft load)\n"
     "  --deadline-ms=N   overall wall-clock budget (implies --resilient)\n"
     "  --max-steps=N     search step budget (implies --resilient)\n"
+    "  --jobs=N          supervised worker pool with N threads (implies\n"
+    "                    --resilient; N=1 runs the units inline)\n"
+    "  --unit-deadline-ms=N  per-table deadline, watchdog-enforced\n"
+    "                    (implies --jobs)\n"
+    "  --retry-seed=N    seed for the retry backoff jitter (implies --jobs)\n"
+    "  --checkpoint=FILE journal completed tables to FILE (implies --jobs)\n"
+    "  --resume=FILE     resume from FILE, skipping finished tables\n"
+    "                    (implies --checkpoint=FILE)\n"
     "  --trace=FILE      write the span tree as JSON (semap.trace.v1)\n"
     "  --metrics=FILE    write counters/histograms as JSON "
     "(semap.metrics.v1)\n"
@@ -111,6 +130,13 @@ struct Options {
   long long max_steps = -1;
   std::string trace_path;
   std::string metrics_path;
+  // Supervised execution (any of these implies supervised + resilient).
+  bool supervised = false;
+  bool resume = false;
+  long long jobs = 1;
+  long long unit_deadline_ms = -1;
+  unsigned long long retry_seed = 0;
+  std::string checkpoint_path;
 };
 
 /// The pipeline proper; split out of main so every exit path flows
@@ -167,17 +193,57 @@ int RunPipeline(char** argv, const Options& opts, const exec::RunContext& ctx) {
     pipeline_opts.max_steps = opts.max_steps;
     pipeline_opts.sink = &sink;
     const size_t load_diags = sink.diagnostics().size();
-    auto run =
-        exec::RunResilientPipeline(loaded->source, loaded->target,
-                                   loaded->correspondences, pipeline_opts,
-                                   ctx);
-    if (!run.ok()) {
-      std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
-      return 1;
+    exec::ResilientResult run;
+    std::string supervisor_summary;
+    if (opts.supervised) {
+      exec::SupervisorOptions sup_opts;
+      sup_opts.pipeline = pipeline_opts;
+      sup_opts.jobs = static_cast<size_t>(opts.jobs);
+      sup_opts.unit_deadline_ms = opts.unit_deadline_ms;
+      sup_opts.backoff.seed = opts.retry_seed;
+      sup_opts.checkpoint_path = opts.checkpoint_path;
+      sup_opts.resume = opts.resume;
+      auto supervised =
+          exec::RunSupervisedPipeline(loaded->source, loaded->target,
+                                      loaded->correspondences, sup_opts, ctx);
+      if (!supervised.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     supervised.status().ToString().c_str());
+        return 1;
+      }
+      if (!supervised->journal_warning.empty()) {
+        std::fprintf(stderr, "warning: %s\n",
+                     supervised->journal_warning.c_str());
+      }
+      size_t resumed = 0;
+      for (const exec::UnitReport& u : supervised->units) {
+        if (u.from_checkpoint) ++resumed;
+      }
+      supervisor_summary = "supervisor: " +
+                           std::to_string(supervised->units.size()) +
+                           " unit(s), " +
+                           std::to_string(supervised->retries) +
+                           " retry(ies), " + std::to_string(resumed) +
+                           " resumed from checkpoint\n";
+      if (supervised->breaker_tripped) {
+        supervisor_summary += "supervisor: circuit breaker tripped\n";
+      }
+      run = std::move(supervised->run);
+    } else {
+      auto serial =
+          exec::RunResilientPipeline(loaded->source, loaded->target,
+                                     loaded->correspondences, pipeline_opts,
+                                     ctx);
+      if (!serial.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     serial.status().ToString().c_str());
+        return 1;
+      }
+      run = std::move(*serial);
     }
-    std::printf("\n%zu mapping(s):\n", run->mappings.size());
+    std::printf("\n%zu mapping(s):\n", run.mappings.size());
     int index = 1;
-    for (const auto& m : run->mappings) {
+    for (const auto& m : run.mappings) {
       std::printf("[%d] (%s) %s\n", index, exec::TierName(m.tier),
                   m.tgd.ToString().c_str());
       if (!m.source_algebra.empty()) {
@@ -189,8 +255,11 @@ int RunPipeline(char** argv, const Options& opts, const exec::RunContext& ctx) {
     for (size_t i = load_diags; i < sink.diagnostics().size(); ++i) {
       std::printf("%s\n", sink.diagnostics()[i].ToString().c_str());
     }
-    std::printf("\n%s", run->report.ToString().c_str());
-    return run->report.AnyAtBaselineOrWorse() || sink.has_errors() ? 3 : 0;
+    std::printf("\n%s", run.report.ToString().c_str());
+    if (!supervisor_summary.empty()) {
+      std::printf("%s", supervisor_summary.c_str());
+    }
+    return run.report.AnyAtBaselineOrWorse() || sink.has_errors() ? 3 : 0;
   }
 
   auto source = data::AnnotatedFromText(texts[0], texts[1], texts[2]);
@@ -333,12 +402,48 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.resilient = true;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      char* end = nullptr;
+      opts.jobs = std::strtoll(argv[i] + 7, &end, 10);
+      if (end == argv[i] + 7 || *end != '\0' || opts.jobs < 1) {
+        std::fprintf(stderr, "error: --jobs wants a positive integer, got %s\n",
+                     argv[i] + 7);
+        return 2;
+      }
+      opts.supervised = true;
+    } else if (std::strncmp(argv[i], "--unit-deadline-ms=", 19) == 0) {
+      char* end = nullptr;
+      opts.unit_deadline_ms = std::strtoll(argv[i] + 19, &end, 10);
+      if (end == argv[i] + 19 || *end != '\0') {
+        std::fprintf(stderr,
+                     "error: --unit-deadline-ms wants an integer, got %s\n",
+                     argv[i] + 19);
+        return 2;
+      }
+      opts.supervised = true;
+    } else if (std::strncmp(argv[i], "--retry-seed=", 13) == 0) {
+      char* end = nullptr;
+      opts.retry_seed = std::strtoull(argv[i] + 13, &end, 10);
+      if (end == argv[i] + 13 || *end != '\0') {
+        std::fprintf(stderr, "error: --retry-seed wants an integer, got %s\n",
+                     argv[i] + 13);
+        return 2;
+      }
+      opts.supervised = true;
+    } else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0) {
+      opts.checkpoint_path = argv[i] + 13;
+      opts.supervised = true;
+    } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
+      opts.checkpoint_path = argv[i] + 9;
+      opts.resume = true;
+      opts.supervised = true;
     } else {
       std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
                    kOptionTable);
       return 2;
     }
   }
+  if (opts.supervised) opts.resilient = true;
 
   // Observability is strictly opt-in: without these flags no tracer or
   // metrics object exists at all and the context carries null services.
