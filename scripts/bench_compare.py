@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare two sets of semap.bench.v1 reports and flag regressions.
+
+Usage: bench_compare.py [--threshold=PCT] BASELINE_DIR CANDIDATE_DIR
+
+Both directories hold BENCH_*.json reports (the shape check_bench_json.py
+validates). For every bench present in both, the candidate's
+pipeline-phase wall time is compared against the baseline's; a candidate
+slower by more than PCT percent (default 20) is a regression and the
+script exits 1. Benches present on only one side are reported but do not
+fail the run — the set of benches changes when the suite grows.
+
+Wall times come from the "pipeline" root phase's total_ns, which spans
+the whole instrumented pass, so the comparison tracks end-to-end
+pipeline cost rather than any single stage. CI runs this job
+non-blocking: shared runners are noisy, so a failure here is a prompt to
+re-run and look, not an automatic veto.
+"""
+import glob
+import json
+import os
+import sys
+
+
+def pipeline_ns(path):
+    """The pipeline root phase's total_ns, or None with a message."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{path}: unreadable or invalid JSON: {error}",
+              file=sys.stderr)
+        return None
+    for phase in doc.get("phases", []):
+        if isinstance(phase, dict) and phase.get("name") == "pipeline":
+            value = phase.get("total_ns")
+            if isinstance(value, int) and not isinstance(value, bool) \
+                    and value > 0:
+                return value
+            print(f"{path}: pipeline phase has no positive total_ns",
+                  file=sys.stderr)
+            return None
+    print(f"{path}: no 'pipeline' phase", file=sys.stderr)
+    return None
+
+
+def load_dir(directory):
+    """Map bench name (from the filename) -> pipeline nanoseconds."""
+    reports = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        ns = pipeline_ns(path)
+        if ns is not None:
+            reports[name] = ns
+    return reports
+
+
+def main(argv):
+    threshold = 20.0
+    dirs = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            try:
+                threshold = float(arg[len("--threshold="):])
+            except ValueError:
+                print(f"bad threshold: {arg}", file=sys.stderr)
+                return 2
+        elif arg.startswith("--"):
+            print(f"unknown option: {arg}", file=sys.stderr)
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        else:
+            dirs.append(arg)
+    if len(dirs) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    baseline = load_dir(dirs[0])
+    candidate = load_dir(dirs[1])
+    if not baseline:
+        print(f"{dirs[0]}: no usable BENCH_*.json baselines",
+              file=sys.stderr)
+        return 1
+    if not candidate:
+        print(f"{dirs[1]}: no usable BENCH_*.json candidates",
+              file=sys.stderr)
+        return 1
+
+    regressions = 0
+    for name in sorted(set(baseline) | set(candidate)):
+        if name not in baseline:
+            print(f"{name}: new bench (no baseline), skipping")
+            continue
+        if name not in candidate:
+            print(f"{name}: missing from candidate run, skipping")
+            continue
+        base_ns = baseline[name]
+        cand_ns = candidate[name]
+        delta = 100.0 * (cand_ns - base_ns) / base_ns
+        verdict = "ok"
+        if delta > threshold:
+            verdict = f"REGRESSION (>{threshold:g}%)"
+            regressions += 1
+        print(f"{name}: {base_ns / 1e6:.2f} ms -> {cand_ns / 1e6:.2f} ms "
+              f"({delta:+.1f}%) {verdict}")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Validate semap observability exports against their published shapes.
+
+Usage: check_obs_json.py PATH [PATH...]
+
+Each PATH is one export file; the schema tag inside the file selects the
+check, so callers don't have to say which format a file is:
+
+  semap.trace.v1    span tree: spans with name/id/start_ns/duration_ns,
+                    string-valued attrs, recursively shaped children
+  semap.metrics.v1  counters map (non-negative ints) and histograms of
+                    {count, sum_ns, min_ns, max_ns}
+  semap.explain.v1  provenance: tables with tier/attempts/derivations/
+                    rejections; every emitted derivation names its TGD
+  semap.events.v1   NDJSON, one event object per line with a
+                    strictly increasing seq; a torn final line (crash
+                    mid-write) is tolerated and reported, not fatal
+
+Stdlib only (no jsonschema dependency), sibling of check_bench_json.py.
+Exits non-zero on the first invalid file.
+"""
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) \
+        and value >= 0
+
+
+def check_span(path, span, where):
+    if not isinstance(span, dict):
+        return fail(path, f"{where} is not an object")
+    if not isinstance(span.get("name"), str) or not span["name"]:
+        return fail(path, f"{where} missing 'name'")
+    for key in ("id", "start_ns", "duration_ns"):
+        if not is_count(span.get(key)):
+            return fail(path, f"{where}.{key} is not a non-negative "
+                              f"integer: {span.get(key)!r}")
+    attrs = span.get("attrs", {})
+    if not isinstance(attrs, dict) or \
+            any(not isinstance(v, str) for v in attrs.values()):
+        return fail(path, f"{where}.attrs is not a string-valued object")
+    for i, child in enumerate(span.get("children", [])):
+        rc = check_span(path, child, f"{where}.children[{i}]")
+        if rc:
+            return rc
+    return 0
+
+
+def check_trace(path, doc):
+    spans = doc.get("spans")
+    if not isinstance(spans, list) or not spans:
+        return fail(path, "missing or empty 'spans' array")
+    for i, span in enumerate(spans):
+        rc = check_span(path, span, f"spans[{i}]")
+        if rc:
+            return rc
+    print(f"{path}: ok (trace, {len(spans)} root span(s))")
+    return 0
+
+
+def check_metrics(path, doc):
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        return fail(path, "missing 'counters' object")
+    for name, value in counters.items():
+        if not is_count(value):
+            return fail(path, f"counter {name!r} is not a non-negative "
+                              f"integer: {value!r}")
+    histograms = doc.get("histograms", {})
+    if not isinstance(histograms, dict):
+        return fail(path, "'histograms' is not an object")
+    for name, hist in histograms.items():
+        if not isinstance(hist, dict):
+            return fail(path, f"histogram {name!r} is not an object")
+        for key in ("count", "sum_ns", "min_ns", "max_ns"):
+            if not is_count(hist.get(key)):
+                return fail(path, f"histogram {name!r}.{key} is not a "
+                                  f"non-negative integer")
+    print(f"{path}: ok (metrics, {len(counters)} counter(s), "
+          f"{len(histograms)} histogram(s))")
+    return 0
+
+
+def check_explain(path, doc):
+    tables = doc.get("tables")
+    if not isinstance(tables, list):
+        return fail(path, "missing 'tables' array")
+    derivations = 0
+    for i, table in enumerate(tables):
+        if not isinstance(table, dict):
+            return fail(path, f"tables[{i}] is not an object")
+        if not isinstance(table.get("table"), str) or not table["table"]:
+            return fail(path, f"tables[{i}] missing 'table' name")
+        if not isinstance(table.get("tier"), str):
+            return fail(path, f"tables[{i}] missing 'tier'")
+        for key in ("notes", "attempts", "derivations", "rejections"):
+            if not isinstance(table.get(key), list):
+                return fail(path, f"tables[{i}].{key} is not an array")
+        if not is_count(table.get("rejections_dropped")):
+            return fail(path, f"tables[{i}].rejections_dropped is not a "
+                              "non-negative integer")
+        for j, att in enumerate(table["attempts"]):
+            if not isinstance(att, dict) or \
+                    not isinstance(att.get("tier"), str) or \
+                    not is_count(att.get("attempt")) or \
+                    not isinstance(att.get("status"), str) or \
+                    not is_count(att.get("mappings")):
+                return fail(path, f"tables[{i}].attempts[{j}] malformed")
+        for j, der in enumerate(table["derivations"]):
+            if not isinstance(der, dict) or \
+                    not isinstance(der.get("tgd"), str) or not der["tgd"] \
+                    or not isinstance(der.get("origin"), str) or \
+                    not isinstance(der.get("emitted"), bool) or \
+                    not isinstance(der.get("covered"), list) or \
+                    not isinstance(der.get("skolems"), list):
+                return fail(path, f"tables[{i}].derivations[{j}] malformed")
+            derivations += 1
+        for j, rej in enumerate(table["rejections"]):
+            if not isinstance(rej, dict) or \
+                    not isinstance(rej.get("candidate"), str) or \
+                    not isinstance(rej.get("filter"), str) or \
+                    not rej["filter"]:
+                return fail(path, f"tables[{i}].rejections[{j}] malformed")
+    print(f"{path}: ok (explain, {len(tables)} table(s), "
+          f"{derivations} derivation(s))")
+    return 0
+
+
+def check_events(path, text):
+    """NDJSON stream check. The final line may be torn (the writer was
+    killed mid-append); that is tolerated but counted and reported."""
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        return fail(path, "empty event stream")
+    last_seq = -1
+    torn = 0
+    for i, line in enumerate(lines):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                torn = 1
+                continue
+            return fail(path, f"line {i + 1} is not valid JSON "
+                              "(only the final line may be torn)")
+        if not isinstance(event, dict):
+            return fail(path, f"line {i + 1} is not an object")
+        if event.get("schema") != "semap.events.v1":
+            return fail(path, f"line {i + 1} schema is "
+                              f"{event.get('schema')!r}")
+        if not isinstance(event.get("event"), str) or not event["event"]:
+            return fail(path, f"line {i + 1} missing 'event' type")
+        if not is_count(event.get("seq")):
+            return fail(path, f"line {i + 1} missing 'seq'")
+        if event["seq"] <= last_seq:
+            return fail(path, f"line {i + 1} seq {event['seq']} is not "
+                              f"greater than {last_seq}")
+        last_seq = event["seq"]
+        if not is_count(event.get("ts_ns")):
+            return fail(path, f"line {i + 1} missing 'ts_ns'")
+    suffix = ", torn final line tolerated" if torn else ""
+    print(f"{path}: ok (events, {len(lines) - torn} event(s){suffix})")
+    return 0
+
+
+def check(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        return fail(path, f"unreadable: {error}")
+
+    # The event stream is NDJSON — sniff its schema tag from the first
+    # line instead of parsing the whole file as one document.
+    first = text.lstrip().split("\n", 1)[0]
+    if '"semap.events.v1"' in first:
+        return check_events(path, text)
+
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as error:
+        return fail(path, f"invalid JSON: {error}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    schema = doc.get("schema")
+    if schema == "semap.trace.v1":
+        return check_trace(path, doc)
+    if schema == "semap.metrics.v1":
+        return check_metrics(path, doc)
+    if schema == "semap.explain.v1":
+        return check_explain(path, doc)
+    return fail(path, f"unrecognized schema {schema!r}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return max(check(path) for path in argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,19 +21,62 @@ SEMAP_BENCH_JSON_DIR="$PWD/build/bench-json" ./build/bench/bench_scaling \
 # The directory form fails when the bench run produced zero reports.
 python3 scripts/check_bench_json.py build/bench-json
 
+# Observability smoke: run the CLI with every export flag on the shipped
+# bookstore scenario (serial and --jobs=4) and schema-check all four
+# formats. The supervisor run also exercises the deterministic explain
+# merge path.
+mkdir -p build/obs-json
+bookstore=examples/data/bookstore
+./build/tools/semap_map \
+  "$bookstore/source.schema" "$bookstore/source.cm" "$bookstore/source.sem" \
+  "$bookstore/target.schema" "$bookstore/target.cm" "$bookstore/target.sem" \
+  "$bookstore/correspondences.txt" \
+  --trace=build/obs-json/trace.json --metrics=build/obs-json/metrics.json \
+  --explain=build/obs-json/explain.json \
+  --events=build/obs-json/events.ndjson > /dev/null
+./build/tools/semap_map \
+  "$bookstore/source.schema" "$bookstore/source.cm" "$bookstore/source.sem" \
+  "$bookstore/target.schema" "$bookstore/target.cm" "$bookstore/target.sem" \
+  "$bookstore/correspondences.txt" --jobs=4 \
+  --explain=build/obs-json/explain-jobs4.json > /dev/null
+python3 scripts/check_obs_json.py build/obs-json/trace.json \
+  build/obs-json/metrics.json build/obs-json/explain.json \
+  build/obs-json/events.ndjson build/obs-json/explain-jobs4.json
+# The explain report is timestamp-free by design: a parallel run must be
+# byte-identical to the serial one.
+cmp build/obs-json/explain.json build/obs-json/explain-jobs4.json
+# And the reader must be able to answer questions about it.
+./build/tools/semap_explain --summary build/obs-json/explain.json > /dev/null
+./build/tools/semap_explain --table=hasBookSoldAt \
+  build/obs-json/explain.json > /dev/null
+
+# Why-not smoke on the teams scenario, which degrades to the RIC
+# baseline by design (exit 3): the explain report must name the
+# semantic-type rejection that caused the degradation.
+teams=examples/data/teams
+./build/tools/semap_map \
+  "$teams/source.schema" "$teams/source.cm" "$teams/source.sem" \
+  "$teams/target.schema" "$teams/target.cm" "$teams/target.sem" \
+  "$teams/correspondences.txt" \
+  --explain=build/obs-json/teams-explain.json > /dev/null || [ "$?" -eq 3 ]
+python3 scripts/check_obs_json.py build/obs-json/teams-explain.json
+./build/tools/semap_explain --why-not=emp build/obs-json/teams-explain.json \
+  | grep -q 'killed by semantic-type'
+
 cmake -B build-asan -S . -DSEMAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$jobs" --target robustness_test \
-  resilient_pipeline_test supervisor_test util_test validate_test
+  resilient_pipeline_test supervisor_test util_test validate_test \
+  provenance_test
 # Note: ctest's -j needs an explicit value here — a bare -j would swallow
 # the -R flag and run the NOT_BUILT placeholders of the unbuilt targets.
 (cd build-asan && ctest --output-on-failure -j "$jobs" \
-  -R 'RobustnessTest|CorpusSweepTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|StatusTest|DiagTest|GoldenDiagnosticsTest|CrossCheckTest|TgdCheckTest|QuarantineScenarioTest|SupervisorTest|CheckpointTest')
+  -R 'RobustnessTest|CorpusSweepTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|StatusTest|DiagTest|GoldenDiagnosticsTest|CrossCheckTest|TgdCheckTest|QuarantineScenarioTest|SupervisorTest|CheckpointTest|ProvenanceRecorderTest|EventEmitterTest|ProvenancePipelineTest|ProvenanceDeterminismTest|ProvenanceWhyNotTest')
 
 # TSan pass over the concurrent paths: the supervised worker pool
 # (--jobs=4 equality tests included), the shared governor, and the
 # serial pipeline it must keep matching.
 cmake -B build-tsan -S . -DSEMAP_SANITIZE=THREAD -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$jobs" --target supervisor_test \
-  resilient_pipeline_test util_test
+  resilient_pipeline_test util_test provenance_test
 (cd build-tsan && ctest --output-on-failure -j "$jobs" \
-  -R 'SupervisorTest|CheckpointTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|GovernorConcurrencyTest|BackoffTest|JsonTest')
+  -R 'SupervisorTest|CheckpointTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|GovernorConcurrencyTest|BackoffTest|JsonTest|ProvenancePipelineTest|ProvenanceDeterminismTest|EventEmitterTest')

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "exec/explain_capture.h"
+
 namespace semap::baseline {
 
 using logic::Atom;
@@ -137,6 +139,28 @@ Result<std::vector<RicMapping>> GenerateRicMappings(
         }
       }
       if (!duplicate) {
+        if (ctx.provenance != nullptr) {
+          // Render the logical-relation pair the way discovery renders a
+          // CSG: the joined table predicates on each side.
+          auto lr_text = [](const LogicalRelation& lr) {
+            std::string out = "lr{";
+            for (size_t a = 0; a < lr.atoms.size(); ++a) {
+              if (a > 0) out += ",";
+              out += lr.atoms[a].predicate;
+            }
+            return out + "}";
+          };
+          obs::DerivationRecord derivation;
+          derivation.tgd = mapping.tgd.ToString();
+          derivation.origin = "ric-baseline";
+          for (const disc::Correspondence& corr : mapping.covered) {
+            derivation.covered.push_back(corr.ToString());
+          }
+          derivation.source_csg = lr_text(slr);
+          derivation.target_csg = lr_text(tlr);
+          derivation.skolems = exec::SkolemDecisionsOf(mapping.tgd);
+          ctx.provenance->RecordDerivation(std::move(derivation));
+        }
         mappings.push_back(std::move(mapping));
         if (mappings.size() >= options.max_mappings) {
           finish();

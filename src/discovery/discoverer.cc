@@ -191,7 +191,10 @@ std::vector<Csg> Discoverer::FindSourceCsgs(
     if (options_.use_disjointness_filter) {
       const size_t before = anchored.size();
       std::erase_if(anchored, [&](const Csg& c) {
-        return HasDisjointnessViolation(graph, c);
+        if (!HasDisjointnessViolation(graph, c)) return false;
+        RecordCsgRejection(c, "anchored source tree violates a disjointness "
+                              "constraint");
+        return true;
       });
       ctx_.Count("discovery.pruned.disjointness",
                  static_cast<int64_t>(before - anchored.size()));
@@ -221,7 +224,10 @@ std::vector<Csg> Discoverer::FindSourceCsgs(
     if (options_.use_disjointness_filter) {
       const size_t before = trees.size();
       std::erase_if(trees, [&](const Csg& c) {
-        return HasDisjointnessViolation(graph, c);
+        if (!HasDisjointnessViolation(graph, c)) return false;
+        RecordCsgRejection(c, "minimal source tree violates a disjointness "
+                              "constraint");
+        return true;
       });
       ctx_.Count("discovery.pruned.disjointness",
                  static_cast<int64_t>(before - trees.size()));
@@ -258,12 +264,38 @@ std::vector<Csg> Discoverer::FindSourceCsgs(
   if (options_.use_disjointness_filter) {
     const size_t before = out.size();
     std::erase_if(out, [&](const Csg& c) {
-      return HasDisjointnessViolation(graph, c);
+      if (!HasDisjointnessViolation(graph, c)) return false;
+      RecordCsgRejection(c, "best-coverage partial tree violates a "
+                            "disjointness constraint");
+      return true;
     });
     ctx_.Count("discovery.pruned.disjointness",
                static_cast<int64_t>(before - out.size()));
   }
   return out;
+}
+
+void Discoverer::RecordCsgRejection(const Csg& csg,
+                                    const std::string& detail) const {
+  if (ctx_.provenance == nullptr) return;
+  obs::RejectionRecord rejection;
+  rejection.candidate = csg.ToString(source_.graph());
+  rejection.filter = "disjointness";
+  rejection.detail = detail;
+  ctx_.provenance->RecordRejection(std::move(rejection));
+}
+
+void Discoverer::RecordCandidateRejection(const MappingCandidate& cand,
+                                          const std::string& filter,
+                                          const std::string& detail) const {
+  if (ctx_.provenance == nullptr) return;
+  obs::RejectionRecord rejection;
+  rejection.candidate = cand.ToString(source_.graph(), target_.graph());
+  rejection.filter = filter;
+  rejection.detail = detail;
+  rejection.covered = cand.covered.size();
+  rejection.penalty = cand.penalty;
+  ctx_.provenance->RecordRejection(std::move(rejection));
 }
 
 bool Discoverer::AssembleCandidate(Csg source_csg, const Csg& target_csg,
@@ -292,6 +324,9 @@ bool Discoverer::AssembleCandidate(Csg source_csg, const Csg& target_csg,
       (HasDisjointnessViolation(src_graph, cand.source_csg) ||
        HasDisjointnessViolation(tgt_graph, cand.target_csg))) {
     ctx_.Count("discovery.pruned.disjointness");
+    RecordCandidateRejection(cand, "disjointness",
+                             "paired CSGs assert membership in disjoint "
+                             "classes");
     return false;
   }
 
@@ -318,6 +353,12 @@ bool Discoverer::AssembleCandidate(Csg source_csg, const Csg& target_csg,
                                  identified(lb))) {
           case Compat::kIncompatible:
             ctx_.Count("discovery.pruned.semantic_type");
+            RecordCandidateRejection(
+                cand, "semantic-type",
+                "incompatible connection between " + la.corr.ToString() +
+                    " and " + lb.corr.ToString() +
+                    " (source cardinality cannot populate the identified "
+                    "functional target)");
             return false;
           case Compat::kDowngrade:
             ctx_.Count("discovery.downgrades");
@@ -516,6 +557,17 @@ Result<std::vector<MappingCandidate>> Discoverer::Run() {
     ctx_.governor->NoteTruncation(
         "Discoverer: paired " + std::to_string(targets_paired) + "/" +
         std::to_string(target_csgs.size()) + " target CSGs");
+    if (ctx_.provenance != nullptr) {
+      obs::RejectionRecord rejection;
+      rejection.candidate = std::to_string(target_csgs.size() -
+                                           targets_paired) +
+                            " unpaired target CSG(s)";
+      rejection.filter = "budget";
+      rejection.detail = "search budget exhausted after pairing " +
+                         std::to_string(targets_paired) + "/" +
+                         std::to_string(target_csgs.size()) + " target CSGs";
+      ctx_.provenance->RecordRejection(std::move(rejection));
+    }
   }
   pairing_span.AddAttr("candidates",
                        static_cast<int64_t>(candidates.size()));
@@ -541,7 +593,13 @@ Result<std::vector<MappingCandidate>> Discoverer::Run() {
     }
   }
   std::erase_if(candidates, [&](const MappingCandidate& c) {
-    return c.penalty > best_penalty[covered_key(c)];
+    const int best = best_penalty[covered_key(c)];
+    if (c.penalty <= best) return false;
+    RecordCandidateRejection(
+        c, "penalty",
+        "penalty " + std::to_string(c.penalty) + " beaten by " +
+            std::to_string(best) + " for the same covered set");
+    return true;
   });
 
   // Best first: more coverage, lower penalty, lower combined cost.
@@ -560,6 +618,12 @@ Result<std::vector<MappingCandidate>> Discoverer::Run() {
     ctx_.Count("discovery.pruned.candidate_cap",
                static_cast<int64_t>(candidates.size() -
                                     options_.max_candidates));
+    for (size_t i = options_.max_candidates; i < candidates.size(); ++i) {
+      RecordCandidateRejection(
+          candidates[i], "candidate-cap",
+          "ranked #" + std::to_string(i + 1) + ", below the max_candidates=" +
+              std::to_string(options_.max_candidates) + " cutoff");
+    }
     candidates.resize(options_.max_candidates);
   }
   filter_span.AddAttr("kept", static_cast<int64_t>(candidates.size()));

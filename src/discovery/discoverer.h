@@ -115,6 +115,13 @@ class Discoverer {
   bool AssembleCandidate(Csg source_csg, const Csg& target_csg,
                          MappingCandidate* out) const;
 
+  /// Provenance capture for pruned source trees / assembled candidates;
+  /// no-ops (no string rendering) when ctx_ carries no recorder.
+  void RecordCsgRejection(const Csg& csg, const std::string& detail) const;
+  void RecordCandidateRejection(const MappingCandidate& cand,
+                                const std::string& filter,
+                                const std::string& detail) const;
+
   const sem::AnnotatedSchema& source_;
   const sem::AnnotatedSchema& target_;
   std::vector<Correspondence> correspondences_;

@@ -165,12 +165,28 @@ bool MappingMerger::Emit(ResilientMapping mapping) {
   // unexecutable mapping.
   if (ctx_.sink != nullptr &&
       !validate::CheckTgdSafety(mapping.tgd, *ctx_.sink)) {
+    if (ctx_.provenance != nullptr) {
+      ctx_.provenance->MarkDropped(mapping.target_table,
+                                   mapping.tgd.ToString(), "unsafe-tgd");
+    }
     return false;
   }
   // Cross-table duplicates (two groups reaching the same expression)
   // collapse onto the first, least-degraded occurrence.
   for (const ResilientMapping& existing : mappings_) {
-    if (logic::EquivalentTgds(existing.tgd, mapping.tgd)) return false;
+    if (logic::EquivalentTgds(existing.tgd, mapping.tgd)) {
+      if (ctx_.provenance != nullptr) {
+        ctx_.provenance->MarkDropped(
+            mapping.target_table, mapping.tgd.ToString(),
+            "duplicate of a mapping emitted for " + existing.target_table);
+      }
+      return false;
+    }
+  }
+  if (ctx_.provenance != nullptr) {
+    ctx_.provenance->ConfirmEmitted(mapping.target_table,
+                                    mapping.tgd.ToString(),
+                                    TierName(mapping.tier));
   }
   mappings_.push_back(std::move(mapping));
   return true;
@@ -184,6 +200,12 @@ TableWork RunTableCascade(const sem::AnnotatedSchema& source,
                           const RunContext& ctx) {
   obs::Span cascade_span = ctx.Span("cascade");
   cascade_span.AddAttr("table", table);
+  obs::ProvenanceTableScope provenance_scope(ctx.provenance, table);
+  int64_t cascade_start_ns = 0;
+  if (ctx.events != nullptr) {
+    cascade_start_ns = ctx.events->NowNs();
+    ctx.events->Emit("cascade_start", obs::WideEvent().Str("table", table));
+  }
   TableWork work;
   work.outcome.target_table = table;
   TableOutcome& outcome = work.outcome;
@@ -218,6 +240,11 @@ TableWork RunTableCascade(const sem::AnnotatedSchema& source,
       RunContext tier_ctx = ctx.WithGovernor(&governor);
       tier_ctx.sink = ctx.sink != nullptr ? &lift_sink : nullptr;
       ctx.Count("pipeline.tier_attempts");
+      if (ctx.provenance != nullptr) {
+        ctx.provenance->BeginAttempt(TierName(tier), attempt + 1);
+      }
+      int64_t tier_start_ns =
+          ctx.events != nullptr ? ctx.events->NowNs() : 0;
       obs::Span tier_span = ctx.Span("tier");
       tier_span.AddAttr("tier", TierName(tier));
       tier_span.AddAttr("attempt", static_cast<int64_t>(attempt + 1));
@@ -226,6 +253,44 @@ TableWork RunTableCascade(const sem::AnnotatedSchema& source,
       if (governor.exhausted()) ctx.Count("governor.trips");
       last_semantic_exhausted = governor.exhausted();
       tier_span.End();
+      if (ctx.provenance != nullptr) {
+        obs::AttemptRecord record;
+        record.tier = TierName(tier);
+        record.attempt = attempt + 1;
+        record.mappings = mappings.ok() ? mappings->size() : 0;
+        if (!mappings.ok()) {
+          record.status = "error";
+          record.detail = mappings.status().ToString();
+        } else if (!mappings->empty()) {
+          record.status = "ok";
+          if (governor.exhausted()) {
+            record.detail = "partial result, " + governor.status().ToString();
+          }
+        } else if (governor.exhausted()) {
+          record.status = "exhausted";
+          record.detail = governor.status().ToString();
+        } else {
+          record.status = "empty";
+          record.detail = governor.status().ToString();
+        }
+        ctx.provenance->RecordAttempt(std::move(record));
+      }
+      if (ctx.events != nullptr) {
+        ctx.events->Emit(
+            "tier_end",
+            obs::WideEvent()
+                .Str("table", table)
+                .Str("tier", TierName(tier))
+                .Int("attempt", static_cast<int64_t>(attempt + 1))
+                .Str("status", !mappings.ok()          ? "error"
+                               : !mappings->empty()    ? "ok"
+                               : governor.exhausted()  ? "exhausted"
+                                                       : "empty")
+                .Int("mappings",
+                     static_cast<int64_t>(mappings.ok() ? mappings->size()
+                                                        : 0))
+                .Int("duration_ns", ctx.events->NowNs() - tier_start_ns));
+      }
       if (ctx.sink != nullptr && tier == DegradationTier::kSemanticFull &&
           attempt == 0) {
         for (const Diagnostic& d : lift_sink.diagnostics()) {
@@ -283,6 +348,10 @@ TableWork RunTableCascade(const sem::AnnotatedSchema& source,
     ConfigureGovernor(&governor, options.deadline, /*step_budget=*/-1,
                       /*fault_after=*/std::nullopt, ctx.governor);
     ctx.Count("pipeline.tier_attempts");
+    if (ctx.provenance != nullptr) {
+      ctx.provenance->BeginAttempt(TierName(DegradationTier::kRicBaseline), 1);
+    }
+    int64_t tier_start_ns = ctx.events != nullptr ? ctx.events->NowNs() : 0;
     obs::Span tier_span = ctx.Span("tier");
     tier_span.AddAttr("tier", TierName(DegradationTier::kRicBaseline));
     auto ric =
@@ -290,6 +359,40 @@ TableWork RunTableCascade(const sem::AnnotatedSchema& source,
                                       ric_opts, ctx.WithGovernor(&governor));
     if (governor.exhausted()) ctx.Count("governor.trips");
     tier_span.End();
+    if (ctx.provenance != nullptr) {
+      obs::AttemptRecord record;
+      record.tier = TierName(DegradationTier::kRicBaseline);
+      record.attempt = 1;
+      record.mappings = ric.ok() ? ric->size() : 0;
+      if (!ric.ok()) {
+        record.status = "error";
+        record.detail = ric.status().ToString();
+      } else if (!ric->empty()) {
+        record.status = "ok";
+        if (governor.exhausted()) {
+          record.detail = "partial result, " + governor.status().ToString();
+        }
+      } else {
+        record.status = governor.exhausted() ? "exhausted" : "empty";
+        record.detail = governor.status().ToString();
+      }
+      ctx.provenance->RecordAttempt(std::move(record));
+    }
+    if (ctx.events != nullptr) {
+      ctx.events->Emit(
+          "tier_end",
+          obs::WideEvent()
+              .Str("table", table)
+              .Str("tier", TierName(DegradationTier::kRicBaseline))
+              .Int("attempt", 1)
+              .Str("status", !ric.ok()             ? "error"
+                             : !ric->empty()       ? "ok"
+                             : governor.exhausted() ? "exhausted"
+                                                    : "empty")
+              .Int("mappings",
+                   static_cast<int64_t>(ric.ok() ? ric->size() : 0))
+              .Int("duration_ns", ctx.events->NowNs() - tier_start_ns));
+    }
     if (ric.ok() && !ric->empty()) {
       outcome.tier = DegradationTier::kRicBaseline;
       outcome.mappings = ric->size();
@@ -322,6 +425,16 @@ TableWork RunTableCascade(const sem::AnnotatedSchema& source,
   }
   cascade_span.AddAttr("tier", TierName(outcome.tier));
   cascade_span.AddAttr("mappings", static_cast<int64_t>(outcome.mappings));
+  if (ctx.events != nullptr) {
+    ctx.events->Emit("cascade_end",
+                     obs::WideEvent()
+                         .Str("table", table)
+                         .Str("tier", TierName(outcome.tier))
+                         .Int("mappings",
+                              static_cast<int64_t>(outcome.mappings))
+                         .Int("duration_ns",
+                              ctx.events->NowNs() - cascade_start_ns));
+  }
   return work;
 }
 
@@ -369,6 +482,12 @@ Result<ResilientResult> RunResilientPipeline(
   result.report.quarantined_correspondences =
       prepared->quarantined_correspondences;
   result.report.tables = std::move(prepared->quarantined_tables);
+  if (ctx.provenance != nullptr) {
+    for (const TableOutcome& outcome : result.report.tables) {
+      ctx.provenance->RecordOutcome(outcome.target_table,
+                                    TierName(outcome.tier), outcome.notes);
+    }
+  }
 
   MappingMerger merger(ctx);
   ctx.Count("pipeline.tables", static_cast<int64_t>(prepared->groups.size()));
@@ -381,6 +500,10 @@ Result<ResilientResult> RunResilientPipeline(
         it != prepared->quarantine_notes.end()) {
       work.outcome.notes.insert(work.outcome.notes.begin(),
                                 it->second.begin(), it->second.end());
+    }
+    if (ctx.provenance != nullptr) {
+      ctx.provenance->RecordOutcome(table, TierName(work.outcome.tier),
+                                    work.outcome.notes);
     }
     for (ResilientMapping& mapping : work.mappings) {
       merger.Emit(std::move(mapping));

@@ -17,7 +17,9 @@
 #include <cstdint>
 #include <string_view>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "util/budget.h"
 #include "util/diag.h"
@@ -33,6 +35,11 @@ struct RunContext {
   obs::Tracer* tracer = nullptr;
   /// Counters and histograms; null = disabled (zero cost).
   obs::Metrics* metrics = nullptr;
+  /// Mapping provenance (semap.explain.v1); null = disabled (zero cost).
+  /// Call sites guard on null before rendering any record text.
+  obs::ProvenanceRecorder* provenance = nullptr;
+  /// Wide-event stream (semap.events.v1); null = disabled (zero cost).
+  obs::EventEmitter* events = nullptr;
 
   /// Charge `steps` against the governor; true while work may proceed.
   bool Charge(int64_t steps = 1) const {

@@ -10,6 +10,8 @@
 #include <thread>
 #include <utility>
 
+#include "exec/explain_capture.h"
+
 namespace semap::exec {
 
 namespace {
@@ -37,6 +39,7 @@ struct UnitDone {
   std::unique_ptr<obs::Tracer> tracer;
   int64_t tracer_offset_ns = 0;
   std::unique_ptr<obs::Metrics> metrics;
+  std::unique_ptr<obs::ProvenanceRecorder> provenance;
 };
 
 /// Watchdog thread for per-unit deadlines. Workers lease a watch on
@@ -186,11 +189,20 @@ UnitDone RunUnit(const sem::AnnotatedSchema& source,
     }
 
     DiagnosticSink attempt_sink;
+    // Like the sink, provenance is per-attempt: only the kept (final)
+    // attempt's records survive, matching the TableWork the unit reports.
+    // The events stream is shared and append-only — every attempt shows.
+    std::unique_ptr<obs::ProvenanceRecorder> attempt_provenance;
+    if (ctx.provenance != nullptr) {
+      attempt_provenance = std::make_unique<obs::ProvenanceRecorder>();
+    }
     RunContext unit_ctx;
     unit_ctx.governor = &unit_governor;
     unit_ctx.sink = done.sink != nullptr ? &attempt_sink : nullptr;
     unit_ctx.tracer = done.tracer.get();
     unit_ctx.metrics = done.metrics.get();
+    unit_ctx.provenance = attempt_provenance.get();
+    unit_ctx.events = ctx.events;
 
     TableWork work = RunTableCascade(source, target, unit.table, *unit.group,
                                      attempt_opts, unit_ctx);
@@ -200,6 +212,7 @@ UnitDone RunUnit(const sem::AnnotatedSchema& source,
                        !shared->breaker_tripped.load(std::memory_order_relaxed);
     if (!retry) {
       done.work = std::move(work);
+      done.provenance = std::move(attempt_provenance);
       if (done.sink != nullptr) {
         for (const Diagnostic& d : attempt_sink.diagnostics()) {
           done.sink->Add(d);
@@ -209,6 +222,13 @@ UnitDone RunUnit(const sem::AnnotatedSchema& source,
     }
     const int64_t delay_ms = backoff.DelayMs(attempt);
     done.retry_delays_ms.push_back(delay_ms);
+    if (ctx.events != nullptr) {
+      ctx.events->Emit("unit_retry",
+                       obs::WideEvent()
+                           .Str("table", unit.table)
+                           .Int("attempt", static_cast<int64_t>(attempt + 1))
+                           .Int("delay_ms", delay_ms));
+    }
     if (delay_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
     }
@@ -253,11 +273,28 @@ void WorkerLoop(const sem::AnnotatedSchema& source,
       claimed_at = Clock::now();
     }
     const Unit& unit = units[index];
+    int64_t unit_start_ns = 0;
+    if (ctx.events != nullptr) {
+      unit_start_ns = ctx.events->NowNs();
+      ctx.events->Emit("unit_start",
+                       obs::WideEvent().Str("table", unit.table));
+    }
     UnitDone done =
         RunUnit(source, target, unit, options, base_opts, ctx, shared, watchdog);
     done.queue_wait_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                              Clock::now() - claimed_at)
                              .count();
+    if (ctx.events != nullptr) {
+      ctx.events->Emit(
+          "unit_done",
+          obs::WideEvent()
+              .Str("table", unit.table)
+              .Str("tier", TierName(done.work.outcome.tier))
+              .Int("attempts", static_cast<int64_t>(done.attempts))
+              .Int("mappings",
+                   static_cast<int64_t>(done.work.outcome.mappings))
+              .Int("duration_ns", ctx.events->NowNs() - unit_start_ns));
+    }
 
     std::lock_guard<std::mutex> lock(shared->mu);
     // Circuit breaker: `transient_failure` marks a unit whose semantic
@@ -271,6 +308,14 @@ void WorkerLoop(const sem::AnnotatedSchema& source,
         if (++shared->consecutive_semantic_losses >=
             options.breaker_threshold) {
           shared->breaker_tripped.store(true, std::memory_order_relaxed);
+          if (ctx.events != nullptr) {
+            ctx.events->Emit(
+                "breaker_trip",
+                obs::WideEvent().Int(
+                    "consecutive_losses",
+                    static_cast<int64_t>(
+                        shared->consecutive_semantic_losses)));
+          }
         }
       } else if (done.work.outcome.tier == DegradationTier::kSemanticFull ||
                  done.work.outcome.tier ==
@@ -286,6 +331,12 @@ void WorkerLoop(const sem::AnnotatedSchema& source,
       if (!append.ok() && shared->journal_warning.empty()) {
         shared->journal_warning =
             "checkpoint append failed: " + append.ToString();
+      }
+      if (ctx.events != nullptr) {
+        ctx.events->Emit("checkpoint_append",
+                         obs::WideEvent()
+                             .Str("table", unit.table)
+                             .Bool("ok", append.ok()));
       }
     }
     shared->done.emplace(unit.table, std::move(done));
@@ -415,6 +466,12 @@ Result<SupervisorResult> RunSupervisedPipeline(
   result.run.report.quarantined_correspondences =
       prepared->quarantined_correspondences;
   result.run.report.tables = std::move(prepared->quarantined_tables);
+  if (ctx.provenance != nullptr) {
+    for (const TableOutcome& outcome : result.run.report.tables) {
+      ctx.provenance->RecordOutcome(outcome.target_table,
+                                    TierName(outcome.tier), outcome.notes);
+    }
+  }
   ctx.Count("pipeline.tables", static_cast<int64_t>(prepared->groups.size()));
   ctx.Count("pipeline.quarantined_correspondences",
             static_cast<int64_t>(prepared->quarantined_correspondences));
@@ -426,9 +483,42 @@ Result<SupervisorResult> RunSupervisedPipeline(
       // and raw mappings were recorded at completion; only the merge
       // reruns, which is deterministic.
       ctx.Count("supervisor.units_resumed");
+      if (ctx.events != nullptr) {
+        ctx.events->Emit("checkpoint_resume",
+                         obs::WideEvent()
+                             .Str("table", table)
+                             .Str("tier", TierName(cp->second.outcome.tier))
+                             .Int("mappings",
+                                  static_cast<int64_t>(
+                                      cp->second.mappings.size())));
+      }
       UnitReport report;
       report.table = table;
       report.from_checkpoint = true;
+      if (ctx.provenance != nullptr) {
+        // The journal keeps the unit's result, not its search history:
+        // reconstruct one derivation per cached mapping (origin
+        // "checkpoint") so the one-derivation-per-emitted-TGD invariant
+        // survives a resume; the rejection log of the original run is
+        // gone.
+        for (const ResilientMapping& mapping : cp->second.mappings) {
+          obs::DerivationRecord derivation;
+          derivation.tgd = mapping.tgd.ToString();
+          derivation.origin = "checkpoint";
+          for (const disc::Correspondence& corr : mapping.covered) {
+            derivation.covered.push_back(corr.ToString());
+          }
+          derivation.skolems = SkolemDecisionsOf(mapping.tgd);
+          derivation.source_algebra = mapping.source_algebra;
+          derivation.target_algebra = mapping.target_algebra;
+          ctx.provenance->BeginTable(table);
+          ctx.provenance->RecordDerivation(std::move(derivation));
+          ctx.provenance->EndTable();
+        }
+        ctx.provenance->RecordOutcome(table,
+                                      TierName(cp->second.outcome.tier),
+                                      cp->second.outcome.notes);
+      }
       for (ResilientMapping& mapping : cp->second.mappings) {
         merger.Emit(std::move(mapping));
       }
@@ -452,6 +542,11 @@ Result<SupervisorResult> RunSupervisedPipeline(
       ctx.metrics->MergeFrom(*done.metrics);
       ctx.metrics->RecordDurationNs("supervisor.queue_wait",
                                     done.queue_wait_ns);
+    }
+    if (ctx.provenance != nullptr && done.provenance != nullptr) {
+      ctx.provenance->MergeFrom(*done.provenance);
+      ctx.provenance->RecordOutcome(table, TierName(done.work.outcome.tier),
+                                    done.work.outcome.notes);
     }
     ctx.Count("supervisor.unit_attempts", static_cast<int64_t>(done.attempts));
     result.retries += done.attempts - 1;

@@ -1,0 +1,55 @@
+#include "obs/events.h"
+
+#include "obs/trace.h"
+
+namespace semap::obs {
+
+WideEvent& WideEvent::Str(std::string_view key, std::string_view value) {
+  body_ += ",\"";
+  body_ += JsonEscape(key);
+  body_ += "\":\"";
+  body_ += JsonEscape(value);
+  body_ += "\"";
+  return *this;
+}
+
+WideEvent& WideEvent::Int(std::string_view key, int64_t value) {
+  body_ += ",\"";
+  body_ += JsonEscape(key);
+  body_ += "\":";
+  body_ += std::to_string(value);
+  return *this;
+}
+
+WideEvent& WideEvent::Bool(std::string_view key, bool value) {
+  body_ += ",\"";
+  body_ += JsonEscape(key);
+  body_ += value ? "\":true" : "\":false";
+  return *this;
+}
+
+EventEmitter::EventEmitter(const std::string& path)
+    : epoch_(std::chrono::steady_clock::now()),
+      out_(path, std::ios::out | std::ios::trunc) {
+  ok_ = static_cast<bool>(out_);
+}
+
+void EventEmitter::Emit(std::string_view type, const WideEvent& fields) {
+  const int64_t ts = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ok_) return;
+  out_ << "{\"schema\":\"semap.events.v1\",\"seq\":" << seq_++
+       << ",\"ts_ns\":" << ts << ",\"event\":\"" << JsonEscape(type) << "\""
+       << fields.body() << "}\n";
+  // One flush per line keeps a killed run's prefix on disk; readers must
+  // still tolerate a torn final line (the write itself is not atomic).
+  out_.flush();
+  if (!out_) ok_ = false;
+}
+
+int64_t EventEmitter::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+}  // namespace semap::obs

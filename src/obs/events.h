@@ -1,0 +1,81 @@
+// Wide events: an append-only NDJSON stream of self-contained run events.
+//
+// Where the Tracer builds one retrospective span tree and Metrics one
+// aggregate table, the EventEmitter writes each interesting moment —
+// phase boundary, work-unit start/retry/completion, breaker trip,
+// checkpoint append/resume — to disk *as it happens*, one JSON object per
+// line (semap.events.v1). Every line carries the schema tag, a monotonic
+// sequence number, a nanosecond timestamp on the emitter's clock, and the
+// event's own context, so a single grepped line is interpretable without
+// the rest of the file and a killed run leaves a usable prefix (readers
+// must tolerate one torn final line, like the checkpoint journal).
+//
+// Thread-safe: supervisor workers share one emitter; a mutex orders the
+// sequence numbers and keeps lines whole. Disabled (the default) costs
+// nothing — a null EventEmitter* on the RunContext is never dereferenced
+// and call sites build no strings.
+#ifndef SEMAP_OBS_EVENTS_H_
+#define SEMAP_OBS_EVENTS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace semap::obs {
+
+/// \brief Builder for one event's payload fields, pre-rendered to JSON.
+class WideEvent {
+ public:
+  WideEvent& Str(std::string_view key, std::string_view value);
+  WideEvent& Int(std::string_view key, int64_t value);
+  WideEvent& Bool(std::string_view key, bool value);
+
+  const std::string& body() const { return body_; }
+
+ private:
+  std::string body_;  // ',"key":value' fragments, ready to splice
+};
+
+/// \brief Appends semap.events.v1 lines to a file, flushing per line.
+class EventEmitter {
+ public:
+  explicit EventEmitter(const std::string& path);
+  EventEmitter(const EventEmitter&) = delete;
+  EventEmitter& operator=(const EventEmitter&) = delete;
+
+  /// False when the stream could not be opened (or a write failed); the
+  /// pipeline keeps running either way — events are diagnostics, not
+  /// results.
+  bool ok() const { return ok_; }
+
+  /// Nanoseconds since this emitter was constructed. Thread-safe; call
+  /// sites use it to measure durations they attach to events.
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Append one event line: {"schema":"semap.events.v1","seq":N,
+  /// "ts_ns":T,"event":"<type>",...fields}. Sequence numbers are
+  /// monotonic across all threads.
+  void Emit(std::string_view type, const WideEvent& fields);
+  void Emit(std::string_view type) { Emit(type, WideEvent()); }
+
+  /// Events written so far (for tests).
+  int64_t count() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  int64_t seq_ = 0;
+  bool ok_ = false;
+};
+
+}  // namespace semap::obs
+
+#endif  // SEMAP_OBS_EVENTS_H_

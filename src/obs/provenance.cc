@@ -1,0 +1,235 @@
+#include "obs/provenance.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace semap::obs {
+
+void ProvenanceRecorder::BeginTable(const std::string& table) {
+  current_table_ = table;
+  current_tier_.clear();
+  current_attempt_ = 0;
+  For(table);
+}
+
+void ProvenanceRecorder::EndTable() {
+  current_table_.clear();
+  current_tier_.clear();
+  current_attempt_ = 0;
+}
+
+void ProvenanceRecorder::BeginAttempt(const std::string& tier,
+                                      size_t attempt) {
+  current_tier_ = tier;
+  current_attempt_ = attempt;
+}
+
+TableProvenance& ProvenanceRecorder::For(const std::string& table) {
+  TableProvenance& entry = tables_[table];
+  entry.table = table;
+  return entry;
+}
+
+TableProvenance& ProvenanceRecorder::Current() { return For(current_table_); }
+
+void ProvenanceRecorder::RecordAttempt(AttemptRecord attempt) {
+  Current().attempts.push_back(std::move(attempt));
+}
+
+void ProvenanceRecorder::RecordRejection(RejectionRecord rejection) {
+  TableProvenance& entry = Current();
+  if (entry.rejections.size() >= max_rejections_) {
+    ++entry.rejections_dropped;
+    return;
+  }
+  if (rejection.tier.empty()) {
+    rejection.tier = current_tier_;
+    rejection.attempt = current_attempt_;
+  }
+  entry.rejections.push_back(std::move(rejection));
+}
+
+void ProvenanceRecorder::RecordDerivation(DerivationRecord derivation) {
+  Current().derivations.push_back(std::move(derivation));
+}
+
+void ProvenanceRecorder::RecordOutcome(const std::string& table,
+                                       const std::string& tier,
+                                       const std::vector<std::string>& notes) {
+  TableProvenance& entry = For(table);
+  entry.tier = tier;
+  entry.notes = notes;
+}
+
+DerivationRecord& ProvenanceRecorder::DerivationFor(const std::string& table,
+                                                    const std::string& tgd) {
+  TableProvenance& entry = For(table);
+  for (DerivationRecord& d : entry.derivations) {
+    // The merger confirms each TGD at most once per table, so the first
+    // unconfirmed match is the record the confirmation belongs to.
+    if (d.tgd == tgd && !d.emitted && d.drop_reason.empty()) return d;
+  }
+  DerivationRecord stub;
+  stub.tgd = tgd;
+  stub.origin = "unknown";
+  entry.derivations.push_back(std::move(stub));
+  return entry.derivations.back();
+}
+
+void ProvenanceRecorder::ConfirmEmitted(const std::string& table,
+                                        const std::string& tgd,
+                                        const std::string& tier) {
+  DerivationRecord& d = DerivationFor(table, tgd);
+  d.emitted = true;
+  d.tier = tier;
+}
+
+void ProvenanceRecorder::MarkDropped(const std::string& table,
+                                     const std::string& tgd,
+                                     const std::string& reason) {
+  DerivationFor(table, tgd).drop_reason = reason;
+}
+
+void ProvenanceRecorder::MergeFrom(const ProvenanceRecorder& other) {
+  for (const auto& [table, theirs] : other.tables_) {
+    TableProvenance& mine = For(table);
+    if (!theirs.tier.empty()) mine.tier = theirs.tier;
+    mine.notes.insert(mine.notes.end(), theirs.notes.begin(),
+                      theirs.notes.end());
+    mine.attempts.insert(mine.attempts.end(), theirs.attempts.begin(),
+                         theirs.attempts.end());
+    mine.derivations.insert(mine.derivations.end(), theirs.derivations.begin(),
+                            theirs.derivations.end());
+    for (const RejectionRecord& rejection : theirs.rejections) {
+      if (mine.rejections.size() >= max_rejections_) {
+        ++mine.rejections_dropped;
+        continue;
+      }
+      mine.rejections.push_back(rejection);
+    }
+    mine.rejections_dropped += theirs.rejections_dropped;
+  }
+}
+
+namespace {
+
+void AppendString(std::string* out, const char* key, const std::string& value,
+                  bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":\"" + JsonEscape(value) + "\"";
+}
+
+void AppendInt(std::string* out, const char* key, int64_t value, bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":" + std::to_string(value);
+}
+
+void AppendBool(std::string* out, const char* key, bool value, bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += value ? "\":true" : "\":false";
+}
+
+void AppendStringArray(std::string* out, const char* key,
+                       const std::vector<std::string>& values, bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) *out += ",";
+    *out += "\"" + JsonEscape(values[i]) + "\"";
+  }
+  *out += "]";
+}
+
+}  // namespace
+
+std::string ProvenanceRecorder::ToJson() const {
+  std::string out = "{\"schema\":\"semap.explain.v1\",\"tables\":[";
+  bool first_table = true;
+  for (const auto& [name, table] : tables_) {
+    if (!first_table) out += ",";
+    first_table = false;
+    out += "{";
+    bool f = true;
+    AppendString(&out, "table", table.table, &f);
+    AppendString(&out, "tier", table.tier, &f);
+    AppendStringArray(&out, "notes", table.notes, &f);
+    out += ",\"attempts\":[";
+    for (size_t i = 0; i < table.attempts.size(); ++i) {
+      const AttemptRecord& a = table.attempts[i];
+      if (i > 0) out += ",";
+      out += "{";
+      bool af = true;
+      AppendString(&out, "tier", a.tier, &af);
+      AppendInt(&out, "attempt", static_cast<int64_t>(a.attempt), &af);
+      AppendString(&out, "status", a.status, &af);
+      AppendString(&out, "detail", a.detail, &af);
+      AppendInt(&out, "mappings", static_cast<int64_t>(a.mappings), &af);
+      out += "}";
+    }
+    out += "],\"derivations\":[";
+    for (size_t i = 0; i < table.derivations.size(); ++i) {
+      const DerivationRecord& d = table.derivations[i];
+      if (i > 0) out += ",";
+      out += "{";
+      bool df = true;
+      AppendString(&out, "tgd", d.tgd, &df);
+      AppendString(&out, "origin", d.origin, &df);
+      AppendString(&out, "tier", d.tier, &df);
+      AppendBool(&out, "emitted", d.emitted, &df);
+      AppendString(&out, "drop_reason", d.drop_reason, &df);
+      AppendStringArray(&out, "covered", d.covered, &df);
+      AppendString(&out, "source_csg", d.source_csg, &df);
+      AppendString(&out, "target_csg", d.target_csg, &df);
+      AppendInt(&out, "penalty", d.penalty, &df);
+      AppendInt(&out, "variants", static_cast<int64_t>(d.variants), &df);
+      out += ",\"skolems\":[";
+      for (size_t s = 0; s < d.skolems.size(); ++s) {
+        if (s > 0) out += ",";
+        out += "{\"function\":\"" + JsonEscape(d.skolems[s].function) +
+               "\",\"kind\":\"" + JsonEscape(d.skolems[s].kind) + "\"}";
+      }
+      out += "]";
+      df = false;
+      AppendString(&out, "source_algebra", d.source_algebra, &df);
+      AppendString(&out, "target_algebra", d.target_algebra, &df);
+      out += "}";
+    }
+    out += "],\"rejections\":[";
+    for (size_t i = 0; i < table.rejections.size(); ++i) {
+      const RejectionRecord& r = table.rejections[i];
+      if (i > 0) out += ",";
+      out += "{";
+      bool rf = true;
+      AppendString(&out, "candidate", r.candidate, &rf);
+      AppendString(&out, "filter", r.filter, &rf);
+      AppendString(&out, "detail", r.detail, &rf);
+      AppendString(&out, "tier", r.tier, &rf);
+      AppendInt(&out, "attempt", static_cast<int64_t>(r.attempt), &rf);
+      AppendInt(&out, "covered", static_cast<int64_t>(r.covered), &rf);
+      AppendInt(&out, "penalty", r.penalty, &rf);
+      out += "}";
+    }
+    out += "]";
+    f = false;
+    AppendInt(&out, "rejections_dropped",
+              static_cast<int64_t>(table.rejections_dropped), &f);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace semap::obs

@@ -1,8 +1,10 @@
 #include "rewriting/semantic_mapper.h"
 
 #include <algorithm>
+#include <set>
 
 #include "baseline/logical_relations.h"
+#include "exec/explain_capture.h"
 #include "logic/containment.h"
 #include "rewriting/algebra.h"
 #include "rewriting/inverse_rules.h"
@@ -137,7 +139,20 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
                            RewriteQuery(src_cm, source_rules, src_opts, ctx));
     SEMAP_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> tgt_rewritings,
                            RewriteQuery(tgt_cm, target_rules, tgt_opts, ctx));
-    if (src_rewritings.empty() || tgt_rewritings.empty()) continue;
+    if (src_rewritings.empty() || tgt_rewritings.empty()) {
+      if (ctx.provenance != nullptr) {
+        obs::RejectionRecord rejection;
+        rejection.candidate = cand.ToString(source.graph(), target.graph());
+        rejection.filter = "no-rewriting";
+        rejection.detail =
+            std::string(src_rewritings.empty() ? "source" : "target") +
+            " CM query has no relational rewriting over the required tables";
+        rejection.covered = cand.covered.size();
+        rejection.penalty = cand.penalty;
+        ctx.provenance->RecordRejection(std::move(rejection));
+      }
+      continue;
+    }
     // Most compact rewriting first (Occam: the paper returns the single
     // q'3-style expression); the rest become alternative variants.
     auto by_size = [](const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
@@ -177,7 +192,19 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
         break;
       }
     }
-    if (duplicate_mapping) continue;
+    if (duplicate_mapping) {
+      if (ctx.provenance != nullptr) {
+        obs::RejectionRecord rejection;
+        rejection.candidate = cand.ToString(source.graph(), target.graph());
+        rejection.filter = "duplicate";
+        rejection.detail =
+            "primary rendering equivalent to an earlier candidate's mapping";
+        rejection.covered = cand.covered.size();
+        rejection.penalty = cand.penalty;
+        ctx.provenance->RecordRejection(std::move(rejection));
+      }
+      continue;
+    }
     mapping.source_algebra = RenderAlgebra(mapping.tgd.source, source_columns);
     mapping.target_algebra = RenderAlgebra(mapping.tgd.target, target_columns);
     mapping.source_join_hints = DeriveJoinHints(source.graph(), cand.source_csg);
@@ -186,6 +213,44 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
       mapping.covered.push_back(lifted[idx].corr);
     }
     mapping.candidate = cand;
+    if (ctx.provenance != nullptr) {
+      obs::DerivationRecord derivation;
+      derivation.tgd = mapping.tgd.ToString();
+      derivation.origin = "semantic";
+      for (size_t idx : cand.covered) {
+        derivation.covered.push_back(lifted[idx].corr.ToString());
+      }
+      derivation.source_csg = cand.source_csg.ToString(source.graph());
+      derivation.target_csg = cand.target_csg.ToString(target.graph());
+      derivation.penalty = cand.penalty;
+      derivation.variants = mapping.variants.size();
+      // The rendered TGD is function-free; the Skolem-merge choices that
+      // shaped it are the ones its tables' inverse rules made.
+      std::set<std::string> src_tables;
+      for (const logic::Atom& a : mapping.tgd.source.body) {
+        src_tables.insert(a.predicate);
+      }
+      std::set<std::string> tgt_tables;
+      for (const logic::Atom& a : mapping.tgd.target.body) {
+        tgt_tables.insert(a.predicate);
+      }
+      derivation.skolems =
+          exec::SkolemDecisionsFromRules(source_rules, src_tables);
+      for (obs::SkolemDecision& d :
+           exec::SkolemDecisionsFromRules(target_rules, tgt_tables)) {
+        bool seen = false;
+        for (const obs::SkolemDecision& have : derivation.skolems) {
+          if (have.function == d.function) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) derivation.skolems.push_back(std::move(d));
+      }
+      derivation.source_algebra = mapping.source_algebra;
+      derivation.target_algebra = mapping.target_algebra;
+      ctx.provenance->RecordDerivation(std::move(derivation));
+    }
     mappings.push_back(std::move(mapping));
   }
   if (ctx.Exhausted() && candidates_rendered < candidates.size()) {
@@ -193,6 +258,17 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
         "GenerateSemanticMappings: rendered " +
         std::to_string(candidates_rendered) + "/" +
         std::to_string(candidates.size()) + " discovered candidates");
+    if (ctx.provenance != nullptr) {
+      obs::RejectionRecord rejection;
+      rejection.candidate =
+          std::to_string(candidates.size() - candidates_rendered) +
+          " unrendered discovered candidate(s)";
+      rejection.filter = "budget";
+      rejection.detail = "rewriting budget exhausted after rendering " +
+                         std::to_string(candidates_rendered) + "/" +
+                         std::to_string(candidates.size()) + " candidates";
+      ctx.provenance->RecordRejection(std::move(rejection));
+    }
   }
   rewriting_span.AddAttr("mappings", static_cast<int64_t>(mappings.size()));
   rewriting_span.End();

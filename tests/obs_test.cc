@@ -10,8 +10,10 @@
 #include "baseline/ric_mapper.h"
 #include "datasets/examples.h"
 #include "exec/run_context.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "rewriting/semantic_mapper.h"
 
@@ -255,13 +257,20 @@ TEST(ObsPipelineTest, DisabledObservabilityLeavesOutputIdentical) {
   ASSERT_TRUE(domain.ok()) << domain.status().ToString();
   const auto& corrs = domain->cases[0].correspondences;
 
+  // The plain run's RunContext leaves every handle null — including the
+  // provenance recorder and event emitter — so this comparison is also
+  // the zero-cost guarantee for --explain/--events left unset.
   auto plain = rew::GenerateSemanticMappings(domain->source, domain->target,
                                              corrs);
   obs::Tracer tracer;
   obs::Metrics metrics;
+  obs::ProvenanceRecorder provenance;
+  obs::EventEmitter events(testing::TempDir() + "/obs_identity.ndjson");
   exec::RunContext ctx;
   ctx.tracer = &tracer;
   ctx.metrics = &metrics;
+  ctx.provenance = &provenance;
+  ctx.events = &events;
   auto instrumented = rew::GenerateSemanticMappings(
       domain->source, domain->target, corrs, {}, ctx);
 

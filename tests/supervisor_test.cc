@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,6 +16,10 @@
 #include "datasets/examples.h"
 #include "exec/checkpoint.h"
 #include "exec/supervisor.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
 
 namespace semap {
 namespace {
@@ -138,6 +145,102 @@ TEST(SupervisorTest, ParallelMultiTableRunMatchesSerial) {
   EXPECT_EQ(MappingKeys(supervised->run), MappingKeys(*serial));
   EXPECT_EQ(supervised->run.report.ToString(), serial->report.ToString());
   EXPECT_EQ(supervised->units.size(), 2u);
+}
+
+TEST(SupervisorTest, ObservabilityIsDeterministicAcrossJobCounts) {
+  // The trace and metrics exports carry wall-clock durations, so they can
+  // never be byte-identical between runs — instead the *structural*
+  // content must match: the same multiset of span names and exactly equal
+  // counters (histogram observation counts included). The explain export
+  // is timestamp-free by design and must match to the byte; that half of
+  // the guarantee lives in provenance_test.cc.
+  using Builder = Result<eval::Domain> (*)();
+  const Builder builders[] = {
+      data::BuildBookstoreExample, data::BuildEmployeeIsaExample,
+      data::BuildPartOfExample, data::BuildProjectExample,
+      data::BuildSalesReifiedExample};
+  for (Builder build : builders) {
+    auto domain = build();
+    ASSERT_TRUE(domain.ok()) << domain.status();
+    for (const eval::TestCase& test_case : domain->cases) {
+      std::multiset<std::string> baseline_spans;
+      std::map<std::string, int64_t> baseline_counters;
+      std::map<std::string, int64_t> baseline_histogram_counts;
+      for (size_t jobs : {1u, 4u}) {
+        obs::Tracer tracer;
+        obs::Metrics metrics;
+        exec::RunContext ctx;
+        ctx.tracer = &tracer;
+        ctx.metrics = &metrics;
+        exec::SupervisorOptions options;
+        options.jobs = jobs;
+        auto supervised =
+            exec::RunSupervisedPipeline(domain->source, domain->target,
+                                        test_case.correspondences, options,
+                                        ctx);
+        ASSERT_TRUE(supervised.ok())
+            << domain->name << "/" << test_case.name << " jobs=" << jobs
+            << ": " << supervised.status();
+        std::multiset<std::string> spans;
+        for (const obs::SpanRecord& span : tracer.spans()) {
+          spans.insert(span.name);
+        }
+        std::map<std::string, int64_t> counters(metrics.counters().begin(),
+                                                metrics.counters().end());
+        std::map<std::string, int64_t> histogram_counts;
+        for (const auto& [name, histogram] : metrics.histograms()) {
+          histogram_counts[name] = histogram.count;
+        }
+        if (jobs == 1u) {
+          baseline_spans = std::move(spans);
+          baseline_counters = std::move(counters);
+          baseline_histogram_counts = std::move(histogram_counts);
+        } else {
+          EXPECT_EQ(spans, baseline_spans)
+              << domain->name << "/" << test_case.name << " jobs=" << jobs;
+          EXPECT_EQ(counters, baseline_counters)
+              << domain->name << "/" << test_case.name << " jobs=" << jobs;
+          EXPECT_EQ(histogram_counts, baseline_histogram_counts)
+              << domain->name << "/" << test_case.name << " jobs=" << jobs;
+        }
+      }
+    }
+  }
+}
+
+TEST(SupervisorTest, EventStreamCoversTheRunAndStaysOrdered) {
+  eval::Domain domain = Bookstore();
+  std::string path = testing::TempDir() + "/supervisor_events.ndjson";
+  {
+    obs::EventEmitter events(path);
+    ASSERT_TRUE(events.ok());
+    exec::RunContext ctx;
+    ctx.events = &events;
+    exec::SupervisorOptions options;
+    options.jobs = 4;
+    auto supervised = exec::RunSupervisedPipeline(
+        domain.source, domain.target, domain.cases[0].correspondences,
+        options, ctx);
+    ASSERT_TRUE(supervised.ok()) << supervised.status();
+    EXPECT_TRUE(events.ok());
+    EXPECT_GT(events.count(), 0);
+  }
+  std::ifstream in(path);
+  std::string line;
+  int64_t last_seq = -1;
+  std::multiset<std::string> types;
+  while (std::getline(in, line)) {
+    auto event = json::Parse(line);
+    ASSERT_TRUE(event.ok()) << line;
+    EXPECT_GT(event->GetInt("seq"), last_seq);
+    last_seq = event->GetInt("seq");
+    types.insert(event->GetString("event"));
+  }
+  for (const char* expected :
+       {"unit_start", "cascade_start", "tier_end", "cascade_end",
+        "unit_done"}) {
+    EXPECT_EQ(types.count(expected), 1u) << expected;
+  }
 }
 
 TEST(SupervisorTest, TransientFaultIsRetriedAndRecovers) {

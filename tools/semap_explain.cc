@@ -1,0 +1,343 @@
+// Reader for semap.explain.v1 provenance reports (written by
+// `semap_map --explain=FILE`): answers "where did this mapping come
+// from?" and "why was that candidate not emitted?" without re-running
+// discovery.
+//
+//   semap_explain [options] <explain.json>
+//
+// Modes (default is --summary):
+//   --table=T    render every derivation record for target table T —
+//                covered correspondences, chosen CSG pair, Skolem
+//                decisions, execution tier, emission status
+//   --why-not=T  closest rejected candidates for T (most covered
+//                correspondences first) with the filter that killed each
+//   --summary    per-tier table counts and per-filter rejection counts
+//
+// Exit codes: 0 ok, 1 table not found / unreadable or malformed input,
+// 2 usage error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/version.h"
+
+namespace {
+
+using namespace semap;
+
+constexpr const char kOptionTable[] =
+    "options:\n"
+    "  --table=T    print every derivation record for target table T\n"
+    "  --why-not=T  print rejected candidates for T, closest first,\n"
+    "               with the filter or budget that killed each\n"
+    "  --summary    per-tier and per-filter counts (default mode)\n"
+    "  --version    print the version and exit\n"
+    "  --help       print this table and exit\n"
+    "exit codes: 0 ok, 1 missing table or unreadable/malformed input,\n"
+    "            2 usage error\n";
+
+void PrintUsage(FILE* out, const char* prog) {
+  std::fprintf(out, "usage: %s [options] <explain.json>\n%s", prog,
+               kOptionTable);
+}
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+const json::Value* FindTable(const json::Value& report,
+                             const std::string& name) {
+  const json::Value* tables = report.Find("tables");
+  if (tables == nullptr) return nullptr;
+  for (const json::Value& t : tables->AsArray()) {
+    if (t.GetString("table") == name) return &t;
+  }
+  return nullptr;
+}
+
+void PrintKnownTables(const json::Value& report) {
+  const json::Value* tables = report.Find("tables");
+  if (tables == nullptr || tables->AsArray().empty()) {
+    std::fprintf(stderr, "  (report contains no tables)\n");
+    return;
+  }
+  std::fprintf(stderr, "known tables:\n");
+  for (const json::Value& t : tables->AsArray()) {
+    std::fprintf(stderr, "  %s (%s)\n", t.GetString("table").c_str(),
+                 t.GetString("tier", "?").c_str());
+  }
+}
+
+void PrintStringArray(const json::Value& rec, const char* key,
+                      const char* label) {
+  const json::Value* arr = rec.Find(key);
+  if (arr == nullptr || arr->AsArray().empty()) return;
+  std::printf("    %s:\n", label);
+  for (const json::Value& item : arr->AsArray()) {
+    std::printf("      %s\n", item.AsString().c_str());
+  }
+}
+
+/// --table=T: the derivation tree, one block per record, attempt
+/// history first so the cascade's shape reads top-down.
+int ExplainTable(const json::Value& report, const std::string& name) {
+  const json::Value* table = FindTable(report, name);
+  if (table == nullptr) {
+    std::fprintf(stderr, "error: no provenance for table %s\n", name.c_str());
+    PrintKnownTables(report);
+    return 1;
+  }
+  std::printf("table %s  tier=%s\n", name.c_str(),
+              table->GetString("tier", "?").c_str());
+  for (const json::Value& note : table->Find("notes") != nullptr
+                                     ? table->Find("notes")->AsArray()
+                                     : json::Array{}) {
+    std::printf("  note: %s\n", note.AsString().c_str());
+  }
+  const json::Value* attempts = table->Find("attempts");
+  if (attempts != nullptr && !attempts->AsArray().empty()) {
+    std::printf("  attempts:\n");
+    for (const json::Value& a : attempts->AsArray()) {
+      std::printf("    %s #%lld: %s (%lld mapping(s))",
+                  a.GetString("tier", "?").c_str(),
+                  static_cast<long long>(a.GetInt("attempt")),
+                  a.GetString("status", "?").c_str(),
+                  static_cast<long long>(a.GetInt("mappings")));
+      std::string detail = a.GetString("detail");
+      if (!detail.empty()) std::printf(" — %s", detail.c_str());
+      std::printf("\n");
+    }
+  }
+  const json::Value* derivations = table->Find("derivations");
+  size_t n = derivations == nullptr ? 0 : derivations->AsArray().size();
+  std::printf("  derivations: %zu\n", n);
+  size_t idx = 0;
+  if (derivations != nullptr) {
+    for (const json::Value& d : derivations->AsArray()) {
+      ++idx;
+      std::printf("  [%zu] %s  origin=%s tier=%s%s\n", idx,
+                  d.Find("emitted") != nullptr && d.Find("emitted")->is_bool()
+                          && d.Find("emitted")->AsBool()
+                      ? "emitted"
+                      : "not emitted",
+                  d.GetString("origin", "?").c_str(),
+                  d.GetString("tier", "?").c_str(),
+                  d.GetString("drop_reason").empty()
+                      ? ""
+                      : ("  dropped: " + d.GetString("drop_reason")).c_str());
+      std::printf("    tgd: %s\n", d.GetString("tgd").c_str());
+      PrintStringArray(d, "covered", "covered correspondences");
+      std::string scsg = d.GetString("source_csg");
+      std::string tcsg = d.GetString("target_csg");
+      if (!scsg.empty() || !tcsg.empty()) {
+        std::printf("    csg pair: %s => %s\n", scsg.c_str(), tcsg.c_str());
+      }
+      if (d.GetInt("penalty") > 0 || d.GetInt("variants") > 1) {
+        std::printf("    penalty=%lld variants=%lld\n",
+                    static_cast<long long>(d.GetInt("penalty")),
+                    static_cast<long long>(d.GetInt("variants")));
+      }
+      const json::Value* skolems = d.Find("skolems");
+      if (skolems != nullptr && !skolems->AsArray().empty()) {
+        std::printf("    skolem decisions:\n");
+        for (const json::Value& s : skolems->AsArray()) {
+          std::printf("      %s: %s\n", s.GetString("function").c_str(),
+                      s.GetString("kind", "?").c_str());
+        }
+      }
+      std::string salg = d.GetString("source_algebra");
+      if (!salg.empty()) std::printf("    source algebra: %s\n", salg.c_str());
+      std::string talg = d.GetString("target_algebra");
+      if (!talg.empty()) std::printf("    target algebra: %s\n", talg.c_str());
+    }
+  }
+  return 0;
+}
+
+/// --why-not=T: rejected candidates closest-first. "Closest" = covers
+/// the most correspondences, ties broken by lower penalty, then by
+/// recording order (stable sort keeps it deterministic).
+int ExplainWhyNot(const json::Value& report, const std::string& name) {
+  const json::Value* table = FindTable(report, name);
+  if (table == nullptr) {
+    std::fprintf(stderr, "error: no provenance for table %s\n", name.c_str());
+    PrintKnownTables(report);
+    return 1;
+  }
+  const json::Value* rejections = table->Find("rejections");
+  std::vector<const json::Value*> sorted;
+  if (rejections != nullptr) {
+    for (const json::Value& r : rejections->AsArray()) sorted.push_back(&r);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const json::Value* a, const json::Value* b) {
+                     if (a->GetInt("covered") != b->GetInt("covered")) {
+                       return a->GetInt("covered") > b->GetInt("covered");
+                     }
+                     return a->GetInt("penalty") < b->GetInt("penalty");
+                   });
+  std::printf("table %s  tier=%s  rejections=%zu", name.c_str(),
+              table->GetString("tier", "?").c_str(), sorted.size());
+  int64_t dropped = table->GetInt("rejections_dropped");
+  if (dropped > 0) std::printf(" (+%lld dropped)", (long long)dropped);
+  std::printf("\n");
+  if (sorted.empty()) {
+    std::printf("  no rejected candidates recorded — every candidate that "
+                "reached a filter was emitted, or discovery found none\n");
+    return 0;
+  }
+  size_t idx = 0;
+  for (const json::Value* r : sorted) {
+    ++idx;
+    std::printf("  [%zu] killed by %s", idx,
+                r->GetString("filter", "?").c_str());
+    std::string tier = r->GetString("tier");
+    if (!tier.empty()) {
+      std::printf(" (tier %s, attempt %lld)", tier.c_str(),
+                  static_cast<long long>(r->GetInt("attempt")));
+    }
+    std::printf("\n    candidate: %s\n", r->GetString("candidate").c_str());
+    if (r->GetInt("covered") > 0 || r->GetInt("penalty") > 0) {
+      std::printf("    covered=%lld penalty=%lld\n",
+                  static_cast<long long>(r->GetInt("covered")),
+                  static_cast<long long>(r->GetInt("penalty")));
+    }
+    std::string detail = r->GetString("detail");
+    if (!detail.empty()) std::printf("    why: %s\n", detail.c_str());
+  }
+  return 0;
+}
+
+/// --summary: per-tier table counts, per-filter rejection counts, and
+/// emitted/dropped derivation totals.
+int Summarize(const json::Value& report) {
+  const json::Value* tables = report.Find("tables");
+  std::map<std::string, int> by_tier;
+  std::map<std::string, int> by_filter;
+  int64_t derivations = 0, emitted = 0, dropped_derivations = 0;
+  int64_t rejections = 0, rejections_dropped = 0;
+  size_t table_count = 0;
+  if (tables != nullptr) {
+    for (const json::Value& t : tables->AsArray()) {
+      ++table_count;
+      ++by_tier[t.GetString("tier", "?")];
+      const json::Value* ds = t.Find("derivations");
+      if (ds != nullptr) {
+        for (const json::Value& d : ds->AsArray()) {
+          ++derivations;
+          const json::Value* e = d.Find("emitted");
+          if (e != nullptr && e->is_bool() && e->AsBool()) ++emitted;
+          if (!d.GetString("drop_reason").empty()) ++dropped_derivations;
+        }
+      }
+      const json::Value* rs = t.Find("rejections");
+      if (rs != nullptr) {
+        for (const json::Value& r : rs->AsArray()) {
+          ++rejections;
+          ++by_filter[r.GetString("filter", "?")];
+        }
+      }
+      rejections_dropped += t.GetInt("rejections_dropped");
+    }
+  }
+  std::printf("tables: %zu\n", table_count);
+  for (const auto& [tier, count] : by_tier) {
+    std::printf("  %-20s %d\n", tier.c_str(), count);
+  }
+  std::printf("derivations: %lld (%lld emitted, %lld dropped)\n",
+              static_cast<long long>(derivations),
+              static_cast<long long>(emitted),
+              static_cast<long long>(dropped_derivations));
+  std::printf("rejections: %lld", static_cast<long long>(rejections));
+  if (rejections_dropped > 0) {
+    std::printf(" (+%lld beyond the per-table bound)",
+                static_cast<long long>(rejections_dropped));
+  }
+  std::printf("\n");
+  for (const auto& [filter, count] : by_filter) {
+    std::printf("  %-20s %d\n", filter.c_str(), count);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string table_mode;
+  std::string why_not_mode;
+  bool summary_mode = false;
+  const char* input = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("semap_explain %s\n", kSemapVersion);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage(stdout, argv[0]);
+      return 0;
+    }
+    if (std::strncmp(argv[i], "--table=", 8) == 0) {
+      table_mode = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--why-not=", 10) == 0) {
+      why_not_mode = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--summary") == 0) {
+      summary_mode = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
+                   kOptionTable);
+      return 2;
+    } else if (input == nullptr) {
+      input = argv[i];
+    } else {
+      std::fprintf(stderr, "error: more than one input file\n");
+      PrintUsage(stderr, argv[0]);
+      return 2;
+    }
+  }
+  if (input == nullptr) {
+    PrintUsage(stderr, argv[0]);
+    return 2;
+  }
+  int modes = (table_mode.empty() ? 0 : 1) + (why_not_mode.empty() ? 0 : 1) +
+              (summary_mode ? 1 : 0);
+  if (modes > 1) {
+    std::fprintf(stderr,
+                 "error: --table, --why-not and --summary are exclusive\n");
+    return 2;
+  }
+
+  std::string text;
+  if (!ReadFile(input, &text)) {
+    std::fprintf(stderr, "error: cannot open %s\n", input);
+    return 1;
+  }
+  auto parsed = json::Parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s is not valid JSON: %s\n", input,
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const json::Value& report = *parsed;
+  std::string schema = report.GetString("schema");
+  if (schema != "semap.explain.v1") {
+    std::fprintf(stderr,
+                 "error: %s has schema \"%s\", expected semap.explain.v1\n",
+                 input, schema.c_str());
+    return 1;
+  }
+
+  if (!table_mode.empty()) return ExplainTable(report, table_mode);
+  if (!why_not_mode.empty()) return ExplainWhyNot(report, why_not_mode);
+  return Summarize(report);
+}

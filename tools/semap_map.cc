@@ -7,7 +7,8 @@
 //             [--resilient] [--deadline-ms=N] [--max-steps=N]
 //             [--jobs=N] [--unit-deadline-ms=N] [--retry-seed=N]
 //             [--checkpoint=FILE] [--resume=FILE]
-//             [--trace=FILE] [--metrics=FILE] [--profile] [--version]
+//             [--trace=FILE] [--metrics=FILE] [--explain=FILE]
+//             [--events=FILE] [--profile] [--version]
 //
 // --deadline-ms / --max-steps (or --resilient alone, ungoverned) switch
 // to the resource-governed degradation cascade: full semantic discovery,
@@ -30,8 +31,11 @@
 // --trace / --metrics / --profile turn on the observability layer (see
 // docs/OBSERVABILITY.md): one JSON span tree per run, a flat
 // counter/histogram table, and a human-readable phase profile on stdout.
-// Without these flags no tracer or metrics object exists and the output
-// is byte-identical to an uninstrumented run.
+// --explain writes per-table mapping provenance (semap.explain.v1, read
+// by tools/semap_explain; implies --resilient) and --events appends a
+// wide-event NDJSON stream (semap.events.v1) as the run progresses.
+// Without these flags no tracer, metrics, provenance or event object
+// exists and the output is byte-identical to an uninstrumented run.
 //
 // Exit codes: 0 success, 1 input/pipeline error (with --lint: at least
 // one error diagnostic), 2 usage,
@@ -48,6 +52,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -55,8 +60,10 @@
 #include "datasets/builder_util.h"
 #include "exec/resilient_pipeline.h"
 #include "exec/supervisor.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "rewriting/semantic_mapper.h"
 #include "rewriting/sql.h"
@@ -88,6 +95,10 @@ constexpr const char kOptionTable[] =
     "  --trace=FILE      write the span tree as JSON (semap.trace.v1)\n"
     "  --metrics=FILE    write counters/histograms as JSON "
     "(semap.metrics.v1)\n"
+    "  --explain=FILE    write mapping provenance as JSON "
+    "(semap.explain.v1;\n"
+    "                    implies --resilient; read it with semap_explain)\n"
+    "  --events=FILE     append wide events as NDJSON (semap.events.v1)\n"
     "  --profile         print a phase profile + top counters to stdout\n"
     "  --version         print the version and exit\n"
     "  --help            print this table and exit\n"
@@ -130,6 +141,8 @@ struct Options {
   long long max_steps = -1;
   std::string trace_path;
   std::string metrics_path;
+  std::string explain_path;
+  std::string events_path;
   // Supervised execution (any of these implies supervised + resilient).
   bool supervised = false;
   bool resume = false;
@@ -384,6 +397,13 @@ int main(int argc, char** argv) {
       opts.trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       opts.metrics_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--explain=", 10) == 0) {
+      opts.explain_path = argv[i] + 10;
+      // Provenance is recorded by the degradation cascade, so --explain
+      // selects the resilient path the same way --deadline-ms does.
+      opts.resilient = true;
+    } else if (std::strncmp(argv[i], "--events=", 9) == 0) {
+      opts.events_path = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       char* end = nullptr;
       opts.deadline_ms = std::strtoll(argv[i] + 14, &end, 10);
@@ -445,21 +465,46 @@ int main(int argc, char** argv) {
   }
   if (opts.supervised) opts.resilient = true;
 
-  // Observability is strictly opt-in: without these flags no tracer or
-  // metrics object exists at all and the context carries null services.
+  // Observability is strictly opt-in: without these flags no tracer,
+  // metrics, provenance or event object exists at all and the context
+  // carries null services.
   const bool observe = opts.profile || !opts.trace_path.empty() ||
                        !opts.metrics_path.empty();
   obs::Tracer tracer;
   obs::Metrics metrics;
+  obs::ProvenanceRecorder provenance;
+  std::unique_ptr<obs::EventEmitter> events;
   exec::RunContext ctx;
   if (observe) {
     ctx.tracer = &tracer;
     ctx.metrics = &metrics;
   }
+  if (!opts.explain_path.empty()) ctx.provenance = &provenance;
+  if (!opts.events_path.empty()) {
+    events = std::make_unique<obs::EventEmitter>(opts.events_path);
+    if (!events->ok()) {
+      std::fprintf(stderr, "error: cannot open event stream %s\n",
+                   opts.events_path.c_str());
+      return 1;
+    }
+    ctx.events = events.get();
+  }
   int code;
   {
     obs::Span pipeline_span = ctx.Span("pipeline");
+    if (ctx.events != nullptr) {
+      ctx.events->Emit("run_start",
+                       obs::WideEvent()
+                           .Str("version", kSemapVersion)
+                           .Int("jobs", static_cast<int64_t>(opts.jobs)));
+    }
     code = RunPipeline(argv, opts, ctx);
+    if (ctx.events != nullptr) {
+      ctx.events->Emit("run_end",
+                       obs::WideEvent()
+                           .Int("exit_code", static_cast<int64_t>(code))
+                           .Int("duration_ns", ctx.events->NowNs()));
+    }
     pipeline_span.AddAttr("exit_code", static_cast<int64_t>(code));
   }
   if (!opts.trace_path.empty() &&
@@ -472,6 +517,17 @@ int main(int argc, char** argv) {
       !WriteFile(opts.metrics_path, metrics.ToJson())) {
     std::fprintf(stderr, "error: cannot write metrics to %s\n",
                  opts.metrics_path.c_str());
+    if (code == 0) code = 1;
+  }
+  if (!opts.explain_path.empty() &&
+      !WriteFile(opts.explain_path, provenance.ToJson())) {
+    std::fprintf(stderr, "error: cannot write explain report to %s\n",
+                 opts.explain_path.c_str());
+    if (code == 0) code = 1;
+  }
+  if (events != nullptr && !events->ok()) {
+    std::fprintf(stderr, "error: event stream write to %s failed\n",
+                 opts.events_path.c_str());
     if (code == 0) code = 1;
   }
   if (opts.profile) {
