@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Compare two sets of semap.bench.v1 reports and flag regressions.
 
-Usage: bench_compare.py [--threshold=PCT] BASELINE_DIR CANDIDATE_DIR
+Usage: bench_compare.py [--threshold=PCT] [--missing-current-ok] \\
+                        BASELINE_DIR CANDIDATE_DIR
 
 Both directories hold BENCH_*.json reports (the shape check_bench_json.py
 validates). For every bench present in both, the candidate's
@@ -15,6 +16,11 @@ the whole instrumented pass, so the comparison tracks end-to-end
 pipeline cost rather than any single stage. CI runs this job
 non-blocking: shared runners are noisy, so a failure here is a prompt to
 re-run and look, not an automatic veto.
+
+A missing or schema-invalid baseline is reported in one clear line (how
+to regenerate it included), never as a traceback. --missing-current-ok
+downgrades an absent candidate run to a warning with exit 0, for CI
+wiring where the bench step is optional and may have been skipped.
 """
 import glob
 import json
@@ -30,6 +36,10 @@ def pipeline_ns(path):
     except (OSError, json.JSONDecodeError) as error:
         print(f"{path}: unreadable or invalid JSON: {error}",
               file=sys.stderr)
+        return None
+    if not isinstance(doc, dict):
+        print(f"{path}: not a semap.bench.v1 object (top level is "
+              f"{type(doc).__name__}, expected an object)", file=sys.stderr)
         return None
     for phase in doc.get("phases", []):
         if isinstance(phase, dict) and phase.get("name") == "pipeline":
@@ -57,6 +67,7 @@ def load_dir(directory):
 
 def main(argv):
     threshold = 20.0
+    missing_current_ok = False
     dirs = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
@@ -65,6 +76,8 @@ def main(argv):
             except ValueError:
                 print(f"bad threshold: {arg}", file=sys.stderr)
                 return 2
+        elif arg == "--missing-current-ok":
+            missing_current_ok = True
         elif arg.startswith("--"):
             print(f"unknown option: {arg}", file=sys.stderr)
             print(__doc__.strip(), file=sys.stderr)
@@ -75,15 +88,29 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
-    baseline = load_dir(dirs[0])
-    candidate = load_dir(dirs[1])
-    if not baseline:
-        print(f"{dirs[0]}: no usable BENCH_*.json baselines",
+    if not os.path.isdir(dirs[0]):
+        print(f"bench_compare: baseline directory '{dirs[0]}' does not "
+              f"exist; record one by running the bench suite with "
+              f"--report=BENCH_<name>.json into that directory",
               file=sys.stderr)
         return 1
-    if not candidate:
-        print(f"{dirs[1]}: no usable BENCH_*.json candidates",
+    baseline = load_dir(dirs[0])
+    if not baseline:
+        print(f"bench_compare: '{dirs[0]}' holds no usable BENCH_*.json "
+              f"baselines (empty or schema-invalid reports — see messages "
+              f"above); regenerate the baseline before comparing",
               file=sys.stderr)
+        return 1
+    candidate = load_dir(dirs[1]) if os.path.isdir(dirs[1]) else {}
+    if not candidate:
+        if missing_current_ok:
+            print(f"bench_compare: warning: no usable BENCH_*.json reports "
+                  f"in '{dirs[1]}' (bench step skipped?); nothing to "
+                  f"compare, exiting 0 (--missing-current-ok)")
+            return 0
+        print(f"bench_compare: '{dirs[1]}' holds no usable BENCH_*.json "
+              f"candidates; run the bench suite first (or pass "
+              f"--missing-current-ok in optional CI jobs)", file=sys.stderr)
         return 1
 
     regressions = 0

@@ -15,12 +15,22 @@ check, so callers don't have to say which format a file is:
   semap.events.v1   NDJSON, one event object per line with a
                     strictly increasing seq; a torn final line (crash
                     mid-write) is tolerated and reported, not fatal
+  semap.journal.v1  the crash-safe mapping-store journal
+                    (docs/FORMATS.md): a CRC32-stamped header line, then
+                    length-prefixed `R <lsn> <type> <length> <crc32>`
+                    frames with strictly increasing lsns and
+                    CRC32-verified payloads; a torn tail (crash
+                    mid-append) is tolerated and reported, not fatal
+
+The journal check recomputes every CRC32 with zlib.crc32 — the store
+uses the same reflected polynomial precisely so external validators can.
 
 Stdlib only (no jsonschema dependency), sibling of check_bench_json.py.
 Exits non-zero on the first invalid file.
 """
 import json
 import sys
+import zlib
 
 
 def fail(path, message):
@@ -172,11 +182,99 @@ def check_events(path, text):
     return 0
 
 
+def crc_hex(data):
+    return f"{zlib.crc32(data) & 0xffffffff:08x}"
+
+
+def check_journal(path):
+    """semap.journal.v1 store check: header CRC, frame CRCs, monotone
+    lsns. Frames are parsed byte-exactly (payload lengths are byte
+    counts), so the file is re-read in binary mode. Everything after the
+    first bad frame is the torn tail a crash left: tolerated, reported,
+    and counted — replay drops exactly those bytes."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        return fail(path, f"unreadable: {error}")
+
+    header_end = data.find(b"\n")
+    if header_end < 0:
+        return fail(path, "journal header line is not newline-terminated")
+    parts = data[:header_end].split(b" ", 2)
+    if len(parts) != 3 or parts[0] != b"semap.journal.v1":
+        return fail(path, "malformed journal header line")
+    if parts[1].decode("ascii", "replace") != crc_hex(parts[2]):
+        return fail(path, "journal header fails its crc32 check")
+    try:
+        header = json.loads(parts[2])
+    except json.JSONDecodeError as error:
+        return fail(path, f"journal header JSON invalid: {error}")
+    fingerprint = header.get("fingerprint")
+    if not isinstance(fingerprint, str) or len(fingerprint) != 16 or \
+            any(c not in "0123456789abcdef" for c in fingerprint):
+        return fail(path, f"journal fingerprint is not 16 hex digits: "
+                          f"{fingerprint!r}")
+    if not is_count(header.get("segment")) or header["segment"] < 1:
+        return fail(path, f"journal segment is not a positive integer: "
+                          f"{header.get('segment')!r}")
+
+    records = 0
+    last_lsn = 0
+    pos = header_end + 1
+    torn = None
+    while pos < len(data):
+        line_end = data.find(b"\n", pos)
+        if line_end < 0:
+            torn = "frame header cut mid-line"
+            break
+        tokens = data[pos:line_end].split(b" ")
+        if len(tokens) != 5 or tokens[0] != b"R" or \
+                not tokens[1].isdigit() or not tokens[2] or \
+                not tokens[3].isdigit() or len(tokens[4]) != 8:
+            torn = "malformed frame header"
+            break
+        lsn = int(tokens[1])
+        length = int(tokens[3])
+        if lsn <= last_lsn:
+            torn = f"lsn {lsn} not above {last_lsn}"
+            break
+        payload_end = line_end + 1 + length
+        if payload_end >= len(data) or data[payload_end:payload_end + 1] \
+                != b"\n":
+            torn = "payload shorter than its declared length"
+            break
+        payload = data[line_end + 1:payload_end]
+        if tokens[4].decode("ascii", "replace") != crc_hex(payload):
+            torn = f"payload of lsn {lsn} fails its crc32 check"
+            break
+        last_lsn = lsn
+        records += 1
+        pos = payload_end + 1
+    suffix = ""
+    if torn is not None:
+        suffix = (f", torn tail tolerated ({len(data) - pos} byte(s): "
+                  f"{torn})")
+    print(f"{path}: ok (journal, segment {header['segment']}, "
+          f"{records} record(s){suffix})")
+    return 0
+
+
 def check(path):
+    # The journal is a framed byte format whose payloads need not be
+    # UTF-8 — sniff and dispatch it before any text decode.
+    try:
+        with open(path, "rb") as handle:
+            prefix = handle.read(17)
+    except OSError as error:
+        return fail(path, f"unreadable: {error}")
+    if prefix == b"semap.journal.v1 ":
+        return check_journal(path)
+
     try:
         with open(path, encoding="utf-8") as handle:
             text = handle.read()
-    except OSError as error:
+    except (OSError, UnicodeDecodeError) as error:
         return fail(path, f"unreadable: {error}")
 
     # The event stream is NDJSON — sniff its schema tag from the first

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Tier-1 verification: the standard build + full test suite, a bench
 # smoke run that emits and schema-checks the machine-readable
-# BENCH_*.json observability report, then the robustness/governance/
-# validation tests again under ASan+UBSan (-DSEMAP_SANITIZE=ON), and the
-# supervised-execution tests under TSan (-DSEMAP_SANITIZE=THREAD).
+# BENCH_*.json observability report, a crash-safety smoke over the
+# checkpoint store (SEMAP_IO_FAULT kill + validated replay + resumed
+# --explain byte-identity), then the robustness/governance/validation
+# and crash-injection tests again under ASan+UBSan (-DSEMAP_SANITIZE=ON),
+# and the supervised-execution tests under TSan (-DSEMAP_SANITIZE=THREAD).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -50,6 +52,39 @@ cmp build/obs-json/explain.json build/obs-json/explain-jobs4.json
 ./build/tools/semap_explain --table=hasBookSoldAt \
   build/obs-json/explain.json > /dev/null
 
+# Crash-safety smoke: checkpoint a run (the journal must validate as
+# semap.journal.v1 and must not perturb the explain output), then kill
+# the store's I/O at a live syscall with SEMAP_IO_FAULT, check the torn
+# journal still validates, resume, and demand byte-identical explain
+# output — the end-to-end recovery contract of docs/ROBUSTNESS.md.
+rm -f build/obs-json/cp.journal
+./build/tools/semap_map \
+  "$bookstore/source.schema" "$bookstore/source.cm" "$bookstore/source.sem" \
+  "$bookstore/target.schema" "$bookstore/target.cm" "$bookstore/target.sem" \
+  "$bookstore/correspondences.txt" --checkpoint=build/obs-json/cp.journal \
+  --explain=build/obs-json/explain-checkpointed.json > /dev/null
+python3 scripts/check_obs_json.py build/obs-json/cp.journal
+cmp build/obs-json/explain.json build/obs-json/explain-checkpointed.json
+rm -f build/obs-json/cp.journal
+# fsync #3 is the first unit's append: its frame is on disk, its fsync
+# "never happened", and every later store write fails — the worst
+# mid-run kill shape. The run may exit 0 (appends degrade to warnings)
+# or nonzero; either is a legitimate crash.
+SEMAP_IO_FAULT=fsync:3:crash ./build/tools/semap_map \
+  "$bookstore/source.schema" "$bookstore/source.cm" "$bookstore/source.sem" \
+  "$bookstore/target.schema" "$bookstore/target.cm" "$bookstore/target.sem" \
+  "$bookstore/correspondences.txt" --checkpoint=build/obs-json/cp.journal \
+  --explain=build/obs-json/explain-crashed.json > /dev/null || true
+python3 scripts/check_obs_json.py build/obs-json/cp.journal
+./build/tools/semap_map \
+  "$bookstore/source.schema" "$bookstore/source.cm" "$bookstore/source.sem" \
+  "$bookstore/target.schema" "$bookstore/target.cm" "$bookstore/target.sem" \
+  "$bookstore/correspondences.txt" --resume=build/obs-json/cp.journal \
+  --explain=build/obs-json/explain-resumed.json > /dev/null
+python3 scripts/check_obs_json.py build/obs-json/cp.journal \
+  build/obs-json/explain-resumed.json
+cmp build/obs-json/explain.json build/obs-json/explain-resumed.json
+
 # Why-not smoke on the teams scenario, which degrades to the RIC
 # baseline by design (exit 3): the explain report must name the
 # semantic-type rejection that caused the degradation.
@@ -66,11 +101,14 @@ python3 scripts/check_obs_json.py build/obs-json/teams-explain.json
 cmake -B build-asan -S . -DSEMAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$jobs" --target robustness_test \
   resilient_pipeline_test supervisor_test util_test validate_test \
-  provenance_test
+  provenance_test store_test crash_matrix_test
 # Note: ctest's -j needs an explicit value here — a bare -j would swallow
 # the -R flag and run the NOT_BUILT placeholders of the unbuilt targets.
+# The crash-injection suites (store, journal, syscall-sweep crash matrix)
+# run under ASan on purpose: a recovery path that touches freed or
+# uninitialized state must fail here, not in production.
 (cd build-asan && ctest --output-on-failure -j "$jobs" \
-  -R 'RobustnessTest|CorpusSweepTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|StatusTest|DiagTest|GoldenDiagnosticsTest|CrossCheckTest|TgdCheckTest|QuarantineScenarioTest|SupervisorTest|CheckpointTest|ProvenanceRecorderTest|EventEmitterTest|ProvenancePipelineTest|ProvenanceDeterminismTest|ProvenanceWhyNotTest')
+  -R 'RobustnessTest|CorpusSweepTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|StatusTest|DiagTest|GoldenDiagnosticsTest|CrossCheckTest|TgdCheckTest|QuarantineScenarioTest|SupervisorTest|CheckpointTest|ProvenanceRecorderTest|EventEmitterTest|ProvenancePipelineTest|ProvenanceDeterminismTest|ProvenanceWhyNotTest|Crc32Test|FaultEnvTest|JournalTest|MappingStoreTest|CrashMatrixTest')
 
 # TSan pass over the concurrent paths: the supervised worker pool
 # (--jobs=4 equality tests included), the shared governor, and the

@@ -1,15 +1,10 @@
 #include "exec/checkpoint.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <sstream>
+#include <utility>
 
 #include "obs/trace.h"  // obs::JsonEscape
+#include "util/crc32.h"
 #include "util/json.h"
 
 namespace semap::exec {
@@ -220,12 +215,50 @@ std::string SerializeCheckpointUnit(const CheckpointedUnit& unit) {
     EmitCq(m.tgd.target, &out);
     out += "}}";
   }
-  out += "]}";
+  out += "]";
+  if (unit.has_provenance) {
+    out += ",\"prov\":" + obs::TableProvenanceToJson(unit.provenance);
+  }
+  out += "}";
+  // Trailing integrity member: CRC32 of the line as it stands (i.e. of
+  // the line with the crc member removed). Catches the
+  // truncated-but-still-valid-JSON tails a plain parse cannot.
+  const std::string crc = Crc32Hex(Crc32(out));
+  out.back() = ',';
+  out += "\"crc\":\"" + crc + "\"}";
   return out;
 }
 
+namespace {
+
+// `,"crc":"xxxxxxxx"}` — the exact tail SerializeCheckpointUnit appends.
+constexpr size_t kCrcSuffixLen = 18;
+
+/// Validate and strip a trailing crc member, if one is present. Returns
+/// the line to parse, or an error when the checksum does not match.
+Result<std::string> CheckUnitLineCrc(const std::string& line) {
+  if (line.size() < kCrcSuffixLen ||
+      line.compare(line.size() - kCrcSuffixLen, 8, ",\"crc\":\"") != 0 ||
+      line.compare(line.size() - 2, 2, "\"}") != 0) {
+    return line;  // legacy line without a crc member: accepted as-is
+  }
+  const std::string stated = line.substr(line.size() - 10, 8);
+  std::string body = line.substr(0, line.size() - kCrcSuffixLen);
+  body += "}";
+  if (Crc32Hex(Crc32(body)) != stated) {
+    return Status::ParseError(
+        "checkpoint: unit record fails its crc32 check (torn or corrupt "
+        "line)");
+  }
+  return body;
+}
+
+}  // namespace
+
 Result<CheckpointedUnit> ParseCheckpointUnit(const std::string& line) {
-  auto doc = json::Parse(line);
+  auto checked = CheckUnitLineCrc(line);
+  if (!checked.ok()) return checked.status();
+  auto doc = json::Parse(*checked);
   if (!doc.ok()) return doc.status();
   if (doc->GetString("record") != "unit") {
     return Status::ParseError("checkpoint: line is not a unit record");
@@ -283,77 +316,45 @@ Result<CheckpointedUnit> ParseCheckpointUnit(const std::string& line) {
     }
   }
   unit.outcome.mappings = unit.mappings.size();
+  if (const json::Value* prov = doc->Find("prov"); prov != nullptr) {
+    auto provenance = obs::TableProvenanceFromJson(*prov);
+    if (!provenance.ok()) return provenance.status();
+    unit.provenance = std::move(*provenance);
+    unit.has_provenance = true;
+  }
   return unit;
 }
 
-Status CheckpointJournal::Flush() const {
-  const std::string tmp = path_ + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::Internal("checkpoint: cannot open " + tmp + ": " +
-                            std::strerror(errno));
-  }
-  std::string content;
-  for (const std::string& line : lines_) {
-    content += line;
-    content += '\n';
-  }
-  size_t written = 0;
-  while (written < content.size()) {
-    ssize_t n = ::write(fd, content.data() + written,
-                        content.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Status status = Status::Internal("checkpoint: write to " + tmp +
-                                       " failed: " + std::strerror(errno));
-      ::close(fd);
-      return status;
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    Status status = Status::Internal("checkpoint: fsync of " + tmp +
-                                     " failed: " + std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-  ::close(fd);
-  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
-    return Status::Internal("checkpoint: rename to " + path_ + " failed: " +
-                            std::strerror(errno));
-  }
-  return Status::OK();
+namespace {
+
+void AddWarning(std::string* warning, const std::string& note) {
+  if (warning == nullptr) return;
+  if (!warning->empty()) *warning += "; ";
+  *warning += note;
 }
 
-Result<CheckpointJournal> CheckpointJournal::Create(std::string path,
-                                                    uint64_t fingerprint) {
-  std::vector<std::string> lines;
-  lines.push_back(std::string("{\"schema\":\"") + kCheckpointSchema +
-                  "\",\"fingerprint\":\"" + HexFingerprint(fingerprint) +
-                  "\"}");
-  CheckpointJournal journal(std::move(path), std::move(lines));
-  SEMAP_RETURN_NOT_OK(journal.Flush());
-  return journal;
-}
-
-Result<CheckpointJournal> CheckpointJournal::Resume(
-    std::string path, uint64_t fingerprint,
-    std::vector<CheckpointedUnit>* completed, std::string* warning) {
-  std::ifstream in(path);
-  if (!in) return Create(std::move(path), fingerprint);
-
+/// Read a legacy semap.checkpoint.v1 JSON-lines file (the pre-journal
+/// format: header line, then one unit per line, rewritten whole per
+/// append). Torn-tail semantics match the old reader: the first
+/// unreadable line invalidates itself and everything after it.
+Status ReadLegacyCheckpoint(const std::string& path,
+                            const std::string& content, uint64_t fingerprint,
+                            std::vector<CheckpointedUnit>* completed,
+                            std::string* warning) {
   std::vector<std::string> raw;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty()) raw.push_back(line);
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t end = content.find('\n', pos);
+    if (end == std::string::npos) end = content.size();
+    if (end > pos) raw.push_back(content.substr(pos, end - pos));
+    pos = end + 1;
   }
-  if (raw.empty()) return Create(std::move(path), fingerprint);
+  if (raw.empty()) return Status::OK();
 
   auto header = json::Parse(raw[0]);
   if (!header.ok() || header->GetString("schema") != kCheckpointSchema) {
-    return Status::InvalidArgument(
-        "checkpoint: " + path + " is not a " + kCheckpointSchema +
-        " journal");
+    return Status::InvalidArgument("checkpoint: " + path + " is not a " +
+                                   kCheckpointSchema + " journal");
   }
   if (header->GetString("fingerprint") != HexFingerprint(fingerprint)) {
     return Status::InvalidArgument(
@@ -361,30 +362,96 @@ Result<CheckpointJournal> CheckpointJournal::Resume(
         " was written for different inputs (fingerprint mismatch); delete "
         "it or rerun without --resume");
   }
-  std::vector<std::string> lines;
-  lines.push_back(raw[0]);
   for (size_t i = 1; i < raw.size(); ++i) {
     auto unit = ParseCheckpointUnit(raw[i]);
     if (!unit.ok()) {
-      // A torn or corrupt line invalidates itself and everything after it
-      // (the journal is strictly append-ordered); the units before it
-      // stay usable.
-      if (warning != nullptr) {
-        *warning = "checkpoint: dropped " + std::to_string(raw.size() - i) +
-                   " unreadable line(s) from " + path + " (" +
-                   unit.status().message() + ")";
-      }
+      AddWarning(warning, "checkpoint: dropped " +
+                              std::to_string(raw.size() - i) +
+                              " unreadable line(s) from " + path + " (" +
+                              unit.status().message() + ")");
       break;
     }
     completed->push_back(std::move(*unit));
-    lines.push_back(raw[i]);
   }
-  return CheckpointJournal(std::move(path), std::move(lines));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CheckpointJournal> CheckpointJournal::Create(std::string path,
+                                                    uint64_t fingerprint,
+                                                    store::Env* env) {
+  SEMAP_ASSIGN_OR_RETURN(
+      store::MappingStore store,
+      store::MappingStore::Create(std::move(path), fingerprint, env));
+  SEMAP_RETURN_NOT_OK(store.PutMeta("format", kCheckpointSchema));
+  return CheckpointJournal(std::move(store));
+}
+
+Result<CheckpointJournal> CheckpointJournal::Resume(
+    std::string path, uint64_t fingerprint,
+    std::vector<CheckpointedUnit>* completed, std::string* warning,
+    store::Env* env) {
+  store::Env* io = env != nullptr ? env : store::Env::Default();
+  if (io->Exists(path)) {
+    SEMAP_ASSIGN_OR_RETURN(const std::string content, io->ReadFile(path));
+    const bool journaled =
+        content.compare(0, sizeof(store::kJournalSchema) - 1,
+                        store::kJournalSchema) == 0;
+    if (!journaled) {
+      // Legacy JSON-lines checkpoint: read it the old way, then migrate
+      // to the journaled store in place (the store's first rotation
+      // atomically replaces the legacy file). A crash mid-migration
+      // loses at most cached work, never correctness: the new store is
+      // well-formed at every step and unsaved tables just recompute.
+      SEMAP_RETURN_NOT_OK(ReadLegacyCheckpoint(path, content, fingerprint,
+                                               completed, warning));
+      SEMAP_ASSIGN_OR_RETURN(
+          store::MappingStore store,
+          store::MappingStore::Create(path, fingerprint, env));
+      SEMAP_RETURN_NOT_OK(store.PutMeta("format", kCheckpointSchema));
+      for (const CheckpointedUnit& unit : *completed) {
+        SEMAP_RETURN_NOT_OK(store.PutUnit(unit.outcome.target_table,
+                                          SerializeCheckpointUnit(unit)));
+      }
+      AddWarning(warning, "checkpoint: migrated legacy " +
+                              std::string(kCheckpointSchema) +
+                              " journal at " + path + " to " +
+                              store::kJournalSchema);
+      return CheckpointJournal(std::move(store));
+    }
+  }
+  auto opened = store::MappingStore::Open(path, fingerprint, env);
+  if (!opened.ok()) {
+    if (opened.status().code() == StatusCode::kInvalidArgument) {
+      return Status::InvalidArgument(
+          "checkpoint: " + path +
+          " was written for different inputs (fingerprint mismatch); delete "
+          "it or rerun without --resume");
+    }
+    return opened.status();
+  }
+  store::MappingStore store = std::move(opened).ValueOrDie();
+  if (!store.warning().empty()) {
+    AddWarning(warning, "checkpoint: " + store.warning());
+  }
+  for (const auto& [table, line] : store.units()) {
+    auto unit = ParseCheckpointUnit(line);
+    if (!unit.ok()) {
+      // Frames are CRC-checked, so an unparsable unit is a writer bug,
+      // not crash damage; drop just that table and recompute it.
+      AddWarning(warning, "checkpoint: dropped unreadable unit for table '" +
+                              table + "' (" + unit.status().message() + ")");
+      continue;
+    }
+    completed->push_back(std::move(*unit));
+  }
+  return CheckpointJournal(std::move(store));
 }
 
 Status CheckpointJournal::Append(const CheckpointedUnit& unit) {
-  lines_.push_back(SerializeCheckpointUnit(unit));
-  return Flush();
+  return store_.PutUnit(unit.outcome.target_table,
+                        SerializeCheckpointUnit(unit));
 }
 
 }  // namespace semap::exec

@@ -1,23 +1,30 @@
-// Crash-safe checkpoint journal for supervised runs: semap.checkpoint.v1.
+// Crash-safe checkpoint journal for supervised runs.
 //
 // Discovery over many target tables is a batch job; a mid-run crash or
-// kill must not lose the tables already finished. The supervisor appends
-// one JSON line per completed work unit — the table's cascade outcome
-// plus its raw (pre-merge) mappings, fully serialized — behind a header
-// line that fingerprints the scenario. A run restarted with
-// --resume=<journal> loads the finished units, skips their tables, and
+// kill must not lose the tables already finished. The supervisor stores
+// one record per completed work unit — the table's cascade outcome, its
+// raw (pre-merge) mappings and its provenance, fully serialized as a
+// semap.checkpoint.v1 unit line — in a store::MappingStore, whose
+// semap.journal.v1 container makes every append an fsynced,
+// CRC32-framed record (store/journal.h). A run restarted with
+// --resume=<journal> replays the store, skips the finished tables, and
 // merges the cached mappings as if they had just been computed, so the
-// final mapping set is identical to an uninterrupted run.
+// final mapping set — and, with journaled provenance, the --explain
+// output — is identical to an uninterrupted run.
 //
-// Durability: every append rewrites the whole journal to `<path>.tmp`,
-// fsyncs, and renames over `<path>` — the journal on disk is always a
-// complete, well-formed prefix of the run (never a torn line). Journals
-// are small (one line per target table), so the rewrite is cheap.
+// The unit line itself also carries a trailing "crc" member (CRC32 of
+// the line with that member removed). Inside the journal this is
+// redundant with the frame checksum; it exists for the legacy
+// semap.checkpoint.v1 JSON-lines format, where a torn tail could
+// truncate a payload into different-but-still-valid JSON. Resume still
+// reads the legacy format (with or without "crc") and migrates it to
+// the journaled store in place.
 //
 // The fingerprint is a stable 64-bit hash over both schemas and the
 // correspondence set; resuming against different inputs is refused
-// rather than silently merging stale mappings. The line format is
-// documented in docs/FORMATS.md.
+// rather than silently merging stale mappings. Both formats are
+// documented in docs/FORMATS.md; the crash-safety contract is in
+// docs/ROBUSTNESS.md.
 #ifndef SEMAP_EXEC_CHECKPOINT_H_
 #define SEMAP_EXEC_CHECKPOINT_H_
 
@@ -26,19 +33,29 @@
 #include <vector>
 
 #include "exec/resilient_pipeline.h"
+#include "obs/provenance.h"
 #include "semantics/stree.h"
+#include "store/mapping_store.h"
 #include "util/result.h"
 
 namespace semap::exec {
 
 inline constexpr const char kCheckpointSchema[] = "semap.checkpoint.v1";
 
-/// \brief One journaled work unit: a finished table's outcome and raw
+/// \brief One journaled work unit: a finished table's outcome, raw
 /// mappings (pre-merge — dedup against other tables happens at
-/// assembly, so resume reproduces the exact serial merge).
+/// assembly, so resume reproduces the exact serial merge), and the
+/// unit's provenance so a resumed --explain matches an uninterrupted
+/// run's byte-for-byte.
 struct CheckpointedUnit {
   TableOutcome outcome;
   std::vector<ResilientMapping> mappings;
+  /// Pre-merge provenance captured at unit completion; absent on units
+  /// read from journals written before provenance was journaled (the
+  /// resume then falls back to reconstructed origin-"checkpoint"
+  /// derivations).
+  bool has_provenance = false;
+  obs::TableProvenance provenance;
 };
 
 /// \brief Stable scenario fingerprint: schemas (tables, columns, keys)
@@ -48,43 +65,44 @@ uint64_t ScenarioFingerprint(
     const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
     const std::vector<disc::Correspondence>& correspondences);
 
-/// Serialize / parse one journal line (also used by tests to pin the
-/// format).
+/// Serialize / parse one semap.checkpoint.v1 unit line (also used by
+/// tests to pin the format). Serialization always appends the "crc"
+/// member; parsing validates it when present and accepts legacy lines
+/// without it.
 std::string SerializeCheckpointUnit(const CheckpointedUnit& unit);
 Result<CheckpointedUnit> ParseCheckpointUnit(const std::string& line);
 
 class CheckpointJournal {
  public:
-  /// Start a fresh journal at `path` (truncating any previous file) with
-  /// the header line written and synced.
+  /// Start a fresh journal at `path`, atomically replacing any previous
+  /// file. All I/O goes through `env` (Env::Default() when null) — the
+  /// seam crash-matrix tests inject faults through.
   static Result<CheckpointJournal> Create(std::string path,
-                                          uint64_t fingerprint);
-
-  /// Open `path` for resumption: parse the header (its fingerprint must
-  /// match), fill `completed` with the finished units, and keep
-  /// appending to the same file. A missing file degrades to Create so
-  /// `--resume` also works on the first run. A trailing malformed line
-  /// (torn by a crash mid-rename on exotic filesystems) is dropped with
-  /// a note in `*warning`; a malformed header or fingerprint mismatch is
-  /// an error.
-  static Result<CheckpointJournal> Resume(std::string path,
                                           uint64_t fingerprint,
-                                          std::vector<CheckpointedUnit>* completed,
-                                          std::string* warning = nullptr);
+                                          store::Env* env = nullptr);
 
-  /// Append one finished unit: rewrite-to-temp, fsync, rename.
+  /// Open `path` for resumption: replay the store (its fingerprint must
+  /// match), fill `completed` with the finished units, and keep
+  /// appending. A missing file degrades to Create so `--resume` also
+  /// works on the first run. A torn tail (crash mid-append) is dropped
+  /// with a note in `*warning`; a fingerprint mismatch is an error. A
+  /// legacy JSON-lines checkpoint is read, migrated to the journaled
+  /// store in place, and noted in `*warning`.
+  static Result<CheckpointJournal> Resume(
+      std::string path, uint64_t fingerprint,
+      std::vector<CheckpointedUnit>* completed, std::string* warning = nullptr,
+      store::Env* env = nullptr);
+
+  /// Append one finished unit: one fsynced journal record, O(unit).
   Status Append(const CheckpointedUnit& unit);
 
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return store_.path(); }
 
  private:
-  CheckpointJournal(std::string path, std::vector<std::string> lines)
-      : path_(std::move(path)), lines_(std::move(lines)) {}
+  explicit CheckpointJournal(store::MappingStore store)
+      : store_(std::move(store)) {}
 
-  Status Flush() const;
-
-  std::string path_;
-  std::vector<std::string> lines_;  // header first, then one per unit
+  store::MappingStore store_;
 };
 
 }  // namespace semap::exec

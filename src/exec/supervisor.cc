@@ -135,13 +135,24 @@ struct Shared {
   std::mutex mu;
   size_t next = 0;
   bool halted = false;
+  bool interrupted = false;
   size_t fresh_completed = 0;
   size_t consecutive_semantic_losses = 0;
   std::atomic<bool> breaker_tripped{false};
   std::map<std::string, UnitDone> done;
   CheckpointJournal* journal = nullptr;
   std::string journal_warning;
+  /// Shutdown plumbing: the caller's cancel flag and the governor every
+  /// unit governor parents to, so one Cancel unwinds all running
+  /// cascades cooperatively.
+  const std::atomic<bool>* cancel = nullptr;
+  ResourceGovernor* interrupt_root = nullptr;
 };
+
+bool CancelRequested(const Shared* shared) {
+  return shared->cancel != nullptr &&
+         shared->cancel->load(std::memory_order_relaxed);
+}
 
 /// Run one unit to completion: up to unit_attempts attempts, each under
 /// a fresh governor slice (watchdog-leased when a unit deadline is
@@ -178,8 +189,13 @@ UnitDone RunUnit(const sem::AnnotatedSchema& source,
     }
 
     // The unit's own governor slice, parent of every tier governor the
-    // cascade creates below it: one Cancel here unwinds them all.
+    // cascade creates below it: one Cancel here unwinds them all. The
+    // slice itself parents to the run's interrupt root, so a shutdown
+    // request unwinds every unit with a single Cancel there.
     ResourceGovernor unit_governor;
+    if (shared->interrupt_root != nullptr) {
+      unit_governor.set_parent(shared->interrupt_root);
+    }
     std::optional<WatchLease> lease;
     if (options.unit_deadline_ms >= 0) {
       unit_governor.set_deadline_ms(options.unit_deadline_ms);
@@ -192,8 +208,11 @@ UnitDone RunUnit(const sem::AnnotatedSchema& source,
     // Like the sink, provenance is per-attempt: only the kept (final)
     // attempt's records survive, matching the TableWork the unit reports.
     // The events stream is shared and append-only — every attempt shows.
+    // A checkpointing run records provenance even when this run did not
+    // ask for --explain: the journaled unit must carry it so a LATER
+    // resume that does ask can still reproduce the full explain output.
     std::unique_ptr<obs::ProvenanceRecorder> attempt_provenance;
-    if (ctx.provenance != nullptr) {
+    if (ctx.provenance != nullptr || shared->journal != nullptr) {
       attempt_provenance = std::make_unique<obs::ProvenanceRecorder>();
     }
     RunContext unit_ctx;
@@ -209,7 +228,8 @@ UnitDone RunUnit(const sem::AnnotatedSchema& source,
     lease.reset();
 
     const bool retry = work.transient_failure && attempt + 1 < max_attempts &&
-                       !shared->breaker_tripped.load(std::memory_order_relaxed);
+                       !shared->breaker_tripped.load(std::memory_order_relaxed) &&
+                       !CancelRequested(shared);
     if (!retry) {
       done.work = std::move(work);
       done.provenance = std::move(attempt_provenance);
@@ -268,6 +288,12 @@ void WorkerLoop(const sem::AnnotatedSchema& source,
     Clock::time_point claimed_at;
     {
       std::lock_guard<std::mutex> lock(shared->mu);
+      if (CancelRequested(shared)) {
+        // Shutdown observed with work still queued: record the interrupt
+        // so the caller can distinguish "done" from "stopped".
+        if (shared->next < units.size()) shared->interrupted = true;
+        return;
+      }
       if (shared->halted || shared->next >= units.size()) return;
       index = shared->next++;
       claimed_at = Clock::now();
@@ -297,6 +323,19 @@ void WorkerLoop(const sem::AnnotatedSchema& source,
     }
 
     std::lock_guard<std::mutex> lock(shared->mu);
+    // A unit that lost its semantic tiers while a shutdown was pending
+    // was (very likely) unwound by the interrupt root, not by a real
+    // exhaustion: discard it — neither journaled, nor merged, nor
+    // counted against the breaker — so the resumed run recomputes the
+    // table instead of caching a cancellation artifact.
+    if (CancelRequested(shared) && done.work.transient_failure) {
+      shared->interrupted = true;
+      if (ctx.events != nullptr) {
+        ctx.events->Emit("unit_interrupted",
+                         obs::WideEvent().Str("table", unit.table));
+      }
+      return;
+    }
     // Circuit breaker: `transient_failure` marks a unit whose semantic
     // tiers were lost to exhaustion (it is never set once the breaker is
     // open, since those units run without semantic tiers). A semantic
@@ -327,6 +366,16 @@ void WorkerLoop(const sem::AnnotatedSchema& source,
       CheckpointedUnit checkpoint;
       checkpoint.outcome = done.work.outcome;
       checkpoint.mappings = done.work.mappings;
+      // Journal the unit's pre-merge provenance alongside its mappings:
+      // a resumed --explain then restores the search history instead of
+      // reconstructing origin-"checkpoint" stubs.
+      if (done.provenance != nullptr) {
+        const auto& tables = done.provenance->tables();
+        if (auto prov = tables.find(unit.table); prov != tables.end()) {
+          checkpoint.provenance = prov->second;
+          checkpoint.has_provenance = true;
+        }
+      }
       Status append = shared->journal->Append(checkpoint);
       if (!append.ok() && shared->journal_warning.empty()) {
         shared->journal_warning =
@@ -380,7 +429,7 @@ Result<SupervisorResult> RunSupervisedPipeline(
       std::string warning;
       auto resumed = CheckpointJournal::Resume(options.checkpoint_path,
                                                fingerprint, &completed,
-                                               &warning);
+                                               &warning, options.io_env);
       if (!resumed.ok()) return resumed.status();
       journal = std::make_unique<CheckpointJournal>(
           std::move(resumed).ValueOrDie());
@@ -394,8 +443,8 @@ Result<SupervisorResult> RunSupervisedPipeline(
         }
       }
     } else {
-      auto created =
-          CheckpointJournal::Create(options.checkpoint_path, fingerprint);
+      auto created = CheckpointJournal::Create(options.checkpoint_path,
+                                               fingerprint, options.io_env);
       if (!created.ok()) return created.status();
       journal = std::make_unique<CheckpointJournal>(
           std::move(created).ValueOrDie());
@@ -433,14 +482,37 @@ Result<SupervisorResult> RunSupervisedPipeline(
         Clock::now() + std::chrono::milliseconds(options.pipeline.deadline_ms);
   }
 
+  // Shutdown plumbing: every unit governor parents to this root, and a
+  // small monitor thread trips it as soon as the caller's cancel flag
+  // reads true, unwinding every running cascade at its next charge.
+  ResourceGovernor interrupt_root;
+
   Shared shared;
   shared.journal = journal.get();
+  shared.cancel = options.cancel;
+  shared.interrupt_root = options.cancel != nullptr ? &interrupt_root : nullptr;
 
   {
-    // Scoped so the watchdog (when present) is joined before assembly.
+    // Scoped so the watchdog and monitor (when present) are joined
+    // before assembly.
     std::unique_ptr<Watchdog> watchdog;
     if (options.unit_deadline_ms >= 0 && !units.empty()) {
       watchdog = std::make_unique<Watchdog>();
+    }
+    std::atomic<bool> monitor_stop{false};
+    std::thread monitor;
+    if (options.cancel != nullptr && !units.empty()) {
+      monitor = std::thread([&interrupt_root, &monitor_stop,
+                             cancel = options.cancel] {
+        while (!monitor_stop.load(std::memory_order_relaxed)) {
+          if (cancel->load(std::memory_order_relaxed)) {
+            interrupt_root.Cancel(Status::DeadlineExceeded(
+                "run interrupted (shutdown requested)"));
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      });
     }
     const size_t jobs = std::max<size_t>(1, options.jobs);
     const size_t pool = std::min(jobs, units.size());
@@ -457,6 +529,10 @@ Result<SupervisorResult> RunSupervisedPipeline(
         });
       }
       for (std::thread& worker : workers) worker.join();
+    }
+    if (monitor.joinable()) {
+      monitor_stop.store(true, std::memory_order_relaxed);
+      monitor.join();
     }
   }
 
@@ -495,12 +571,22 @@ Result<SupervisorResult> RunSupervisedPipeline(
       UnitReport report;
       report.table = table;
       report.from_checkpoint = true;
-      if (ctx.provenance != nullptr) {
-        // The journal keeps the unit's result, not its search history:
-        // reconstruct one derivation per cached mapping (origin
-        // "checkpoint") so the one-derivation-per-emitted-TGD invariant
-        // survives a resume; the rejection log of the original run is
-        // gone.
+      if (ctx.provenance != nullptr && cp->second.has_provenance) {
+        // The journal carries the unit's pre-merge provenance: adopt it
+        // exactly as MergeFrom would a live recorder's, then let the
+        // deterministic merge replay re-stamp emitted/tier below — the
+        // resumed --explain output is byte-identical to an
+        // uninterrupted run's.
+        ctx.provenance->AdoptTable(cp->second.provenance);
+        ctx.provenance->RecordOutcome(table,
+                                      TierName(cp->second.outcome.tier),
+                                      cp->second.outcome.notes);
+      } else if (ctx.provenance != nullptr) {
+        // Journals written before provenance was checkpointed keep the
+        // unit's result, not its search history: reconstruct one
+        // derivation per cached mapping (origin "checkpoint") so the
+        // one-derivation-per-emitted-TGD invariant survives a resume;
+        // the rejection log of the original run is gone.
         for (const ResilientMapping& mapping : cp->second.mappings) {
           obs::DerivationRecord derivation;
           derivation.tgd = mapping.tgd.ToString();
@@ -574,6 +660,8 @@ Result<SupervisorResult> RunSupervisedPipeline(
       shared.breaker_tripped.load(std::memory_order_relaxed);
   if (result.breaker_tripped) ctx.Count("supervisor.breaker_trips");
   result.halted = shared.halted;
+  result.interrupted = shared.interrupted;
+  if (result.interrupted) ctx.Count("supervisor.interrupted");
   if (result.journal_warning.empty()) {
     result.journal_warning = std::move(shared.journal_warning);
   }

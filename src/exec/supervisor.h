@@ -43,6 +43,7 @@
 #ifndef SEMAP_EXEC_SUPERVISOR_H_
 #define SEMAP_EXEC_SUPERVISOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -86,6 +87,16 @@ struct SupervisorOptions {
   /// once this many fresh units have completed (0 = never). The journal
   /// then holds exactly the completed prefix.
   size_t halt_after_units = 0;
+  /// Cooperative shutdown flag (not owned; e.g. set by a SIGINT/SIGTERM
+  /// handler). Once it reads true, no new unit is dispatched, running
+  /// units are cancelled through their governors, and the run returns
+  /// with `interrupted` set — the checkpoint journal and observability
+  /// streams flushed, interrupted units neither journaled nor merged.
+  const std::atomic<bool>* cancel = nullptr;
+  /// I/O seam for all checkpoint-store operations (store/env.h);
+  /// Env::Default() when null. Crash-matrix tests inject syscall-level
+  /// faults here; SEMAP_IO_FAULT arms it in semap_map.
+  store::Env* io_env = nullptr;
 };
 
 /// \brief Per-unit execution summary.
@@ -109,6 +120,10 @@ struct SupervisorResult {
   bool breaker_tripped = false;
   /// True when halt_after_units stopped the run early (test hook).
   bool halted = false;
+  /// True when the cancel flag interrupted the run: some tables were
+  /// never dispatched (or were unwound mid-cascade and discarded). The
+  /// tables that did finish are checkpointed and merged as usual.
+  bool interrupted = false;
   /// Non-fatal journal trouble (torn tail line dropped on resume,
   /// append failure); empty when clean.
   std::string journal_warning;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "util/json.h"
 
 namespace semap::obs {
 
@@ -91,25 +92,31 @@ void ProvenanceRecorder::MarkDropped(const std::string& table,
   DerivationFor(table, tgd).drop_reason = reason;
 }
 
-void ProvenanceRecorder::MergeFrom(const ProvenanceRecorder& other) {
-  for (const auto& [table, theirs] : other.tables_) {
-    TableProvenance& mine = For(table);
-    if (!theirs.tier.empty()) mine.tier = theirs.tier;
-    mine.notes.insert(mine.notes.end(), theirs.notes.begin(),
-                      theirs.notes.end());
-    mine.attempts.insert(mine.attempts.end(), theirs.attempts.begin(),
-                         theirs.attempts.end());
-    mine.derivations.insert(mine.derivations.end(), theirs.derivations.begin(),
-                            theirs.derivations.end());
-    for (const RejectionRecord& rejection : theirs.rejections) {
-      if (mine.rejections.size() >= max_rejections_) {
-        ++mine.rejections_dropped;
-        continue;
-      }
-      mine.rejections.push_back(rejection);
+void ProvenanceRecorder::MergeTable(const TableProvenance& theirs) {
+  TableProvenance& mine = For(theirs.table);
+  if (!theirs.tier.empty()) mine.tier = theirs.tier;
+  mine.notes.insert(mine.notes.end(), theirs.notes.begin(),
+                    theirs.notes.end());
+  mine.attempts.insert(mine.attempts.end(), theirs.attempts.begin(),
+                       theirs.attempts.end());
+  mine.derivations.insert(mine.derivations.end(), theirs.derivations.begin(),
+                          theirs.derivations.end());
+  for (const RejectionRecord& rejection : theirs.rejections) {
+    if (mine.rejections.size() >= max_rejections_) {
+      ++mine.rejections_dropped;
+      continue;
     }
-    mine.rejections_dropped += theirs.rejections_dropped;
+    mine.rejections.push_back(rejection);
   }
+  mine.rejections_dropped += theirs.rejections_dropped;
+}
+
+void ProvenanceRecorder::MergeFrom(const ProvenanceRecorder& other) {
+  for (const auto& [table, theirs] : other.tables_) MergeTable(theirs);
+}
+
+void ProvenanceRecorder::AdoptTable(const TableProvenance& table) {
+  MergeTable(table);
 }
 
 namespace {
@@ -155,12 +162,9 @@ void AppendStringArray(std::string* out, const char* key,
 
 }  // namespace
 
-std::string ProvenanceRecorder::ToJson() const {
-  std::string out = "{\"schema\":\"semap.explain.v1\",\"tables\":[";
-  bool first_table = true;
-  for (const auto& [name, table] : tables_) {
-    if (!first_table) out += ",";
-    first_table = false;
+std::string TableProvenanceToJson(const TableProvenance& table) {
+  std::string out;
+  {
     out += "{";
     bool f = true;
     AppendString(&out, "table", table.table, &f);
@@ -228,8 +232,98 @@ std::string ProvenanceRecorder::ToJson() const {
               static_cast<int64_t>(table.rejections_dropped), &f);
     out += "}";
   }
+  return out;
+}
+
+std::string ProvenanceRecorder::ToJson() const {
+  std::string out = "{\"schema\":\"semap.explain.v1\",\"tables\":[";
+  bool first_table = true;
+  for (const auto& [name, table] : tables_) {
+    if (!first_table) out += ",";
+    first_table = false;
+    out += TableProvenanceToJson(table);
+  }
   out += "]}";
   return out;
+}
+
+Result<TableProvenance> TableProvenanceFromJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::ParseError("provenance: table record is not an object");
+  }
+  TableProvenance table;
+  table.table = value.GetString("table");
+  table.tier = value.GetString("tier");
+  if (const json::Value* notes = value.Find("notes"); notes != nullptr) {
+    for (const json::Value& note : notes->AsArray()) {
+      if (note.is_string()) table.notes.push_back(note.AsString());
+    }
+  }
+  if (const json::Value* attempts = value.Find("attempts");
+      attempts != nullptr) {
+    for (const json::Value& entry : attempts->AsArray()) {
+      AttemptRecord attempt;
+      attempt.tier = entry.GetString("tier");
+      attempt.attempt = static_cast<size_t>(entry.GetInt("attempt"));
+      attempt.status = entry.GetString("status");
+      attempt.detail = entry.GetString("detail");
+      attempt.mappings = static_cast<size_t>(entry.GetInt("mappings"));
+      table.attempts.push_back(std::move(attempt));
+    }
+  }
+  if (const json::Value* derivations = value.Find("derivations");
+      derivations != nullptr) {
+    for (const json::Value& entry : derivations->AsArray()) {
+      DerivationRecord derivation;
+      derivation.tgd = entry.GetString("tgd");
+      derivation.origin = entry.GetString("origin", "semantic");
+      derivation.tier = entry.GetString("tier");
+      if (const json::Value* emitted = entry.Find("emitted");
+          emitted != nullptr && emitted->is_bool()) {
+        derivation.emitted = emitted->AsBool();
+      }
+      derivation.drop_reason = entry.GetString("drop_reason");
+      if (const json::Value* covered = entry.Find("covered");
+          covered != nullptr) {
+        for (const json::Value& c : covered->AsArray()) {
+          if (c.is_string()) derivation.covered.push_back(c.AsString());
+        }
+      }
+      derivation.source_csg = entry.GetString("source_csg");
+      derivation.target_csg = entry.GetString("target_csg");
+      derivation.penalty = static_cast<int>(entry.GetInt("penalty"));
+      derivation.variants = static_cast<size_t>(entry.GetInt("variants"));
+      if (const json::Value* skolems = entry.Find("skolems");
+          skolems != nullptr) {
+        for (const json::Value& s : skolems->AsArray()) {
+          SkolemDecision skolem;
+          skolem.function = s.GetString("function");
+          skolem.kind = s.GetString("kind");
+          derivation.skolems.push_back(std::move(skolem));
+        }
+      }
+      derivation.source_algebra = entry.GetString("source_algebra");
+      derivation.target_algebra = entry.GetString("target_algebra");
+      table.derivations.push_back(std::move(derivation));
+    }
+  }
+  if (const json::Value* rejections = value.Find("rejections");
+      rejections != nullptr) {
+    for (const json::Value& entry : rejections->AsArray()) {
+      RejectionRecord rejection;
+      rejection.candidate = entry.GetString("candidate");
+      rejection.filter = entry.GetString("filter");
+      rejection.detail = entry.GetString("detail");
+      rejection.tier = entry.GetString("tier");
+      rejection.attempt = static_cast<size_t>(entry.GetInt("attempt"));
+      rejection.covered = static_cast<size_t>(entry.GetInt("covered"));
+      rejection.penalty = static_cast<int>(entry.GetInt("penalty"));
+      table.rejections.push_back(std::move(rejection));
+    }
+  }
+  table.rejections_dropped =
+      static_cast<size_t>(value.GetInt("rejections_dropped"));
+  return table;
 }
 
 }  // namespace semap::obs

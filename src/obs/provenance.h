@@ -34,6 +34,12 @@
 #include <string>
 #include <vector>
 
+#include "util/result.h"
+
+namespace semap::json {
+class Value;
+}  // namespace semap::json
+
 namespace semap::obs {
 
 /// \brief One Skolem function the emitted TGD's target side applies, with
@@ -152,6 +158,12 @@ class ProvenanceRecorder {
   /// table order to reproduce the serial pipeline's export bytes.
   void MergeFrom(const ProvenanceRecorder& other);
 
+  /// Fold one externally reconstructed table record into this one —
+  /// MergeFrom for a single table, used when a resume restores a unit's
+  /// journaled provenance (exec/checkpoint.h) instead of a live
+  /// recorder. Same bounding and accumulation rules as MergeFrom.
+  void AdoptTable(const TableProvenance& table);
+
   const std::map<std::string, TableProvenance>& tables() const {
     return tables_;
   }
@@ -162,6 +174,7 @@ class ProvenanceRecorder {
 
  private:
   TableProvenance& Current();
+  void MergeTable(const TableProvenance& theirs);
   TableProvenance& For(const std::string& table);
   DerivationRecord& DerivationFor(const std::string& table,
                                   const std::string& tgd);
@@ -172,6 +185,16 @@ class ProvenanceRecorder {
   size_t current_attempt_ = 0;
   std::map<std::string, TableProvenance> tables_;
 };
+
+/// One table's provenance as the JSON object semap.explain.v1 embeds in
+/// its "tables" array — byte-identical to that export, so a unit record
+/// journaled at completion and restored on resume reproduces the explain
+/// output exactly.
+std::string TableProvenanceToJson(const TableProvenance& table);
+
+/// Inverse of TableProvenanceToJson on an already-parsed object
+/// (util/json.h). Unknown members are ignored; missing ones default.
+Result<TableProvenance> TableProvenanceFromJson(const json::Value& value);
 
 /// \brief RAII table scope on a nullable recorder: the canonical cascade
 /// call site. Null recorder = inert.

@@ -1,0 +1,291 @@
+#include "store/env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace semap::store {
+
+const char* IoOpName(IoOp op) {
+  switch (op) {
+    case IoOp::kOpen:
+      return "open";
+    case IoOp::kWrite:
+      return "write";
+    case IoOp::kFsync:
+      return "fsync";
+    case IoOp::kRename:
+      return "rename";
+  }
+  return "?";
+}
+
+namespace {
+
+// --- the real POSIX environment ------------------------------------------
+
+class PosixFile : public File {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Write(std::string_view data) override {
+    size_t written = 0;
+    while (written < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("write failed: ") +
+                                std::strerror(errno));
+      }
+      written += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::Internal(std::string("fsync failed: ") +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::Internal(std::string("close failed: ") +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<File>> OpenAppend(const std::string& path) override {
+    return Open(path, O_WRONLY | O_CREAT | O_APPEND);
+  }
+
+  Result<std::unique_ptr<File>> OpenTrunc(const std::string& path) override {
+    return Open(path, O_WRONLY | O_CREAT | O_TRUNC);
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::Internal("rename " + from + " -> " + to + " failed: " +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  bool Exists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::Internal("unlink " + path + " failed: " +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Result<std::unique_ptr<File>> Open(const std::string& path, int flags) {
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Status::Internal("cannot open " + path + ": " +
+                              std::strerror(errno));
+    }
+    return std::unique_ptr<File>(new PosixFile(fd));
+  }
+};
+
+// --- the fault-injecting environment -------------------------------------
+
+Status SimulatedCrash() {
+  return Status::Internal("simulated crash: environment is dead");
+}
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+std::optional<FaultPlan> FaultPlanFromEnv() {
+  const char* raw = std::getenv("SEMAP_IO_FAULT");
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  const std::string spec(raw);
+  const size_t first = spec.find(':');
+  if (first == std::string::npos) return std::nullopt;
+  const size_t second = spec.find(':', first + 1);
+  const std::string op = spec.substr(0, first);
+  const std::string count = second == std::string::npos
+                                ? spec.substr(first + 1)
+                                : spec.substr(first + 1, second - first - 1);
+  const std::string mode =
+      second == std::string::npos ? "crash" : spec.substr(second + 1);
+
+  FaultPlan plan;
+  if (op == "open") {
+    plan.op = IoOp::kOpen;
+  } else if (op == "write") {
+    plan.op = IoOp::kWrite;
+  } else if (op == "fsync") {
+    plan.op = IoOp::kFsync;
+  } else if (op == "rename") {
+    plan.op = IoOp::kRename;
+  } else {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  plan.after = std::strtoll(count.c_str(), &end, 10);
+  if (end == count.c_str() || *end != '\0' || plan.after <= 0) {
+    return std::nullopt;
+  }
+  if (mode == "fail") {
+    plan.mode = FaultMode::kFail;
+  } else if (mode == "short") {
+    plan.mode = FaultMode::kShortWrite;
+  } else if (mode == "crash") {
+    plan.mode = FaultMode::kCrash;
+  } else {
+    return std::nullopt;
+  }
+  return plan;
+}
+
+// Named (not anonymous) so FaultEnv's friend declaration reaches it.
+/// File handle routing Write/Sync through the owning FaultEnv's registry.
+class FaultFile : public File {
+ public:
+  FaultFile(FaultEnv* env, std::unique_ptr<File> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Write(std::string_view data) override {
+    Status verdict;
+    const size_t budget = env_->WriteBudget(data.size(), &verdict);
+    if (budget > 0) {
+      // Persist the surviving prefix even when the op then "kills" the
+      // process: that is exactly what a real crash mid-write leaves.
+      Status written = base_->Write(data.substr(0, budget));
+      if (!written.ok()) return written;
+    }
+    return verdict;
+  }
+
+  Status Sync() override {
+    SEMAP_RETURN_NOT_OK(env_->Hit(IoOp::kFsync));
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultEnv* env_;
+  std::unique_ptr<File> base_;
+};
+
+FaultEnv::FaultEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+int64_t FaultEnv::count(IoOp op) const {
+  auto it = counts_.find(op);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+Status FaultEnv::Hit(IoOp op) {
+  if (crashed_) return SimulatedCrash();
+  const int64_t seen = ++counts_[op];
+  if (!plan_.has_value() || plan_->op != op || seen != plan_->after) {
+    return Status::OK();
+  }
+  const std::string what = std::string("injected ") + IoOpName(op) +
+                           " fault at occurrence #" + std::to_string(seen);
+  if (plan_->mode == FaultMode::kFail) return Status::Internal(what);
+  crashed_ = true;
+  return Status::Internal(what + " (simulated kill)");
+}
+
+size_t FaultEnv::WriteBudget(size_t size, Status* status) {
+  if (crashed_) {
+    *status = SimulatedCrash();
+    return 0;
+  }
+  const int64_t seen = ++counts_[IoOp::kWrite];
+  if (!plan_.has_value() || plan_->op != IoOp::kWrite ||
+      seen != plan_->after) {
+    *status = Status::OK();
+    return size;
+  }
+  const std::string what =
+      "injected write fault at occurrence #" + std::to_string(seen);
+  if (plan_->mode == FaultMode::kFail) {
+    *status = Status::Internal(what);
+    return 0;
+  }
+  crashed_ = true;
+  *status = Status::Internal(what + " (simulated kill)");
+  return plan_->mode == FaultMode::kShortWrite ? size / 2 : 0;
+}
+
+Result<std::unique_ptr<File>> FaultEnv::OpenAppend(const std::string& path) {
+  SEMAP_RETURN_NOT_OK(Hit(IoOp::kOpen));
+  auto file = base_->OpenAppend(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<File>(
+      new FaultFile(this, std::move(*file)));
+}
+
+Result<std::unique_ptr<File>> FaultEnv::OpenTrunc(const std::string& path) {
+  SEMAP_RETURN_NOT_OK(Hit(IoOp::kOpen));
+  auto file = base_->OpenTrunc(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<File>(
+      new FaultFile(this, std::move(*file)));
+}
+
+Status FaultEnv::Rename(const std::string& from, const std::string& to) {
+  SEMAP_RETURN_NOT_OK(Hit(IoOp::kRename));
+  return base_->Rename(from, to);
+}
+
+Result<std::string> FaultEnv::ReadFile(const std::string& path) {
+  if (crashed_) return SimulatedCrash();
+  return base_->ReadFile(path);
+}
+
+bool FaultEnv::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+Status FaultEnv::Remove(const std::string& path) {
+  if (crashed_) return SimulatedCrash();
+  return base_->Remove(path);
+}
+
+}  // namespace semap::store

@@ -1,0 +1,146 @@
+// store::Env — the syscall seam under all mapping-store I/O.
+//
+// Crash safety cannot be tested by hoping: every claim the journal makes
+// ("a kill at any point leaves a recoverable prefix") has to be driven
+// through an actual fault at an actual syscall. So the store never calls
+// open/write/fsync/rename directly; it goes through an Env, and the test
+// Env can fail, short-write, or simulate a process kill at the k-th
+// occurrence of any operation.
+//
+// Three implementations matter:
+//   * the default Env (Env::Default()) does real POSIX I/O;
+//   * FaultEnv wraps another Env with a fault-point registry — per-op
+//     counters plus one armed FaultPlan. Mode kFail makes the k-th op
+//     return an error and then recovers (a transient fault: ENOSPC that
+//     clears, a blip); kShortWrite persists half of the k-th write and
+//     then behaves as killed; kCrash persists nothing of the k-th op and
+//     behaves as killed. "Killed" means every later operation through
+//     this Env fails — the on-disk state is frozen exactly as a SIGKILL
+//     at that syscall would leave it, while the hosting test process
+//     keeps running and can then "restart" by reopening the store with a
+//     clean Env.
+//   * counters alone (no plan) make FaultEnv a probe for sizing crash
+//     matrices: run once, read counts(), sweep k over them.
+//
+// SEMAP_IO_FAULT extends the SEMAP_FAULT_AFTER idiom to I/O: set it to
+// "<op>:<k>[:<mode>]" (e.g. "write:3:crash", "rename:1:fail",
+// "fsync:2:short") and semap_map arms a FaultEnv over the default Env,
+// so crash drills run against an unmodified binary.
+#ifndef SEMAP_STORE_ENV_H_
+#define SEMAP_STORE_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace semap::store {
+
+/// \brief The I/O operations the fault registry can count and fail.
+enum class IoOp { kOpen, kWrite, kFsync, kRename };
+
+const char* IoOpName(IoOp op);
+
+/// \brief An open file handle behind the seam. Write/Sync route through
+/// the owning Env's fault registry; Close is best-effort (destructor
+/// closes too).
+class File {
+ public:
+  virtual ~File() = default;
+  virtual Status Write(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Open `path` for appending (created if missing).
+  virtual Result<std::unique_ptr<File>> OpenAppend(const std::string& path) = 0;
+  /// Open `path` truncated (the tmp side of tmp+fsync+rename).
+  virtual Result<std::unique_ptr<File>> OpenTrunc(const std::string& path) = 0;
+  /// Atomically replace `to` with `from` (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  /// Whole-file read; NotFound when the file does not exist.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// The real-POSIX environment (process-wide singleton, never null).
+  static Env* Default();
+};
+
+enum class FaultMode {
+  /// The k-th op fails and the environment recovers: a transient error.
+  kFail,
+  /// The k-th op is a write that persists only its first half, then the
+  /// environment behaves as killed. For non-write ops, same as kCrash.
+  kShortWrite,
+  /// The k-th op persists nothing and the environment behaves as killed:
+  /// every later operation fails, freezing the on-disk state.
+  kCrash,
+};
+
+/// \brief One armed fault: fail the `after`-th (1-based) occurrence of
+/// `op` with `mode`.
+struct FaultPlan {
+  IoOp op = IoOp::kWrite;
+  int64_t after = 0;
+  FaultMode mode = FaultMode::kCrash;
+};
+
+/// Parsed SEMAP_IO_FAULT ("<op>:<k>[:<mode>]"); nullopt when unset or
+/// malformed (a malformed value is ignored, like SEMAP_FAULT_AFTER).
+std::optional<FaultPlan> FaultPlanFromEnv();
+
+/// \brief Fault-injecting Env: counts every operation and fires the
+/// armed plan at its k-th occurrence. Not thread-safe by design — store
+/// I/O is already serialized by its callers (the supervisor journals
+/// under its completion lock).
+class FaultEnv : public Env {
+ public:
+  /// Wrap `base` (not owned; Env::Default() if null).
+  explicit FaultEnv(Env* base = nullptr);
+
+  void set_plan(FaultPlan plan) { plan_ = plan; }
+  void clear_plan() { plan_.reset(); }
+
+  /// Ops observed so far, per kind (counted whether or not they failed).
+  int64_t count(IoOp op) const;
+  const std::map<IoOp, int64_t>& counts() const { return counts_; }
+
+  /// True once a kCrash/kShortWrite plan fired: the simulated process is
+  /// dead and all further I/O fails.
+  bool crashed() const { return crashed_; }
+
+  Result<std::unique_ptr<File>> OpenAppend(const std::string& path) override;
+  Result<std::unique_ptr<File>> OpenTrunc(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+
+ private:
+  friend class FaultFile;
+
+  /// Count one occurrence of `op` and decide its fate: OK to proceed,
+  /// or the injected failure. Sets crashed_ for kill modes.
+  Status Hit(IoOp op);
+  /// Like Hit for kWrite, but reports how many bytes of `size` to
+  /// persist before failing (size = all of them = no fault).
+  size_t WriteBudget(size_t size, Status* status);
+
+  Env* base_;
+  std::optional<FaultPlan> plan_;
+  std::map<IoOp, int64_t> counts_;
+  bool crashed_ = false;
+};
+
+}  // namespace semap::store
+
+#endif  // SEMAP_STORE_ENV_H_

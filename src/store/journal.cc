@@ -1,0 +1,265 @@
+#include "store/journal.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/crc32.h"
+#include "util/json.h"
+
+namespace semap::store {
+
+namespace {
+
+std::string HexFingerprint64(uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fingerprint);
+  return buf;
+}
+
+std::string HeaderJson(uint64_t fingerprint, uint32_t segment) {
+  return "{\"fingerprint\":\"" + HexFingerprint64(fingerprint) +
+         "\",\"segment\":" + std::to_string(segment) + "}";
+}
+
+std::string FrameFor(const JournalRecord& record) {
+  std::string frame = "R " + std::to_string(record.lsn) + " " + record.type +
+                      " " + std::to_string(record.payload.size()) + " " +
+                      Crc32Hex(Crc32(record.payload)) + "\n";
+  frame += record.payload;
+  frame += '\n';
+  return frame;
+}
+
+/// Parse the next space-delimited token of `line` starting at `*pos`;
+/// empty when the line is exhausted.
+std::string_view NextToken(std::string_view line, size_t* pos) {
+  while (*pos < line.size() && line[*pos] == ' ') ++*pos;
+  const size_t start = *pos;
+  while (*pos < line.size() && line[*pos] != ' ') ++*pos;
+  return line.substr(start, *pos - start);
+}
+
+bool ParseU64(std::string_view token, uint64_t* out, int base = 10) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const std::string copy(token);
+  errno = 0;
+  const uint64_t value = std::strtoull(copy.c_str(), &end, base);
+  if (errno != 0 || end != copy.c_str() + copy.size()) return false;
+  *out = value;
+  return true;
+}
+
+/// Parse one record frame beginning at `pos`. On success advances `*pos`
+/// past the trailing newline and returns true; on any defect fills
+/// `*reason` and leaves `*pos` at the frame start (the torn-tail
+/// boundary).
+bool ParseFrame(std::string_view data, size_t* pos, uint64_t prev_lsn,
+                JournalRecord* out, std::string* reason) {
+  const size_t frame_start = *pos;
+  const size_t line_end = data.find('\n', frame_start);
+  if (line_end == std::string_view::npos) {
+    *reason = "unterminated record header";
+    return false;
+  }
+  const std::string_view line = data.substr(frame_start, line_end - frame_start);
+  size_t cursor = 0;
+  if (NextToken(line, &cursor) != "R") {
+    *reason = "record header does not start with 'R'";
+    return false;
+  }
+  uint64_t lsn = 0;
+  if (!ParseU64(NextToken(line, &cursor), &lsn)) {
+    *reason = "record header has no parsable lsn";
+    return false;
+  }
+  if (lsn <= prev_lsn) {
+    *reason = "lsn " + std::to_string(lsn) + " is not above predecessor " +
+              std::to_string(prev_lsn);
+    return false;
+  }
+  const std::string_view type = NextToken(line, &cursor);
+  if (type.empty()) {
+    *reason = "record header has no type";
+    return false;
+  }
+  uint64_t length = 0;
+  if (!ParseU64(NextToken(line, &cursor), &length)) {
+    *reason = "record header has no parsable length";
+    return false;
+  }
+  const std::string_view crc_token = NextToken(line, &cursor);
+  uint64_t expected_crc = 0;
+  if (crc_token.size() != 8 || !ParseU64(crc_token, &expected_crc, 16)) {
+    *reason = "record header has no parsable crc32";
+    return false;
+  }
+  const size_t payload_start = line_end + 1;
+  if (payload_start + length + 1 > data.size()) {
+    *reason = "record payload is short (" +
+              std::to_string(data.size() - payload_start) + " of " +
+              std::to_string(length) + "+1 bytes)";
+    return false;
+  }
+  if (data[payload_start + length] != '\n') {
+    *reason = "record payload is not newline-terminated at its stated length";
+    return false;
+  }
+  const std::string_view payload = data.substr(payload_start, length);
+  if (Crc32(payload) != static_cast<uint32_t>(expected_crc)) {
+    *reason = "record payload fails its crc32 check";
+    return false;
+  }
+  out->lsn = lsn;
+  out->type = std::string(type);
+  out->payload = std::string(payload);
+  *pos = payload_start + length + 1;
+  return true;
+}
+
+}  // namespace
+
+std::string Journal::HeaderLine() const {
+  const std::string json = HeaderJson(fingerprint_, segment_);
+  return std::string(kJournalSchema) + " " + Crc32Hex(Crc32(json)) + " " +
+         json + "\n";
+}
+
+Status Journal::OpenAppender() {
+  SEMAP_ASSIGN_OR_RETURN(appender_, env_->OpenAppend(path_));
+  return Status::OK();
+}
+
+Result<Journal> Journal::Create(std::string path, uint64_t fingerprint,
+                                Env* env) {
+  if (env == nullptr) env = Env::Default();
+  Journal journal(std::move(path), env);
+  journal.fingerprint_ = fingerprint;
+  // Rotate pre-increments the segment, so a fresh journal starts at 1.
+  journal.segment_ = 0;
+  SEMAP_RETURN_NOT_OK(journal.Rotate({}));
+  return journal;
+}
+
+Result<ReplayResult> Journal::Replay(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  SEMAP_ASSIGN_OR_RETURN(const std::string data, env->ReadFile(path));
+
+  ReplayResult replay;
+  const size_t header_end = data.find('\n');
+  if (header_end == std::string::npos) {
+    return Status::ParseError(path + ": missing journal header line");
+  }
+  const std::string_view header(data.data(), header_end);
+  size_t cursor = 0;
+  if (NextToken(header, &cursor) != kJournalSchema) {
+    return Status::ParseError(path + ": not a " + kJournalSchema + " file");
+  }
+  const std::string_view header_crc_token = NextToken(header, &cursor);
+  uint64_t header_crc = 0;
+  if (header_crc_token.size() != 8 ||
+      !ParseU64(header_crc_token, &header_crc, 16)) {
+    return Status::ParseError(path + ": journal header has no parsable crc32");
+  }
+  while (cursor < header.size() && header[cursor] == ' ') ++cursor;
+  const std::string_view header_json = header.substr(cursor);
+  if (Crc32(header_json) != static_cast<uint32_t>(header_crc)) {
+    return Status::ParseError(path + ": journal header fails its crc32 check");
+  }
+  SEMAP_ASSIGN_OR_RETURN(const json::Value meta, json::Parse(header_json));
+  const std::string fingerprint_hex = meta.GetString("fingerprint");
+  if (!ParseU64(fingerprint_hex, &replay.fingerprint, 16)) {
+    return Status::ParseError(path + ": journal header has no fingerprint");
+  }
+  replay.segment = static_cast<uint32_t>(meta.GetInt("segment", 1));
+
+  size_t pos = header_end + 1;
+  uint64_t prev_lsn = 0;
+  while (pos < data.size()) {
+    JournalRecord record;
+    std::string reason;
+    if (!ParseFrame(data, &pos, prev_lsn, &record, &reason)) {
+      replay.warning = "dropped torn journal tail (" +
+                       std::to_string(data.size() - pos) + " bytes at offset " +
+                       std::to_string(pos) + "): " + reason;
+      break;
+    }
+    prev_lsn = record.lsn;
+    replay.records.push_back(std::move(record));
+  }
+  return replay;
+}
+
+Result<Journal> Journal::Open(std::string path, uint64_t fingerprint,
+                              ReplayResult* replay, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  if (!env->Exists(path)) {
+    *replay = ReplayResult{};
+    replay->fingerprint = fingerprint;
+    replay->segment = 1;
+    return Create(std::move(path), fingerprint, env);
+  }
+  SEMAP_ASSIGN_OR_RETURN(*replay, Replay(path, env));
+  if (replay->fingerprint != fingerprint) {
+    return Status::InvalidArgument(
+        path + ": journal fingerprint " +
+        HexFingerprint64(replay->fingerprint) + " does not match inputs (" +
+        HexFingerprint64(fingerprint) + ")");
+  }
+  Journal journal(std::move(path), env);
+  journal.fingerprint_ = fingerprint;
+  journal.segment_ = replay->segment;
+  journal.record_count_ = replay->records.size();
+  journal.next_lsn_ =
+      replay->records.empty() ? 1 : replay->records.back().lsn + 1;
+  if (!replay->warning.empty()) {
+    // Appending past garbage would put durable records beyond the point
+    // where replay stops; rewrite the clean prefix as a fresh segment
+    // first.
+    SEMAP_RETURN_NOT_OK(journal.Rotate(replay->records));
+  } else {
+    SEMAP_RETURN_NOT_OK(journal.OpenAppender());
+  }
+  return journal;
+}
+
+Result<uint64_t> Journal::Append(std::string_view type,
+                                 std::string_view payload) {
+  if (appender_ == nullptr) {
+    return Status::Internal(path_ + ": journal is not open for appending");
+  }
+  JournalRecord record;
+  record.lsn = next_lsn_;
+  record.type = std::string(type);
+  record.payload = std::string(payload);
+  SEMAP_RETURN_NOT_OK(appender_->Write(FrameFor(record)));
+  SEMAP_RETURN_NOT_OK(appender_->Sync());
+  ++next_lsn_;
+  ++record_count_;
+  return record.lsn;
+}
+
+Status Journal::Rotate(const std::vector<JournalRecord>& live) {
+  appender_.reset();
+  ++segment_;
+  std::string content = HeaderLine();
+  uint64_t max_lsn = 0;
+  for (const JournalRecord& record : live) {
+    content += FrameFor(record);
+    if (record.lsn > max_lsn) max_lsn = record.lsn;
+  }
+  const std::string tmp = path_ + ".tmp";
+  SEMAP_ASSIGN_OR_RETURN(std::unique_ptr<File> out, env_->OpenTrunc(tmp));
+  SEMAP_RETURN_NOT_OK(out->Write(content));
+  SEMAP_RETURN_NOT_OK(out->Sync());
+  SEMAP_RETURN_NOT_OK(out->Close());
+  out.reset();
+  SEMAP_RETURN_NOT_OK(env_->Rename(tmp, path_));
+  record_count_ = live.size();
+  if (next_lsn_ <= max_lsn) next_lsn_ = max_lsn + 1;
+  return OpenAppender();
+}
+
+}  // namespace semap::store

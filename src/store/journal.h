@@ -1,0 +1,131 @@
+// semap.journal.v1 — an append-only, crash-safe record journal.
+//
+// The unit of durability is one framed record:
+//
+//   R <lsn> <type> <length> <crc32>\n<payload bytes>\n
+//
+// lsn is a logical sequence number, strictly increasing for the life of
+// the journal (it survives segment rotation, so higher layers can order
+// and deduplicate state across restarts); type is a short token the
+// catalog dispatches on; length is the payload byte count; crc32 is 8
+// lowercase hex digits of the payload's CRC32 (util/crc32.h). The file
+// opens with a header line:
+//
+//   semap.journal.v1 <crc32-of-json> {"fingerprint":"<16hex>","segment":N}
+//
+// Appends are genuine appends — one write of the whole frame, one fsync —
+// so the cost of journaling a record is O(record), not O(journal) (the
+// previous checkpoint rewrote the entire file per append). Rotation and
+// recovery use the classic tmp+fsync+rename segment discipline: a new
+// segment is written to `<path>.tmp`, fsynced, and renamed over `<path>`,
+// so the visible file is always either the old complete segment or the
+// new complete segment.
+//
+// Replay is the single source of truth for reading (ceph's
+// JournalingObjectStore discipline: everything the store knows, it
+// learned by replaying the journal into memory). Replay stops at the
+// first frame that is short, malformed, CRC-mismatched, or non-monotonic
+// in lsn — everything before it is the recovered prefix; everything from
+// it on is the torn tail a crash left, reported in the warning and
+// dropped. Opening for append after a torn tail first rotates the clean
+// prefix into a fresh segment, so appends never land beyond garbage.
+//
+// Crash-safety invariants (exercised syscall-by-syscall in
+// tests/crash_matrix_test.cc through the store::Env seam):
+//   I1  a kill at any write/fsync/rename leaves a file whose replay
+//       yields a prefix of the records appended so far;
+//   I2  replay is idempotent: replaying the same file twice yields the
+//       same record sequence (lsns make duplicates detectable upstream);
+//   I3  a record whose Append returned OK is in every future replay
+//       (fsync-before-return), absent a post-return fault.
+#ifndef SEMAP_STORE_JOURNAL_H_
+#define SEMAP_STORE_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/env.h"
+#include "util/result.h"
+
+namespace semap::store {
+
+inline constexpr const char kJournalSchema[] = "semap.journal.v1";
+
+/// \brief One replayed (or to-be-rotated) record.
+struct JournalRecord {
+  uint64_t lsn = 0;
+  std::string type;
+  std::string payload;
+};
+
+/// \brief Everything replay recovered from a journal file.
+struct ReplayResult {
+  uint64_t fingerprint = 0;
+  uint32_t segment = 0;
+  std::vector<JournalRecord> records;
+  /// Non-empty when a torn tail was dropped (how many bytes, and why
+  /// the first bad frame was rejected).
+  std::string warning;
+};
+
+class Journal {
+ public:
+  Journal(Journal&&) = default;
+  Journal& operator=(Journal&&) = default;
+
+  /// Start a fresh journal at `path`: header-only segment written via
+  /// tmp+fsync+rename, then opened for appending.
+  static Result<Journal> Create(std::string path, uint64_t fingerprint,
+                                Env* env = nullptr);
+
+  /// Open an existing journal for appending: replay it into `*replay`
+  /// (fingerprint must match), rotate away any torn tail, and continue
+  /// lsn numbering where the file left off. A missing file degrades to
+  /// Create.
+  static Result<Journal> Open(std::string path, uint64_t fingerprint,
+                              ReplayResult* replay, Env* env = nullptr);
+
+  /// Read-only replay of `path` (no append handle, no recovery rewrite):
+  /// the validation and double-replay entry point.
+  static Result<ReplayResult> Replay(const std::string& path,
+                                     Env* env = nullptr);
+
+  /// Append one record: frame + payload in a single write, then fsync.
+  /// Returns the record's lsn.
+  Result<uint64_t> Append(std::string_view type, std::string_view payload);
+
+  /// Segment rotation: rewrite the journal as header (segment+1) plus
+  /// exactly `live` (their lsns preserved) via tmp+fsync+rename, and
+  /// re-open for appending. Compaction = rotating with the catalog's
+  /// surviving records.
+  Status Rotate(const std::vector<JournalRecord>& live);
+
+  const std::string& path() const { return path_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+  uint32_t segment() const { return segment_; }
+  /// The lsn the next Append will assign.
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Records in the current segment (rotation-policy input).
+  size_t record_count() const { return record_count_; }
+
+ private:
+  Journal(std::string path, Env* env) : path_(std::move(path)), env_(env) {}
+
+  std::string HeaderLine() const;
+  Status OpenAppender();
+
+  std::string path_;
+  Env* env_;
+  uint64_t fingerprint_ = 0;
+  uint32_t segment_ = 1;
+  uint64_t next_lsn_ = 1;
+  size_t record_count_ = 0;
+  std::unique_ptr<File> appender_;
+};
+
+}  // namespace semap::store
+
+#endif  // SEMAP_STORE_JOURNAL_H_

@@ -1,0 +1,131 @@
+#include "store/mapping_store.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace semap::store {
+
+namespace {
+
+constexpr char kUnitType[] = "unit";
+constexpr char kMetaType[] = "meta";
+
+/// Dead records tolerated before open-time self-compaction: a segment may
+/// carry up to this many superseded records per live one (plus a flat
+/// allowance so small stores never churn).
+constexpr size_t kCompactSlack = 64;
+
+std::string LedgerKey(std::string_view type, std::string_view key) {
+  return std::string(type) + ":" + std::string(key);
+}
+
+std::string FramePayload(std::string_view key, std::string_view value) {
+  return std::string(key) + "\n" + std::string(value);
+}
+
+/// Split a `<key>\n<value>` payload; false when there is no separator.
+bool SplitPayload(const std::string& payload, std::string* key,
+                  std::string* value) {
+  const size_t nl = payload.find('\n');
+  if (nl == std::string::npos) return false;
+  *key = payload.substr(0, nl);
+  *value = payload.substr(nl + 1);
+  return true;
+}
+
+}  // namespace
+
+Result<MappingStore> MappingStore::Open(std::string path, uint64_t fingerprint,
+                                        Env* env) {
+  ReplayResult replay;
+  SEMAP_ASSIGN_OR_RETURN(Journal journal,
+                         Journal::Open(std::move(path), fingerprint, &replay,
+                                       env));
+  MappingStore store(std::move(journal));
+  store.warning_ = replay.warning;
+  for (const JournalRecord& record : replay.records) {
+    std::string key;
+    std::string value;
+    if (!SplitPayload(record.payload, &key, &value)) {
+      // An intact frame with an unsplittable payload is a writer bug,
+      // not a crash artifact; surface it rather than guessing.
+      return Status::ParseError(store.journal_.path() + ": record lsn " +
+                                std::to_string(record.lsn) +
+                                " has no key/value separator");
+    }
+    const std::string ledger = LedgerKey(record.type, key);
+    auto applied = store.applied_.find(ledger);
+    if (applied != store.applied_.end() && record.lsn <= applied->second) {
+      continue;  // Idempotent replay: an older (or re-seen) record is a no-op.
+    }
+    store.applied_[ledger] = record.lsn;
+    if (record.type == kUnitType) {
+      store.units_[key] = std::move(value);
+    } else if (record.type == kMetaType) {
+      store.meta_[key] = std::move(value);
+    }
+    // Unknown types are preserved in the ledger but not materialized:
+    // a newer writer's records survive replay by an older reader.
+  }
+  if (store.journal_.record_count() >
+      2 * store.live_count() + kCompactSlack) {
+    SEMAP_RETURN_NOT_OK(store.Compact());
+  }
+  return store;
+}
+
+Result<MappingStore> MappingStore::Create(std::string path,
+                                          uint64_t fingerprint, Env* env) {
+  SEMAP_ASSIGN_OR_RETURN(Journal journal,
+                         Journal::Create(std::move(path), fingerprint, env));
+  return MappingStore(std::move(journal));
+}
+
+Status MappingStore::Put(std::string_view type, std::string_view key,
+                         std::string_view value) {
+  SEMAP_ASSIGN_OR_RETURN(const uint64_t lsn,
+                         journal_.Append(type, FramePayload(key, value)));
+  applied_[LedgerKey(type, key)] = lsn;
+  if (type == kUnitType) {
+    units_[std::string(key)] = std::string(value);
+  } else {
+    meta_[std::string(key)] = std::string(value);
+  }
+  return Status::OK();
+}
+
+Status MappingStore::PutUnit(std::string_view key, std::string_view value) {
+  return Put(kUnitType, key, value);
+}
+
+Status MappingStore::PutMeta(std::string_view key, std::string_view value) {
+  return Put(kMetaType, key, value);
+}
+
+Status MappingStore::Compact() {
+  std::vector<JournalRecord> live;
+  live.reserve(live_count());
+  for (const auto& [key, value] : meta_) {
+    JournalRecord record;
+    record.lsn = applied_[LedgerKey(kMetaType, key)];
+    record.type = kMetaType;
+    record.payload = FramePayload(key, value);
+    live.push_back(std::move(record));
+  }
+  for (const auto& [key, value] : units_) {
+    JournalRecord record;
+    record.lsn = applied_[LedgerKey(kUnitType, key)];
+    record.type = kUnitType;
+    record.payload = FramePayload(key, value);
+    live.push_back(std::move(record));
+  }
+  // The journal requires strictly increasing lsns within a segment.
+  std::sort(live.begin(), live.end(),
+            [](const JournalRecord& a, const JournalRecord& b) {
+              return a.lsn < b.lsn;
+            });
+  return journal_.Rotate(live);
+}
+
+}  // namespace semap::store

@@ -1,0 +1,90 @@
+// MappingStore — the crash-safe catalog of discovered mappings and run
+// metadata, journaled through store::Journal.
+//
+// The store holds two keyed namespaces:
+//   * units: per-table discovery results (the checkpoint layer serializes
+//     a CheckpointedUnit per key — key is the table name);
+//   * meta:  run-level metadata (options digest, schema notes, anything
+//     a resumed run wants to cross-check).
+//
+// Everything the store knows it learned by replaying the journal
+// (store/journal.h): each Put appends one record `<key>\n<value>` and
+// fsyncs before updating memory, so a catalog entry exists in memory
+// only if it is durable. Replay applies records idempotently — a record
+// updates a key iff its lsn is above the lsn already applied for that
+// key — so replaying a journal twice (or a compacted journal that still
+// carries a superseded record) converges to the same catalog.
+//
+// Compaction rewrites the journal as one record per live key (latest
+// value, original lsn) via the journal's tmp+fsync+rename rotation. The
+// store self-compacts on open once dead records dominate, so a long
+// append-heavy run cannot grow the file without bound.
+#ifndef SEMAP_STORE_MAPPING_STORE_H_
+#define SEMAP_STORE_MAPPING_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "store/journal.h"
+#include "util/result.h"
+
+namespace semap::store {
+
+class MappingStore {
+ public:
+  MappingStore(MappingStore&&) = default;
+  MappingStore& operator=(MappingStore&&) = default;
+
+  /// Open (or create) the store at `path`. The journal's fingerprint must
+  /// match `fingerprint` — opening someone else's store is refused, not
+  /// repaired. A torn tail is dropped with a warning(); dead records
+  /// trigger self-compaction.
+  static Result<MappingStore> Open(std::string path, uint64_t fingerprint,
+                                   Env* env = nullptr);
+
+  /// Start an empty store at `path`, atomically replacing whatever file
+  /// is there (the journal's tmp+fsync+rename rotation): the
+  /// ignore-existing-content counterpart of Open.
+  static Result<MappingStore> Create(std::string path, uint64_t fingerprint,
+                                     Env* env = nullptr);
+
+  /// Durably set `key` in the unit namespace (fsync-before-return).
+  Status PutUnit(std::string_view key, std::string_view value);
+  /// Durably set `key` in the meta namespace.
+  Status PutMeta(std::string_view key, std::string_view value);
+
+  const std::map<std::string, std::string>& units() const { return units_; }
+  const std::map<std::string, std::string>& meta() const { return meta_; }
+
+  /// Rewrite the journal to exactly the live catalog (latest value per
+  /// key, lsns preserved).
+  Status Compact();
+
+  /// Non-empty when opening dropped a torn tail.
+  const std::string& warning() const { return warning_; }
+  const std::string& path() const { return journal_.path(); }
+  uint64_t fingerprint() const { return journal_.fingerprint(); }
+  /// Records in the current journal segment (dead + live); tests use
+  /// this to observe compaction.
+  size_t journal_record_count() const { return journal_.record_count(); }
+
+ private:
+  explicit MappingStore(Journal journal) : journal_(std::move(journal)) {}
+
+  Status Put(std::string_view type, std::string_view key,
+             std::string_view value);
+  size_t live_count() const { return units_.size() + meta_.size(); }
+
+  Journal journal_;
+  std::map<std::string, std::string> units_;
+  std::map<std::string, std::string> meta_;
+  /// Latest applied lsn per "<type>:<key>" — the idempotency ledger.
+  std::map<std::string, uint64_t> applied_;
+  std::string warning_;
+};
+
+}  // namespace semap::store
+
+#endif  // SEMAP_STORE_MAPPING_STORE_H_

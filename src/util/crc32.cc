@@ -1,0 +1,45 @@
+#include "util/crc32.h"
+
+#include <array>
+#include <cstdio>
+
+namespace semap {
+
+namespace {
+
+// Reflected-polynomial table, computed once at first use. constexpr-able,
+// but a lazy static keeps compile times flat and the table off the binary
+// when the store is never linked in.
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::string_view data) {
+  const std::array<uint32_t, 256>& table = Crc32Table();
+  crc = ~crc;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::string Crc32Hex(uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+}  // namespace semap

@@ -1,0 +1,31 @@
+// CRC32 (IEEE 802.3, the zlib polynomial): the integrity check shared by
+// the mapping-store journal frames (store/journal.h) and the hardened
+// checkpoint lines (exec/checkpoint.h).
+//
+// A torn append — the process killed mid-write, a short write on a full
+// disk — leaves a record whose prefix may still parse; a length prefix
+// plus a CRC over the payload turns "happens to parse" into "provably
+// intact". The polynomial is the reflected 0xEDB88320 used by zlib, so
+// validators outside the binary (scripts/check_obs_json.py) can verify
+// the same checksums with Python's stdlib.
+#ifndef SEMAP_UTIL_CRC32_H_
+#define SEMAP_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace semap {
+
+/// Incremental update: fold `data` into a running CRC (start from 0).
+uint32_t Crc32Update(uint32_t crc, std::string_view data);
+
+/// CRC32 of `data` in one shot (zlib-compatible: crc32(0, ...) there).
+inline uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+/// The journal's on-disk rendering: exactly 8 lowercase hex digits.
+std::string Crc32Hex(uint32_t crc);
+
+}  // namespace semap
+
+#endif  // SEMAP_UTIL_CRC32_H_

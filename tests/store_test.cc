@@ -1,0 +1,467 @@
+// Mapping-store tests: the CRC32 primitive against its known test
+// vector, the FaultEnv syscall seam (transient failures, short writes,
+// simulated kills, the probe counters), the semap.journal.v1 framing
+// (append/replay round trips, torn-tail recovery, rotation, fingerprint
+// refusal) and the MappingStore catalog on top (idempotent replay,
+// last-writer-wins keys, compaction). The full syscall-by-syscall crash
+// sweep lives in crash_matrix_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "store/env.h"
+#include "store/journal.h"
+#include "store/mapping_store.h"
+#include "util/crc32.h"
+
+namespace semap {
+namespace {
+
+using store::Env;
+using store::FaultEnv;
+using store::FaultMode;
+using store::FaultPlan;
+using store::IoOp;
+using store::Journal;
+using store::JournalRecord;
+using store::MappingStore;
+using store::ReplayResult;
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name + ".journal";
+}
+
+/// Fresh path: whatever a previous (possibly failed) test run left
+/// behind is removed, including the rotation tmp file.
+std::string FreshPath(const char* name) {
+  const std::string path = TempPath(name);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+// --- CRC32 ----------------------------------------------------------------
+
+TEST(Crc32Test, MatchesTheStandardCheckValue) {
+  // The CRC32/ISO-HDLC check value: crc32("123456789") = 0xcbf43926.
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32Hex(Crc32("123456789")), "cbf43926");
+}
+
+TEST(Crc32Test, IncrementalUpdateMatchesOneShot) {
+  uint32_t crc = 0;
+  crc = Crc32Update(crc, "123");
+  crc = Crc32Update(crc, "456");
+  crc = Crc32Update(crc, "789");
+  EXPECT_EQ(crc, Crc32("123456789"));
+}
+
+TEST(Crc32Test, HexIsAlwaysEightLowercaseDigits) {
+  EXPECT_EQ(Crc32Hex(0), "00000000");
+  EXPECT_EQ(Crc32Hex(0xABCDEF01u), "abcdef01");
+}
+
+// --- FaultEnv -------------------------------------------------------------
+
+TEST(FaultEnvTest, CountsOperationsWithoutAPlan) {
+  const std::string path = FreshPath("fault_probe");
+  FaultEnv env;
+  auto file = env.OpenTrunc(path);
+  ASSERT_TRUE(file.ok()) << file.status();
+  ASSERT_TRUE((*file)->Write("hello").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(env.Rename(path, path + ".renamed").ok());
+  EXPECT_EQ(env.count(IoOp::kOpen), 1);
+  EXPECT_EQ(env.count(IoOp::kWrite), 1);
+  EXPECT_EQ(env.count(IoOp::kFsync), 1);
+  EXPECT_EQ(env.count(IoOp::kRename), 1);
+  EXPECT_FALSE(env.crashed());
+  std::remove((path + ".renamed").c_str());
+}
+
+TEST(FaultEnvTest, FailModeIsTransient) {
+  const std::string path = FreshPath("fault_fail");
+  FaultEnv env;
+  env.set_plan({IoOp::kWrite, 2, FaultMode::kFail});
+  auto file = env.OpenTrunc(path);
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_TRUE((*file)->Write("one").ok());
+  EXPECT_FALSE((*file)->Write("two").ok());  // the armed occurrence
+  EXPECT_TRUE((*file)->Write("three").ok());  // and the env recovered
+  EXPECT_FALSE(env.crashed());
+  auto content = env.ReadFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "onethree");  // the failed write persisted nothing
+}
+
+TEST(FaultEnvTest, CrashModeKillsAllLaterIo) {
+  const std::string path = FreshPath("fault_crash");
+  FaultEnv env;
+  env.set_plan({IoOp::kWrite, 2, FaultMode::kCrash});
+  auto file = env.OpenTrunc(path);
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_TRUE((*file)->Write("durable").ok());
+  EXPECT_FALSE((*file)->Write("lost").ok());
+  EXPECT_TRUE(env.crashed());
+  // The simulated process is dead: every later operation fails, on any
+  // file, through any entry point.
+  EXPECT_FALSE((*file)->Write("more").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE(env.OpenAppend(path).ok());
+  EXPECT_FALSE(env.Rename(path, path + ".x").ok());
+  EXPECT_FALSE(env.ReadFile(path).ok());
+  // The on-disk state is frozen as the kill left it.
+  auto content = Env::Default()->ReadFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "durable");
+}
+
+TEST(FaultEnvTest, ShortWritePersistsHalfThenKills) {
+  const std::string path = FreshPath("fault_short");
+  FaultEnv env;
+  env.set_plan({IoOp::kWrite, 1, FaultMode::kShortWrite});
+  auto file = env.OpenTrunc(path);
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_FALSE((*file)->Write("0123456789").ok());
+  EXPECT_TRUE(env.crashed());
+  auto content = Env::Default()->ReadFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "01234");  // exactly the first half survived
+}
+
+TEST(FaultEnvTest, PlanParsesFromTheEnvironmentVariable) {
+  ::setenv("SEMAP_IO_FAULT", "fsync:3:short", 1);
+  auto plan = store::FaultPlanFromEnv();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->op, IoOp::kFsync);
+  EXPECT_EQ(plan->after, 3);
+  EXPECT_EQ(plan->mode, FaultMode::kShortWrite);
+
+  ::setenv("SEMAP_IO_FAULT", "write:5", 1);  // mode defaults to crash
+  plan = store::FaultPlanFromEnv();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->op, IoOp::kWrite);
+  EXPECT_EQ(plan->after, 5);
+  EXPECT_EQ(plan->mode, FaultMode::kCrash);
+
+  // Malformed specs are ignored, like SEMAP_FAULT_AFTER.
+  ::setenv("SEMAP_IO_FAULT", "chmod:1:crash", 1);
+  EXPECT_FALSE(store::FaultPlanFromEnv().has_value());
+  ::setenv("SEMAP_IO_FAULT", "write:0", 1);
+  EXPECT_FALSE(store::FaultPlanFromEnv().has_value());
+  ::setenv("SEMAP_IO_FAULT", "write:two:crash", 1);
+  EXPECT_FALSE(store::FaultPlanFromEnv().has_value());
+  ::unsetenv("SEMAP_IO_FAULT");
+  EXPECT_FALSE(store::FaultPlanFromEnv().has_value());
+}
+
+// --- Journal --------------------------------------------------------------
+
+TEST(JournalTest, AppendAndReplayRoundTrip) {
+  const std::string path = FreshPath("journal_roundtrip");
+  auto journal = Journal::Create(path, 0x1234u);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  EXPECT_EQ(journal->segment(), 1u);
+
+  auto lsn1 = journal->Append("unit", "alpha\n{\"a\":1}");
+  ASSERT_TRUE(lsn1.ok()) << lsn1.status();
+  auto lsn2 = journal->Append("meta", "format\nsemap.checkpoint.v1");
+  ASSERT_TRUE(lsn2.ok()) << lsn2.status();
+  EXPECT_LT(*lsn1, *lsn2);
+
+  auto replay = Journal::Replay(path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->fingerprint, 0x1234u);
+  EXPECT_TRUE(replay->warning.empty()) << replay->warning;
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].lsn, *lsn1);
+  EXPECT_EQ(replay->records[0].type, "unit");
+  EXPECT_EQ(replay->records[0].payload, "alpha\n{\"a\":1}");
+  EXPECT_EQ(replay->records[1].lsn, *lsn2);
+  EXPECT_EQ(replay->records[1].type, "meta");
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, PayloadsMayContainNewlinesAndFrameLookalikes) {
+  const std::string path = FreshPath("journal_binaryish");
+  auto journal = Journal::Create(path, 7u);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  // Length-prefixed framing must not be confused by payload bytes that
+  // look like frames.
+  const std::string tricky = "line1\nR 99 unit 4 deadbeef\nline3";
+  ASSERT_TRUE(journal->Append("unit", tricky).ok());
+  ASSERT_TRUE(journal->Append("unit", "after").ok());
+  auto replay = Journal::Replay(path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].payload, tricky);
+  EXPECT_EQ(replay->records[1].payload, "after");
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, ReplayIsIdempotent) {
+  const std::string path = FreshPath("journal_idempotent");
+  auto journal = Journal::Create(path, 7u);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  ASSERT_TRUE(journal->Append("unit", "k\nv1").ok());
+  ASSERT_TRUE(journal->Append("unit", "k\nv2").ok());
+
+  auto once = Journal::Replay(path);
+  auto twice = Journal::Replay(path);
+  ASSERT_TRUE(once.ok()) << once.status();
+  ASSERT_TRUE(twice.ok()) << twice.status();
+  ASSERT_EQ(once->records.size(), twice->records.size());
+  for (size_t i = 0; i < once->records.size(); ++i) {
+    EXPECT_EQ(once->records[i].lsn, twice->records[i].lsn);
+    EXPECT_EQ(once->records[i].type, twice->records[i].type);
+    EXPECT_EQ(once->records[i].payload, twice->records[i].payload);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, TornTailIsDroppedAndReportedOnReplay) {
+  const std::string path = FreshPath("journal_torn");
+  {
+    auto journal = Journal::Create(path, 7u);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    ASSERT_TRUE(journal->Append("unit", "intact\nrecord").ok());
+  }
+  // A crash mid-append: the frame header is there but the payload is cut.
+  {
+    FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("R 2 unit 400 00000000\ntrunc", f);
+    std::fclose(f);
+  }
+  auto replay = Journal::Replay(path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].payload, "intact\nrecord");
+  EXPECT_FALSE(replay->warning.empty());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, CorruptPayloadFailsItsCrcAndStopsReplay) {
+  const std::string path = FreshPath("journal_bitrot");
+  {
+    auto journal = Journal::Create(path, 7u);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    ASSERT_TRUE(journal->Append("unit", "aaaa\nbbbb").ok());
+  }
+  // Flip one payload byte in place: length still matches, CRC cannot.
+  auto content = Env::Default()->ReadFile(path);
+  ASSERT_TRUE(content.ok());
+  const size_t at = content->rfind("bbbb");
+  ASSERT_NE(at, std::string::npos);
+  (*content)[at] = 'x';
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(content->data(), 1, content->size(), f);
+    std::fclose(f);
+  }
+  auto replay = Journal::Replay(path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_FALSE(replay->warning.empty());
+  EXPECT_NE(replay->warning.find("crc"), std::string::npos)
+      << replay->warning;
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, OpenAfterTornTailRotatesThenAppendsSafely) {
+  const std::string path = FreshPath("journal_torn_append");
+  {
+    auto journal = Journal::Create(path, 7u);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    ASSERT_TRUE(journal->Append("unit", "keep\nme").ok());
+  }
+  {
+    FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("R 2 unit 99 0000", f);  // torn mid-frame-header
+    std::fclose(f);
+  }
+  ReplayResult replay;
+  auto reopened = Journal::Open(path, 7u, &replay);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_FALSE(replay.warning.empty());
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_GE(reopened->segment(), 2u);  // the clean prefix was rotated
+  ASSERT_TRUE(reopened->Append("unit", "new\nrecord").ok());
+
+  // The recovered-then-extended file replays clean: no append landed
+  // beyond garbage.
+  auto final_replay = Journal::Replay(path);
+  ASSERT_TRUE(final_replay.ok()) << final_replay.status();
+  EXPECT_TRUE(final_replay->warning.empty()) << final_replay->warning;
+  ASSERT_EQ(final_replay->records.size(), 2u);
+  EXPECT_EQ(final_replay->records[0].payload, "keep\nme");
+  EXPECT_EQ(final_replay->records[1].payload, "new\nrecord");
+  EXPECT_LT(final_replay->records[0].lsn, final_replay->records[1].lsn);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, LsnsSurviveRotation) {
+  const std::string path = FreshPath("journal_rotation");
+  auto journal = Journal::Create(path, 7u);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  auto lsn1 = journal->Append("unit", "a\n1");
+  auto lsn2 = journal->Append("unit", "b\n2");
+  ASSERT_TRUE(lsn1.ok() && lsn2.ok());
+
+  // Rotate keeping only the second record (compaction's primitive).
+  std::vector<JournalRecord> live;
+  live.push_back({*lsn2, "unit", "b\n2"});
+  ASSERT_TRUE(journal->Rotate(live).ok());
+  EXPECT_EQ(journal->segment(), 2u);
+
+  // Post-rotation appends continue the lsn sequence, never reuse it.
+  auto lsn3 = journal->Append("unit", "c\n3");
+  ASSERT_TRUE(lsn3.ok()) << lsn3.status();
+  EXPECT_GT(*lsn3, *lsn2);
+
+  auto replay = Journal::Replay(path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->segment, 2u);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].lsn, *lsn2);
+  EXPECT_EQ(replay->records[1].lsn, *lsn3);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, FingerprintMismatchIsRefused) {
+  const std::string path = FreshPath("journal_fingerprint");
+  {
+    auto journal = Journal::Create(path, 0xAAAAu);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+  }
+  ReplayResult replay;
+  auto other = Journal::Open(path, 0xBBBBu, &replay);
+  EXPECT_FALSE(other.ok());
+  EXPECT_EQ(other.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, OpenOnAMissingFileCreatesIt) {
+  const std::string path = FreshPath("journal_fresh_open");
+  ReplayResult replay;
+  auto journal = Journal::Open(path, 9u, &replay);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_TRUE(replay.warning.empty());
+  EXPECT_TRUE(Env::Default()->Exists(path));
+  std::remove(path.c_str());
+}
+
+// --- MappingStore ---------------------------------------------------------
+
+TEST(MappingStoreTest, PutReplayRoundTripKeepsLatestValue) {
+  const std::string path = FreshPath("store_roundtrip");
+  {
+    auto store = MappingStore::Create(path, 42u);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(store->PutMeta("format", "semap.checkpoint.v1").ok());
+    ASSERT_TRUE(store->PutUnit("Member", "{\"v\":1}").ok());
+    ASSERT_TRUE(store->PutUnit("Project", "{\"v\":2}").ok());
+    ASSERT_TRUE(store->PutUnit("Member", "{\"v\":3}").ok());  // supersedes
+  }
+  auto reopened = MappingStore::Open(path, 42u);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_TRUE(reopened->warning().empty()) << reopened->warning();
+  ASSERT_EQ(reopened->units().size(), 2u);
+  EXPECT_EQ(reopened->units().at("Member"), "{\"v\":3}");
+  EXPECT_EQ(reopened->units().at("Project"), "{\"v\":2}");
+  EXPECT_EQ(reopened->meta().at("format"), "semap.checkpoint.v1");
+  std::remove(path.c_str());
+}
+
+TEST(MappingStoreTest, DoubleReplayConvergesToTheSameCatalog) {
+  const std::string path = FreshPath("store_double_replay");
+  {
+    auto store = MappingStore::Create(path, 42u);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(store->PutUnit("a", "1").ok());
+    ASSERT_TRUE(store->PutUnit("b", "2").ok());
+    ASSERT_TRUE(store->PutUnit("a", "3").ok());
+  }
+  auto once = MappingStore::Open(path, 42u);
+  ASSERT_TRUE(once.ok()) << once.status();
+  auto twice = MappingStore::Open(path, 42u);
+  ASSERT_TRUE(twice.ok()) << twice.status();
+  EXPECT_EQ(once->units(), twice->units());
+  EXPECT_EQ(once->meta(), twice->meta());
+  std::remove(path.c_str());
+}
+
+TEST(MappingStoreTest, CompactionDropsDeadRecordsAndPreservesTheCatalog) {
+  const std::string path = FreshPath("store_compact");
+  auto store = MappingStore::Create(path, 42u);
+  ASSERT_TRUE(store.ok()) << store.status();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store->PutUnit("hot", "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store->PutUnit("cold", "c").ok());
+  EXPECT_EQ(store->journal_record_count(), 11u);
+
+  ASSERT_TRUE(store->Compact().ok());
+  EXPECT_EQ(store->journal_record_count(), 2u);  // one per live key
+  EXPECT_EQ(store->units().at("hot"), "v9");
+  EXPECT_EQ(store->units().at("cold"), "c");
+
+  // The compacted file still replays to the same catalog, and survives
+  // further appends.
+  ASSERT_TRUE(store->PutUnit("hot", "v10").ok());
+  auto reopened = MappingStore::Open(path, 42u);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->units().at("hot"), "v10");
+  EXPECT_EQ(reopened->units().at("cold"), "c");
+  std::remove(path.c_str());
+}
+
+TEST(MappingStoreTest, CreateAtomicallyReplacesAForeignFile) {
+  const std::string path = FreshPath("store_replace");
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a journal at all\n", f);
+    std::fclose(f);
+  }
+  auto store = MappingStore::Create(path, 5u);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE(store->PutUnit("k", "v").ok());
+  auto reopened = MappingStore::Open(path, 5u);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->units().at("k"), "v");
+  std::remove(path.c_str());
+}
+
+TEST(MappingStoreTest, TornTailSurfacesAsAWarningNotAnError) {
+  const std::string path = FreshPath("store_torn");
+  {
+    auto store = MappingStore::Create(path, 5u);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(store->PutUnit("done", "ok").ok());
+  }
+  {
+    FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("R 99 unit 12345 feedface\ncut", f);
+    std::fclose(f);
+  }
+  auto store = MappingStore::Open(path, 5u);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_FALSE(store->warning().empty());
+  ASSERT_EQ(store->units().size(), 1u);
+  EXPECT_EQ(store->units().at("done"), "ok");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace semap

@@ -37,17 +37,30 @@
 // Without these flags no tracer, metrics, provenance or event object
 // exists and the output is byte-identical to an uninstrumented run.
 //
+// Supervised runs shut down gracefully on SIGINT/SIGTERM: no new table
+// starts, running cascades are cancelled through their governors, the
+// checkpoint journal and --events stream are flushed, and the process
+// exits with code 4 — rerun with --resume to pick up where it stopped.
+// A second signal exits immediately (128+sig). The SEMAP_IO_FAULT
+// environment variable ("<op>:<k>[:<mode>]", see store/env.h) injects a
+// syscall-level fault into the k-th checkpoint-store open/write/fsync/
+// rename for crash drills against the unmodified binary.
+//
 // Exit codes: 0 success, 1 input/pipeline error (with --lint: at least
 // one error diagnostic), 2 usage,
 // 3 = at least one table degraded to the RIC tier, was quarantined, or
 // failed (mappings were still emitted; the report says which tables
-// degraded and why).
+// degraded and why),
+// 4 = interrupted by SIGINT/SIGTERM (finished tables are checkpointed;
+// resume with --resume).
 //
 // Sample inputs live in examples/data/bookstore/:
 //
 //   ./tools/semap_map examples/data/bookstore/source.{schema,cm,sem}
 //       examples/data/bookstore/target.{schema,cm,sem}
 //       examples/data/bookstore/correspondences.txt --hints
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +70,7 @@
 #include <string>
 
 #include "baseline/ric_mapper.h"
+#include "store/env.h"
 #include "datasets/builder_util.h"
 #include "exec/resilient_pipeline.h"
 #include "exec/supervisor.h"
@@ -102,14 +116,30 @@ constexpr const char kOptionTable[] =
     "  --profile         print a phase profile + top counters to stdout\n"
     "  --version         print the version and exit\n"
     "  --help            print this table and exit\n"
+    "supervised runs stop gracefully on SIGINT/SIGTERM: the checkpoint\n"
+    "journal is flushed and the run exits 4 (resume with --resume);\n"
+    "a second signal exits immediately\n"
     "exit codes: 0 ok, 1 error (--lint: errors found), 2 usage, 3 degraded "
-    "to the RIC tier or quarantined (see the printed degradation report)\n";
+    "to the RIC tier or quarantined (see the printed degradation report), "
+    "4 interrupted by a shutdown signal\n";
 
 void PrintUsage(FILE* out, const char* prog) {
   std::fprintf(out,
                "usage: %s <src.schema> <src.cm> <src.sem> <tgt.schema> "
                "<tgt.cm> <tgt.sem> <corrs> [options]\n%s",
                prog, kOptionTable);
+}
+
+// Graceful-shutdown flag, set from the signal handler and polled by the
+// supervisor's monitor thread. The first SIGINT/SIGTERM requests a
+// cooperative stop (flush the checkpoint journal, exit 4); a second one
+// gives up on cooperation and exits with the conventional 128+sig.
+std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_shutdown_signal{0};
+
+extern "C" void OnShutdownSignal(int sig) {
+  if (g_shutdown.exchange(true)) std::_Exit(128 + sig);
+  g_shutdown_signal.store(sig);
 }
 
 Result<std::string> ReadFile(const char* path) {
@@ -150,6 +180,9 @@ struct Options {
   long long unit_deadline_ms = -1;
   unsigned long long retry_seed = 0;
   std::string checkpoint_path;
+  /// Checkpoint-store I/O seam; non-null when SEMAP_IO_FAULT armed a
+  /// fault-injecting environment.
+  store::Env* io_env = nullptr;
 };
 
 /// The pipeline proper; split out of main so every exit path flows
@@ -208,6 +241,7 @@ int RunPipeline(char** argv, const Options& opts, const exec::RunContext& ctx) {
     const size_t load_diags = sink.diagnostics().size();
     exec::ResilientResult run;
     std::string supervisor_summary;
+    bool interrupted = false;
     if (opts.supervised) {
       exec::SupervisorOptions sup_opts;
       sup_opts.pipeline = pipeline_opts;
@@ -216,6 +250,8 @@ int RunPipeline(char** argv, const Options& opts, const exec::RunContext& ctx) {
       sup_opts.backoff.seed = opts.retry_seed;
       sup_opts.checkpoint_path = opts.checkpoint_path;
       sup_opts.resume = opts.resume;
+      sup_opts.cancel = &g_shutdown;
+      sup_opts.io_env = opts.io_env;
       auto supervised =
           exec::RunSupervisedPipeline(loaded->source, loaded->target,
                                       loaded->correspondences, sup_opts, ctx);
@@ -240,6 +276,23 @@ int RunPipeline(char** argv, const Options& opts, const exec::RunContext& ctx) {
                            " resumed from checkpoint\n";
       if (supervised->breaker_tripped) {
         supervisor_summary += "supervisor: circuit breaker tripped\n";
+      }
+      interrupted = supervised->interrupted;
+      if (interrupted) {
+        supervisor_summary +=
+            "supervisor: run interrupted by a shutdown signal; finished "
+            "tables are checkpointed" +
+            std::string(opts.checkpoint_path.empty()
+                            ? " (no --checkpoint journal was configured)"
+                            : ", rerun with --resume to continue") +
+            "\n";
+        if (ctx.events != nullptr) {
+          ctx.events->Emit("run_interrupted",
+                           obs::WideEvent()
+                               .Int("signal", g_shutdown_signal.load())
+                               .Bool("checkpointed",
+                                     !opts.checkpoint_path.empty()));
+        }
       }
       run = std::move(supervised->run);
     } else {
@@ -272,6 +325,7 @@ int RunPipeline(char** argv, const Options& opts, const exec::RunContext& ctx) {
     if (!supervisor_summary.empty()) {
       std::printf("%s", supervisor_summary.c_str());
     }
+    if (interrupted) return 4;
     return run.report.AnyAtBaselineOrWorse() || sink.has_errors() ? 3 : 0;
   }
 
@@ -464,6 +518,22 @@ int main(int argc, char** argv) {
     }
   }
   if (opts.supervised) opts.resilient = true;
+
+  // Graceful shutdown is a supervised-run feature (the serial path keeps
+  // the default die-on-signal behavior): the first SIGINT/SIGTERM stops
+  // dispatch and flushes the checkpoint journal, the second exits hard.
+  if (opts.supervised) {
+    std::signal(SIGINT, OnShutdownSignal);
+    std::signal(SIGTERM, OnShutdownSignal);
+  }
+
+  // SEMAP_IO_FAULT arms syscall-level fault injection on the checkpoint
+  // store (store/env.h): crash drills against the unmodified binary.
+  store::FaultEnv fault_env;
+  if (auto plan = store::FaultPlanFromEnv(); plan.has_value()) {
+    fault_env.set_plan(*plan);
+    opts.io_env = &fault_env;
+  }
 
   // Observability is strictly opt-in: without these flags no tracer,
   // metrics, provenance or event object exists at all and the context
