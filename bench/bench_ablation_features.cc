@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
           semap::bench::RunAblation(state, ablation);
         });
   }
-  benchmark::Initialize(&argc, argv);
+  semap::bench::HandleBenchCli(&argc, argv, "bench_ablation_features");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   semap::bench::PrintAblationTable();

@@ -4,8 +4,11 @@
 #ifndef SEMAP_BENCH_BENCH_COMMON_H_
 #define SEMAP_BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <string>
@@ -16,8 +19,42 @@
 #include "eval/report.h"
 #include "exec/run_context.h"
 #include "obs/profile.h"
+#include "util/version.h"
 
 namespace semap::bench {
+
+/// The shared CLI front door for the google-benchmark binaries
+/// (semap_map's contract: --version, --help with a full option table,
+/// exit 2 on anything unrecognized). Wraps benchmark::Initialize so the
+/// --benchmark_* flags keep working; anything neither ours nor
+/// google-benchmark's is a usage error, not a silent no-op.
+inline void HandleBenchCli(int* argc, char** argv, const char* bench_name) {
+  static constexpr const char kOptionTable[] =
+      "options:\n"
+      "  --benchmark_*     google-benchmark flags (--benchmark_filter=RE,\n"
+      "                    --benchmark_repetitions=N,\n"
+      "                    --benchmark_list_tests, ...)\n"
+      "  --version         print the version and exit\n"
+      "  --help            print this table and exit\n"
+      "after the timed iterations an instrumented pass writes\n"
+      "BENCH_<name>.json into $SEMAP_BENCH_JSON_DIR (or the working\n"
+      "directory)\nexit codes: 0 success, 1 benchmark failure, 2 usage\n";
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s %s\n", bench_name, kSemapVersion);
+      std::exit(0);
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [options]\n%s", bench_name, kOptionTable);
+      std::exit(0);
+    }
+  }
+  benchmark::Initialize(argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(*argc, argv)) {
+    std::fprintf(stderr, "usage: %s [options]\n%s", bench_name, kOptionTable);
+    std::exit(2);
+  }
+}
 
 inline const std::vector<eval::Domain>& AllDomains() {
   static const std::vector<eval::Domain>* domains = [] {
@@ -37,9 +74,12 @@ inline const std::vector<eval::Domain>& AllDomains() {
 /// from the trace plus the run's counters) into $SEMAP_BENCH_JSON_DIR (or
 /// the working directory). The instrumented pass is separate from the
 /// google-benchmark timings, so the timed iterations stay uninstrumented.
+/// `extra_json`, when non-empty, is spliced in as one more top-level
+/// member (already rendered, e.g. `"serve": {...}`).
 inline void EmitBenchJson(
     const std::string& bench_name,
-    const std::function<void(const exec::RunContext&)>& workload) {
+    const std::function<void(const exec::RunContext&)>& workload,
+    const std::string& extra_json = "") {
   obs::Tracer tracer;
   obs::Metrics metrics;
   exec::RunContext ctx;
@@ -70,7 +110,9 @@ inline void EmitBenchJson(
     json += "\n    \"" + obs::JsonEscape(name) +
             "\": " + std::to_string(value);
   }
-  json += first ? "}\n}\n" : "\n  }\n}\n";
+  json += first ? "}" : "\n  }";
+  if (!extra_json.empty()) json += ",\n  " + extra_json;
+  json += "\n}\n";
 
   const char* dir = std::getenv("SEMAP_BENCH_JSON_DIR");
   std::string path = dir != nullptr && dir[0] != '\0'

@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
           semap::bench::RunRic(state, domain);
         });
   }
-  benchmark::Initialize(&argc, argv);
+  semap::bench::HandleBenchCli(&argc, argv, "bench_fig6_precision");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   semap::bench::PrintFigure6();

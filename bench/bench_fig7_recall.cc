@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
           });
     }
   }
-  benchmark::Initialize(&argc, argv);
+  semap::bench::HandleBenchCli(&argc, argv, "bench_fig7_recall");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   semap::bench::PrintFigure7();

@@ -96,8 +96,7 @@ void InstrumentedPass(const exec::RunContext& ctx) {
 }  // namespace semap::bench
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  semap::bench::HandleBenchCli(&argc, argv, "bench_scaling");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   semap::bench::EmitBenchJson("scaling", semap::bench::InstrumentedPass);

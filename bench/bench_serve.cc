@@ -1,0 +1,262 @@
+// Closed-loop load bench for the semap_serve daemon: start an in-process
+// server over a scenario catalog, then drive request/response round
+// trips through the real semap.rpc.v1 socket path (connection, frame,
+// admission, worker, journal) exactly as a client would.
+//
+// Two measured phases, same scenario:
+//   cold    — every request carries "cache":"bypass", so each one runs
+//             the full discovery pipeline;
+//   cached  — plain repeat traffic, answered from the durable result
+//             cache without recompilation.
+// The per-phase QPS and latency percentiles land in BENCH_serve.json's
+// "serve" section; the cached/cold gap is the baseline evidence that
+// repeat traffic skips recompilation.
+//
+// Exit codes: 0 success, 1 serve/load failure, 2 usage.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "rewriting/semantic_mapper.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/socket.h"
+
+namespace semap::bench {
+namespace {
+
+constexpr const char kOptionTable[] =
+    "options:\n"
+    "  --catalog=DIR     scenario catalog directory (default examples/data)\n"
+    "  --cold=N          bypass-cache requests in the cold phase\n"
+    "                    (default 16)\n"
+    "  --cached=N        repeat-traffic requests in the cached phase\n"
+    "                    (default 128)\n"
+    "  --workers=N       server worker threads (default 2)\n"
+    "  --version         print the version and exit\n"
+    "  --help            print this table and exit\n"
+    "writes BENCH_serve.json (semap.bench.v1 plus a \"serve\" section with\n"
+    "per-phase qps and latency percentiles) into $SEMAP_BENCH_JSON_DIR\n"
+    "(or the working directory)\n"
+    "exit codes: 0 success, 1 serve/load failure, 2 usage\n";
+
+struct PhaseResult {
+  std::string name;
+  size_t requests = 0;
+  double qps = 0.0;
+  int64_t p50_ns = 0;
+  int64_t p95_ns = 0;
+  int64_t p99_ns = 0;
+};
+
+int64_t Percentile(std::vector<int64_t>& sorted_ns, double p) {
+  const size_t index = std::min(
+      sorted_ns.size() - 1, static_cast<size_t>(p * (sorted_ns.size() - 1)));
+  return sorted_ns[index];
+}
+
+/// One request round trip over a fresh connection, like semap_call:
+/// dial, frame, read the response, check status ok.
+Status OneRequest(int port, const std::string& id, const std::string& scenario,
+                  bool bypass) {
+  serve::SocketOptions socket_opts;
+  socket_opts.io_timeout_ms = 10000;
+  auto conn = serve::DialTcp("127.0.0.1", port, socket_opts);
+  SEMAP_RETURN_NOT_OK(conn.status());
+  std::string payload = "{\"id\":\"" + id + "\",\"op\":\"map\",\"scenario\":\"" +
+                        scenario + "\"";
+  if (bypass) payload += ",\"cache\":\"bypass\"";
+  payload += "}";
+  SEMAP_RETURN_NOT_OK(serve::WriteFrame(**conn, payload));
+  auto response = serve::ReadFrame(**conn);
+  SEMAP_RETURN_NOT_OK(response.status());
+  (void)(*conn)->Close();
+  if (response->find("\"status\":\"ok\"") == std::string::npos) {
+    return Status::Internal("request " + id + " not ok: " + *response);
+  }
+  return Status::OK();
+}
+
+Result<PhaseResult> RunPhase(const std::string& name, int port,
+                             const std::string& scenario, size_t requests,
+                             bool bypass) {
+  PhaseResult result;
+  result.name = name;
+  result.requests = requests;
+  std::vector<int64_t> latencies_ns;
+  latencies_ns.reserve(requests);
+  const auto phase_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < requests; ++i) {
+    const std::string id = name + "-" + std::to_string(i);
+    const auto start = std::chrono::steady_clock::now();
+    SEMAP_RETURN_NOT_OK(OneRequest(port, id, scenario, bypass));
+    latencies_ns.push_back(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+  }
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - phase_start)
+          .count();
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  result.qps = seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+  result.p50_ns = Percentile(latencies_ns, 0.50);
+  result.p95_ns = Percentile(latencies_ns, 0.95);
+  result.p99_ns = Percentile(latencies_ns, 0.99);
+  return result;
+}
+
+std::string RenderPhase(const PhaseResult& phase) {
+  return "{\"name\": \"" + phase.name +
+         "\", \"requests\": " + std::to_string(phase.requests) +
+         ", \"qps\": " + std::to_string(phase.qps) +
+         ", \"latency_ns\": {\"p50\": " + std::to_string(phase.p50_ns) +
+         ", \"p95\": " + std::to_string(phase.p95_ns) +
+         ", \"p99\": " + std::to_string(phase.p99_ns) + "}}";
+}
+
+}  // namespace
+}  // namespace semap::bench
+
+int main(int argc, char** argv) {
+  using namespace semap;
+
+  std::string catalog_dir = "examples/data";
+  size_t cold_requests = 16;
+  size_t cached_requests = 128;
+  size_t workers = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("bench_serve %s\n", kSemapVersion);
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [options]\n%s", argv[0], bench::kOptionTable);
+      return 0;
+    } else if (std::strncmp(argv[i], "--catalog=", 10) == 0) {
+      catalog_dir = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--cold=", 7) == 0) {
+      cold_requests = static_cast<size_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--cached=", 9) == 0) {
+      cached_requests = static_cast<size_t>(std::atoll(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = static_cast<size_t>(std::atoll(argv[i] + 10));
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
+                   bench::kOptionTable);
+      return 2;
+    }
+  }
+  if (cold_requests == 0 || cached_requests == 0 || workers == 0) {
+    std::fprintf(stderr, "error: --cold, --cached and --workers must be "
+                         "positive\n");
+    return 2;
+  }
+
+  const std::string store_path =
+      (std::filesystem::temp_directory_path() /
+       ("semap_bench_serve_" + std::to_string(getpid()) + ".journal"))
+          .string();
+  std::error_code ec;
+  std::filesystem::remove(store_path, ec);
+
+  serve::ServerOptions opts;
+  opts.catalog_dir = catalog_dir;
+  opts.tcp_port = 0;  // ephemeral
+  opts.workers = workers;
+  opts.queue_capacity = 64;
+  opts.store_path = store_path;
+  auto server = serve::Server::Start(std::move(opts));
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: cannot start server over %s: %s\n",
+                 catalog_dir.c_str(), server.status().ToString().c_str());
+    return 1;
+  }
+  const int port = (*server)->tcp_port();
+  const std::string scenario = (*server)->catalog().entries.begin()->first;
+
+  std::atomic<bool> stop{false};
+  std::thread serve_thread(
+      [&server, &stop] { (void)(*server)->Serve(stop); });
+
+  // Warm-up: one uncounted request primes the result cache so the cached
+  // phase measures steady-state repeat traffic from its first request.
+  if (Status warm = bench::OneRequest(port, "warmup", scenario, false);
+      !warm.ok()) {
+    std::fprintf(stderr, "error: warm-up request failed: %s\n",
+                 warm.ToString().c_str());
+    stop = true;
+    serve_thread.join();
+    return 1;
+  }
+
+  std::vector<bench::PhaseResult> phases;
+  for (const auto& [name, requests, bypass] :
+       {std::tuple<const char*, size_t, bool>{"cold", cold_requests, true},
+        std::tuple<const char*, size_t, bool>{"cached", cached_requests,
+                                              false}}) {
+    auto phase = bench::RunPhase(name, port, scenario, requests, bypass);
+    if (!phase.ok()) {
+      std::fprintf(stderr, "error: %s phase failed: %s\n", name,
+                   phase.status().ToString().c_str());
+      stop = true;
+      serve_thread.join();
+      return 1;
+    }
+    phases.push_back(std::move(*phase));
+  }
+
+  const serve::ServerStatsSnapshot stats = (*server)->stats();
+  stop = true;
+  serve_thread.join();
+  std::filesystem::remove(store_path, ec);
+
+  std::printf("\n==== serve closed-loop (scenario %s, %zu worker(s)) ====\n",
+              scenario.c_str(), workers);
+  for (const bench::PhaseResult& phase : phases) {
+    std::printf("%-8s %5zu requests  %10.1f qps  p50 %8.1fus  p95 %8.1fus  "
+                "p99 %8.1fus\n",
+                phase.name.c_str(), phase.requests, phase.qps,
+                phase.p50_ns / 1e3, phase.p95_ns / 1e3, phase.p99_ns / 1e3);
+  }
+  std::printf("served %llu, cache hits %llu (repeat traffic skipped "
+              "recompilation)\n",
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.cache_hits));
+
+  std::string serve_json = "\"serve\": {\n    \"scenario\": \"" + scenario +
+                           "\",\n    \"workers\": " + std::to_string(workers) +
+                           ",\n    \"phases\": [";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    serve_json += (i == 0 ? "\n      " : ",\n      ");
+    serve_json += bench::RenderPhase(phases[i]);
+  }
+  serve_json += "\n    ],\n    \"served\": " + std::to_string(stats.served) +
+                ",\n    \"cache_hits\": " + std::to_string(stats.cache_hits) +
+                ",\n    \"shed\": " + std::to_string(stats.shed) + "\n  }";
+
+  // The instrumented pass runs one generation over every catalog
+  // scenario, so the report carries the standard pipeline phases and
+  // discovery/rewriting counters next to the serve section.
+  const serve::Catalog& catalog = (*server)->catalog();
+  bench::EmitBenchJson(
+      "serve",
+      [&catalog](const exec::RunContext& ctx) {
+        for (const auto& [name, entry] : catalog.entries) {
+          auto mappings = rew::GenerateSemanticMappings(
+              entry.scenario.source, entry.scenario.target,
+              entry.scenario.correspondences, {}, ctx);
+          benchmark::DoNotOptimize(mappings);
+        }
+      },
+      serve_json);
+  return 0;
+}

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
           semap::bench::RunDomainGeneration(state, domain);
         });
   }
-  benchmark::Initialize(&argc, argv);
+  semap::bench::HandleBenchCli(&argc, argv, "bench_table1");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   semap::bench::PrintTable1();

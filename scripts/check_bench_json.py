@@ -75,7 +75,58 @@ def check(path):
         return fail(path, "counters carry no pipeline activity "
                           "(no discovery.*/rewriting.*/baseline.* entries)")
 
+    if "serve" in doc:
+        code = check_serve(path, doc["serve"])
+        if code:
+            return code
+
     print(f"{path}: ok ({len(phases)} phases, {len(counters)} counters)")
+    return 0
+
+
+def check_serve(path, serve):
+    """The bench_serve closed-loop section: per-phase request counts,
+    positive qps, and ordered latency percentiles (p50 <= p95 <= p99)."""
+    if not isinstance(serve, dict):
+        return fail(path, "'serve' is not an object")
+    phases = serve.get("phases")
+    if not isinstance(phases, list) or not phases:
+        return fail(path, "serve.phases missing or empty")
+    for i, phase in enumerate(phases):
+        if not isinstance(phase, dict):
+            return fail(path, f"serve.phases[{i}] is not an object")
+        if not isinstance(phase.get("name"), str) or not phase["name"]:
+            return fail(path, f"serve.phases[{i}] missing 'name'")
+        requests = phase.get("requests")
+        if not isinstance(requests, int) or isinstance(requests, bool) \
+                or requests <= 0:
+            return fail(path, f"serve.phases[{i}].requests is not a "
+                              f"positive integer: {requests!r}")
+        qps = phase.get("qps")
+        if not isinstance(qps, (int, float)) or isinstance(qps, bool) \
+                or qps <= 0:
+            return fail(path, f"serve.phases[{i}].qps is not positive: "
+                              f"{qps!r}")
+        latency = phase.get("latency_ns")
+        if not isinstance(latency, dict):
+            return fail(path, f"serve.phases[{i}] missing 'latency_ns'")
+        values = []
+        for key in ("p50", "p95", "p99"):
+            value = latency.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                return fail(path, f"serve.phases[{i}].latency_ns.{key} is "
+                                  f"not a positive integer: {value!r}")
+            values.append(value)
+        if not values[0] <= values[1] <= values[2]:
+            return fail(path, f"serve.phases[{i}] percentiles out of order: "
+                              f"p50={values[0]} p95={values[1]} "
+                              f"p99={values[2]}")
+    for key in ("served", "cache_hits"):
+        value = serve.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            return fail(path, f"serve.{key} is not a non-negative integer: "
+                              f"{value!r}")
     return 0
 
 

@@ -1,0 +1,92 @@
+#!/bin/sh
+# Serve smoke: the semap_serve daemon end to end against the shipped
+# examples. Start it on a unix socket with a journaled store and a wide-
+# event stream, drive map/explain/retry traffic through semap_call,
+# SIGTERM it and demand a clean drain (exit 0), then validate every
+# durable artifact it wrote and restart it on the same store to prove a
+# retried request id returns byte-identical bytes across the restart.
+#
+# Expects the default build tree (./build); run from anywhere.
+set -eu
+cd "$(dirname "$0")/.."
+
+serve=build/tools/semap_serve
+call=build/tools/semap_call
+outdir=build/serve-smoke
+# The socket lives in /tmp: sun_path caps at ~108 bytes and checkout
+# paths on CI runners can blow past it.
+sock="${TMPDIR:-/tmp}/semap_serve_smoke.$$.sock"
+
+rm -rf "$outdir"
+mkdir -p "$outdir"
+
+"$serve" --catalog=examples/data --unix="$sock" \
+  --store="$outdir/store.journal" --events="$outdir/events.ndjson" \
+  > "$outdir/serve.log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null; rm -f "$sock"' EXIT
+
+# Poll until the daemon answers (it prints "listening" before serving,
+# but the socket is live slightly earlier — ping is the real signal).
+i=0
+until "$call" --unix="$sock" --op=ping --id=ping > /dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -lt 50 ] || { echo "daemon never answered ping" >&2; exit 1; }
+  sleep 0.1
+done
+
+# A map request, retried with the same id: byte-identical response —
+# the idempotency contract over the live daemon.
+"$call" --unix="$sock" --op=map --scenario=bookstore --id=r1 \
+  > "$outdir/map1.json"
+"$call" --unix="$sock" --op=map --scenario=bookstore --id=r1 \
+  > "$outdir/map2.json"
+cmp "$outdir/map1.json" "$outdir/map2.json"
+
+# An explain body sliced out with --body is a complete semap.explain.v1
+# document: the validator and the reader take it unchanged.
+"$call" --unix="$sock" --op=explain --scenario=bookstore --id=r2 --body \
+  > "$outdir/explain.json"
+python3 scripts/check_obs_json.py "$outdir/explain.json"
+build/tools/semap_explain --summary "$outdir/explain.json" > /dev/null
+
+# Failures are coded answers, never silence: an unknown scenario is a
+# SEMAP-E202 error response and a nonzero client exit.
+if "$call" --unix="$sock" --op=map --scenario=nope --id=r3 \
+    > "$outdir/unknown.json" 2> /dev/null; then
+  echo "unknown scenario unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -q 'SEMAP-E202' "$outdir/unknown.json"
+
+# Graceful drain: SIGTERM, finish in-flight, flush journal and events,
+# exit 0 with the drain banner.
+kill -TERM "$pid"
+wait "$pid"
+trap 'rm -f "$sock"' EXIT
+grep -q 'drained cleanly' "$outdir/serve.log"
+
+# Everything durable validates against its schema.
+python3 scripts/check_obs_json.py "$outdir/store.journal" \
+  "$outdir/events.ndjson"
+
+# Crash-only restart: the same store, the same request id, the same
+# bytes — and no repair step in between.
+"$serve" --catalog=examples/data --unix="$sock" \
+  --store="$outdir/store.journal" >> "$outdir/serve.log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null; rm -f "$sock"' EXIT
+i=0
+until "$call" --unix="$sock" --op=ping --id=ping2 > /dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -lt 50 ] || { echo "restarted daemon never answered" >&2; exit 1; }
+  sleep 0.1
+done
+"$call" --unix="$sock" --op=map --scenario=bookstore --id=r1 \
+  > "$outdir/map3.json"
+cmp "$outdir/map1.json" "$outdir/map3.json"
+kill -TERM "$pid"
+wait "$pid"
+trap 'rm -f "$sock"' EXIT
+
+echo "serve smoke ok"

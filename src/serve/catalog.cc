@@ -1,0 +1,130 @@
+#include "serve/catalog.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exec/checkpoint.h"
+#include "util/diag.h"
+
+namespace semap::serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* const kArtifactFiles[7] = {
+    "source.schema", "source.cm", "source.sem",      "target.schema",
+    "target.cm",     "target.sem", "correspondences.txt"};
+
+Result<std::string> ReadWholeFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// FNV-1a mix of the per-entry fingerprints in sorted-name order: stable
+/// across readdir order, sensitive to any entry's content.
+uint64_t CombineFingerprints(const std::map<std::string, CatalogEntry>& entries) {
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (value >> shift) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const auto& [name, entry] : entries) {
+    for (const char c : name) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+    mix(entry.fingerprint);
+  }
+  return hash;
+}
+
+}  // namespace
+
+Result<Catalog> LoadCatalog(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("catalog directory not found: " + dir);
+  }
+
+  // Sorted directory names: deterministic skipped order and load order.
+  std::vector<fs::path> subdirs;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_directory()) subdirs.push_back(entry.path());
+  }
+  if (ec) {
+    return Status::Internal("cannot scan " + dir + ": " + ec.message());
+  }
+  std::sort(subdirs.begin(), subdirs.end());
+
+  Catalog catalog;
+  for (const fs::path& subdir : subdirs) {
+    const std::string name = subdir.filename().string();
+    bool complete = true;
+    for (const char* file : kArtifactFiles) {
+      if (!fs::exists(subdir / file, ec)) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) {
+      catalog.skipped.push_back(name);
+      continue;
+    }
+
+    validate::ScenarioTexts texts;
+    validate::ArtifactText* slots[7] = {
+        &texts.source_schema, &texts.source_cm, &texts.source_sem,
+        &texts.target_schema, &texts.target_cm, &texts.target_sem,
+        &texts.correspondences};
+    bool readable = true;
+    for (int i = 0; i < 7; ++i) {
+      auto content = ReadWholeFile(subdir / kArtifactFiles[i]);
+      if (!content.ok()) {
+        readable = false;
+        break;
+      }
+      slots[i]->text = std::move(*content);
+      slots[i]->name = name + "/" + kArtifactFiles[i];
+    }
+    if (!readable) {
+      catalog.skipped.push_back(name);
+      continue;
+    }
+
+    DiagnosticSink sink;
+    auto loaded = validate::LoadScenario(texts, sink);
+    if (!loaded.ok()) {
+      // The one hard failure (a CM that cannot compile at all): the
+      // scenario is unservable, skip it like an incomplete directory.
+      catalog.skipped.push_back(name);
+      continue;
+    }
+
+    CatalogEntry entry;
+    entry.name = name;
+    entry.fingerprint = exec::ScenarioFingerprint(
+        loaded->source, loaded->target, loaded->correspondences);
+    entry.degraded = sink.has_errors();
+    entry.diagnostics = sink.ToString();
+    entry.scenario = std::move(*loaded);
+    catalog.entries.emplace(name, std::move(entry));
+  }
+
+  if (catalog.entries.empty()) {
+    return Status::NotFound("no loadable scenario under " + dir +
+                            " (need the seven artifact files per "
+                            "subdirectory)");
+  }
+  catalog.fingerprint = CombineFingerprints(catalog.entries);
+  return catalog;
+}
+
+}  // namespace semap::serve

@@ -1,0 +1,64 @@
+// The scenario catalog: every compiled artifact a served request needs,
+// loaded once at daemon startup and kept hot.
+//
+// A scenario is a directory holding the seven artifact files semap_map
+// takes positionally (source.schema/cm/sem, target.schema/cm/sem,
+// correspondences.txt); the catalog scans a root directory for such
+// subdirectories and loads each one fail-soft through the quarantining
+// scenario loader (validate/scenario_loader.h). What survives — the
+// compiled CM graphs, inferred s-trees and linted correspondences inside
+// the AnnotatedSchemas — is exactly the state a request-time run would
+// otherwise recompute from text, so serving skips all parsing and
+// compilation.
+//
+// Each entry carries the PR 4 scenario fingerprint; the catalog's
+// combined fingerprint (order-independent over entries) keys the
+// daemon's journaled response store, so a restarted daemon refuses a
+// store written for a different catalog instead of replaying stale
+// responses.
+#ifndef SEMAP_SERVE_CATALOG_H_
+#define SEMAP_SERVE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "validate/scenario_loader.h"
+#include "util/result.h"
+
+namespace semap::serve {
+
+struct CatalogEntry {
+  std::string name;
+  validate::LoadedScenario scenario;
+  uint64_t fingerprint = 0;
+  /// The fail-soft load dropped something (quarantined artifact,
+  /// dangling correspondence). The entry still serves; responses carry
+  /// degraded tiers like any resilient run.
+  bool degraded = false;
+  /// The load's collected diagnostics, for lint responses and logs.
+  std::string diagnostics;
+};
+
+struct Catalog {
+  std::map<std::string, CatalogEntry> entries;
+  /// Combined over all entries, order-independent.
+  uint64_t fingerprint = 0;
+  /// Subdirectories skipped for missing artifact files.
+  std::vector<std::string> skipped;
+
+  const CatalogEntry* Find(const std::string& name) const {
+    auto it = entries.find(name);
+    return it == entries.end() ? nullptr : &it->second;
+  }
+};
+
+/// Scan `dir` and load every scenario subdirectory. Errors only when the
+/// directory is unreadable or NO scenario loads — a half-broken catalog
+/// serves its good half (the skipped list says what was dropped).
+Result<Catalog> LoadCatalog(const std::string& dir);
+
+}  // namespace semap::serve
+
+#endif  // SEMAP_SERVE_CATALOG_H_

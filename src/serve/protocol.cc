@@ -1,0 +1,163 @@
+#include "serve/protocol.h"
+
+#include <cstdlib>
+
+#include "obs/trace.h"
+#include "util/crc32.h"
+#include "util/json.h"
+
+namespace semap::serve {
+
+namespace {
+
+/// Read exactly `n` bytes; a clean EOF mid-read is a torn frame.
+Status ReadExact(Conn& conn, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    auto chunk = conn.Read(buf + got, n - got);
+    if (!chunk.ok()) return chunk.status();
+    if (*chunk == 0) {
+      return Status::ParseError("connection closed mid-frame (" +
+                                std::to_string(got) + "/" +
+                                std::to_string(n) + " bytes)");
+    }
+    got += *chunk;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 48);
+  frame += kRpcSchema;
+  frame += ' ';
+  frame += std::to_string(payload.size());
+  frame += ' ';
+  frame += Crc32Hex(Crc32(payload));
+  frame += '\n';
+  frame.append(payload.data(), payload.size());
+  frame += '\n';
+  return frame;
+}
+
+Result<std::string> ReadFrame(Conn& conn) {
+  // Header: "semap.rpc.v1 <length> <crc32>\n", read byte-wise — headers
+  // are ~30 bytes and this keeps the reader free of lookahead state.
+  std::string header;
+  while (true) {
+    char c;
+    auto got = conn.Read(&c, 1);
+    if (!got.ok()) return got.status();
+    if (*got == 0) {
+      if (header.empty()) return Status::NotFound("connection closed");
+      return Status::ParseError("connection closed mid-header");
+    }
+    if (c == '\n') break;
+    header += c;
+    if (header.size() > 64) {
+      return Status::ParseError("oversized frame header");
+    }
+  }
+  const std::string prefix = std::string(kRpcSchema) + " ";
+  if (header.compare(0, prefix.size(), prefix) != 0) {
+    return Status::ParseError("bad frame header: " + header);
+  }
+  const size_t space = header.find(' ', prefix.size());
+  if (space == std::string::npos) {
+    return Status::ParseError("bad frame header: " + header);
+  }
+  const std::string length_str = header.substr(prefix.size(),
+                                               space - prefix.size());
+  const std::string crc_str = header.substr(space + 1);
+  char* end = nullptr;
+  const long long length = std::strtoll(length_str.c_str(), &end, 10);
+  if (end == length_str.c_str() || *end != '\0' || length < 0 ||
+      static_cast<size_t>(length) > kMaxFrameBytes) {
+    return Status::ParseError("bad frame length: " + length_str);
+  }
+  if (crc_str.size() != 8) {
+    return Status::ParseError("bad frame crc: " + crc_str);
+  }
+
+  std::string payload(static_cast<size_t>(length), '\0');
+  if (length > 0) {
+    SEMAP_RETURN_NOT_OK(ReadExact(conn, payload.data(), payload.size()));
+  }
+  char newline;
+  SEMAP_RETURN_NOT_OK(ReadExact(conn, &newline, 1));
+  if (newline != '\n') {
+    return Status::ParseError("missing frame terminator");
+  }
+  if (Crc32Hex(Crc32(payload)) != crc_str) {
+    return Status::ParseError("frame crc mismatch");
+  }
+  return payload;
+}
+
+Status WriteFrame(Conn& conn, std::string_view payload) {
+  return conn.WriteAll(EncodeFrame(payload));
+}
+
+Result<Request> ParseRequest(std::string_view payload) {
+  auto parsed = json::Parse(payload);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("request is not JSON: " +
+                                   parsed.status().message());
+  }
+  if (!parsed->is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Request request;
+  request.id = parsed->GetString("id");
+  if (request.id.empty()) {
+    return Status::InvalidArgument("request needs a non-empty \"id\"");
+  }
+  request.op = parsed->GetString("op");
+  const bool needs_scenario =
+      request.op == "map" || request.op == "explain" || request.op == "lint";
+  if (!needs_scenario && request.op != "ping" && request.op != "stats") {
+    return Status::InvalidArgument("unknown op \"" + request.op +
+                                   "\" (want map, explain, lint, ping "
+                                   "or stats)");
+  }
+  request.scenario = parsed->GetString("scenario");
+  if (needs_scenario && request.scenario.empty()) {
+    return Status::InvalidArgument("op \"" + request.op +
+                                   "\" needs a \"scenario\"");
+  }
+  request.deadline_ms = parsed->GetInt("deadline_ms", -1);
+  request.priority = parsed->GetInt("priority", 0);
+  request.cache_bypass = parsed->GetString("cache") == "bypass";
+  return request;
+}
+
+std::string OkResponse(const std::string& id, std::string_view body_json) {
+  std::string out = "{\"schema\":\"";
+  out += kRpcSchema;
+  out += "\",\"id\":\"";
+  out += obs::JsonEscape(id);
+  out += "\",\"status\":\"ok\",\"code\":\"\",\"detail\":\"\",\"body\":";
+  out.append(body_json.data(), body_json.size());
+  out += "}";
+  return out;
+}
+
+std::string ErrorResponse(const std::string& id, std::string_view status,
+                          std::string_view code, std::string_view detail) {
+  std::string out = "{\"schema\":\"";
+  out += kRpcSchema;
+  out += "\",\"id\":\"";
+  out += obs::JsonEscape(id);
+  out += "\",\"status\":\"";
+  out.append(status.data(), status.size());
+  out += "\",\"code\":\"";
+  out.append(code.data(), code.size());
+  out += "\",\"detail\":\"";
+  out += obs::JsonEscape(std::string(detail));
+  out += "\",\"body\":{}}";
+  return out;
+}
+
+}  // namespace semap::serve

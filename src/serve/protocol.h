@@ -1,0 +1,96 @@
+// semap.rpc.v1 — the length-prefixed, CRC-framed request protocol.
+//
+// One frame per message, in the journal's textual idiom (store/journal.h)
+// so a frame is greppable on the wire and validatable outside the binary:
+//
+//   semap.rpc.v1 <length> <crc32>\n
+//   <payload bytes>\n
+//
+// <length> is the payload's byte count in decimal, <crc32> the zlib-
+// polynomial CRC of exactly those bytes as 8 lowercase hex digits
+// (util/crc32.h — the same checksum the Python validators recompute).
+// The trailing newline is framing, not payload. A reader that sees a
+// bad header, an oversized length, or a CRC mismatch must treat the
+// connection as poisoned: framing is how the stream stays in sync, so
+// there is no resynchronizing past a torn frame.
+//
+// The payload is one JSON object. Requests:
+//
+//   {"id":"r1","op":"map","scenario":"bookstore","deadline_ms":2000,
+//    "priority":0,"cache":"bypass"}
+//
+// `id` is the idempotency key: the server journals every ok response
+// under its id before sending it, so a retry with the same id returns
+// the stored bytes verbatim — byte-identical, even across a server
+// kill and restart. Ops: map, explain, lint, ping, stats. Responses:
+//
+//   {"schema":"semap.rpc.v1","id":"r1","status":"ok","code":"",
+//    "detail":"","body":{...}}
+//
+// `status` is ok | reject | error; `code` carries the SEMAP-E2xx code on
+// non-ok responses (docs/SERVING.md has the table). `body` is always the
+// LAST member and holds the op's result verbatim — an explain body is a
+// complete semap.explain.v1 document, so a client can slice it out
+// byte-exactly and feed it to semap_explain or check_obs_json.py.
+#ifndef SEMAP_SERVE_PROTOCOL_H_
+#define SEMAP_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/socket.h"
+#include "util/result.h"
+
+namespace semap::serve {
+
+inline constexpr const char kRpcSchema[] = "semap.rpc.v1";
+/// Frames above this are a protocol error, not an allocation request.
+inline constexpr size_t kMaxFrameBytes = 16u << 20;
+
+// The serving layer's diagnostic codes, in the repo-wide SEMAP-Exxx
+// space (util/diag.h owns E0xx; E2xx is the serving range).
+inline constexpr const char kErrBadFrame[] = "SEMAP-E200";
+inline constexpr const char kErrBadRequest[] = "SEMAP-E201";
+inline constexpr const char kErrUnknownScenario[] = "SEMAP-E202";
+inline constexpr const char kErrInternal[] = "SEMAP-E203";
+inline constexpr const char kErrOverloaded[] = "SEMAP-E210";
+inline constexpr const char kErrDraining[] = "SEMAP-E211";
+inline constexpr const char kErrCancelled[] = "SEMAP-E212";
+
+/// Wrap `payload` in one wire frame.
+std::string EncodeFrame(std::string_view payload);
+
+/// Read exactly one frame off `conn`. NotFound = clean EOF before any
+/// header byte (the peer simply left); ParseError = torn or corrupt
+/// frame (poisoned stream — respond E200 at most, then close).
+Result<std::string> ReadFrame(Conn& conn);
+
+/// Encode + send one frame.
+Status WriteFrame(Conn& conn, std::string_view payload);
+
+struct Request {
+  std::string id;
+  std::string op;        // map | explain | lint | ping | stats
+  std::string scenario;  // required for map/explain/lint
+  int64_t deadline_ms = -1;
+  int64_t priority = 0;
+  /// "cache":"bypass" — recompute even when a cached result exists (the
+  /// bench uses this to measure discovery latency under load).
+  bool cache_bypass = false;
+};
+
+/// Parse and validate one request payload. InvalidArgument explains
+/// what's missing or mistyped (the server relays it as E201).
+Result<Request> ParseRequest(std::string_view payload);
+
+/// Response envelopes. `body_json` must be a complete JSON value; it is
+/// spliced in verbatim as the final member.
+std::string OkResponse(const std::string& id, std::string_view body_json);
+/// `status` is "reject" (admission/drain decisions) or "error".
+std::string ErrorResponse(const std::string& id, std::string_view status,
+                          std::string_view code, std::string_view detail);
+
+}  // namespace semap::serve
+
+#endif  // SEMAP_SERVE_PROTOCOL_H_

@@ -1,0 +1,486 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "exec/run_context.h"
+#include "exec/supervisor.h"
+#include "obs/provenance.h"
+#include "obs/trace.h"
+
+namespace semap::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string EscapedField(std::string_view key, const std::string& value,
+                         bool first = false) {
+  std::string out = first ? "{" : ",";
+  out += "\"";
+  out.append(key.data(), key.size());
+  out += "\":\"";
+  out += obs::JsonEscape(value);
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Server>> Server::Start(ServerOptions opts) {
+  auto catalog = LoadCatalog(opts.catalog_dir);
+  if (!catalog.ok()) return catalog.status();
+
+  std::unique_ptr<Server> server(new Server(std::move(opts)));
+  server->catalog_ = std::move(*catalog);
+
+  if (!server->opts_.store_path.empty()) {
+    auto store = store::MappingStore::Open(server->opts_.store_path,
+                                           server->catalog_.fingerprint,
+                                           server->opts_.io_env);
+    if (!store.ok()) return store.status();
+    server->store_.emplace(std::move(*store));
+  }
+
+  SocketOptions socket_opts;
+  socket_opts.io_timeout_ms = server->opts_.io_timeout_ms;
+  Result<std::unique_ptr<Listener>> listener =
+      server->opts_.unix_path.empty()
+          ? ListenTcp(server->opts_.tcp_port, socket_opts)
+          : ListenUnix(server->opts_.unix_path, socket_opts);
+  if (!listener.ok()) return listener.status();
+  server->listener_ = std::move(*listener);
+  if (server->opts_.net_fault != nullptr) {
+    server->listener_ = FaultInjectedListener(std::move(server->listener_),
+                                              server->opts_.net_fault);
+  }
+
+  if (server->opts_.events != nullptr) {
+    server->opts_.events->Emit(
+        "serve_start",
+        obs::WideEvent()
+            .Int("scenarios",
+                 static_cast<int64_t>(server->catalog_.entries.size()))
+            .Int("skipped",
+                 static_cast<int64_t>(server->catalog_.skipped.size()))
+            .Bool("durable", server->store_.has_value()));
+  }
+  return server;
+}
+
+Server::~Server() {
+  // Serve() joins its workers before returning; this only covers a
+  // server destroyed without ever serving.
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  if (listener_ != nullptr) (void)listener_->Close();
+}
+
+Status Server::Serve(const std::atomic<bool>& stop) {
+  for (size_t i = 0; i < std::max<size_t>(opts_.workers, 1); ++i) {
+    workers_.emplace_back(&Server::WorkerLoop, this);
+  }
+
+  Status verdict = Status::OK();
+  while (!stop.load(std::memory_order_relaxed)) {
+    auto conn = listener_->Accept(stop);
+    if (!conn.ok()) {
+      if (stop.load(std::memory_order_relaxed)) break;
+      if (opts_.net_fault != nullptr && opts_.net_fault->crashed()) {
+        // The simulated process kill: freeze everything and bail out the
+        // way SIGKILL would — no drain courtesy, journal left as-is.
+        verdict = conn.status();
+        break;
+      }
+      // Transient accept failure (injected or real): keep listening,
+      // without spinning the fault counters hot.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() < opts_.queue_capacity) {
+        queue_.push_back(std::move(*conn));
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+      continue;
+    }
+    // Admission control: the queue is full, so the answer is an explicit
+    // coded reject written right here on the acceptor thread — cheap,
+    // bounded, and never silent.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.events != nullptr) {
+      opts_.events->Emit("request_shed",
+                         obs::WideEvent().Int("queue_depth",
+                                              static_cast<int64_t>(
+                                                  opts_.queue_capacity)));
+    }
+    (void)WriteFrame(**conn,
+                     ErrorResponse("", "reject", kErrOverloaded,
+                                   "server overloaded: admission queue is "
+                                   "full, retry with backoff"));
+    (void)(*conn)->Close();
+  }
+
+  // Drain: stop accepting (the listener is done), let queued connections
+  // be answered E211, give in-flight requests the drain deadline, then
+  // cancel whatever is left through the supervisor's cooperative flag.
+  const bool crashed =
+      opts_.net_fault != nullptr && opts_.net_fault->crashed();
+  draining_.store(true);
+  queue_cv_.notify_all();
+  if (opts_.events != nullptr) {
+    opts_.events->Emit("drain_begin",
+                       obs::WideEvent()
+                           .Int("in_flight",
+                                static_cast<int64_t>(
+                                    active_.load(std::memory_order_relaxed)))
+                           .Bool("crashed", crashed));
+  }
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         opts_.drain_deadline_ms > 0 ? opts_.drain_deadline_ms
+                                                     : 0);
+  while (Clock::now() < deadline) {
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      idle = queue_.empty() && active_.load(std::memory_order_relaxed) == 0;
+    }
+    if (idle) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  drain_cancel_.store(true);
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  (void)listener_->Close();
+  if (opts_.events != nullptr) {
+    opts_.events->Emit(
+        "drain_end",
+        obs::WideEvent()
+            .Int("served", static_cast<int64_t>(
+                               served_.load(std::memory_order_relaxed)))
+            .Int("shed",
+                 static_cast<int64_t>(shed_.load(std::memory_order_relaxed)))
+            .Bool("clean", verdict.ok()));
+  }
+  return verdict;
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    std::unique_ptr<Conn> conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || draining_.load(std::memory_order_relaxed);
+      });
+      if (queue_.empty()) {
+        if (draining_.load(std::memory_order_relaxed)) return;
+        continue;
+      }
+      conn = std::move(queue_.front());
+      queue_.pop_front();
+      active_.fetch_add(1, std::memory_order_relaxed);
+    }
+    HandleConn(std::move(conn));
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::HandleConn(std::unique_ptr<Conn> conn) {
+  while (true) {
+    auto payload = ReadFrame(*conn);
+    if (!payload.ok()) {
+      if (payload.status().code() == StatusCode::kNotFound) break;  // EOF
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (payload.status().code() == StatusCode::kParseError) {
+        // The stream lost sync; E200 is a courtesy, the close is the
+        // actual answer.
+        (void)WriteFrame(*conn,
+                         ErrorResponse("", "error", kErrBadFrame,
+                                       payload.status().message()));
+      }
+      break;
+    }
+
+    std::string response;
+    auto request = ParseRequest(*payload);
+    if (!request.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      response = ErrorResponse("", "error", kErrBadRequest,
+                               request.status().message());
+    } else if (draining_.load(std::memory_order_relaxed)) {
+      // Popped after the drain began: this request never started, so it
+      // is rejected, not cancelled.
+      response = ErrorResponse(request->id, "reject", kErrDraining,
+                               "server is draining, retry elsewhere");
+    } else {
+      response = HandleRequest(*request);
+    }
+    if (!WriteFrame(*conn, response).ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (draining_.load(std::memory_order_relaxed)) break;
+  }
+  (void)conn->Close();
+}
+
+std::string Server::HandleRequest(const Request& request) {
+  if (opts_.events != nullptr) {
+    opts_.events->Emit("request_start",
+                       obs::WideEvent()
+                           .Str("id", request.id)
+                           .Str("op", request.op)
+                           .Str("scenario", request.scenario)
+                           .Int("priority", request.priority)
+                           .Int("deadline_ms", request.deadline_ms));
+  }
+  if (request.op == "ping") {
+    return OkResponse(request.id, "{\"pong\":true}");
+  }
+  if (request.op == "stats") {
+    return OkResponse(request.id, StatsBody());
+  }
+
+  // Idempotency: a replayed id returns the journaled bytes verbatim —
+  // the same answer the original attempt got (or would have gotten),
+  // even across a server restart.
+  if (auto stored = LookupResponse(request.id); stored.has_value()) {
+    idempotent_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.events != nullptr) {
+      opts_.events->Emit("request_replayed",
+                         obs::WideEvent().Str("id", request.id));
+    }
+    return *stored;
+  }
+
+  const CatalogEntry* entry = catalog_.Find(request.scenario);
+  if (entry == nullptr) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(request.id, "error", kErrUnknownScenario,
+                         "unknown scenario \"" + request.scenario + "\"");
+  }
+
+  // Repeat traffic: a (op, scenario) result computed once — by this
+  // process or a predecessor over the same store — is served from the
+  // cache without touching the discovery pipeline.
+  const std::string result_key = "result:" + request.op + ":" +
+                                 request.scenario;
+  std::string body;
+  bool cached = false;
+  if (!request.cache_bypass) {
+    if (auto hit = LookupResult(result_key); hit.has_value()) {
+      body = std::move(*hit);
+      cached = true;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!cached) {
+    auto computed = Compute(request, *entry);
+    if (!computed.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (drain_cancel_.load(std::memory_order_relaxed)) {
+        return ErrorResponse(request.id, "reject", kErrCancelled,
+                             "request cancelled by drain deadline: " +
+                                 computed.status().message());
+      }
+      return ErrorResponse(request.id, "error", kErrInternal,
+                           computed.status().message());
+    }
+    body = std::move(*computed);
+    // Cache the body first: if the journal dies between these two puts,
+    // the restarted server recomputes nothing and the retry still gets
+    // byte-identical bytes (the body is deterministic).
+    if (Status stored = StoreResult(result_key, body); !stored.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(request.id, "error", kErrInternal,
+                           stored.message());
+    }
+  }
+
+  std::string response = OkResponse(request.id, body);
+  // Crash-only: fsync the response under its id BEFORE sending. An ok
+  // answer the client saw is always an answer the journal can replay.
+  if (Status stored = StoreResponse(request.id, response); !stored.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(request.id, "error", kErrInternal,
+                         stored.message());
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.events != nullptr) {
+    opts_.events->Emit("request_end",
+                       obs::WideEvent()
+                           .Str("id", request.id)
+                           .Str("op", request.op)
+                           .Bool("cached", cached));
+  }
+  return response;
+}
+
+Result<std::string> Server::Compute(const Request& request,
+                                    const CatalogEntry& entry) {
+  if (request.op == "lint") {
+    // The fail-soft load already linted the scenario at catalog time;
+    // the answer is a view of that verdict.
+    std::string body = EscapedField("scenario", entry.name, true);
+    body += ",\"degraded\":";
+    body += entry.degraded ? "true" : "false";
+    body += ",\"source_strees\":" +
+            std::to_string(entry.scenario.source.semantics().size());
+    body += ",\"target_strees\":" +
+            std::to_string(entry.scenario.target.semantics().size());
+    body += ",\"correspondences\":" +
+            std::to_string(entry.scenario.correspondences.size());
+    body += EscapedField("diagnostics", entry.diagnostics);
+    body += "}";
+    return body;
+  }
+
+  // The test hold: park here (responsively to drain-cancel) so tests can
+  // saturate the pool and observe shedding/drain without timing luck.
+  for (int64_t held = 0; held < opts_.request_hold_ms; held += 5) {
+    if (drain_cancel_.load(std::memory_order_relaxed)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (drain_cancel_.load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded("cancelled before dispatch");
+  }
+
+  exec::SupervisorOptions sup;
+  sup.jobs = 1;  // one worker thread = one supervised unit stream
+  sup.pipeline.deadline_ms =
+      request.deadline_ms > 0 ? request.deadline_ms : opts_.default_deadline_ms;
+  DiagnosticSink sink;
+  sup.pipeline.sink = &sink;
+  sup.cancel = &drain_cancel_;
+
+  obs::ProvenanceRecorder provenance;
+  exec::RunContext ctx;
+  if (request.op == "explain") ctx.provenance = &provenance;
+  if (opts_.events != nullptr) ctx.events = opts_.events;
+
+  auto run = exec::RunSupervisedPipeline(entry.scenario.source,
+                                         entry.scenario.target,
+                                         entry.scenario.correspondences, sup,
+                                         ctx);
+  if (!run.ok()) return run.status();
+  if (run->interrupted) {
+    return Status::DeadlineExceeded("cancelled mid-run by drain");
+  }
+
+  if (request.op == "explain") return provenance.ToJson();
+
+  // op == "map": the mapping set, tiers, and the degradation report —
+  // timestamp-free on purpose, so identical requests yield identical
+  // bytes (the idempotency and restart guarantees depend on it).
+  std::string body = EscapedField("scenario", entry.name, true);
+  body += ",\"degraded\":";
+  body += (run->run.report.AnyAtBaselineOrWorse() || entry.degraded)
+              ? "true"
+              : "false";
+  body += ",\"mappings\":[";
+  bool first = true;
+  for (const exec::ResilientMapping& m : run->run.mappings) {
+    if (!first) body += ",";
+    first = false;
+    body += EscapedField("tier", exec::TierName(m.tier), true);
+    body += EscapedField("tgd", m.tgd.ToString());
+    if (!m.source_algebra.empty()) {
+      body += EscapedField("source", m.source_algebra);
+      body += EscapedField("target", m.target_algebra);
+    }
+    body += "}";
+  }
+  body += "]";
+  body += EscapedField("report", run->run.report.ToString());
+  body += "}";
+  return body;
+}
+
+std::optional<std::string> Server::LookupResponse(const std::string& id) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (store_.has_value()) {
+    const auto& units = store_->units();
+    auto it = units.find("resp:" + id);
+    if (it == units.end()) return std::nullopt;
+    return it->second;
+  }
+  auto it = ephemeral_responses_.find(id);
+  if (it == ephemeral_responses_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> Server::LookupResult(const std::string& key) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (store_.has_value()) {
+    const auto& meta = store_->meta();
+    auto it = meta.find(key);
+    if (it == meta.end()) return std::nullopt;
+    return it->second;
+  }
+  auto it = ephemeral_results_.find(key);
+  if (it == ephemeral_results_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status Server::StoreResult(const std::string& key, const std::string& body) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (store_.has_value()) return store_->PutMeta(key, body);
+  ephemeral_results_[key] = body;
+  return Status::OK();
+}
+
+Status Server::StoreResponse(const std::string& id,
+                             const std::string& response) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (store_.has_value()) return store_->PutUnit("resp:" + id, response);
+  ephemeral_responses_[id] = response;
+  return Status::OK();
+}
+
+std::string Server::StatsBody() const {
+  std::string body = "{\"scenarios\":" +
+                     std::to_string(catalog_.entries.size());
+  body += ",\"accepted\":" +
+          std::to_string(accepted_.load(std::memory_order_relaxed));
+  body += ",\"served\":" +
+          std::to_string(served_.load(std::memory_order_relaxed));
+  body += ",\"shed\":" + std::to_string(shed_.load(std::memory_order_relaxed));
+  body += ",\"idempotent_hits\":" +
+          std::to_string(idempotent_hits_.load(std::memory_order_relaxed));
+  body += ",\"cache_hits\":" +
+          std::to_string(cache_hits_.load(std::memory_order_relaxed));
+  body += ",\"errors\":" +
+          std::to_string(errors_.load(std::memory_order_relaxed));
+  body += ",\"draining\":";
+  body += draining_.load(std::memory_order_relaxed) ? "true" : "false";
+  body += "}";
+  return body;
+}
+
+ServerStatsSnapshot Server::stats() const {
+  ServerStatsSnapshot snapshot;
+  snapshot.accepted = accepted_.load(std::memory_order_relaxed);
+  snapshot.served = served_.load(std::memory_order_relaxed);
+  snapshot.shed = shed_.load(std::memory_order_relaxed);
+  snapshot.idempotent_hits = idempotent_hits_.load(std::memory_order_relaxed);
+  snapshot.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snapshot.errors = errors_.load(std::memory_order_relaxed);
+  snapshot.draining = draining_.load(std::memory_order_relaxed);
+  snapshot.scenarios = catalog_.entries.size();
+  return snapshot;
+}
+
+}  // namespace semap::serve

@@ -1,0 +1,169 @@
+// The semap_serve daemon core: a crash-only request server over the
+// discovery pipeline.
+//
+// Lifecycle: Start() loads the scenario catalog once (compiled CM
+// graphs, s-trees, linted correspondences stay hot), opens the journaled
+// response store keyed by the catalog fingerprint, and binds the
+// listener. Serve() runs the accept loop on the calling thread and a
+// fixed worker pool; each worker executes one request at a time through
+// the supervised pipeline (exec/supervisor.h) under the request's own
+// deadline and the server's drain-cancel flag.
+//
+// Robustness contract (tested by tests/serve_test.cc, documented in
+// docs/SERVING.md):
+//   * admission — accepted connections enter a bounded queue; when it
+//     is full the acceptor immediately writes a coded SEMAP-E210 reject
+//     and closes. Overload is always an explicit answer, never silent
+//     queueing.
+//   * idempotency — every ok response is journaled under its request id
+//     *before* it is sent (fsync-then-respond). A retry with the same id
+//     — including against a restarted server after kill -9 — returns
+//     the stored bytes verbatim.
+//   * crash-only — the only durable state is the journaled store
+//     (PR 6); there is no repair step. Restart = replay.
+//   * repeat traffic — computed result bodies are cached in the store
+//     by (op, scenario), so repeated requests skip discovery entirely
+//     (and survive restarts). "cache":"bypass" forces recomputation.
+//   * drain — when the stop flag rises the listener closes, queued
+//     connections get SEMAP-E211, in-flight requests finish; past the
+//     drain deadline they are cancelled through the supervisor's
+//     cooperative flag and answered SEMAP-E212. Then Serve returns.
+//   * fault seams — all store I/O goes through ServerOptions::io_env,
+//     all socket ops through ServerOptions::net_fault (store/env.h), so
+//     the crash matrix can kill the daemon at any syscall of a served
+//     request.
+#ifndef SEMAP_SERVE_SERVER_H_
+#define SEMAP_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/events.h"
+#include "serve/catalog.h"
+#include "serve/protocol.h"
+#include "serve/socket.h"
+#include "store/env.h"
+#include "store/mapping_store.h"
+#include "util/result.h"
+
+namespace semap::serve {
+
+struct ServerOptions {
+  std::string catalog_dir;
+  /// Listen on a unix socket when non-empty; otherwise TCP.
+  std::string unix_path;
+  /// TCP port when unix_path is empty (0 = ephemeral, read tcp_port()).
+  int tcp_port = 0;
+  size_t workers = 2;
+  /// Accepted-but-unclaimed connections; beyond this the acceptor sheds
+  /// with SEMAP-E210.
+  size_t queue_capacity = 8;
+  /// Per-connection read/write timeout (slow-client protection).
+  int64_t io_timeout_ms = 5000;
+  /// Deadline applied to requests that do not carry their own.
+  int64_t default_deadline_ms = -1;
+  /// Budget for in-flight requests after the stop flag rises; past it
+  /// they are cooperatively cancelled (SEMAP-E212).
+  int64_t drain_deadline_ms = 2000;
+  /// Test hook: hold each computed request this long before running the
+  /// pipeline, so shed/drain races become deterministic.
+  int64_t request_hold_ms = 0;
+  /// Journaled response store; empty = ephemeral (in-memory) idempotency
+  /// only. The store's fingerprint is the catalog's.
+  std::string store_path;
+  /// Store I/O seam (Env::Default() when null).
+  store::Env* io_env = nullptr;
+  /// Socket fault seam; null = no injection.
+  store::FaultEnv* net_fault = nullptr;
+  /// Wide-event stream (semap.events.v1); not owned, may be null.
+  obs::EventEmitter* events = nullptr;
+};
+
+struct ServerStatsSnapshot {
+  uint64_t accepted = 0;
+  uint64_t served = 0;
+  uint64_t shed = 0;
+  uint64_t idempotent_hits = 0;
+  uint64_t cache_hits = 0;
+  uint64_t errors = 0;
+  bool draining = false;
+  size_t scenarios = 0;
+};
+
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Start(ServerOptions opts);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// Accept and serve until `stop` reads true, then drain. Returns OK on
+  /// a clean drain; the injected-crash status when the fault environment
+  /// killed the process mid-serve (the test then "restarts" by calling
+  /// Start again on the same store).
+  Status Serve(const std::atomic<bool>& stop);
+
+  /// Bound TCP port (-1 on unix sockets); lets tests use port 0.
+  int tcp_port() const { return listener_->port(); }
+  const Catalog& catalog() const { return catalog_; }
+  ServerStatsSnapshot stats() const;
+
+ private:
+  explicit Server(ServerOptions opts) : opts_(std::move(opts)) {}
+
+  void WorkerLoop();
+  void HandleConn(std::unique_ptr<Conn> conn);
+  std::string HandleRequest(const Request& request);
+  Result<std::string> Compute(const Request& request,
+                              const CatalogEntry& entry);
+
+  /// Stored response / cached result body lookups and journaling (the
+  /// store is not thread-safe; store_mu_ serializes it).
+  std::optional<std::string> LookupResponse(const std::string& id);
+  std::optional<std::string> LookupResult(const std::string& key);
+  Status StoreResult(const std::string& key, const std::string& body);
+  Status StoreResponse(const std::string& id, const std::string& response);
+
+  std::string StatsBody() const;
+
+  ServerOptions opts_;
+  Catalog catalog_;
+  std::unique_ptr<Listener> listener_;
+  std::optional<store::MappingStore> store_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Conn>> queue_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> draining_{false};
+  /// The supervisor cancel flag shared by every in-flight request: set
+  /// when the drain deadline expires.
+  std::atomic<bool> drain_cancel_{false};
+  std::atomic<size_t> active_{0};
+
+  std::mutex store_mu_;
+  std::map<std::string, std::string> ephemeral_responses_;
+  std::map<std::string, std::string> ephemeral_results_;
+
+  mutable std::atomic<uint64_t> accepted_{0};
+  mutable std::atomic<uint64_t> served_{0};
+  mutable std::atomic<uint64_t> shed_{0};
+  mutable std::atomic<uint64_t> idempotent_hits_{0};
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace semap::serve
+
+#endif  // SEMAP_SERVE_SERVER_H_

@@ -1,0 +1,324 @@
+#include "serve/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace semap::serve {
+
+namespace {
+
+using store::FaultEnv;
+using store::IoOp;
+using store::SocketVerdict;
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+void SetTimeouts(int fd, int64_t ms) {
+  if (ms <= 0) return;
+  timeval tv;
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+class PosixConn : public Conn {
+ public:
+  explicit PosixConn(int fd) : fd_(fd) {}
+  ~PosixConn() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> Read(char* buf, size_t max) override {
+    if (fd_ < 0) return Status::Internal("read on closed connection");
+    while (true) {
+      const ssize_t n = ::recv(fd_, buf, max, 0);
+      if (n >= 0) return static_cast<size_t>(n);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("recv timed out");
+      }
+      return Errno("recv failed");
+    }
+  }
+
+  Status WriteAll(std::string_view data) override {
+    if (fd_ < 0) return Status::Internal("write on closed connection");
+    size_t sent = 0;
+    while (sent < data.size()) {
+      // MSG_NOSIGNAL: a vanished peer is a return code, not a SIGPIPE.
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return Status::DeadlineExceeded("send timed out");
+        }
+        return Errno("send failed");
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Errno("close failed");
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixListener : public Listener {
+ public:
+  PosixListener(int fd, std::string unlink_path, int port,
+                SocketOptions opts)
+      : fd_(fd),
+        unlink_path_(std::move(unlink_path)),
+        port_(port),
+        opts_(opts) {}
+  ~PosixListener() override { (void)Close(); }
+
+  Result<std::unique_ptr<Conn>> Accept(const std::atomic<bool>& stop) override {
+    while (true) {
+      if (stop.load(std::memory_order_relaxed)) {
+        return Status::NotFound("listener stopped");
+      }
+      if (fd_ < 0) return Status::Internal("accept on closed listener");
+      pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      // A short poll quantum keeps the stop flag responsive without a
+      // self-pipe: drain latency is bounded by ~200ms, not a blocked
+      // accept.
+      const int ready = ::poll(&pfd, 1, 200);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Errno("poll failed");
+      }
+      if (ready == 0) continue;
+      const int conn_fd = ::accept(fd_, nullptr, nullptr);
+      if (conn_fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return Errno("accept failed");
+      }
+      SetTimeouts(conn_fd, opts_.io_timeout_ms);
+      return std::unique_ptr<Conn>(new PosixConn(conn_fd));
+    }
+  }
+
+  int port() const override { return port_; }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    ::close(fd);
+    if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string unlink_path_;
+  int port_;
+  SocketOptions opts_;
+};
+
+// --- fault-injecting wrappers --------------------------------------------
+
+class FaultConn : public Conn {
+ public:
+  FaultConn(std::unique_ptr<Conn> base, FaultEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Result<size_t> Read(char* buf, size_t max) override {
+    if (!pending_.ok()) {
+      // The previous short read delivered its surviving prefix; the
+      // connection is gone now.
+      Status failed = pending_;
+      pending_ = Status::OK();
+      return failed;
+    }
+    const SocketVerdict verdict = env_->HitSocket(IoOp::kRecv, max);
+    if (verdict.status.ok()) return base_->Read(buf, max);
+    if (verdict.budget == 0) return verdict.status;
+    // Short read: hand over what "arrived" before the peer vanished,
+    // fail on the next call.
+    auto got = base_->Read(buf, std::min(max, verdict.budget));
+    if (!got.ok()) return got;
+    pending_ = verdict.status;
+    return got;
+  }
+
+  Status WriteAll(std::string_view data) override {
+    const SocketVerdict verdict = env_->HitSocket(IoOp::kSend, data.size());
+    if (verdict.status.ok()) return base_->WriteAll(data);
+    if (verdict.budget > 0) {
+      // Deliver the surviving prefix: the peer sees a torn frame, which
+      // its CRC check must reject.
+      (void)base_->WriteAll(data.substr(0, verdict.budget));
+    }
+    return verdict.status;
+  }
+
+  Status Close() override {
+    const SocketVerdict verdict = env_->HitSocket(IoOp::kClose, 0);
+    Status closed = base_->Close();
+    if (!verdict.status.ok()) return verdict.status;
+    return closed;
+  }
+
+ private:
+  std::unique_ptr<Conn> base_;
+  FaultEnv* env_;
+  Status pending_;
+};
+
+class FaultListener : public Listener {
+ public:
+  FaultListener(std::unique_ptr<Listener> base, FaultEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Result<std::unique_ptr<Conn>> Accept(const std::atomic<bool>& stop) override {
+    const SocketVerdict verdict = env_->HitSocket(IoOp::kAccept, 0);
+    if (!verdict.status.ok()) return verdict.status;
+    auto conn = base_->Accept(stop);
+    if (!conn.ok()) return conn.status();
+    return std::unique_ptr<Conn>(new FaultConn(std::move(*conn), env_));
+  }
+
+  int port() const override { return base_->port(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<Listener> base_;
+  FaultEnv* env_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Listener>> ListenUnix(const std::string& path,
+                                             const SocketOptions& opts) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket failed");
+  ::unlink(path.c_str());  // a stale socket file from a crashed daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("bind " + path + " failed");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status status = Errno("listen failed");
+    ::close(fd);
+    ::unlink(path.c_str());
+    return status;
+  }
+  return std::unique_ptr<Listener>(new PosixListener(fd, path, -1, opts));
+}
+
+Result<std::unique_ptr<Listener>> ListenTcp(int port,
+                                            const SocketOptions& opts) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("bind 127.0.0.1:" + std::to_string(port) +
+                          " failed");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status status = Errno("listen failed");
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  int bound = port;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    bound = ntohs(addr.sin_port);
+  }
+  return std::unique_ptr<Listener>(new PosixListener(fd, "", bound, opts));
+}
+
+Result<std::unique_ptr<Conn>> DialUnix(const std::string& path,
+                                       const SocketOptions& opts) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket failed");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("connect " + path + " failed");
+    ::close(fd);
+    return status;
+  }
+  SetTimeouts(fd, opts.io_timeout_ms);
+  return std::unique_ptr<Conn>(new PosixConn(fd));
+}
+
+Result<std::unique_ptr<Conn>> DialTcp(const std::string& host, int port,
+                                      const SocketOptions& opts) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket failed");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("connect " + host + ":" + std::to_string(port) +
+                          " failed");
+    ::close(fd);
+    return status;
+  }
+  SetTimeouts(fd, opts.io_timeout_ms);
+  return std::unique_ptr<Conn>(new PosixConn(fd));
+}
+
+std::unique_ptr<Conn> FaultInjectedConn(std::unique_ptr<Conn> base,
+                                        store::FaultEnv* env) {
+  return std::unique_ptr<Conn>(new FaultConn(std::move(base), env));
+}
+
+std::unique_ptr<Listener> FaultInjectedListener(std::unique_ptr<Listener> base,
+                                                store::FaultEnv* env) {
+  return std::unique_ptr<Listener>(new FaultListener(std::move(base), env));
+}
+
+}  // namespace semap::serve

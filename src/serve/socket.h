@@ -1,0 +1,79 @@
+// Sockets behind the same seam as the store's filesystem I/O.
+//
+// The serving layer never calls accept/recv/send/close directly; it goes
+// through Conn/Listener, and the fault-injecting wrappers route every
+// operation through a store::FaultEnv (store/env.h) — the registry the
+// crash-matrix tests already sweep. That makes "the peer reset us after
+// half a frame" and "the process died inside send" injectable at the
+// k-th occurrence, against an unmodified server, via SEMAP_IO_FAULT
+// specs like "recv:2:reset" or "send:1:short".
+//
+// Two transports: unix-domain sockets (the default for a local daemon;
+// the socket file is unlinked on listen and on close) and TCP on
+// 127.0.0.1-style hosts (port 0 binds an ephemeral port, read it back
+// with port() — tests use this to avoid collisions). Accepted and
+// dialed sockets carry SO_RCVTIMEO/SO_SNDTIMEO so a slow or stalled
+// peer costs a bounded wait, never a wedged worker.
+#ifndef SEMAP_SERVE_SOCKET_H_
+#define SEMAP_SERVE_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "store/env.h"
+#include "util/result.h"
+
+namespace semap::serve {
+
+/// \brief One byte-stream connection. Read returns 0 at EOF; WriteAll
+/// loops until everything is sent or the connection fails.
+class Conn {
+ public:
+  virtual ~Conn() = default;
+  virtual Result<size_t> Read(char* buf, size_t max) = 0;
+  virtual Status WriteAll(std::string_view data) = 0;
+  virtual Status Close() = 0;
+};
+
+/// \brief A listening socket. Accept blocks (polling `stop` a few times
+/// a second) until a peer connects, `stop` reads true — then it returns
+/// NotFound("listener stopped") — or the transport fails.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  virtual Result<std::unique_ptr<Conn>> Accept(
+      const std::atomic<bool>& stop) = 0;
+  /// Bound TCP port (-1 for unix sockets); lets tests listen on port 0.
+  virtual int port() const { return -1; }
+  virtual Status Close() = 0;
+};
+
+struct SocketOptions {
+  /// SO_RCVTIMEO/SO_SNDTIMEO on every connection; <= 0 = no timeout.
+  int64_t io_timeout_ms = 5000;
+};
+
+Result<std::unique_ptr<Listener>> ListenUnix(const std::string& path,
+                                             const SocketOptions& opts = {});
+Result<std::unique_ptr<Listener>> ListenTcp(int port,
+                                            const SocketOptions& opts = {});
+Result<std::unique_ptr<Conn>> DialUnix(const std::string& path,
+                                       const SocketOptions& opts = {});
+Result<std::unique_ptr<Conn>> DialTcp(const std::string& host, int port,
+                                      const SocketOptions& opts = {});
+
+/// Route every op of `base` through `env`'s fault registry (env not
+/// owned, must outlive the wrapper). A short-write verdict delivers the
+/// surviving prefix before the connection dies — exactly what a torn
+/// peer leaves on the wire.
+std::unique_ptr<Conn> FaultInjectedConn(std::unique_ptr<Conn> base,
+                                        store::FaultEnv* env);
+std::unique_ptr<Listener> FaultInjectedListener(std::unique_ptr<Listener> base,
+                                                store::FaultEnv* env);
+
+}  // namespace semap::serve
+
+#endif  // SEMAP_SERVE_SOCKET_H_

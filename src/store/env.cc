@@ -22,6 +22,14 @@ const char* IoOpName(IoOp op) {
       return "fsync";
     case IoOp::kRename:
       return "rename";
+    case IoOp::kAccept:
+      return "accept";
+    case IoOp::kRecv:
+      return "recv";
+    case IoOp::kSend:
+      return "send";
+    case IoOp::kClose:
+      return "close";
   }
   return "?";
 }
@@ -129,19 +137,9 @@ Status SimulatedCrash() {
   return Status::Internal("simulated crash: environment is dead");
 }
 
-}  // namespace
-
-Env* Env::Default() {
-  static PosixEnv env;
-  return &env;
-}
-
-std::optional<FaultPlan> FaultPlanFromEnv() {
-  const char* raw = std::getenv("SEMAP_IO_FAULT");
-  if (raw == nullptr || *raw == '\0') return std::nullopt;
-  const std::string spec(raw);
+bool ParseFaultSpec(const std::string& spec, FaultPlan* plan) {
   const size_t first = spec.find(':');
-  if (first == std::string::npos) return std::nullopt;
+  if (first == std::string::npos) return false;
   const size_t second = spec.find(':', first + 1);
   const std::string op = spec.substr(0, first);
   const std::string count = second == std::string::npos
@@ -150,33 +148,75 @@ std::optional<FaultPlan> FaultPlanFromEnv() {
   const std::string mode =
       second == std::string::npos ? "crash" : spec.substr(second + 1);
 
-  FaultPlan plan;
   if (op == "open") {
-    plan.op = IoOp::kOpen;
+    plan->op = IoOp::kOpen;
   } else if (op == "write") {
-    plan.op = IoOp::kWrite;
+    plan->op = IoOp::kWrite;
   } else if (op == "fsync") {
-    plan.op = IoOp::kFsync;
+    plan->op = IoOp::kFsync;
   } else if (op == "rename") {
-    plan.op = IoOp::kRename;
+    plan->op = IoOp::kRename;
+  } else if (op == "accept") {
+    plan->op = IoOp::kAccept;
+  } else if (op == "recv") {
+    plan->op = IoOp::kRecv;
+  } else if (op == "send") {
+    plan->op = IoOp::kSend;
+  } else if (op == "close") {
+    plan->op = IoOp::kClose;
   } else {
-    return std::nullopt;
+    return false;
   }
   char* end = nullptr;
-  plan.after = std::strtoll(count.c_str(), &end, 10);
-  if (end == count.c_str() || *end != '\0' || plan.after <= 0) {
-    return std::nullopt;
+  plan->after = std::strtoll(count.c_str(), &end, 10);
+  if (end == count.c_str() || *end != '\0' || plan->after <= 0) {
+    return false;
   }
   if (mode == "fail") {
-    plan.mode = FaultMode::kFail;
+    plan->mode = FaultMode::kFail;
+  } else if (mode == "reset") {
+    plan->mode = FaultMode::kReset;
   } else if (mode == "short") {
-    plan.mode = FaultMode::kShortWrite;
+    plan->mode = FaultMode::kShortWrite;
   } else if (mode == "crash") {
-    plan.mode = FaultMode::kCrash;
+    plan->mode = FaultMode::kCrash;
   } else {
-    return std::nullopt;
+    return false;
   }
-  return plan;
+  return true;
+}
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+std::vector<FaultPlan> FaultPlansFromEnv() {
+  const char* raw = std::getenv("SEMAP_IO_FAULT");
+  if (raw == nullptr || *raw == '\0') return {};
+  const std::string value(raw);
+  std::vector<FaultPlan> plans;
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t comma = value.find(',', start);
+    const std::string spec =
+        value.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    FaultPlan plan;
+    if (!ParseFaultSpec(spec, &plan)) return {};  // all-or-nothing
+    plans.push_back(plan);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return plans;
+}
+
+std::optional<FaultPlan> FaultPlanFromEnv() {
+  std::vector<FaultPlan> plans = FaultPlansFromEnv();
+  if (plans.empty()) return std::nullopt;
+  return plans.front();
 }
 
 // Named (not anonymous) so FaultEnv's friend declaration reaches it.
@@ -213,44 +253,132 @@ class FaultFile : public File {
 FaultEnv::FaultEnv(Env* base)
     : base_(base != nullptr ? base : Env::Default()) {}
 
+void FaultEnv::set_plan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.assign(1, plan);
+}
+
+void FaultEnv::set_plans(std::vector<FaultPlan> plans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_ = std::move(plans);
+}
+
+void FaultEnv::add_plan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.push_back(plan);
+}
+
+void FaultEnv::clear_plan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+}
+
 int64_t FaultEnv::count(IoOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counts_.find(op);
   return it == counts_.end() ? 0 : it->second;
 }
 
+std::map<IoOp, int64_t> FaultEnv::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+bool FaultEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+std::optional<FaultMode> FaultEnv::MatchLocked(IoOp op, int64_t seen) const {
+  std::optional<FaultMode> strongest;
+  for (const FaultPlan& plan : plans_) {
+    if (plan.op != op || plan.after != seen) continue;
+    // FaultMode's declaration order IS the severity order.
+    if (!strongest.has_value() || plan.mode > *strongest) {
+      strongest = plan.mode;
+    }
+  }
+  return strongest;
+}
+
 Status FaultEnv::Hit(IoOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) return SimulatedCrash();
   const int64_t seen = ++counts_[op];
-  if (!plan_.has_value() || plan_->op != op || seen != plan_->after) {
-    return Status::OK();
-  }
+  const std::optional<FaultMode> mode = MatchLocked(op, seen);
+  if (!mode.has_value()) return Status::OK();
   const std::string what = std::string("injected ") + IoOpName(op) +
                            " fault at occurrence #" + std::to_string(seen);
-  if (plan_->mode == FaultMode::kFail) return Status::Internal(what);
+  // kReset has no connection to kill on the filesystem side: transient.
+  if (*mode == FaultMode::kFail || *mode == FaultMode::kReset) {
+    return Status::Internal(what);
+  }
   crashed_ = true;
   return Status::Internal(what + " (simulated kill)");
 }
 
 size_t FaultEnv::WriteBudget(size_t size, Status* status) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) {
     *status = SimulatedCrash();
     return 0;
   }
   const int64_t seen = ++counts_[IoOp::kWrite];
-  if (!plan_.has_value() || plan_->op != IoOp::kWrite ||
-      seen != plan_->after) {
+  const std::optional<FaultMode> mode = MatchLocked(IoOp::kWrite, seen);
+  if (!mode.has_value()) {
     *status = Status::OK();
     return size;
   }
   const std::string what =
       "injected write fault at occurrence #" + std::to_string(seen);
-  if (plan_->mode == FaultMode::kFail) {
+  if (*mode == FaultMode::kFail || *mode == FaultMode::kReset) {
     *status = Status::Internal(what);
     return 0;
   }
   crashed_ = true;
   *status = Status::Internal(what + " (simulated kill)");
-  return plan_->mode == FaultMode::kShortWrite ? size / 2 : 0;
+  return *mode == FaultMode::kShortWrite ? size / 2 : 0;
+}
+
+SocketVerdict FaultEnv::HitSocket(IoOp op, size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SocketVerdict verdict;
+  if (crashed_) {
+    verdict.conn_fatal = true;
+    verdict.status = SimulatedCrash();
+    return verdict;
+  }
+  const int64_t seen = ++counts_[op];
+  const std::optional<FaultMode> mode = MatchLocked(op, seen);
+  if (!mode.has_value()) {
+    verdict.budget = size;
+    return verdict;
+  }
+  const std::string what = std::string("injected ") + IoOpName(op) +
+                           " fault at occurrence #" + std::to_string(seen);
+  switch (*mode) {
+    case FaultMode::kFail:
+      verdict.status = Status::Internal(what);
+      break;
+    case FaultMode::kReset:
+      verdict.conn_fatal = true;
+      verdict.status = Status::Internal(what + " (connection reset)");
+      break;
+    case FaultMode::kShortWrite:
+      // Half the payload crosses the wire, then the peer is gone. The
+      // process lives: a torn connection is a client's problem, not a
+      // server death.
+      verdict.budget = size / 2;
+      verdict.conn_fatal = true;
+      verdict.status = Status::Internal(what + " (short, peer lost)");
+      break;
+    case FaultMode::kCrash:
+      crashed_ = true;
+      verdict.conn_fatal = true;
+      verdict.status = Status::Internal(what + " (simulated kill)");
+      break;
+  }
+  return verdict;
 }
 
 Result<std::unique_ptr<File>> FaultEnv::OpenAppend(const std::string& path) {
@@ -275,7 +403,10 @@ Status FaultEnv::Rename(const std::string& from, const std::string& to) {
 }
 
 Result<std::string> FaultEnv::ReadFile(const std::string& path) {
-  if (crashed_) return SimulatedCrash();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return SimulatedCrash();
+  }
   return base_->ReadFile(path);
 }
 
@@ -284,7 +415,10 @@ bool FaultEnv::Exists(const std::string& path) {
 }
 
 Status FaultEnv::Remove(const std::string& path) {
-  if (crashed_) return SimulatedCrash();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return SimulatedCrash();
+  }
   return base_->Remove(path);
 }
 

@@ -1,47 +1,63 @@
-// store::Env — the syscall seam under all mapping-store I/O.
+// store::Env — the syscall seam under all mapping-store and serving I/O.
 //
 // Crash safety cannot be tested by hoping: every claim the journal makes
 // ("a kill at any point leaves a recoverable prefix") has to be driven
 // through an actual fault at an actual syscall. So the store never calls
 // open/write/fsync/rename directly; it goes through an Env, and the test
 // Env can fail, short-write, or simulate a process kill at the k-th
-// occurrence of any operation.
+// occurrence of any operation. The serving layer (src/serve/) routes its
+// socket ops — accept/recv/send/close — through the same registry, so
+// one sweep covers both halves of a served request: the wire and the
+// journal.
 //
 // Three implementations matter:
 //   * the default Env (Env::Default()) does real POSIX I/O;
 //   * FaultEnv wraps another Env with a fault-point registry — per-op
-//     counters plus one armed FaultPlan. Mode kFail makes the k-th op
-//     return an error and then recovers (a transient fault: ENOSPC that
-//     clears, a blip); kShortWrite persists half of the k-th write and
-//     then behaves as killed; kCrash persists nothing of the k-th op and
-//     behaves as killed. "Killed" means every later operation through
-//     this Env fails — the on-disk state is frozen exactly as a SIGKILL
-//     at that syscall would leave it, while the hosting test process
-//     keeps running and can then "restart" by reopening the store with a
-//     clean Env.
+//     counters plus a list of armed FaultPlans. Mode kFail makes the
+//     k-th op return an error and then recovers (a transient fault:
+//     ENOSPC that clears, a blip); kReset is the socket flavour of a
+//     transient fault — it kills the connection the op served, not the
+//     process (for file ops it behaves like kFail); kShortWrite persists
+//     half of the k-th write and then behaves as killed (on a socket:
+//     half the bytes cross the wire and the peer vanishes); kCrash
+//     persists nothing of the k-th op and behaves as killed. "Killed"
+//     means every later operation through this Env fails — the on-disk
+//     state is frozen exactly as a SIGKILL at that syscall would leave
+//     it, while the hosting test process keeps running and can then
+//     "restart" by reopening the store with a clean Env.
 //   * counters alone (no plan) make FaultEnv a probe for sizing crash
 //     matrices: run once, read counts(), sweep k over them.
 //
-// SEMAP_IO_FAULT extends the SEMAP_FAULT_AFTER idiom to I/O: set it to
-// "<op>:<k>[:<mode>]" (e.g. "write:3:crash", "rename:1:fail",
-// "fsync:2:short") and semap_map arms a FaultEnv over the default Env,
-// so crash drills run against an unmodified binary.
+// SEMAP_IO_FAULT extends the SEMAP_FAULT_AFTER idiom to I/O: set it to a
+// comma-separated list of "<op>:<k>[:<mode>]" specs (e.g.
+// "write:3:crash", "rename:1:fail", "send:2:reset", or the composed
+// "write:2:short,fsync:4:crash") and semap_map / semap_serve arm a
+// FaultEnv over the default Env, so crash drills run against unmodified
+// binaries. A list with any malformed spec is ignored whole — a typo'd
+// drill should do nothing rather than half of something.
+//
+// FaultEnv is thread-safe: serve workers share one registry, so counters
+// and plan matching are serialized by an internal mutex.
 #ifndef SEMAP_STORE_ENV_H_
 #define SEMAP_STORE_ENV_H_
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/result.h"
 
 namespace semap::store {
 
 /// \brief The I/O operations the fault registry can count and fail.
-enum class IoOp { kOpen, kWrite, kFsync, kRename };
+/// kOpen..kRename are filesystem ops issued by the store; kAccept..kClose
+/// are socket ops issued by the serving layer.
+enum class IoOp { kOpen, kWrite, kFsync, kRename, kAccept, kRecv, kSend, kClose };
 
 const char* IoOpName(IoOp op);
 
@@ -78,8 +94,13 @@ class Env {
 enum class FaultMode {
   /// The k-th op fails and the environment recovers: a transient error.
   kFail,
-  /// The k-th op is a write that persists only its first half, then the
-  /// environment behaves as killed. For non-write ops, same as kCrash.
+  /// Socket ops: the k-th op fails and its connection is torn down, but
+  /// the environment recovers — a peer reset, not a process death. For
+  /// file ops, same as kFail.
+  kReset,
+  /// The k-th op is a write/send that persists (delivers) only its first
+  /// half, then the environment behaves as killed. For other ops, same
+  /// as kCrash.
   kShortWrite,
   /// The k-th op persists nothing and the environment behaves as killed:
   /// every later operation fails, freezing the on-disk state.
@@ -94,29 +115,58 @@ struct FaultPlan {
   FaultMode mode = FaultMode::kCrash;
 };
 
-/// Parsed SEMAP_IO_FAULT ("<op>:<k>[:<mode>]"); nullopt when unset or
-/// malformed (a malformed value is ignored, like SEMAP_FAULT_AFTER).
+/// Parsed SEMAP_IO_FAULT: a comma-separated list of "<op>:<k>[:<mode>]"
+/// specs. Empty when unset; empty when ANY spec is malformed (the whole
+/// value is ignored, like SEMAP_FAULT_AFTER).
+std::vector<FaultPlan> FaultPlansFromEnv();
+
+/// Back-compat single-plan view: the first plan of FaultPlansFromEnv(),
+/// nullopt when the variable is unset or malformed.
 std::optional<FaultPlan> FaultPlanFromEnv();
 
-/// \brief Fault-injecting Env: counts every operation and fires the
-/// armed plan at its k-th occurrence. Not thread-safe by design — store
-/// I/O is already serialized by its callers (the supervisor journals
-/// under its completion lock).
+/// \brief What HitSocket decided for one socket operation.
+struct SocketVerdict {
+  /// Bytes of the op's payload that still cross the wire before the
+  /// fault lands (send: bytes delivered; recv: bytes handed to the
+  /// caller). Equal to the full size when no fault fired.
+  size_t budget = 0;
+  /// True when the connection is dead after this op (reset, short, or
+  /// kill). False for kFail: the op errored but the socket may retry.
+  bool conn_fatal = false;
+  Status status = Status::OK();
+};
+
+/// \brief Fault-injecting Env: counts every operation and fires each
+/// armed plan at its k-th occurrence. When several plans match the same
+/// occurrence the strongest mode wins (crash > short > reset > fail).
+/// Thread-safe: counters and plans are guarded by a mutex so serve
+/// workers can share one registry.
 class FaultEnv : public Env {
  public:
   /// Wrap `base` (not owned; Env::Default() if null).
   explicit FaultEnv(Env* base = nullptr);
 
-  void set_plan(FaultPlan plan) { plan_ = plan; }
-  void clear_plan() { plan_.reset(); }
+  /// Replace all armed plans with this one.
+  void set_plan(FaultPlan plan);
+  void set_plans(std::vector<FaultPlan> plans);
+  void add_plan(FaultPlan plan);
+  void clear_plan();
 
   /// Ops observed so far, per kind (counted whether or not they failed).
   int64_t count(IoOp op) const;
-  const std::map<IoOp, int64_t>& counts() const { return counts_; }
+  /// Snapshot of all per-op counters (copied under the lock).
+  std::map<IoOp, int64_t> counts() const;
 
   /// True once a kCrash/kShortWrite plan fired: the simulated process is
   /// dead and all further I/O fails.
-  bool crashed() const { return crashed_; }
+  bool crashed() const;
+
+  /// Count one occurrence of a socket `op` and decide its fate. `size`
+  /// is the payload size for send/recv (0 for accept/close); the verdict
+  /// says how many of those bytes survive and whether the connection or
+  /// the whole environment dies. Public: the serve socket layer is in a
+  /// different library and wraps real sockets, not Files.
+  SocketVerdict HitSocket(IoOp op, size_t size);
 
   Result<std::unique_ptr<File>> OpenAppend(const std::string& path) override;
   Result<std::unique_ptr<File>> OpenTrunc(const std::string& path) override;
@@ -135,8 +185,13 @@ class FaultEnv : public Env {
   /// persist before failing (size = all of them = no fault).
   size_t WriteBudget(size_t size, Status* status);
 
+  /// The strongest armed mode for the `seen`-th occurrence of `op`, or
+  /// nullopt. Caller holds mu_.
+  std::optional<FaultMode> MatchLocked(IoOp op, int64_t seen) const;
+
   Env* base_;
-  std::optional<FaultPlan> plan_;
+  mutable std::mutex mu_;
+  std::vector<FaultPlan> plans_;
   std::map<IoOp, int64_t> counts_;
   bool crashed_ = false;
 };

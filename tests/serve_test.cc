@@ -1,0 +1,456 @@
+// Serving-layer tests: the semap.rpc.v1 daemon end to end over ephemeral
+// TCP — request/response round trips, idempotent retries, the durable
+// result cache, the coded error paths (E200 torn frame, E201 bad
+// request, E202 unknown scenario, E210 overload shed, E211/E212 drain),
+// and the fault matrix over a served request's socket and filesystem
+// syscalls: fail/reset/short/kill at the k-th occurrence must leave the
+// store recoverable, and a restarted server must answer a retried
+// request id with byte-identical bytes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/socket.h"
+#include "store/env.h"
+
+namespace semap {
+namespace {
+
+using store::FaultEnv;
+using store::FaultMode;
+using store::FaultPlan;
+using store::IoOp;
+
+std::string CatalogDir() { return SEMAP_EXAMPLES_DIR; }
+
+std::string FreshStorePath(const char* name) {
+  // Parameterized test names contain '/': flatten them for the path.
+  std::string test =
+      testing::UnitTest::GetInstance()->current_test_info()->name();
+  for (char& c : test) {
+    if (c == '/') c = '_';
+  }
+  const std::string path =
+      testing::TempDir() + "/" + test + "." + name + ".store.jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+/// An in-process daemon on an ephemeral TCP port: Serve runs on a
+/// background thread until Stop() (or destruction) raises the flag.
+class TestServer {
+ public:
+  explicit TestServer(serve::ServerOptions opts) {
+    opts.catalog_dir = CatalogDir();
+    opts.tcp_port = 0;
+    auto started = serve::Server::Start(std::move(opts));
+    if (!started.ok()) {
+      start_error_ = started.status();
+      return;
+    }
+    server_ = std::move(*started);
+    thread_ = std::thread([this] { serve_status_ = server_->Serve(stop_); });
+  }
+
+  ~TestServer() { Stop(); }
+
+  void Stop() {
+    if (thread_.joinable()) {
+      stop_.store(true);
+      thread_.join();
+    }
+  }
+
+  bool ok() const { return server_ != nullptr; }
+  const Status& start_error() const { return start_error_; }
+  int port() const { return server_->tcp_port(); }
+  serve::ServerStatsSnapshot stats() const { return server_->stats(); }
+  /// Valid after Stop(): OK on a clean drain, the injected status when
+  /// the fault environment killed the serve loop.
+  const Status& serve_status() const { return serve_status_; }
+
+ private:
+  std::unique_ptr<serve::Server> server_;
+  Status start_error_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  Status serve_status_;
+};
+
+std::string MapRequest(const std::string& id, const std::string& scenario,
+                       bool bypass = false) {
+  std::string payload =
+      "{\"id\":\"" + id + "\",\"op\":\"map\",\"scenario\":\"" + scenario + "\"";
+  if (bypass) payload += ",\"cache\":\"bypass\"";
+  return payload + "}";
+}
+
+/// One round trip over a fresh connection, like semap_call.
+Result<std::string> Call(int port, const std::string& payload) {
+  serve::SocketOptions opts;
+  opts.io_timeout_ms = 10000;
+  auto conn = serve::DialTcp("127.0.0.1", port, opts);
+  SEMAP_RETURN_NOT_OK(conn.status());
+  SEMAP_RETURN_NOT_OK(serve::WriteFrame(**conn, payload));
+  auto response = serve::ReadFrame(**conn);
+  (void)(*conn)->Close();
+  return response;
+}
+
+void ExpectOk(const Result<std::string>& response) {
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_NE(response->find("\"status\":\"ok\""), std::string::npos)
+      << *response;
+}
+
+void ExpectCode(const Result<std::string>& response, const char* code) {
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_NE(response->find(code), std::string::npos) << *response;
+}
+
+// --- Request/response basics ----------------------------------------------
+
+TEST(ServeTest, PingMapAndStatsRoundTrip) {
+  TestServer server({});
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  auto ping = Call(server.port(), "{\"id\":\"p\",\"op\":\"ping\"}");
+  ExpectOk(ping);
+
+  auto map = Call(server.port(), MapRequest("r1", "bookstore"));
+  ExpectOk(map);
+  EXPECT_NE(map->find("\"mappings\""), std::string::npos) << *map;
+
+  auto stats = Call(server.port(), "{\"id\":\"s\",\"op\":\"stats\"}");
+  ExpectOk(stats);
+  EXPECT_NE(stats->find("\"served\""), std::string::npos) << *stats;
+}
+
+TEST(ServeTest, RetryWithTheSameIdIsByteIdentical) {
+  TestServer server({});
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  auto first = Call(server.port(), MapRequest("r1", "bookstore"));
+  ExpectOk(first);
+  auto retry = Call(server.port(), MapRequest("r1", "bookstore"));
+  ExpectOk(retry);
+  EXPECT_EQ(*first, *retry);
+  EXPECT_EQ(server.stats().idempotent_hits, 1u);
+}
+
+TEST(ServeTest, RepeatTrafficHitsTheResultCache) {
+  TestServer server({});
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  ExpectOk(Call(server.port(), MapRequest("a", "bookstore")));
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+  // A different id, same work: answered from the result cache.
+  ExpectOk(Call(server.port(), MapRequest("b", "bookstore")));
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+  // cache:"bypass" forces recomputation past it.
+  ExpectOk(Call(server.port(), MapRequest("c", "bookstore", true)));
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+}
+
+TEST(ServeTest, ResponsesSurviveARestartOnTheSameStore) {
+  const std::string store = FreshStorePath("restart");
+  std::string first;
+  {
+    serve::ServerOptions opts;
+    opts.store_path = store;
+    TestServer server(opts);
+    ASSERT_TRUE(server.ok()) << server.start_error();
+    auto response = Call(server.port(), MapRequest("r1", "bookstore"));
+    ExpectOk(response);
+    first = *response;
+  }
+  serve::ServerOptions opts;
+  opts.store_path = store;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+  auto retry = Call(server.port(), MapRequest("r1", "bookstore"));
+  ExpectOk(retry);
+  EXPECT_EQ(*retry, first);
+  EXPECT_EQ(server.stats().idempotent_hits, 1u);
+  // Fresh ids are answered from the durable result cache: the restarted
+  // server never recompiles repeat traffic.
+  ExpectOk(Call(server.port(), MapRequest("r2", "bookstore")));
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+  std::remove(store.c_str());
+}
+
+// --- Coded error paths ----------------------------------------------------
+
+TEST(ServeTest, TornFrameGetsE200AndPoisonsTheConnection) {
+  TestServer server({});
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  auto conn = serve::DialTcp("127.0.0.1", server.port(), {});
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  ASSERT_TRUE((*conn)->WriteAll("this is not a frame\n").ok());
+  auto response = serve::ReadFrame(**conn);
+  ExpectCode(response, serve::kErrBadFrame);
+  // The stream is poisoned: the server closed after the E200.
+  char byte;
+  auto eof = (*conn)->Read(&byte, 1);
+  ASSERT_TRUE(eof.ok()) << eof.status();
+  EXPECT_EQ(*eof, 0u);
+  (void)(*conn)->Close();
+}
+
+TEST(ServeTest, InvalidRequestGetsE201) {
+  TestServer server({});
+  ASSERT_TRUE(server.ok()) << server.start_error();
+  // Valid frame, invalid request: no id.
+  ExpectCode(Call(server.port(), "{\"op\":\"map\",\"scenario\":\"bookstore\"}"),
+             serve::kErrBadRequest);
+  // Unknown op.
+  ExpectCode(Call(server.port(), "{\"id\":\"x\",\"op\":\"teleport\"}"),
+             serve::kErrBadRequest);
+}
+
+TEST(ServeTest, UnknownScenarioGetsE202) {
+  TestServer server({});
+  ASSERT_TRUE(server.ok()) << server.start_error();
+  auto response = Call(server.port(), MapRequest("x", "no_such_scenario"));
+  ExpectCode(response, serve::kErrUnknownScenario);
+  EXPECT_NE(response->find("\"status\":\"error\""), std::string::npos);
+}
+
+TEST(ServeTest, OverloadShedsWithE210NeverSilently) {
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.request_hold_ms = 400;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  // A occupies the only worker (held 400ms), B the only queue slot.
+  auto a = serve::DialTcp("127.0.0.1", server.port(), {});
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(
+      serve::WriteFrame(**a, MapRequest("slow-a", "bookstore", true)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto b = serve::DialTcp("127.0.0.1", server.port(), {});
+  ASSERT_TRUE(b.ok()) << b.status();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // C finds the queue full: the acceptor answers E210 immediately — an
+  // explicit coded rejection, not a silent queue.
+  auto c = serve::DialTcp("127.0.0.1", server.port(), {});
+  ASSERT_TRUE(c.ok()) << c.status();
+  auto shed = serve::ReadFrame(**c);
+  ExpectCode(shed, serve::kErrOverloaded);
+  EXPECT_NE(shed->find("\"status\":\"reject\""), std::string::npos);
+  EXPECT_GE(server.stats().shed, 1u);
+  (void)(*c)->Close();
+
+  // A still completes; B gets served after it.
+  auto slow = serve::ReadFrame(**a);
+  ExpectOk(slow);
+  (void)(*a)->Close();
+  ASSERT_TRUE(serve::WriteFrame(**b, MapRequest("queued-b", "bookstore")).ok());
+  ExpectOk(serve::ReadFrame(**b));
+  (void)(*b)->Close();
+}
+
+// --- Drain ----------------------------------------------------------------
+
+TEST(ServeTest, DrainFinishesInFlightRequests) {
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.request_hold_ms = 200;
+  opts.drain_deadline_ms = 5000;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  auto conn = serve::DialTcp("127.0.0.1", server.port(), {});
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  ASSERT_TRUE(
+      serve::WriteFrame(**conn, MapRequest("inflight", "bookstore", true))
+          .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  server.Stop();  // SIGTERM: the in-flight request must still finish
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status();
+  ExpectOk(serve::ReadFrame(**conn));
+  (void)(*conn)->Close();
+}
+
+TEST(ServeTest, DrainPastTheDeadlineCancelsWithE212) {
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.request_hold_ms = 5000;
+  opts.drain_deadline_ms = 100;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  auto conn = serve::DialTcp("127.0.0.1", server.port(), {});
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  ASSERT_TRUE(
+      serve::WriteFrame(**conn, MapRequest("stuck", "bookstore", true)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  server.Stop();  // the hold outlives the drain deadline
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status();
+  auto cancelled = serve::ReadFrame(**conn);
+  ExpectCode(cancelled, serve::kErrCancelled);
+  EXPECT_NE(cancelled->find("\"status\":\"reject\""), std::string::npos);
+  (void)(*conn)->Close();
+}
+
+// --- Fault matrix over a served request -----------------------------------
+
+/// The reference response for id "r" on a clean server — map bodies are
+/// deterministic, so every recovery below must reproduce these bytes.
+std::string ReferenceResponse() {
+  static const std::string reference = [] {
+    TestServer server({});
+    EXPECT_TRUE(server.ok()) << server.start_error();
+    auto response = Call(server.port(), MapRequest("r", "bookstore"));
+    EXPECT_TRUE(response.ok()) << response.status();
+    return response.ok() ? *response : std::string();
+  }();
+  return reference;
+}
+
+/// Drive one request against a fault-armed server (the client side may
+/// legitimately fail), then restart fault-free on the same store and
+/// require the retried id to come back ok and byte-identical.
+void RunFaultedThenRecover(const FaultPlan& plan, const std::string& context) {
+  const std::string store = FreshStorePath("fault_matrix");
+  {
+    FaultEnv net;
+    net.set_plan(plan);
+    serve::ServerOptions opts;
+    opts.store_path = store;
+    opts.io_env = &net;
+    opts.net_fault = &net;
+    TestServer server(opts);
+    ASSERT_TRUE(server.ok()) << context << ": " << server.start_error();
+    auto response = Call(server.port(), MapRequest("r", "bookstore"));
+    if (response.ok() &&
+        response->find("\"status\":\"ok\"") != std::string::npos) {
+      EXPECT_EQ(*response, ReferenceResponse()) << context;
+    }
+    server.Stop();
+    // A clean drain or the injected kill — never a third outcome.
+    if (!server.serve_status().ok()) {
+      EXPECT_NE(server.serve_status().ToString().find("injected"),
+                std::string::npos)
+          << context << ": " << server.serve_status();
+    }
+  }
+
+  // Restart = replay: no repair step, and the retried id must return
+  // the same bytes the reference run produced.
+  serve::ServerOptions opts;
+  opts.store_path = store;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << context << ": " << server.start_error();
+  auto retry = Call(server.port(), MapRequest("r", "bookstore"));
+  ASSERT_TRUE(retry.ok()) << context << ": " << retry.status();
+  EXPECT_NE(retry->find("\"status\":\"ok\""), std::string::npos)
+      << context << ": " << *retry;
+  EXPECT_EQ(*retry, ReferenceResponse()) << context;
+  std::remove(store.c_str());
+}
+
+/// Probe pass: count each op at two points — after startup (store open
+/// and replay) and after one served request plus a clean drain — so the
+/// sweeps arm the occurrences inside the request path, crash-matrix
+/// style. The second snapshot is taken after Stop() has joined the
+/// server: the connection close lands on a worker thread after the
+/// client has already read the response, so counts are only stable once
+/// the server is quiescent.
+struct ProbeCounts {
+  std::map<IoOp, int64_t> startup;
+  std::map<IoOp, int64_t> after_request;
+};
+
+const ProbeCounts& Probe() {
+  static const ProbeCounts counts = [] {
+    ProbeCounts probe;
+    FaultEnv net;  // no plans: pure counting
+    const std::string store = testing::TempDir() + "/serve_probe.store.jsonl";
+    std::remove(store.c_str());
+    serve::ServerOptions opts;
+    opts.store_path = store;
+    opts.io_env = &net;
+    opts.net_fault = &net;
+    TestServer server(opts);
+    EXPECT_TRUE(server.ok()) << server.start_error();
+    probe.startup = net.counts();
+    auto response = Call(server.port(), MapRequest("r", "bookstore"));
+    EXPECT_TRUE(response.ok()) << response.status();
+    server.Stop();
+    probe.after_request = net.counts();
+    std::remove(store.c_str());
+    return probe;
+  }();
+  return counts;
+}
+
+class ServeFaultMatrixTest
+    : public testing::TestWithParam<std::pair<IoOp, FaultMode>> {};
+
+TEST_P(ServeFaultMatrixTest, EveryOccurrenceRecoversByteIdentically) {
+  const auto [op, mode] = GetParam();
+  const ProbeCounts& probe = Probe();
+  const auto base_it = probe.startup.find(op);
+  const int64_t base = base_it == probe.startup.end() ? 0 : base_it->second;
+  const auto total_it = probe.after_request.find(op);
+  const int64_t total =
+      total_it == probe.after_request.end() ? 0 : total_it->second;
+  ASSERT_GT(total, base) << "the request path never touched "
+                         << store::IoOpName(op);
+  for (int64_t k = base + 1; k <= total; ++k) {
+    RunFaultedThenRecover(
+        {op, k, mode},
+        std::string(store::IoOpName(op)) + ":" + std::to_string(k) + " mode " +
+            std::to_string(static_cast<int>(mode)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sockets, ServeFaultMatrixTest,
+    testing::Values(std::pair{IoOp::kAccept, FaultMode::kFail},
+                    std::pair{IoOp::kAccept, FaultMode::kReset},
+                    std::pair{IoOp::kAccept, FaultMode::kCrash},
+                    std::pair{IoOp::kRecv, FaultMode::kFail},
+                    std::pair{IoOp::kRecv, FaultMode::kReset},
+                    std::pair{IoOp::kRecv, FaultMode::kShortWrite},
+                    std::pair{IoOp::kRecv, FaultMode::kCrash},
+                    std::pair{IoOp::kSend, FaultMode::kFail},
+                    std::pair{IoOp::kSend, FaultMode::kReset},
+                    std::pair{IoOp::kSend, FaultMode::kShortWrite},
+                    std::pair{IoOp::kSend, FaultMode::kCrash},
+                    std::pair{IoOp::kClose, FaultMode::kFail},
+                    std::pair{IoOp::kClose, FaultMode::kReset},
+                    std::pair{IoOp::kClose, FaultMode::kCrash}));
+
+// A served request's filesystem ops are the journal appends (write +
+// fsync for the result cache and the response record); open and rename
+// happen at startup/rotation and are swept by crash_matrix_test.cc.
+INSTANTIATE_TEST_SUITE_P(
+    Filesystem, ServeFaultMatrixTest,
+    testing::Values(std::pair{IoOp::kWrite, FaultMode::kFail},
+                    std::pair{IoOp::kWrite, FaultMode::kReset},
+                    std::pair{IoOp::kWrite, FaultMode::kShortWrite},
+                    std::pair{IoOp::kWrite, FaultMode::kCrash},
+                    std::pair{IoOp::kFsync, FaultMode::kFail},
+                    std::pair{IoOp::kFsync, FaultMode::kCrash}));
+
+}  // namespace
+}  // namespace semap

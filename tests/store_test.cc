@@ -161,6 +161,88 @@ TEST(FaultEnvTest, PlanParsesFromTheEnvironmentVariable) {
   EXPECT_FALSE(store::FaultPlanFromEnv().has_value());
 }
 
+TEST(FaultEnvTest, PlanListParsesCommaSeparatedSpecs) {
+  ::setenv("SEMAP_IO_FAULT", "recv:2:reset,send:1:short,accept:3", 1);
+  auto plans = store::FaultPlansFromEnv();
+  ASSERT_EQ(plans.size(), 3u);
+  EXPECT_EQ(plans[0].op, IoOp::kRecv);
+  EXPECT_EQ(plans[0].after, 2);
+  EXPECT_EQ(plans[0].mode, FaultMode::kReset);
+  EXPECT_EQ(plans[1].op, IoOp::kSend);
+  EXPECT_EQ(plans[1].after, 1);
+  EXPECT_EQ(plans[1].mode, FaultMode::kShortWrite);
+  EXPECT_EQ(plans[2].op, IoOp::kAccept);
+  EXPECT_EQ(plans[2].after, 3);
+  EXPECT_EQ(plans[2].mode, FaultMode::kCrash);  // mode defaults to crash
+  ::unsetenv("SEMAP_IO_FAULT");
+}
+
+TEST(FaultEnvTest, MalformedSpecDropsTheWholeList) {
+  // All-or-nothing: a drill must never run with half its faults armed.
+  ::setenv("SEMAP_IO_FAULT", "recv:2:reset,bogus:1:fail", 1);
+  EXPECT_TRUE(store::FaultPlansFromEnv().empty());
+  ::setenv("SEMAP_IO_FAULT", "recv:2:reset,,send:1", 1);
+  EXPECT_TRUE(store::FaultPlansFromEnv().empty());
+  ::unsetenv("SEMAP_IO_FAULT");
+  EXPECT_TRUE(store::FaultPlansFromEnv().empty());
+}
+
+TEST(FaultEnvTest, HitSocketVerdictsFollowTheMode) {
+  FaultEnv env;
+  env.set_plans({{IoOp::kRecv, 1, FaultMode::kFail},
+                 {IoOp::kRecv, 2, FaultMode::kReset},
+                 {IoOp::kSend, 1, FaultMode::kShortWrite}});
+
+  // fail: the op errors, the connection may retry, nothing crosses.
+  store::SocketVerdict fail = env.HitSocket(IoOp::kRecv, 100);
+  EXPECT_FALSE(fail.status.ok());
+  EXPECT_FALSE(fail.conn_fatal);
+  EXPECT_EQ(fail.budget, 0u);
+
+  // reset: the connection dies, the process lives.
+  store::SocketVerdict reset = env.HitSocket(IoOp::kRecv, 100);
+  EXPECT_FALSE(reset.status.ok());
+  EXPECT_TRUE(reset.conn_fatal);
+  EXPECT_EQ(reset.budget, 0u);
+  EXPECT_FALSE(env.crashed());
+
+  // short: half the payload crosses the wire first, then the peer is
+  // gone — a torn connection, not a server death.
+  store::SocketVerdict short_write = env.HitSocket(IoOp::kSend, 100);
+  EXPECT_FALSE(short_write.status.ok());
+  EXPECT_TRUE(short_write.conn_fatal);
+  EXPECT_EQ(short_write.budget, 50u);
+  EXPECT_FALSE(env.crashed());
+
+  // Unarmed occurrences pass the whole budget through.
+  store::SocketVerdict clean = env.HitSocket(IoOp::kSend, 100);
+  EXPECT_TRUE(clean.status.ok());
+  EXPECT_EQ(clean.budget, 100u);
+}
+
+TEST(FaultEnvTest, HitSocketCrashFreezesTheWholeEnvironment) {
+  FaultEnv env;
+  env.set_plan({IoOp::kSend, 1, FaultMode::kCrash});
+  store::SocketVerdict crash = env.HitSocket(IoOp::kSend, 10);
+  EXPECT_FALSE(crash.status.ok());
+  EXPECT_TRUE(crash.conn_fatal);
+  EXPECT_TRUE(env.crashed());
+  // Every later op — socket or filesystem — is dead too: one process.
+  EXPECT_FALSE(env.HitSocket(IoOp::kAccept, 0).status.ok());
+  EXPECT_FALSE(env.OpenTrunc(TempPath("post_crash")).ok());
+}
+
+TEST(FaultEnvTest, StrongestModeWinsWhenPlansCollide) {
+  // Two plans armed at the same occurrence: declaration order of
+  // FaultMode is the severity order, so crash beats fail.
+  FaultEnv env;
+  env.set_plans({{IoOp::kRecv, 1, FaultMode::kFail},
+                 {IoOp::kRecv, 1, FaultMode::kCrash}});
+  store::SocketVerdict verdict = env.HitSocket(IoOp::kRecv, 8);
+  EXPECT_FALSE(verdict.status.ok());
+  EXPECT_TRUE(env.crashed());
+}
+
 // --- Journal --------------------------------------------------------------
 
 TEST(JournalTest, AppendAndReplayRoundTrip) {

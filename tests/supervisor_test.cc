@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "datasets/domains.h"
@@ -325,6 +327,52 @@ TEST(SupervisorTest, BreakerTripsRunDownToRicTier) {
     }
   }
   EXPECT_TRUE(saw_breaker_note);
+}
+
+TEST(SupervisorTest, CancelMidRunWithParallelJobsStopsCleanlyAndResumes) {
+  std::vector<disc::Correspondence> correspondences;
+  eval::Domain domain = University(&correspondences);
+  const std::string journal = TempJournalPath("cancel_mid_jobs4");
+  std::remove(journal.c_str());
+
+  auto full = exec::RunSupervisedPipeline(domain.source, domain.target,
+                                          correspondences, {});
+  ASSERT_TRUE(full.ok()) << full.status();
+
+  // The flag rises from another thread while the pool is dispatching —
+  // the race the serve drain path runs on every SIGTERM. The cancel may
+  // land before any unit, between units, or after the run finished; all
+  // three must leave a journal the resume below completes from.
+  std::atomic<bool> cancel{false};
+  std::thread trigger([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    cancel.store(true);
+  });
+  exec::SupervisorOptions options;
+  options.checkpoint_path = journal;
+  options.jobs = 4;
+  options.cancel = &cancel;
+  auto run = exec::RunSupervisedPipeline(domain.source, domain.target,
+                                         correspondences, options);
+  trigger.join();
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_LE(run->units.size(), 2u);
+  if (!run->interrupted) {
+    EXPECT_EQ(run->units.size(), 2u);  // the cancel landed too late
+  }
+  EXPECT_TRUE(run->journal_warning.empty()) << run->journal_warning;
+
+  exec::SupervisorOptions resume_opts;
+  resume_opts.checkpoint_path = journal;
+  resume_opts.resume = true;
+  auto resumed = exec::RunSupervisedPipeline(domain.source, domain.target,
+                                             correspondences, resume_opts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_FALSE(resumed->interrupted);
+  ASSERT_EQ(resumed->units.size(), 2u);
+  EXPECT_EQ(MappingKeys(resumed->run), MappingKeys(full->run));
+  EXPECT_EQ(resumed->run.report.ToString(), full->run.report.ToString());
+  std::remove(journal.c_str());
 }
 
 TEST(SupervisorTest, HaltAndResumeReachTheSameMappingSet) {

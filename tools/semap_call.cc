@@ -1,0 +1,197 @@
+// One-shot semap.rpc.v1 client: frame one request, print the response.
+//
+//   semap_call (--unix=PATH | --port=N [--host=H]) --op=OP [options]
+//
+// The default output is the whole response payload (one JSON line).
+// --body slices out the raw `body` value byte-exactly — an explain body
+// is a complete semap.explain.v1 document, so
+//
+//   semap_call --unix=S --op=explain --scenario=bookstore --id=r2 \
+//       --body > explain.json
+//
+// yields a file semap_explain and check_obs_json.py read unchanged.
+//
+// Exit codes: 0 response status ok, 1 transport/protocol failure,
+// 2 usage, 3 response status reject (overload/drain — retryable),
+// 4 response status error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/protocol.h"
+#include "serve/socket.h"
+#include "util/json.h"
+#include "util/version.h"
+
+namespace {
+
+using namespace semap;
+
+constexpr const char kOptionTable[] =
+    "options:\n"
+    "  --unix=PATH       connect to a unix socket\n"
+    "  --host=H          TCP host (default 127.0.0.1)\n"
+    "  --port=N          TCP port\n"
+    "  --op=OP           map | explain | lint | ping | stats (default ping)\n"
+    "  --scenario=S      scenario name (required for map/explain/lint)\n"
+    "  --id=ID           idempotency key (default 'cli'); retries with the\n"
+    "                    same id return byte-identical responses\n"
+    "  --deadline-ms=N   per-request deadline\n"
+    "  --priority=N      request priority (recorded in server events)\n"
+    "  --bypass-cache    force recomputation past the server result cache\n"
+    "  --timeout-ms=N    socket I/O timeout (default 10000)\n"
+    "  --body            print only the raw body value (byte-exact)\n"
+    "  --version         print the version and exit\n"
+    "  --help            print this table and exit\n"
+    "exit codes: 0 ok, 1 transport/protocol failure, 2 usage,\n"
+    "3 rejected (overloaded or draining; retry), 4 server error\n";
+
+void PrintUsage(FILE* out, const char* prog) {
+  std::fprintf(out, "usage: %s (--unix=PATH | --port=N) [options]\n%s", prog,
+               kOptionTable);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("semap_call %s\n", kSemapVersion);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage(stdout, argv[0]);
+      return 0;
+    }
+  }
+
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string op = "ping";
+  std::string scenario;
+  std::string id = "cli";
+  long long deadline_ms = -1;
+  long long priority = 0;
+  long long timeout_ms = 10000;
+  bool bypass_cache = false;
+  bool body_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--unix=", 7) == 0) {
+      unix_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--host=", 7) == 0) {
+      host = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      char* end = nullptr;
+      port = static_cast<int>(std::strtol(argv[i] + 7, &end, 10));
+      if (end == argv[i] + 7 || *end != '\0') {
+        std::fprintf(stderr, "error: --port wants an integer, got %s\n",
+                     argv[i] + 7);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--op=", 5) == 0) {
+      op = argv[i] + 5;
+    } else if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
+      scenario = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--id=", 5) == 0) {
+      id = argv[i] + 5;
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      char* end = nullptr;
+      deadline_ms = std::strtoll(argv[i] + 14, &end, 10);
+      if (end == argv[i] + 14 || *end != '\0') {
+        std::fprintf(stderr, "error: --deadline-ms wants an integer\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--priority=", 11) == 0) {
+      char* end = nullptr;
+      priority = std::strtoll(argv[i] + 11, &end, 10);
+      if (end == argv[i] + 11 || *end != '\0') {
+        std::fprintf(stderr, "error: --priority wants an integer\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
+      char* end = nullptr;
+      timeout_ms = std::strtoll(argv[i] + 13, &end, 10);
+      if (end == argv[i] + 13 || *end != '\0') {
+        std::fprintf(stderr, "error: --timeout-ms wants an integer\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--bypass-cache") == 0) {
+      bypass_cache = true;
+    } else if (std::strcmp(argv[i], "--body") == 0) {
+      body_only = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
+                   kOptionTable);
+      return 2;
+    }
+  }
+  if (unix_path.empty() && port < 0) {
+    PrintUsage(stderr, argv[0]);
+    return 2;
+  }
+
+  // Build the request payload. The fields mirror serve::Request; the
+  // server validates, this side just renders.
+  std::string payload = "{\"id\":\"" + id + "\",\"op\":\"" + op + "\"";
+  if (!scenario.empty()) payload += ",\"scenario\":\"" + scenario + "\"";
+  if (deadline_ms >= 0) {
+    payload += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  if (priority != 0) payload += ",\"priority\":" + std::to_string(priority);
+  if (bypass_cache) payload += ",\"cache\":\"bypass\"";
+  payload += "}";
+
+  serve::SocketOptions socket_opts;
+  socket_opts.io_timeout_ms = timeout_ms;
+  auto conn = unix_path.empty() ? serve::DialTcp(host, port, socket_opts)
+                                : serve::DialUnix(unix_path, socket_opts);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "error: %s\n", conn.status().ToString().c_str());
+    return 1;
+  }
+  if (Status sent = serve::WriteFrame(**conn, payload); !sent.ok()) {
+    std::fprintf(stderr, "error: %s\n", sent.ToString().c_str());
+    return 1;
+  }
+  auto response = serve::ReadFrame(**conn);
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  (void)(*conn)->Close();
+
+  auto parsed = json::Parse(*response);
+  if (!parsed.ok() || !parsed->is_object()) {
+    std::fprintf(stderr, "error: response is not a JSON object\n");
+    return 1;
+  }
+  const std::string status = parsed->GetString("status");
+
+  if (body_only) {
+    // The envelope guarantees body is the last member, and every earlier
+    // string member is JSON-escaped, so the first `,"body":` is the real
+    // one. Slicing (rather than re-serializing) keeps the bytes exact.
+    const std::string marker = ",\"body\":";
+    const size_t at = response->find(marker);
+    if (at == std::string::npos || response->back() != '}') {
+      std::fprintf(stderr, "error: response has no body member\n");
+      return 1;
+    }
+    const std::string body = response->substr(
+        at + marker.size(), response->size() - at - marker.size() - 1);
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::fwrite(response->data(), 1, response->size(), stdout);
+    std::fputc('\n', stdout);
+  }
+
+  if (status == "ok") return 0;
+  std::fprintf(stderr, "%s: %s %s\n", status.c_str(),
+               parsed->GetString("code").c_str(),
+               parsed->GetString("detail").c_str());
+  return status == "reject" ? 3 : 4;
+}

@@ -293,7 +293,7 @@ int main(int argc, char** argv) {
       why_not_mode = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--summary") == 0) {
       summary_mode = true;
-    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+    } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
       std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
                    kOptionTable);
       return 2;

@@ -42,9 +42,10 @@
 // checkpoint journal and --events stream are flushed, and the process
 // exits with code 4 — rerun with --resume to pick up where it stopped.
 // A second signal exits immediately (128+sig). The SEMAP_IO_FAULT
-// environment variable ("<op>:<k>[:<mode>]", see store/env.h) injects a
-// syscall-level fault into the k-th checkpoint-store open/write/fsync/
-// rename for crash drills against the unmodified binary.
+// environment variable (a comma-separated list of "<op>:<k>[:<mode>]"
+// specs, see store/env.h) injects syscall-level faults into the k-th
+// checkpoint-store open/write/fsync/rename for crash drills against the
+// unmodified binary.
 //
 // Exit codes: 0 success, 1 input/pipeline error (with --lint: at least
 // one error diagnostic), 2 usage,
@@ -530,8 +531,8 @@ int main(int argc, char** argv) {
   // SEMAP_IO_FAULT arms syscall-level fault injection on the checkpoint
   // store (store/env.h): crash drills against the unmodified binary.
   store::FaultEnv fault_env;
-  if (auto plan = store::FaultPlanFromEnv(); plan.has_value()) {
-    fault_env.set_plan(*plan);
+  if (auto plans = store::FaultPlansFromEnv(); !plans.empty()) {
+    fault_env.set_plans(std::move(plans));
     opts.io_env = &fault_env;
   }
 

@@ -1,0 +1,200 @@
+// The mapping service daemon: load a scenario catalog once, keep the
+// compiled artifacts hot, and serve map/explain/lint requests over the
+// semap.rpc.v1 socket protocol (src/serve/, docs/SERVING.md).
+//
+//   semap_serve --catalog=DIR [--unix=PATH | --port=N] [--store=FILE]
+//               [--workers=N] [--queue=N] [--deadline-ms=N]
+//               [--drain-ms=N] [--io-timeout-ms=N] [--hold-ms=N]
+//               [--events=FILE] [--version] [--help]
+//
+// The daemon is crash-only: every ok response is journaled to --store
+// (a PR 6 semap.journal.v1 store keyed by the catalog fingerprint)
+// before it is sent, so kill -9 at any point recovers by restart alone —
+// a retried request id gets byte-identical bytes back. SIGINT/SIGTERM
+// drain gracefully: stop accepting, finish or cancel in-flight requests
+// within --drain-ms, flush the journal and --events stream, exit 0. A
+// second signal exits immediately (128+sig).
+//
+// SEMAP_IO_FAULT (comma-separated "<op>:<k>[:<mode>]" specs, see
+// store/env.h) arms syscall-level fault injection over BOTH seams —
+// filesystem ops of the store and accept/recv/send/close of the
+// sockets — for crash drills against the unmodified binary.
+//
+// Exit codes: 0 clean drain, 1 startup/serve error, 2 usage.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "obs/events.h"
+#include "serve/server.h"
+#include "store/env.h"
+#include "util/version.h"
+
+namespace {
+
+using namespace semap;
+
+constexpr const char kOptionTable[] =
+    "options:\n"
+    "  --catalog=DIR     scenario catalog directory (required); every\n"
+    "                    subdirectory holding the seven artifact files\n"
+    "                    becomes a servable scenario\n"
+    "  --unix=PATH       listen on a unix socket at PATH\n"
+    "  --port=N          listen on TCP 127.0.0.1:N (default; N=0 binds an\n"
+    "                    ephemeral port, printed on the 'listening' line)\n"
+    "  --store=FILE      journaled response store (semap.journal.v1);\n"
+    "                    gives idempotent request ids crash-safe,\n"
+    "                    restart-surviving durability\n"
+    "  --workers=N       worker threads (default 2)\n"
+    "  --queue=N         admission queue capacity; a full queue sheds\n"
+    "                    with SEMAP-E210 (default 8)\n"
+    "  --deadline-ms=N   default per-request deadline (requests may carry\n"
+    "                    their own)\n"
+    "  --drain-ms=N      drain deadline after SIGINT/SIGTERM; in-flight\n"
+    "                    requests past it are cancelled with SEMAP-E212\n"
+    "                    (default 2000)\n"
+    "  --io-timeout-ms=N per-connection read/write timeout (default 5000)\n"
+    "  --hold-ms=N       test hook: hold each computed request N ms\n"
+    "  --events=FILE     append wide events as NDJSON (semap.events.v1)\n"
+    "  --version         print the version and exit\n"
+    "  --help            print this table and exit\n"
+    "the daemon drains gracefully on SIGINT/SIGTERM (finish or cancel\n"
+    "in-flight, flush journal and events, exit 0); a second signal exits\n"
+    "immediately\n"
+    "exit codes: 0 clean drain, 1 error, 2 usage\n";
+
+void PrintUsage(FILE* out, const char* prog) {
+  std::fprintf(out, "usage: %s --catalog=DIR [options]\n%s", prog,
+               kOptionTable);
+}
+
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void OnShutdownSignal(int sig) {
+  if (g_shutdown.exchange(true)) std::_Exit(128 + sig);
+}
+
+bool ParseInt(const char* flag, const char* value, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "error: %s wants an integer, got %s\n", flag, value);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("semap_serve %s\n", kSemapVersion);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage(stdout, argv[0]);
+      return 0;
+    }
+  }
+
+  serve::ServerOptions opts;
+  std::string events_path;
+  long long value = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--catalog=", 10) == 0) {
+      opts.catalog_dir = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--unix=", 7) == 0) {
+      opts.unix_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      if (!ParseInt("--port", argv[i] + 7, &value)) return 2;
+      opts.tcp_port = static_cast<int>(value);
+    } else if (std::strncmp(argv[i], "--store=", 8) == 0) {
+      opts.store_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      if (!ParseInt("--workers", argv[i] + 10, &value) || value < 1) return 2;
+      opts.workers = static_cast<size_t>(value);
+    } else if (std::strncmp(argv[i], "--queue=", 8) == 0) {
+      if (!ParseInt("--queue", argv[i] + 8, &value) || value < 1) return 2;
+      opts.queue_capacity = static_cast<size_t>(value);
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      if (!ParseInt("--deadline-ms", argv[i] + 14, &value)) return 2;
+      opts.default_deadline_ms = value;
+    } else if (std::strncmp(argv[i], "--drain-ms=", 11) == 0) {
+      if (!ParseInt("--drain-ms", argv[i] + 11, &value)) return 2;
+      opts.drain_deadline_ms = value;
+    } else if (std::strncmp(argv[i], "--io-timeout-ms=", 16) == 0) {
+      if (!ParseInt("--io-timeout-ms", argv[i] + 16, &value)) return 2;
+      opts.io_timeout_ms = value;
+    } else if (std::strncmp(argv[i], "--hold-ms=", 10) == 0) {
+      if (!ParseInt("--hold-ms", argv[i] + 10, &value)) return 2;
+      opts.request_hold_ms = value;
+    } else if (std::strncmp(argv[i], "--events=", 9) == 0) {
+      events_path = argv[i] + 9;
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
+                   kOptionTable);
+      return 2;
+    }
+  }
+  if (opts.catalog_dir.empty()) {
+    PrintUsage(stderr, argv[0]);
+    return 2;
+  }
+
+  // One fault environment covers both seams: a simulated kill at a
+  // journal fsync and at a socket send are the same process death.
+  store::FaultEnv fault_env;
+  if (auto plans = store::FaultPlansFromEnv(); !plans.empty()) {
+    fault_env.set_plans(std::move(plans));
+    opts.io_env = &fault_env;
+    opts.net_fault = &fault_env;
+  }
+
+  std::unique_ptr<obs::EventEmitter> events;
+  if (!events_path.empty()) {
+    events = std::make_unique<obs::EventEmitter>(events_path);
+    if (!events->ok()) {
+      std::fprintf(stderr, "error: cannot open event stream %s\n",
+                   events_path.c_str());
+      return 1;
+    }
+    opts.events = events.get();
+  }
+
+  const std::string unix_path = opts.unix_path;
+  auto server = serve::Server::Start(std::move(opts));
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGTERM, OnShutdownSignal);
+
+  const serve::Catalog& catalog = (*server)->catalog();
+  for (const std::string& skipped : catalog.skipped) {
+    std::fprintf(stderr, "warning: skipped %s (incomplete or unloadable)\n",
+                 skipped.c_str());
+  }
+  if (!unix_path.empty()) {
+    std::printf("listening on unix:%s (%zu scenario(s))\n", unix_path.c_str(),
+                catalog.entries.size());
+  } else {
+    std::printf("listening on 127.0.0.1:%d (%zu scenario(s))\n",
+                (*server)->tcp_port(), catalog.entries.size());
+  }
+  std::fflush(stdout);
+
+  Status served = (*server)->Serve(g_shutdown);
+  if (!served.ok()) {
+    std::fprintf(stderr, "error: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  std::printf("drained cleanly\n");
+  return 0;
+}
