@@ -1,21 +1,33 @@
 #!/usr/bin/env python3
 """Compare two sets of semap.bench.v1 reports and flag regressions.
 
-Usage: bench_compare.py [--threshold=PCT] [--missing-current-ok] \\
+Usage: bench_compare.py [--threshold=PCT] [--phase=NAME] \\
+                        [--min-improvement=PCT] [--missing-current-ok] \\
                         BASELINE_DIR CANDIDATE_DIR
 
 Both directories hold BENCH_*.json reports (the shape check_bench_json.py
-validates). For every bench present in both, the candidate's
-pipeline-phase wall time is compared against the baseline's; a candidate
-slower by more than PCT percent (default 20) is a regression and the
+validates). For every bench present in both, the candidate's wall time on
+the selected phase is compared against the baseline's; a candidate slower
+by more than --threshold percent (default 20) is a regression and the
 script exits 1. Benches present on only one side are reported but do not
 fail the run — the set of benches changes when the suite grows.
 
-Wall times come from the "pipeline" root phase's total_ns, which spans
-the whole instrumented pass, so the comparison tracks end-to-end
-pipeline cost rather than any single stage. CI runs this job
-non-blocking: shared runners are noisy, so a failure here is a prompt to
-re-run and look, not an automatic veto.
+--phase=NAME selects which phase's total_ns is compared (default
+"pipeline", the root phase spanning the whole instrumented pass). Naming
+an inner phase — e.g. --phase=rewriting — gates one stage specifically;
+a bench whose report lacks that phase is skipped with a message.
+
+--min-improvement=PCT flips the gate around: instead of tolerating a
+slowdown, the candidate must be at least PCT percent *faster* than the
+baseline on the selected phase, or the script exits 1. This is how a PR
+that claims a speedup pins the claim in CI: compare against the
+pre-change baseline with the promised improvement. --threshold is ignored
+when --min-improvement is given.
+
+Wall times come from the selected phase's total_ns. CI runs the
+pipeline-phase job non-blocking (shared runners are noisy: a failure is a
+prompt to re-run and look) but the rewriting-phase gate blocking — that
+phase is CPU-bound search, far less scheduler-sensitive.
 
 A missing or schema-invalid baseline is reported in one clear line (how
 to regenerate it included), never as a traceback. --missing-current-ok
@@ -28,8 +40,8 @@ import os
 import sys
 
 
-def pipeline_ns(path):
-    """The pipeline root phase's total_ns, or None with a message."""
+def phase_ns(path, phase_name):
+    """The named phase's total_ns, or None with a message."""
     try:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
@@ -42,24 +54,24 @@ def pipeline_ns(path):
               f"{type(doc).__name__}, expected an object)", file=sys.stderr)
         return None
     for phase in doc.get("phases", []):
-        if isinstance(phase, dict) and phase.get("name") == "pipeline":
+        if isinstance(phase, dict) and phase.get("name") == phase_name:
             value = phase.get("total_ns")
             if isinstance(value, int) and not isinstance(value, bool) \
                     and value > 0:
                 return value
-            print(f"{path}: pipeline phase has no positive total_ns",
+            print(f"{path}: {phase_name} phase has no positive total_ns",
                   file=sys.stderr)
             return None
-    print(f"{path}: no 'pipeline' phase", file=sys.stderr)
+    print(f"{path}: no '{phase_name}' phase", file=sys.stderr)
     return None
 
 
-def load_dir(directory):
-    """Map bench name (from the filename) -> pipeline nanoseconds."""
+def load_dir(directory, phase_name):
+    """Map bench name (from the filename) -> phase nanoseconds."""
     reports = {}
     for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
         name = os.path.basename(path)[len("BENCH_"):-len(".json")]
-        ns = pipeline_ns(path)
+        ns = phase_ns(path, phase_name)
         if ns is not None:
             reports[name] = ns
     return reports
@@ -67,6 +79,8 @@ def load_dir(directory):
 
 def main(argv):
     threshold = 20.0
+    min_improvement = None
+    phase_name = "pipeline"
     missing_current_ok = False
     dirs = []
     for arg in argv[1:]:
@@ -75,6 +89,17 @@ def main(argv):
                 threshold = float(arg[len("--threshold="):])
             except ValueError:
                 print(f"bad threshold: {arg}", file=sys.stderr)
+                return 2
+        elif arg.startswith("--min-improvement="):
+            try:
+                min_improvement = float(arg[len("--min-improvement="):])
+            except ValueError:
+                print(f"bad min-improvement: {arg}", file=sys.stderr)
+                return 2
+        elif arg.startswith("--phase="):
+            phase_name = arg[len("--phase="):]
+            if not phase_name:
+                print("empty --phase name", file=sys.stderr)
                 return 2
         elif arg == "--missing-current-ok":
             missing_current_ok = True
@@ -94,14 +119,14 @@ def main(argv):
               f"--report=BENCH_<name>.json into that directory",
               file=sys.stderr)
         return 1
-    baseline = load_dir(dirs[0])
+    baseline = load_dir(dirs[0], phase_name)
     if not baseline:
         print(f"bench_compare: '{dirs[0]}' holds no usable BENCH_*.json "
-              f"baselines (empty or schema-invalid reports — see messages "
-              f"above); regenerate the baseline before comparing",
-              file=sys.stderr)
+              f"baselines with a '{phase_name}' phase (empty or "
+              f"schema-invalid reports — see messages above); regenerate "
+              f"the baseline before comparing", file=sys.stderr)
         return 1
-    candidate = load_dir(dirs[1]) if os.path.isdir(dirs[1]) else {}
+    candidate = load_dir(dirs[1], phase_name) if os.path.isdir(dirs[1]) else {}
     if not candidate:
         if missing_current_ok:
             print(f"bench_compare: warning: no usable BENCH_*.json reports "
@@ -109,11 +134,12 @@ def main(argv):
                   f"compare, exiting 0 (--missing-current-ok)")
             return 0
         print(f"bench_compare: '{dirs[1]}' holds no usable BENCH_*.json "
-              f"candidates; run the bench suite first (or pass "
-              f"--missing-current-ok in optional CI jobs)", file=sys.stderr)
+              f"candidates with a '{phase_name}' phase; run the bench "
+              f"suite first (or pass --missing-current-ok in optional CI "
+              f"jobs)", file=sys.stderr)
         return 1
 
-    regressions = 0
+    failures = 0
     for name in sorted(set(baseline) | set(candidate)):
         if name not in baseline:
             print(f"{name}: new bench (no baseline), skipping")
@@ -124,13 +150,22 @@ def main(argv):
         base_ns = baseline[name]
         cand_ns = candidate[name]
         delta = 100.0 * (cand_ns - base_ns) / base_ns
-        verdict = "ok"
-        if delta > threshold:
+        if min_improvement is not None:
+            improvement = -delta
+            if improvement >= min_improvement:
+                verdict = f"ok (>={min_improvement:g}% faster)"
+            else:
+                verdict = (f"TOO SLOW (needs >={min_improvement:g}% "
+                           f"improvement, got {improvement:+.1f}%)")
+                failures += 1
+        elif delta > threshold:
             verdict = f"REGRESSION (>{threshold:g}%)"
-            regressions += 1
-        print(f"{name}: {base_ns / 1e6:.2f} ms -> {cand_ns / 1e6:.2f} ms "
-              f"({delta:+.1f}%) {verdict}")
-    return 1 if regressions else 0
+            failures += 1
+        else:
+            verdict = "ok"
+        print(f"{name} [{phase_name}]: {base_ns / 1e6:.2f} ms -> "
+              f"{cand_ns / 1e6:.2f} ms ({delta:+.1f}%) {verdict}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

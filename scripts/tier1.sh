@@ -23,6 +23,23 @@ SEMAP_BENCH_JSON_DIR="$PWD/build/bench-json" ./build/bench/bench_scaling \
 # The directory form fails when the bench run produced zero reports.
 python3 scripts/check_bench_json.py build/bench-json
 
+# Rewriting fast-path smoke: one cheap bench_table1 timing plus its
+# instrumented pass, then assert the memo and signature fast paths
+# actually fired — a silently dead fast path would pass every
+# equivalence test while the engine quietly runs the slow path.
+SEMAP_BENCH_JSON_DIR="$PWD/build/bench-json" ./build/bench/bench_table1 \
+  --benchmark_filter='table1/generate/Hotel$' --benchmark_min_time=0.01 \
+  > /dev/null
+python3 - build/bench-json/BENCH_table1.json <<'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+for name in ("rewriting.memo_hits", "rewriting.signature_skips",
+             "rewriting.rules_indexed_hits", "rewriting.arena_bytes"):
+    assert counters.get(name, 0) > 0, f"{name} did not fire: {counters}"
+print("rewriting fast paths live:",
+      {k: v for k, v in counters.items() if k.startswith("rewriting.")})
+EOF
+
 # Observability smoke: run the CLI with every export flag on the shipped
 # bookstore scenario (serial and --jobs=4) and schema-check all four
 # formats. The supervisor run also exercises the deterministic explain
@@ -116,10 +133,11 @@ cmake --build build-asan -j "$jobs" --target robustness_test \
   -R 'RobustnessTest|CorpusSweepTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|StatusTest|DiagTest|GoldenDiagnosticsTest|CrossCheckTest|TgdCheckTest|QuarantineScenarioTest|SupervisorTest|CheckpointTest|ProvenanceRecorderTest|EventEmitterTest|ProvenancePipelineTest|ProvenanceDeterminismTest|ProvenanceWhyNotTest|Crc32Test|FaultEnvTest|JournalTest|MappingStoreTest|CrashMatrixTest|ServeTest|ServeFaultMatrixTest')
 
 # TSan pass over the concurrent paths: the supervised worker pool
-# (--jobs=4 equality tests included), the shared governor, and the
-# serial pipeline it must keep matching.
+# (--jobs=4 equality tests included), the shared governor, the shared
+# term interner the pool hammers from every worker, and the serial
+# pipeline it must keep matching.
 cmake -B build-tsan -S . -DSEMAP_SANITIZE=THREAD -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$jobs" --target supervisor_test \
-  resilient_pipeline_test util_test provenance_test serve_test
+  resilient_pipeline_test util_test provenance_test serve_test interner_test
 (cd build-tsan && ctest --output-on-failure -j "$jobs" \
-  -R 'SupervisorTest|CheckpointTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|GovernorConcurrencyTest|BackoffTest|JsonTest|ProvenancePipelineTest|ProvenanceDeterminismTest|EventEmitterTest|ServeTest')
+  -R 'SupervisorTest|CheckpointTest|ResilientPipelineTest|GovernedDiscoveryTest|GovernorTest|GovernorConcurrencyTest|BackoffTest|JsonTest|ProvenancePipelineTest|ProvenanceDeterminismTest|EventEmitterTest|ServeTest|InternerTest')

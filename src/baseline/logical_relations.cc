@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "logic/containment.h"
 #include "util/string_util.h"
@@ -10,6 +12,30 @@ namespace semap::baseline {
 
 using logic::Atom;
 using logic::Term;
+
+namespace {
+
+// In-place ApplySubstitution: an EGD firing rewrites terms across the
+// whole query anyway, and the query here is a throwaway intermediate, so
+// substituting in place spares a full-query copy per fired dependency.
+// Images are inserted verbatim, exactly like logic::ApplySubstitution.
+void SubstituteInPlace(logic::ConjunctiveQuery& query,
+                       const logic::Substitution& sub) {
+  auto fix = [&sub](auto&& self, Term& t) -> void {
+    if (t.IsVar()) {
+      auto it = sub.find(t.name);
+      if (it != sub.end()) t = it->second;
+      return;
+    }
+    for (Term& a : t.args) self(self, a);
+  };
+  for (Term& t : query.head) fix(fix, t);
+  for (Atom& a : query.body) {
+    for (Term& t : a.terms) fix(fix, t);
+  }
+}
+
+}  // namespace
 
 std::string LogicalRelation::VariableFor(const rel::RelationalSchema& schema,
                                          const rel::ColumnRef& ref) const {
@@ -138,15 +164,113 @@ logic::ConjunctiveQuery ChaseQueryWithConstraints(
     query.body = ChaseAtoms(schema, std::move(query.body), options);
   }
 
-  // Assemble the EGDs: the primary key of each table plus the extras.
-  std::vector<ColumnFd> fds = extra_fds;
-  for (const rel::Table& table : schema.tables()) {
-    if (table.primary_key().empty()) continue;
-    fds.push_back(
-        ColumnFd{table.name(), table.primary_key(), table.columns()});
+  // Assemble the EGDs: the primary key of each table plus the extras
+  // (unless the caller pre-assembled the full list).
+  std::vector<ColumnFd> assembled;
+  if (!options.extra_fds_complete) {
+    assembled = extra_fds;
+    for (const rel::Table& table : schema.tables()) {
+      if (table.primary_key().empty()) continue;
+      assembled.push_back(
+          ColumnFd{table.name(), table.primary_key(), table.columns()});
+    }
+  }
+  const std::vector<ColumnFd>& fds =
+      options.extra_fds_complete ? extra_fds : assembled;
+
+  // Applicability screen: an EGD can only fire on a same-table atom pair
+  // (key / extra FDs, duplicate collapse) or on a pair over some
+  // cross-FD's two tables. Most queries join distinct tables and match
+  // neither, so the quadratic FD scan below is skipped outright.
+  // Substitutions never change predicates and atoms are only removed, so
+  // the screen stays valid across iterations.
+  bool same_table_pair = false;
+  for (size_t i = 0; i < query.body.size() && !same_table_pair; ++i) {
+    for (size_t j = i + 1; j < query.body.size(); ++j) {
+      if (query.body[i].predicate == query.body[j].predicate) {
+        same_table_pair = true;
+        break;
+      }
+    }
+  }
+  // Cross-FD plans: table pointers and column positions resolved once per
+  // call instead of once per atom pair per chase iteration. Cross-FDs
+  // whose tables or columns do not resolve (or whose key is empty) can
+  // never fire and are dropped here — the fixpoint below is unaffected.
+  struct CrossPlan {
+    const sem::CrossTableFd* cfd;
+    std::vector<std::pair<size_t, size_t>> key_pos;  // (pos in a, pos in b)
+    size_t col_a_pos;
+    size_t col_b_pos;
+  };
+  std::vector<CrossPlan> cross_plans;
+  for (const sem::CrossTableFd& cfd : cross_fds) {
+    bool has_a = false;
+    bool has_b = false;
+    for (const Atom& atom : query.body) {
+      has_a = has_a || atom.predicate == cfd.table_a;
+      has_b = has_b || atom.predicate == cfd.table_b;
+    }
+    if (!has_a || !has_b) continue;
+    const rel::Table* ta = schema.FindTable(cfd.table_a);
+    const rel::Table* tb = schema.FindTable(cfd.table_b);
+    if (ta == nullptr || tb == nullptr ||
+        cfd.key_a.size() != cfd.key_b.size() || cfd.key_a.empty()) {
+      continue;
+    }
+    CrossPlan plan;
+    plan.cfd = &cfd;
+    bool ok = true;
+    for (size_t k = 0; k < cfd.key_a.size(); ++k) {
+      int pos_a = ta->ColumnIndex(cfd.key_a[k]);
+      int pos_b = tb->ColumnIndex(cfd.key_b[k]);
+      if (pos_a < 0 || pos_b < 0) {
+        ok = false;
+        break;
+      }
+      plan.key_pos.emplace_back(static_cast<size_t>(pos_a),
+                                static_cast<size_t>(pos_b));
+    }
+    int col_a = ta->ColumnIndex(cfd.col_a);
+    int col_b = tb->ColumnIndex(cfd.col_b);
+    if (!ok || col_a < 0 || col_b < 0) continue;
+    plan.col_a_pos = static_cast<size_t>(col_a);
+    plan.col_b_pos = static_cast<size_t>(col_b);
+    cross_plans.push_back(std::move(plan));
   }
 
-  bool changed = true;
+  // Same-table FD plans, grouped by table with column positions resolved
+  // up front (preserving the scan order of `fds` within each table). FDs
+  // with an empty or unresolvable left-hand side can never fire.
+  struct FdPlan {
+    std::vector<size_t> lhs_pos;
+    std::vector<size_t> rhs_pos;  // unresolvable rhs columns dropped, as before
+  };
+  std::unordered_map<std::string, std::vector<FdPlan>> fd_plans;
+  if (same_table_pair) {
+    for (const ColumnFd& fd : fds) {
+      const rel::Table* table = schema.FindTable(fd.table);
+      if (table == nullptr || fd.lhs.empty()) continue;
+      FdPlan plan;
+      bool ok = true;
+      for (const std::string& col : fd.lhs) {
+        int pos = table->ColumnIndex(col);
+        if (pos < 0) {
+          ok = false;
+          break;
+        }
+        plan.lhs_pos.push_back(static_cast<size_t>(pos));
+      }
+      if (!ok) continue;
+      for (const std::string& col : fd.rhs) {
+        int pos = table->ColumnIndex(col);
+        if (pos >= 0) plan.rhs_pos.push_back(static_cast<size_t>(pos));
+      }
+      fd_plans[fd.table].push_back(std::move(plan));
+    }
+  }
+
+  bool changed = same_table_pair || !cross_plans.empty();
   while (changed) {
     changed = false;
     for (size_t i = 0; i < query.body.size() && !changed; ++i) {
@@ -154,41 +278,30 @@ logic::ConjunctiveQuery ChaseQueryWithConstraints(
         const Atom& a = query.body[i];
         const Atom& b = query.body[j];
         // Cross-table EGDs apply to pairs over (possibly) different tables.
-        for (const sem::CrossTableFd& cfd : cross_fds) {
+        for (const CrossPlan& plan : cross_plans) {
           const Atom* pa = nullptr;
           const Atom* pb = nullptr;
-          if (a.predicate == cfd.table_a && b.predicate == cfd.table_b) {
+          if (a.predicate == plan.cfd->table_a &&
+              b.predicate == plan.cfd->table_b) {
             pa = &a;
             pb = &b;
-          } else if (b.predicate == cfd.table_a && a.predicate == cfd.table_b) {
+          } else if (b.predicate == plan.cfd->table_a &&
+                     a.predicate == plan.cfd->table_b) {
             pa = &b;
             pb = &a;
           } else {
             continue;
           }
-          const rel::Table* ta = schema.FindTable(cfd.table_a);
-          const rel::Table* tb = schema.FindTable(cfd.table_b);
-          if (ta == nullptr || tb == nullptr ||
-              cfd.key_a.size() != cfd.key_b.size()) {
-            continue;
-          }
-          bool keys_agree = !cfd.key_a.empty();
-          for (size_t k = 0; k < cfd.key_a.size(); ++k) {
-            int pos_a = ta->ColumnIndex(cfd.key_a[k]);
-            int pos_b = tb->ColumnIndex(cfd.key_b[k]);
-            if (pos_a < 0 || pos_b < 0 ||
-                !(pa->terms[static_cast<size_t>(pos_a)] ==
-                  pb->terms[static_cast<size_t>(pos_b)])) {
+          bool keys_agree = true;
+          for (const auto& [pos_a, pos_b] : plan.key_pos) {
+            if (!(pa->terms[pos_a] == pb->terms[pos_b])) {
               keys_agree = false;
               break;
             }
           }
           if (!keys_agree) continue;
-          int pos_a = ta->ColumnIndex(cfd.col_a);
-          int pos_b = tb->ColumnIndex(cfd.col_b);
-          if (pos_a < 0 || pos_b < 0) continue;
-          const Term& va = pa->terms[static_cast<size_t>(pos_a)];
-          const Term& vb = pb->terms[static_cast<size_t>(pos_b)];
+          const Term& va = pa->terms[plan.col_a_pos];
+          const Term& vb = pb->terms[plan.col_b_pos];
           if (va == vb) continue;
           logic::Substitution sub;
           if (va.IsVar()) {
@@ -198,7 +311,7 @@ logic::ConjunctiveQuery ChaseQueryWithConstraints(
           } else {
             continue;
           }
-          query = logic::ApplySubstitution(query, sub);
+          SubstituteInPlace(query, sub);
           changed = true;
           break;
         }
@@ -209,25 +322,19 @@ logic::ConjunctiveQuery ChaseQueryWithConstraints(
           changed = true;
           break;
         }
-        const rel::Table* table = schema.FindTable(a.predicate);
-        if (table == nullptr) continue;
-        for (const ColumnFd& fd : fds) {
-          if (fd.table != a.predicate) continue;
-          bool lhs_agree = !fd.lhs.empty();
-          for (const std::string& col : fd.lhs) {
-            int pos = table->ColumnIndex(col);
-            if (pos < 0 || !(a.terms[static_cast<size_t>(pos)] ==
-                             b.terms[static_cast<size_t>(pos)])) {
+        auto plans_it = fd_plans.find(a.predicate);
+        if (plans_it == fd_plans.end()) continue;
+        for (const FdPlan& plan : plans_it->second) {
+          bool lhs_agree = true;
+          for (size_t pos : plan.lhs_pos) {
+            if (!(a.terms[pos] == b.terms[pos])) {
               lhs_agree = false;
               break;
             }
           }
           if (!lhs_agree) continue;
           logic::Substitution sub;
-          for (const std::string& col : fd.rhs) {
-            int posi = table->ColumnIndex(col);
-            if (posi < 0) continue;
-            size_t p = static_cast<size_t>(posi);
+          for (size_t p : plan.rhs_pos) {
             Term ta = logic::ApplySubstitution(a.terms[p], sub);
             Term tb = logic::ApplySubstitution(b.terms[p], sub);
             if (ta == tb) continue;
@@ -238,7 +345,7 @@ logic::ConjunctiveQuery ChaseQueryWithConstraints(
             }
           }
           if (!sub.empty()) {
-            query = logic::ApplySubstitution(query, sub);
+            SubstituteInPlace(query, sub);
             changed = true;
             break;
           }

@@ -39,6 +39,12 @@ struct ChaseOptions {
   /// grow the query — the cheap normal form used when deduplicating
   /// rewritings.
   bool apply_rics = true;
+  /// In ChaseQueryWithConstraints: treat `extra_fds` as the complete EGD
+  /// set and skip assembling the per-table primary-key FDs. Callers that
+  /// chase many queries against one schema pre-append the key FDs once
+  /// (in `schema.tables()` order, matching the default assembly) instead
+  /// of copying every table's column list per call.
+  bool extra_fds_complete = false;
 };
 
 /// \brief A column-level functional dependency usable as an EGD during the

@@ -248,8 +248,12 @@ TableWork RunTableCascade(const sem::AnnotatedSchema& source,
       obs::Span tier_span = ctx.Span("tier");
       tier_span.AddAttr("tier", TierName(tier));
       tier_span.AddAttr("attempt", static_cast<int64_t>(attempt + 1));
-      auto mappings = rew::GenerateSemanticMappings(source, target, group,
-                                                    sem_opts, tier_ctx);
+      rew::MapRequest map_req;
+      map_req.source = &source;
+      map_req.target = &target;
+      map_req.correspondences = &group;
+      map_req.options = sem_opts;
+      auto mappings = rew::GenerateMappings(map_req, tier_ctx);
       if (governor.exhausted()) ctx.Count("governor.trips");
       last_semantic_exhausted = governor.exhausted();
       tier_span.End();

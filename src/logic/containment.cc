@@ -1,6 +1,8 @@
 #include "logic/containment.h"
 
 #include <algorithm>
+#include <string_view>
+#include <utility>
 
 namespace semap::logic {
 
@@ -64,6 +66,119 @@ bool SearchBody(const std::vector<Atom>& pattern_body, size_t index,
   return false;
 }
 
+// ---- Existence-only homomorphism search --------------------------------
+//
+// Same search, same atom ordering, same step accounting as the
+// Substitution-returning path above — so verdicts (including the
+// fail-open step-limit behavior) are identical — but bindings live in an
+// append-only vector of (name, target-term pointer) pairs: undo is a
+// truncation, lookups are linear scans of a handful of entries, and no
+// std::map of Term copies is ever built. Contains/Equivalent/Minimize
+// only need the yes/no answer, and they ask it thousands of times per
+// run.
+
+struct FastSub {
+  std::vector<std::pair<std::string_view, const Term*>> bindings;
+
+  const Term* Find(std::string_view name) const {
+    for (const auto& [bound, term] : bindings) {
+      if (bound == name) return term;
+    }
+    return nullptr;
+  }
+};
+
+bool FastMatchTerm(const Term& pattern, const Term& target, FastSub& sub) {
+  switch (pattern.kind) {
+    case TermKind::kVariable: {
+      if (const Term* bound = sub.Find(pattern.name)) {
+        return *bound == target;
+      }
+      sub.bindings.push_back({pattern.name, &target});
+      return true;
+    }
+    case TermKind::kConstant:
+      return target.kind == TermKind::kConstant && target.name == pattern.name;
+    case TermKind::kFunction: {
+      if (target.kind != TermKind::kFunction || target.name != pattern.name ||
+          target.args.size() != pattern.args.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < pattern.args.size(); ++i) {
+        if (!FastMatchTerm(pattern.args[i], target.args[i], sub)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FastMatchAtom(const Atom& pattern, const Atom& target, FastSub& sub) {
+  if (pattern.predicate != target.predicate ||
+      pattern.terms.size() != target.terms.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < pattern.terms.size(); ++i) {
+    if (!FastMatchTerm(pattern.terms[i], target.terms[i], sub)) return false;
+  }
+  return true;
+}
+
+bool FastSearchBody(const std::vector<const Atom*>& pattern_body, size_t index,
+                    const std::vector<const Atom*>& target_body, FastSub& sub,
+                    long& steps) {
+  if (index == pattern_body.size()) return true;
+  for (const Atom* candidate : target_body) {
+    if (++steps > kMaxHomSteps) return false;
+    size_t mark = sub.bindings.size();
+    if (FastMatchAtom(*pattern_body[index], *candidate, sub) &&
+        FastSearchBody(pattern_body, index + 1, target_body, sub, steps)) {
+      return true;
+    }
+    sub.bindings.resize(mark);
+  }
+  return false;
+}
+
+bool HasHomomorphism(const std::vector<Term>& from_head,
+                     const std::vector<const Atom*>& from_body,
+                     const std::vector<Term>& to_head,
+                     const std::vector<const Atom*>& to_body) {
+  if (from_head.size() != to_head.size()) return false;
+  FastSub sub;
+  for (size_t i = 0; i < from_head.size(); ++i) {
+    if (!FastMatchTerm(from_head[i], to_head[i], sub)) return false;
+  }
+  // Match the most selective pattern atoms first: fewer same-predicate
+  // candidates in the target means earlier pruning. Counts are computed
+  // once per atom, not inside the comparator.
+  std::vector<std::pair<size_t, const Atom*>> keyed;
+  keyed.reserve(from_body.size());
+  for (const Atom* a : from_body) {
+    size_t n = 0;
+    for (const Atom* t : to_body) {
+      if (t->predicate == a->predicate) ++n;
+    }
+    keyed.push_back({n, a});
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<const Atom*> ordered;
+  ordered.reserve(keyed.size());
+  for (const auto& [n, a] : keyed) ordered.push_back(a);
+  long steps = 0;
+  return FastSearchBody(ordered, 0, to_body, sub, steps);
+}
+
+std::vector<const Atom*> AtomPtrs(const std::vector<Atom>& body) {
+  std::vector<const Atom*> ptrs;
+  ptrs.reserve(body.size());
+  for (const Atom& a : body) ptrs.push_back(&a);
+  return ptrs;
+}
+
 }  // namespace
 
 std::optional<Substitution> FindHomomorphism(const ConjunctiveQuery& from,
@@ -93,7 +208,8 @@ std::optional<Substitution> FindHomomorphism(const ConjunctiveQuery& from,
 }
 
 bool Contains(const ConjunctiveQuery& q_super, const ConjunctiveQuery& q_sub) {
-  return FindHomomorphism(q_super, q_sub).has_value();
+  return HasHomomorphism(q_super.head, AtomPtrs(q_super.body), q_sub.head,
+                         AtomPtrs(q_sub.body));
 }
 
 bool Equivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
@@ -101,17 +217,33 @@ bool Equivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
 }
 
 ConjunctiveQuery Minimize(const ConjunctiveQuery& query) {
-  ConjunctiveQuery current = query;
+  return Minimize(ConjunctiveQuery(query));
+}
+
+ConjunctiveQuery Minimize(ConjunctiveQuery&& query) {
+  ConjunctiveQuery current = std::move(query);
   bool changed = true;
   while (changed) {
     changed = false;
     for (size_t i = 0; i < current.body.size(); ++i) {
-      ConjunctiveQuery candidate = current;
-      candidate.body.erase(candidate.body.begin() + static_cast<long>(i));
+      // The removed atom must map onto another atom with the same
+      // predicate; when its predicate occurs only once in the body, no
+      // such image exists and the search is skipped (the atom is kept).
+      size_t same_predicate = 0;
+      for (const Atom& atom : current.body) {
+        if (atom.predicate == current.body[i].predicate) ++same_predicate;
+      }
+      if (same_predicate <= 1) continue;
       // Removing an atom only generalizes; the removal is sound when the
       // smaller query still contains the original (hom current -> candidate).
-      if (FindHomomorphism(current, candidate).has_value()) {
-        current = std::move(candidate);
+      std::vector<const Atom*> pattern = AtomPtrs(current.body);
+      std::vector<const Atom*> target;
+      target.reserve(current.body.size() - 1);
+      for (size_t j = 0; j < current.body.size(); ++j) {
+        if (j != i) target.push_back(&current.body[j]);
+      }
+      if (HasHomomorphism(current.head, pattern, current.head, target)) {
+        current.body.erase(current.body.begin() + static_cast<long>(i));
         changed = true;
         break;
       }

@@ -30,6 +30,10 @@ bool Equivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
 /// isomorphism.
 ConjunctiveQuery Minimize(const ConjunctiveQuery& query);
 
+/// \brief Move overload: minimizes in place, sparing the copy when the
+/// caller is done with the argument.
+ConjunctiveQuery Minimize(ConjunctiveQuery&& query);
+
 }  // namespace semap::logic
 
 #endif  // SEMAP_LOGIC_CONTAINMENT_H_

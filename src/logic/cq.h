@@ -21,19 +21,41 @@ enum class TermKind {
   kFunction,  // uninterpreted function application, e.g. a Skolem term
 };
 
+// The value constructors below (Term::Var/Const/Func and aggregate
+// Term{...}/Atom{...}) are the legacy construction path: each call
+// allocates fresh strings and compares structurally. Hot paths construct
+// through logic::TermFactory (logic/interner.h) instead, which hash-conses
+// the structures so equality is a pointer compare. The value constructors
+// stay available — values remain the interchange type at API boundaries —
+// but new search/filter code should take interned handles. Define
+// SEMAP_DEPRECATE_FREE_TERMS to have the compiler flag every remaining
+// free-construction site.
+#if defined(SEMAP_DEPRECATE_FREE_TERMS)
+#define SEMAP_TERM_DEPRECATED \
+  [[deprecated("construct via logic::TermFactory (logic/interner.h)")]]
+#else
+#define SEMAP_TERM_DEPRECATED
+#endif
+
 /// \brief A variable, constant, or (Skolem) function term.
 struct Term {
   TermKind kind = TermKind::kVariable;
   std::string name;
   std::vector<Term> args;  // kFunction only
 
-  static Term Var(std::string name) {
+  /// Deprecated for hot paths: prefer logic::TermFactory::Var, which
+  /// returns a hash-consed handle (see logic/interner.h and
+  /// docs/LOGIC_CORE.md).
+  SEMAP_TERM_DEPRECATED static Term Var(std::string name) {
     return Term{TermKind::kVariable, std::move(name), {}};
   }
-  static Term Const(std::string name) {
+  /// Deprecated for hot paths: prefer logic::TermFactory::Constant.
+  SEMAP_TERM_DEPRECATED static Term Const(std::string name) {
     return Term{TermKind::kConstant, std::move(name), {}};
   }
-  static Term Func(std::string symbol, std::vector<Term> args) {
+  /// Deprecated for hot paths: prefer logic::TermFactory::Func.
+  SEMAP_TERM_DEPRECATED static Term Func(std::string symbol,
+                                         std::vector<Term> args) {
     return Term{TermKind::kFunction, std::move(symbol), std::move(args)};
   }
 

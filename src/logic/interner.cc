@@ -1,0 +1,350 @@
+#include "logic/interner.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace semap::logic {
+
+namespace {
+
+constexpr size_t kChunkSize = 64 * 1024;
+
+size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+size_t HashTermValue(const Term& t) {
+  size_t h = HashCombine(static_cast<size_t>(t.kind),
+                         std::hash<std::string>{}(t.name));
+  for (const Term& a : t.args) h = HashCombine(h, HashTermValue(a));
+  return h;
+}
+
+size_t HashAtomValue(const Atom& a) {
+  size_t h = std::hash<std::string>{}(a.predicate);
+  for (const Term& t : a.terms) h = HashCombine(h, HashTermValue(t));
+  return h;
+}
+
+size_t HashCqValue(const ConjunctiveQuery& q) {
+  size_t h = std::hash<std::string>{}(q.head_predicate);
+  for (const Term& t : q.head) h = HashCombine(h, HashTermValue(t));
+  for (const Atom& a : q.body) h = HashCombine(h, HashAtomValue(a));
+  return h;
+}
+
+}  // namespace
+
+// Arena node layouts. The public handle is a pointer to the leading value
+// member, so the interned children of a handle are one cast away instead
+// of a locked hash-map find — ArgsOf/TermsOf sit inside the unification
+// inner loop. Handles are only ever minted here, which is what makes the
+// cast in ArgsOf/TermsOf valid; the child vectors are filled before the
+// handle escapes the interning call and never mutated again, which is
+// what makes the lock-free reads safe alongside concurrent Intern().
+struct Interner::TermNode {
+  Term value;
+  std::vector<TermRef> args;  // interned children of a function term
+};
+struct Interner::AtomNode {
+  Atom value;
+  std::vector<TermRef> terms;  // interned argument terms
+};
+
+void Arena::Reset() {
+  // Destroy in reverse construction order, as a stack would.
+  for (auto it = dtors_.rbegin(); it != dtors_.rend(); ++it) {
+    it->destroy(it->object);
+  }
+  dtors_.clear();
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+}
+
+void* Arena::Allocate(size_t size, size_t align) {
+  for (Chunk& chunk : chunks_) {
+    size_t offset = (chunk.used + align - 1) & ~(align - 1);
+    if (offset + size <= chunk.capacity) {
+      chunk.used = offset + size;
+      bytes_allocated_ += size;
+      return chunk.data.get() + offset;
+    }
+  }
+  Chunk chunk;
+  chunk.capacity = std::max(kChunkSize, size + align);
+  chunk.data = std::make_unique<char[]>(chunk.capacity);
+  // The chunk base is new[]-aligned (max_align_t); logic nodes never need
+  // more, so offset 0 is always correctly aligned for the first object.
+  chunk.used = size;
+  bytes_allocated_ += size;
+  chunks_.push_back(std::move(chunk));
+  return chunks_.back().data.get();
+}
+
+size_t Interner::TermPtrHash::operator()(const Term* t) const {
+  return HashTermValue(*t);
+}
+size_t Interner::AtomPtrHash::operator()(const Atom* a) const {
+  return HashAtomValue(*a);
+}
+size_t Interner::CqPtrHash::operator()(const ConjunctiveQuery* q) const {
+  return HashCqValue(*q);
+}
+bool Interner::CqPtrEq::operator()(const ConjunctiveQuery* a,
+                                   const ConjunctiveQuery* b) const {
+  return a->head_predicate == b->head_predicate && a->head == b->head &&
+         a->body == b->body;
+}
+
+TermRef Interner::Var(std::string_view name) {
+  Term t{TermKind::kVariable, std::string(name), {}};
+  return Intern(t);
+}
+
+TermRef Interner::Constant(std::string_view name) {
+  Term t{TermKind::kConstant, std::string(name), {}};
+  return Intern(t);
+}
+
+TermRef Interner::Func(std::string_view symbol, std::vector<Term> args) {
+  Term t{TermKind::kFunction, std::string(symbol), std::move(args)};
+  return Intern(t);
+}
+
+TermRef Interner::Func(std::string_view symbol,
+                       const std::vector<TermRef>& args) {
+  Term t{TermKind::kFunction, std::string(symbol), {}};
+  t.args.reserve(args.size());
+  for (TermRef a : args) t.args.push_back(*a);
+  return Intern(t);
+}
+
+AtomRef Interner::MakeAtom(std::string_view predicate,
+                           const std::vector<TermRef>& terms) {
+  Atom a{std::string(predicate), {}};
+  a.terms.reserve(terms.size());
+  for (TermRef t : terms) a.terms.push_back(*t);
+  return Intern(a);
+}
+
+AtomRef Interner::MakeAtom(std::string_view predicate,
+                           std::vector<Term> terms) {
+  Atom a{std::string(predicate), std::move(terms)};
+  return Intern(a);
+}
+
+TermRef Interner::InternTermLocked(const Term& term) {
+  auto it = terms_.find(&term);
+  if (it != terms_.end()) return it->first;
+  TermNode* node = arena_.Create<TermNode>();
+  node->value = term;
+  terms_.emplace(&node->value, next_id_++);
+  if (term.kind == TermKind::kFunction) {
+    node->args.reserve(term.args.size());
+    for (const Term& a : term.args) node->args.push_back(InternTermLocked(a));
+  }
+  return &node->value;
+}
+
+AtomRef Interner::InternAtomLocked(const Atom& atom) {
+  auto it = atoms_.find(&atom);
+  if (it != atoms_.end()) return it->first;
+  AtomNode* node = arena_.Create<AtomNode>();
+  node->value = atom;
+  atoms_.emplace(&node->value, next_id_++);
+  node->terms.reserve(atom.terms.size());
+  for (const Term& t : atom.terms) node->terms.push_back(InternTermLocked(t));
+  return &node->value;
+}
+
+TermRef Interner::Intern(const Term& term) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InternTermLocked(term);
+}
+
+AtomRef Interner::Intern(const Atom& atom) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InternAtomLocked(atom);
+}
+
+CqRef Interner::Intern(const ConjunctiveQuery& query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(&query);
+  if (it != queries_.end()) return it->first;
+  ConjunctiveQuery* node = arena_.Create<ConjunctiveQuery>(query);
+  queries_.emplace(node, next_id_++);
+  return node;
+}
+
+const std::vector<TermRef>& Interner::ArgsOf(TermRef term) const {
+  // `term` is a handle minted by InternTermLocked, i.e. the leading member
+  // of a TermNode; its args vector is immutable once the handle escapes,
+  // so this needs neither the map nor the mutex.
+  return reinterpret_cast<const TermNode*>(term)->args;
+}
+
+const std::vector<TermRef>& Interner::TermsOf(AtomRef atom) const {
+  return reinterpret_cast<const AtomNode*>(atom)->terms;
+}
+
+uint32_t Interner::IdOf(TermRef term) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = terms_.find(term);
+  return it == terms_.end() ? UINT32_MAX : it->second;
+}
+
+uint32_t Interner::IdOf(AtomRef atom) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = atoms_.find(atom);
+  return it == atoms_.end() ? UINT32_MAX : it->second;
+}
+
+uint32_t Interner::IdOf(CqRef query) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(query);
+  return it == queries_.end() ? UINT32_MAX : it->second;
+}
+
+size_t Interner::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return terms_.size() + atoms_.size() + queries_.size();
+}
+
+size_t Interner::arena_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arena_.bytes_allocated();
+}
+
+// ---- Interned unification ------------------------------------------------
+
+namespace {
+
+bool OccursRef(TermRef var, TermRef term, const RefBinding& binding,
+               Interner& interner) {
+  TermRef resolved = ResolveRef(term, binding, interner);
+  if (resolved->IsVar()) return resolved == var;
+  if (resolved->kind == TermKind::kFunction) {
+    for (TermRef a : interner.ArgsOf(resolved)) {
+      if (OccursRef(var, a, binding, interner)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TermRef ResolveRef(TermRef term, const RefBinding& binding,
+                   Interner& interner) {
+  TermRef current = term;
+  while (current->IsVar()) {
+    auto it = binding.find(current);
+    if (it == binding.end()) break;
+    current = it->second;
+  }
+  if (current->kind == TermKind::kFunction) {
+    const std::vector<TermRef>& in_args = interner.ArgsOf(current);
+    bool changed = false;
+    std::vector<TermRef> args;
+    args.reserve(in_args.size());
+    for (TermRef a : in_args) {
+      TermRef out = ResolveRef(a, binding, interner);
+      changed |= out != a;
+      args.push_back(out);
+    }
+    if (changed) return interner.Func(current->name, args);
+  }
+  return current;
+}
+
+bool UnifyRefs(TermRef a, TermRef b, RefBinding& binding, RefTrail& trail,
+               Interner& interner) {
+  TermRef ra = ResolveRef(a, binding, interner);
+  TermRef rb = ResolveRef(b, binding, interner);
+  if (ra->IsVar()) {
+    if (ra == rb) return true;
+    if (OccursRef(ra, rb, binding, interner)) return false;
+    binding.emplace(ra, rb);
+    trail.push_back(ra);
+    return true;
+  }
+  if (rb->IsVar()) {
+    if (OccursRef(rb, ra, binding, interner)) return false;
+    binding.emplace(rb, ra);
+    trail.push_back(rb);
+    return true;
+  }
+  if (ra == rb) return true;  // interned: structural equality is free
+  if (ra->kind != rb->kind || ra->name != rb->name ||
+      ra->args.size() != rb->args.size()) {
+    return false;
+  }
+  const std::vector<TermRef>& args_a = interner.ArgsOf(ra);
+  const std::vector<TermRef>& args_b = interner.ArgsOf(rb);
+  for (size_t i = 0; i < args_a.size(); ++i) {
+    if (!UnifyRefs(args_a[i], args_b[i], binding, trail, interner)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool UnifyAtomRefs(AtomRef a, AtomRef b, RefBinding& binding, RefTrail& trail,
+                   Interner& interner) {
+  if (a->predicate != b->predicate || a->terms.size() != b->terms.size()) {
+    return false;
+  }
+  const std::vector<TermRef>& terms_a = interner.TermsOf(a);
+  const std::vector<TermRef>& terms_b = interner.TermsOf(b);
+  for (size_t i = 0; i < terms_a.size(); ++i) {
+    if (!UnifyRefs(terms_a[i], terms_b[i], binding, trail, interner)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void UndoRefTrail(RefBinding& binding, RefTrail& trail, size_t mark) {
+  while (trail.size() > mark) {
+    binding.erase(trail.back());
+    trail.pop_back();
+  }
+}
+
+// ---- Canonical forms -----------------------------------------------------
+
+namespace {
+
+void RenameByFirstOccurrence(ConjunctiveQuery& q) {
+  Substitution sub;
+  int counter = 0;
+  auto visit = [&](auto&& self, const Term& t) -> void {
+    if (t.IsVar()) {
+      if (sub.count(t.name) == 0) {
+        sub[t.name] = Term::Var("c" + std::to_string(counter++));
+      }
+      return;
+    }
+    for (const Term& a : t.args) self(self, a);
+  };
+  for (const Term& t : q.head) visit(visit, t);
+  for (const Atom& a : q.body) {
+    for (const Term& t : a.terms) visit(visit, t);
+  }
+  q = ApplySubstitution(q, sub);
+}
+
+}  // namespace
+
+ConjunctiveQuery CanonicalCq(const ConjunctiveQuery& query) {
+  ConjunctiveQuery canon = query;
+  // Rename, sort, rename again, sort again: the first rename pins a
+  // name-independent baseline, each sort makes atom order canonical under
+  // the current names, and the second rename re-bases names on the sorted
+  // order. Deterministic, and idempotent on its own output.
+  RenameByFirstOccurrence(canon);
+  std::sort(canon.body.begin(), canon.body.end());
+  RenameByFirstOccurrence(canon);
+  std::sort(canon.body.begin(), canon.body.end());
+  return canon;
+}
+
+}  // namespace semap::logic

@@ -1,0 +1,219 @@
+// Hash-consed (interned) terms, atoms and conjunctive queries: the logic
+// core behind the rewriting hot path.
+//
+// An Interner owns one canonical, arena-allocated node per structurally
+// distinct Term / Atom / ConjunctiveQuery ever interned through it, so
+//
+//   pointer equality  <=>  structural equality      (within one interner)
+//
+// and every duplicate check, memo-table key and substitution lookup in the
+// rewriting engine becomes a pointer compare instead of a recursive
+// string-by-string walk. `TermFactory` is the construction face of the
+// same object: all new Term/Atom construction in src/logic and
+// src/rewriting goes through it (the free `Term::Var` / brace-init style
+// remains as a deprecated compatibility surface — see docs/LOGIC_CORE.md).
+//
+// Interning is thread-safe: one interner may be shared by the supervised
+// worker pool (`--jobs=N`), and concurrent Intern() calls for equal values
+// return the same pointer. Per-run search scratch built on top of the
+// interner (RewriteSession) is single-threaded by design.
+#ifndef SEMAP_LOGIC_INTERNER_H_
+#define SEMAP_LOGIC_INTERNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/cq.h"
+
+namespace semap::logic {
+
+/// Canonical handles. Never null once returned; owned by the Interner that
+/// produced them and valid for its lifetime.
+using TermRef = const Term*;
+using AtomRef = const Atom*;
+using CqRef = const ConjunctiveQuery*;
+
+/// \brief Monotonic arena: chunked placement-new allocation, freed (and
+/// destructor-swept) all at once. Candidate teardown in the rewriter is a
+/// Reset() — a pointer rewind plus the registered destructor sweep — not a
+/// per-node free.
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena() { Reset(); }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Construct a T inside the arena. T's destructor runs at Reset().
+  template <typename T, typename... Args>
+  T* Create(Args&&... args) {
+    void* slot = Allocate(sizeof(T), alignof(T));
+    T* obj = new (slot) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      dtors_.push_back({obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    }
+    return obj;
+  }
+
+  /// Destroy every object and rewind; chunk memory is kept for reuse.
+  void Reset();
+
+  /// Bytes handed out since construction (monotonic, survives Reset so the
+  /// `rewriting.arena_bytes` counter reflects total arena traffic).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+ private:
+  void* Allocate(size_t size, size_t align);
+
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+    size_t used = 0;
+  };
+  struct Dtor {
+    void* object;
+    void (*destroy)(void*);
+  };
+  std::vector<Chunk> chunks_;
+  std::vector<Dtor> dtors_;
+  size_t bytes_allocated_ = 0;
+};
+
+/// \brief Hash-consing factory for the logic core. See file comment.
+class Interner {
+ public:
+  Interner() = default;
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  // ---- Construction API (the TermFactory face) ----
+
+  /// Canonical variable / constant / function-application terms.
+  TermRef Var(std::string_view name);
+  TermRef Constant(std::string_view name);
+  TermRef Func(std::string_view symbol, std::vector<Term> args);
+  TermRef Func(std::string_view symbol, const std::vector<TermRef>& args);
+
+  /// Canonical atom from interned terms (the hot-path form) or values.
+  AtomRef MakeAtom(std::string_view predicate,
+                   const std::vector<TermRef>& terms);
+  AtomRef MakeAtom(std::string_view predicate, std::vector<Term> terms);
+
+  // ---- Canonicalization of existing values ----
+
+  TermRef Intern(const Term& term);
+  AtomRef Intern(const Atom& atom);
+  CqRef Intern(const ConjunctiveQuery& query);
+
+  /// Dense id of an interned node, assigned in first-intern order (so it
+  /// is deterministic for a deterministic call sequence). Ids are the memo
+  /// keys of the rewriting engine's per-run tables.
+  uint32_t IdOf(TermRef term) const;
+  uint32_t IdOf(AtomRef atom) const;
+  uint32_t IdOf(CqRef query) const;
+
+  /// Interned argument / term handles of an interned function term / atom,
+  /// computed once at intern time so the unification hot loop never
+  /// re-interns children. The argument must be a handle returned by this
+  /// interner (they are stored inline with the node, so the lookup is a
+  /// pointer cast — no lock, no hash). Safe to call concurrently with
+  /// Intern(): a node's children are filled in before its handle escapes
+  /// and never change afterwards.
+  const std::vector<TermRef>& ArgsOf(TermRef term) const;
+  const std::vector<TermRef>& TermsOf(AtomRef atom) const;
+
+  /// Number of distinct nodes interned so far (terms + atoms + queries).
+  size_t size() const;
+  /// Bytes allocated by the node arena.
+  size_t arena_bytes() const;
+
+ private:
+  struct TermNode;
+  struct AtomNode;
+  struct TermPtrHash {
+    size_t operator()(const Term* t) const;
+  };
+  struct TermPtrEq {
+    bool operator()(const Term* a, const Term* b) const { return *a == *b; }
+  };
+  struct AtomPtrHash {
+    size_t operator()(const Atom* a) const;
+  };
+  struct AtomPtrEq {
+    bool operator()(const Atom* a, const Atom* b) const { return *a == *b; }
+  };
+  struct CqPtrHash {
+    size_t operator()(const ConjunctiveQuery* q) const;
+  };
+  struct CqPtrEq {
+    bool operator()(const ConjunctiveQuery* a,
+                    const ConjunctiveQuery* b) const;
+  };
+
+  TermRef InternTermLocked(const Term& term);
+  AtomRef InternAtomLocked(const Atom& atom);
+
+  mutable std::mutex mu_;
+  Arena arena_;
+  std::unordered_map<const Term*, uint32_t, TermPtrHash, TermPtrEq> terms_;
+  std::unordered_map<const Atom*, uint32_t, AtomPtrHash, AtomPtrEq> atoms_;
+  std::unordered_map<const ConjunctiveQuery*, uint32_t, CqPtrHash, CqPtrEq>
+      queries_;
+  uint32_t next_id_ = 0;
+};
+
+/// The construction face of the interner; see docs/LOGIC_CORE.md. All new
+/// Term/Atom construction in src/logic and src/rewriting takes one of
+/// these instead of calling the deprecated free constructors.
+using TermFactory = Interner;
+
+// ---- Interned substitution and unification -------------------------------
+//
+// The rewriting search keeps its substitution as a pointer-keyed map from
+// interned variable to interned term. Lookups hash a pointer, equality is
+// a pointer compare, and undoing a failed unification is popping a trail —
+// no snapshot copies of the whole substitution.
+
+using RefBinding = std::unordered_map<TermRef, TermRef>;
+using RefTrail = std::vector<TermRef>;
+
+/// Fully resolve `term` under `binding`; resolved function terms are
+/// re-interned through `interner` so the result is canonical.
+TermRef ResolveRef(TermRef term, const RefBinding& binding,
+                   Interner& interner);
+
+/// Extend `binding` to a most general unifier of `a` and `b` (occurs check
+/// included). Newly bound variables are pushed onto `trail`; on failure the
+/// binding is left partially extended — undo with UndoRefTrail to a mark
+/// taken before the call. Semantics mirror logic::Unify exactly.
+bool UnifyRefs(TermRef a, TermRef b, RefBinding& binding, RefTrail& trail,
+               Interner& interner);
+
+/// Atom-level unification: same predicate, same arity, argument-wise.
+bool UnifyAtomRefs(AtomRef a, AtomRef b, RefBinding& binding, RefTrail& trail,
+                   Interner& interner);
+
+/// Pop trail entries down to `mark`, erasing their bindings.
+void UndoRefTrail(RefBinding& binding, RefTrail& trail, size_t mark);
+
+// ---- Canonical forms -----------------------------------------------------
+
+/// \brief Rename variables by first occurrence (head then body), sort the
+/// body, rename again: a deterministic canonical form such that two
+/// queries with equal CanonicalCq results are variable-renamings /
+/// body-reorderings of one another (hence equivalent). The converse does
+/// not hold — canonical inequality proves nothing — which is exactly what
+/// a sound fast path needs. Interning the canonical form makes "seen this
+/// rewriting before?" a pointer compare.
+ConjunctiveQuery CanonicalCq(const ConjunctiveQuery& query);
+
+}  // namespace semap::logic
+
+#endif  // SEMAP_LOGIC_INTERNER_H_

@@ -14,8 +14,11 @@
 #include <vector>
 
 #include "logic/cq.h"
+#include "logic/interner.h"
 
 namespace semap::logic {
+
+class EquivCache;
 
 struct Tgd {
   ConjunctiveQuery source;
@@ -30,6 +33,24 @@ struct Tgd {
 /// \brief Logical equivalence of mappings: the source sides are equivalent
 /// CQs and the target sides are equivalent CQs, under the same frontier.
 bool EquivalentTgds(const Tgd& a, const Tgd& b);
+
+/// Same verdict through an EquivCache (logic/memo.h): the per-side
+/// equivalence checks are memoized and signature-pruned, and inequivalent
+/// pairs are rejected up front by comparing body predicate *sets* (bloom
+/// masks) — equivalence forces equal sets on each side, and frontier
+/// permutations never change a predicate. Sets, not multisets: AlignTgd's
+/// head substitution can merge variables and leave redundant atoms, so the
+/// sides are not cores and multiset equality is not implied. A null cache
+/// falls back to the plain overload.
+bool EquivalentTgds(const Tgd& a, const Tgd& b, EquivCache* cache);
+
+/// Ref-accelerated form of the cached overload: `a_src`/`a_tgt` and
+/// `b_src`/`b_tgt` must be `cache.Intern(...)` handles of the matching
+/// sides of `a` and `b`. Verdicts are identical; the point is that a dedup
+/// loop interns each tgd's sides once and reuses the handles across every
+/// comparison instead of re-hashing both queries per call.
+bool EquivalentTgds(const Tgd& a, CqRef a_src, CqRef a_tgt, const Tgd& b,
+                    CqRef b_src, CqRef b_tgt, EquivCache& cache);
 
 /// \brief Build a tgd from two queries whose heads are positionally
 /// aligned (position i of both heads carries correspondence i): renames

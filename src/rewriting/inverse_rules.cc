@@ -15,6 +15,12 @@ using logic::Term;
 Result<std::vector<InverseRule>> InverseRulesForTable(
     const cm::CmGraph& graph, const rel::Table& table_def,
     const sem::STree& stree) {
+  return InverseRulesForTable(graph, table_def, stree, nullptr);
+}
+
+Result<std::vector<InverseRule>> InverseRulesForTable(
+    const cm::CmGraph& graph, const rel::Table& table_def,
+    const sem::STree& stree, logic::TermFactory* factory) {
   sem::Fragment fragment = sem::FragmentFromSTree(stree);
   std::vector<std::string> var_of_node;
   SEMAP_ASSIGN_OR_RETURN(
@@ -86,18 +92,32 @@ Result<std::vector<InverseRule>> InverseRulesForTable(
     rules.push_back(
         InverseRule{logic::ApplySubstitution(atom, id_subst), table_atom});
   }
+  if (factory != nullptr) {
+    // Canonicalize the produced structures: downstream interning of these
+    // heads / table atoms (session indexes, equivalence caches sharing the
+    // factory) becomes a hash hit returning the same handle.
+    for (const InverseRule& rule : rules) {
+      factory->Intern(rule.head);
+      factory->Intern(rule.table_atom);
+    }
+  }
   return rules;
 }
 
 Result<std::vector<InverseRule>> InverseRulesForSchema(
     const sem::AnnotatedSchema& side) {
+  return InverseRulesForSchema(side, nullptr);
+}
+
+Result<std::vector<InverseRule>> InverseRulesForSchema(
+    const sem::AnnotatedSchema& side, logic::TermFactory* factory) {
   std::vector<InverseRule> out;
   for (const auto& [table, stree] : side.semantics()) {
     const rel::Table* table_def = side.schema().FindTable(table);
     if (table_def == nullptr) continue;
     SEMAP_ASSIGN_OR_RETURN(
         std::vector<InverseRule> rules,
-        InverseRulesForTable(side.graph(), *table_def, stree));
+        InverseRulesForTable(side.graph(), *table_def, stree, factory));
     out.insert(out.end(), std::make_move_iterator(rules.begin()),
                std::make_move_iterator(rules.end()));
   }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "logic/cq.h"
+#include "logic/interner.h"
 #include "semantics/stree.h"
 #include "util/result.h"
 
@@ -32,13 +33,25 @@ struct InverseRule {
   }
 };
 
-/// \brief All inverse rules of one table.
+/// \brief All inverse rules of one table. When `factory` is non-null the
+/// produced rule heads and table atoms are hash-consed through it, making
+/// the factory the canonical store for the run: everything downstream
+/// (rewriting sessions, equivalence caches) that interns the same
+/// structures gets the already-canonical handles back. The returned rules
+/// themselves stay value-typed — they are the interchange representation.
+Result<std::vector<InverseRule>> InverseRulesForTable(
+    const cm::CmGraph& graph, const rel::Table& table_def,
+    const sem::STree& stree, logic::TermFactory* factory);
+/// Legacy entry (no factory): delegates with a null factory.
 Result<std::vector<InverseRule>> InverseRulesForTable(
     const cm::CmGraph& graph, const rel::Table& table_def,
     const sem::STree& stree);
 
 /// \brief All inverse rules of a schema side (tables without semantics are
-/// skipped).
+/// skipped). Same factory contract as InverseRulesForTable.
+Result<std::vector<InverseRule>> InverseRulesForSchema(
+    const sem::AnnotatedSchema& side, logic::TermFactory* factory);
+/// Legacy entry (no factory): delegates with a null factory.
 Result<std::vector<InverseRule>> InverseRulesForSchema(
     const sem::AnnotatedSchema& side);
 

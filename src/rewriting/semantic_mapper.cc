@@ -52,6 +52,7 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
     const std::vector<disc::Correspondence>& correspondences,
     const SemanticMapperOptions& options) {
+  // Deprecated shim: see GenerateMappings.
   return GenerateSemanticMappings(source, target, correspondences, options,
                                   exec::RunContext{});
 }
@@ -59,7 +60,23 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
 Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
     const std::vector<disc::Correspondence>& correspondences,
-    const SemanticMapperOptions& options, const exec::RunContext& run_ctx) {
+    const SemanticMapperOptions& options, const exec::RunContext& ctx) {
+  // Deprecated shim: build a MapRequest and call GenerateMappings.
+  MapRequest req;
+  req.source = &source;
+  req.target = &target;
+  req.correspondences = &correspondences;
+  req.options = options;
+  return GenerateMappings(req, ctx);
+}
+
+Result<std::vector<GeneratedMapping>> GenerateMappings(
+    const MapRequest& req, const exec::RunContext& run_ctx) {
+  const sem::AnnotatedSchema& source = *req.source;
+  const sem::AnnotatedSchema& target = *req.target;
+  const std::vector<disc::Correspondence>& correspondences =
+      *req.correspondences;
+  const SemanticMapperOptions& options = req.options;
   // Discovery and rewriting share one governor: a deadline covers the
   // pipeline end to end, not each stage separately.
   exec::RunContext ctx = run_ctx;
@@ -71,10 +88,14 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
                          discoverer.Run());
   const std::vector<disc::LiftedCorrespondence>& lifted = discoverer.lifted();
 
+  // One TermFactory for the whole run: inverse-rule construction
+  // canonicalizes its output through it, and everything downstream (both
+  // sessions, the tgd cache) shares the same hash-consed store.
+  logic::TermFactory run_factory;
   SEMAP_ASSIGN_OR_RETURN(std::vector<InverseRule> source_rules,
-                         InverseRulesForSchema(source));
+                         InverseRulesForSchema(source, &run_factory));
   SEMAP_ASSIGN_OR_RETURN(std::vector<InverseRule> target_rules,
-                         InverseRulesForSchema(target));
+                         InverseRulesForSchema(target, &run_factory));
 
   // Normalizers for rewriting comparison: chase under the schema's RICs,
   // key FDs and CM-derived FDs, then minimize.
@@ -83,12 +104,21 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     for (const sem::TableFd& fd : sem::DeriveSchemaFds(side)) {
       fds.push_back(baseline::ColumnFd{fd.table, fd.lhs, fd.rhs});
     }
+    // Pre-append the per-table key FDs (same order the chase would
+    // assemble them in) so the chase reuses one complete EGD list across
+    // the hundreds of normalize calls of a run.
+    for (const rel::Table& table : side.schema().tables()) {
+      if (table.primary_key().empty()) continue;
+      fds.push_back(baseline::ColumnFd{table.name(), table.primary_key(),
+                                       table.columns()});
+    }
     std::vector<sem::CrossTableFd> cross = sem::DeriveCrossTableFds(side);
     const rel::RelationalSchema* schema = &side.schema();
     // EGDs only: cheap, never grows the query, and suffices to collapse
     // rewritings that read an attribute from a second key-joined row.
     baseline::ChaseOptions chase_opts;
     chase_opts.apply_rics = false;
+    chase_opts.extra_fds_complete = true;
     return [schema, fds, cross, chase_opts](const ConjunctiveQuery& q) {
       return logic::Minimize(baseline::ChaseQueryWithConstraints(
           *schema, q, fds, cross, chase_opts));
@@ -96,6 +126,20 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
   };
   auto source_normalize = make_normalizer(source);
   auto target_normalize = make_normalizer(target);
+
+  // One rewriting session per schema side for the whole run: the inverse
+  // rules are interned and indexed once, and the viability / normalize /
+  // equivalence memo tables persist across candidates. A third,
+  // mapper-level cache memoizes the tgd-side equivalence checks of the
+  // variant and duplicate filters.
+  RewriteSession source_session(source_rules, options.tuning, &run_factory);
+  RewriteSession target_session(target_rules, options.tuning, &run_factory);
+  logic::EquivCache tgd_equiv(&run_factory);
+  tgd_equiv.use_memo = options.tuning.use_memo;
+  tgd_equiv.use_signatures = options.tuning.use_signatures;
+  logic::EquivCache* tgd_cache =
+      options.tuning.use_memo || options.tuning.use_signatures ? &tgd_equiv
+                                                               : nullptr;
 
   auto source_columns = [&](const std::string& table)
       -> const std::vector<std::string>* {
@@ -110,6 +154,10 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
 
   obs::Span rewriting_span = ctx.Span("rewriting");
   std::vector<GeneratedMapping> mappings;
+  // Interned handles of each emitted mapping's primary tgd sides, parallel
+  // to `mappings`: cross-candidate dedup compares by handle instead of
+  // re-hashing every accepted mapping per new candidate.
+  std::vector<std::pair<logic::CqRef, logic::CqRef>> mapping_refs;
   size_t candidates_rendered = 0;
   for (const disc::MappingCandidate& cand : candidates) {
     if (mappings.size() >= options.max_mappings) break;
@@ -135,10 +183,18 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
       tgt_opts.required_tables.insert(lifted[idx].corr.target.table);
     }
 
+    Request src_req;
+    src_req.query = &src_cm;
+    src_req.session = &source_session;
+    src_req.options = std::move(src_opts);
+    Request tgt_req;
+    tgt_req.query = &tgt_cm;
+    tgt_req.session = &target_session;
+    tgt_req.options = std::move(tgt_opts);
     SEMAP_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> src_rewritings,
-                           RewriteQuery(src_cm, source_rules, src_opts, ctx));
+                           Rewrite(src_req, ctx));
     SEMAP_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> tgt_rewritings,
-                           RewriteQuery(tgt_cm, target_rules, tgt_opts, ctx));
+                           Rewrite(tgt_req, ctx));
     if (src_rewritings.empty() || tgt_rewritings.empty()) {
       if (ctx.provenance != nullptr) {
         obs::RejectionRecord rejection;
@@ -168,17 +224,36 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     }
 
     GeneratedMapping mapping;
+    std::vector<std::pair<logic::CqRef, logic::CqRef>> variant_refs;
     for (const ConjunctiveQuery& rs : src_rewritings) {
       for (const ConjunctiveQuery& rt : tgt_rewritings) {
         logic::Tgd tgd = logic::AlignTgd(rs, rt);
+        // Intern each side once; the handles ride along with the variant
+        // so no query is ever re-hashed by the dedup loops below.
+        logic::CqRef tgd_src = nullptr;
+        logic::CqRef tgd_tgt = nullptr;
+        if (tgd_cache != nullptr) {
+          tgd_src = tgd_cache->Intern(tgd.source);
+          tgd_tgt = tgd_cache->Intern(tgd.target);
+        }
         bool duplicate = false;
-        for (const logic::Tgd& existing : mapping.variants) {
-          if (logic::EquivalentTgds(existing, tgd)) {
+        for (size_t vi = 0; vi < mapping.variants.size(); ++vi) {
+          const bool equal =
+              tgd_cache != nullptr
+                  ? logic::EquivalentTgds(
+                        mapping.variants[vi], variant_refs[vi].first,
+                        variant_refs[vi].second, tgd, tgd_src, tgd_tgt,
+                        *tgd_cache)
+                  : logic::EquivalentTgds(mapping.variants[vi], tgd);
+          if (equal) {
             duplicate = true;
             break;
           }
         }
-        if (!duplicate) mapping.variants.push_back(std::move(tgd));
+        if (!duplicate) {
+          mapping.variants.push_back(std::move(tgd));
+          variant_refs.emplace_back(tgd_src, tgd_tgt);
+        }
       }
     }
     if (mapping.variants.empty()) continue;
@@ -186,8 +261,15 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     // A candidate whose primary rendering duplicates an earlier mapping's
     // is the same mapping expression; skip it.
     bool duplicate_mapping = false;
-    for (const GeneratedMapping& existing : mappings) {
-      if (logic::EquivalentTgds(existing.tgd, mapping.tgd)) {
+    for (size_t mi = 0; mi < mappings.size(); ++mi) {
+      const bool equal =
+          tgd_cache != nullptr
+              ? logic::EquivalentTgds(mappings[mi].tgd, mapping_refs[mi].first,
+                                      mapping_refs[mi].second, mapping.tgd,
+                                      variant_refs.front().first,
+                                      variant_refs.front().second, *tgd_cache)
+              : logic::EquivalentTgds(mappings[mi].tgd, mapping.tgd);
+      if (equal) {
         duplicate_mapping = true;
         break;
       }
@@ -252,6 +334,7 @@ Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
       ctx.provenance->RecordDerivation(std::move(derivation));
     }
     mappings.push_back(std::move(mapping));
+    mapping_refs.push_back(variant_refs.front());
   }
   if (ctx.Exhausted() && candidates_rendered < candidates.size()) {
     ctx.governor->NoteTruncation(

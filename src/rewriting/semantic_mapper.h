@@ -10,6 +10,7 @@
 
 #include "discovery/discoverer.h"
 #include "rewriting/join_hints.h"
+#include "rewriting/session.h"
 #include "logic/tgd.h"
 #include "util/result.h"
 
@@ -41,13 +42,33 @@ struct SemanticMapperOptions {
   size_t max_mappings = 8;
   /// Cap on rewritings kept per CSG side.
   size_t max_rewritings_per_side = 8;
+  /// Fast-path escapes for the rewriting sessions and the mapper-level
+  /// equivalence cache (tests pin that every fast path is
+  /// verdict-preserving by flipping these off). All default on.
+  SessionTuning tuning;
 };
 
-/// \brief Run the full semantic pipeline. The RunContext's tracer gets the
-/// discovery phase spans plus a `rewriting` span; the governor (context's,
-/// else options.discovery.governor) covers discovery and rewriting with
-/// one budget. The context-free overload is the deprecated pre-RunContext
-/// path.
+/// \brief One mapping-generation request: the canonical entry point's
+/// argument (the rewriting::Request idiom one level up). The pointed-to
+/// schemas and correspondences must outlive the call.
+struct MapRequest {
+  const sem::AnnotatedSchema* source = nullptr;
+  const sem::AnnotatedSchema* target = nullptr;
+  const std::vector<disc::Correspondence>* correspondences = nullptr;
+  SemanticMapperOptions options;
+};
+
+/// \brief Run the full semantic pipeline — the canonical entry point. The
+/// RunContext's tracer gets the discovery phase spans plus a `rewriting`
+/// span; the governor (context's, else options.discovery.governor) covers
+/// discovery and rewriting with one budget. Internally one RewriteSession
+/// per schema side carries the interned rules and memo tables across every
+/// candidate of the run.
+Result<std::vector<GeneratedMapping>> GenerateMappings(
+    const MapRequest& req, const exec::RunContext& ctx);
+
+/// Deprecated: build a MapRequest and call GenerateMappings. These shims
+/// delegate; the context-free one is the pre-RunContext path.
 Result<std::vector<GeneratedMapping>> GenerateSemanticMappings(
     const sem::AnnotatedSchema& source, const sem::AnnotatedSchema& target,
     const std::vector<disc::Correspondence>& correspondences,

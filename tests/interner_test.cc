@@ -1,0 +1,183 @@
+// Invariants of the hash-consing logic core (logic/interner.h): one
+// canonical handle per structurally distinct value, pointer equality iff
+// structural equality, interned children available handle-only, and safe
+// concurrent interning (this suite runs under the TSan tier of
+// scripts/tier1.sh precisely for the multi-threaded cases).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "logic/interner.h"
+#include "logic/memo.h"
+
+namespace semap::logic {
+namespace {
+
+TEST(InternerTest, EqualValuesShareOneHandle) {
+  Interner interner;
+  TermRef x1 = interner.Var("x");
+  TermRef x2 = interner.Var("x");
+  EXPECT_EQ(x1, x2);
+  EXPECT_EQ(interner.Intern(Term::Var("x")), x1);
+
+  TermRef c1 = interner.Constant("alice");
+  EXPECT_EQ(interner.Constant("alice"), c1);
+  // Same name, different kind: different value, different handle.
+  EXPECT_NE(interner.Var("alice"), c1);
+
+  AtomRef a1 = interner.MakeAtom("emp", std::vector<TermRef>{x1, c1});
+  AtomRef a2 = interner.Intern(Atom{"emp", {Term::Var("x"),
+                                            Term::Const("alice")}});
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(InternerTest, PointerEqualityIffStructuralEquality) {
+  Interner interner;
+  std::vector<Term> values = {
+      Term::Var("x"),
+      Term::Var("y"),
+      Term::Const("x"),
+      Term::Func("f", {Term::Var("x")}),
+      Term::Func("f", {Term::Var("y")}),
+      Term::Func("g", {Term::Var("x")}),
+      Term::Func("f", {Term::Func("f", {Term::Var("x")})}),
+  };
+  std::vector<TermRef> handles;
+  for (const Term& v : values) handles.push_back(interner.Intern(v));
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      EXPECT_EQ(handles[i] == handles[j], values[i] == values[j])
+          << values[i].ToString() << " vs " << values[j].ToString();
+      // The handle still carries the full value.
+      EXPECT_EQ(*handles[i] == *handles[j], values[i] == values[j]);
+    }
+  }
+}
+
+TEST(InternerTest, ChildrenAreInternedAtInternTime) {
+  Interner interner;
+  Term nested = Term::Func(
+      "sk1", {Term::Var("u"), Term::Func("sk2", {Term::Const("k")})});
+  TermRef f = interner.Intern(nested);
+  const std::vector<TermRef>& args = interner.ArgsOf(f);
+  ASSERT_EQ(args.size(), 2u);
+  // ArgsOf returns the canonical handles: interning the child values
+  // again must hit the same nodes.
+  EXPECT_EQ(args[0], interner.Var("u"));
+  EXPECT_EQ(args[1], interner.Intern(Term::Func("sk2", {Term::Const("k")})));
+  EXPECT_EQ(interner.ArgsOf(args[1])[0], interner.Constant("k"));
+
+  AtomRef atom = interner.Intern(Atom{"sells", {nested, Term::Var("v")}});
+  const std::vector<TermRef>& terms = interner.TermsOf(atom);
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], f);
+  EXPECT_EQ(terms[1], interner.Var("v"));
+}
+
+TEST(InternerTest, IdsAreDenseAndFirstInternOrdered) {
+  Interner interner;
+  TermRef x = interner.Var("x");
+  TermRef f = interner.Func("f", std::vector<Term>{Term::Var("x"),
+                                                   Term::Var("y")});
+  // Parent nodes are registered before their children are interned, so a
+  // function's id precedes any child first seen through it.
+  EXPECT_LT(interner.IdOf(x), interner.IdOf(f));
+  EXPECT_LT(interner.IdOf(f), interner.IdOf(interner.Var("y")));
+  // Re-interning mints no new id.
+  uint32_t before = interner.IdOf(f);
+  interner.Func("f", std::vector<Term>{Term::Var("x"), Term::Var("y")});
+  EXPECT_EQ(interner.IdOf(f), before);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(InternerTest, ArenaBytesGrowMonotonically) {
+  Interner interner;
+  size_t b0 = interner.arena_bytes();
+  interner.Var("x");
+  size_t b1 = interner.arena_bytes();
+  EXPECT_GT(b1, b0);
+  interner.Var("x");  // duplicate: no new node
+  EXPECT_EQ(interner.arena_bytes(), b1);
+  interner.MakeAtom("p", std::vector<Term>{Term::Var("x")});
+  EXPECT_GT(interner.arena_bytes(), b1);
+}
+
+TEST(InternerTest, QueriesInternLikeTerms) {
+  Interner interner;
+  ConjunctiveQuery q;
+  q.head = {Term::Var("x")};
+  q.body = {Atom{"emp", {Term::Var("x"), Term::Var("d")}}};
+  CqRef h1 = interner.Intern(q);
+  CqRef h2 = interner.Intern(q);
+  EXPECT_EQ(h1, h2);
+  q.body.push_back(Atom{"dept", {Term::Var("d")}});
+  EXPECT_NE(interner.Intern(q), h1);
+}
+
+TEST(InternerTest, ConcurrentInternOfEqualValuesIsCanonical) {
+  // The --jobs=N worker pool shares one interner; equal values interned
+  // from racing threads must still resolve to one handle. TSan checks the
+  // synchronization, the assertions check canonicalization.
+  Interner interner;
+  constexpr int kThreads = 8;
+  constexpr int kValues = 64;
+  std::vector<std::vector<TermRef>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&interner, &seen, t] {
+      seen[t].reserve(kValues);
+      for (int i = 0; i < kValues; ++i) {
+        Term value = Term::Func(
+            "f" + std::to_string(i % 7),
+            {Term::Var("v" + std::to_string(i)), Term::Const("c")});
+        TermRef handle = interner.Intern(value);
+        // Lock-free child reads must be safe alongside concurrent Intern.
+        EXPECT_EQ(interner.ArgsOf(handle).size(), 2u);
+        seen[t].push_back(handle);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(seen[t].size(), seen[0].size());
+    for (int i = 0; i < kValues; ++i) EXPECT_EQ(seen[t][i], seen[0][i]);
+  }
+}
+
+TEST(InternerTest, UnifyRefsMatchesValueUnifySemantics) {
+  Interner interner;
+  TermRef x = interner.Var("x");
+  TermRef fy = interner.Func("f", std::vector<Term>{Term::Var("y")});
+  RefBinding binding;
+  RefTrail trail;
+  ASSERT_TRUE(UnifyRefs(x, fy, binding, trail, interner));
+  EXPECT_EQ(ResolveRef(x, binding, interner), fy);
+  // Occurs check: y against f(y) must fail and leave the trail poppable.
+  size_t mark = trail.size();
+  TermRef y = interner.Var("y");
+  EXPECT_FALSE(UnifyRefs(y, fy, binding, trail, interner));
+  UndoRefTrail(binding, trail, mark);
+  EXPECT_EQ(ResolveRef(x, binding, interner), fy);
+}
+
+TEST(InternerTest, CanonicalCqIdentifiesRenamings) {
+  Interner interner;
+  ConjunctiveQuery a;
+  a.head = {Term::Var("x")};
+  a.body = {Atom{"emp", {Term::Var("x"), Term::Var("d")}},
+            Atom{"dept", {Term::Var("d")}}};
+  ConjunctiveQuery b;  // renamed + reordered body
+  b.head = {Term::Var("p")};
+  b.body = {Atom{"dept", {Term::Var("q")}},
+            Atom{"emp", {Term::Var("p"), Term::Var("q")}}};
+  EXPECT_EQ(interner.Intern(CanonicalCq(a)), interner.Intern(CanonicalCq(b)));
+  ConjunctiveQuery c = a;  // genuinely different query
+  c.body[0].terms[1] = Term::Var("x");
+  EXPECT_NE(interner.Intern(CanonicalCq(a)), interner.Intern(CanonicalCq(c)));
+}
+
+}  // namespace
+}  // namespace semap::logic

@@ -1,0 +1,143 @@
+// The rewriting fast paths are verdict-preserving: memoization,
+// predicate-signature pruning and canonical duplicate skipping may only
+// make the engine faster, never change what it emits. This suite flips
+// each SessionTuning escape off and demands the identical mapping sets —
+// and identical provenance bytes — on every example scenario and every
+// Table-1 domain.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datasets/domains.h"
+#include "datasets/examples.h"
+#include "eval/experiment.h"
+#include "exec/run_context.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "rewriting/semantic_mapper.h"
+
+namespace semap::rew {
+namespace {
+
+std::vector<eval::Domain> AllScenarios() {
+  std::vector<eval::Domain> scenarios;
+  auto add = [&scenarios](Result<eval::Domain> domain) {
+    ASSERT_TRUE(domain.ok()) << domain.status();
+    scenarios.push_back(std::move(*domain));
+  };
+  add(data::BuildBookstoreExample());
+  add(data::BuildEmployeeIsaExample());
+  add(data::BuildPartOfExample());
+  add(data::BuildProjectExample());
+  add(data::BuildSalesReifiedExample());
+  auto table1 = data::BuildAllDomains();
+  EXPECT_TRUE(table1.ok()) << table1.status();
+  if (table1.ok()) {
+    for (eval::Domain& d : *table1) scenarios.push_back(std::move(d));
+  }
+  return scenarios;
+}
+
+/// Everything observable about one run: every variant rendering of every
+/// mapping (in emission order), the algebra texts, and the run's full
+/// provenance export. Two runs with equal fingerprints emitted the same
+/// mapping set for the same recorded reasons.
+struct RunFingerprint {
+  std::vector<std::vector<std::string>> mappings;
+  std::string provenance;
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+RunFingerprint RunCase(const eval::Domain& domain,
+                       const eval::TestCase& test_case,
+                       const SessionTuning& tuning,
+                       obs::Metrics* metrics = nullptr) {
+  obs::ProvenanceRecorder recorder;
+  exec::RunContext ctx;
+  ctx.provenance = &recorder;
+  ctx.metrics = metrics;
+  MapRequest req;
+  req.source = &domain.source;
+  req.target = &domain.target;
+  req.correspondences = &test_case.correspondences;
+  req.options.tuning = tuning;
+  auto mappings = GenerateMappings(req, ctx);
+  RunFingerprint fp;
+  if (!mappings.ok()) {
+    // A failure must at least fail identically across tunings.
+    fp.provenance = "error: " + mappings.status().ToString();
+    return fp;
+  }
+  for (const GeneratedMapping& m : *mappings) {
+    std::vector<std::string> renderings;
+    for (const auto& v : m.variants) renderings.push_back(v.ToString());
+    renderings.push_back(m.source_algebra);
+    renderings.push_back(m.target_algebra);
+    fp.mappings.push_back(std::move(renderings));
+  }
+  fp.provenance = recorder.ToJson();
+  return fp;
+}
+
+TEST(TuningTest, FastPathsPreserveMappingSetsEverywhere) {
+  const std::vector<eval::Domain> scenarios = AllScenarios();
+  ASSERT_FALSE(scenarios.empty());
+
+  SessionTuning no_memo;
+  no_memo.use_memo = false;
+  SessionTuning no_signatures;
+  no_signatures.use_signatures = false;
+  SessionTuning no_dup_skip;
+  no_dup_skip.use_dup_skip = false;
+  SessionTuning all_off;
+  all_off.use_memo = false;
+  all_off.use_signatures = false;
+  all_off.use_dup_skip = false;
+
+  obs::Metrics metrics;  // aggregated across the tuned runs, see below
+  for (const eval::Domain& domain : scenarios) {
+    for (const eval::TestCase& test_case : domain.cases) {
+      RunFingerprint tuned =
+          RunCase(domain, test_case, SessionTuning(), &metrics);
+      EXPECT_EQ(tuned, RunCase(domain, test_case, no_memo))
+          << domain.name << "/" << test_case.name << ": memo changed output";
+      EXPECT_EQ(tuned, RunCase(domain, test_case, no_signatures))
+          << domain.name << "/" << test_case.name
+          << ": signature skip changed output (unsound pruning)";
+      EXPECT_EQ(tuned, RunCase(domain, test_case, no_dup_skip))
+          << domain.name << "/" << test_case.name
+          << ": duplicate skip changed output";
+      EXPECT_EQ(tuned, RunCase(domain, test_case, all_off))
+          << domain.name << "/" << test_case.name
+          << ": fast paths changed output";
+    }
+  }
+  // Guard against a vacuous pass: across the full scenario sweep the
+  // default tuning must actually have exercised every fast path.
+  EXPECT_GT(metrics.counters().at("rewriting.memo_hits"), 0);
+  EXPECT_GT(metrics.counters().at("rewriting.signature_skips"), 0);
+  EXPECT_GT(metrics.counters().at("rewriting.rules_indexed_hits"), 0);
+  EXPECT_GT(metrics.counters().at("rewriting.arena_bytes"), 0);
+}
+
+TEST(TuningTest, SignatureSkipSoundOnProvenanceRejections) {
+  // Signature pruning sits inside the duplicate check, which is what
+  // produces "duplicate" rejection records — so its soundness is pinned
+  // where an unsound skip would first surface: the provenance bytes of a
+  // variant-heavy scenario must not depend on the flag.
+  auto domain = data::BuildBookstoreExample();
+  ASSERT_TRUE(domain.ok()) << domain.status();
+  ASSERT_FALSE(domain->cases.empty());
+  SessionTuning no_signatures;
+  no_signatures.use_signatures = false;
+  for (const eval::TestCase& test_case : domain->cases) {
+    RunFingerprint on = RunCase(*domain, test_case, SessionTuning());
+    RunFingerprint off = RunCase(*domain, test_case, no_signatures);
+    EXPECT_EQ(on.provenance, off.provenance) << test_case.name;
+  }
+}
+
+}  // namespace
+}  // namespace semap::rew

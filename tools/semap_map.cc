@@ -354,8 +354,11 @@ int RunPipeline(char** argv, const Options& opts, const exec::RunContext& ctx) {
     std::printf("  %s\n", c.ToString().c_str());
   }
 
-  auto mappings = rew::GenerateSemanticMappings(*source, *target,
-                                                *correspondences, {}, ctx);
+  rew::MapRequest map_req;
+  map_req.source = &*source;
+  map_req.target = &*target;
+  map_req.correspondences = &*correspondences;
+  auto mappings = rew::GenerateMappings(map_req, ctx);
   if (!mappings.ok()) {
     std::fprintf(stderr, "error: %s\n", mappings.status().ToString().c_str());
     return 1;
