@@ -12,6 +12,19 @@
 // "serve" section; the cached/cold gap is the baseline evidence that
 // repeat traffic skips recompilation.
 //
+// The open-loop saturation mode (--open-loop=Q1,Q2,...) finds the knee
+// of the QPS/latency curve instead: N client threads offer requests at
+// a FIXED rate regardless of completions (arrivals do not slow down
+// when the server does — the defining property of an open loop),
+// round-robin across every catalog scenario with "cache":"bypass" and a
+// per-request deadline, typically under an undersized
+// --cache-budget-mb so eviction and recompilation are part of the
+// measured work. Each offered-load point records sent / ok / rejected
+// (E210 queue shed + E213 deadline shed) / errors, goodput QPS, shed
+// rate, and ok-latency percentiles into the "open_loop" array of
+// BENCH_serve.json. Past the knee a healthy server sheds more and
+// plateaus its goodput; it does not collapse.
+//
 // Exit codes: 0 success, 1 serve/load failure, 2 usage.
 #include <algorithm>
 #include <atomic>
@@ -42,6 +55,19 @@ constexpr const char kOptionTable[] =
     "  --cached=N        repeat-traffic requests in the cached phase\n"
     "                    (default 128)\n"
     "  --workers=N       server worker threads (default 2)\n"
+    "  --queue=N         admission queue capacity (default 64)\n"
+    "  --cache-budget-mb=M\n"
+    "                    compiled-artifact cache budget (fractional MB;\n"
+    "                    default unbounded) — undersize it to measure\n"
+    "                    eviction + recompile under load\n"
+    "  --open-loop=Q1,Q2 comma-separated offered-QPS points; each runs an\n"
+    "                    open-loop multi-client sweep over every scenario\n"
+    "                    (bypass traffic) and lands in \"open_loop\"\n"
+    "  --open-duration-ms=N\n"
+    "                    wall-clock per offered-load point (default 2000)\n"
+    "  --clients=N       open-loop client threads (default 8)\n"
+    "  --deadline-ms=N   per-request deadline in the open loop; expired\n"
+    "                    requests shed with SEMAP-E213 (default 1000)\n"
     "  --version         print the version and exit\n"
     "  --help            print this table and exit\n"
     "writes BENCH_serve.json (semap.bench.v1 plus a \"serve\" section with\n"
@@ -124,6 +150,138 @@ std::string RenderPhase(const PhaseResult& phase) {
          ", \"p99\": " + std::to_string(phase.p99_ns) + "}}";
 }
 
+struct OpenLoopResult {
+  double offered_qps = 0.0;
+  size_t clients = 0;
+  int64_t duration_ms = 0;
+  size_t sent = 0;
+  size_t ok = 0;
+  /// Coded rejects: E210 queue shed + E213 deadline shed (+ drain codes).
+  size_t rejected = 0;
+  size_t errors = 0;
+  double goodput_qps = 0.0;
+  double shed_rate = 0.0;
+  int64_t p50_ns = 0;
+  int64_t p95_ns = 0;
+  int64_t p99_ns = 0;
+};
+
+/// One offered-load point: `clients` threads fire map requests at a
+/// combined fixed rate of `offered_qps` (each client owns every
+/// clients-th slot of the global schedule and never waits for the
+/// previous response before the next slot is due — open loop, so
+/// arrivals keep coming when the server slows down). Requests bypass
+/// the result cache and round-robin the scenarios, which under a small
+/// artifact budget makes eviction + recompile part of the measured
+/// work.
+OpenLoopResult RunOpenLoop(int port, const std::vector<std::string>& scenarios,
+                           double offered_qps, size_t clients,
+                           int64_t duration_ms, int64_t deadline_ms) {
+  OpenLoopResult result;
+  result.offered_qps = offered_qps;
+  result.clients = clients;
+  result.duration_ms = duration_ms;
+
+  std::atomic<size_t> sent{0}, ok{0}, rejected{0}, errors{0};
+  std::vector<std::vector<int64_t>> ok_latencies(clients);
+  const auto t0 = std::chrono::steady_clock::now();
+  const double interval_ns = 1e9 / offered_qps;
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::SocketOptions socket_opts;
+      socket_opts.io_timeout_ms = 10000;
+      for (size_t k = c;; k += clients) {
+        const auto due =
+            t0 + std::chrono::nanoseconds(
+                     static_cast<int64_t>(interval_ns * static_cast<double>(k)));
+        if (due - t0 > std::chrono::milliseconds(duration_ms)) break;
+        std::this_thread::sleep_until(due);
+        const std::string& scenario = scenarios[k % scenarios.size()];
+        const std::string id = "ol" + std::to_string(static_cast<int64_t>(
+                                          offered_qps)) +
+                               "-" + std::to_string(k);
+        std::string payload = "{\"id\":\"" + id +
+                              "\",\"op\":\"map\",\"scenario\":\"" + scenario +
+                              "\",\"deadline_ms\":" +
+                              std::to_string(deadline_ms) +
+                              ",\"cache\":\"bypass\"}";
+        sent.fetch_add(1, std::memory_order_relaxed);
+        const auto start = std::chrono::steady_clock::now();
+        auto conn = serve::DialTcp("127.0.0.1", port, socket_opts);
+        if (!conn.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        std::string response;
+        if (serve::WriteFrame(**conn, payload).ok()) {
+          if (auto read = serve::ReadFrame(**conn); read.ok()) {
+            response = std::move(*read);
+          }
+        }
+        (void)(*conn)->Close();
+        if (response.find("\"status\":\"ok\"") != std::string::npos) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+          ok_latencies[c].push_back(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+        } else if (response.find("\"status\":\"reject\"") !=
+                   std::string::npos) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  result.sent = sent.load();
+  result.ok = ok.load();
+  result.rejected = rejected.load();
+  result.errors = errors.load();
+  result.goodput_qps =
+      seconds > 0 ? static_cast<double>(result.ok) / seconds : 0.0;
+  result.shed_rate =
+      result.sent > 0
+          ? static_cast<double>(result.rejected) /
+                static_cast<double>(result.sent)
+          : 0.0;
+  std::vector<int64_t> all;
+  for (const auto& per_client : ok_latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    result.p50_ns = Percentile(all, 0.50);
+    result.p95_ns = Percentile(all, 0.95);
+    result.p99_ns = Percentile(all, 0.99);
+  }
+  return result;
+}
+
+std::string RenderOpenLoop(const OpenLoopResult& point) {
+  return "{\"offered_qps\": " + std::to_string(point.offered_qps) +
+         ", \"clients\": " + std::to_string(point.clients) +
+         ", \"duration_ms\": " + std::to_string(point.duration_ms) +
+         ", \"sent\": " + std::to_string(point.sent) +
+         ", \"ok\": " + std::to_string(point.ok) +
+         ", \"rejected\": " + std::to_string(point.rejected) +
+         ", \"errors\": " + std::to_string(point.errors) +
+         ", \"goodput_qps\": " + std::to_string(point.goodput_qps) +
+         ", \"shed_rate\": " + std::to_string(point.shed_rate) +
+         ", \"latency_ns\": {\"p50\": " + std::to_string(point.p50_ns) +
+         ", \"p95\": " + std::to_string(point.p95_ns) +
+         ", \"p99\": " + std::to_string(point.p99_ns) + "}}";
+}
+
 }  // namespace
 }  // namespace semap::bench
 
@@ -134,6 +292,12 @@ int main(int argc, char** argv) {
   size_t cold_requests = 16;
   size_t cached_requests = 128;
   size_t workers = 2;
+  size_t queue_capacity = 64;
+  double cache_budget_mb = 0;  // 0 = unbounded
+  std::vector<double> open_loop_qps;
+  int64_t open_duration_ms = 2000;
+  size_t clients = 8;
+  int64_t deadline_ms = 1000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--version") == 0) {
       std::printf("bench_serve %s\n", kSemapVersion);
@@ -149,14 +313,45 @@ int main(int argc, char** argv) {
       cached_requests = static_cast<size_t>(std::atoll(argv[i] + 9));
     } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       workers = static_cast<size_t>(std::atoll(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--queue=", 8) == 0) {
+      queue_capacity = static_cast<size_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--cache-budget-mb=", 18) == 0) {
+      cache_budget_mb = std::atof(argv[i] + 18);
+      if (!(cache_budget_mb > 0)) {
+        std::fprintf(stderr,
+                     "error: --cache-budget-mb must be positive\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--open-loop=", 12) == 0) {
+      const char* cursor = argv[i] + 12;
+      while (*cursor != '\0') {
+        char* end = nullptr;
+        const double qps = std::strtod(cursor, &end);
+        if (end == cursor || qps <= 0) {
+          std::fprintf(stderr,
+                       "error: --open-loop wants comma-separated positive "
+                       "QPS values\n");
+          return 2;
+        }
+        open_loop_qps.push_back(qps);
+        cursor = *end == ',' ? end + 1 : end;
+      }
+    } else if (std::strncmp(argv[i], "--open-duration-ms=", 19) == 0) {
+      open_duration_ms = std::atoll(argv[i] + 19);
+    } else if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = static_cast<size_t>(std::atoll(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::atoll(argv[i] + 14);
     } else {
       std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
                    bench::kOptionTable);
       return 2;
     }
   }
-  if (cold_requests == 0 || cached_requests == 0 || workers == 0) {
-    std::fprintf(stderr, "error: --cold, --cached and --workers must be "
+  if (cold_requests == 0 || cached_requests == 0 || workers == 0 ||
+      queue_capacity == 0 || clients == 0 || open_duration_ms <= 0) {
+    std::fprintf(stderr, "error: --cold, --cached, --workers, --queue, "
+                         "--clients and --open-duration-ms must be "
                          "positive\n");
     return 2;
   }
@@ -172,7 +367,11 @@ int main(int argc, char** argv) {
   opts.catalog_dir = catalog_dir;
   opts.tcp_port = 0;  // ephemeral
   opts.workers = workers;
-  opts.queue_capacity = 64;
+  opts.queue_capacity = queue_capacity;
+  opts.cache_budget_bytes =
+      cache_budget_mb > 0
+          ? static_cast<size_t>(cache_budget_mb * 1024.0 * 1024.0)
+          : 0;
   opts.store_path = store_path;
   auto server = serve::Server::Start(std::move(opts));
   if (!server.ok()) {
@@ -214,6 +413,20 @@ int main(int argc, char** argv) {
     phases.push_back(std::move(*phase));
   }
 
+  // The open-loop sweep: every catalog scenario in round-robin at each
+  // offered-QPS point, after the closed-loop phases so their cached
+  // results do not interfere (open-loop traffic bypasses the result
+  // cache anyway).
+  std::vector<std::string> scenario_names;
+  for (const auto& [name, entry] : (*server)->catalog().entries) {
+    scenario_names.push_back(name);
+  }
+  std::vector<bench::OpenLoopResult> open_loop_points;
+  for (const double qps : open_loop_qps) {
+    open_loop_points.push_back(bench::RunOpenLoop(
+        port, scenario_names, qps, clients, open_duration_ms, deadline_ms));
+  }
+
   const serve::ServerStatsSnapshot stats = (*server)->stats();
   stop = true;
   serve_thread.join();
@@ -231,6 +444,24 @@ int main(int argc, char** argv) {
               "recompilation)\n",
               static_cast<unsigned long long>(stats.served),
               static_cast<unsigned long long>(stats.cache_hits));
+  for (const bench::OpenLoopResult& point : open_loop_points) {
+    std::printf("open-loop %7.1f qps offered: %5zu sent, %5zu ok "
+                "(%.1f goodput qps), %zu rejected (shed rate %.2f), "
+                "%zu errors, p99 %.1fms\n",
+                point.offered_qps, point.sent, point.ok, point.goodput_qps,
+                point.rejected, point.shed_rate, point.errors,
+                point.p99_ns / 1e6);
+  }
+  if (!open_loop_points.empty()) {
+    const serve::ArtifactCacheStats& cache = stats.artifact_cache;
+    std::printf("artifact cache: %llu hits, %llu misses, %llu evictions "
+                "(%llu recompiles); deadline shed %llu\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.evictions),
+                static_cast<unsigned long long>(cache.compiles),
+                static_cast<unsigned long long>(stats.deadline_shed));
+  }
 
   std::string serve_json = "\"serve\": {\n    \"scenario\": \"" + scenario +
                            "\",\n    \"workers\": " + std::to_string(workers) +
@@ -241,7 +472,20 @@ int main(int argc, char** argv) {
   }
   serve_json += "\n    ],\n    \"served\": " + std::to_string(stats.served) +
                 ",\n    \"cache_hits\": " + std::to_string(stats.cache_hits) +
-                ",\n    \"shed\": " + std::to_string(stats.shed) + "\n  }";
+                ",\n    \"shed\": " + std::to_string(stats.shed);
+  if (!open_loop_points.empty()) {
+    serve_json += ",\n    \"deadline_shed\": " +
+                  std::to_string(stats.deadline_shed) +
+                  ",\n    \"cache_evictions\": " +
+                  std::to_string(stats.artifact_cache.evictions) +
+                  ",\n    \"open_loop\": [";
+    for (size_t i = 0; i < open_loop_points.size(); ++i) {
+      serve_json += (i == 0 ? "\n      " : ",\n      ");
+      serve_json += bench::RenderOpenLoop(open_loop_points[i]);
+    }
+    serve_json += "\n    ]";
+  }
+  serve_json += "\n  }";
 
   // The instrumented pass runs one generation over every catalog
   // scenario, so the report carries the standard pipeline phases and
@@ -251,9 +495,11 @@ int main(int argc, char** argv) {
       "serve",
       [&catalog](const exec::RunContext& ctx) {
         for (const auto& [name, entry] : catalog.entries) {
+          auto artifact = catalog.Acquire(entry);
+          if (!artifact.ok()) continue;
           auto mappings = rew::GenerateSemanticMappings(
-              entry.scenario.source, entry.scenario.target,
-              entry.scenario.correspondences, {}, ctx);
+              (*artifact)->source, (*artifact)->target,
+              (*artifact)->correspondences, {}, ctx);
           benchmark::DoNotOptimize(mappings);
         }
       },

@@ -127,6 +127,73 @@ def check_serve(path, serve):
         if not isinstance(value, int) or isinstance(value, bool) or value < 0:
             return fail(path, f"serve.{key} is not a non-negative integer: "
                               f"{value!r}")
+    if "open_loop" in serve:
+        return check_open_loop(path, serve["open_loop"])
+    return 0
+
+
+def is_nonneg_int(value):
+    return isinstance(value, int) and not isinstance(value, bool) \
+        and value >= 0
+
+
+def check_open_loop(path, points):
+    """The saturation sweep: each point is one offered-QPS level. Sheds
+    are legitimate outcomes (that is the knee), so ok may be far below
+    sent — but every request must be accounted for, goodput and shed
+    rate must be sane, and latency percentiles may be all-zero only
+    when zero requests succeeded."""
+    if not isinstance(points, list) or not points:
+        return fail(path, "serve.open_loop present but not a non-empty "
+                          "array")
+    for i, point in enumerate(points):
+        where = f"serve.open_loop[{i}]"
+        if not isinstance(point, dict):
+            return fail(path, f"{where} is not an object")
+        offered = point.get("offered_qps")
+        if not isinstance(offered, (int, float)) or isinstance(offered, bool) \
+                or offered <= 0:
+            return fail(path, f"{where}.offered_qps is not positive: "
+                              f"{offered!r}")
+        for key in ("clients", "duration_ms", "sent"):
+            value = point.get(key)
+            if not is_nonneg_int(value) or value <= 0:
+                return fail(path, f"{where}.{key} is not a positive "
+                                  f"integer: {value!r}")
+        for key in ("ok", "rejected", "errors"):
+            if not is_nonneg_int(point.get(key)):
+                return fail(path, f"{where}.{key} is not a non-negative "
+                                  f"integer: {point.get(key)!r}")
+        if point["ok"] + point["rejected"] + point["errors"] > point["sent"]:
+            return fail(path, f"{where} accounts for more requests than "
+                              f"it sent")
+        goodput = point.get("goodput_qps")
+        if not isinstance(goodput, (int, float)) or isinstance(goodput, bool) \
+                or goodput < 0:
+            return fail(path, f"{where}.goodput_qps is negative or missing: "
+                              f"{goodput!r}")
+        shed_rate = point.get("shed_rate")
+        if not isinstance(shed_rate, (int, float)) \
+                or isinstance(shed_rate, bool) or not 0 <= shed_rate <= 1:
+            return fail(path, f"{where}.shed_rate out of [0,1]: "
+                              f"{shed_rate!r}")
+        latency = point.get("latency_ns")
+        if not isinstance(latency, dict):
+            return fail(path, f"{where} missing 'latency_ns'")
+        values = []
+        for key in ("p50", "p95", "p99"):
+            value = latency.get(key)
+            if not is_nonneg_int(value):
+                return fail(path, f"{where}.latency_ns.{key} is not a "
+                                  f"non-negative integer: {value!r}")
+            values.append(value)
+        if point["ok"] > 0 and min(values) <= 0:
+            return fail(path, f"{where} succeeded requests but reports "
+                              f"zero latency")
+        if not values[0] <= values[1] <= values[2]:
+            return fail(path, f"{where} percentiles out of order: "
+                              f"p50={values[0]} p95={values[1]} "
+                              f"p99={values[2]}")
     return 0
 
 

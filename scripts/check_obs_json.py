@@ -1,7 +1,11 @@
 #!/usr/bin/env python3
 """Validate semap observability exports against their published shapes.
 
-Usage: check_obs_json.py PATH [PATH...]
+Usage: check_obs_json.py [--require-counters=a,b,c] PATH [PATH...]
+
+--require-counters names counters that MUST be present in every
+semap.metrics.v1 file checked (a served run must export its serve.*
+taxonomy, for example); it has no effect on the other formats.
 
 Each PATH is one export file; the schema tag inside the file selects the
 check, so callers don't have to say which format a file is:
@@ -75,7 +79,7 @@ def check_trace(path, doc):
     return 0
 
 
-def check_metrics(path, doc):
+def check_metrics(path, doc, required=()):
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         return fail(path, "missing 'counters' object")
@@ -83,6 +87,10 @@ def check_metrics(path, doc):
         if not is_count(value):
             return fail(path, f"counter {name!r} is not a non-negative "
                               f"integer: {value!r}")
+    missing = [name for name in required if name not in counters]
+    if missing:
+        return fail(path, "required counter(s) missing: "
+                          + ", ".join(missing))
     histograms = doc.get("histograms", {})
     if not isinstance(histograms, dict):
         return fail(path, "'histograms' is not an object")
@@ -260,7 +268,7 @@ def check_journal(path):
     return 0
 
 
-def check(path):
+def check(path, required=()):
     # The journal is a framed byte format whose payloads need not be
     # UTF-8 — sniff and dispatch it before any text decode.
     try:
@@ -293,17 +301,27 @@ def check(path):
     if schema == "semap.trace.v1":
         return check_trace(path, doc)
     if schema == "semap.metrics.v1":
-        return check_metrics(path, doc)
+        return check_metrics(path, doc, required)
     if schema == "semap.explain.v1":
         return check_explain(path, doc)
     return fail(path, f"unrecognized schema {schema!r}")
 
 
 def main(argv):
-    if len(argv) < 2:
+    required = []
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--require-counters="):
+            required = [c for c in arg.split("=", 1)[1].split(",") if c]
+        elif arg.startswith("--"):
+            print(f"unknown option {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    return max(check(path) for path in argv[1:])
+    return max(check(path, required) for path in paths)
 
 
 if __name__ == "__main__":

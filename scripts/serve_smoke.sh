@@ -89,4 +89,69 @@ kill -TERM "$pid"
 wait "$pid"
 trap 'rm -f "$sock"' EXIT
 
+# Flag validation is part of the CLI contract: zero/negative sizing
+# flags are a usage error (exit 2 with a message), never a silent exit.
+for bad in --queue=0 --workers=0 --cache-budget-mb=0; do
+  status=0
+  "$serve" --catalog=examples/data --unix="$sock" "$bad" \
+    > "$outdir/badflag.log" 2>&1 || status=$?
+  [ "$status" -eq 2 ] || {
+    echo "$bad exited $status, want 2" >&2
+    cat "$outdir/badflag.log" >&2
+    exit 1
+  }
+  grep -q 'error:' "$outdir/badflag.log" || {
+    echo "$bad produced no error message" >&2
+    exit 1
+  }
+done
+
+# Overload phase: one worker holding each request 300ms behind an
+# eviction-forcing artifact budget. A 50ms deadline must shed with the
+# retryable SEMAP-E213 (client exit 3), bypass traffic across all three
+# scenarios must evict and recompile with zero errors, and the exported
+# metrics must carry the serve.* counter taxonomy.
+"$serve" --catalog=examples/data --unix="$sock" \
+  --workers=1 --hold-ms=300 --cache-budget-mb=0.01 \
+  --metrics="$outdir/metrics.json" >> "$outdir/serve.log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null; rm -f "$sock"' EXIT
+i=0
+until "$call" --unix="$sock" --op=ping --id=ping3 > /dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -lt 50 ] || { echo "overload daemon never answered" >&2; exit 1; }
+  sleep 0.1
+done
+
+status=0
+"$call" --unix="$sock" --op=map --scenario=bookstore --id=shed \
+  --deadline-ms=50 > "$outdir/shed.json" 2> /dev/null || status=$?
+[ "$status" -eq 3 ] || { echo "shed exited $status, want 3" >&2; exit 1; }
+grep -q 'SEMAP-E213' "$outdir/shed.json"
+
+# The same id retried without a deadline — and with the client's own
+# backoff loop — computes normally: E213 is retryable by contract.
+"$call" --unix="$sock" --op=map --scenario=bookstore --id=shed \
+  --retries=2 --retry-seed=7 > /dev/null
+
+# Round-robin bypass traffic over a budget that holds one compiled
+# scenario: the cache must evict and recompile transparently.
+for s in bookstore bookstore_lite teams bookstore; do
+  "$call" --unix="$sock" --op=map --scenario="$s" --id="evict-$s" \
+    --bypass-cache > /dev/null
+done
+"$call" --unix="$sock" --op=stats --id=stats --body > "$outdir/stats.json"
+grep -Eq '"artifact_cache_evictions":[1-9]' "$outdir/stats.json" || {
+  echo "undersized budget produced no evictions" >&2
+  cat "$outdir/stats.json" >&2
+  exit 1
+}
+
+kill -TERM "$pid"
+wait "$pid"
+trap 'rm -f "$sock"' EXIT
+python3 scripts/check_obs_json.py \
+  --require-counters=serve.cache_hits,serve.cache_misses,serve.cache_evictions,serve.singleflight_leaders,serve.singleflight_followers,serve.deadline_shed \
+  "$outdir/metrics.json"
+
 echo "serve smoke ok"

@@ -46,9 +46,188 @@ uint64_t CombineFingerprints(const std::map<std::string, CatalogEntry>& entries)
   return hash;
 }
 
+size_t SchemaBytes(const sem::AnnotatedSchema& side) {
+  size_t bytes = sizeof(sem::AnnotatedSchema);
+  for (const rel::Table& table : side.schema().tables()) {
+    bytes += sizeof(rel::Table) + table.name().size();
+    for (const std::string& col : table.columns()) bytes += 32 + col.size();
+    for (const std::string& col : table.primary_key()) bytes += 32 + col.size();
+  }
+  for (const rel::Ric& ric : side.schema().rics()) {
+    bytes += sizeof(rel::Ric) + ric.label.size() + ric.from_table.size() +
+             ric.to_table.size();
+    for (const std::string& col : ric.from_columns) bytes += 32 + col.size();
+    for (const std::string& col : ric.to_columns) bytes += 32 + col.size();
+  }
+  for (const cm::GraphNode& node : side.graph().nodes()) {
+    bytes += sizeof(cm::GraphNode) + node.name.size() + node.owner_class.size();
+  }
+  for (const cm::GraphEdge& edge : side.graph().edges()) {
+    bytes += sizeof(cm::GraphEdge) + edge.name.size();
+  }
+  for (const auto& [table, stree] : side.semantics()) {
+    bytes += sizeof(sem::STree) + table.size() + stree.table.size();
+    for (const sem::STreeNode& node : stree.nodes) {
+      bytes += sizeof(sem::STreeNode) + node.alias.size();
+    }
+    bytes += stree.edges.size() * sizeof(sem::STreeEdge);
+    for (const sem::ColumnBinding& binding : stree.bindings) {
+      bytes += sizeof(sem::ColumnBinding) + binding.column.size() +
+               binding.attribute.size();
+    }
+  }
+  return bytes;
+}
+
+Result<ArtifactHandle> CompileFromTexts(const CatalogEntry& entry) {
+  DiagnosticSink sink;
+  auto loaded = validate::LoadScenario(entry.texts, sink);
+  if (!loaded.ok()) {
+    // Cannot normally happen: the texts compiled at load time and are
+    // retained byte-for-byte. Surface it as an internal error rather
+    // than serving a partial artifact.
+    return Status::Internal("recompile of scenario '" + entry.name +
+                            "' failed: " + loaded.status().message());
+  }
+  const uint64_t fingerprint = exec::ScenarioFingerprint(
+      loaded->source, loaded->target, loaded->correspondences);
+  if (fingerprint != entry.fingerprint) {
+    return Status::Internal("recompile of scenario '" + entry.name +
+                            "' drifted from the loaded fingerprint");
+  }
+  return ArtifactHandle(
+      std::make_shared<const validate::LoadedScenario>(std::move(*loaded)));
+}
+
 }  // namespace
 
-Result<Catalog> LoadCatalog(const std::string& dir) {
+size_t EstimateScenarioBytes(const validate::LoadedScenario& scenario) {
+  size_t bytes = sizeof(validate::LoadedScenario);
+  bytes += SchemaBytes(scenario.source);
+  bytes += SchemaBytes(scenario.target);
+  for (const disc::Correspondence& corr : scenario.correspondences) {
+    bytes += sizeof(disc::Correspondence) + corr.source.table.size() +
+             corr.source.column.size() + corr.target.table.size() +
+             corr.target.column.size();
+  }
+  return bytes;
+}
+
+Result<ArtifactHandle> ArtifactCache::Acquire(const CatalogEntry& entry) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = slots_.find(entry.fingerprint);
+    if (it == slots_.end()) break;
+    Slot& slot = it->second;
+    if (slot.artifact) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, slot.lru_it);
+      return slot.artifact;
+    }
+    // A builder is compiling this fingerprint right now: wait for it to
+    // publish (or fail and erase the slot) instead of compiling twice.
+    ++misses_;
+    cv_.wait(lock, [&] {
+      auto probe = slots_.find(entry.fingerprint);
+      return probe == slots_.end() || probe->second.artifact != nullptr;
+    });
+    auto probe = slots_.find(entry.fingerprint);
+    if (probe != slots_.end() && probe->second.artifact) {
+      // Coalesced onto the builder's compile: already counted as a miss.
+      lru_.splice(lru_.begin(), lru_, probe->second.lru_it);
+      return probe->second.artifact;
+    }
+    // The builder failed and erased the slot: loop and try building.
+  }
+
+  // Miss with no builder: claim the slot, compile outside the lock.
+  ++misses_;
+  ++compiles_;
+  Slot& slot = slots_[entry.fingerprint];
+  slot.building = true;
+  slot.lru_it = lru_.insert(lru_.begin(), entry.fingerprint);
+  lock.unlock();
+
+  auto compiled = CompileFromTexts(entry);
+
+  lock.lock();
+  // The slot survives the unlocked compile: eviction skips building
+  // slots and only the builder itself erases its claim.
+  auto it = slots_.find(entry.fingerprint);
+  if (!compiled.ok() || it == slots_.end()) {
+    if (it != slots_.end()) {
+      lru_.erase(it->second.lru_it);
+      slots_.erase(it);
+    }
+    cv_.notify_all();
+    if (!compiled.ok()) return compiled.status();
+    return *compiled;  // compiled fine but unpublishable; still usable
+  }
+  const size_t bytes = EstimateScenarioBytes(**compiled);
+  InsertLocked(entry.fingerprint, it->second, *compiled, bytes);
+  EvictOverBudgetLocked();
+  cv_.notify_all();
+  return *compiled;
+}
+
+void ArtifactCache::Prime(const CatalogEntry& entry, ArtifactHandle artifact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = slots_.try_emplace(entry.fingerprint);
+  if (!inserted) return;  // two entries sharing a fingerprint share a slot
+  it->second.lru_it = lru_.insert(lru_.begin(), entry.fingerprint);
+  InsertLocked(entry.fingerprint, it->second, std::move(artifact),
+               entry.artifact_bytes);
+  EvictOverBudgetLocked();
+}
+
+void ArtifactCache::InsertLocked(uint64_t fingerprint, Slot& slot,
+                                 ArtifactHandle artifact, size_t bytes) {
+  (void)fingerprint;
+  slot.artifact = std::move(artifact);
+  slot.bytes = bytes;
+  slot.building = false;
+  bytes_ += bytes;
+}
+
+void ArtifactCache::EvictOverBudgetLocked() {
+  if (budget_bytes_ == 0) return;
+  // Coldest-first; stop once the budget holds. Pinned entries
+  // (outstanding request handles → use_count > 1) and mid-compile slots
+  // are skipped: their memory is not reclaimable right now, and
+  // evicting them would only force a pointless recompile.
+  auto it = lru_.end();
+  while (bytes_ > budget_bytes_ && it != lru_.begin()) {
+    --it;
+    auto slot_it = slots_.find(*it);
+    if (slot_it == slots_.end()) {
+      it = lru_.erase(it);
+      continue;
+    }
+    Slot& slot = slot_it->second;
+    if (slot.building || !slot.artifact || slot.artifact.use_count() > 1) {
+      continue;
+    }
+    bytes_ -= slot.bytes;
+    ++evictions_;
+    slots_.erase(slot_it);
+    it = lru_.erase(it);
+  }
+}
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArtifactCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.compiles = compiles_;
+  stats.bytes = bytes_;
+  stats.budget_bytes = budget_bytes_;
+  return stats;
+}
+
+Result<Catalog> LoadCatalog(const std::string& dir,
+                            size_t cache_budget_bytes) {
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
     return Status::NotFound("catalog directory not found: " + dir);
@@ -65,6 +244,7 @@ Result<Catalog> LoadCatalog(const std::string& dir) {
   std::sort(subdirs.begin(), subdirs.end());
 
   Catalog catalog;
+  catalog.cache = std::make_shared<ArtifactCache>(cache_budget_bytes);
   for (const fs::path& subdir : subdirs) {
     const std::string name = subdir.filename().string();
     bool complete = true;
@@ -110,11 +290,15 @@ Result<Catalog> LoadCatalog(const std::string& dir) {
 
     CatalogEntry entry;
     entry.name = name;
+    entry.texts = std::move(texts);
     entry.fingerprint = exec::ScenarioFingerprint(
         loaded->source, loaded->target, loaded->correspondences);
     entry.degraded = sink.has_errors();
     entry.diagnostics = sink.ToString();
-    entry.scenario = std::move(*loaded);
+    entry.artifact_bytes = EstimateScenarioBytes(*loaded);
+    auto artifact = std::make_shared<const validate::LoadedScenario>(
+        std::move(*loaded));
+    catalog.cache->Prime(entry, std::move(artifact));
     catalog.entries.emplace(name, std::move(entry));
   }
 

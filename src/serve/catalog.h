@@ -1,5 +1,6 @@
-// The scenario catalog: every compiled artifact a served request needs,
-// loaded once at daemon startup and kept hot.
+// The scenario catalog: every artifact a served request needs, found
+// once at daemon startup — and a memory-budgeted cache of the compiled
+// form.
 //
 // A scenario is a directory holding the seven artifact files semap_map
 // takes positionally (source.schema/cm/sem, target.schema/cm/sem,
@@ -8,8 +9,21 @@
 // scenario loader (validate/scenario_loader.h). What survives — the
 // compiled CM graphs, inferred s-trees and linted correspondences inside
 // the AnnotatedSchemas — is exactly the state a request-time run would
-// otherwise recompute from text, so serving skips all parsing and
-// compilation.
+// otherwise recompute from text.
+//
+// Memory model (PR 9): the compiled artifacts no longer live forever.
+// Each CatalogEntry is the cheap, always-resident part — name,
+// fingerprint, load diagnostics, and the raw artifact *texts* — while
+// the expensive compiled form lives in an ArtifactCache: a budgeted LRU
+// keyed by the scenario's checkpoint fingerprint. Under a byte budget
+// (--cache-budget-mb) cold entries are evicted and transparently
+// recompiled from the retained texts on their next touch; recompiling
+// from the retained bytes (not the directory, which may have changed)
+// keeps a recompile deterministic, and the fingerprint is re-checked to
+// prove it. Entries pinned by in-flight requests (shared_ptr handles)
+// are never reclaimed mid-request: eviction drops the cache's
+// reference, the memory is freed when the last request lets go.
+// Concurrent misses for the same fingerprint coalesce onto one compile.
 //
 // Each entry carries the PR 4 scenario fingerprint; the catalog's
 // combined fingerprint (order-independent over entries) keys the
@@ -19,8 +33,12 @@
 #ifndef SEMAP_SERVE_CATALOG_H_
 #define SEMAP_SERVE_CATALOG_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,10 +47,19 @@
 
 namespace semap::serve {
 
+/// A pinned, immutable view of one compiled scenario. Holding the
+/// handle keeps the artifact alive even if the cache evicts it.
+using ArtifactHandle = std::shared_ptr<const validate::LoadedScenario>;
+
 struct CatalogEntry {
   std::string name;
-  validate::LoadedScenario scenario;
+  /// The retained artifact texts: an evicted scenario recompiles from
+  /// these exact bytes, so the recompile cannot drift from the load.
+  validate::ScenarioTexts texts;
   uint64_t fingerprint = 0;
+  /// Estimated resident bytes of the compiled artifact (schemas, CM
+  /// graphs, s-trees, correspondences), measured at first compile.
+  size_t artifact_bytes = 0;
   /// The fail-soft load dropped something (quarantined artifact,
   /// dangling correspondence). The entry still serves; responses carry
   /// degraded tiers like any resilient run.
@@ -41,23 +68,104 @@ struct CatalogEntry {
   std::string diagnostics;
 };
 
+struct ArtifactCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Compiles actually run (== misses minus coalesced waiters).
+  uint64_t compiles = 0;
+  /// Estimated bytes resident in the cache right now.
+  size_t bytes = 0;
+  /// Configured budget; 0 = unbounded.
+  size_t budget_bytes = 0;
+};
+
+/// The budgeted LRU of compiled scenarios, keyed by fingerprint.
+/// Thread-safe: serve workers Acquire concurrently; misses for the same
+/// fingerprint coalesce onto a single compile (waiters block until the
+/// builder publishes). Over-budget eviction walks cold-to-hot and skips
+/// entries pinned by outstanding handles and entries mid-compile.
+class ArtifactCache {
+ public:
+  /// `budget_bytes` = 0 means unbounded (never evict).
+  explicit ArtifactCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  /// The compiled artifact for `entry`: a hit pins and returns it; a
+  /// miss recompiles from the entry's retained texts (verifying the
+  /// fingerprint), inserts, then evicts cold unpinned entries until the
+  /// budget holds again.
+  Result<ArtifactHandle> Acquire(const CatalogEntry& entry);
+
+  /// Insert an already-compiled artifact (startup priming). Counts
+  /// toward the budget and may evict, but not toward hit/miss/compile
+  /// stats — the load would have compiled it regardless.
+  void Prime(const CatalogEntry& entry, ArtifactHandle artifact);
+
+  ArtifactCacheStats stats() const;
+
+ private:
+  struct Slot {
+    ArtifactHandle artifact;  // null while a builder is compiling
+    size_t bytes = 0;
+    bool building = false;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  void InsertLocked(uint64_t fingerprint, Slot& slot, ArtifactHandle artifact,
+                    size_t bytes);
+  void EvictOverBudgetLocked();
+
+  const size_t budget_bytes_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Slot> slots_;
+  /// Most-recently-used first.
+  std::list<uint64_t> lru_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t compiles_ = 0;
+};
+
 struct Catalog {
   std::map<std::string, CatalogEntry> entries;
   /// Combined over all entries, order-independent.
   uint64_t fingerprint = 0;
   /// Subdirectories skipped for missing artifact files.
   std::vector<std::string> skipped;
+  /// The budgeted compiled-artifact cache (always present after
+  /// LoadCatalog; shared_ptr keeps Catalog movable).
+  std::shared_ptr<ArtifactCache> cache;
 
   const CatalogEntry* Find(const std::string& name) const {
     auto it = entries.find(name);
     return it == entries.end() ? nullptr : &it->second;
   }
+
+  /// Pin the compiled artifact for `entry`, recompiling if it was
+  /// evicted. `entry` must belong to this catalog.
+  Result<ArtifactHandle> Acquire(const CatalogEntry& entry) const {
+    return cache->Acquire(entry);
+  }
+
+  ArtifactCacheStats cache_stats() const { return cache->stats(); }
 };
+
+/// Deterministic estimate of the resident bytes of one compiled
+/// scenario (containers, strings, graph nodes/edges, s-trees). Keys the
+/// cache's budget accounting; exposed for tests.
+size_t EstimateScenarioBytes(const validate::LoadedScenario& scenario);
 
 /// Scan `dir` and load every scenario subdirectory. Errors only when the
 /// directory is unreadable or NO scenario loads — a half-broken catalog
 /// serves its good half (the skipped list says what was dropped).
-Result<Catalog> LoadCatalog(const std::string& dir);
+/// Every loaded scenario is compiled once (fingerprints and diagnostics
+/// need it) and primed into the cache under `cache_budget_bytes`
+/// (0 = unbounded): an over-budget catalog starts cold and recompiles
+/// per touch rather than refusing to serve.
+Result<Catalog> LoadCatalog(const std::string& dir,
+                            size_t cache_budget_bytes = 0);
 
 }  // namespace semap::serve
 

@@ -54,9 +54,16 @@ inline constexpr const char kErrBadFrame[] = "SEMAP-E200";
 inline constexpr const char kErrBadRequest[] = "SEMAP-E201";
 inline constexpr const char kErrUnknownScenario[] = "SEMAP-E202";
 inline constexpr const char kErrInternal[] = "SEMAP-E203";
+// E210–E213 are all status "reject": the request was not served and the
+// server is intact, so a retry (with backoff, against the same or
+// another replica) is the correct client response. E213 specifically
+// means the request's own deadline_ms expired before the pipeline ran
+// (queue wait, admission hold, or coalesced-flight wait) — retry with a
+// fresh deadline.
 inline constexpr const char kErrOverloaded[] = "SEMAP-E210";
 inline constexpr const char kErrDraining[] = "SEMAP-E211";
 inline constexpr const char kErrCancelled[] = "SEMAP-E212";
+inline constexpr const char kErrDeadlineShed[] = "SEMAP-E213";
 
 /// Wrap `payload` in one wire frame.
 std::string EncodeFrame(std::string_view payload);

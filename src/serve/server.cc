@@ -26,10 +26,16 @@ std::string EscapedField(std::string_view key, const std::string& value,
   return out;
 }
 
+int64_t ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               start)
+      .count();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Server>> Server::Start(ServerOptions opts) {
-  auto catalog = LoadCatalog(opts.catalog_dir);
+  auto catalog = LoadCatalog(opts.catalog_dir, opts.cache_budget_bytes);
   if (!catalog.ok()) return catalog.status();
 
   std::unique_ptr<Server> server(new Server(std::move(opts)));
@@ -64,6 +70,8 @@ Result<std::unique_ptr<Server>> Server::Start(ServerOptions opts) {
                  static_cast<int64_t>(server->catalog_.entries.size()))
             .Int("skipped",
                  static_cast<int64_t>(server->catalog_.skipped.size()))
+            .Int("cache_budget_bytes",
+                 static_cast<int64_t>(server->opts_.cache_budget_bytes))
             .Bool("durable", server->store_.has_value()));
   }
   return server;
@@ -106,7 +114,7 @@ Status Server::Serve(const std::atomic<bool>& stop) {
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       if (queue_.size() < opts_.queue_capacity) {
-        queue_.push_back(std::move(*conn));
+        queue_.push_back(QueuedConn{std::move(*conn), Clock::now()});
         admitted = true;
       }
     }
@@ -179,7 +187,7 @@ Status Server::Serve(const std::atomic<bool>& stop) {
 
 void Server::WorkerLoop() {
   while (true) {
-    std::unique_ptr<Conn> conn;
+    QueuedConn queued;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] {
@@ -189,18 +197,25 @@ void Server::WorkerLoop() {
         if (draining_.load(std::memory_order_relaxed)) return;
         continue;
       }
-      conn = std::move(queue_.front());
+      queued = std::move(queue_.front());
       queue_.pop_front();
       active_.fetch_add(1, std::memory_order_relaxed);
     }
-    HandleConn(std::move(conn));
+    HandleConn(std::move(queued));
     active_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
-void Server::HandleConn(std::unique_ptr<Conn> conn) {
+void Server::HandleConn(QueuedConn queued) {
+  std::unique_ptr<Conn> conn = std::move(queued.conn);
+  bool first_frame = true;
   while (true) {
     auto payload = ReadFrame(*conn);
+    // The first request's deadline clock starts when the acceptor
+    // admitted the connection — queue wait counts against the caller's
+    // patience; later frames on the same connection start now.
+    const TimePoint start = first_frame ? queued.admitted : Clock::now();
+    first_frame = false;
     if (!payload.ok()) {
       if (payload.status().code() == StatusCode::kNotFound) break;  // EOF
       errors_.fetch_add(1, std::memory_order_relaxed);
@@ -226,7 +241,7 @@ void Server::HandleConn(std::unique_ptr<Conn> conn) {
       response = ErrorResponse(request->id, "reject", kErrDraining,
                                "server is draining, retry elsewhere");
     } else {
-      response = HandleRequest(*request);
+      response = HandleRequest(*request, start);
     }
     if (!WriteFrame(*conn, response).ok()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
@@ -237,7 +252,7 @@ void Server::HandleConn(std::unique_ptr<Conn> conn) {
   (void)conn->Close();
 }
 
-std::string Server::HandleRequest(const Request& request) {
+std::string Server::HandleRequest(const Request& request, TimePoint start) {
   if (opts_.events != nullptr) {
     opts_.events->Emit("request_start",
                        obs::WideEvent()
@@ -288,25 +303,90 @@ std::string Server::HandleRequest(const Request& request) {
     }
   }
   if (!cached) {
-    auto computed = Compute(request, *entry);
-    if (!computed.ok()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      if (drain_cancel_.load(std::memory_order_relaxed)) {
-        return ErrorResponse(request.id, "reject", kErrCancelled,
-                             "request cancelled by drain deadline: " +
-                                 computed.status().message());
+    // Deadline shed: the caller's patience ran out while this request
+    // sat in the admission queue. The expensive work has not started,
+    // so the honest answer is a retryable reject, not a late result.
+    if (request.deadline_ms > 0 && ElapsedMs(start) >= request.deadline_ms) {
+      deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+      if (opts_.events != nullptr) {
+        opts_.events->Emit("deadline_shed",
+                           obs::WideEvent()
+                               .Str("id", request.id)
+                               .Int("deadline_ms", request.deadline_ms)
+                               .Int("waited_ms", ElapsedMs(start)));
       }
-      return ErrorResponse(request.id, "error", kErrInternal,
-                           computed.status().message());
+      return ErrorResponse(request.id, "reject", kErrDeadlineShed,
+                           "deadline expired before dispatch (queued past "
+                           "the caller's patience); retry with backoff");
     }
-    body = std::move(*computed);
-    // Cache the body first: if the journal dies between these two puts,
-    // the restarted server recomputes nothing and the retry still gets
-    // byte-identical bytes (the body is deterministic).
-    if (Status stored = StoreResult(result_key, body); !stored.ok()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      return ErrorResponse(request.id, "error", kErrInternal,
-                           stored.message());
+
+    // Single-flight: concurrent misses for the same (op, scenario)
+    // coalesce onto one computation. Bypass requests never coalesce —
+    // the bench uses them to measure raw pipeline latency.
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    if (!request.cache_bypass) {
+      std::lock_guard<std::mutex> lock(flights_mu_);
+      auto [it, inserted] = flights_.try_emplace(result_key);
+      if (inserted) {
+        it->second = std::make_shared<Flight>();
+        leader = true;
+      }
+      flight = it->second;
+    }
+
+    if (flight != nullptr && !leader) {
+      // Follower: attach to the leader's computation, then journal an
+      // idempotent response of our own from the shared body.
+      singleflight_followers_.fetch_add(1, std::memory_order_relaxed);
+      if (opts_.events != nullptr) {
+        opts_.events->Emit("singleflight_join",
+                           obs::WideEvent()
+                               .Str("id", request.id)
+                               .Str("key", result_key));
+      }
+      std::unique_lock<std::mutex> wait_lock(flight->mu);
+      flight->cv.wait(wait_lock, [&] { return flight->done; });
+      if (!flight->status.ok()) {
+        return FailureResponse(request.id, flight->status);
+      }
+      body = flight->body;
+    } else {
+      if (leader) {
+        singleflight_leaders_.fetch_add(1, std::memory_order_relaxed);
+      }
+      bool cacheable = true;
+      auto computed = Compute(request, *entry, start, &cacheable);
+      Status outcome = computed.ok() ? Status::OK() : computed.status();
+      if (computed.ok()) {
+        body = std::move(*computed);
+        // Cache the body first: if the journal dies between these two
+        // puts, the restarted server recomputes nothing and the retry
+        // still gets byte-identical bytes (the body is deterministic).
+        // Deadline-shaped (degraded) bodies are NOT cached: they would
+        // poison later un-deadlined requests with a different answer.
+        if (cacheable) {
+          if (Status stored = StoreResult(result_key, body); !stored.ok()) {
+            outcome = stored;
+          }
+        }
+      }
+      if (leader) {
+        {
+          std::lock_guard<std::mutex> lock(flights_mu_);
+          flights_.erase(result_key);
+        }
+        {
+          std::lock_guard<std::mutex> publish_lock(flight->mu);
+          flight->done = true;
+          flight->status = outcome;
+          if (outcome.ok()) flight->body = body;
+        }
+        flight->cv.notify_all();
+      }
+      if (!outcome.ok()) {
+        return FailureResponse(request.id, outcome);
+      }
     }
   }
 
@@ -329,55 +409,112 @@ std::string Server::HandleRequest(const Request& request) {
   return response;
 }
 
+std::string Server::FailureResponse(const std::string& id,
+                                    const Status& status) {
+  if (drain_cancel_.load(std::memory_order_relaxed)) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(id, "reject", kErrCancelled,
+                         "request cancelled by drain deadline: " +
+                             status.message());
+  }
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    // The caller's own deadline expired mid-hold or mid-wait: a shed,
+    // not a server fault — retryable with a fresh deadline.
+    deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.events != nullptr) {
+      opts_.events->Emit("deadline_shed", obs::WideEvent().Str("id", id));
+    }
+    return ErrorResponse(id, "reject", kErrDeadlineShed, status.message());
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return ErrorResponse(id, "error", kErrInternal, status.message());
+}
+
 Result<std::string> Server::Compute(const Request& request,
-                                    const CatalogEntry& entry) {
+                                    const CatalogEntry& entry,
+                                    TimePoint start, bool* cacheable) {
+  *cacheable = true;
   if (request.op == "lint") {
     // The fail-soft load already linted the scenario at catalog time;
-    // the answer is a view of that verdict.
+    // the answer is a view of that verdict (pinning the artifact counts
+    // as a cache touch like any other op).
+    auto artifact = catalog_.Acquire(entry);
+    if (!artifact.ok()) return artifact.status();
     std::string body = EscapedField("scenario", entry.name, true);
     body += ",\"degraded\":";
     body += entry.degraded ? "true" : "false";
     body += ",\"source_strees\":" +
-            std::to_string(entry.scenario.source.semantics().size());
+            std::to_string((*artifact)->source.semantics().size());
     body += ",\"target_strees\":" +
-            std::to_string(entry.scenario.target.semantics().size());
+            std::to_string((*artifact)->target.semantics().size());
     body += ",\"correspondences\":" +
-            std::to_string(entry.scenario.correspondences.size());
+            std::to_string((*artifact)->correspondences.size());
     body += EscapedField("diagnostics", entry.diagnostics);
     body += "}";
     return body;
   }
 
-  // The test hold: park here (responsively to drain-cancel) so tests can
-  // saturate the pool and observe shedding/drain without timing luck.
+  const bool deadlined = request.deadline_ms > 0;
+  auto expired = [&] {
+    return deadlined && ElapsedMs(start) >= request.deadline_ms;
+  };
+
+  // The test hold: park here (responsively to drain-cancel and to the
+  // request's own deadline) so tests can saturate the pool and observe
+  // shedding/drain without timing luck.
   for (int64_t held = 0; held < opts_.request_hold_ms; held += 5) {
-    if (drain_cancel_.load(std::memory_order_relaxed)) break;
+    if (drain_cancel_.load(std::memory_order_relaxed) || expired()) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   if (drain_cancel_.load(std::memory_order_relaxed)) {
     return Status::DeadlineExceeded("cancelled before dispatch");
   }
+  if (expired()) {
+    return Status::DeadlineExceeded(
+        "deadline expired before the pipeline started");
+  }
+
+  // Pin the compiled artifact: a hit is free, an evicted scenario
+  // recompiles from its retained texts right here. The handle keeps the
+  // artifact alive for the whole run even if eviction drops it.
+  auto artifact = catalog_.Acquire(entry);
+  if (!artifact.ok()) return artifact.status();
+  const validate::LoadedScenario& scenario = **artifact;
 
   exec::SupervisorOptions sup;
   sup.jobs = 1;  // one worker thread = one supervised unit stream
+  // Thread the REMAINING budget into the pipeline governor: time spent
+  // queued or held is gone, and the resilient cascade degrades tiers
+  // against what is actually left rather than overrunning the caller.
   sup.pipeline.deadline_ms =
-      request.deadline_ms > 0 ? request.deadline_ms : opts_.default_deadline_ms;
+      deadlined ? std::max<int64_t>(request.deadline_ms - ElapsedMs(start), 1)
+                : opts_.default_deadline_ms;
   DiagnosticSink sink;
   sup.pipeline.sink = &sink;
   sup.cancel = &drain_cancel_;
 
   obs::ProvenanceRecorder provenance;
+  obs::Metrics metrics;
   exec::RunContext ctx;
+  ctx.metrics = &metrics;
   if (request.op == "explain") ctx.provenance = &provenance;
   if (opts_.events != nullptr) ctx.events = opts_.events;
 
-  auto run = exec::RunSupervisedPipeline(entry.scenario.source,
-                                         entry.scenario.target,
-                                         entry.scenario.correspondences, sup,
-                                         ctx);
+  auto run = exec::RunSupervisedPipeline(scenario.source, scenario.target,
+                                         scenario.correspondences, sup, ctx);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    run_metrics_.MergeFrom(metrics);
+  }
   if (!run.ok()) return run.status();
   if (run->interrupted) {
     return Status::DeadlineExceeded("cancelled mid-run by drain");
+  }
+  // A caller-supplied deadline that degraded any table produced a body
+  // other deadlines would not see: serve it, but keep it out of the
+  // durable result cache.
+  if (deadlined && run->run.report.AnyAtBaselineOrWorse() && !entry.degraded) {
+    *cacheable = false;
   }
 
   if (request.op == "explain") return provenance.ToJson();
@@ -451,6 +588,7 @@ Status Server::StoreResponse(const std::string& id,
 }
 
 std::string Server::StatsBody() const {
+  const ArtifactCacheStats cache = catalog_.cache_stats();
   std::string body = "{\"scenarios\":" +
                      std::to_string(catalog_.entries.size());
   body += ",\"accepted\":" +
@@ -458,10 +596,24 @@ std::string Server::StatsBody() const {
   body += ",\"served\":" +
           std::to_string(served_.load(std::memory_order_relaxed));
   body += ",\"shed\":" + std::to_string(shed_.load(std::memory_order_relaxed));
+  body += ",\"deadline_shed\":" +
+          std::to_string(deadline_shed_.load(std::memory_order_relaxed));
   body += ",\"idempotent_hits\":" +
           std::to_string(idempotent_hits_.load(std::memory_order_relaxed));
   body += ",\"cache_hits\":" +
           std::to_string(cache_hits_.load(std::memory_order_relaxed));
+  body += ",\"singleflight_leaders\":" +
+          std::to_string(singleflight_leaders_.load(std::memory_order_relaxed));
+  body += ",\"singleflight_followers\":" +
+          std::to_string(
+              singleflight_followers_.load(std::memory_order_relaxed));
+  body += ",\"artifact_cache_hits\":" + std::to_string(cache.hits);
+  body += ",\"artifact_cache_misses\":" + std::to_string(cache.misses);
+  body += ",\"artifact_cache_evictions\":" + std::to_string(cache.evictions);
+  body += ",\"artifact_cache_compiles\":" + std::to_string(cache.compiles);
+  body += ",\"artifact_cache_bytes\":" + std::to_string(cache.bytes);
+  body += ",\"artifact_cache_budget_bytes\":" +
+          std::to_string(cache.budget_bytes);
   body += ",\"errors\":" +
           std::to_string(errors_.load(std::memory_order_relaxed));
   body += ",\"draining\":";
@@ -475,12 +627,59 @@ ServerStatsSnapshot Server::stats() const {
   snapshot.accepted = accepted_.load(std::memory_order_relaxed);
   snapshot.served = served_.load(std::memory_order_relaxed);
   snapshot.shed = shed_.load(std::memory_order_relaxed);
+  snapshot.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
   snapshot.idempotent_hits = idempotent_hits_.load(std::memory_order_relaxed);
   snapshot.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snapshot.singleflight_leaders =
+      singleflight_leaders_.load(std::memory_order_relaxed);
+  snapshot.singleflight_followers =
+      singleflight_followers_.load(std::memory_order_relaxed);
   snapshot.errors = errors_.load(std::memory_order_relaxed);
   snapshot.draining = draining_.load(std::memory_order_relaxed);
   snapshot.scenarios = catalog_.entries.size();
+  snapshot.artifact_cache = catalog_.cache_stats();
   return snapshot;
+}
+
+std::string Server::MetricsJson() const {
+  obs::Metrics merged;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    merged.MergeFrom(run_metrics_);
+  }
+  // The serve.* counter taxonomy (docs/OBSERVABILITY.md): serve.cache_*
+  // is the compiled-artifact cache, serve.result_cache_hits the durable
+  // (op, scenario) body cache.
+  const ArtifactCacheStats cache = catalog_.cache_stats();
+  merged.Add("serve.accepted",
+             static_cast<int64_t>(accepted_.load(std::memory_order_relaxed)));
+  merged.Add("serve.served",
+             static_cast<int64_t>(served_.load(std::memory_order_relaxed)));
+  merged.Add("serve.shed",
+             static_cast<int64_t>(shed_.load(std::memory_order_relaxed)));
+  merged.Add(
+      "serve.deadline_shed",
+      static_cast<int64_t>(deadline_shed_.load(std::memory_order_relaxed)));
+  merged.Add("serve.idempotent_hits",
+             static_cast<int64_t>(
+                 idempotent_hits_.load(std::memory_order_relaxed)));
+  merged.Add(
+      "serve.result_cache_hits",
+      static_cast<int64_t>(cache_hits_.load(std::memory_order_relaxed)));
+  merged.Add("serve.singleflight_leaders",
+             static_cast<int64_t>(
+                 singleflight_leaders_.load(std::memory_order_relaxed)));
+  merged.Add("serve.singleflight_followers",
+             static_cast<int64_t>(
+                 singleflight_followers_.load(std::memory_order_relaxed)));
+  merged.Add("serve.errors",
+             static_cast<int64_t>(errors_.load(std::memory_order_relaxed)));
+  merged.Add("serve.cache_hits", static_cast<int64_t>(cache.hits));
+  merged.Add("serve.cache_misses", static_cast<int64_t>(cache.misses));
+  merged.Add("serve.cache_evictions", static_cast<int64_t>(cache.evictions));
+  merged.Add("serve.cache_compiles", static_cast<int64_t>(cache.compiles));
+  merged.Add("serve.cache_bytes", static_cast<int64_t>(cache.bytes));
+  return merged.ToJson();
 }
 
 }  // namespace semap::serve

@@ -2,12 +2,12 @@
 // discovery pipeline.
 //
 // Lifecycle: Start() loads the scenario catalog once (compiled CM
-// graphs, s-trees, linted correspondences stay hot), opens the journaled
-// response store keyed by the catalog fingerprint, and binds the
-// listener. Serve() runs the accept loop on the calling thread and a
-// fixed worker pool; each worker executes one request at a time through
-// the supervised pipeline (exec/supervisor.h) under the request's own
-// deadline and the server's drain-cancel flag.
+// graphs, s-trees, linted correspondences in a memory-budgeted artifact
+// cache), opens the journaled response store keyed by the catalog
+// fingerprint, and binds the listener. Serve() runs the accept loop on
+// the calling thread and a fixed worker pool; each worker executes one
+// request at a time through the supervised pipeline (exec/supervisor.h)
+// under the request's own deadline and the server's drain-cancel flag.
 //
 // Robustness contract (tested by tests/serve_test.cc, documented in
 // docs/SERVING.md):
@@ -24,6 +24,20 @@
 //   * repeat traffic — computed result bodies are cached in the store
 //     by (op, scenario), so repeated requests skip discovery entirely
 //     (and survive restarts). "cache":"bypass" forces recomputation.
+//   * memory budget — compiled artifacts live in the catalog's budgeted
+//     LRU (serve/catalog.h). Under pressure cold scenarios are evicted
+//     and recompile transparently on next touch; in-flight requests pin
+//     their artifact so eviction never yanks memory mid-run.
+//   * single-flight — concurrent cache-miss requests for the same
+//     (op, scenario) coalesce onto one computation: a leader runs the
+//     pipeline, followers wait on the flight and then journal their OWN
+//     idempotent response from the shared body. "cache":"bypass"
+//     requests never coalesce (the bench measures raw latency).
+//   * deadline shedding — a request whose deadline_ms already expired
+//     (queue wait, hold, or follower wait) is dropped with the
+//     retryable SEMAP-E213 reject before any expensive work; the
+//     remaining budget is threaded into the pipeline governor so
+//     in-flight work degrades instead of overrunning its caller.
 //   * drain — when the stop flag rises the listener closes, queued
 //     connections get SEMAP-E211, in-flight requests finish; past the
 //     drain deadline they are cancelled through the supervisor's
@@ -36,6 +50,7 @@
 #define SEMAP_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,6 +63,7 @@
 #include <vector>
 
 #include "obs/events.h"
+#include "obs/metrics.h"
 #include "serve/catalog.h"
 #include "serve/protocol.h"
 #include "serve/socket.h"
@@ -67,6 +83,9 @@ struct ServerOptions {
   /// Accepted-but-unclaimed connections; beyond this the acceptor sheds
   /// with SEMAP-E210.
   size_t queue_capacity = 8;
+  /// Budget for the compiled-artifact cache; 0 = unbounded (never
+  /// evict). CLI: --cache-budget-mb.
+  size_t cache_budget_bytes = 0;
   /// Per-connection read/write timeout (slow-client protection).
   int64_t io_timeout_ms = 5000;
   /// Deadline applied to requests that do not carry their own.
@@ -75,7 +94,7 @@ struct ServerOptions {
   /// they are cooperatively cancelled (SEMAP-E212).
   int64_t drain_deadline_ms = 2000;
   /// Test hook: hold each computed request this long before running the
-  /// pipeline, so shed/drain races become deterministic.
+  /// pipeline, so shed/drain/deadline races become deterministic.
   int64_t request_hold_ms = 0;
   /// Journaled response store; empty = ephemeral (in-memory) idempotency
   /// only. The store's fingerprint is the catalog's.
@@ -92,11 +111,19 @@ struct ServerStatsSnapshot {
   uint64_t accepted = 0;
   uint64_t served = 0;
   uint64_t shed = 0;
+  /// Requests dropped because their deadline expired before the
+  /// pipeline ran (SEMAP-E213).
+  uint64_t deadline_shed = 0;
   uint64_t idempotent_hits = 0;
+  /// Durable (op, scenario) result-cache hits.
   uint64_t cache_hits = 0;
+  uint64_t singleflight_leaders = 0;
+  uint64_t singleflight_followers = 0;
   uint64_t errors = 0;
   bool draining = false;
   size_t scenarios = 0;
+  /// Compiled-artifact cache (hits/misses/evictions/bytes).
+  ArtifactCacheStats artifact_cache;
 };
 
 class Server {
@@ -118,14 +145,50 @@ class Server {
   const Catalog& catalog() const { return catalog_; }
   ServerStatsSnapshot stats() const;
 
+  /// semap.metrics.v1 over everything this server ran: per-request
+  /// pipeline metrics merged with the serve.* counter taxonomy
+  /// (docs/OBSERVABILITY.md). Safe to call after Serve returns or
+  /// between requests.
+  std::string MetricsJson() const;
+
  private:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// One admitted connection plus when the acceptor admitted it — the
+  /// start of the first request's deadline clock (queue wait counts
+  /// against the caller's patience).
+  struct QueuedConn {
+    std::unique_ptr<Conn> conn;
+    TimePoint admitted;
+  };
+
+  /// One in-flight (op, scenario) computation that concurrent cache
+  /// misses coalesce onto. The leader computes and publishes; followers
+  /// wait on `cv`, then journal their own responses from the shared
+  /// outcome.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::OK();
+    std::string body;
+  };
+
   explicit Server(ServerOptions opts) : opts_(std::move(opts)) {}
 
   void WorkerLoop();
-  void HandleConn(std::unique_ptr<Conn> conn);
-  std::string HandleRequest(const Request& request);
+  void HandleConn(QueuedConn queued);
+  std::string HandleRequest(const Request& request, TimePoint start);
+  /// Run the pipeline (or answer lint). `cacheable` is cleared when the
+  /// body was shaped by the caller's deadline (degraded tiers) and must
+  /// not poison the durable result cache.
   Result<std::string> Compute(const Request& request,
-                              const CatalogEntry& entry);
+                              const CatalogEntry& entry, TimePoint start,
+                              bool* cacheable);
+  /// Map a Compute failure onto the response contract: drain-cancel →
+  /// E212 reject, expired deadline → E213 reject (counted as
+  /// deadline_shed, not error), anything else → E203 error.
+  std::string FailureResponse(const std::string& id, const Status& status);
 
   /// Stored response / cached result body lookups and journaling (the
   /// store is not thread-safe; store_mu_ serializes it).
@@ -143,7 +206,7 @@ class Server {
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<std::unique_ptr<Conn>> queue_;
+  std::deque<QueuedConn> queue_;
   std::vector<std::thread> workers_;
 
   std::atomic<bool> draining_{false};
@@ -156,11 +219,23 @@ class Server {
   std::map<std::string, std::string> ephemeral_responses_;
   std::map<std::string, std::string> ephemeral_results_;
 
+  /// Single-flight table: result key → the in-flight computation.
+  std::mutex flights_mu_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+
+  /// Pipeline metrics merged from every computed request (obs::Metrics
+  /// is not thread-safe; the mutex serializes merges and reads).
+  mutable std::mutex metrics_mu_;
+  obs::Metrics run_metrics_;
+
   mutable std::atomic<uint64_t> accepted_{0};
   mutable std::atomic<uint64_t> served_{0};
   mutable std::atomic<uint64_t> shed_{0};
+  mutable std::atomic<uint64_t> deadline_shed_{0};
   mutable std::atomic<uint64_t> idempotent_hits_{0};
   mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> singleflight_leaders_{0};
+  mutable std::atomic<uint64_t> singleflight_followers_{0};
   mutable std::atomic<uint64_t> errors_{0};
 };
 

@@ -7,10 +7,12 @@
 // store recoverable, and a restarted server must answer a retried
 // request id with byte-identical bytes.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -94,6 +96,31 @@ std::string MapRequest(const std::string& id, const std::string& scenario,
       "{\"id\":\"" + id + "\",\"op\":\"map\",\"scenario\":\"" + scenario + "\"";
   if (bypass) payload += ",\"cache\":\"bypass\"";
   return payload + "}";
+}
+
+/// MapRequest generalized: any op, optional bypass and deadline.
+std::string OpRequest(const std::string& id, const std::string& op,
+                      const std::string& scenario, bool bypass = false,
+                      int64_t deadline_ms = -1) {
+  std::string payload = "{\"id\":\"" + id + "\",\"op\":\"" + op +
+                        "\",\"scenario\":\"" + scenario + "\"";
+  if (deadline_ms >= 0) {
+    payload += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  if (bypass) payload += ",\"cache\":\"bypass\"";
+  return payload + "}";
+}
+
+/// Slice the raw body value out of a response envelope (body is always
+/// the LAST member) — the same byte-exact cut semap_call --body makes.
+std::string BodyOf(const std::string& response) {
+  const std::string marker = ",\"body\":";
+  const size_t at = response.find(marker);
+  if (at == std::string::npos || response.empty() || response.back() != '}') {
+    return {};
+  }
+  return response.substr(at + marker.size(),
+                         response.size() - at - marker.size() - 1);
 }
 
 /// One round trip over a fresh connection, like semap_call.
@@ -310,6 +337,182 @@ TEST(ServeTest, DrainPastTheDeadlineCancelsWithE212) {
   (void)(*conn)->Close();
 }
 
+// --- Overload resilience: budget, deadline shed, single-flight ------------
+
+TEST(ServeTest, BudgetedCacheEvictsAndRecompilesByteIdentically) {
+  const std::vector<std::string> scenarios = {"bookstore", "bookstore_lite",
+                                              "teams"};
+  // Reference bodies from an unbudgeted server, which never evicts.
+  std::map<std::string, std::string> reference;
+  {
+    TestServer server({});
+    ASSERT_TRUE(server.ok()) << server.start_error();
+    for (const auto& s : scenarios) {
+      auto response = Call(server.port(), OpRequest("ref-" + s, "explain", s));
+      ExpectOk(response);
+      reference[s] = BodyOf(*response);
+      ASSERT_FALSE(reference[s].empty());
+    }
+    EXPECT_EQ(server.stats().artifact_cache.evictions, 0u);
+  }
+
+  // A budget below the three-scenario working set: round-robin bypass
+  // traffic must evict, recompile transparently, and reproduce the
+  // reference bytes with zero errors.
+  serve::ServerOptions opts;
+  opts.cache_budget_bytes = 4096;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& s : scenarios) {
+      const std::string id = "rr" + std::to_string(round) + "-" + s;
+      auto response = Call(server.port(), OpRequest(id, "explain", s, true));
+      ExpectOk(response);
+      EXPECT_EQ(BodyOf(*response), reference[s]) << s << " round " << round;
+    }
+  }
+  const auto stats = server.stats();
+  EXPECT_GT(stats.artifact_cache.evictions, 0u);
+  EXPECT_GT(stats.artifact_cache.compiles, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(ServeTest, DeadlineExpiredShedsWithE213) {
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.request_hold_ms = 300;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  // The admission hold outlives the caller's deadline: the server must
+  // shed with the retryable E213 — never a late result, never an error.
+  auto shed =
+      Call(server.port(), OpRequest("d1", "map", "bookstore", false, 100));
+  ExpectCode(shed, serve::kErrDeadlineShed);
+  EXPECT_NE(shed->find("\"status\":\"reject\""), std::string::npos) << *shed;
+  EXPECT_GE(server.stats().deadline_shed, 1u);
+  EXPECT_EQ(server.stats().errors, 0u);
+
+  // Sheds are not journaled: the same id retried with no deadline
+  // computes normally — exactly what semap_call --retries does.
+  ExpectOk(Call(server.port(), OpRequest("d1", "map", "bookstore")));
+}
+
+TEST(ServeTest, ConcurrentMissesCoalesceSingleFlight) {
+  serve::ServerOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 8;
+  opts.request_hold_ms = 300;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  // The leader dials first; its hold keeps the flight open while three
+  // followers arrive and must coalesce instead of recomputing.
+  auto lead = serve::DialTcp("127.0.0.1", server.port(), {});
+  ASSERT_TRUE(lead.ok()) << lead.status();
+  ASSERT_TRUE(
+      serve::WriteFrame(**lead, OpRequest("lead", "map", "bookstore")).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::vector<std::unique_ptr<serve::Conn>> follower_conns;
+  for (int i = 0; i < 3; ++i) {
+    auto conn = serve::DialTcp("127.0.0.1", server.port(), {});
+    ASSERT_TRUE(conn.ok()) << conn.status();
+    ASSERT_TRUE(serve::WriteFrame(**conn, OpRequest("f" + std::to_string(i),
+                                                    "map", "bookstore"))
+                    .ok());
+    follower_conns.push_back(std::move(*conn));
+  }
+
+  auto lead_response = serve::ReadFrame(**lead);
+  ExpectOk(lead_response);
+  (void)(*lead)->Close();
+  std::vector<std::string> follower_responses;
+  for (auto& conn : follower_conns) {
+    auto response = serve::ReadFrame(*conn);
+    ExpectOk(response);
+    follower_responses.push_back(*response);
+    (void)conn->Close();
+  }
+  for (const auto& response : follower_responses) {
+    EXPECT_EQ(BodyOf(response), BodyOf(*lead_response));
+  }
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.singleflight_leaders, 1u);
+  EXPECT_EQ(stats.singleflight_followers, 3u);
+  // One computation total: the primed artifact was never recompiled and
+  // the followers shared the leader's pipeline run.
+  EXPECT_EQ(stats.artifact_cache.compiles, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+
+  // A follower's journaled response is its own idempotent record: the
+  // retried id returns the same bytes.
+  auto retry = Call(server.port(), OpRequest("f0", "map", "bookstore"));
+  ExpectOk(retry);
+  EXPECT_EQ(*retry, follower_responses[0]);
+  EXPECT_GE(server.stats().idempotent_hits, 1u);
+}
+
+// TSan-tier stress: eight clients churn two scenarios through a budget
+// that holds only one compiled artifact, with the first wave racing
+// into the single-flight table. Fixed iterations, then a clean drain.
+TEST(ServeTest, StressEvictionAndSingleFlight) {
+  serve::ServerOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 32;
+  opts.request_hold_ms = 250;
+  opts.cache_budget_bytes = 4096;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  const char* kScenarios[2] = {"bookstore", "bookstore_lite"};
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const std::string scenario = kScenarios[t % 2];
+      // First wave: plain misses race into the single-flight table (the
+      // hold keeps each leader's flight open while the rest arrive; any
+      // four concurrent requests over two scenarios must share one).
+      auto first = Call(server.port(),
+                        OpRequest("st" + std::to_string(t), "map", scenario));
+      if (!first.ok() ||
+          first->find("\"status\":\"ok\"") == std::string::npos) {
+        failures.fetch_add(1);
+        return;
+      }
+      // Sustained bypass traffic churns the budgeted cache: the two
+      // scenarios evict each other and recompile under contention.
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string id =
+            "st" + std::to_string(t) + "-" + std::to_string(i);
+        auto response =
+            Call(server.port(), OpRequest(id, "map", scenario, true));
+        if (!response.ok() ||
+            response->find("\"status\":\"ok\"") == std::string::npos) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_GE(stats.singleflight_followers, 1u);
+  EXPECT_GT(stats.artifact_cache.evictions, 0u);
+  EXPECT_GE(stats.artifact_cache.compiles, 1u);
+  server.Stop();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status();
+}
+
 // --- Fault matrix over a served request -----------------------------------
 
 /// The reference response for id "r" on a clean server — map bodies are
@@ -323,6 +526,18 @@ std::string ReferenceResponse() {
     return response.ok() ? *response : std::string();
   }();
   return reference;
+}
+
+/// A non-OK serve status must be the injected kill and nothing else.
+/// The op that trips the plan reports "injected <op> fault ..."; any op
+/// after it reports "simulated crash: environment is dead" — which
+/// thread's status reaches Serve's verdict depends on scheduling, and
+/// both spellings are the same kill.
+void ExpectInjectedKill(const Status& status, const std::string& context) {
+  const std::string text = status.ToString();
+  EXPECT_TRUE(text.find("injected") != std::string::npos ||
+              text.find("simulated crash") != std::string::npos)
+      << context << ": " << text;
 }
 
 /// Drive one request against a fault-armed server (the client side may
@@ -347,9 +562,7 @@ void RunFaultedThenRecover(const FaultPlan& plan, const std::string& context) {
     server.Stop();
     // A clean drain or the injected kill — never a third outcome.
     if (!server.serve_status().ok()) {
-      EXPECT_NE(server.serve_status().ToString().find("injected"),
-                std::string::npos)
-          << context << ": " << server.serve_status();
+      ExpectInjectedKill(server.serve_status(), context);
     }
   }
 
@@ -383,7 +596,10 @@ const ProbeCounts& Probe() {
   static const ProbeCounts counts = [] {
     ProbeCounts probe;
     FaultEnv net;  // no plans: pure counting
-    const std::string store = testing::TempDir() + "/serve_probe.store.jsonl";
+    // ctest runs each matrix parameter as its own process; the path must
+    // be per-process unique or concurrent probes race on tmp+rename.
+    const std::string store = testing::TempDir() + "/serve_probe." +
+                              std::to_string(::getpid()) + ".store.jsonl";
     std::remove(store.c_str());
     serve::ServerOptions opts;
     opts.store_path = store;
@@ -391,11 +607,13 @@ const ProbeCounts& Probe() {
     opts.net_fault = &net;
     TestServer server(opts);
     EXPECT_TRUE(server.ok()) << server.start_error();
-    probe.startup = net.counts();
-    auto response = Call(server.port(), MapRequest("r", "bookstore"));
-    EXPECT_TRUE(response.ok()) << response.status();
-    server.Stop();
-    probe.after_request = net.counts();
+    if (server.ok()) {
+      probe.startup = net.counts();
+      auto response = Call(server.port(), MapRequest("r", "bookstore"));
+      EXPECT_TRUE(response.ok()) << response.status();
+      server.Stop();
+      probe.after_request = net.counts();
+    }
     std::remove(store.c_str());
     return probe;
   }();
@@ -451,6 +669,174 @@ INSTANTIATE_TEST_SUITE_P(
                     std::pair{IoOp::kWrite, FaultMode::kCrash},
                     std::pair{IoOp::kFsync, FaultMode::kFail},
                     std::pair{IoOp::kFsync, FaultMode::kCrash}));
+
+// --- Fault sweeps over the new overload machinery -------------------------
+//
+// The parameterized matrix above drives ONE plain request. These sweeps
+// drive the two new journal-bearing paths — a coalesced follower's own
+// response append, and a request that recompiles an evicted artifact —
+// and kill the process at every filesystem syscall the workload makes.
+// Recovery contract is unchanged: restart = replay, retried ids answer
+// byte-identically.
+
+int64_t CountAt(const std::map<IoOp, int64_t>& counts, IoOp op) {
+  const auto it = counts.find(op);
+  return it == counts.end() ? 0 : it->second;
+}
+
+/// Sweep kill-at-k over `op` for every filesystem occurrence the
+/// workload adds beyond startup, then restart fault-free and require
+/// each retried id to reproduce its reference bytes.
+void RunKillSweep(const serve::ServerOptions& base,
+                  const std::function<void(int port)>& drive,
+                  const std::vector<std::pair<std::string, std::string>>&
+                      retries,
+                  const std::map<std::string, std::string>& reference,
+                  const char* sweep_name) {
+  // Probe pass: count each filesystem op at startup and after the
+  // workload plus a clean drain.
+  std::map<IoOp, int64_t> startup;
+  std::map<IoOp, int64_t> after;
+  {
+    FaultEnv counting;
+    serve::ServerOptions opts = base;
+    opts.store_path = FreshStorePath((std::string(sweep_name) + ".probe")
+                                         .c_str());
+    opts.io_env = &counting;
+    TestServer server(opts);
+    ASSERT_TRUE(server.ok()) << server.start_error();
+    startup = counting.counts();
+    drive(server.port());
+    server.Stop();
+    after = counting.counts();
+    std::remove(opts.store_path.c_str());
+  }
+
+  for (IoOp op : {IoOp::kWrite, IoOp::kFsync}) {
+    const int64_t first = CountAt(startup, op) + 1;
+    const int64_t total = CountAt(after, op);
+    ASSERT_GE(total, first) << sweep_name << ": the workload never touched "
+                            << store::IoOpName(op);
+    for (int64_t k = first; k <= total; ++k) {
+      const std::string context = std::string(sweep_name) + " " +
+                                  store::IoOpName(op) + ":" +
+                                  std::to_string(k);
+      const std::string store = FreshStorePath(sweep_name);
+      {
+        FaultEnv env;
+        env.set_plan({op, k, FaultMode::kCrash});
+        serve::ServerOptions opts = base;
+        opts.store_path = store;
+        opts.io_env = &env;
+        TestServer server(opts);
+        ASSERT_TRUE(server.ok()) << context << ": " << server.start_error();
+        drive(server.port());  // clients may legitimately fail mid-kill
+        server.Stop();
+        if (!server.serve_status().ok()) {
+          ExpectInjectedKill(server.serve_status(), context);
+        }
+      }
+
+      // Restart fault-free on the same store; no repair step.
+      serve::ServerOptions opts = base;
+      opts.request_hold_ms = 0;
+      opts.store_path = store;
+      TestServer server(opts);
+      ASSERT_TRUE(server.ok()) << context << ": " << server.start_error();
+      for (const auto& [id, scenario] : retries) {
+        auto retry = Call(server.port(), MapRequest(id, scenario));
+        ASSERT_TRUE(retry.ok()) << context << ": " << retry.status();
+        EXPECT_NE(retry->find("\"status\":\"ok\""), std::string::npos)
+            << context << ": " << *retry;
+        EXPECT_EQ(*retry, reference.at(id)) << context;
+      }
+      std::remove(store.c_str());
+    }
+  }
+}
+
+TEST(ServeTest, FaultSweepCoalescedFollowerJournalRecovery) {
+  serve::ServerOptions base;
+  base.workers = 2;
+  base.request_hold_ms = 200;
+
+  // Reference bytes: map bodies are deterministic and a follower
+  // journals OkResponse(id, shared body), so a clean sequential run of
+  // the same ids produces exactly the bytes every recovery must replay.
+  std::map<std::string, std::string> reference;
+  {
+    TestServer server(base);
+    ASSERT_TRUE(server.ok()) << server.start_error();
+    for (const char* id : {"lead", "fol"}) {
+      auto response = Call(server.port(), MapRequest(id, "bookstore"));
+      ExpectOk(response);
+      reference[id] = *response;
+    }
+  }
+
+  // Leader + one coalesced follower: the hold keeps the leader's flight
+  // open while the follower arrives, so the follower's journal append
+  // lands inside the swept syscall range.
+  const auto drive = [](int port) {
+    auto lead = serve::DialTcp("127.0.0.1", port, {});
+    if (!lead.ok()) return;
+    (void)serve::WriteFrame(**lead, MapRequest("lead", "bookstore"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    auto follower = serve::DialTcp("127.0.0.1", port, {});
+    if (follower.ok()) {
+      (void)serve::WriteFrame(**follower, MapRequest("fol", "bookstore"));
+      (void)serve::ReadFrame(**follower);
+      (void)(*follower)->Close();
+    }
+    (void)serve::ReadFrame(**lead);
+    (void)(*lead)->Close();
+  };
+
+  RunKillSweep(base, drive, {{"lead", "bookstore"}, {"fol", "bookstore"}},
+               reference, "coalesced_follower");
+}
+
+TEST(ServeTest, FaultSweepEvictionRecompileRecovery) {
+  serve::ServerOptions base;
+  base.cache_budget_bytes = 4096;  // holds at most one compiled scenario
+
+  // References come from an unbudgeted server: eviction and recompile
+  // must never change a single response byte.
+  std::map<std::string, std::string> reference;
+  {
+    TestServer server({});
+    ASSERT_TRUE(server.ok()) << server.start_error();
+    for (const auto& [id, scenario] :
+         std::vector<std::pair<std::string, std::string>>{
+             {"ev1", "bookstore"}, {"ev2", "bookstore_lite"}}) {
+      auto response = Call(server.port(), MapRequest(id, scenario));
+      ExpectOk(response);
+      reference[id] = *response;
+    }
+  }
+
+  // Two scenarios through a one-slot budget: each request evicts the
+  // other's artifact and recompiles, so the swept journal appends are
+  // exactly the ones an eviction-triggered recompile makes.
+  const auto drive = [](int port) {
+    (void)Call(port, MapRequest("ev1", "bookstore"));
+    (void)Call(port, MapRequest("ev2", "bookstore_lite"));
+  };
+
+  // Sanity: the probe workload really does recompile under this budget.
+  {
+    TestServer server(base);
+    ASSERT_TRUE(server.ok()) << server.start_error();
+    drive(server.port());
+    const auto stats = server.stats();
+    EXPECT_GE(stats.artifact_cache.compiles, 1u);
+    EXPECT_GE(stats.artifact_cache.evictions, 1u);
+  }
+
+  RunKillSweep(base, drive,
+               {{"ev1", "bookstore"}, {"ev2", "bookstore_lite"}}, reference,
+               "eviction_recompile");
+}
 
 }  // namespace
 }  // namespace semap

@@ -11,16 +11,28 @@
 //
 // yields a file semap_explain and check_obs_json.py read unchanged.
 //
+// Retries (--retries=N) honor the reject-vs-error contract: a "reject"
+// response (E210 overloaded, E211 draining, E212 drain-cancelled, E213
+// deadline-shed) and a transport failure are retryable — the server is
+// intact and the request id is idempotent, so resending the same id is
+// always safe. A status "error" response (E20x) is the server's final
+// answer and is never retried. Delays come from util/backoff.h with
+// deterministic seeded jitter (--retry-seed), capped in total by
+// --retry-budget-ms.
+//
 // Exit codes: 0 response status ok, 1 transport/protocol failure,
-// 2 usage, 3 response status reject (overload/drain — retryable),
-// 4 response status error.
+// 2 usage, 3 response status reject (overload/drain/deadline —
+// retryable), 4 response status error.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "serve/protocol.h"
 #include "serve/socket.h"
+#include "util/backoff.h"
 #include "util/json.h"
 #include "util/version.h"
 
@@ -37,19 +49,84 @@ constexpr const char kOptionTable[] =
     "  --scenario=S      scenario name (required for map/explain/lint)\n"
     "  --id=ID           idempotency key (default 'cli'); retries with the\n"
     "                    same id return byte-identical responses\n"
-    "  --deadline-ms=N   per-request deadline\n"
+    "  --deadline-ms=N   per-request deadline (expired deadlines shed with\n"
+    "                    the retryable SEMAP-E213)\n"
     "  --priority=N      request priority (recorded in server events)\n"
     "  --bypass-cache    force recomputation past the server result cache\n"
     "  --timeout-ms=N    socket I/O timeout (default 10000)\n"
+    "  --retries=N       retry rejects (status \"reject\": E210-E213) and\n"
+    "                    transport failures up to N times with backoff;\n"
+    "                    status \"error\" responses are final (default 0)\n"
+    "  --retry-budget-ms=N\n"
+    "                    total wall-clock budget across all retries;\n"
+    "                    stop retrying once the next delay would pass it\n"
+    "                    (default: unlimited)\n"
+    "  --retry-seed=K    seed for the deterministic retry jitter\n"
     "  --body            print only the raw body value (byte-exact)\n"
     "  --version         print the version and exit\n"
     "  --help            print this table and exit\n"
     "exit codes: 0 ok, 1 transport/protocol failure, 2 usage,\n"
-    "3 rejected (overloaded or draining; retry), 4 server error\n";
+    "3 rejected (overloaded, draining, or deadline-shed; retry),\n"
+    "4 server error\n";
 
 void PrintUsage(FILE* out, const char* prog) {
   std::fprintf(out, "usage: %s (--unix=PATH | --port=N) [options]\n%s", prog,
                kOptionTable);
+}
+
+bool ParseLong(const char* flag, const char* value, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "error: %s wants an integer, got %s\n", flag, value);
+    return false;
+  }
+  return true;
+}
+
+struct Attempt {
+  /// 0 ok, 1 transport, 3 reject, 4 error (the final exit code if this
+  /// attempt is the last).
+  int exit_code = 1;
+  /// The raw response payload (empty on transport failure).
+  std::string response;
+  std::string status;
+  std::string code;
+  std::string detail;
+};
+
+Attempt RunOnce(const std::string& unix_path, const std::string& host,
+                int port, const serve::SocketOptions& socket_opts,
+                const std::string& payload) {
+  Attempt out;
+  auto conn = unix_path.empty() ? serve::DialTcp(host, port, socket_opts)
+                                : serve::DialUnix(unix_path, socket_opts);
+  if (!conn.ok()) {
+    out.detail = conn.status().ToString();
+    return out;
+  }
+  if (Status sent = serve::WriteFrame(**conn, payload); !sent.ok()) {
+    out.detail = sent.ToString();
+    return out;
+  }
+  auto response = serve::ReadFrame(**conn);
+  if (!response.ok()) {
+    out.detail = response.status().ToString();
+    return out;
+  }
+  (void)(*conn)->Close();
+
+  auto parsed = json::Parse(*response);
+  if (!parsed.ok() || !parsed->is_object()) {
+    out.detail = "response is not a JSON object";
+    return out;
+  }
+  out.response = std::move(*response);
+  out.status = parsed->GetString("status");
+  out.code = parsed->GetString("code");
+  out.detail = parsed->GetString("detail");
+  out.exit_code = out.status == "ok" ? 0 : (out.status == "reject" ? 3 : 4);
+  return out;
 }
 
 }  // namespace
@@ -75,8 +152,12 @@ int main(int argc, char** argv) {
   long long deadline_ms = -1;
   long long priority = 0;
   long long timeout_ms = 10000;
+  long long retries = 0;
+  long long retry_budget_ms = -1;
+  long long retry_seed = 0;
   bool bypass_cache = false;
   bool body_only = false;
+  long long value = 0;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--unix=", 7) == 0) {
@@ -84,13 +165,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--host=", 7) == 0) {
       host = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
-      char* end = nullptr;
-      port = static_cast<int>(std::strtol(argv[i] + 7, &end, 10));
-      if (end == argv[i] + 7 || *end != '\0') {
-        std::fprintf(stderr, "error: --port wants an integer, got %s\n",
-                     argv[i] + 7);
-        return 2;
-      }
+      if (!ParseLong("--port", argv[i] + 7, &value)) return 2;
+      port = static_cast<int>(value);
     } else if (std::strncmp(argv[i], "--op=", 5) == 0) {
       op = argv[i] + 5;
     } else if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
@@ -98,26 +174,22 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--id=", 5) == 0) {
       id = argv[i] + 5;
     } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
-      char* end = nullptr;
-      deadline_ms = std::strtoll(argv[i] + 14, &end, 10);
-      if (end == argv[i] + 14 || *end != '\0') {
-        std::fprintf(stderr, "error: --deadline-ms wants an integer\n");
-        return 2;
-      }
+      if (!ParseLong("--deadline-ms", argv[i] + 14, &deadline_ms)) return 2;
     } else if (std::strncmp(argv[i], "--priority=", 11) == 0) {
-      char* end = nullptr;
-      priority = std::strtoll(argv[i] + 11, &end, 10);
-      if (end == argv[i] + 11 || *end != '\0') {
-        std::fprintf(stderr, "error: --priority wants an integer\n");
-        return 2;
-      }
+      if (!ParseLong("--priority", argv[i] + 11, &priority)) return 2;
     } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
-      char* end = nullptr;
-      timeout_ms = std::strtoll(argv[i] + 13, &end, 10);
-      if (end == argv[i] + 13 || *end != '\0') {
-        std::fprintf(stderr, "error: --timeout-ms wants an integer\n");
+      if (!ParseLong("--timeout-ms", argv[i] + 13, &timeout_ms)) return 2;
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      if (!ParseLong("--retries", argv[i] + 10, &retries) || retries < 0) {
+        std::fprintf(stderr, "error: --retries wants a non-negative integer\n");
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--retry-budget-ms=", 18) == 0) {
+      if (!ParseLong("--retry-budget-ms", argv[i] + 18, &retry_budget_ms)) {
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--retry-seed=", 13) == 0) {
+      if (!ParseLong("--retry-seed", argv[i] + 13, &retry_seed)) return 2;
     } else if (std::strcmp(argv[i], "--bypass-cache") == 0) {
       bypass_cache = true;
     } else if (std::strcmp(argv[i], "--body") == 0) {
@@ -134,7 +206,8 @@ int main(int argc, char** argv) {
   }
 
   // Build the request payload. The fields mirror serve::Request; the
-  // server validates, this side just renders.
+  // server validates, this side just renders. The id stays fixed across
+  // retries on purpose — that is what makes resending safe.
   std::string payload = "{\"id\":\"" + id + "\",\"op\":\"" + op + "\"";
   if (!scenario.empty()) payload += ",\"scenario\":\"" + scenario + "\"";
   if (deadline_ms >= 0) {
@@ -146,52 +219,62 @@ int main(int argc, char** argv) {
 
   serve::SocketOptions socket_opts;
   socket_opts.io_timeout_ms = timeout_ms;
-  auto conn = unix_path.empty() ? serve::DialTcp(host, port, socket_opts)
-                                : serve::DialUnix(unix_path, socket_opts);
-  if (!conn.ok()) {
-    std::fprintf(stderr, "error: %s\n", conn.status().ToString().c_str());
-    return 1;
-  }
-  if (Status sent = serve::WriteFrame(**conn, payload); !sent.ok()) {
-    std::fprintf(stderr, "error: %s\n", sent.ToString().c_str());
-    return 1;
-  }
-  auto response = serve::ReadFrame(**conn);
-  if (!response.ok()) {
-    std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
-    return 1;
-  }
-  (void)(*conn)->Close();
 
-  auto parsed = json::Parse(*response);
-  if (!parsed.ok() || !parsed->is_object()) {
-    std::fprintf(stderr, "error: response is not a JSON object\n");
+  BackoffPolicy policy;
+  policy.seed = static_cast<uint64_t>(retry_seed);
+  const Backoff backoff(policy);
+  const auto started = std::chrono::steady_clock::now();
+
+  Attempt attempt;
+  for (long long n = 0;; ++n) {
+    attempt = RunOnce(unix_path, host, port, socket_opts, payload);
+    // ok and status "error" are final; transport failures and rejects
+    // are retryable while attempts and the time budget remain.
+    if (attempt.exit_code == 0 || attempt.exit_code == 4) break;
+    if (n >= retries) break;
+    const int64_t delay = backoff.DelayMs(static_cast<size_t>(n));
+    if (retry_budget_ms >= 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count();
+      if (elapsed + delay > retry_budget_ms) break;
+    }
+    std::fprintf(stderr, "retry %lld/%lld in %lldms (%s%s%s)\n", n + 1,
+                 retries, static_cast<long long>(delay),
+                 attempt.code.empty() ? "transport" : attempt.code.c_str(),
+                 attempt.detail.empty() ? "" : ": ",
+                 attempt.detail.c_str());
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+
+  if (attempt.exit_code == 1 && attempt.response.empty()) {
+    std::fprintf(stderr, "error: %s\n", attempt.detail.c_str());
     return 1;
   }
-  const std::string status = parsed->GetString("status");
 
   if (body_only) {
     // The envelope guarantees body is the last member, and every earlier
     // string member is JSON-escaped, so the first `,"body":` is the real
     // one. Slicing (rather than re-serializing) keeps the bytes exact.
     const std::string marker = ",\"body\":";
-    const size_t at = response->find(marker);
-    if (at == std::string::npos || response->back() != '}') {
+    const size_t at = attempt.response.find(marker);
+    if (at == std::string::npos || attempt.response.back() != '}') {
       std::fprintf(stderr, "error: response has no body member\n");
       return 1;
     }
-    const std::string body = response->substr(
-        at + marker.size(), response->size() - at - marker.size() - 1);
+    const std::string body = attempt.response.substr(
+        at + marker.size(),
+        attempt.response.size() - at - marker.size() - 1);
     std::fwrite(body.data(), 1, body.size(), stdout);
     std::fputc('\n', stdout);
   } else {
-    std::fwrite(response->data(), 1, response->size(), stdout);
+    std::fwrite(attempt.response.data(), 1, attempt.response.size(), stdout);
     std::fputc('\n', stdout);
   }
 
-  if (status == "ok") return 0;
-  std::fprintf(stderr, "%s: %s %s\n", status.c_str(),
-               parsed->GetString("code").c_str(),
-               parsed->GetString("detail").c_str());
-  return status == "reject" ? 3 : 4;
+  if (attempt.exit_code == 0) return 0;
+  std::fprintf(stderr, "%s: %s %s\n", attempt.status.c_str(),
+               attempt.code.c_str(), attempt.detail.c_str());
+  return attempt.exit_code;
 }

@@ -3,9 +3,10 @@
 // semap.rpc.v1 socket protocol (src/serve/, docs/SERVING.md).
 //
 //   semap_serve --catalog=DIR [--unix=PATH | --port=N] [--store=FILE]
-//               [--workers=N] [--queue=N] [--deadline-ms=N]
-//               [--drain-ms=N] [--io-timeout-ms=N] [--hold-ms=N]
-//               [--events=FILE] [--version] [--help]
+//               [--workers=N] [--queue=N] [--cache-budget-mb=M]
+//               [--deadline-ms=N] [--drain-ms=N] [--io-timeout-ms=N]
+//               [--hold-ms=N] [--events=FILE] [--metrics=FILE]
+//               [--version] [--help]
 //
 // The daemon is crash-only: every ok response is journaled to --store
 // (a PR 6 semap.journal.v1 store keyed by the catalog fingerprint)
@@ -52,14 +53,22 @@ constexpr const char kOptionTable[] =
     "  --workers=N       worker threads (default 2)\n"
     "  --queue=N         admission queue capacity; a full queue sheds\n"
     "                    with SEMAP-E210 (default 8)\n"
+    "  --cache-budget-mb=M\n"
+    "                    compiled-artifact cache budget in MB (fractional\n"
+    "                    allowed, must be > 0); cold scenarios beyond it\n"
+    "                    are evicted and recompile on next touch\n"
+    "                    (default: unbounded)\n"
     "  --deadline-ms=N   default per-request deadline (requests may carry\n"
-    "                    their own)\n"
+    "                    their own; an expired deadline sheds with\n"
+    "                    SEMAP-E213)\n"
     "  --drain-ms=N      drain deadline after SIGINT/SIGTERM; in-flight\n"
     "                    requests past it are cancelled with SEMAP-E212\n"
     "                    (default 2000)\n"
     "  --io-timeout-ms=N per-connection read/write timeout (default 5000)\n"
     "  --hold-ms=N       test hook: hold each computed request N ms\n"
     "  --events=FILE     append wide events as NDJSON (semap.events.v1)\n"
+    "  --metrics=FILE    write semap.metrics.v1 (pipeline metrics merged\n"
+    "                    with the serve.* counters) after a clean drain\n"
     "  --version         print the version and exit\n"
     "  --help            print this table and exit\n"
     "the daemon drains gracefully on SIGINT/SIGTERM (finish or cancel\n"
@@ -82,7 +91,36 @@ bool ParseInt(const char* flag, const char* value, long long* out) {
   char* end = nullptr;
   *out = std::strtoll(value, &end, 10);
   if (end == value || *end != '\0') {
-    std::fprintf(stderr, "error: %s wants an integer, got %s\n", flag, value);
+    std::fprintf(stderr, "error: %s wants an integer, got %s\n%s", flag,
+                 value, kOptionTable);
+    return false;
+  }
+  return true;
+}
+
+/// Positive integers (--workers, --queue): zero or negative values are a
+/// usage error with the same contract as an unparsable one — coded
+/// message plus the option table, exit 2 — never a silent exit.
+bool ParsePositiveInt(const char* flag, const char* value, long long* out) {
+  if (!ParseInt(flag, value, out)) return false;
+  if (*out < 1) {
+    std::fprintf(stderr, "error: %s wants a positive integer, got %s\n%s",
+                 flag, value, kOptionTable);
+    return false;
+  }
+  return true;
+}
+
+/// --cache-budget-mb: a positive megabyte count, fractional allowed (the
+/// shipped example scenarios compile to tens of KB, so sub-MB budgets
+/// are how tests and smoke drills force eviction).
+bool ParsePositiveMb(const char* flag, const char* value, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !(*out > 0)) {
+    std::fprintf(stderr,
+                 "error: %s wants a positive number of megabytes, got %s\n%s",
+                 flag, value, kOptionTable);
     return false;
   }
   return true;
@@ -104,7 +142,9 @@ int main(int argc, char** argv) {
 
   serve::ServerOptions opts;
   std::string events_path;
+  std::string metrics_path;
   long long value = 0;
+  double mb = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--catalog=", 10) == 0) {
       opts.catalog_dir = argv[i] + 10;
@@ -116,11 +156,15 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--store=", 8) == 0) {
       opts.store_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
-      if (!ParseInt("--workers", argv[i] + 10, &value) || value < 1) return 2;
+      if (!ParsePositiveInt("--workers", argv[i] + 10, &value)) return 2;
       opts.workers = static_cast<size_t>(value);
     } else if (std::strncmp(argv[i], "--queue=", 8) == 0) {
-      if (!ParseInt("--queue", argv[i] + 8, &value) || value < 1) return 2;
+      if (!ParsePositiveInt("--queue", argv[i] + 8, &value)) return 2;
       opts.queue_capacity = static_cast<size_t>(value);
+    } else if (std::strncmp(argv[i], "--cache-budget-mb=", 18) == 0) {
+      if (!ParsePositiveMb("--cache-budget-mb", argv[i] + 18, &mb)) return 2;
+      opts.cache_budget_bytes = static_cast<size_t>(mb * 1024.0 * 1024.0);
+      if (opts.cache_budget_bytes == 0) opts.cache_budget_bytes = 1;
     } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       if (!ParseInt("--deadline-ms", argv[i] + 14, &value)) return 2;
       opts.default_deadline_ms = value;
@@ -135,6 +179,8 @@ int main(int argc, char** argv) {
       opts.request_hold_ms = value;
     } else if (std::strncmp(argv[i], "--events=", 9) == 0) {
       events_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
     } else {
       std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
                    kOptionTable);
@@ -194,6 +240,18 @@ int main(int argc, char** argv) {
   if (!served.ok()) {
     std::fprintf(stderr, "error: %s\n", served.ToString().c_str());
     return 1;
+  }
+  if (!metrics_path.empty()) {
+    const std::string metrics = (*server)->MetricsJson();
+    FILE* out = std::fopen(metrics_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::fwrite(metrics.data(), 1, metrics.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
   }
   std::printf("drained cleanly\n");
   return 0;
