@@ -12,6 +12,13 @@
 // "serve" section; the cached/cold gap is the baseline evidence that
 // repeat traffic skips recompilation.
 //
+// A third closed-loop phase prices the observability layer: a second
+// server with a live --events stream (one lifecycle record per request)
+// serves the same warmed cached traffic, and the per-chunk median time
+// ratio of interleaved A/B bursts lands in "events_overhead" — the
+// number the CI guard holds under a few percent so per-request tracing
+// stays effectively free on the cached path.
+//
 // The open-loop saturation mode (--open-loop=Q1,Q2,...) finds the knee
 // of the QPS/latency curve instead: N client threads offer requests at
 // a FIXED rate regardless of completions (arrivals do not slow down
@@ -39,6 +46,7 @@
 #include <unistd.h>
 
 #include "bench_common.h"
+#include "obs/events.h"
 #include "rewriting/semantic_mapper.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -53,7 +61,11 @@ constexpr const char kOptionTable[] =
     "  --cold=N          bypass-cache requests in the cold phase\n"
     "                    (default 16)\n"
     "  --cached=N        repeat-traffic requests in the cached phase\n"
-    "                    (default 128)\n"
+    "                    (default 128; the events-overhead phase reuses\n"
+    "                    this count against a second, event-emitting\n"
+    "                    server)\n"
+    "  --no-events-overhead\n"
+    "                    skip the events-overhead phase\n"
     "  --workers=N       server worker threads (default 2)\n"
     "  --queue=N         admission queue capacity (default 64)\n"
     "  --cache-budget-mb=M\n"
@@ -90,6 +102,16 @@ int64_t Percentile(std::vector<int64_t>& sorted_ns, double p) {
   return sorted_ns[index];
 }
 
+/// Total wall-clock for `count` sequential cached requests — one burst
+/// of the interleaved A/B overhead measurement. With `reuse_id` every
+/// request carries `id_prefix` verbatim, so after the first answer the
+/// whole burst rides the idempotent-replay path: journaled bytes back,
+/// no store append, no fsync — the quietest request the server can
+/// serve, and the one on which a microsecond-scale cost is measurable.
+Result<int64_t> TimedBurst(int port, const std::string& scenario,
+                           size_t count, const std::string& id_prefix,
+                           bool reuse_id = false);
+
 /// One request round trip over a fresh connection, like semap_call:
 /// dial, frame, read the response, check status ok.
 Status OneRequest(int port, const std::string& id, const std::string& scenario,
@@ -110,6 +132,20 @@ Status OneRequest(int port, const std::string& id, const std::string& scenario,
     return Status::Internal("request " + id + " not ok: " + *response);
   }
   return Status::OK();
+}
+
+Result<int64_t> TimedBurst(int port, const std::string& scenario,
+                           size_t count, const std::string& id_prefix,
+                           bool reuse_id) {
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < count; ++i) {
+    SEMAP_RETURN_NOT_OK(OneRequest(
+        port, reuse_id ? id_prefix : id_prefix + std::to_string(i), scenario,
+        false));
+  }
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 Result<PhaseResult> RunPhase(const std::string& name, int port,
@@ -298,6 +334,7 @@ int main(int argc, char** argv) {
   int64_t open_duration_ms = 2000;
   size_t clients = 8;
   int64_t deadline_ms = 1000;
+  bool events_overhead = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--version") == 0) {
       std::printf("bench_serve %s\n", kSemapVersion);
@@ -342,6 +379,8 @@ int main(int argc, char** argv) {
       clients = static_cast<size_t>(std::atoll(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       deadline_ms = std::atoll(argv[i] + 14);
+    } else if (std::strcmp(argv[i], "--no-events-overhead") == 0) {
+      events_overhead = false;
     } else {
       std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
                    bench::kOptionTable);
@@ -413,6 +452,148 @@ int main(int argc, char** argv) {
     phases.push_back(std::move(*phase));
   }
 
+  // The events-overhead phase: a second server over the same catalog,
+  // identical knobs plus a live event stream. Both sides are measured
+  // in alternating bursts (A/B interleaved against the events-off
+  // server) so clock drift, CPU frequency shifts, and page-cache
+  // weather cancel out of the comparison — what is left prices one
+  // lifecycle record per request: fields rendered, line appended under
+  // the emitter mutex. The record is identical for every outcome, so
+  // it is priced on the idempotent-replay path (one reused id, no
+  // journal fsync in the loop) where microseconds are visible, and
+  // then expressed against the cached phase's real p50 — the latency a
+  // cached-path caller actually experiences.
+  double qps_events_off = 0.0;
+  double qps_events_on = 0.0;
+  double events_overhead_ns = 0.0;
+  double events_overhead_pct = 0.0;
+  if (events_overhead) {
+    const std::string events_store_path =
+        (std::filesystem::temp_directory_path() /
+         ("semap_bench_serve_" + std::to_string(getpid()) + ".ev.journal"))
+            .string();
+    const std::string events_path =
+        (std::filesystem::temp_directory_path() /
+         ("semap_bench_serve_" + std::to_string(getpid()) + ".events.ndjson"))
+            .string();
+    std::filesystem::remove(events_store_path, ec);
+    obs::EventEmitter emitter(events_path);
+    serve::ServerOptions ev_opts;
+    ev_opts.catalog_dir = catalog_dir;
+    ev_opts.tcp_port = 0;
+    ev_opts.workers = workers;
+    ev_opts.queue_capacity = queue_capacity;
+    ev_opts.cache_budget_bytes =
+        cache_budget_mb > 0
+            ? static_cast<size_t>(cache_budget_mb * 1024.0 * 1024.0)
+            : 0;
+    ev_opts.store_path = events_store_path;
+    ev_opts.events = &emitter;
+    auto ev_server = serve::Server::Start(std::move(ev_opts));
+    if (!ev_server.ok()) {
+      std::fprintf(stderr, "error: cannot start events server: %s\n",
+                   ev_server.status().ToString().c_str());
+      stop = true;
+      serve_thread.join();
+      return 1;
+    }
+    const int ev_port = (*ev_server)->tcp_port();
+    std::atomic<bool> ev_stop{false};
+    std::thread ev_thread(
+        [&ev_server, &ev_stop] { (void)(*ev_server)->Serve(ev_stop); });
+    Status ev_verdict = bench::OneRequest(ev_port, "warmup", scenario, false);
+    if (ev_verdict.ok()) {
+      constexpr size_t kChunks = 16;
+      const size_t per_chunk = std::max<size_t>(
+          4, std::max<size_t>(cached_requests, 256) / kChunks);
+      // Uncounted pre-bursts park both servers in steady state (accept
+      // loop hot) and journal the one id each side will replay for the
+      // rest of the phase, so every measured request is a pure replay.
+      if (auto warm =
+              bench::TimedBurst(port, scenario, per_chunk, "ovoff", true);
+          !warm.ok()) {
+        ev_verdict = warm.status();
+      }
+      if (ev_verdict.ok()) {
+        if (auto warm =
+                bench::TimedBurst(ev_port, scenario, per_chunk, "ovon", true);
+            !warm.ok()) {
+          ev_verdict = warm.status();
+        }
+      }
+      int64_t off_ns = 0;
+      int64_t on_ns = 0;
+      std::vector<double> chunk_delta_ns;
+      size_t measured = 0;
+      for (size_t chunk = 0; chunk < kChunks && ev_verdict.ok(); ++chunk) {
+        // Alternate which server goes first: any within-pair drift
+        // (writeback kicking in, frequency scaling) would otherwise tax
+        // whichever side always ran second.
+        const bool off_first = chunk % 2 == 0;
+        int64_t chunk_off_ns = 0;
+        int64_t chunk_on_ns = 0;
+        for (int leg = 0; leg < 2; ++leg) {
+          const bool is_off = (leg == 0) == off_first;
+          auto burst = bench::TimedBurst(is_off ? port : ev_port, scenario,
+                                         per_chunk, is_off ? "ovoff" : "ovon",
+                                         true);
+          if (!burst.ok()) {
+            ev_verdict = burst.status();
+            break;
+          }
+          (is_off ? chunk_off_ns : chunk_on_ns) += *burst;
+        }
+        if (!ev_verdict.ok()) break;
+        off_ns += chunk_off_ns;
+        on_ns += chunk_on_ns;
+        chunk_delta_ns.push_back(static_cast<double>(chunk_on_ns -
+                                                     chunk_off_ns) /
+                                 static_cast<double>(per_chunk));
+        measured += per_chunk;
+      }
+      if (ev_verdict.ok() && off_ns > 0 && on_ns > 0) {
+        qps_events_off =
+            static_cast<double>(measured) / (static_cast<double>(off_ns) / 1e9);
+        qps_events_on =
+            static_cast<double>(measured) / (static_cast<double>(on_ns) / 1e9);
+        // The MEDIAN of the per-chunk per-request deltas is the cost of
+        // one lifecycle record: a single scheduler hiccup moves one
+        // sample, not the answer. The headline percentage divides that
+        // cost by the cached phase's measured p50 — what a cached-path
+        // caller (journal fsync and all) actually pays on top of each
+        // request — rather than by the replay latency it was measured
+        // on, which would overstate it several-fold.
+        std::sort(chunk_delta_ns.begin(), chunk_delta_ns.end());
+        if (!chunk_delta_ns.empty()) {
+          const size_t mid = chunk_delta_ns.size() / 2;
+          events_overhead_ns =
+              chunk_delta_ns.size() % 2 == 1
+                  ? chunk_delta_ns[mid]
+                  : (chunk_delta_ns[mid - 1] + chunk_delta_ns[mid]) / 2.0;
+        }
+        int64_t cached_p50_ns = 0;
+        for (const bench::PhaseResult& phase : phases) {
+          if (phase.name == "cached") cached_p50_ns = phase.p50_ns;
+        }
+        if (cached_p50_ns > 0) {
+          events_overhead_pct =
+              events_overhead_ns / static_cast<double>(cached_p50_ns) * 100.0;
+        }
+      }
+    }
+    ev_stop = true;
+    ev_thread.join();
+    std::filesystem::remove(events_store_path, ec);
+    std::filesystem::remove(events_path, ec);
+    if (!ev_verdict.ok()) {
+      std::fprintf(stderr, "error: events-overhead phase failed: %s\n",
+                   ev_verdict.ToString().c_str());
+      stop = true;
+      serve_thread.join();
+      return 1;
+    }
+  }
+
   // The open-loop sweep: every catalog scenario in round-robin at each
   // offered-QPS point, after the closed-loop phases so their cached
   // results do not interfere (open-loop traffic bypasses the result
@@ -444,6 +625,12 @@ int main(int argc, char** argv) {
               "recompilation)\n",
               static_cast<unsigned long long>(stats.served),
               static_cast<unsigned long long>(stats.cache_hits));
+  if (events_overhead) {
+    std::printf("events overhead: %.1f qps off, %.1f qps on (replay path); "
+                "%.2fus per record = %.2f%% of cached p50\n",
+                qps_events_off, qps_events_on, events_overhead_ns / 1e3,
+                events_overhead_pct);
+  }
   for (const bench::OpenLoopResult& point : open_loop_points) {
     std::printf("open-loop %7.1f qps offered: %5zu sent, %5zu ok "
                 "(%.1f goodput qps), %zu rejected (shed rate %.2f), "
@@ -473,6 +660,16 @@ int main(int argc, char** argv) {
   serve_json += "\n    ],\n    \"served\": " + std::to_string(stats.served) +
                 ",\n    \"cache_hits\": " + std::to_string(stats.cache_hits) +
                 ",\n    \"shed\": " + std::to_string(stats.shed);
+  if (events_overhead) {
+    serve_json += ",\n    \"events_overhead\": {\"requests\": " +
+                  std::to_string(cached_requests) +
+                  ", \"qps_events_off\": " + std::to_string(qps_events_off) +
+                  ", \"qps_events_on\": " + std::to_string(qps_events_on) +
+                  ", \"overhead_ns_per_request\": " +
+                  std::to_string(events_overhead_ns) +
+                  ", \"overhead_pct\": " + std::to_string(events_overhead_pct) +
+                  "}";
+  }
   if (!open_loop_points.empty()) {
     serve_json += ",\n    \"deadline_shed\": " +
                   std::to_string(stats.deadline_shed) +

@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Validate semap observability exports against their published shapes.
 
-Usage: check_obs_json.py [--require-counters=a,b,c] PATH [PATH...]
+Usage: check_obs_json.py [--require-counters=a,b,c]
+                         [--require-histograms=a,b,c] PATH [PATH...]
 
 --require-counters names counters that MUST be present in every
 semap.metrics.v1 file checked (a served run must export its serve.*
-taxonomy, for example); it has no effect on the other formats.
+taxonomy, for example); --require-histograms does the same for the
+latency histograms (a served run must export serve.queue_wait_ns and
+friends). Neither has any effect on the other formats.
 
 Each PATH is one export file; the schema tag inside the file selects the
 check, so callers don't have to say which format a file is:
@@ -18,7 +21,11 @@ check, so callers don't have to say which format a file is:
                     rejections; every emitted derivation names its TGD
   semap.events.v1   NDJSON, one event object per line with a
                     strictly increasing seq; a torn final line (crash
-                    mid-write) is tolerated and reported, not fatal
+                    mid-write) is tolerated and reported, not fatal.
+                    "request" events are the serve lifecycle records
+                    (docs/OBSERVABILITY.md) and are additionally held
+                    to their published shape: a non-empty outcome and
+                    non-negative stage durations
   semap.journal.v1  the crash-safe mapping-store journal
                     (docs/FORMATS.md): a CRC32-stamped header line, then
                     length-prefixed `R <lsn> <type> <length> <crc32>`
@@ -79,7 +86,7 @@ def check_trace(path, doc):
     return 0
 
 
-def check_metrics(path, doc, required=()):
+def check_metrics(path, doc, required=(), required_hists=()):
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         return fail(path, "missing 'counters' object")
@@ -101,6 +108,26 @@ def check_metrics(path, doc, required=()):
             if not is_count(hist.get(key)):
                 return fail(path, f"histogram {name!r}.{key} is not a "
                                   f"non-negative integer")
+        buckets = hist.get("buckets", [])
+        if not isinstance(buckets, list):
+            return fail(path, f"histogram {name!r}.buckets is not an array")
+        in_buckets = 0
+        for i, bucket in enumerate(buckets):
+            if not isinstance(bucket, dict) or \
+                    not is_count(bucket.get("count")) or \
+                    not (is_count(bucket.get("le_ns"))
+                         or bucket.get("le_ns") == "inf"):
+                return fail(path, f"histogram {name!r}.buckets[{i}] "
+                                  "malformed (need le_ns int or \"inf\", "
+                                  "count int)")
+            in_buckets += bucket["count"]
+        if buckets and in_buckets != hist["count"]:
+            return fail(path, f"histogram {name!r} bucket counts sum to "
+                              f"{in_buckets}, not count={hist['count']}")
+    missing = [name for name in required_hists if name not in histograms]
+    if missing:
+        return fail(path, "required histogram(s) missing: "
+                          + ", ".join(missing))
     print(f"{path}: ok (metrics, {len(counters)} counter(s), "
           f"{len(histograms)} histogram(s))")
     return 0
@@ -151,6 +178,24 @@ def check_explain(path, doc):
     return 0
 
 
+def check_request_event(path, i, event):
+    """One serve lifecycle record: an outcome naming how the request
+    ended, and whichever stage durations were measured (absent stages
+    are omitted, never negative)."""
+    if not isinstance(event.get("outcome"), str) or not event["outcome"]:
+        return fail(path, f"line {i + 1}: request event missing 'outcome'")
+    for key in ("queue_depth", "queue_ns", "compile_ns", "pipeline_ns",
+                "journal_ns", "handle_ns", "respond_ns", "attempt"):
+        if key in event and not is_count(event[key]):
+            return fail(path, f"line {i + 1}: request event {key} is not "
+                              f"a non-negative integer: {event[key]!r}")
+    for key in ("id", "op", "scenario", "trace_id", "code"):
+        if key in event and not isinstance(event[key], str):
+            return fail(path, f"line {i + 1}: request event {key} is not "
+                              f"a string: {event[key]!r}")
+    return 0
+
+
 def check_events(path, text):
     """NDJSON stream check. The final line may be torn (the writer was
     killed mid-append); that is tolerated but counted and reported."""
@@ -161,6 +206,7 @@ def check_events(path, text):
         return fail(path, "empty event stream")
     last_seq = -1
     torn = 0
+    requests = 0
     for i, line in enumerate(lines):
         try:
             event = json.loads(line)
@@ -185,8 +231,14 @@ def check_events(path, text):
         last_seq = event["seq"]
         if not is_count(event.get("ts_ns")):
             return fail(path, f"line {i + 1} missing 'ts_ns'")
+        if event["event"] == "request":
+            rc = check_request_event(path, i, event)
+            if rc:
+                return rc
+            requests += 1
     suffix = ", torn final line tolerated" if torn else ""
-    print(f"{path}: ok (events, {len(lines) - torn} event(s){suffix})")
+    print(f"{path}: ok (events, {len(lines) - torn} event(s), "
+          f"{requests} lifecycle record(s){suffix})")
     return 0
 
 
@@ -268,7 +320,7 @@ def check_journal(path):
     return 0
 
 
-def check(path, required=()):
+def check(path, required=(), required_hists=()):
     # The journal is a framed byte format whose payloads need not be
     # UTF-8 — sniff and dispatch it before any text decode.
     try:
@@ -301,7 +353,7 @@ def check(path, required=()):
     if schema == "semap.trace.v1":
         return check_trace(path, doc)
     if schema == "semap.metrics.v1":
-        return check_metrics(path, doc, required)
+        return check_metrics(path, doc, required, required_hists)
     if schema == "semap.explain.v1":
         return check_explain(path, doc)
     return fail(path, f"unrecognized schema {schema!r}")
@@ -309,10 +361,14 @@ def check(path, required=()):
 
 def main(argv):
     required = []
+    required_hists = []
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--require-counters="):
             required = [c for c in arg.split("=", 1)[1].split(",") if c]
+        elif arg.startswith("--require-histograms="):
+            required_hists = [c for c in arg.split("=", 1)[1].split(",")
+                              if c]
         elif arg.startswith("--"):
             print(f"unknown option {arg}", file=sys.stderr)
             return 2
@@ -321,7 +377,7 @@ def main(argv):
     if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    return max(check(path, required) for path in paths)
+    return max(check(path, required, required_hists) for path in paths)
 
 
 if __name__ == "__main__":

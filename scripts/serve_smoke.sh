@@ -12,6 +12,7 @@ cd "$(dirname "$0")/.."
 
 serve=build/tools/semap_serve
 call=build/tools/semap_call
+top=build/tools/semap_top
 outdir=build/serve-smoke
 # The socket lives in /tmp: sun_path caps at ~108 bytes and checkout
 # paths on CI runners can blow past it.
@@ -36,11 +37,17 @@ until "$call" --unix="$sock" --op=ping --id=ping > /dev/null 2>&1; do
 done
 
 # A map request, retried with the same id: byte-identical response —
-# the idempotency contract over the live daemon.
+# the idempotency contract over the live daemon. The first attempt
+# carries an explicit trace id and --timing; the client must print its
+# stage split plus the server_timing echo, and the trace id must show
+# up verbatim in the daemon's event stream (checked after the drain).
 "$call" --unix="$sock" --op=map --scenario=bookstore --id=r1 \
-  > "$outdir/map1.json"
+  --trace-id=smoke-trace-1 --timing \
+  > "$outdir/map1.json" 2> "$outdir/timing.txt"
+grep -q 'trace=smoke-trace-1' "$outdir/timing.txt"
+grep -q 'handle' "$outdir/timing.txt"
 "$call" --unix="$sock" --op=map --scenario=bookstore --id=r1 \
-  > "$outdir/map2.json"
+  --trace-id=smoke-trace-1 > "$outdir/map2.json"
 cmp "$outdir/map1.json" "$outdir/map2.json"
 
 # An explain body sliced out with --body is a complete semap.explain.v1
@@ -66,9 +73,24 @@ wait "$pid"
 trap 'rm -f "$sock"' EXIT
 grep -q 'drained cleanly' "$outdir/serve.log"
 
-# Everything durable validates against its schema.
+# Everything durable validates against its schema — including the
+# shape of every per-request lifecycle record in the event stream.
 python3 scripts/check_obs_json.py "$outdir/store.journal" \
   "$outdir/events.ndjson"
+
+# The event stream tells the phase's story: one lifecycle record per
+# request (ping, map, replayed map, explain, rejected map = 5), the
+# computed/replayed/error outcomes all present, and the client's trace
+# id carried through to its record.
+records=$(grep -c '"event":"request"' "$outdir/events.ndjson")
+[ "$records" -ge 5 ] || {
+  echo "expected >=5 lifecycle records, got $records" >&2
+  exit 1
+}
+grep -q '"outcome":"computed"' "$outdir/events.ndjson"
+grep -q '"outcome":"replayed"' "$outdir/events.ndjson"
+grep -q '"outcome":"error"' "$outdir/events.ndjson"
+grep -q '"trace_id":"smoke-trace-1"' "$outdir/events.ndjson"
 
 # Crash-only restart: the same store, the same request id, the same
 # bytes — and no repair step in between.
@@ -113,7 +135,8 @@ done
 # metrics must carry the serve.* counter taxonomy.
 "$serve" --catalog=examples/data --unix="$sock" \
   --workers=1 --hold-ms=300 --cache-budget-mb=0.01 \
-  --metrics="$outdir/metrics.json" >> "$outdir/serve.log" 2>&1 &
+  --metrics="$outdir/metrics.json" --metrics-interval-ms=100 \
+  >> "$outdir/serve.log" 2>&1 &
 pid=$!
 trap 'kill "$pid" 2>/dev/null; rm -f "$sock"' EXIT
 i=0
@@ -147,11 +170,30 @@ grep -Eq '"artifact_cache_evictions":[1-9]' "$outdir/stats.json" || {
   exit 1
 }
 
+# Live telemetry, mid-load: the stats body embeds the metrics document
+# with the serve latency histograms already populated, the periodic
+# --metrics-interval-ms snapshot is on disk and whole (tmp + rename
+# means we never observe a torn file), and semap_top renders one frame
+# from the same daemon.
+grep -q '"serve.queue_wait_ns"' "$outdir/stats.json"
+grep -q '"serve.e2e_ns.map"' "$outdir/stats.json"
+[ -s "$outdir/metrics.json" ] || {
+  echo "no live metrics snapshot on disk while serving" >&2
+  exit 1
+}
+python3 scripts/check_obs_json.py \
+  --require-histograms=serve.queue_wait_ns,serve.handle_ns,serve.e2e_ns.map \
+  "$outdir/metrics.json"
+"$top" --unix="$sock" --once > "$outdir/top.txt"
+grep -q 'totals:' "$outdir/top.txt"
+grep -q 'serve.e2e_ns.map' "$outdir/top.txt"
+
 kill -TERM "$pid"
 wait "$pid"
 trap 'rm -f "$sock"' EXIT
 python3 scripts/check_obs_json.py \
   --require-counters=serve.cache_hits,serve.cache_misses,serve.cache_evictions,serve.singleflight_leaders,serve.singleflight_followers,serve.deadline_shed \
+  --require-histograms=serve.queue_wait_ns,serve.handle_ns,serve.handle_miss_ns,serve.e2e_ns.map,serve.scenario_e2e_ns.bookstore \
   "$outdir/metrics.json"
 
 echo "serve smoke ok"

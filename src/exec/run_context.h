@@ -15,6 +15,7 @@
 #define SEMAP_EXEC_RUN_CONTEXT_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "obs/events.h"
@@ -40,6 +41,12 @@ struct RunContext {
   obs::ProvenanceRecorder* provenance = nullptr;
   /// Wide-event stream (semap.events.v1); null = disabled (zero cost).
   obs::EventEmitter* events = nullptr;
+  /// Request correlation id (semap.rpc.v1 trace_id) when this run serves
+  /// one request; empty = standalone run. The supervisor stamps it onto
+  /// every unit event it emits, so a served request's pipeline activity
+  /// is attributable in the shared event stream. An empty string costs
+  /// nothing (SSO, never rendered).
+  std::string trace_id;
 
   /// Charge `steps` against the governor; true while work may proceed.
   bool Charge(int64_t steps = 1) const {

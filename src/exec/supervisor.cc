@@ -18,6 +18,15 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Seed a unit event with the run's request correlation id (if any), so
+/// pipeline activity in a shared event stream is attributable to the
+/// semap.rpc.v1 request that caused it.
+obs::WideEvent TracedEvent(const RunContext& ctx) {
+  obs::WideEvent event;
+  if (!ctx.trace_id.empty()) event.Str("trace_id", ctx.trace_id);
+  return event;
+}
+
 /// One dispatched table: the unit of isolation, retry and checkpointing.
 struct Unit {
   std::string table;
@@ -244,7 +253,7 @@ UnitDone RunUnit(const sem::AnnotatedSchema& source,
     done.retry_delays_ms.push_back(delay_ms);
     if (ctx.events != nullptr) {
       ctx.events->Emit("unit_retry",
-                       obs::WideEvent()
+                       TracedEvent(ctx)
                            .Str("table", unit.table)
                            .Int("attempt", static_cast<int64_t>(attempt + 1))
                            .Int("delay_ms", delay_ms));
@@ -303,7 +312,7 @@ void WorkerLoop(const sem::AnnotatedSchema& source,
     if (ctx.events != nullptr) {
       unit_start_ns = ctx.events->NowNs();
       ctx.events->Emit("unit_start",
-                       obs::WideEvent().Str("table", unit.table));
+                       TracedEvent(ctx).Str("table", unit.table));
     }
     UnitDone done =
         RunUnit(source, target, unit, options, base_opts, ctx, shared, watchdog);
@@ -313,7 +322,7 @@ void WorkerLoop(const sem::AnnotatedSchema& source,
     if (ctx.events != nullptr) {
       ctx.events->Emit(
           "unit_done",
-          obs::WideEvent()
+          TracedEvent(ctx)
               .Str("table", unit.table)
               .Str("tier", TierName(done.work.outcome.tier))
               .Int("attempts", static_cast<int64_t>(done.attempts))
@@ -332,7 +341,7 @@ void WorkerLoop(const sem::AnnotatedSchema& source,
       shared->interrupted = true;
       if (ctx.events != nullptr) {
         ctx.events->Emit("unit_interrupted",
-                         obs::WideEvent().Str("table", unit.table));
+                         TracedEvent(ctx).Str("table", unit.table));
       }
       return;
     }

@@ -36,11 +36,19 @@ EventEmitter::EventEmitter(const std::string& path)
 
 void EventEmitter::Emit(std::string_view type, const WideEvent& fields) {
   const int64_t ts = NowNs();
+  // Render everything except the sequence number outside the lock, so
+  // concurrent emitters (serve workers) serialize only on the final
+  // append — the emitter sits on the request path when attached.
+  std::string tail = ",\"ts_ns\":" + std::to_string(ts) + ",\"event\":\"" +
+                     JsonEscape(type) + "\"";
+  tail += fields.body();
+  tail += "}\n";
   std::lock_guard<std::mutex> lock(mu_);
   if (!ok_) return;
-  out_ << "{\"schema\":\"semap.events.v1\",\"seq\":" << seq_++
-       << ",\"ts_ns\":" << ts << ",\"event\":\"" << JsonEscape(type) << "\""
-       << fields.body() << "}\n";
+  std::string line =
+      "{\"schema\":\"semap.events.v1\",\"seq\":" + std::to_string(seq_++);
+  line += tail;
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
   // One flush per line keeps a killed run's prefix on disk; readers must
   // still tolerate a torn final line (the write itself is not atomic).
   out_.flush();

@@ -5,6 +5,7 @@
 namespace semap::obs {
 
 void Metrics::Add(std::string_view name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -14,11 +15,13 @@ void Metrics::Add(std::string_view name, int64_t delta) {
 }
 
 int64_t Metrics::Value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void Metrics::RecordDurationNs(std::string_view name, int64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), Histogram{}).first;
@@ -39,8 +42,15 @@ void Metrics::RecordDurationNs(std::string_view name, int64_t ns) {
 }
 
 void Metrics::MergeFrom(const Metrics& other) {
+  if (&other == this) return;
+  std::scoped_lock lock(mu_, other.mu_);
   for (const auto& [name, value] : other.counters_) {
-    Add(name, value);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      counters_.emplace(name, value);
+    } else {
+      it->second += value;
+    }
   }
   for (const auto& [name, theirs] : other.histograms_) {
     auto it = histograms_.find(name);
@@ -65,7 +75,8 @@ void Metrics::MergeFrom(const Metrics& other) {
   }
 }
 
-std::string Metrics::ToJson() const {
+std::string Metrics::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"schema\":\"semap.metrics.v1\",\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters_) {

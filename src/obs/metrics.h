@@ -11,6 +11,14 @@
 // Disabled metrics cost nothing: a null Metrics* through obs::Count /
 // obs::ScopedTimer (or an empty exec::RunContext) skips the work entirely,
 // without allocating or reading the clock.
+//
+// Thread safety: the mutating and exporting entry points (Add,
+// RecordDurationNs, MergeFrom, Value, ToJson, SnapshotJson) serialize on
+// an internal mutex, so a long-lived Metrics — the serve daemon's rolling
+// latency histograms — can be hammered by worker threads while another
+// thread snapshots it live. The reference accessors (counters(),
+// histograms()) stay lock-free views for single-threaded readers: call
+// them only when no other thread is mutating.
 #ifndef SEMAP_OBS_METRICS_H_
 #define SEMAP_OBS_METRICS_H_
 
@@ -18,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -51,11 +60,13 @@ class Metrics {
 
   /// Fold another Metrics into this one: counters add, histograms merge
   /// bucket-wise. How the supervisor folds each worker unit's private
-  /// metrics back into the run's metrics after the unit completes
-  /// (Metrics itself is not thread-safe; merging happens on the
-  /// supervising thread).
+  /// metrics back into the run's metrics after the unit completes, and
+  /// how the server folds per-request pipeline metrics into its rolling
+  /// telemetry. Locks both sides (deadlock-free via scoped_lock).
   void MergeFrom(const Metrics& other);
 
+  /// Lock-free views for single-threaded readers (tests, the profile
+  /// report); do not call while another thread mutates this Metrics.
   const std::map<std::string, int64_t, std::less<>>& counters() const {
     return counters_;
   }
@@ -65,9 +76,15 @@ class Metrics {
 
   /// Flat metrics table as JSON:
   /// {"schema":"semap.metrics.v1","counters":{...},"histograms":{...}}.
-  std::string ToJson() const;
+  /// Safe to call while other threads Add/Record concurrently — this is
+  /// how a running daemon exports live telemetry mid-load.
+  std::string SnapshotJson() const;
+
+  /// Alias for SnapshotJson, kept for the established export call sites.
+  std::string ToJson() const { return SnapshotJson(); }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, int64_t, std::less<>> counters_;
   std::map<std::string, Histogram, std::less<>> histograms_;
 };

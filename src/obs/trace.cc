@@ -159,7 +159,11 @@ std::string Tracer::ToJson() const {
       children[static_cast<size_t>(s.parent)].push_back(s.id);
     }
   }
-  std::string out = "{\"schema\":\"semap.trace.v1\",\"spans\":[";
+  std::string out = "{\"schema\":\"semap.trace.v1\",";
+  if (!trace_id_.empty()) {
+    out += "\"trace_id\":\"" + JsonEscape(trace_id_) + "\",";
+  }
+  out += "\"spans\":[";
   for (size_t i = 0; i < roots.size(); ++i) {
     if (i > 0) out += ",";
     EmitSpan(spans_, children, roots[i], &out);

@@ -84,6 +84,13 @@ class Tracer {
   /// Open a span as a child of the innermost open span.
   Span StartSpan(std::string_view name);
 
+  /// Request-scoped correlation id (the semap.rpc.v1 trace_id when this
+  /// tracer records a served request); empty = standalone run. Rendered
+  /// into the ToJson root so a trace document is joinable against the
+  /// server's event stream and the client's --timing output.
+  void set_trace_id(std::string_view id) { trace_id_ = id; }
+  const std::string& trace_id() const { return trace_id_; }
+
   const std::vector<SpanRecord>& spans() const { return spans_; }
 
   /// Number of (open or closed) spans named `name`.
@@ -121,6 +128,7 @@ class Tracer {
 
   void EndSpan(int id);
 
+  std::string trace_id_;
   Clock::time_point epoch_;
   std::vector<SpanRecord> spans_;
   std::vector<int> open_;  // ids of open spans, innermost last

@@ -130,15 +130,62 @@ Result<Request> ParseRequest(std::string_view payload) {
   request.deadline_ms = parsed->GetInt("deadline_ms", -1);
   request.priority = parsed->GetInt("priority", 0);
   request.cache_bypass = parsed->GetString("cache") == "bypass";
+  // Optional trace context: absent fields leave the defaults (untraced),
+  // so pre-tracing clients keep working unchanged.
+  request.trace_id = parsed->GetString("trace_id");
+  request.attempt = parsed->GetInt("attempt", 0);
+  if (request.attempt < 0) {
+    return Status::InvalidArgument("\"attempt\" must be >= 0");
+  }
   return request;
 }
 
+namespace {
+
+/// ',"trace_id":"...","attempt":N,"server_timing":{...}' — or nothing at
+/// all for an untraced request. Every value is either JSON-escaped or an
+/// integer, so the `,"body":` slice marker cannot appear inside.
+std::string MetaFields(const ResponseMeta& meta) {
+  if (meta.trace_id.empty()) return std::string();
+  std::string out = ",\"trace_id\":\"";
+  out += obs::JsonEscape(meta.trace_id);
+  out += "\",\"attempt\":";
+  out += std::to_string(meta.attempt);
+  out += ",\"server_timing\":{";
+  bool first = true;
+  auto stage = [&](const char* name, int64_t ns) {
+    if (ns < 0) return;
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(ns);
+  };
+  stage("queue_ns", meta.queue_ns);
+  stage("compile_ns", meta.compile_ns);
+  stage("pipeline_ns", meta.pipeline_ns);
+  stage("journal_ns", meta.journal_ns);
+  stage("handle_ns", meta.handle_ns);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
 std::string OkResponse(const std::string& id, std::string_view body_json) {
+  return OkResponse(id, ResponseMeta{}, body_json);
+}
+
+std::string OkResponse(const std::string& id, const ResponseMeta& meta,
+                       std::string_view body_json) {
   std::string out = "{\"schema\":\"";
   out += kRpcSchema;
   out += "\",\"id\":\"";
   out += obs::JsonEscape(id);
-  out += "\",\"status\":\"ok\",\"code\":\"\",\"detail\":\"\",\"body\":";
+  out += "\",\"status\":\"ok\",\"code\":\"\",\"detail\":\"\"";
+  out += MetaFields(meta);
+  out += ",\"body\":";
   out.append(body_json.data(), body_json.size());
   out += "}";
   return out;
@@ -146,6 +193,12 @@ std::string OkResponse(const std::string& id, std::string_view body_json) {
 
 std::string ErrorResponse(const std::string& id, std::string_view status,
                           std::string_view code, std::string_view detail) {
+  return ErrorResponse(id, status, code, detail, ResponseMeta{});
+}
+
+std::string ErrorResponse(const std::string& id, std::string_view status,
+                          std::string_view code, std::string_view detail,
+                          const ResponseMeta& meta) {
   std::string out = "{\"schema\":\"";
   out += kRpcSchema;
   out += "\",\"id\":\"";
@@ -156,7 +209,9 @@ std::string ErrorResponse(const std::string& id, std::string_view status,
   out.append(code.data(), code.size());
   out += "\",\"detail\":\"";
   out += obs::JsonEscape(std::string(detail));
-  out += "\",\"body\":{}}";
+  out += "\"";
+  out += MetaFields(meta);
+  out += ",\"body\":{}}";
   return out;
 }
 

@@ -32,6 +32,19 @@
 // LAST member and holds the op's result verbatim — an explain body is a
 // complete semap.explain.v1 document, so a client can slice it out
 // byte-exactly and feed it to semap_explain or check_obs_json.py.
+//
+// Tracing (optional, both directions): a request may carry `trace_id`
+// (an opaque correlation id the client mints) and `attempt` (0-based,
+// incremented per retry of the same id). A server that understands them
+// echoes both in the envelope — between `detail` and `body` — together
+// with a `server_timing` object of per-stage nanosecond durations, so
+// the client's --timing view and the server's --events stream join on
+// the id. Both sides tolerate the fields' absence: an old client never
+// sends them (and gets the old envelope byte-for-byte), an old server
+// ignores unknown request members. Note the idempotency consequence: a
+// replayed id returns the journaled envelope verbatim, so its trace
+// echo and timings are the ORIGINAL attempt's — by design, since the
+// replay's cost is the lookup, not the work it describes.
 #ifndef SEMAP_SERVE_PROTOCOL_H_
 #define SEMAP_SERVE_PROTOCOL_H_
 
@@ -85,18 +98,49 @@ struct Request {
   /// "cache":"bypass" — recompute even when a cached result exists (the
   /// bench uses this to measure discovery latency under load).
   bool cache_bypass = false;
+  /// Optional client-minted correlation id; empty = untraced request
+  /// (the envelope then carries no trace echo and no server_timing).
+  std::string trace_id;
+  /// 0-based retry attempt for this id; retries reuse the trace_id and
+  /// increment this, so the server's event stream shows the whole story.
+  int64_t attempt = 0;
 };
 
 /// Parse and validate one request payload. InvalidArgument explains
 /// what's missing or mistyped (the server relays it as E201).
 Result<Request> ParseRequest(std::string_view payload);
 
+/// Per-request trace echo + server-side stage durations, rendered into
+/// the envelope between `detail` and `body` when the request carried a
+/// trace_id. Stages < 0 were not reached and are omitted. The envelope's
+/// numbers are measured up to the moment the response is rendered (they
+/// must be inside the journaled bytes), so `journal_ns` here covers the
+/// result-cache append only; the server's --events lifecycle record is
+/// the authoritative full accounting.
+struct ResponseMeta {
+  std::string trace_id;
+  int64_t attempt = 0;
+  int64_t queue_ns = -1;     ///< admission → worker dispatch
+  int64_t compile_ns = -1;   ///< artifact acquire (≈0 on a cache hit)
+  int64_t pipeline_ns = -1;  ///< supervised discovery run
+  int64_t journal_ns = -1;   ///< durable result-cache append
+  int64_t handle_ns = -1;    ///< dispatch → response rendered
+};
+
 /// Response envelopes. `body_json` must be a complete JSON value; it is
-/// spliced in verbatim as the final member.
+/// spliced in verbatim as the final member. The `meta` overloads add the
+/// trace echo and `server_timing` when meta.trace_id is non-empty, and
+/// render the plain envelope (byte-identical to the no-meta overload)
+/// when it is empty — the untraced wire format never changes.
 std::string OkResponse(const std::string& id, std::string_view body_json);
+std::string OkResponse(const std::string& id, const ResponseMeta& meta,
+                       std::string_view body_json);
 /// `status` is "reject" (admission/drain decisions) or "error".
 std::string ErrorResponse(const std::string& id, std::string_view status,
                           std::string_view code, std::string_view detail);
+std::string ErrorResponse(const std::string& id, std::string_view status,
+                          std::string_view code, std::string_view detail,
+                          const ResponseMeta& meta);
 
 }  // namespace semap::serve
 

@@ -32,6 +32,12 @@ int64_t ElapsedMs(Clock::time_point start) {
       .count();
 }
 
+int64_t NsSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start)
+      .count();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Server>> Server::Start(ServerOptions opts) {
@@ -83,12 +89,40 @@ Server::~Server() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  if (snapshot_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      snapshot_stop_ = true;
+    }
+    snapshot_cv_.notify_all();
+    snapshot_thread_.join();
+  }
   if (listener_ != nullptr) (void)listener_->Close();
 }
 
 Status Server::Serve(const std::atomic<bool>& stop) {
   for (size_t i = 0; i < std::max<size_t>(opts_.workers, 1); ++i) {
     workers_.emplace_back(&Server::WorkerLoop, this);
+  }
+
+  // Live telemetry: rewrite the snapshot file on a cadence so a kill -9
+  // loses at most one interval of observability (the file itself is
+  // always a complete document — tmp+fsync+rename).
+  if (!opts_.metrics_path.empty() && opts_.metrics_interval_ms > 0) {
+    snapshot_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(snapshot_mu_);
+      while (!snapshot_stop_) {
+        snapshot_cv_.wait_for(
+            lock, std::chrono::milliseconds(opts_.metrics_interval_ms),
+            [this] { return snapshot_stop_; });
+        if (snapshot_stop_) break;
+        lock.unlock();
+        // Best-effort per tick; the post-drain final write is the one
+        // whose failure callers surface.
+        (void)WriteMetricsSnapshot();
+        lock.lock();
+      }
+    });
   }
 
   Status verdict = Status::OK();
@@ -124,19 +158,20 @@ Status Server::Serve(const std::atomic<bool>& stop) {
     }
     // Admission control: the queue is full, so the answer is an explicit
     // coded reject written right here on the acceptor thread — cheap,
-    // bounded, and never silent.
+    // bounded, and never silent. The request was never read, so its
+    // lifecycle record carries the shed decision and the queue depth,
+    // nothing else.
     shed_.fetch_add(1, std::memory_order_relaxed);
-    if (opts_.events != nullptr) {
-      opts_.events->Emit("request_shed",
-                         obs::WideEvent().Int("queue_depth",
-                                              static_cast<int64_t>(
-                                                  opts_.queue_capacity)));
-    }
+    Lifecycle lc;
+    lc.outcome = "shed";
+    lc.code = kErrOverloaded;
+    lc.queue_depth = static_cast<int64_t>(opts_.queue_capacity);
     (void)WriteFrame(**conn,
                      ErrorResponse("", "reject", kErrOverloaded,
                                    "server overloaded: admission queue is "
                                    "full, retry with backoff"));
     (void)(*conn)->Close();
+    FinishRequest(lc);
   }
 
   // Drain: stop accepting (the listener is done), let queued connections
@@ -171,6 +206,14 @@ Status Server::Serve(const std::atomic<bool>& stop) {
   queue_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
+  if (snapshot_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      snapshot_stop_ = true;
+    }
+    snapshot_cv_.notify_all();
+    snapshot_thread_.join();
+  }
   (void)listener_->Close();
   if (opts_.events != nullptr) {
     opts_.events->Emit(
@@ -214,7 +257,8 @@ void Server::HandleConn(QueuedConn queued) {
     // The first request's deadline clock starts when the acceptor
     // admitted the connection — queue wait counts against the caller's
     // patience; later frames on the same connection start now.
-    const TimePoint start = first_frame ? queued.admitted : Clock::now();
+    const TimePoint dispatched = Clock::now();
+    const TimePoint start = first_frame ? queued.admitted : dispatched;
     first_frame = false;
     if (!payload.ok()) {
       if (payload.status().code() == StatusCode::kNotFound) break;  // EOF
@@ -225,25 +269,53 @@ void Server::HandleConn(QueuedConn queued) {
         (void)WriteFrame(*conn,
                          ErrorResponse("", "error", kErrBadFrame,
                                        payload.status().message()));
+        Lifecycle lc;
+        lc.outcome = "bad_frame";
+        lc.code = kErrBadFrame;
+        FinishRequest(lc);
       }
       break;
     }
 
+    Lifecycle lc;
+    lc.queue_ns = std::max<int64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dispatched -
+                                                             start)
+            .count(),
+        0);
     std::string response;
     auto request = ParseRequest(*payload);
     if (!request.ok()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
+      lc.outcome = "bad_request";
+      lc.code = kErrBadRequest;
       response = ErrorResponse("", "error", kErrBadRequest,
                                request.status().message());
     } else if (draining_.load(std::memory_order_relaxed)) {
       // Popped after the drain began: this request never started, so it
       // is rejected, not cancelled.
+      lc.id = request->id;
+      lc.op = request->op;
+      lc.scenario = request->scenario;
+      lc.trace_id = request->trace_id;
+      lc.attempt = request->attempt;
+      lc.outcome = "drain_rejected";
+      lc.code = kErrDraining;
+      ResponseMeta meta;
+      meta.trace_id = request->trace_id;
+      meta.attempt = request->attempt;
+      meta.queue_ns = lc.queue_ns;
       response = ErrorResponse(request->id, "reject", kErrDraining,
-                               "server is draining, retry elsewhere");
+                               "server is draining, retry elsewhere", meta);
     } else {
-      response = HandleRequest(*request, start);
+      response = HandleRequest(*request, start, &lc);
     }
-    if (!WriteFrame(*conn, response).ok()) {
+    if (lc.handle_ns < 0) lc.handle_ns = NsSince(dispatched);
+    const TimePoint respond_start = Clock::now();
+    const bool wrote = WriteFrame(*conn, response).ok();
+    lc.respond_ns = NsSince(respond_start);
+    FinishRequest(lc);
+    if (!wrote) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
@@ -252,40 +324,56 @@ void Server::HandleConn(QueuedConn queued) {
   (void)conn->Close();
 }
 
-std::string Server::HandleRequest(const Request& request, TimePoint start) {
-  if (opts_.events != nullptr) {
-    opts_.events->Emit("request_start",
-                       obs::WideEvent()
-                           .Str("id", request.id)
-                           .Str("op", request.op)
-                           .Str("scenario", request.scenario)
-                           .Int("priority", request.priority)
-                           .Int("deadline_ms", request.deadline_ms));
-  }
+std::string Server::HandleRequest(const Request& request, TimePoint start,
+                                  Lifecycle* lc) {
+  const TimePoint dispatched = Clock::now();
+  lc->id = request.id;
+  lc->op = request.op;
+  lc->scenario = request.scenario;
+  lc->trace_id = request.trace_id;
+  lc->attempt = request.attempt;
+  // The trace echo rendered into the envelope. MetaFields renders
+  // nothing when the request carried no trace_id, so untraced envelopes
+  // stay byte-for-byte what pre-tracing servers produced.
+  ResponseMeta meta;
+  meta.trace_id = request.trace_id;
+  meta.attempt = request.attempt;
+  meta.queue_ns = lc->queue_ns;
+
   if (request.op == "ping") {
-    return OkResponse(request.id, "{\"pong\":true}");
+    lc->outcome = "ok";
+    meta.handle_ns = lc->handle_ns = NsSince(dispatched);
+    return OkResponse(request.id, meta, "{\"pong\":true}");
   }
   if (request.op == "stats") {
-    return OkResponse(request.id, StatsBody());
+    // Never journaled, never cached: stats is the live-telemetry surface
+    // and must reflect this instant, not the first time it was asked.
+    lc->outcome = "ok";
+    std::string body = StatsBody();
+    meta.handle_ns = lc->handle_ns = NsSince(dispatched);
+    return OkResponse(request.id, meta, body);
   }
 
   // Idempotency: a replayed id returns the journaled bytes verbatim —
   // the same answer the original attempt got (or would have gotten),
-  // even across a server restart.
+  // even across a server restart. The stored envelope's trace echo is
+  // the original attempt's, by design.
   if (auto stored = LookupResponse(request.id); stored.has_value()) {
     idempotent_hits_.fetch_add(1, std::memory_order_relaxed);
-    if (opts_.events != nullptr) {
-      opts_.events->Emit("request_replayed",
-                         obs::WideEvent().Str("id", request.id));
-    }
+    lc->outcome = "replayed";
+    lc->handle_ns = NsSince(dispatched);
     return *stored;
   }
 
   const CatalogEntry* entry = catalog_.Find(request.scenario);
   if (entry == nullptr) {
     errors_.fetch_add(1, std::memory_order_relaxed);
+    lc->outcome = "error";
+    lc->code = kErrUnknownScenario;
+    meta.handle_ns = lc->handle_ns = NsSince(dispatched);
     return ErrorResponse(request.id, "error", kErrUnknownScenario,
-                         "unknown scenario \"" + request.scenario + "\"");
+                         "unknown scenario \"" + request.scenario + "\"",
+                         meta);
   }
 
   // Repeat traffic: a (op, scenario) result computed once — by this
@@ -308,16 +396,13 @@ std::string Server::HandleRequest(const Request& request, TimePoint start) {
     // so the honest answer is a retryable reject, not a late result.
     if (request.deadline_ms > 0 && ElapsedMs(start) >= request.deadline_ms) {
       deadline_shed_.fetch_add(1, std::memory_order_relaxed);
-      if (opts_.events != nullptr) {
-        opts_.events->Emit("deadline_shed",
-                           obs::WideEvent()
-                               .Str("id", request.id)
-                               .Int("deadline_ms", request.deadline_ms)
-                               .Int("waited_ms", ElapsedMs(start)));
-      }
+      lc->outcome = "deadline_shed";
+      lc->code = kErrDeadlineShed;
+      meta.handle_ns = lc->handle_ns = NsSince(dispatched);
       return ErrorResponse(request.id, "reject", kErrDeadlineShed,
                            "deadline expired before dispatch (queued past "
-                           "the caller's patience); retry with backoff");
+                           "the caller's patience); retry with backoff",
+                           meta);
     }
 
     // Single-flight: concurrent misses for the same (op, scenario)
@@ -339,16 +424,11 @@ std::string Server::HandleRequest(const Request& request, TimePoint start) {
       // Follower: attach to the leader's computation, then journal an
       // idempotent response of our own from the shared body.
       singleflight_followers_.fetch_add(1, std::memory_order_relaxed);
-      if (opts_.events != nullptr) {
-        opts_.events->Emit("singleflight_join",
-                           obs::WideEvent()
-                               .Str("id", request.id)
-                               .Str("key", result_key));
-      }
+      lc->outcome = "coalesced";
       std::unique_lock<std::mutex> wait_lock(flight->mu);
       flight->cv.wait(wait_lock, [&] { return flight->done; });
       if (!flight->status.ok()) {
-        return FailureResponse(request.id, flight->status);
+        return FailureResponse(request, flight->status, lc, dispatched);
       }
       body = flight->body;
     } else {
@@ -356,7 +436,7 @@ std::string Server::HandleRequest(const Request& request, TimePoint start) {
         singleflight_leaders_.fetch_add(1, std::memory_order_relaxed);
       }
       bool cacheable = true;
-      auto computed = Compute(request, *entry, start, &cacheable);
+      auto computed = Compute(request, *entry, start, &cacheable, lc);
       Status outcome = computed.ok() ? Status::OK() : computed.status();
       if (computed.ok()) {
         body = std::move(*computed);
@@ -366,9 +446,10 @@ std::string Server::HandleRequest(const Request& request, TimePoint start) {
         // Deadline-shaped (degraded) bodies are NOT cached: they would
         // poison later un-deadlined requests with a different answer.
         if (cacheable) {
-          if (Status stored = StoreResult(result_key, body); !stored.ok()) {
-            outcome = stored;
-          }
+          const TimePoint journal_start = Clock::now();
+          Status stored = StoreResult(result_key, body);
+          lc->journal_ns = NsSince(journal_start);
+          if (!stored.ok()) outcome = stored;
         }
       }
       if (leader) {
@@ -385,60 +466,136 @@ std::string Server::HandleRequest(const Request& request, TimePoint start) {
         flight->cv.notify_all();
       }
       if (!outcome.ok()) {
-        return FailureResponse(request.id, outcome);
+        return FailureResponse(request, outcome, lc, dispatched);
       }
     }
   }
 
-  std::string response = OkResponse(request.id, body);
+  if (lc->outcome.empty()) lc->outcome = cached ? "cached" : "computed";
+  meta.compile_ns = lc->compile_ns;
+  meta.pipeline_ns = lc->pipeline_ns;
+  meta.journal_ns = lc->journal_ns;
+  meta.handle_ns = NsSince(dispatched);
+  std::string response = OkResponse(request.id, meta, body);
   // Crash-only: fsync the response under its id BEFORE sending. An ok
   // answer the client saw is always an answer the journal can replay.
-  if (Status stored = StoreResponse(request.id, response); !stored.ok()) {
+  // (This append lands after the envelope is rendered, so its cost shows
+  // in the lifecycle record's journal_ns, not in the envelope's.)
+  const TimePoint response_journal_start = Clock::now();
+  Status stored = StoreResponse(request.id, response);
+  lc->journal_ns = std::max<int64_t>(lc->journal_ns, 0) +
+                   NsSince(response_journal_start);
+  if (!stored.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
-    return ErrorResponse(request.id, "error", kErrInternal,
-                         stored.message());
+    lc->outcome = "error";
+    lc->code = kErrInternal;
+    lc->handle_ns = NsSince(dispatched);
+    return ErrorResponse(request.id, "error", kErrInternal, stored.message(),
+                         meta);
   }
   served_.fetch_add(1, std::memory_order_relaxed);
-  if (opts_.events != nullptr) {
-    opts_.events->Emit("request_end",
-                       obs::WideEvent()
-                           .Str("id", request.id)
-                           .Str("op", request.op)
-                           .Bool("cached", cached));
-  }
+  lc->handle_ns = NsSince(dispatched);
   return response;
 }
 
-std::string Server::FailureResponse(const std::string& id,
-                                    const Status& status) {
+std::string Server::FailureResponse(const Request& request,
+                                    const Status& status, Lifecycle* lc,
+                                    TimePoint dispatched) {
+  ResponseMeta meta;
+  meta.trace_id = request.trace_id;
+  meta.attempt = request.attempt;
+  meta.queue_ns = lc->queue_ns;
+  meta.compile_ns = lc->compile_ns;
+  meta.pipeline_ns = lc->pipeline_ns;
+  meta.handle_ns = lc->handle_ns = NsSince(dispatched);
   if (drain_cancel_.load(std::memory_order_relaxed)) {
     errors_.fetch_add(1, std::memory_order_relaxed);
-    return ErrorResponse(id, "reject", kErrCancelled,
+    lc->outcome = "drain_cancelled";
+    lc->code = kErrCancelled;
+    return ErrorResponse(request.id, "reject", kErrCancelled,
                          "request cancelled by drain deadline: " +
-                             status.message());
+                             status.message(),
+                         meta);
   }
   if (status.code() == StatusCode::kDeadlineExceeded) {
     // The caller's own deadline expired mid-hold or mid-wait: a shed,
     // not a server fault — retryable with a fresh deadline.
     deadline_shed_.fetch_add(1, std::memory_order_relaxed);
-    if (opts_.events != nullptr) {
-      opts_.events->Emit("deadline_shed", obs::WideEvent().Str("id", id));
-    }
-    return ErrorResponse(id, "reject", kErrDeadlineShed, status.message());
+    lc->outcome = "deadline_shed";
+    lc->code = kErrDeadlineShed;
+    return ErrorResponse(request.id, "reject", kErrDeadlineShed,
+                         status.message(), meta);
   }
   errors_.fetch_add(1, std::memory_order_relaxed);
-  return ErrorResponse(id, "error", kErrInternal, status.message());
+  lc->outcome = "error";
+  lc->code = kErrInternal;
+  return ErrorResponse(request.id, "error", kErrInternal, status.message(),
+                       meta);
+}
+
+void Server::FinishRequest(const Lifecycle& lc) {
+  // Rolling latency histograms — always on: this is the daemon's live
+  // telemetry surface (stats RPC, --metrics snapshots), independent of
+  // whether an event stream is attached. A handful of histogram inserts
+  // per request is noise next to a journal fsync.
+  if (lc.queue_ns >= 0) {
+    run_metrics_.RecordDurationNs("serve.queue_wait_ns", lc.queue_ns);
+  }
+  if (lc.handle_ns >= 0) {
+    run_metrics_.RecordDurationNs("serve.handle_ns", lc.handle_ns);
+    if (!lc.op.empty()) {
+      int64_t e2e = lc.handle_ns + std::max<int64_t>(lc.queue_ns, 0) +
+                    std::max<int64_t>(lc.respond_ns, 0);
+      run_metrics_.RecordDurationNs("serve.e2e_ns." + lc.op, e2e);
+      if (!lc.scenario.empty()) {
+        run_metrics_.RecordDurationNs("serve.scenario_e2e_ns." + lc.scenario,
+                                      e2e);
+      }
+    }
+    if (lc.outcome == "cached" || lc.outcome == "replayed" ||
+        lc.outcome == "coalesced") {
+      run_metrics_.RecordDurationNs("serve.handle_hit_ns", lc.handle_ns);
+    } else if (lc.outcome == "computed") {
+      run_metrics_.RecordDurationNs("serve.handle_miss_ns", lc.handle_ns);
+    }
+  }
+
+  if (opts_.events == nullptr) return;
+  // One wide lifecycle record per request (docs/OBSERVABILITY.md):
+  // everything needed to explain where this request's time went, on one
+  // greppable line, joinable with the client via trace_id.
+  obs::WideEvent event;
+  if (!lc.id.empty()) event.Str("id", lc.id);
+  if (!lc.op.empty()) event.Str("op", lc.op);
+  if (!lc.scenario.empty()) event.Str("scenario", lc.scenario);
+  if (!lc.trace_id.empty()) {
+    event.Str("trace_id", lc.trace_id);
+    event.Int("attempt", lc.attempt);
+  }
+  event.Str("outcome", lc.outcome);
+  if (!lc.code.empty()) event.Str("code", lc.code);
+  if (lc.queue_depth >= 0) event.Int("queue_depth", lc.queue_depth);
+  if (lc.queue_ns >= 0) event.Int("queue_ns", lc.queue_ns);
+  if (lc.compile_ns >= 0) event.Int("compile_ns", lc.compile_ns);
+  if (lc.pipeline_ns >= 0) event.Int("pipeline_ns", lc.pipeline_ns);
+  if (lc.journal_ns >= 0) event.Int("journal_ns", lc.journal_ns);
+  if (lc.handle_ns >= 0) event.Int("handle_ns", lc.handle_ns);
+  if (lc.respond_ns >= 0) event.Int("respond_ns", lc.respond_ns);
+  opts_.events->Emit("request", event);
 }
 
 Result<std::string> Server::Compute(const Request& request,
                                     const CatalogEntry& entry,
-                                    TimePoint start, bool* cacheable) {
+                                    TimePoint start, bool* cacheable,
+                                    Lifecycle* lc) {
   *cacheable = true;
   if (request.op == "lint") {
     // The fail-soft load already linted the scenario at catalog time;
     // the answer is a view of that verdict (pinning the artifact counts
     // as a cache touch like any other op).
+    const TimePoint acquire_start = Clock::now();
     auto artifact = catalog_.Acquire(entry);
+    lc->compile_ns = NsSince(acquire_start);
     if (!artifact.ok()) return artifact.status();
     std::string body = EscapedField("scenario", entry.name, true);
     body += ",\"degraded\":";
@@ -476,8 +633,12 @@ Result<std::string> Server::Compute(const Request& request,
 
   // Pin the compiled artifact: a hit is free, an evicted scenario
   // recompiles from its retained texts right here. The handle keeps the
-  // artifact alive for the whole run even if eviction drops it.
+  // artifact alive for the whole run even if eviction drops it — and the
+  // lifecycle record's compile_ns shows which (an E213 caused by a slow
+  // eviction-triggered recompile is visible as a fat compile stage).
+  const TimePoint acquire_start = Clock::now();
   auto artifact = catalog_.Acquire(entry);
+  lc->compile_ns = NsSince(acquire_start);
   if (!artifact.ok()) return artifact.status();
   const validate::LoadedScenario& scenario = **artifact;
 
@@ -499,13 +660,15 @@ Result<std::string> Server::Compute(const Request& request,
   ctx.metrics = &metrics;
   if (request.op == "explain") ctx.provenance = &provenance;
   if (opts_.events != nullptr) ctx.events = opts_.events;
+  // Attribute this run's pipeline events to the request: the supervisor
+  // stamps the trace_id onto every unit event it emits.
+  ctx.trace_id = request.trace_id;
 
+  const TimePoint pipeline_start = Clock::now();
   auto run = exec::RunSupervisedPipeline(scenario.source, scenario.target,
                                          scenario.correspondences, sup, ctx);
-  {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    run_metrics_.MergeFrom(metrics);
-  }
+  lc->pipeline_ns = NsSince(pipeline_start);
+  run_metrics_.MergeFrom(metrics);
   if (!run.ok()) return run.status();
   if (run->interrupted) {
     return Status::DeadlineExceeded("cancelled mid-run by drain");
@@ -618,6 +781,10 @@ std::string Server::StatsBody() const {
           std::to_string(errors_.load(std::memory_order_relaxed));
   body += ",\"draining\":";
   body += draining_.load(std::memory_order_relaxed) ? "true" : "false";
+  // The live telemetry document: pipeline counters plus the rolling
+  // serve.*_ns latency histograms, snapshotted mid-load. semap_top's
+  // whole display renders from this one member.
+  body += ",\"metrics\":" + MetricsJson();
   body += "}";
   return body;
 }
@@ -642,11 +809,11 @@ ServerStatsSnapshot Server::stats() const {
 }
 
 std::string Server::MetricsJson() const {
+  // run_metrics_ synchronizes internally, so the merge is safe against
+  // concurrent worker MergeFrom/RecordDurationNs calls without any
+  // server-side lock.
   obs::Metrics merged;
-  {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    merged.MergeFrom(run_metrics_);
-  }
+  merged.MergeFrom(run_metrics_);
   // The serve.* counter taxonomy (docs/OBSERVABILITY.md): serve.cache_*
   // is the compiled-artifact cache, serve.result_cache_hits the durable
   // (op, scenario) body cache.
@@ -680,6 +847,20 @@ std::string Server::MetricsJson() const {
   merged.Add("serve.cache_compiles", static_cast<int64_t>(cache.compiles));
   merged.Add("serve.cache_bytes", static_cast<int64_t>(cache.bytes));
   return merged.ToJson();
+}
+
+Status Server::WriteMetricsSnapshot() const {
+  if (opts_.metrics_path.empty()) return Status::OK();
+  store::Env* env = opts_.io_env ? opts_.io_env : store::Env::Default();
+  // tmp + fsync + rename: a crash mid-write leaves the previous snapshot
+  // (or nothing) at metrics_path, never a torn JSON document.
+  const std::string tmp_path = opts_.metrics_path + ".tmp";
+  auto file = env->OpenTrunc(tmp_path);
+  if (!file.ok()) return file.status();
+  SEMAP_RETURN_NOT_OK((*file)->Write(MetricsJson() + "\n"));
+  SEMAP_RETURN_NOT_OK((*file)->Sync());
+  SEMAP_RETURN_NOT_OK((*file)->Close());
+  return env->Rename(tmp_path, opts_.metrics_path);
 }
 
 }  // namespace semap::serve

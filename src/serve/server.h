@@ -105,6 +105,13 @@ struct ServerOptions {
   store::FaultEnv* net_fault = nullptr;
   /// Wide-event stream (semap.events.v1); not owned, may be null.
   obs::EventEmitter* events = nullptr;
+  /// Live-telemetry snapshot file (semap.metrics.v1). Written through
+  /// the io_env's tmp+fsync+rename discipline, so a reader never sees a
+  /// torn document — only the previous complete snapshot. Empty = none.
+  std::string metrics_path;
+  /// Rewrite metrics_path every N ms while serving (0 = only the final
+  /// write), closing the kill -9 window of an at-exit-only export.
+  int64_t metrics_interval_ms = 0;
 };
 
 struct ServerStatsSnapshot {
@@ -146,10 +153,18 @@ class Server {
   ServerStatsSnapshot stats() const;
 
   /// semap.metrics.v1 over everything this server ran: per-request
-  /// pipeline metrics merged with the serve.* counter taxonomy
-  /// (docs/OBSERVABILITY.md). Safe to call after Serve returns or
-  /// between requests.
+  /// pipeline metrics and the rolling serve latency histograms merged
+  /// with the serve.* counter taxonomy (docs/OBSERVABILITY.md). Safe to
+  /// call at any time, including mid-load — obs::Metrics snapshots under
+  /// its own lock and the counters are atomics.
   std::string MetricsJson() const;
+
+  /// Write MetricsJson() to opts.metrics_path via tmp+fsync+rename on
+  /// the server's io_env (Env::Default() when null). No-op OK when no
+  /// path is configured. The periodic snapshot thread calls this every
+  /// metrics_interval_ms; callers invoke it once more after Serve for
+  /// the final authoritative write.
+  Status WriteMetricsSnapshot() const;
 
  private:
   using TimePoint = std::chrono::steady_clock::time_point;
@@ -176,19 +191,50 @@ class Server {
 
   explicit Server(ServerOptions opts) : opts_(std::move(opts)) {}
 
+  /// One request's flight record: what happened (outcome + code) and
+  /// where the time went, in monotonic nanoseconds per stage (-1 = stage
+  /// not reached). Fed to FinishRequest for the wide-event lifecycle
+  /// record and the rolling latency histograms.
+  struct Lifecycle {
+    std::string id;
+    std::string op;
+    std::string scenario;
+    std::string trace_id;
+    int64_t attempt = 0;
+    /// computed | cached | replayed | coalesced | ok (ping/stats) |
+    /// shed | deadline_shed | drain_rejected | drain_cancelled |
+    /// bad_frame | bad_request | error.
+    std::string outcome;
+    /// SEMAP-E2xx on non-ok outcomes, empty otherwise.
+    std::string code;
+    int64_t queue_ns = -1;     ///< admission → worker dispatch
+    int64_t compile_ns = -1;   ///< artifact acquire (≈0 on cache hit)
+    int64_t pipeline_ns = -1;  ///< supervised discovery run
+    int64_t journal_ns = -1;   ///< result-cache + response appends
+    int64_t handle_ns = -1;    ///< dispatch → response ready
+    int64_t respond_ns = -1;   ///< response write to the socket
+    /// Admission-shed context (E210 only).
+    int64_t queue_depth = -1;
+  };
+
   void WorkerLoop();
   void HandleConn(QueuedConn queued);
-  std::string HandleRequest(const Request& request, TimePoint start);
+  std::string HandleRequest(const Request& request, TimePoint start,
+                            Lifecycle* lc);
   /// Run the pipeline (or answer lint). `cacheable` is cleared when the
   /// body was shaped by the caller's deadline (degraded tiers) and must
   /// not poison the durable result cache.
   Result<std::string> Compute(const Request& request,
                               const CatalogEntry& entry, TimePoint start,
-                              bool* cacheable);
+                              bool* cacheable, Lifecycle* lc);
   /// Map a Compute failure onto the response contract: drain-cancel →
   /// E212 reject, expired deadline → E213 reject (counted as
   /// deadline_shed, not error), anything else → E203 error.
-  std::string FailureResponse(const std::string& id, const Status& status);
+  std::string FailureResponse(const Request& request, const Status& status,
+                              Lifecycle* lc, TimePoint dispatched);
+  /// Record the rolling latency histograms and append the one lifecycle
+  /// record per request to the event stream (zero cost when events off).
+  void FinishRequest(const Lifecycle& lc);
 
   /// Stored response / cached result body lookups and journaling (the
   /// store is not thread-safe; store_mu_ serializes it).
@@ -223,10 +269,16 @@ class Server {
   std::mutex flights_mu_;
   std::map<std::string, std::shared_ptr<Flight>> flights_;
 
-  /// Pipeline metrics merged from every computed request (obs::Metrics
-  /// is not thread-safe; the mutex serializes merges and reads).
-  mutable std::mutex metrics_mu_;
+  /// Pipeline metrics merged from every computed request, plus the
+  /// rolling serve.*_ns latency histograms. obs::Metrics synchronizes
+  /// internally, so workers record and SnapshotJson reads concurrently.
   obs::Metrics run_metrics_;
+
+  /// Periodic metrics snapshot writer (metrics_interval_ms > 0).
+  std::mutex snapshot_mu_;
+  std::condition_variable snapshot_cv_;
+  bool snapshot_stop_ = false;
+  std::thread snapshot_thread_;
 
   mutable std::atomic<uint64_t> accepted_{0};
   mutable std::atomic<uint64_t> served_{0};

@@ -5,7 +5,7 @@
 
 namespace semap {
 
-inline constexpr const char kSemapVersion[] = "0.8.0";
+inline constexpr const char kSemapVersion[] = "0.9.0";
 
 }  // namespace semap
 

@@ -9,21 +9,25 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "obs/events.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/socket.h"
 #include "store/env.h"
+#include "util/json.h"
 
 namespace semap {
 namespace {
@@ -78,6 +82,9 @@ class TestServer {
   const Status& start_error() const { return start_error_; }
   int port() const { return server_->tcp_port(); }
   serve::ServerStatsSnapshot stats() const { return server_->stats(); }
+  /// The live server, for surfaces without an RPC (MetricsJson,
+  /// WriteMetricsSnapshot).
+  serve::Server* server() const { return server_.get(); }
   /// Valid after Stop(): OK on a clean drain, the injected status when
   /// the fault environment killed the serve loop.
   const Status& serve_status() const { return serve_status_; }
@@ -511,6 +518,326 @@ TEST(ServeTest, StressEvictionAndSingleFlight) {
   EXPECT_GE(stats.artifact_cache.compiles, 1u);
   server.Stop();
   EXPECT_TRUE(server.serve_status().ok()) << server.serve_status();
+}
+
+// --- Tracing and live telemetry -------------------------------------------
+
+std::string TracedRequest(const std::string& id, const std::string& op,
+                          const std::string& scenario,
+                          const std::string& trace_id, int64_t attempt) {
+  std::string payload = "{\"id\":\"" + id + "\",\"op\":\"" + op + "\"";
+  if (!scenario.empty()) payload += ",\"scenario\":\"" + scenario + "\"";
+  payload += ",\"trace_id\":\"" + trace_id + "\"";
+  payload += ",\"attempt\":" + std::to_string(attempt);
+  return payload + "}";
+}
+
+std::string FreshSidecarPath(const char* name) {
+  const std::string path = FreshStorePath(name);
+  return path.substr(0, path.size() - sizeof(".store.jsonl") + 1) + ".ndjson";
+}
+
+/// Parse an NDJSON event stream and keep the per-request lifecycle
+/// records ("request" events) in file order.
+std::vector<json::Value> RequestRecords(const std::string& events_path) {
+  auto text = store::Env::Default()->ReadFile(events_path);
+  EXPECT_TRUE(text.ok()) << text.status();
+  std::vector<json::Value> records;
+  if (!text.ok()) return records;
+  size_t begin = 0;
+  while (begin < text->size()) {
+    size_t end = text->find('\n', begin);
+    if (end == std::string::npos) end = text->size();
+    const std::string_view line(text->data() + begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    auto parsed = json::Parse(line);
+    if (!parsed.ok()) {
+      ADD_FAILURE() << "unparseable event line: " << line;
+      continue;
+    }
+    if (parsed->GetString("event") == "request") {
+      records.push_back(std::move(*parsed));
+    }
+  }
+  return records;
+}
+
+/// File order races with request order (a handler emits after it has
+/// already responded), so tests over one retried id order by attempt.
+void SortByAttempt(std::vector<json::Value>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const json::Value& a, const json::Value& b) {
+                     return a.GetInt("attempt") < b.GetInt("attempt");
+                   });
+}
+
+TEST(ServeTest, TraceEchoedAndReplayReturnsOriginalAttempt) {
+  const std::string events_path = FreshSidecarPath("trace_echo");
+  obs::EventEmitter emitter(events_path);
+  ASSERT_TRUE(emitter.ok());
+  serve::ServerOptions opts;
+  opts.store_path = FreshStorePath("trace_echo");
+  opts.events = &emitter;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  auto first = Call(server.port(),
+                    TracedRequest("t1", "map", "bookstore", "trace-alpha", 0));
+  ExpectOk(first);
+  // The envelope echoes the trace context between detail and body, with
+  // the per-stage server timings; body stays the LAST member so --body
+  // slicing is unaffected.
+  EXPECT_NE(first->find("\"trace_id\":\"trace-alpha\",\"attempt\":0,"
+                        "\"server_timing\":{"),
+            std::string::npos)
+      << *first;
+  EXPECT_NE(first->find("\"handle_ns\":"), std::string::npos) << *first;
+  EXPECT_LT(first->find("\"server_timing\""), first->find(",\"body\":"));
+
+  // A retried id is answered from the journal byte-identically — the
+  // echo and timings are the ORIGINAL attempt's, by design.
+  auto retry = Call(server.port(),
+                    TracedRequest("t1", "map", "bookstore", "trace-beta", 5));
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_EQ(*retry, *first);
+
+  server.Stop();
+  // The event stream, though, records the replay itself under the
+  // RETRY's trace context: that request's cost was the lookup.
+  std::vector<json::Value> records = RequestRecords(events_path);
+  ASSERT_EQ(records.size(), 2u);
+  SortByAttempt(records);
+  EXPECT_EQ(records[0].GetString("trace_id"), "trace-alpha");
+  EXPECT_EQ(records[0].GetString("outcome"), "computed");
+  EXPECT_EQ(records[1].GetString("trace_id"), "trace-beta");
+  EXPECT_EQ(records[1].GetInt("attempt"), 5);
+  EXPECT_EQ(records[1].GetString("outcome"), "replayed");
+}
+
+TEST(ServeTest, UntracedEnvelopeKeepsPreTracingWireFormat) {
+  // A request without trace context gets the pre-tracing envelope byte
+  // for byte — no trace_id, no server_timing — whether or not an event
+  // stream is attached, so old clients never see a new wire format.
+  const std::string events_path = FreshSidecarPath("untraced");
+  obs::EventEmitter emitter(events_path);
+  serve::ServerOptions with_events;
+  with_events.events = &emitter;
+  TestServer observed(with_events);
+  TestServer plain({});
+  ASSERT_TRUE(observed.ok()) << observed.start_error();
+  ASSERT_TRUE(plain.ok()) << plain.start_error();
+
+  auto a = Call(observed.port(), MapRequest("u1", "bookstore"));
+  auto b = Call(plain.port(), MapRequest("u1", "bookstore"));
+  ExpectOk(a);
+  ExpectOk(b);
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(a->find("trace_id"), std::string::npos) << *a;
+  EXPECT_EQ(a->find("server_timing"), std::string::npos) << *a;
+  const std::string prefix =
+      "{\"schema\":\"semap.rpc.v1\",\"id\":\"u1\",\"status\":\"ok\","
+      "\"code\":\"\",\"detail\":\"\",\"body\":";
+  EXPECT_EQ(a->rfind(prefix, 0), 0u) << *a;
+}
+
+TEST(ServeTest, EventStreamCarriesOneLifecycleRecordPerRequest) {
+  const std::string events_path = FreshSidecarPath("lifecycle");
+  obs::EventEmitter emitter(events_path);
+  ASSERT_TRUE(emitter.ok());
+  serve::ServerOptions opts;
+  opts.store_path = FreshStorePath("lifecycle");
+  opts.events = &emitter;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  ExpectOk(Call(server.port(), "{\"id\":\"p\",\"op\":\"ping\"}"));
+  ExpectOk(Call(server.port(), MapRequest("m1", "bookstore")));   // computed
+  ExpectOk(Call(server.port(), MapRequest("m2", "bookstore")));   // cached
+  ExpectOk(Call(server.port(), MapRequest("m2", "bookstore")));   // replayed
+  ExpectCode(Call(server.port(), MapRequest("m3", "nope")),
+             serve::kErrUnknownScenario);
+  server.Stop();
+
+  std::vector<json::Value> records = RequestRecords(events_path);
+  ASSERT_EQ(records.size(), 5u);
+  // A handler emits its record after writing the response, so the next
+  // request's record can land first — compare outcomes as a multiset,
+  // not by file position.
+  std::multiset<std::string> outcomes;
+  int64_t last_seq = -1;
+  for (const json::Value& record : records) {
+    outcomes.insert(record.GetString("outcome"));
+    // Monotonic bookkeeping: sequence numbers strictly increase, and
+    // every dispatched request reports non-negative queue + handle time.
+    EXPECT_GT(record.GetInt("seq"), last_seq);
+    last_seq = record.GetInt("seq");
+    EXPECT_GE(record.GetInt("queue_ns", -1), 0);
+    EXPECT_GE(record.GetInt("handle_ns", -1), 0);
+  }
+  EXPECT_EQ(outcomes, (std::multiset<std::string>{
+                          "ok", "computed", "cached", "replayed", "error"}));
+  // The computed record accounts for its stages: each is non-negative
+  // and their sum stays within the handle time that contains them.
+  const auto computed_at =
+      std::find_if(records.begin(), records.end(), [](const json::Value& r) {
+        return r.GetString("outcome") == "computed";
+      });
+  ASSERT_NE(computed_at, records.end());
+  const json::Value& computed = *computed_at;
+  const int64_t compile = computed.GetInt("compile_ns", -1);
+  const int64_t pipeline = computed.GetInt("pipeline_ns", -1);
+  const int64_t journal = computed.GetInt("journal_ns", -1);
+  EXPECT_GE(compile, 0);
+  EXPECT_GE(pipeline, 0);
+  EXPECT_GE(journal, 0);
+  EXPECT_LE(compile + pipeline + journal, computed.GetInt("handle_ns"));
+  EXPECT_EQ(computed.GetString("scenario"), "bookstore");
+}
+
+TEST(ServeTest, RetryAttemptsShareTraceIdAcrossSendFault) {
+  // A reset at the first response send tears the connection after the
+  // work is journaled. The client's retry carries the same trace_id and
+  // attempt 1, so the event stream shows one logical request as a
+  // story: attempt 0 computed (respond failed), attempt 1 replayed.
+  const std::string events_path = FreshSidecarPath("retry_trace");
+  obs::EventEmitter emitter(events_path);
+  ASSERT_TRUE(emitter.ok());
+  FaultEnv net;
+  net.set_plan(FaultPlan{IoOp::kSend, 1, FaultMode::kReset});
+  serve::ServerOptions opts;
+  opts.store_path = FreshStorePath("retry_trace");
+  opts.events = &emitter;
+  opts.io_env = &net;
+  opts.net_fault = &net;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  auto torn = Call(server.port(),
+                   TracedRequest("rt", "map", "bookstore", "trace-retry", 0));
+  EXPECT_FALSE(torn.ok() &&
+               torn->find("\"status\":\"ok\"") != std::string::npos);
+  auto retry = Call(server.port(),
+                    TracedRequest("rt", "map", "bookstore", "trace-retry", 1));
+  ExpectOk(retry);
+  EXPECT_NE(retry->find("\"trace_id\":\"trace-retry\",\"attempt\":0"),
+            std::string::npos)
+      << "replay must return the journaled attempt-0 envelope: " << *retry;
+  server.Stop();
+
+  std::vector<json::Value> records = RequestRecords(events_path);
+  ASSERT_EQ(records.size(), 2u);
+  SortByAttempt(records);
+  EXPECT_EQ(records[0].GetString("trace_id"), "trace-retry");
+  EXPECT_EQ(records[0].GetInt("attempt"), 0);
+  EXPECT_EQ(records[0].GetString("outcome"), "computed");
+  EXPECT_EQ(records[1].GetString("trace_id"), "trace-retry");
+  EXPECT_EQ(records[1].GetInt("attempt"), 1);
+  EXPECT_EQ(records[1].GetString("outcome"), "replayed");
+}
+
+TEST(ServeTest, StatsReturnsLiveHistogramsMidLoad) {
+  // The latency histograms are always on — they are the live telemetry
+  // surface (stats RPC, semap_top), independent of any --events stream.
+  TestServer server({});
+  ASSERT_TRUE(server.ok()) << server.start_error();
+  ExpectOk(Call(server.port(), MapRequest("h1", "bookstore")));
+  auto stats = Call(server.port(), "{\"id\":\"s\",\"op\":\"stats\"}");
+  ExpectOk(stats);
+
+  auto parsed = json::Parse(BodyOf(*stats));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const json::Value* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr) << *stats;
+  EXPECT_EQ(metrics->GetString("schema"), "semap.metrics.v1");
+  const json::Value* hists = metrics->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  for (const char* name :
+       {"serve.queue_wait_ns", "serve.handle_ns", "serve.e2e_ns.map",
+        "serve.scenario_e2e_ns.bookstore", "serve.handle_miss_ns"}) {
+    const json::Value* hist = hists->Find(name);
+    ASSERT_NE(hist, nullptr) << "missing histogram " << name;
+    EXPECT_GE(hist->GetInt("count"), 1) << name;
+  }
+}
+
+TEST(ServeTest, PeriodicMetricsSnapshotIsValidJson) {
+  const std::string metrics_path = FreshSidecarPath("snapshot");
+  std::remove(metrics_path.c_str());
+  serve::ServerOptions opts;
+  opts.metrics_path = metrics_path;
+  opts.metrics_interval_ms = 10;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+  ExpectOk(Call(server.port(), MapRequest("s1", "bookstore")));
+
+  // The snapshot thread rewrites the file every interval via tmp +
+  // fsync + rename, so whenever we happen to read it, it parses whole.
+  store::Env* env = store::Env::Default();
+  bool live_snapshot_seen = false;
+  for (int i = 0; i < 200 && !live_snapshot_seen; ++i) {
+    if (auto text = env->ReadFile(metrics_path); text.ok()) {
+      auto parsed = json::Parse(*text);
+      ASSERT_TRUE(parsed.ok()) << *text;
+      live_snapshot_seen =
+          parsed->Find("histograms") != nullptr &&
+          parsed->Find("histograms")->Find("serve.e2e_ns.map") != nullptr;
+    }
+    if (!live_snapshot_seen) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(live_snapshot_seen) << "no live snapshot within 2s";
+
+  // The final explicit write goes through the same path and must parse.
+  ASSERT_TRUE(server.server()->WriteMetricsSnapshot().ok());
+  auto text = env->ReadFile(metrics_path);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto parsed = json::Parse(*text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetString("schema"), "semap.metrics.v1");
+  std::remove(metrics_path.c_str());
+}
+
+TEST(ServeTest, ConcurrentMetricsSnapshotIsSafe) {
+  // Snapshot readers race request traffic on purpose: MetricsJson, the
+  // stats RPC, and WriteMetricsSnapshot against workers recording
+  // histograms and merging pipeline metrics. TSan runs this suite.
+  const std::string metrics_path = FreshSidecarPath("concurrent");
+  serve::ServerOptions opts;
+  opts.workers = 4;
+  opts.metrics_path = metrics_path;
+  TestServer server(opts);
+  ASSERT_TRUE(server.ok()) << server.start_error();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&server, &failures, t] {
+      for (int i = 0; i < 12; ++i) {
+        const std::string id = "c" + std::to_string(t) + "-" +
+                               std::to_string(i);
+        auto response = Call(
+            server.port(),
+            OpRequest(id, "map", "bookstore", /*bypass=*/i % 3 == 0));
+        if (!response.ok() ||
+            response->find("\"status\":\"ok\"") == std::string::npos) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto snapshot = server.server()->MetricsJson();
+    EXPECT_TRUE(json::Parse(snapshot).ok());
+    EXPECT_TRUE(server.server()->WriteMetricsSnapshot().ok());
+    (void)Call(server.port(), "{\"id\":\"s\",\"op\":\"stats\"}");
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status();
+  std::remove(metrics_path.c_str());
 }
 
 // --- Fault matrix over a served request -----------------------------------

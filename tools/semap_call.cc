@@ -20,15 +20,26 @@
 // deterministic seeded jitter (--retry-seed), capped in total by
 // --retry-budget-ms.
 //
+// Every request carries a trace_id (minted here; deterministic when
+// --retry-seed is given, so scripted drills produce greppable ids) and
+// a 0-based attempt counter. Retries reuse the id and increment the
+// counter, which is how the server's --events stream shows one logical
+// request as a story: attempt 0 computed, attempt 1 replayed. --timing
+// prints the client-side stage split (connect/send/wait/recv) plus the
+// server_timing echo from the envelope, joined on the trace id.
+//
 // Exit codes: 0 response status ok, 1 transport/protocol failure,
 // 2 usage, 3 response status reject (overload/drain/deadline —
 // retryable), 4 response status error.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+
+#include <unistd.h>
 
 #include "serve/protocol.h"
 #include "serve/socket.h"
@@ -61,7 +72,14 @@ constexpr const char kOptionTable[] =
     "                    total wall-clock budget across all retries;\n"
     "                    stop retrying once the next delay would pass it\n"
     "                    (default: unlimited)\n"
-    "  --retry-seed=K    seed for the deterministic retry jitter\n"
+    "  --retry-seed=K    seed for the deterministic retry jitter (also\n"
+    "                    makes the minted trace id deterministic)\n"
+    "  --trace-id=T      correlation id to send (default: minted; shows\n"
+    "                    up verbatim in the server's --events stream)\n"
+    "  --no-trace        send no trace context at all (the pre-tracing\n"
+    "                    wire format, byte-identical envelopes)\n"
+    "  --timing          print the client stage split (connect/send/\n"
+    "                    wait/recv) and the server_timing echo to stderr\n"
     "  --body            print only the raw body value (byte-exact)\n"
     "  --version         print the version and exit\n"
     "  --help            print this table and exit\n"
@@ -84,6 +102,78 @@ bool ParseLong(const char* flag, const char* value, long long* out) {
   return true;
 }
 
+/// Mint a trace id: 16 hex digits from FNV-1a over the request identity.
+/// With a seed the id is a pure function of (seed, id, op, scenario) —
+/// scripted drills can predict it; without one, wall-clock time and the
+/// pid keep concurrent clients distinct.
+std::string MintTraceId(bool seeded, long long seed, const std::string& id,
+                        const std::string& op, const std::string& scenario) {
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](const void* data, size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash ^= bytes[i];
+      hash *= 1099511628211ull;
+    }
+  };
+  if (seeded) {
+    mix(&seed, sizeof(seed));
+  } else {
+    const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::system_clock::now().time_since_epoch())
+                            .count();
+    const int64_t pid = static_cast<int64_t>(getpid());
+    mix(&now, sizeof(now));
+    mix(&pid, sizeof(pid));
+  }
+  mix(id.data(), id.size());
+  mix(op.data(), op.size());
+  mix(scenario.data(), scenario.size());
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
+
+/// Client-side stage durations for one attempt, in nanoseconds. `wait`
+/// is dial-to-first-response-byte (the server's queue + work as seen
+/// from here); `recv` is the rest of the frame after that byte.
+struct StageTiming {
+  int64_t connect_ns = -1;
+  int64_t send_ns = -1;
+  int64_t wait_ns = -1;
+  int64_t recv_ns = -1;
+  int64_t total_ns = -1;
+};
+
+/// Conn wrapper that records when the first response byte arrives — the
+/// boundary between waiting on the server and draining the frame.
+class FirstByteConn : public serve::Conn {
+ public:
+  explicit FirstByteConn(serve::Conn* inner) : inner_(inner) {}
+  Result<size_t> Read(char* buf, size_t max) override {
+    auto got = inner_->Read(buf, max);
+    if (!seen_ && got.ok() && *got > 0) {
+      seen_ = true;
+      first_byte_ = std::chrono::steady_clock::now();
+    }
+    return got;
+  }
+  Status WriteAll(std::string_view data) override {
+    return inner_->WriteAll(data);
+  }
+  Status Close() override { return inner_->Close(); }
+  bool seen() const { return seen_; }
+  std::chrono::steady_clock::time_point first_byte() const {
+    return first_byte_;
+  }
+
+ private:
+  serve::Conn* inner_;
+  bool seen_ = false;
+  std::chrono::steady_clock::time_point first_byte_;
+};
+
 struct Attempt {
   /// 0 ok, 1 transport, 3 reject, 4 error (the final exit code if this
   /// attempt is the last).
@@ -93,14 +183,22 @@ struct Attempt {
   std::string status;
   std::string code;
   std::string detail;
+  StageTiming timing;
 };
 
 Attempt RunOnce(const std::string& unix_path, const std::string& host,
                 int port, const serve::SocketOptions& socket_opts,
                 const std::string& payload) {
+  using SteadyClock = std::chrono::steady_clock;
+  auto ns_between = [](SteadyClock::time_point a, SteadyClock::time_point b) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+  };
   Attempt out;
+  const auto start = SteadyClock::now();
   auto conn = unix_path.empty() ? serve::DialTcp(host, port, socket_opts)
                                 : serve::DialUnix(unix_path, socket_opts);
+  const auto connected = SteadyClock::now();
+  out.timing.connect_ns = ns_between(start, connected);
   if (!conn.ok()) {
     out.detail = conn.status().ToString();
     return out;
@@ -109,7 +207,16 @@ Attempt RunOnce(const std::string& unix_path, const std::string& host,
     out.detail = sent.ToString();
     return out;
   }
-  auto response = serve::ReadFrame(**conn);
+  const auto sent_at = SteadyClock::now();
+  out.timing.send_ns = ns_between(connected, sent_at);
+  FirstByteConn timed(conn->get());
+  auto response = serve::ReadFrame(timed);
+  const auto done = SteadyClock::now();
+  if (timed.seen()) {
+    out.timing.wait_ns = ns_between(sent_at, timed.first_byte());
+    out.timing.recv_ns = ns_between(timed.first_byte(), done);
+  }
+  out.timing.total_ns = ns_between(start, done);
   if (!response.ok()) {
     out.detail = response.status().ToString();
     return out;
@@ -127,6 +234,41 @@ Attempt RunOnce(const std::string& unix_path, const std::string& host,
   out.detail = parsed->GetString("detail");
   out.exit_code = out.status == "ok" ? 0 : (out.status == "reject" ? 3 : 4);
   return out;
+}
+
+double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+/// Render the --timing report for one finished attempt: the client-side
+/// stage split, then the envelope's server_timing echo when present.
+void PrintTiming(const Attempt& attempt, const std::string& trace_id,
+                 long long attempt_no) {
+  const StageTiming& t = attempt.timing;
+  std::fprintf(stderr, "timing: trace=%s attempt=%lld\n", trace_id.c_str(),
+               attempt_no);
+  std::fprintf(stderr, "  client: connect=%.3fms send=%.3fms", Ms(t.connect_ns),
+               Ms(t.send_ns));
+  if (t.wait_ns >= 0) {
+    std::fprintf(stderr, " wait=%.3fms recv=%.3fms", Ms(t.wait_ns),
+                 Ms(t.recv_ns));
+  }
+  std::fprintf(stderr, " total=%.3fms\n", Ms(t.total_ns));
+  if (attempt.response.empty()) return;
+  auto parsed = json::Parse(attempt.response);
+  if (!parsed.ok()) return;
+  const json::Value* server = parsed->Find("server_timing");
+  if (server == nullptr || !server->is_object()) return;
+  std::fprintf(stderr, "  server:");
+  for (const auto& [name, value] : server->AsObject()) {
+    // Members are <stage>_ns integers; print as ms to match the client
+    // line ("queue_ns" -> "queue=0.123ms").
+    std::string stage = name;
+    if (stage.size() > 3 && stage.compare(stage.size() - 3, 3, "_ns") == 0) {
+      stage.resize(stage.size() - 3);
+    }
+    std::fprintf(stderr, " %s=%.3fms", stage.c_str(),
+                 Ms(static_cast<int64_t>(value.AsNumber())));
+  }
+  std::fprintf(stderr, "\n");
 }
 
 }  // namespace
@@ -155,6 +297,10 @@ int main(int argc, char** argv) {
   long long retries = 0;
   long long retry_budget_ms = -1;
   long long retry_seed = 0;
+  bool seed_given = false;
+  std::string trace_id;
+  bool no_trace = false;
+  bool timing = false;
   bool bypass_cache = false;
   bool body_only = false;
   long long value = 0;
@@ -190,6 +336,13 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--retry-seed=", 13) == 0) {
       if (!ParseLong("--retry-seed", argv[i] + 13, &retry_seed)) return 2;
+      seed_given = true;
+    } else if (std::strncmp(argv[i], "--trace-id=", 11) == 0) {
+      trace_id = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--no-trace") == 0) {
+      no_trace = true;
+    } else if (std::strcmp(argv[i], "--timing") == 0) {
+      timing = true;
     } else if (std::strcmp(argv[i], "--bypass-cache") == 0) {
       bypass_cache = true;
     } else if (std::strcmp(argv[i], "--body") == 0) {
@@ -205,17 +358,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Build the request payload. The fields mirror serve::Request; the
-  // server validates, this side just renders. The id stays fixed across
-  // retries on purpose — that is what makes resending safe.
-  std::string payload = "{\"id\":\"" + id + "\",\"op\":\"" + op + "\"";
-  if (!scenario.empty()) payload += ",\"scenario\":\"" + scenario + "\"";
-  if (deadline_ms >= 0) {
-    payload += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  if (no_trace && !trace_id.empty()) {
+    std::fprintf(stderr, "error: --no-trace conflicts with --trace-id\n");
+    return 2;
   }
-  if (priority != 0) payload += ",\"priority\":" + std::to_string(priority);
-  if (bypass_cache) payload += ",\"cache\":\"bypass\"";
-  payload += "}";
+  if (trace_id.find('"') != std::string::npos ||
+      trace_id.find('\\') != std::string::npos) {
+    std::fprintf(stderr, "error: --trace-id must not contain '\"' or '\\'\n");
+    return 2;
+  }
+  if (trace_id.empty() && !no_trace) {
+    trace_id = MintTraceId(seed_given, retry_seed, id, op, scenario);
+  }
+
+  // Build the request payload. The fields mirror serve::Request; the
+  // server validates, this side just renders. The id and trace_id stay
+  // fixed across retries on purpose — the id is what makes resending
+  // safe, the trace_id what stitches the attempts into one story — and
+  // only the attempt counter changes per send.
+  std::string base = "{\"id\":\"" + id + "\",\"op\":\"" + op + "\"";
+  if (!scenario.empty()) base += ",\"scenario\":\"" + scenario + "\"";
+  if (deadline_ms >= 0) {
+    base += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  if (priority != 0) base += ",\"priority\":" + std::to_string(priority);
+  if (bypass_cache) base += ",\"cache\":\"bypass\"";
+  auto payload_for = [&](long long attempt_no) {
+    std::string payload = base;
+    if (!trace_id.empty()) {
+      payload += ",\"trace_id\":\"" + trace_id + "\"";
+      payload += ",\"attempt\":" + std::to_string(attempt_no);
+    }
+    payload += "}";
+    return payload;
+  };
 
   serve::SocketOptions socket_opts;
   socket_opts.io_timeout_ms = timeout_ms;
@@ -226,8 +402,10 @@ int main(int argc, char** argv) {
   const auto started = std::chrono::steady_clock::now();
 
   Attempt attempt;
+  long long attempt_no = 0;
   for (long long n = 0;; ++n) {
-    attempt = RunOnce(unix_path, host, port, socket_opts, payload);
+    attempt_no = n;
+    attempt = RunOnce(unix_path, host, port, socket_opts, payload_for(n));
     // ok and status "error" are final; transport failures and rejects
     // are retryable while attempts and the time budget remain.
     if (attempt.exit_code == 0 || attempt.exit_code == 4) break;
@@ -248,8 +426,16 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(delay));
   }
 
+  if (timing) PrintTiming(attempt, trace_id, attempt_no);
+
   if (attempt.exit_code == 1 && attempt.response.empty()) {
     std::fprintf(stderr, "error: %s\n", attempt.detail.c_str());
+    // The id the server's --events stream (if any) will show for this
+    // failure — the handle that joins client-side and server-side views.
+    if (!trace_id.empty()) {
+      std::fprintf(stderr, "trace: %s attempt=%lld\n", trace_id.c_str(),
+                   attempt_no);
+    }
     return 1;
   }
 
@@ -276,5 +462,9 @@ int main(int argc, char** argv) {
   if (attempt.exit_code == 0) return 0;
   std::fprintf(stderr, "%s: %s %s\n", attempt.status.c_str(),
                attempt.code.c_str(), attempt.detail.c_str());
+  if (!trace_id.empty()) {
+    std::fprintf(stderr, "trace: %s attempt=%lld\n", trace_id.c_str(),
+                 attempt_no);
+  }
   return attempt.exit_code;
 }

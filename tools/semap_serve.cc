@@ -66,9 +66,16 @@ constexpr const char kOptionTable[] =
     "                    (default 2000)\n"
     "  --io-timeout-ms=N per-connection read/write timeout (default 5000)\n"
     "  --hold-ms=N       test hook: hold each computed request N ms\n"
-    "  --events=FILE     append wide events as NDJSON (semap.events.v1)\n"
+    "  --events=FILE     append wide events as NDJSON (semap.events.v1):\n"
+    "                    one lifecycle record per request plus the serve\n"
+    "                    start/drain markers\n"
     "  --metrics=FILE    write semap.metrics.v1 (pipeline metrics merged\n"
-    "                    with the serve.* counters) after a clean drain\n"
+    "                    with the serve.* counters and latency histograms)\n"
+    "                    after a clean drain, via tmp+fsync+rename so a\n"
+    "                    kill mid-write never leaves a torn document\n"
+    "  --metrics-interval-ms=N\n"
+    "                    also rewrite --metrics every N ms while serving\n"
+    "                    (live snapshot for dashboards; needs --metrics)\n"
     "  --version         print the version and exit\n"
     "  --help            print this table and exit\n"
     "the daemon drains gracefully on SIGINT/SIGTERM (finish or cancel\n"
@@ -181,6 +188,11 @@ int main(int argc, char** argv) {
       events_path = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       metrics_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--metrics-interval-ms=", 22) == 0) {
+      if (!ParsePositiveInt("--metrics-interval-ms", argv[i] + 22, &value)) {
+        return 2;
+      }
+      opts.metrics_interval_ms = value;
     } else {
       std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
                    kOptionTable);
@@ -191,6 +203,14 @@ int main(int argc, char** argv) {
     PrintUsage(stderr, argv[0]);
     return 2;
   }
+  if (opts.metrics_interval_ms > 0 && metrics_path.empty()) {
+    std::fprintf(stderr, "error: --metrics-interval-ms needs --metrics\n%s",
+                 kOptionTable);
+    return 2;
+  }
+  // The server owns periodic snapshots; the final post-drain write below
+  // reuses the same path through Server::WriteMetricsSnapshot().
+  opts.metrics_path = metrics_path;
 
   // One fault environment covers both seams: a simulated kill at a
   // journal fsync and at a socket send are the same process death.
@@ -241,17 +261,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", served.ToString().c_str());
     return 1;
   }
-  if (!metrics_path.empty()) {
-    const std::string metrics = (*server)->MetricsJson();
-    FILE* out = std::fopen(metrics_path.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "error: cannot write metrics to %s\n",
-                   metrics_path.c_str());
-      return 1;
-    }
-    std::fwrite(metrics.data(), 1, metrics.size(), out);
-    std::fputc('\n', out);
-    std::fclose(out);
+  // Final snapshot through the server's tmp+fsync+rename path: a kill
+  // during this write leaves the last periodic snapshot, never a torn
+  // document, and the rename makes the post-drain totals atomic.
+  if (Status wrote = (*server)->WriteMetricsSnapshot(); !wrote.ok()) {
+    std::fprintf(stderr, "error: cannot write metrics to %s: %s\n",
+                 metrics_path.c_str(), wrote.ToString().c_str());
+    return 1;
   }
   std::printf("drained cleanly\n");
   return 0;

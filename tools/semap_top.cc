@@ -1,0 +1,351 @@
+// Live terminal telemetry for a running semap_serve: poll the `stats`
+// op and render throughput, shedding, cache behaviour, and latency
+// percentiles from the server's rolling histograms.
+//
+//   semap_top (--unix=PATH | --port=N [--host=H]) [--interval-ms=N]
+//             [--count=N] [--once] [--no-clear]
+//
+// Rates (QPS, shed rate, hit ratio) are deltas between consecutive
+// polls; the first sample therefore shows totals only. Percentiles are
+// estimated from the exponential histogram buckets the server keeps
+// per op and per scenario (docs/OBSERVABILITY.md §histograms): each
+// quantile reports its bucket's upper bound, with the overflow bucket
+// reporting the observed max — a deliberate over-estimate, never an
+// under-estimate.
+//
+// The `stats` op is served before admission control and never journaled,
+// so polling is cheap and safe against a saturated or draining server —
+// exactly when you want a live view.
+//
+// Exit codes: 0 clean, 1 transport/protocol failure, 2 usage.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/socket.h"
+#include "util/json.h"
+#include "util/version.h"
+
+namespace {
+
+using namespace semap;
+
+constexpr const char kOptionTable[] =
+    "options:\n"
+    "  --unix=PATH       connect to a unix socket\n"
+    "  --host=H          TCP host (default 127.0.0.1)\n"
+    "  --port=N          TCP port\n"
+    "  --interval-ms=N   poll period (default 1000)\n"
+    "  --count=N         exit after N samples (default: until ^C)\n"
+    "  --once            one sample, no screen clearing (= --count=1\n"
+    "                    --no-clear; for scripts and smoke tests)\n"
+    "  --no-clear        append samples instead of redrawing in place\n"
+    "  --timeout-ms=N    socket I/O timeout (default 5000)\n"
+    "  --version         print the version and exit\n"
+    "  --help            print this table and exit\n"
+    "exit codes: 0 clean, 1 transport/protocol failure, 2 usage\n";
+
+void PrintUsage(FILE* out, const char* prog) {
+  std::fprintf(out, "usage: %s (--unix=PATH | --port=N) [options]\n%s", prog,
+               kOptionTable);
+}
+
+bool ParseLong(const char* flag, const char* value, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "error: %s wants an integer, got %s\n", flag, value);
+    return false;
+  }
+  return true;
+}
+
+/// One decoded histogram from the stats document.
+struct Hist {
+  int64_t count = 0;
+  int64_t sum_ns = 0;
+  int64_t max_ns = 0;
+  /// Parallel arrays: bucket upper bound (-1 = +inf) and count.
+  std::vector<int64_t> le_ns;
+  std::vector<int64_t> bucket_count;
+};
+
+/// One decoded stats poll: the flat serve counters plus every histogram.
+struct Sample {
+  std::chrono::steady_clock::time_point at;
+  int64_t scenarios = 0;
+  int64_t accepted = 0;
+  int64_t served = 0;
+  int64_t shed = 0;
+  int64_t deadline_shed = 0;
+  int64_t idempotent_hits = 0;
+  int64_t cache_hits = 0;
+  int64_t errors = 0;
+  bool draining = false;
+  std::map<std::string, Hist> hists;
+};
+
+Hist ParseHist(const json::Value& value) {
+  Hist h;
+  h.count = value.GetInt("count");
+  h.sum_ns = value.GetInt("sum_ns");
+  h.max_ns = value.GetInt("max_ns");
+  const json::Value* buckets = value.Find("buckets");
+  if (buckets == nullptr || !buckets->is_array()) return h;
+  for (const json::Value& bucket : buckets->AsArray()) {
+    const json::Value* le = bucket.Find("le_ns");
+    // The overflow bucket renders its bound as the string "inf".
+    const bool inf = le != nullptr && le->is_string();
+    h.le_ns.push_back(inf ? -1 : bucket.GetInt("le_ns"));
+    h.bucket_count.push_back(bucket.GetInt("count"));
+  }
+  return h;
+}
+
+Result<Sample> Poll(const std::string& unix_path, const std::string& host,
+                    int port, const serve::SocketOptions& socket_opts) {
+  auto conn = unix_path.empty() ? serve::DialTcp(host, port, socket_opts)
+                                : serve::DialUnix(unix_path, socket_opts);
+  if (!conn.ok()) return conn.status();
+  const std::string payload = "{\"id\":\"semap-top\",\"op\":\"stats\"}";
+  SEMAP_RETURN_NOT_OK(serve::WriteFrame(**conn, payload));
+  auto response = serve::ReadFrame(**conn);
+  if (!response.ok()) return response.status();
+  (void)(*conn)->Close();
+
+  auto parsed = json::Parse(*response);
+  if (!parsed.ok() || !parsed->is_object()) {
+    return Status::ParseError("stats response is not a JSON object");
+  }
+  if (parsed->GetString("status") != "ok") {
+    return Status::Internal("stats rejected: " + parsed->GetString("code") +
+                            " " + parsed->GetString("detail"));
+  }
+  const json::Value* body = parsed->Find("body");
+  if (body == nullptr || !body->is_object()) {
+    return Status::ParseError("stats response has no body object");
+  }
+
+  Sample sample;
+  sample.at = std::chrono::steady_clock::now();
+  sample.scenarios = body->GetInt("scenarios");
+  sample.accepted = body->GetInt("accepted");
+  sample.served = body->GetInt("served");
+  sample.shed = body->GetInt("shed");
+  sample.deadline_shed = body->GetInt("deadline_shed");
+  sample.idempotent_hits = body->GetInt("idempotent_hits");
+  sample.cache_hits = body->GetInt("cache_hits");
+  sample.errors = body->GetInt("errors");
+  const json::Value* draining = body->Find("draining");
+  sample.draining = draining != nullptr && draining->is_bool() &&
+                    draining->AsBool();
+  const json::Value* metrics = body->Find("metrics");
+  const json::Value* hists =
+      metrics != nullptr ? metrics->Find("histograms") : nullptr;
+  if (hists != nullptr && hists->is_object()) {
+    for (const auto& [name, value] : hists->AsObject()) {
+      sample.hists.emplace(name, ParseHist(value));
+    }
+  }
+  return sample;
+}
+
+/// Upper-bound percentile from exponential buckets: the bound of the
+/// bucket where the cumulative count crosses rank q·count; the overflow
+/// bucket answers with the observed max.
+double PercentileMs(const Hist& h, double q) {
+  if (h.count <= 0) return 0.0;
+  const int64_t rank =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(h.count)));
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < h.le_ns.size(); ++i) {
+    cumulative += h.bucket_count[i];
+    if (cumulative >= rank) {
+      const int64_t bound = h.le_ns[i] < 0 ? h.max_ns : h.le_ns[i];
+      return static_cast<double>(bound) / 1e6;
+    }
+  }
+  return static_cast<double>(h.max_ns) / 1e6;
+}
+
+double MeanMs(const Hist& h) {
+  if (h.count <= 0) return 0.0;
+  return static_cast<double>(h.sum_ns) / static_cast<double>(h.count) / 1e6;
+}
+
+double Rate(int64_t delta, double seconds) {
+  return seconds > 0 ? static_cast<double>(delta) / seconds : 0.0;
+}
+
+double Pct(int64_t part, int64_t whole) {
+  return whole > 0
+             ? 100.0 * static_cast<double>(part) / static_cast<double>(whole)
+             : 0.0;
+}
+
+void Render(const Sample& now, const Sample* prev, const std::string& where) {
+  const double dt =
+      prev == nullptr
+          ? 0.0
+          : std::chrono::duration<double>(now.at - prev->at).count();
+  const int64_t d_accepted = prev ? now.accepted - prev->accepted : 0;
+  const int64_t d_served = prev ? now.served - prev->served : 0;
+  const int64_t d_shed = prev ? (now.shed + now.deadline_shed) -
+                                    (prev->shed + prev->deadline_shed)
+                              : 0;
+  const int64_t d_hits = prev ? now.cache_hits - prev->cache_hits : 0;
+
+  std::printf("semap_top %s — %s — %lld scenario(s)%s\n", kSemapVersion,
+              where.c_str(), static_cast<long long>(now.scenarios),
+              now.draining ? " [DRAINING]" : "");
+  if (prev != nullptr) {
+    std::printf(
+        "qps %.1f   shed %.1f%% (%.1f/s)   hit ratio %.1f%%   errors %lld\n",
+        Rate(d_served, dt), Pct(d_shed, d_accepted > 0 ? d_accepted : d_shed),
+        Rate(d_shed, dt), Pct(d_hits, d_served),
+        static_cast<long long>(now.errors));
+  } else {
+    std::printf(
+        "totals: accepted %lld  served %lld  shed %lld  hit ratio %.1f%%  "
+        "errors %lld\n",
+        static_cast<long long>(now.accepted),
+        static_cast<long long>(now.served),
+        static_cast<long long>(now.shed + now.deadline_shed),
+        Pct(now.cache_hits, now.served), static_cast<long long>(now.errors));
+  }
+
+  // Latency block: queue wait, the hit/miss handle split, then one row
+  // per op-level e2e histogram. Percentiles are bucket upper bounds.
+  std::printf("%-22s %8s %9s %9s %9s %9s\n", "latency", "count", "mean",
+              "p50", "p95", "p99");
+  auto row = [&](const std::string& label, const Hist& h) {
+    std::printf("%-22s %8lld %8.2fm %8.2fm %8.2fm %8.2fm\n", label.c_str(),
+                static_cast<long long>(h.count), MeanMs(h),
+                PercentileMs(h, 0.50), PercentileMs(h, 0.95),
+                PercentileMs(h, 0.99));
+  };
+  const char* fixed[] = {"serve.queue_wait_ns", "serve.handle_hit_ns",
+                         "serve.handle_miss_ns"};
+  for (const char* name : fixed) {
+    auto it = now.hists.find(name);
+    if (it != now.hists.end() && it->second.count > 0) {
+      row(name, it->second);
+    }
+  }
+  const std::string e2e_prefix = "serve.e2e_ns.";
+  for (const auto& [name, h] : now.hists) {
+    if (name.compare(0, e2e_prefix.size(), e2e_prefix) == 0 && h.count > 0) {
+      row(name, h);
+    }
+  }
+
+  // Per-scenario e2e rows, the "which workload hurts" view.
+  const std::string scenario_prefix = "serve.scenario_e2e_ns.";
+  bool header = false;
+  for (const auto& [name, h] : now.hists) {
+    if (name.compare(0, scenario_prefix.size(), scenario_prefix) != 0 ||
+        h.count == 0) {
+      continue;
+    }
+    if (!header) {
+      std::printf("%-22s %8s %9s %9s %9s %9s\n", "scenario", "count", "mean",
+                  "p50", "p95", "p99");
+      header = true;
+    }
+    row(name.substr(scenario_prefix.size()), h);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("semap_top %s\n", kSemapVersion);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage(stdout, argv[0]);
+      return 0;
+    }
+  }
+
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  long long interval_ms = 1000;
+  long long count = -1;
+  long long timeout_ms = 5000;
+  bool no_clear = false;
+  long long value = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--unix=", 7) == 0) {
+      unix_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--host=", 7) == 0) {
+      host = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      if (!ParseLong("--port", argv[i] + 7, &value)) return 2;
+      port = static_cast<int>(value);
+    } else if (std::strncmp(argv[i], "--interval-ms=", 14) == 0) {
+      if (!ParseLong("--interval-ms", argv[i] + 14, &interval_ms) ||
+          interval_ms < 1) {
+        std::fprintf(stderr, "error: --interval-ms wants a positive integer\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--count=", 8) == 0) {
+      if (!ParseLong("--count", argv[i] + 8, &count) || count < 1) {
+        std::fprintf(stderr, "error: --count wants a positive integer\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      count = 1;
+      no_clear = true;
+    } else if (std::strcmp(argv[i], "--no-clear") == 0) {
+      no_clear = true;
+    } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
+      if (!ParseLong("--timeout-ms", argv[i] + 13, &timeout_ms)) return 2;
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n%s", argv[i],
+                   kOptionTable);
+      return 2;
+    }
+  }
+  if (unix_path.empty() && port < 0) {
+    PrintUsage(stderr, argv[0]);
+    return 2;
+  }
+
+  serve::SocketOptions socket_opts;
+  socket_opts.io_timeout_ms = timeout_ms;
+  const std::string where =
+      unix_path.empty() ? host + ":" + std::to_string(port)
+                        : "unix:" + unix_path;
+
+  Sample prev;
+  bool have_prev = false;
+  for (long long n = 0; count < 0 || n < count; ++n) {
+    auto sample = Poll(unix_path, host, port, socket_opts);
+    if (!sample.ok()) {
+      std::fprintf(stderr, "error: %s\n", sample.status().ToString().c_str());
+      return 1;
+    }
+    if (!no_clear) std::fputs("\x1b[2J\x1b[H", stdout);
+    Render(*sample, have_prev ? &prev : nullptr, where);
+    if (no_clear) std::fputc('\n', stdout);
+    prev = std::move(*sample);
+    have_prev = true;
+    if (count >= 0 && n + 1 >= count) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
